@@ -1,0 +1,42 @@
+// Command fusebench regenerates the experiment tables of EXPERIMENTS.md:
+// the paper's §4 measurement and prediction, the §1 sparse-event
+// comparison, the Figure 1 pipelining measurement, and the extensions
+// and ablations DESIGN.md indexes (E8-E10).
+//
+// Usage:
+//
+//	fusebench -exp all            # every table (slow, minutes)
+//	fusebench -exp e1 -quick      # one table at reduced size
+//	fusebench -list               # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10 or all)")
+	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *exp == "all" {
+		experiments.RunAll(os.Stdout, *quick)
+		return
+	}
+	runner, ok := experiments.All[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fusebench: unknown experiment %q (known: %s)\n",
+			*exp, strings.Join(experiments.Names(), ", "))
+		os.Exit(2)
+	}
+	runner(*quick).Fprint(os.Stdout)
+}

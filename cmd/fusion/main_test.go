@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunShippedSpec drives the CLI's run() over a shipped spec file,
+// covering the parse → build → engine → sink-report path the binary
+// takes.
+func TestRunShippedSpec(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "heatwave.xml")
+	if _, err := os.Stat(spec); err != nil {
+		t.Skipf("spec not found: %v", err)
+	}
+	if err := run(spec, 2, 48, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(spec, 0, 0, true); err != nil { // -dot path
+		t.Fatalf("run -dot: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/no/such/spec.xml", 0, 0, false); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Crisis management — the hurricane scenario of the paper's §1, using
+// the §6 extension: "replication of event streams to multiple distinct
+// computation graphs".
+//
+// One shared event stream (storm distance, flood level, shelter
+// occupancy, grid load) is replicated to two *distinct* correlation
+// graphs, because "people in different roles in an organization may be
+// concerned about different threats": the public-health graph watches
+// shelter saturation during flooding; the electric-utility graph
+// watches for the crew-dispatch window — storm far enough away to work
+// safely while load has collapsed (outages).
+//
+// Run: go run ./examples/crisis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/distrib"
+	"repro/internal/event"
+	"repro/internal/module"
+	"repro/internal/sim"
+)
+
+const (
+	phases   = 400
+	landfall = 120
+)
+
+func main() {
+	// --- the shared, replicated event stream -------------------------
+	dist, flood, shelter := sim.Hurricane(sim.HurricaneConfig{
+		Seed: 21, Landfall: landfall, ApproachKm: 600, FloodRate: 0.08,
+	})
+	// Grid load collapses after landfall as outages spread.
+	load := func(p int) (event.Value, bool) {
+		base := 1000.0
+		if p > landfall {
+			base *= 1 / (1 + 0.05*float64(p-landfall))
+		}
+		return event.Float(base), true
+	}
+	stream := make([][]distrib.StreamEvent, phases)
+	feeds := map[string]sim.Series{
+		"storm-distance": dist,
+		"flood-level":    flood,
+		"shelter-occ":    shelter,
+		"grid-load":      load,
+	}
+	for p := 1; p <= phases; p++ {
+		for name, s := range feeds {
+			if v, ok := s(p); ok {
+				stream[p-1] = append(stream[p-1], distrib.StreamEvent{Stream: name, Val: v})
+			}
+		}
+	}
+
+	// --- replica 1: public health ------------------------------------
+	healthAlerts := &module.AlertSink{}
+	health := buildHealth(healthAlerts)
+
+	// --- replica 2: electric utility ----------------------------------
+	crewAlerts := &module.AlertSink{}
+	utility := buildUtility(crewAlerts)
+
+	stats, err := distrib.Replicate(stream, []distrib.Replica{health, utility})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("replicated %d phases of 4 shared feeds to 2 distinct graphs\n", phases)
+	for i, name := range []string{"public-health", "utility"} {
+		fmt.Printf("  %-14s executions=%d messages=%d\n", name, stats[i].Executions, stats[i].Messages)
+	}
+	fmt.Printf("public-health: shelter-crisis alerts at phases %v (landfall at %d)\n",
+		healthAlerts.Alerts, landfall)
+	fmt.Printf("utility:       crew-dispatch windows open at phases %v\n", crewAlerts.Alerts)
+}
+
+// buildHealth assembles the public-health graph: crisis when flooding
+// exceeds 2m AND shelters are above 90% occupancy.
+func buildHealth(alerts *module.AlertSink) distrib.Replica {
+	b := repro.NewBuilder()
+	floodIn := b.Vertex("flood", &module.ExtRelay{})
+	shelterIn := b.Vertex("shelter", &module.ExtRelay{})
+	floodHigh := b.Vertex("flood>2m", &module.Threshold{Level: 2})
+	shelterFull := b.Vertex("shelter>90%", &module.Threshold{Level: 0.9})
+	crisis := b.Vertex("crisis", &module.Gate{Mode: "and"})
+	out := b.Vertex("alerts", alerts)
+	b.Edge(floodIn, floodHigh)
+	b.Edge(shelterIn, shelterFull)
+	b.Edge(floodHigh, crisis)
+	b.Edge(shelterFull, crisis)
+	b.Edge(crisis, out)
+	sys, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Replica("public-health", 2, map[string]repro.VertexID{
+		"flood-level": floodIn,
+		"shelter-occ": shelterIn,
+	})
+}
+
+// buildUtility assembles the utility graph: dispatch crews when the
+// storm is >100km away (safe) AND load dropped below 600MW (outages to
+// repair).
+func buildUtility(alerts *module.AlertSink) distrib.Replica {
+	b := repro.NewBuilder()
+	distIn := b.Vertex("distance", &module.ExtRelay{})
+	loadIn := b.Vertex("load", &module.ExtRelay{})
+	smooth := b.Vertex("distance-smoothed", module.NewSmoother(0.3))
+	safe := b.Vertex("storm>100km", &module.Threshold{Level: 100, Hysteresis: 10})
+	outage := b.Vertex("load<600MW", &invThreshold{level: 600})
+	window := b.Vertex("dispatch-window", &module.Gate{Mode: "and"})
+	out := b.Vertex("alerts", alerts)
+	b.Edge(distIn, smooth)
+	b.Edge(smooth, safe)
+	b.Edge(loadIn, outage)
+	b.Edge(safe, window)
+	b.Edge(outage, window)
+	b.Edge(window, out)
+	sys, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys.Replica("utility", 2, map[string]repro.VertexID{
+		"storm-distance": distIn,
+		"grid-load":      loadIn,
+	})
+}
+
+// invThreshold emits transitions of the condition "value below level"
+// (a Threshold with the comparison inverted).
+type invThreshold struct {
+	level float64
+	state int8
+}
+
+func (t *invThreshold) Step(ctx *repro.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	var next int8 = -1
+	if x < t.level {
+		next = 1
+	}
+	if next != t.state {
+		t.state = next
+		ctx.EmitAll(event.Bool(next == 1))
+	}
+}

@@ -1,0 +1,182 @@
+// Package assemble relaxes the paper's idealized timing assumptions.
+// §2 assumes "there is no delay between the instant at which an event is
+// generated and the instant at which it arrives" and that timestamps are
+// perfect; §6 concedes that "in reality, clocks in sensors are noisy and
+// message delays may be significant and random. The fusion engine must
+// wait long enough after time t to ensure that sensor data taken at time
+// t arrives with high probability."
+//
+// The Assembler implements exactly that wait: events carry their
+// generation tick (nominal timestamp) and an arrival tick; a phase for
+// tick t is sealed only when the clock reaches t + watermark. Larger
+// watermarks lose fewer late events (fewer false negatives downstream)
+// but delay every detection by the watermark — the trade-off experiment
+// E11 sweeps.
+package assemble
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// DelayedEvent is an external observation en route to the fusion engine.
+type DelayedEvent struct {
+	// Gen is the generation tick: the phase this event belongs to
+	// (1-based, the paper's timestamp t).
+	Gen int
+	// Arrival is the tick at which the event reaches the assembler;
+	// Arrival ≥ Gen.
+	Arrival int
+	// Input is the observation itself, addressed to a source vertex.
+	Input core.ExtInput
+}
+
+// Stats summarizes an assembler's bookkeeping.
+type Stats struct {
+	// Accepted counts events that made it into their phase.
+	Accepted int64
+	// Late counts events dropped because their phase had already been
+	// sealed when they arrived.
+	Late int64
+	// Sealed is the highest tick whose phase has been emitted.
+	Sealed int
+}
+
+// Assembler buckets delayed events into phases and seals each phase
+// watermark ticks after its nominal time.
+type Assembler struct {
+	watermark int
+	buckets   map[int][]core.ExtInput
+	sealed    int // phases ≤ sealed have been emitted
+	stats     Stats
+}
+
+// New returns an assembler with the given watermark (≥ 0).
+func New(watermark int) *Assembler {
+	if watermark < 0 {
+		watermark = 0
+	}
+	return &Assembler{watermark: watermark, buckets: make(map[int][]core.ExtInput)}
+}
+
+// Watermark returns the configured wait.
+func (a *Assembler) Watermark() int { return a.watermark }
+
+// Offer delivers one event. Events whose phase is already sealed are
+// counted late and dropped — the information they carried is lost to the
+// computation, exactly the §6 false-negative mechanism. Offer reports
+// whether the event was accepted.
+func (a *Assembler) Offer(e DelayedEvent) bool {
+	if e.Gen < 1 {
+		panic(fmt.Sprintf("assemble: event with generation tick %d", e.Gen))
+	}
+	if e.Arrival < e.Gen {
+		panic(fmt.Sprintf("assemble: event arrives at %d before generation %d", e.Arrival, e.Gen))
+	}
+	if e.Gen <= a.sealed {
+		a.stats.Late++
+		return false
+	}
+	a.buckets[e.Gen] = append(a.buckets[e.Gen], e.Input)
+	a.stats.Accepted++
+	return true
+}
+
+// Advance moves the clock to now and returns the batches of every phase
+// sealed by the move — phases sealed+1 .. now-watermark, in order, with
+// empty batches for quiet phases (the engine needs every phase started
+// so that absence of events is observable). The caller feeds each batch
+// to Engine.StartPhase in order.
+func (a *Assembler) Advance(now int) [][]core.ExtInput {
+	upTo := now - a.watermark
+	if upTo <= a.sealed {
+		return nil
+	}
+	out := make([][]core.ExtInput, 0, upTo-a.sealed)
+	for t := a.sealed + 1; t <= upTo; t++ {
+		out = append(out, a.buckets[t])
+		delete(a.buckets, t)
+	}
+	a.sealed = upTo
+	a.stats.Sealed = upTo
+	return out
+}
+
+// Flush seals every remaining buffered phase up to maxGen and returns
+// the batches (used at end of stream).
+func (a *Assembler) Flush(maxGen int) [][]core.ExtInput {
+	return a.Advance(maxGen + a.watermark)
+}
+
+// Pending returns the number of buffered, unsealed phases.
+func (a *Assembler) Pending() int { return len(a.buckets) }
+
+// Stats returns a snapshot of the counters.
+func (a *Assembler) Stats() Stats { return a.stats }
+
+// Run drives a complete delayed stream through an assembler and a
+// freshly supplied engine-like consumer: events are sorted by arrival,
+// the clock advances tick by tick, sealed batches are handed to start in
+// order. maxGen is the last generation tick (so trailing phases flush).
+// It returns the assembler stats.
+//
+// start is called once per sealed phase, in phase order; it is the
+// caller's adapter around Engine.StartPhase (or a recording stub in
+// tests).
+func Run(events []DelayedEvent, watermark, maxGen int, start func(batch []core.ExtInput) error) (Stats, error) {
+	evs := append([]DelayedEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Arrival < evs[j].Arrival })
+	a := New(watermark)
+	i := 0
+	lastArrival := 0
+	if n := len(evs); n > 0 {
+		lastArrival = evs[n-1].Arrival
+	}
+	for now := 1; now <= lastArrival; now++ {
+		for i < len(evs) && evs[i].Arrival == now {
+			a.Offer(evs[i])
+			i++
+		}
+		for _, batch := range a.Advance(now) {
+			if err := start(batch); err != nil {
+				return a.Stats(), err
+			}
+		}
+	}
+	for _, batch := range a.Flush(maxGen) {
+		if err := start(batch); err != nil {
+			return a.Stats(), err
+		}
+	}
+	return a.Stats(), nil
+}
+
+// GeometricDelay derives a deterministic pseudo-random transmission
+// delay for (seed, gen, salt): P(delay = k) ∝ (1-p)^k, mean ≈ (1-p)/p.
+// Used by simulations to perturb ideal feeds.
+func GeometricDelay(seed uint64, gen int, salt uint64, p float64) int {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	h := mix64(seed ^ uint64(gen)*0x9e3779b97f4a7c15 ^ salt)
+	u := float64(h>>11) / float64(1<<53)
+	// inverse CDF of geometric distribution
+	d := 0
+	q := 1 - p
+	cum := p
+	for u > cum && d < 1000 {
+		u -= cum
+		cum *= q
+		d++
+	}
+	return d
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

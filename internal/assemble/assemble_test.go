@@ -1,0 +1,233 @@
+package assemble
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+func ev(gen, arrival, vertex int, val int64) DelayedEvent {
+	return DelayedEvent{
+		Gen: gen, Arrival: arrival,
+		Input: core.ExtInput{Vertex: vertex, Port: 0, Val: event.Int(val)},
+	}
+}
+
+func TestOnTimeEventsAllAccepted(t *testing.T) {
+	a := New(0)
+	for g := 1; g <= 5; g++ {
+		if !a.Offer(ev(g, g, 1, int64(g))) {
+			t.Fatalf("on-time event for phase %d rejected", g)
+		}
+		batches := a.Advance(g)
+		if len(batches) != 1 || len(batches[0]) != 1 {
+			t.Fatalf("phase %d: batches = %v", g, batches)
+		}
+	}
+	st := a.Stats()
+	if st.Accepted != 5 || st.Late != 0 || st.Sealed != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWatermarkHoldsPhasesOpen(t *testing.T) {
+	a := New(3)
+	a.Offer(ev(1, 1, 1, 10))
+	if got := a.Advance(3); got != nil {
+		t.Fatalf("phase 1 sealed at tick 3 with watermark 3: %v", got)
+	}
+	a.Offer(ev(1, 3, 1, 11)) // delayed duplicate-phase event still accepted
+	batches := a.Advance(4)
+	if len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("batches at tick 4 = %v", batches)
+	}
+}
+
+func TestLateEventsDropped(t *testing.T) {
+	a := New(1)
+	a.Offer(ev(1, 1, 1, 10))
+	a.Advance(2) // seals phase 1
+	if a.Offer(ev(1, 3, 1, 99)) {
+		t.Error("late event accepted")
+	}
+	st := a.Stats()
+	if st.Late != 1 || st.Accepted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdvanceEmitsEmptyPhases(t *testing.T) {
+	a := New(0)
+	a.Offer(ev(4, 4, 1, 1))
+	batches := a.Advance(4)
+	if len(batches) != 4 {
+		t.Fatalf("expected 4 batches (3 empty + 1), got %d", len(batches))
+	}
+	for i := 0; i < 3; i++ {
+		if len(batches[i]) != 0 {
+			t.Errorf("phase %d batch not empty: %v", i+1, batches[i])
+		}
+	}
+	if len(batches[3]) != 1 {
+		t.Errorf("phase 4 batch = %v", batches[3])
+	}
+}
+
+func TestFlushSealsEverything(t *testing.T) {
+	a := New(5)
+	a.Offer(ev(1, 1, 1, 1))
+	a.Offer(ev(3, 3, 1, 3))
+	if a.Pending() != 2 {
+		t.Errorf("pending = %d", a.Pending())
+	}
+	batches := a.Flush(3)
+	if len(batches) != 3 {
+		t.Fatalf("flush batches = %d", len(batches))
+	}
+	if a.Pending() != 0 {
+		t.Errorf("pending after flush = %d", a.Pending())
+	}
+}
+
+func TestOfferPanicsOnBadEvents(t *testing.T) {
+	a := New(1)
+	for _, bad := range []DelayedEvent{ev(0, 1, 1, 1), ev(3, 2, 1, 1)} {
+		func() {
+			defer func() { recover() }()
+			a.Offer(bad)
+			t.Errorf("bad event %+v accepted", bad)
+		}()
+	}
+}
+
+func TestRunOrdersPhases(t *testing.T) {
+	// events arrive out of order; Run must start phases in order with
+	// the right contents.
+	events := []DelayedEvent{
+		ev(2, 5, 1, 20),
+		ev(1, 2, 1, 10),
+		ev(3, 4, 1, 30),
+	}
+	var phases [][]core.ExtInput
+	st, err := Run(events, 3, 3, func(batch []core.ExtInput) error {
+		phases = append(phases, batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	for i, want := range []int64{10, 20, 30} {
+		if len(phases[i]) != 1 {
+			t.Fatalf("phase %d batch = %v", i+1, phases[i])
+		}
+		got, _ := phases[i][0].Val.AsInt()
+		if got != want {
+			t.Errorf("phase %d value = %d, want %d", i+1, got, want)
+		}
+	}
+	if st.Accepted != 3 || st.Late != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRunDropsLateWithSmallWatermark(t *testing.T) {
+	// phase-1 event arrives at tick 10; watermark 0 seals phase 1 at
+	// tick 1 (when the first arrival advances the clock past it).
+	events := []DelayedEvent{
+		ev(1, 1, 1, 1),
+		ev(2, 2, 1, 2),
+		ev(1, 10, 1, 99), // very late for phase 1
+	}
+	var count int
+	st, err := Run(events, 0, 2, func(batch []core.ExtInput) error {
+		count += len(batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Late != 1 {
+		t.Errorf("late = %d, want 1", st.Late)
+	}
+	if count != 2 {
+		t.Errorf("delivered = %d, want 2", count)
+	}
+}
+
+func TestGeometricDelayProperties(t *testing.T) {
+	// deterministic per (seed, gen)
+	if GeometricDelay(1, 5, 2, 0.5) != GeometricDelay(1, 5, 2, 0.5) {
+		t.Error("delay not deterministic")
+	}
+	// degenerate p
+	if GeometricDelay(1, 1, 1, 0) != 0 || GeometricDelay(1, 1, 1, 1) != 0 {
+		t.Error("degenerate p not zero")
+	}
+	// mean roughly (1-p)/p
+	for _, p := range []float64{0.3, 0.6, 0.9} {
+		sum := 0
+		const n = 20000
+		for g := 1; g <= n; g++ {
+			sum += GeometricDelay(42, g, 7, p)
+		}
+		mean := float64(sum) / n
+		want := (1 - p) / p
+		if mean < want*0.9-0.05 || mean > want*1.1+0.05 {
+			t.Errorf("p=%.1f: mean delay %.3f, want ~%.3f", p, mean, want)
+		}
+	}
+}
+
+// property: for any event set and watermark, accepted + late = total,
+// phases are emitted exactly once and in order, and every accepted event
+// appears in its own phase's batch.
+func TestAssemblerPropertyQuick(t *testing.T) {
+	f := func(seed uint64, wmRaw uint8, nRaw uint8) bool {
+		wm := int(wmRaw % 6)
+		n := 1 + int(nRaw%40)
+		var events []DelayedEvent
+		maxGen := 0
+		for i := 0; i < n; i++ {
+			g := 1 + int(mix64(seed^uint64(i))%20)
+			d := GeometricDelay(seed, i, 99, 0.5)
+			events = append(events, ev(g, g+d, 1, int64(g)))
+			if g > maxGen {
+				maxGen = g
+			}
+		}
+		var batches [][]core.ExtInput
+		st, err := Run(events, wm, maxGen, func(b []core.ExtInput) error {
+			batches = append(batches, b)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		if st.Accepted+st.Late != int64(n) {
+			return false
+		}
+		if len(batches) < maxGen {
+			return false
+		}
+		// every accepted event is in the batch of its generation phase
+		delivered := int64(0)
+		for p, b := range batches {
+			for _, x := range b {
+				g, _ := x.Val.AsInt()
+				if int(g) != p+1 {
+					return false
+				}
+				delivered++
+			}
+		}
+		return delivered == st.Accepted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

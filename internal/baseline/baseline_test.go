@@ -1,0 +1,223 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+func relay() core.Module {
+	return core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+}
+
+func counter() core.Module {
+	return core.StepFunc(func(ctx *core.Context) {
+		ctx.EmitAll(event.Int(int64(ctx.Phase())))
+	})
+}
+
+type lockedSink struct {
+	mu  sync.Mutex
+	got []int64
+}
+
+func (s *lockedSink) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		i, _ := v.AsInt()
+		s.mu.Lock()
+		s.got = append(s.got, i)
+		s.mu.Unlock()
+	}
+}
+
+func TestSequentialCounts(t *testing.T) {
+	ng, _ := graph.Chain(4).Number()
+	sink := &lockedSink{}
+	mods := []core.Module{counter(), relay(), relay(), sink}
+	st, err := Sequential(ng, mods, make([][]core.ExtInput, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phases != 10 || st.Executions != 40 || st.Messages != 30 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(sink.got) != 10 {
+		t.Errorf("sink saw %d values", len(sink.got))
+	}
+	for i, v := range sink.got {
+		if v != int64(i+1) {
+			t.Errorf("sink[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSequentialSparse(t *testing.T) {
+	ng, _ := graph.Chain(3).Number()
+	src := core.StepFunc(func(ctx *core.Context) {
+		if ctx.Phase()%5 == 0 {
+			ctx.EmitAll(event.Int(int64(ctx.Phase())))
+		}
+	})
+	sink := &lockedSink{}
+	st, err := Sequential(ng, []core.Module{src, relay(), sink}, make([][]core.ExtInput, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sources execute every phase; downstream only on the 4 firing phases
+	if st.Executions != 20+4+4 {
+		t.Errorf("executions = %d, want 28", st.Executions)
+	}
+	if st.Messages != 8 {
+		t.Errorf("messages = %d, want 8", st.Messages)
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	if _, err := Sequential(ng, []core.Module{relay()}, nil); err == nil {
+		t.Error("module count mismatch accepted")
+	}
+	mods := []core.Module{relay(), relay()}
+	bad := [][]core.ExtInput{{{Vertex: 2, Port: 0, Val: event.Int(1)}}}
+	if _, err := Sequential(ng, mods, bad); err == nil {
+		t.Error("non-source external input accepted")
+	}
+}
+
+func TestSequentialExternalInputs(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	sink := &lockedSink{}
+	mods := []core.Module{relay(), sink}
+	batches := [][]core.ExtInput{
+		{{Vertex: 1, Port: 0, Val: event.Int(42)}},
+		{},
+	}
+	if _, err := Sequential(ng, mods, batches); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.got) != 1 || sink.got[0] != 42 {
+		t.Errorf("sink = %v", sink.got)
+	}
+}
+
+func TestFullDataflowMessageVolume(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	ng, _ := graph.Layered(4, 4, 2, rng).Number()
+	mods := make([]core.Module, ng.N())
+	for v := 1; v <= ng.N(); v++ {
+		if ng.IsSource(v) {
+			// silent source: emits nothing, ever
+			mods[v-1] = core.StepFunc(func(ctx *core.Context) {})
+		} else {
+			mods[v-1] = relay()
+		}
+	}
+	const phases = 25
+	st, err := FullDataflow(ng, mods, make([][]core.ExtInput, phases), FullDataflowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// THE defining property: message count is phases × edges even though
+	// nothing ever changes.
+	if st.Messages != int64(phases*ng.Edges()) {
+		t.Errorf("messages = %d, want %d", st.Messages, phases*ng.Edges())
+	}
+	if st.Executions != int64(phases*ng.N()) {
+		t.Errorf("executions = %d, want %d", st.Executions, phases*ng.N())
+	}
+}
+
+func TestFullDataflowParallelSameResult(t *testing.T) {
+	ng, _ := graph.FanOutIn(6).Number()
+	mk := func() ([]core.Module, *lockedSink) {
+		mods := make([]core.Module, ng.N())
+		sink := &lockedSink{}
+		for v := 1; v <= ng.N(); v++ {
+			switch {
+			case ng.IsSource(v):
+				mods[v-1] = counter()
+			case ng.IsSink(v):
+				mods[v-1] = sink
+			default:
+				mods[v-1] = relay()
+			}
+		}
+		return mods, sink
+	}
+	const phases = 15
+	mods1, sink1 := mk()
+	if _, err := FullDataflow(ng, mods1, make([][]core.ExtInput, phases), FullDataflowConfig{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	mods8, sink8 := mk()
+	if _, err := FullDataflow(ng, mods8, make([][]core.ExtInput, phases), FullDataflowConfig{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink1.got) != len(sink8.got) {
+		t.Fatalf("sink lengths differ: %d vs %d", len(sink1.got), len(sink8.got))
+	}
+	for i := range sink1.got {
+		if sink1.got[i] != sink8.got[i] {
+			t.Fatalf("entry %d differs: %d vs %d", i, sink1.got[i], sink8.got[i])
+		}
+	}
+}
+
+func TestFullDataflowResendsLastValue(t *testing.T) {
+	// source emits once; full dataflow keeps re-sending that value, so a
+	// per-phase recording sink sees it every phase.
+	ng, _ := graph.Chain(2).Number()
+	src := core.StepFunc(func(ctx *core.Context) {
+		if ctx.Phase() == 1 {
+			ctx.EmitAll(event.Int(7))
+		}
+	})
+	sink := &lockedSink{}
+	const phases = 6
+	if _, err := FullDataflow(ng, []core.Module{src, sink}, make([][]core.ExtInput, phases), FullDataflowConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.got) != phases {
+		t.Fatalf("sink saw %d values, want %d", len(sink.got), phases)
+	}
+	for i, v := range sink.got {
+		if v != 7 && !(i == 0 && v == 7) {
+			// phase 1 onward: value 7 re-sent every phase
+			t.Errorf("sink[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestFullDataflowValidation(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	if _, err := FullDataflow(ng, []core.Module{relay()}, nil, FullDataflowConfig{}); err == nil {
+		t.Error("module count mismatch accepted")
+	}
+	bad := [][]core.ExtInput{{{Vertex: 2, Port: 0, Val: event.Int(1)}}}
+	if _, err := FullDataflow(ng, []core.Module{relay(), relay()}, bad, FullDataflowConfig{}); err == nil {
+		t.Error("non-source external input accepted")
+	}
+}
+
+func TestFullDataflowExternalInputs(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	sink := &lockedSink{}
+	mods := []core.Module{relay(), sink}
+	batches := [][]core.ExtInput{
+		{{Vertex: 1, Port: 0, Val: event.Int(9)}},
+	}
+	if _, err := FullDataflow(ng, mods, batches, FullDataflowConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.got) != 1 || sink.got[0] != 9 {
+		t.Errorf("sink = %v", sink.got)
+	}
+}

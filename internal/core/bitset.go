@@ -1,0 +1,99 @@
+package core
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of vertex indices 1..n used to represent
+// the per-phase partial and full sets. The hot operations during the
+// bookkeeping of Listing 1 are single-bit set/clear, minimum-element scan
+// (for the v_min computation of statement 1.15) and ranged iteration (for
+// the newly-full migration of statement 1.24); all are O(n/64) or better.
+//
+// Index 0 is never stored; bit i corresponds to vertex i.
+type bitset struct {
+	words []uint64
+	count int
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+64)/64)}
+}
+
+// set inserts v, reporting whether it was newly inserted.
+func (b *bitset) set(v int) bool {
+	w, m := v>>6, uint64(1)<<(uint(v)&63)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+// clear removes v, reporting whether it was present.
+func (b *bitset) clear(v int) bool {
+	w, m := v>>6, uint64(1)<<(uint(v)&63)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.count--
+	return true
+}
+
+// test reports whether v is present.
+func (b *bitset) test(v int) bool {
+	return b.words[v>>6]&(uint64(1)<<(uint(v)&63)) != 0
+}
+
+// len returns the number of elements.
+func (b *bitset) len() int { return b.count }
+
+// min returns the smallest element, or 0 when the set is empty.
+func (b *bitset) min() int {
+	for w, word := range b.words {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return 0
+}
+
+// forRange calls fn for every element v with lo < v <= hi, in ascending
+// order. fn must not mutate the set.
+func (b *bitset) forRange(lo, hi int, fn func(v int)) {
+	if hi <= lo {
+		return
+	}
+	start := lo + 1
+	for w := start >> 6; w < len(b.words) && w<<6 <= hi; w++ {
+		word := b.words[w]
+		if word == 0 {
+			continue
+		}
+		if w == start>>6 {
+			word &= ^uint64(0) << (uint(start) & 63)
+		}
+		for word != 0 {
+			v := w<<6 + bits.TrailingZeros64(word)
+			if v > hi {
+				return
+			}
+			fn(v)
+			word &= word - 1
+		}
+	}
+}
+
+// drainRange is forRange but also removes the visited elements; fn may
+// mutate other state freely.
+func (b *bitset) drainRange(lo, hi int, fn func(v int)) {
+	if hi <= lo {
+		return
+	}
+	var drained []int
+	b.forRange(lo, hi, func(v int) { drained = append(drained, v) })
+	for _, v := range drained {
+		b.clear(v)
+		fn(v)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(200)
+	if b.len() != 0 || b.min() != 0 {
+		t.Fatalf("empty: len=%d min=%d", b.len(), b.min())
+	}
+	if !b.set(5) || !b.set(130) || !b.set(64) {
+		t.Fatal("fresh set returned false")
+	}
+	if b.set(5) {
+		t.Error("duplicate set returned true")
+	}
+	if b.len() != 3 {
+		t.Errorf("len = %d, want 3", b.len())
+	}
+	if !b.test(130) || b.test(131) {
+		t.Error("test wrong")
+	}
+	if b.min() != 5 {
+		t.Errorf("min = %d, want 5", b.min())
+	}
+	if !b.clear(5) {
+		t.Error("clear present returned false")
+	}
+	if b.clear(5) {
+		t.Error("clear absent returned true")
+	}
+	if b.min() != 64 {
+		t.Errorf("min after clear = %d, want 64", b.min())
+	}
+}
+
+func TestBitsetBoundary(t *testing.T) {
+	// exercise word boundaries 63/64/127/128
+	b := newBitset(256)
+	for _, v := range []int{1, 63, 64, 127, 128, 255, 256} {
+		if !b.set(v) {
+			t.Fatalf("set(%d) failed", v)
+		}
+		if !b.test(v) {
+			t.Fatalf("test(%d) false after set", v)
+		}
+	}
+	if b.min() != 1 {
+		t.Errorf("min = %d", b.min())
+	}
+	b.clear(1)
+	if b.min() != 63 {
+		t.Errorf("min = %d, want 63", b.min())
+	}
+}
+
+func TestBitsetForRange(t *testing.T) {
+	b := newBitset(300)
+	for _, v := range []int{3, 64, 65, 128, 200, 299} {
+		b.set(v)
+	}
+	var got []int
+	b.forRange(3, 200, func(v int) { got = append(got, v) })
+	want := []int{64, 65, 128, 200}
+	if len(got) != len(want) {
+		t.Fatalf("forRange(3,200) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forRange(3,200) = %v, want %v", got, want)
+		}
+	}
+	got = nil
+	b.forRange(0, 2, func(v int) { got = append(got, v) })
+	if len(got) != 0 {
+		t.Errorf("forRange(0,2) = %v, want empty", got)
+	}
+	got = nil
+	b.forRange(5, 5, func(v int) { got = append(got, v) })
+	if len(got) != 0 {
+		t.Errorf("forRange(5,5) = %v, want empty", got)
+	}
+}
+
+func TestBitsetDrainRange(t *testing.T) {
+	b := newBitset(100)
+	for v := 1; v <= 100; v++ {
+		b.set(v)
+	}
+	var got []int
+	b.drainRange(10, 20, func(v int) { got = append(got, v) })
+	if len(got) != 10 {
+		t.Fatalf("drained %d, want 10: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v <= 10 || v > 20 || b.test(v) {
+			t.Errorf("bad drained element %d", v)
+		}
+	}
+	if b.len() != 90 {
+		t.Errorf("len = %d, want 90", b.len())
+	}
+}
+
+func TestBitsetRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 500
+	b := newBitset(n)
+	ref := map[int]bool{}
+	for op := 0; op < 20000; op++ {
+		v := 1 + rng.IntN(n)
+		switch rng.IntN(3) {
+		case 0:
+			if b.set(v) == ref[v] {
+				t.Fatalf("set(%d) disagreement", v)
+			}
+			ref[v] = true
+		case 1:
+			if b.clear(v) != ref[v] {
+				t.Fatalf("clear(%d) disagreement", v)
+			}
+			delete(ref, v)
+		case 2:
+			if b.test(v) != ref[v] {
+				t.Fatalf("test(%d) disagreement", v)
+			}
+		}
+	}
+	if b.len() != len(ref) {
+		t.Fatalf("len = %d, ref = %d", b.len(), len(ref))
+	}
+	min := 0
+	for v := range ref {
+		if min == 0 || v < min {
+			min = v
+		}
+	}
+	if b.min() != min {
+		t.Fatalf("min = %d, ref = %d", b.min(), min)
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import "repro/internal/event"
+
+// PortIn is one input message addressed to a port, used when driving
+// modules directly (outside the parallel engine).
+type PortIn struct {
+	Port int
+	Val  event.Value
+}
+
+// Driver executes modules one Step at a time, reusing a single Context.
+// It exists so that alternative executors — the sequential oracle and the
+// full-dataflow barrier baseline in internal/baseline — can run the same
+// Module implementations the parallel engine runs, which is what makes
+// output histories directly comparable.
+//
+// A Driver is not safe for concurrent use; give each goroutine its own.
+type Driver struct {
+	ctx Context
+}
+
+// Exec runs m for (vertex v, phase p) with the given inputs and returns
+// the emissions. ports is the visible input-port count (the in-degree;
+// deliveries beyond it widen the context, as for external source ports)
+// and outs the out-degree. The returned slice is reused by the next Exec
+// call; callers must consume it before calling Exec again.
+func (d *Driver) Exec(m Module, v, p, ports, outs int, in []PortIn) []Emission {
+	d.ctx.reset(v, p, ports, outs)
+	for _, pv := range in {
+		d.ctx.deliver(pv.Port, pv.Val)
+	}
+	m.Step(&d.ctx)
+	return d.ctx.emits
+}

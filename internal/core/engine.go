@@ -1,0 +1,672 @@
+// Package core implements the paper's parallel algorithm for executing
+// serializable Δ-dataflow computation graphs on a shared-memory
+// multiprocessor (§3 of the paper).
+//
+// The engine maintains, under a single global lock exactly as in
+// Listings 1 and 2:
+//
+//   - per-phase partial and full sets (equations 7 and 9) as bitsets of
+//     vertex indices,
+//   - the implicit ready set (equation 8), realized as a per-vertex
+//     "minimum full phase" rule plus a blocking run queue,
+//   - the per-phase frontier x_p — the highest index such that all
+//     vertices indexed ≤ x_p have finished phase p, clamped by x_{p-1}
+//     so later phases never overtake earlier ones,
+//   - pmax, the newest started phase.
+//
+// Worker goroutines play the computation processes of Listing 1: dequeue
+// a ready (vertex, phase) pair, execute the module outside the lock,
+// then update the data structures inside it. StartPhase plays one
+// iteration of the environment process of Listing 2.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/graph"
+	"repro/internal/runqueue"
+)
+
+// Observer receives engine lifecycle callbacks. PhaseStarted,
+// PairEnqueued and PhaseCompleted are invoked while the engine lock is
+// held: implementations must be fast and must not call back into the
+// engine. ExecBegin and ExecEnd are invoked outside the lock on worker
+// goroutines and may run concurrently with each other.
+type Observer interface {
+	PhaseStarted(p int)
+	PairEnqueued(v, p int)
+	ExecBegin(v, p int)
+	ExecEnd(v, p int, emitted int)
+	PhaseCompleted(p int)
+}
+
+// SetObserver receives fine-grained set-transition callbacks mirroring
+// the partial/full/ready set manipulations of Listings 1 and 2. An
+// Observer that also implements SetObserver (detected once at New) gets
+// these calls while the engine lock is held; implementations must be
+// fast and must not call back into the engine. Used by the trace
+// recorder that reproduces Figure 3.
+type SetObserver interface {
+	// PairPartial fires when (v, p) enters the partial set.
+	PairPartial(v, p int)
+	// PairFull fires when (v, p) enters the full set (directly, for
+	// sources, or by migration from partial).
+	PairFull(v, p int)
+	// PairReady fires when (v, p) enters the ready set.
+	PairReady(v, p int)
+	// PairDone fires when (v, p) is removed from the full and ready sets
+	// after executing.
+	PairDone(v, p int)
+	// FrontierMoved fires when x_p changes to x.
+	FrontierMoved(p, x int)
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers is the number of computation goroutines (the paper's pool
+	// of computation threads). Defaults to 1.
+	Workers int
+	// MaxInFlight bounds how many phases may be open concurrently during
+	// Run: phase p is not started until phase p-MaxInFlight has
+	// completed. This models the environment process pacing phase starts
+	// on external data arrival, and keeps the frontier window small.
+	// Defaults to 64. It does not limit explicit StartPhase calls.
+	MaxInFlight int
+	// Observer, when non-nil, receives lifecycle callbacks.
+	Observer Observer
+	// CountExecutions records how many times each (vertex, phase) pair
+	// executes, for the exactly-once tests. Costs one map update per
+	// execution; leave off in benchmarks.
+	CountExecutions bool
+	// MeasureContention records time spent waiting for the global lock
+	// and time spent inside module Steps (experiment E8).
+	MeasureContention bool
+	// Manual disables the worker pool: no goroutines are spawned and the
+	// caller drives execution with StepOne/StepPair. Used by traces and
+	// debugging tools that need a deterministic, chosen interleaving.
+	Manual bool
+}
+
+// ExtInput is one external observation delivered to a source vertex at
+// the start of a phase (the paper's sensor events).
+type ExtInput struct {
+	// Vertex is the 1-based index of a source vertex.
+	Vertex int
+	// Port is the input port the observation arrives on; sources
+	// conventionally use port 0 but may expose several external ports.
+	Port int
+	// Val is the payload.
+	Val event.Value
+}
+
+// workItem is one run-queue entry: a ready (vertex, phase) pair together
+// with the complete snapshot of inputs it is entitled to.
+type workItem struct {
+	v, p int
+	in   []portValue
+}
+
+// portValue is one received input message.
+type portValue struct {
+	port int
+	val  event.Value
+}
+
+// phaseState is the engine's record of one open phase.
+type phaseState struct {
+	// x is the frontier x_p of §3.1.2.
+	x int
+	// partial and full are the sets of equations (9) and (7), restricted
+	// to this phase.
+	partial *bitset
+	full    *bitset
+	// inbox buffers messages delivered for this phase, keyed by
+	// destination vertex, until the pair becomes ready.
+	inbox map[int][]portValue
+}
+
+func (ps *phaseState) pending() int { return ps.partial.count + ps.full.count }
+
+func (ps *phaseState) minPending() int {
+	mp, mf := ps.partial.min(), ps.full.min()
+	if mp == 0 {
+		return mf
+	}
+	if mf == 0 || mp < mf {
+		return mp
+	}
+	return mf
+}
+
+// vertexState tracks the ready-set bookkeeping for one vertex.
+type vertexState struct {
+	// inReady is true while some (v, p) sits in the ready set (i.e. in
+	// the run queue or executing). At most one phase per vertex may be
+	// ready at a time, and it is always the minimum full phase.
+	inReady bool
+	// fullPhases lists the phases p with (v, p) in the full set,
+	// ascending. Entries are appended in strictly increasing order (see
+	// the invariant argument in finish) and removed from the front.
+	fullPhases []int
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Executions is the number of (vertex, phase) pairs executed.
+	Executions int64
+	// Messages is the number of inter-vertex messages delivered.
+	Messages int64
+	// PhasesCompleted is the number of phases fully executed.
+	PhasesCompleted int64
+	// MaxQueueLen is the run queue's high-water mark.
+	MaxQueueLen int
+	// LockWait is the cumulative time workers and the environment spent
+	// acquiring the global lock (only when MeasureContention).
+	LockWait time.Duration
+	// LockAcquisitions counts lock acquisitions (only when MeasureContention).
+	LockAcquisitions int64
+	// ExecTime is cumulative wall time inside module Steps (only when
+	// MeasureContention).
+	ExecTime time.Duration
+}
+
+// Engine executes a numbered computation graph with the paper's parallel
+// algorithm.
+type Engine struct {
+	g      *graph.Numbered
+	mods   []Module
+	cfg    Config
+	setObs SetObserver // non-nil when cfg.Observer also observes sets
+	q      *runqueue.Queue[workItem]
+
+	workers sync.WaitGroup
+	started bool
+	stopped bool
+
+	mu   sync.Mutex
+	cond sync.Cond // broadcast whenever a phase completes
+
+	phases map[int]*phaseState
+	pmax   int // newest started phase
+	done   int // all phases ≤ done are complete
+
+	vs []vertexState
+
+	// counters
+	execs    atomic.Int64
+	msgs     int64 // under mu
+	lockWait atomic.Int64
+	lockAcq  atomic.Int64
+	execTime atomic.Int64
+
+	// execCount, when CountExecutions, maps (v,p) to times executed.
+	execCount map[[2]int]int
+
+	panicOnce sync.Once
+	panicked  atomic.Value // first worker panic, re-raised by Drain/Stop
+}
+
+// New builds an engine over a numbered graph. mods[v-1] is the module
+// for vertex v; every vertex must have a module. The graph must have at
+// least one vertex (and hence, being a DAG, at least one source).
+func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if len(mods) != g.N() {
+		return nil, fmt.Errorf("core: %d modules for %d vertices", len(mods), g.N())
+	}
+	for i, m := range mods {
+		if m == nil {
+			return nil, fmt.Errorf("core: vertex %d has nil module", i+1)
+		}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	e := &Engine{
+		g:      g,
+		mods:   mods,
+		cfg:    cfg,
+		q:      runqueue.New[workItem](256),
+		phases: make(map[int]*phaseState),
+		vs:     make([]vertexState, g.N()),
+	}
+	e.cond.L = &e.mu
+	if so, ok := cfg.Observer.(SetObserver); ok {
+		e.setObs = so
+	}
+	if cfg.CountExecutions {
+		e.execCount = make(map[[2]int]int)
+	}
+	return e, nil
+}
+
+// Graph returns the engine's numbered graph.
+func (e *Engine) Graph() *graph.Numbered { return e.g }
+
+// lock acquires the global lock, recording wait time when configured.
+func (e *Engine) lock() {
+	if e.cfg.MeasureContention {
+		t0 := time.Now()
+		e.mu.Lock()
+		e.lockWait.Add(int64(time.Since(t0)))
+		e.lockAcq.Add(1)
+		return
+	}
+	e.mu.Lock()
+}
+
+// Start launches the worker pool. It may be called before or after the
+// first StartPhase; items enqueued earlier are picked up on start.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+	if e.cfg.Manual {
+		return
+	}
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.workers.Add(1)
+		go e.worker()
+	}
+}
+
+// StartPhase opens the next phase, delivering the given external
+// observations to source vertices, and returns the phase number. It is
+// one iteration of the environment process of Listing 2: every source
+// vertex receives its phase signal and joins the full set.
+func (e *Engine) StartPhase(ext []ExtInput) (int, error) {
+	for _, x := range ext {
+		if x.Vertex < 1 || x.Vertex > e.g.N() || !e.g.IsSource(x.Vertex) {
+			return 0, fmt.Errorf("core: external input for non-source vertex %d", x.Vertex)
+		}
+		if x.Port < 0 {
+			return 0, fmt.Errorf("core: external input for vertex %d on negative port", x.Vertex)
+		}
+	}
+	e.lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return 0, fmt.Errorf("core: engine stopped")
+	}
+	e.pmax++
+	p := e.pmax
+	ps := &phaseState{
+		x:       0,
+		partial: newBitset(e.g.N()),
+		full:    newBitset(e.g.N()),
+		inbox:   make(map[int][]portValue),
+	}
+	e.phases[p] = ps
+	if obs := e.cfg.Observer; obs != nil {
+		obs.PhaseStarted(p)
+	}
+	for _, x := range ext {
+		ps.inbox[x.Vertex] = append(ps.inbox[x.Vertex], portValue{x.Port, x.Val})
+	}
+	// Statement 2.12-2.15: all source pairs enter the full set;
+	// statements 2.16-2.19: those that are their vertex's minimum full
+	// phase become ready and are enqueued.
+	for s := 1; s <= e.g.Sources(); s++ {
+		ps.full.set(s)
+		if e.setObs != nil {
+			e.setObs.PairFull(s, p)
+		}
+		e.noteFull(s, p, ps)
+	}
+	return p, nil
+}
+
+// noteFull records that (v, p) has entered the full set and, when it is
+// v's minimum full phase and v has no pair in flight, moves it to the
+// ready set and enqueues it with its input snapshot. Caller holds mu and
+// has already inserted v into phases[p].full.
+func (e *Engine) noteFull(v, p int, ps *phaseState) {
+	vs := &e.vs[v-1]
+	// Phases enter a vertex's full set in strictly increasing order: if
+	// (v, q) with q > p were already full, all predecessors of v would
+	// have finished phase q, hence also phase p, so (v, p) would have
+	// been migrated or executed earlier. Guard the invariant cheaply.
+	if n := len(vs.fullPhases); n > 0 && vs.fullPhases[n-1] >= p {
+		panic(fmt.Sprintf("core: full phases out of order at vertex %d: %v then %d", v, vs.fullPhases, p))
+	}
+	vs.fullPhases = append(vs.fullPhases, p)
+	if !vs.inReady && vs.fullPhases[0] == p {
+		e.makeReady(v, p, ps)
+	}
+}
+
+// makeReady moves (v, p) — v's minimum full phase — into the ready set:
+// snapshots its inbox and enqueues it. Caller holds mu.
+func (e *Engine) makeReady(v, p int, ps *phaseState) {
+	e.vs[v-1].inReady = true
+	in := ps.inbox[v]
+	if in != nil {
+		delete(ps.inbox, v)
+	}
+	if e.setObs != nil {
+		e.setObs.PairReady(v, p)
+	}
+	if obs := e.cfg.Observer; obs != nil {
+		obs.PairEnqueued(v, p)
+	}
+	e.q.Enqueue(workItem{v: v, p: p, in: in})
+}
+
+// worker is one computation process (Listing 1).
+func (e *Engine) worker() {
+	defer e.workers.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicOnce.Do(func() {
+				e.panicked.Store(fmt.Sprintf("%v", r))
+				// Wake anyone blocked in WaitPhase/Drain so the panic
+				// surfaces instead of deadlocking the caller.
+				e.mu.Lock()
+				e.cond.Broadcast()
+				e.mu.Unlock()
+			})
+		}
+	}()
+	ctx := &Context{}
+	for {
+		it, ok := e.q.Dequeue()
+		if !ok {
+			return
+		}
+		e.execute(ctx, it)
+	}
+}
+
+// execute runs one dequeued pair: statements 1.3 (the computation,
+// outside the lock) and 1.4-1.31 (via finish).
+func (e *Engine) execute(ctx *Context, it workItem) {
+	v := it.v
+	obs := e.cfg.Observer
+	ctx.reset(v, it.p, e.g.InDegree(v), e.g.OutDegree(v))
+	for _, pv := range it.in {
+		ctx.deliver(pv.port, pv.val)
+	}
+	if obs != nil {
+		obs.ExecBegin(v, it.p)
+	}
+	if e.cfg.MeasureContention {
+		t0 := time.Now()
+		e.mods[v-1].Step(ctx)
+		e.execTime.Add(int64(time.Since(t0)))
+	} else {
+		e.mods[v-1].Step(ctx)
+	}
+	if obs != nil {
+		obs.ExecEnd(v, it.p, len(ctx.emits))
+	}
+	e.execs.Add(1)
+	e.finish(v, it.p, ctx.emits)
+}
+
+// StepOne executes the oldest ready pair on the calling goroutine,
+// reporting whether there was one. Requires Config.Manual.
+func (e *Engine) StepOne() bool {
+	if !e.cfg.Manual {
+		panic("core: StepOne requires Config.Manual")
+	}
+	it, ok := e.q.TryDequeue()
+	if !ok {
+		return false
+	}
+	var ctx Context
+	e.execute(&ctx, it)
+	return true
+}
+
+// StepPair executes the ready pair (v, p) on the calling goroutine,
+// reporting whether it was ready. Requires Config.Manual. Together with
+// StartPhase this reproduces any legal interleaving of the algorithm —
+// the trace of Figure 3 uses it to follow the paper's exact step order.
+func (e *Engine) StepPair(v, p int) bool {
+	if !e.cfg.Manual {
+		panic("core: StepPair requires Config.Manual")
+	}
+	it, ok := e.q.TakeFunc(func(w workItem) bool { return w.v == v && w.p == p })
+	if !ok {
+		return false
+	}
+	var ctx Context
+	e.execute(&ctx, it)
+	return true
+}
+
+// finish performs the locked bookkeeping of Listing 1 (statements
+// 1.4-1.31) after (v, p) has executed with the given emissions.
+func (e *Engine) finish(v, p int, emits []Emission) {
+	e.lock()
+	defer e.mu.Unlock()
+
+	ps := e.phases[p]
+	if ps == nil {
+		panic(fmt.Sprintf("core: finish(%d,%d) for closed phase", v, p))
+	}
+
+	// Statements 1.5-1.7: remove (v,p) from full and ready.
+	if !ps.full.clear(v) {
+		panic(fmt.Sprintf("core: executed pair (%d,%d) not in full set", v, p))
+	}
+	vs := &e.vs[v-1]
+	if !vs.inReady || len(vs.fullPhases) == 0 || vs.fullPhases[0] != p {
+		panic(fmt.Sprintf("core: ready bookkeeping corrupt at (%d,%d)", v, p))
+	}
+	vs.inReady = false
+	vs.fullPhases = vs.fullPhases[1:]
+	if e.setObs != nil {
+		e.setObs.PairDone(v, p)
+	}
+	if e.execCount != nil {
+		e.execCount[[2]int{v, p}]++
+	}
+
+	// Statements 1.8-1.11: deliver emissions; recipients join partial.
+	succ := e.g.Succ(v)
+	for _, em := range emits {
+		w := succ[em.Out]
+		port := e.g.PortOf(v, w)
+		ps.inbox[w] = append(ps.inbox[w], portValue{port, em.Val})
+		if ps.full.test(w) {
+			// Impossible: w has v as a predecessor and v only finished
+			// phase p now, so all of w's predecessors cannot already be
+			// ≤ x_p. Fail loudly rather than corrupt the execution.
+			panic(fmt.Sprintf("core: message for (%d,%d) which is already full", w, p))
+		}
+		if ps.partial.set(w) && e.setObs != nil {
+			e.setObs.PairPartial(w, p)
+		}
+		e.msgs++
+	}
+
+	// Statements 1.12-1.23: update frontiers from phase p upward. If x_i
+	// does not change, no later frontier can change either: only phase
+	// p's sets changed in this update, and x_{i+1} depends only on its
+	// own (unchanged) sets and the clamp against x_i.
+	changedLo, changedHi := 0, -1
+	for i := p; i <= e.pmax; i++ {
+		psI := e.phases[i]
+		var nx int
+		if psI.pending() > 0 {
+			nx = psI.minPending() - 1
+		} else {
+			nx = e.g.N()
+		}
+		if prev := e.xOf(i - 1); nx > prev {
+			nx = prev
+		}
+		if nx == psI.x {
+			break
+		}
+		if nx < psI.x {
+			panic(fmt.Sprintf("core: frontier regression at phase %d: %d -> %d", i, psI.x, nx))
+		}
+		psI.x = nx
+		if e.setObs != nil {
+			e.setObs.FrontierMoved(i, nx)
+		}
+		if changedHi < 0 {
+			changedLo = i
+		}
+		changedHi = i
+	}
+
+	// Statements 1.24-1.26: migrate newly full pairs, i.e. partial pairs
+	// (w, q) with w ≤ m(x_q), for the phases whose frontier moved; then
+	// statements 1.27-1.30: ready-check each.
+	for i := changedLo; i <= changedHi; i++ {
+		psI := e.phases[i]
+		hi := e.g.M(psI.x)
+		psI.partial.drainRange(0, hi, func(w int) {
+			psI.full.set(w)
+			if e.setObs != nil {
+				e.setObs.PairFull(w, i)
+			}
+			e.noteFull(w, i, psI)
+		})
+	}
+
+	// Statement 1.27 also covers the executed vertex's own next phase.
+	if !vs.inReady && len(vs.fullPhases) > 0 {
+		q := vs.fullPhases[0]
+		e.makeReady(v, q, e.phases[q])
+	}
+
+	// Advance the completed-phase prefix. x_p = N requires x_{p-1} = N,
+	// so completion is monotone in p and a simple scan suffices.
+	for {
+		next := e.phases[e.done+1]
+		if next == nil || next.x != e.g.N() {
+			break
+		}
+		if len(next.inbox) != 0 {
+			panic(fmt.Sprintf("core: phase %d completed with %d undelivered inboxes", e.done+1, len(next.inbox)))
+		}
+		delete(e.phases, e.done+1)
+		e.done++
+		if obs := e.cfg.Observer; obs != nil {
+			obs.PhaseCompleted(e.done)
+		}
+		e.cond.Broadcast()
+	}
+}
+
+// xOf returns x_i under the convention x_0 = N and x_i = N for every
+// completed phase. Caller holds mu.
+func (e *Engine) xOf(i int) int {
+	if i <= e.done {
+		return e.g.N()
+	}
+	return e.phases[i].x
+}
+
+// WaitPhase blocks until phase p has completed (x_p = N). It panics if a
+// worker panicked, propagating the failure to the caller.
+func (e *Engine) WaitPhase(p int) {
+	e.mu.Lock()
+	for e.done < p {
+		if msg := e.panicked.Load(); msg != nil {
+			e.mu.Unlock()
+			panic(fmt.Sprintf("core: worker panicked: %v", msg))
+		}
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// Drain blocks until every started phase has completed.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	p := e.pmax
+	e.mu.Unlock()
+	e.WaitPhase(p)
+}
+
+// Stop drains all started phases, shuts down the worker pool and waits
+// for it to exit. The engine cannot be restarted.
+func (e *Engine) Stop() {
+	e.Drain()
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		e.workers.Wait()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	e.q.Close()
+	e.workers.Wait()
+	if msg := e.panicked.Load(); msg != nil {
+		panic(fmt.Sprintf("core: worker panicked: %v", msg))
+	}
+}
+
+// Run starts the engine, feeds it the given per-phase external input
+// batches with MaxInFlight flow control, drains and stops. It returns
+// the engine stats. Run is the whole-computation convenience wrapper
+// used by examples, experiments and the sequential-equivalence tests.
+func (e *Engine) Run(batches [][]ExtInput) (Stats, error) {
+	e.Start()
+	for i, b := range batches {
+		p := i + 1
+		if w := p - e.cfg.MaxInFlight; w >= 1 {
+			e.WaitPhase(w)
+		}
+		if _, err := e.StartPhase(b); err != nil {
+			return Stats{}, err
+		}
+	}
+	e.Stop()
+	return e.Stats(), nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	msgs := e.msgs
+	done := int64(e.done)
+	e.mu.Unlock()
+	return Stats{
+		Executions:       e.execs.Load(),
+		Messages:         msgs,
+		PhasesCompleted:  done,
+		MaxQueueLen:      e.q.MaxLen(),
+		LockWait:         time.Duration(e.lockWait.Load()),
+		LockAcquisitions: e.lockAcq.Load(),
+		ExecTime:         time.Duration(e.execTime.Load()),
+	}
+}
+
+// ExecCount reports how many times (v, p) executed. Requires
+// Config.CountExecutions; used by the exactly-once tests.
+func (e *Engine) ExecCount(v, p int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execCount[[2]int{v, p}]
+}
+
+// ExecCounts returns a copy of the full execution-count map.
+func (e *Engine) ExecCounts() map[[2]int]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[[2]int]int, len(e.execCount))
+	for k, n := range e.execCount {
+		out[k] = n
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// buildRecorded constructs recorder-wrapped modules for graph ng using
+// factory to create the inner module of each vertex. Returns the module
+// slice and the recorders for later log comparison.
+func buildRecorded(ng *graph.Numbered, factory func(v int) core.Module) ([]core.Module, []*recorder) {
+	mods := make([]core.Module, ng.N())
+	recs := make([]*recorder, ng.N())
+	for v := 1; v <= ng.N(); v++ {
+		recs[v-1] = &recorder{inner: factory(v)}
+		mods[v-1] = recs[v-1]
+	}
+	return mods, recs
+}
+
+// mixedFactory gives vertex v deterministic pseudo-random behavior:
+// sources emit sparsely, interior vertices are a mix of always-forward
+// and sparse-forward stateful hashers.
+func mixedFactory(ng *graph.Numbered, seed uint64) func(v int) core.Module {
+	return func(v int) core.Module {
+		h := mix64(seed ^ uint64(v))
+		if ng.IsSource(v) {
+			return &srcSparse{seed: h, num: 1 + h%4, den: 4} // fire 25-100% of phases
+		}
+		if h%3 == 0 {
+			return &sparseMod{hashMod: hashMod{seed: h}, num: 1 + h%3, den: 3}
+		}
+		return &hashMod{seed: h}
+	}
+}
+
+func runEngine(t *testing.T, ng *graph.Numbered, mods []core.Module, cfg core.Config, batches [][]core.ExtInput) core.Stats {
+	t.Helper()
+	e, err := core.New(ng, mods, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := e.Run(batches)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st
+}
+
+func TestNewValidation(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	if _, err := core.New(ng, []core.Module{&srcEvery{}}, core.Config{}); err == nil {
+		t.Error("module count mismatch accepted")
+	}
+	if _, err := core.New(ng, []core.Module{&srcEvery{}, nil}, core.Config{}); err == nil {
+		t.Error("nil module accepted")
+	}
+	empty, _ := graph.New().Number()
+	if _, err := core.New(empty, nil, core.Config{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestStartPhaseValidation(t *testing.T) {
+	ng, _ := graph.Chain(3).Number()
+	e, _ := core.New(ng, []core.Module{&srcEvery{}, &hashMod{}, &hashMod{}}, core.Config{})
+	if _, err := e.StartPhase([]core.ExtInput{{Vertex: 2, Port: 0, Val: event.Int(1)}}); err == nil {
+		t.Error("external input to non-source accepted")
+	}
+	if _, err := e.StartPhase([]core.ExtInput{{Vertex: 0, Port: 0}}); err == nil {
+		t.Error("vertex 0 accepted")
+	}
+	if _, err := e.StartPhase([]core.ExtInput{{Vertex: 1, Port: -1}}); err == nil {
+		t.Error("negative port accepted")
+	}
+	e.Start()
+	if _, err := e.StartPhase(nil); err != nil {
+		t.Errorf("valid StartPhase: %v", err)
+	}
+	e.Stop()
+	if _, err := e.StartPhase(nil); err == nil {
+		t.Error("StartPhase after Stop accepted")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	ng, _ := graph.New().Number()
+	_ = ng
+	g := graph.New()
+	g.AddVertex("solo")
+	n, _ := g.Number()
+	mods, recs := buildRecorded(n, func(v int) core.Module { return &srcEvery{seed: 7} })
+	st := runEngine(t, n, mods, core.Config{Workers: 2}, make([][]core.ExtInput, 5))
+	if st.Executions != 5 {
+		t.Errorf("executions = %d, want 5", st.Executions)
+	}
+	if st.PhasesCompleted != 5 {
+		t.Errorf("phases = %d, want 5", st.PhasesCompleted)
+	}
+	if len(recs[0].log) != 5 {
+		t.Errorf("solo vertex executed %d times", len(recs[0].log))
+	}
+	for i, e := range recs[0].log {
+		if e.phase != i+1 {
+			t.Errorf("execution %d at phase %d", i, e.phase)
+		}
+	}
+}
+
+func TestDiamondPropagation(t *testing.T) {
+	ng, _ := graph.Diamond().Number()
+	mods, recs := buildRecorded(ng, func(v int) core.Module {
+		if ng.IsSource(v) {
+			return &srcEvery{seed: 3}
+		}
+		return &hashMod{seed: uint64(v)}
+	})
+	st := runEngine(t, ng, mods, core.Config{Workers: 4}, make([][]core.ExtInput, 10))
+	// Source fires every phase → everyone executes every phase.
+	if st.Executions != 40 {
+		t.Errorf("executions = %d, want 40", st.Executions)
+	}
+	// sink must have received messages on both ports each phase
+	sinkLog := recs[3].log
+	if len(sinkLog) != 10 {
+		t.Fatalf("sink executed %d times, want 10", len(sinkLog))
+	}
+	for _, e := range sinkLog {
+		if len(e.ports) != 2 {
+			t.Errorf("phase %d: sink saw %d ports, want 2", e.phase, len(e.ports))
+		}
+	}
+}
+
+func TestExternalInputsReachSource(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	mods, recs := buildRecorded(ng, func(v int) core.Module {
+		if v == 1 {
+			return &srcExt{}
+		}
+		return &hashMod{seed: 9}
+	})
+	batches := [][]core.ExtInput{
+		{{Vertex: 1, Port: 0, Val: event.Int(10)}, {Vertex: 1, Port: 1, Val: event.Int(5)}},
+		{}, // nothing external: source executes (phase signal) but stays silent
+		{{Vertex: 1, Port: 0, Val: event.Int(7)}},
+	}
+	runEngine(t, ng, mods, core.Config{Workers: 2}, batches)
+	srcLog := recs[0].log
+	if len(srcLog) != 3 {
+		t.Fatalf("source executed %d times, want 3 (every phase)", len(srcLog))
+	}
+	if len(srcLog[0].emits) != 1 {
+		t.Fatalf("phase 1: source emitted %d", len(srcLog[0].emits))
+	}
+	if got, _ := srcLog[0].emits[0].Val.AsInt(); got != 15 {
+		t.Errorf("phase 1 emission = %d, want 15", got)
+	}
+	if len(srcLog[1].emits) != 0 {
+		t.Errorf("phase 2: source emitted despite no external input")
+	}
+	// downstream executed only on phases 1 and 3
+	relayLog := recs[1].log
+	if len(relayLog) != 2 || relayLog[0].phase != 1 || relayLog[1].phase != 3 {
+		t.Errorf("relay executed at phases %v, want [1 3]", phasesOf(relayLog))
+	}
+}
+
+func phasesOf(log []recEntry) []int {
+	var ps []int
+	for _, e := range log {
+		ps = append(ps, e.phase)
+	}
+	return ps
+}
+
+// TestSerializabilityFixedGraphs compares parallel and sequential
+// executions, vertex by vertex and phase by phase, on the named example
+// topologies.
+func TestSerializabilityFixedGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 20))
+	builders := map[string]func() *graph.Graph{
+		"chain":    func() *graph.Graph { return graph.Chain(12) },
+		"diamond":  graph.Diamond,
+		"figure1":  graph.Figure1,
+		"figure3":  graph.Figure3,
+		"fanoutin": func() *graph.Graph { return graph.FanOutIn(8) },
+		"tree":     func() *graph.Graph { return graph.FanInTree(16, 2) },
+		"layered":  func() *graph.Graph { return graph.Layered(5, 6, 2, rng) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			ng, err := build().Number()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := uint64(len(name)) * 0x1234567
+			const phases = 60
+			batches := make([][]core.ExtInput, phases)
+
+			seqMods, seqRecs := buildRecorded(ng, mixedFactory(ng, seed))
+			if _, err := baseline.Sequential(ng, seqMods, batches); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				parMods, parRecs := buildRecorded(ng, mixedFactory(ng, seed))
+				runEngine(t, ng, parMods, core.Config{Workers: workers, MaxInFlight: 7}, batches)
+				for v := 1; v <= ng.N(); v++ {
+					if !sameLogs(seqRecs[v-1].log, parRecs[v-1].log) {
+						t.Fatalf("workers=%d vertex %d: parallel log differs from sequential", workers, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSerializabilityRandomGraphs is the main property test: across many
+// random topologies, sparsities and worker counts, every vertex's
+// execution log under the parallel engine equals the sequential oracle's.
+func TestSerializabilityRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 88))
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.IntN(40)
+		p := rng.Float64() * 0.25
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = graph.Random(n, p, rng)
+		} else {
+			g = graph.RandomConnected(n, p, rng)
+		}
+		ng, err := g.Number()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := rng.Uint64()
+		phases := 10 + rng.IntN(40)
+		batches := make([][]core.ExtInput, phases)
+		// sprinkle external inputs on random sources
+		for i := range batches {
+			for s := 1; s <= ng.Sources(); s++ {
+				if rng.IntN(3) == 0 {
+					batches[i] = append(batches[i], core.ExtInput{
+						Vertex: s, Port: 0, Val: event.Int(int64(rng.IntN(1000))),
+					})
+				}
+			}
+		}
+		seqMods, seqRecs := buildRecorded(ng, mixedFactory(ng, seed))
+		if _, err := baseline.Sequential(ng, seqMods, batches); err != nil {
+			t.Fatal(err)
+		}
+		workers := 1 + rng.IntN(12)
+		inFlight := 1 + rng.IntN(10)
+		parMods, parRecs := buildRecorded(ng, mixedFactory(ng, seed))
+		parMods2 := parMods
+		e, err := core.New(ng, parMods2, core.Config{Workers: workers, MaxInFlight: inFlight, CountExecutions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(batches); err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v <= ng.N(); v++ {
+			if !sameLogs(seqRecs[v-1].log, parRecs[v-1].log) {
+				t.Fatalf("trial %d (n=%d workers=%d): vertex %d log mismatch", trial, n, workers, v)
+			}
+		}
+		// exactly-once: every recorded execution has count exactly 1, and
+		// counts agree with the recorder logs.
+		counts := e.ExecCounts()
+		for k, c := range counts {
+			if c != 1 {
+				t.Fatalf("trial %d: pair (%d,%d) executed %d times", trial, k[0], k[1], c)
+			}
+		}
+		total := 0
+		for v := 1; v <= ng.N(); v++ {
+			total += len(parRecs[v-1].log)
+			for _, entry := range parRecs[v-1].log {
+				if counts[[2]int{v, entry.phase}] != 1 {
+					t.Fatalf("trial %d: recorded execution (%d,%d) missing from counts", trial, v, entry.phase)
+				}
+			}
+		}
+		if total != len(counts) {
+			t.Fatalf("trial %d: %d recorded executions but %d counted pairs", trial, total, len(counts))
+		}
+	}
+}
+
+// TestExactlyOnceSourcePairs: sources execute exactly once per phase
+// regardless of emission behavior (the phase signal of §3.1.2).
+func TestExactlyOnceSourcePairs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	ng, _ := graph.Layered(3, 4, 2, rng).Number()
+	mods, _ := buildRecorded(ng, func(v int) core.Module {
+		if ng.IsSource(v) {
+			return &srcSparse{seed: uint64(v), num: 1, den: 10} // mostly silent
+		}
+		return &hashMod{seed: uint64(v)}
+	})
+	const phases = 50
+	e, err := core.New(ng, mods, core.Config{Workers: 6, CountExecutions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(make([][]core.ExtInput, phases)); err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= ng.Sources(); s++ {
+		for p := 1; p <= phases; p++ {
+			if c := e.ExecCount(s, p); c != 1 {
+				t.Fatalf("source %d phase %d executed %d times", s, p, c)
+			}
+		}
+	}
+}
+
+// TestQuiescentPhasesComplete: phases where nothing emits still complete
+// (information conveyed by absence of messages).
+func TestQuiescentPhasesComplete(t *testing.T) {
+	ng, _ := graph.Chain(5).Number()
+	mods := make([]core.Module, 5)
+	mods[0] = core.StepFunc(func(ctx *core.Context) {}) // silent source
+	for i := 1; i < 5; i++ {
+		mods[i] = &hashMod{}
+	}
+	st := runEngine(t, ng, mods, core.Config{Workers: 3}, make([][]core.ExtInput, 20))
+	if st.PhasesCompleted != 20 {
+		t.Errorf("phases completed = %d, want 20", st.PhasesCompleted)
+	}
+	if st.Executions != 20 { // only the source's phase signals
+		t.Errorf("executions = %d, want 20", st.Executions)
+	}
+	if st.Messages != 0 {
+		t.Errorf("messages = %d, want 0", st.Messages)
+	}
+}
+
+// TestPipelining: with a deep chain, slow vertices and several workers,
+// multiple phases must be in flight concurrently (Figure 1's behavior).
+func TestPipelining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	ng, _ := graph.Chain(8).Number()
+	probe := newDepthProbe()
+	mods := make([]core.Module, 8)
+	for v := 1; v <= 8; v++ {
+		if ng.IsSource(v) {
+			mods[v-1] = &srcEvery{seed: 1}
+		} else {
+			mods[v-1] = &spinMod{hashMod: hashMod{seed: uint64(v)}, loops: 200000}
+		}
+	}
+	e, err := core.New(ng, mods, core.Config{Workers: 8, MaxInFlight: 16, Observer: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(make([][]core.ExtInput, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if d := probe.MaxDepth(); d < 2 {
+		t.Errorf("max concurrent phases = %d, want >= 2 (pipelining)", d)
+	}
+}
+
+// TestWaitPhaseOrdering: WaitPhase(p) returns only after phases 1..p all
+// completed; phase completion is monotone.
+func TestWaitPhaseOrdering(t *testing.T) {
+	ng, _ := graph.Chain(4).Number()
+	completed := make(chan int, 100)
+	obs := phaseObserver{completed: completed}
+	mods := make([]core.Module, 4)
+	mods[0] = &srcEvery{seed: 2}
+	for i := 1; i < 4; i++ {
+		mods[i] = &hashMod{seed: uint64(i)}
+	}
+	e, err := core.New(ng, mods, core.Config{Workers: 4, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	for i := 0; i < 10; i++ {
+		if _, err := e.StartPhase(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.WaitPhase(5)
+	e.Stop()
+	close(completed)
+	prev := 0
+	for p := range completed {
+		if p != prev+1 {
+			t.Fatalf("phase %d completed after %d", p, prev)
+		}
+		prev = p
+	}
+	if prev != 10 {
+		t.Errorf("last completed phase = %d, want 10", prev)
+	}
+}
+
+type phaseObserver struct{ completed chan int }
+
+func (o phaseObserver) PhaseStarted(p int)            {}
+func (o phaseObserver) PairEnqueued(v, p int)         {}
+func (o phaseObserver) ExecBegin(v, p int)            {}
+func (o phaseObserver) ExecEnd(v, p int, emitted int) {}
+func (o phaseObserver) PhaseCompleted(p int)          { o.completed <- p }
+
+// TestWorkerPanicPropagates: a panicking module surfaces in Stop/Drain
+// rather than deadlocking.
+func TestWorkerPanicPropagates(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	mods := []core.Module{
+		core.StepFunc(func(ctx *core.Context) { panic("module exploded") }),
+		&hashMod{},
+	}
+	e, err := core.New(ng, mods, core.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated")
+		}
+		if !strings.Contains(r.(string), "module exploded") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e.Start()
+	_, _ = e.StartPhase(nil)
+	e.Drain()
+}
+
+// TestStopIdempotent: calling Stop twice must not hang or panic.
+func TestStopIdempotent(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	mods := []core.Module{&srcEvery{seed: 1}, &hashMod{}}
+	e, _ := core.New(ng, mods, core.Config{Workers: 2})
+	e.Start()
+	_, _ = e.StartPhase(nil)
+	e.Stop()
+	e.Stop()
+}
+
+// TestStatsAccounting: messages and executions match what the recorders
+// saw; queue high-water mark is sane.
+func TestStatsAccounting(t *testing.T) {
+	ng, _ := graph.FanOutIn(6).Number()
+	mods, recs := buildRecorded(ng, func(v int) core.Module {
+		if ng.IsSource(v) {
+			return &srcEvery{seed: 4}
+		}
+		return &hashMod{seed: uint64(v)}
+	})
+	st := runEngine(t, ng, mods, core.Config{Workers: 4}, make([][]core.ExtInput, 25))
+	var execs, msgs int64
+	for _, r := range recs {
+		execs += int64(len(r.log))
+		for _, e := range r.log {
+			msgs += int64(len(e.emits))
+		}
+	}
+	// every emission lands on exactly one edge here (EmitAll over
+	// distinct out edges)
+	var expectedMsgs int64
+	for _, r := range recs {
+		for _, e := range r.log {
+			expectedMsgs += int64(len(e.emits))
+		}
+	}
+	_ = msgs
+	if st.Executions != execs {
+		t.Errorf("Stats.Executions = %d, recorders saw %d", st.Executions, execs)
+	}
+	if st.Messages != expectedMsgs {
+		t.Errorf("Stats.Messages = %d, recorders emitted %d", st.Messages, expectedMsgs)
+	}
+	if st.MaxQueueLen < 1 {
+		t.Errorf("MaxQueueLen = %d", st.MaxQueueLen)
+	}
+	if st.PhasesCompleted != 25 {
+		t.Errorf("PhasesCompleted = %d", st.PhasesCompleted)
+	}
+}
+
+// TestContentionMeasurement: with MeasureContention on, lock and exec
+// timing counters populate.
+func TestContentionMeasurement(t *testing.T) {
+	ng, _ := graph.Chain(4).Number()
+	mods := make([]core.Module, 4)
+	mods[0] = &srcEvery{seed: 9}
+	for i := 1; i < 4; i++ {
+		mods[i] = &spinMod{hashMod: hashMod{seed: uint64(i)}, loops: 10000}
+	}
+	e, _ := core.New(ng, mods, core.Config{Workers: 4, MeasureContention: true})
+	if _, err := e.Run(make([][]core.ExtInput, 30)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.LockAcquisitions == 0 {
+		t.Error("no lock acquisitions recorded")
+	}
+	if st.ExecTime == 0 {
+		t.Error("no exec time recorded")
+	}
+}
+
+// TestMaxInFlightRespected: with MaxInFlight=1, phase p+1 never starts
+// before phase p completes, so depth probe sees at most 1 phase.
+func TestMaxInFlightRespected(t *testing.T) {
+	ng, _ := graph.Chain(5).Number()
+	probe := newDepthProbe()
+	mods := make([]core.Module, 5)
+	mods[0] = &srcEvery{seed: 3}
+	for i := 1; i < 5; i++ {
+		mods[i] = &hashMod{seed: uint64(i)}
+	}
+	e, _ := core.New(ng, mods, core.Config{Workers: 8, MaxInFlight: 1, Observer: probe})
+	if _, err := e.Run(make([][]core.ExtInput, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if d := probe.MaxDepth(); d != 1 {
+		t.Errorf("max depth = %d with MaxInFlight=1, want 1", d)
+	}
+}
+
+// TestManyPhasesStress drives a moderate graph through many phases with
+// high worker counts as a liveness smoke test.
+func TestManyPhasesStress(t *testing.T) {
+	phases := 2000
+	if testing.Short() {
+		phases = 200
+	}
+	rng := rand.New(rand.NewPCG(1, 9))
+	ng, _ := graph.Layered(6, 8, 3, rng).Number()
+	mods, _ := buildRecorded(ng, mixedFactory(ng, 0xabcdef))
+	st := runEngine(t, ng, mods, core.Config{Workers: 16, MaxInFlight: 32}, make([][]core.ExtInput, phases))
+	if st.PhasesCompleted != int64(phases) {
+		t.Errorf("completed %d of %d phases", st.PhasesCompleted, phases)
+	}
+}

@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// TestMultiPortExternalInputs: a source can receive several external
+// observations on distinct ports in one phase; the context widens beyond
+// the graph in-degree (zero, for sources) and delivers each port.
+func TestMultiPortExternalInputs(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	var seen [][]float64
+	src := core.StepFunc(func(ctx *core.Context) {
+		var row []float64
+		for p := 0; p < ctx.Ports(); p++ {
+			if v, ok := ctx.In(p); ok {
+				x, _ := v.AsFloat()
+				row = append(row, float64(p)*1000+x)
+			}
+		}
+		if row != nil {
+			seen = append(seen, row)
+		}
+	})
+	sink := core.StepFunc(func(ctx *core.Context) {})
+	e, err := core.New(ng, []core.Module{src, sink}, core.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]core.ExtInput{{
+		{Vertex: 1, Port: 0, Val: event.Float(1)},
+		{Vertex: 1, Port: 3, Val: event.Float(2)},
+	}}
+	if _, err := e.Run(batches); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || len(seen[0]) != 2 {
+		t.Fatalf("seen = %v", seen)
+	}
+	if seen[0][0] != 1 || seen[0][1] != 3002 {
+		t.Errorf("ports/values = %v, want [1 3002]", seen[0])
+	}
+}
+
+// TestLatePortOverwrite: two external values on the same port in one
+// phase — the later one wins (one message per edge per phase).
+func TestSamePortOverwrite(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	var got float64
+	src := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.In(0); ok {
+			got, _ = v.AsFloat()
+		}
+	})
+	e, _ := core.New(ng, []core.Module{src, core.StepFunc(func(*core.Context) {})}, core.Config{})
+	batches := [][]core.ExtInput{{
+		{Vertex: 1, Port: 0, Val: event.Float(1)},
+		{Vertex: 1, Port: 0, Val: event.Float(9)},
+	}}
+	if _, err := e.Run(batches); err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("got %g, want 9 (later value wins)", got)
+	}
+}
+
+// TestZeroPhaseRun: running with no phases at all terminates cleanly.
+func TestZeroPhaseRun(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	e, _ := core.New(ng, []core.Module{&srcEvery{}, &hashMod{}}, core.Config{Workers: 3})
+	st, err := e.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executions != 0 || st.PhasesCompleted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestHugeFanInOut: a single source feeding 200 parallel vertices that
+// join into one sink stresses the bitset paths across word boundaries.
+func TestHugeFanInOut(t *testing.T) {
+	const width = 200
+	ng, err := graph.FanOutIn(width).Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := make([][]core.ExtInput, 30)
+	seqMods, seqRecs := buildRecorded(ng, mixedFactory(ng, 0xFA))
+	if _, err := baseline.Sequential(ng, seqMods, batches); err != nil {
+		t.Fatal(err)
+	}
+	parMods, parRecs := buildRecorded(ng, mixedFactory(ng, 0xFA))
+	e, err := core.New(ng, parMods, core.Config{Workers: 16, MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(batches); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= ng.N(); v++ {
+		if !sameLogs(seqRecs[v-1].log, parRecs[v-1].log) {
+			t.Fatalf("vertex %d diverged on wide graph", v)
+		}
+	}
+}
+
+// TestWaitPhaseZero returns immediately.
+func TestWaitPhaseZero(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	e, _ := core.New(ng, []core.Module{&srcEvery{}, &hashMod{}}, core.Config{})
+	e.WaitPhase(0) // must not block
+	e.Stop()
+}

@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// readyShadow mirrors the engine's run queue through observer callbacks
+// so a test can pick an arbitrary ready pair to execute next. Used with
+// Manual mode to explore adversarial interleavings that a worker pool
+// would be unlikely to produce.
+type readyShadow struct {
+	mu    sync.Mutex
+	ready [][2]int
+}
+
+func (s *readyShadow) PhaseStarted(p int)   {}
+func (s *readyShadow) PhaseCompleted(p int) {}
+func (s *readyShadow) ExecBegin(v, p int)   {}
+func (s *readyShadow) ExecEnd(v, p, e int)  {}
+
+func (s *readyShadow) PairEnqueued(v, p int) {
+	s.mu.Lock()
+	s.ready = append(s.ready, [2]int{v, p})
+	s.mu.Unlock()
+}
+
+func (s *readyShadow) take(i int) [2]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pair := s.ready[i]
+	s.ready = append(s.ready[:i], s.ready[i+1:]...)
+	return pair
+}
+
+func (s *readyShadow) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ready)
+}
+
+// TestAdversarialInterleavings drives random graphs through random
+// legal schedules — at each step either starting the next phase or
+// executing a uniformly chosen ready pair — and checks every vertex's
+// log against the sequential oracle.
+func TestAdversarialInterleavings(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 6))
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.IntN(25)
+		g := graph.RandomConnected(n, rng.Float64()*0.3, rng)
+		ng, err := g.Number()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := rng.Uint64()
+		phases := 5 + rng.IntN(25)
+		batches := make([][]core.ExtInput, phases)
+
+		seqMods, seqRecs := buildRecorded(ng, mixedFactory(ng, seed))
+		if _, err := baseline.Sequential(ng, seqMods, batches); err != nil {
+			t.Fatal(err)
+		}
+
+		shadow := &readyShadow{}
+		parMods, parRecs := buildRecorded(ng, mixedFactory(ng, seed))
+		eng, err := core.New(ng, parMods, core.Config{Manual: true, Observer: shadow, CountExecutions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		started := 0
+		for {
+			canStart := started < phases
+			canStep := shadow.size() > 0
+			if !canStart && !canStep {
+				break
+			}
+			// bias toward opening many phases early in some trials, and
+			// toward draining in others
+			startBias := 0.2 + 0.6*float64(trial%4)/3.0
+			if canStart && (!canStep || rng.Float64() < startBias) {
+				if _, err := eng.StartPhase(batches[started]); err != nil {
+					t.Fatal(err)
+				}
+				started++
+				continue
+			}
+			pair := shadow.take(rng.IntN(shadow.size()))
+			if !eng.StepPair(pair[0], pair[1]) {
+				t.Fatalf("trial %d: ready pair (%d,%d) refused", trial, pair[0], pair[1])
+			}
+		}
+		for v := 1; v <= ng.N(); v++ {
+			if !sameLogs(seqRecs[v-1].log, parRecs[v-1].log) {
+				t.Fatalf("trial %d (n=%d phases=%d): vertex %d diverged under adversarial schedule",
+					trial, n, phases, v)
+			}
+		}
+		for k, c := range eng.ExecCounts() {
+			if c != 1 {
+				t.Fatalf("trial %d: pair %v executed %d times", trial, k, c)
+			}
+		}
+	}
+}
+
+// TestInterleavingQuick is the testing/quick form: any (seed, shape)
+// tuple yields oracle-identical behavior under a seed-derived schedule.
+func TestInterleavingQuick(t *testing.T) {
+	f := func(seed uint64, nRaw, phRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x5eed))
+		n := 2 + int(nRaw%15)
+		phases := 1 + int(phRaw%12)
+		ng, err := graph.RandomConnected(n, 0.25, rng).Number()
+		if err != nil {
+			return false
+		}
+		batches := make([][]core.ExtInput, phases)
+		seqMods, seqRecs := buildRecorded(ng, mixedFactory(ng, seed))
+		if _, err := baseline.Sequential(ng, seqMods, batches); err != nil {
+			return false
+		}
+		shadow := &readyShadow{}
+		parMods, parRecs := buildRecorded(ng, mixedFactory(ng, seed))
+		eng, err := core.New(ng, parMods, core.Config{Manual: true, Observer: shadow})
+		if err != nil {
+			return false
+		}
+		started := 0
+		for started < phases || shadow.size() > 0 {
+			if started < phases && (shadow.size() == 0 || rng.IntN(2) == 0) {
+				if _, err := eng.StartPhase(nil); err != nil {
+					return false
+				}
+				started++
+				continue
+			}
+			pair := shadow.take(rng.IntN(shadow.size()))
+			if !eng.StepPair(pair[0], pair[1]) {
+				return false
+			}
+		}
+		for v := 1; v <= ng.N(); v++ {
+			if !sameLogs(seqRecs[v-1].log, parRecs[v-1].log) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestManualModeBasics covers the manual-stepping API surface itself.
+func TestManualModeBasics(t *testing.T) {
+	ng, _ := graph.Chain(3).Number()
+	relay := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+	src := core.StepFunc(func(ctx *core.Context) { ctx.EmitAll(event.Int(int64(ctx.Phase()))) })
+	eng, err := core.New(ng, []core.Module{src, relay, relay}, core.Config{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.StepOne() {
+		t.Error("StepOne on empty queue succeeded")
+	}
+	if eng.StepPair(1, 1) {
+		t.Error("StepPair before phase start succeeded")
+	}
+	if _, err := eng.StartPhase(nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.StepPair(2, 1) {
+		t.Error("StepPair for not-yet-ready pair succeeded")
+	}
+	for i := 0; i < 3; i++ {
+		if !eng.StepOne() {
+			t.Fatalf("StepOne %d failed", i)
+		}
+	}
+	if st := eng.Stats(); st.PhasesCompleted != 1 || st.Executions != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Start() in manual mode spawns nothing; Stop still works.
+	eng.Start()
+	eng.Stop()
+}
+
+func TestStepOnePanicsWithoutManual(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	eng, _ := core.New(ng, []core.Module{&srcEvery{}, &hashMod{}}, core.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("StepOne without Manual did not panic")
+		}
+	}()
+	eng.StepOne()
+}
+
+func TestStepPairPanicsWithoutManual(t *testing.T) {
+	ng, _ := graph.Chain(2).Number()
+	eng, _ := core.New(ng, []core.Module{&srcEvery{}, &hashMod{}}, core.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("StepPair without Manual did not panic")
+		}
+	}()
+	eng.StepPair(1, 1)
+}

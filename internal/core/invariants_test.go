@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// invariantChecker is a SetObserver that verifies, at every transition,
+// the algorithm's structural invariants:
+//
+//   - x_p never decreases, and never exceeds x_{p-1} (the §3.1.2 clamp
+//     that stops later phases overtaking earlier ones);
+//   - a pair enters full at most once, ready at most once, done at most
+//     once, and only in the order partial? → full → ready → done;
+//   - a pair never becomes ready while an earlier-phase pair for the
+//     same vertex is still ready;
+//   - phases complete in order.
+//
+// All callbacks run under the engine lock, so plain fields suffice; the
+// mutex is for the final assertions read from the test goroutine.
+type invariantChecker struct {
+	t  *testing.T
+	n  int
+	mu sync.Mutex
+
+	x          map[int]int
+	pmax       int
+	completed  int
+	stateOf    map[[2]int]int // 0 none, 1 partial, 2 full, 3 ready, 4 done
+	readyPhase map[int]int    // vertex -> phase currently in ready (0 none)
+	violations []string
+}
+
+func newInvariantChecker(t *testing.T, n int) *invariantChecker {
+	return &invariantChecker{
+		t: t, n: n,
+		x:          map[int]int{},
+		stateOf:    map[[2]int]int{},
+		readyPhase: map[int]int{},
+	}
+}
+
+func (c *invariantChecker) fail(format string, args ...any) {
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+func (c *invariantChecker) PhaseStarted(p int) {
+	if p != c.pmax+1 {
+		c.fail("phase %d started after %d", p, c.pmax)
+	}
+	c.pmax = p
+	c.x[p] = 0
+}
+
+func (c *invariantChecker) PhaseCompleted(p int) {
+	if p != c.completed+1 {
+		c.fail("phase %d completed after %d", p, c.completed)
+	}
+	c.completed = p
+	if c.x[p] != c.n {
+		c.fail("phase %d completed with x=%d", p, c.x[p])
+	}
+}
+
+func (c *invariantChecker) FrontierMoved(p, x int) {
+	if x < c.x[p] {
+		c.fail("x_%d regressed %d -> %d", p, c.x[p], x)
+	}
+	prev := c.n // x_0 = N; completed phases are N
+	if p-1 > c.completed {
+		prev = c.x[p-1]
+	}
+	if x > prev {
+		c.fail("x_%d = %d overtakes x_%d = %d", p, x, p-1, prev)
+	}
+	c.x[p] = x
+}
+
+func (c *invariantChecker) PairPartial(v, p int) {
+	k := [2]int{v, p}
+	if s := c.stateOf[k]; s != 0 && s != 1 {
+		c.fail("(%d,%d) entered partial from state %d", v, p, s)
+	}
+	c.stateOf[k] = 1
+}
+
+func (c *invariantChecker) PairFull(v, p int) {
+	k := [2]int{v, p}
+	if s := c.stateOf[k]; s >= 2 {
+		c.fail("(%d,%d) entered full twice (state %d)", v, p, s)
+	}
+	c.stateOf[k] = 2
+}
+
+func (c *invariantChecker) PairReady(v, p int) {
+	k := [2]int{v, p}
+	if c.stateOf[k] != 2 {
+		c.fail("(%d,%d) ready from state %d", v, p, c.stateOf[k])
+	}
+	if q := c.readyPhase[v]; q != 0 {
+		c.fail("(%d,%d) ready while (%d,%d) still ready", v, p, v, q)
+	}
+	c.stateOf[k] = 3
+	c.readyPhase[v] = p
+}
+
+func (c *invariantChecker) PairDone(v, p int) {
+	k := [2]int{v, p}
+	if c.stateOf[k] != 3 {
+		c.fail("(%d,%d) done from state %d", v, p, c.stateOf[k])
+	}
+	if c.readyPhase[v] != p {
+		c.fail("(%d,%d) done but ready phase is %d", v, p, c.readyPhase[v])
+	}
+	c.stateOf[k] = 4
+	c.readyPhase[v] = 0
+}
+
+func (c *invariantChecker) PairEnqueued(v, p int)         {}
+func (c *invariantChecker) ExecBegin(v, p int)            {}
+func (c *invariantChecker) ExecEnd(v, p int, emitted int) {}
+
+func (c *invariantChecker) check() {
+	for _, v := range c.violations {
+		c.t.Error(v)
+	}
+}
+
+// TestEngineInvariantsUnderLoad runs random workloads with the checker
+// attached and many workers.
+func TestEngineInvariantsUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 41))
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.IntN(30)
+		ng, err := graph.RandomConnected(n, rng.Float64()*0.3, rng).Number()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := newInvariantChecker(t, ng.N())
+		mods, _ := buildRecorded(ng, mixedFactory(ng, rng.Uint64()))
+		eng, err := core.New(ng, mods, core.Config{
+			Workers:     1 + rng.IntN(10),
+			MaxInFlight: 1 + rng.IntN(12),
+			Observer:    chk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases := 10 + rng.IntN(50)
+		if _, err := eng.Run(make([][]core.ExtInput, phases)); err != nil {
+			t.Fatal(err)
+		}
+		chk.mu.Lock()
+		chk.check()
+		if chk.completed != phases {
+			t.Errorf("trial %d: completed %d of %d phases", trial, chk.completed, phases)
+		}
+		// every pair that entered any set ended done
+		for k, s := range chk.stateOf {
+			if s != 4 {
+				t.Errorf("trial %d: pair %v ended in state %d", trial, k, s)
+			}
+		}
+		chk.mu.Unlock()
+	}
+}
+
+// TestEngineInvariantsFigure3 runs the checker over the exact Figure 3
+// interleaving (manual mode) as a focused sanity case.
+func TestEngineInvariantsFigure3(t *testing.T) {
+	ng, _ := graph.Figure3().Number()
+	chk := newInvariantChecker(t, ng.N())
+	relay := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+	emitOn := func(ph map[int]bool) core.Module {
+		return core.StepFunc(func(ctx *core.Context) {
+			if ph[ctx.Phase()] {
+				ctx.EmitAll(event.Int(1))
+			}
+		})
+	}
+	mods := []core.Module{
+		emitOn(map[int]bool{1: true}),
+		emitOn(map[int]bool{1: true, 2: true}),
+		relay, relay, relay, relay,
+	}
+	eng, err := core.New(ng, mods, core.Config{Manual: true, Observer: chk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := eng.StartPhase(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for eng.StepOne() {
+	}
+	chk.check()
+	if chk.completed != 2 {
+		t.Errorf("completed = %d", chk.completed)
+	}
+}

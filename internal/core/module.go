@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Module is one computational vertex of a correlation graph: a model,
+// detector or other computation that consumes input changes and may emit
+// output changes (Δ-dataflow). The engine guarantees that for any single
+// module, Step calls are strictly ordered by phase and never concurrent,
+// so a Module may keep unsynchronized internal state. It must be a
+// deterministic function of that state and its inputs for executions to
+// be serializable and reproducible.
+type Module interface {
+	// Step executes one phase. The engine calls Step exactly once per
+	// phase in which at least one input changed — and, for source
+	// vertices, exactly once per phase (the paper's "phase signal").
+	// Inputs that did not change this phase read as absent: absence of a
+	// message conveys "assumption still holds".
+	Step(ctx *Context)
+}
+
+// Context is a module's window onto one (vertex, phase) execution. It is
+// owned by a single worker for the duration of Step and must not be
+// retained after Step returns.
+type Context struct {
+	vertex int
+	phase  int
+	nOut   int
+	in     []event.Value
+	got    []bool
+	nGot   int
+	emits  []Emission
+}
+
+// Emission is one output message produced during a Step: the value sent
+// on the out-th output edge (0-based position in the vertex's ascending
+// successor list).
+type Emission struct {
+	Out int
+	Val event.Value
+}
+
+// Vertex returns the executing vertex's 1-based index.
+func (c *Context) Vertex() int { return c.vertex }
+
+// Phase returns the phase being executed.
+func (c *Context) Phase() int { return c.phase }
+
+// Ports returns the number of input ports visible this execution. For
+// non-source vertices this is the in-degree; for sources it spans the
+// externally injected ports.
+func (c *Context) Ports() int { return len(c.in) }
+
+// In returns the value received on the given input port this phase.
+// ok = false means no message arrived on that port — by the Δ-dataflow
+// contract the upstream value is unchanged. Ports outside the visible
+// range read as absent.
+func (c *Context) In(port int) (event.Value, bool) {
+	if port < 0 || port >= len(c.in) {
+		return event.Value{}, false
+	}
+	return c.in[port], c.got[port]
+}
+
+// InCount returns how many input ports received a message this phase.
+func (c *Context) InCount() int { return c.nGot }
+
+// FirstIn returns the lowest-port received value; ok = false when no
+// input arrived (possible only for sources, which execute every phase).
+func (c *Context) FirstIn() (event.Value, bool) {
+	for p := range c.in {
+		if c.got[p] {
+			return c.in[p], true
+		}
+	}
+	return event.Value{}, false
+}
+
+// Outs returns the number of output edges of the executing vertex.
+func (c *Context) Outs() int { return c.nOut }
+
+// Emit sends v on the out-th output edge. Emitting twice on one edge in
+// one phase overwrites: an edge carries at most one message per phase,
+// matching the one-snapshot-per-phase event model. Emit panics on an
+// out-of-range edge: that is a wiring bug, not a data condition.
+func (c *Context) Emit(out int, v event.Value) {
+	if out < 0 || out >= c.nOut {
+		panic(fmt.Sprintf("core: vertex %d emitted on edge %d of %d", c.vertex, out, c.nOut))
+	}
+	for i := range c.emits {
+		if c.emits[i].Out == out {
+			c.emits[i].Val = v
+			return
+		}
+	}
+	c.emits = append(c.emits, Emission{Out: out, Val: v})
+}
+
+// EmitAll sends v on every output edge.
+func (c *Context) EmitAll(v event.Value) {
+	for o := 0; o < c.nOut; o++ {
+		c.Emit(o, v)
+	}
+}
+
+// Emissions returns the messages emitted so far during this Step. Used
+// by executors; modules normally have no reason to call it.
+func (c *Context) Emissions() []Emission { return c.emits }
+
+// reset prepares the context for executing (v, p) with the given port
+// width and out-degree.
+func (c *Context) reset(v, p, ports, outs int) {
+	c.vertex, c.phase, c.nOut = v, p, outs
+	if cap(c.in) < ports {
+		c.in = make([]event.Value, ports)
+		c.got = make([]bool, ports)
+	}
+	c.in = c.in[:ports]
+	c.got = c.got[:ports]
+	for i := range c.in {
+		c.in[i] = event.Value{}
+		c.got[i] = false
+	}
+	c.nGot = 0
+	c.emits = c.emits[:0]
+}
+
+// deliver records an arriving input. Later messages on the same port
+// overwrite (one message per edge per phase).
+func (c *Context) deliver(port int, v event.Value) {
+	if port < 0 {
+		return
+	}
+	if port >= len(c.in) {
+		// Widen for external ports beyond the static in-degree (sources).
+		for len(c.in) < port+1 {
+			c.in = append(c.in, event.Value{})
+			c.got = append(c.got, false)
+		}
+	}
+	if !c.got[port] {
+		c.nGot++
+	}
+	c.in[port] = v
+	c.got[port] = true
+}
+
+// StepFunc adapts a function to the Module interface, for small inline
+// modules in tests and examples.
+type StepFunc func(ctx *Context)
+
+// Step implements Module.
+func (f StepFunc) Step(ctx *Context) { f(ctx) }

@@ -1,0 +1,239 @@
+package core_test
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// mix64 is a splitmix64 finalizer, used to give test modules behavior
+// that is pseudo-random yet a pure function of their identity, phase and
+// inputs — the determinism serializable executions must preserve.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// srcEvery is a source that emits Int(seed-mixed phase) on all outputs
+// every phase.
+type srcEvery struct{ seed uint64 }
+
+func (s *srcEvery) Step(ctx *core.Context) {
+	ctx.EmitAll(event.Int(int64(mix64(s.seed ^ uint64(ctx.Phase())))))
+}
+
+// srcSparse emits on all outputs only when its phase hash falls below the
+// change probability (num/den); otherwise stays silent, exercising the
+// absence-of-message machinery.
+type srcSparse struct {
+	seed     uint64
+	num, den uint64
+}
+
+func (s *srcSparse) Step(ctx *core.Context) {
+	h := mix64(s.seed ^ uint64(ctx.Phase()))
+	if h%s.den < s.num {
+		ctx.EmitAll(event.Int(int64(h)))
+	}
+}
+
+// srcExt relays externally injected values: emits the sum of all values
+// delivered to it this phase, if any.
+type srcExt struct{}
+
+func (s *srcExt) Step(ctx *core.Context) {
+	if ctx.InCount() == 0 {
+		return
+	}
+	var sum int64
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			i, _ := v.AsInt()
+			sum += i
+		}
+	}
+	ctx.EmitAll(event.Int(sum))
+}
+
+// hashMod is a stateful interior module: it remembers the last value seen
+// on each port, folds newly received values into that memory, and emits a
+// hash of (phase, memory) whenever at least one input changed. Its output
+// depends on its entire input history, so any serializability violation
+// — reordered or lost messages — cascades into different emissions.
+type hashMod struct {
+	seed uint64
+	mem  []int64
+}
+
+func (m *hashMod) Step(ctx *core.Context) {
+	if ctx.InCount() == 0 {
+		return
+	}
+	if m.mem == nil {
+		m.mem = make([]int64, ctx.Ports())
+	}
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			i, _ := v.AsInt()
+			m.mem[p] = i
+		}
+	}
+	h := m.seed
+	for _, x := range m.mem {
+		h = mix64(h ^ uint64(x))
+	}
+	ctx.EmitAll(event.Int(int64(h)))
+}
+
+// sparseMod is hashMod but only forwards when the folded hash is below
+// the change threshold, creating interior sparsity (the anomaly-detector
+// pattern of §1: output only for anomalous inputs).
+type sparseMod struct {
+	hashMod
+	num, den uint64
+}
+
+func (m *sparseMod) Step(ctx *core.Context) {
+	if ctx.InCount() == 0 {
+		return
+	}
+	if m.mem == nil {
+		m.mem = make([]int64, ctx.Ports())
+	}
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			i, _ := v.AsInt()
+			m.mem[p] = i
+		}
+	}
+	h := m.seed
+	for _, x := range m.mem {
+		h = mix64(h ^ uint64(x))
+	}
+	if h%m.den < m.num {
+		ctx.EmitAll(event.Int(int64(h)))
+	}
+}
+
+// spinMod burns roughly `loops` iterations of integer work and then
+// relays like hashMod; used for grain/pipelining tests.
+type spinMod struct {
+	hashMod
+	loops int
+}
+
+func (m *spinMod) Step(ctx *core.Context) {
+	acc := uint64(ctx.Phase())
+	for i := 0; i < m.loops; i++ {
+		acc = mix64(acc)
+	}
+	if acc == 0xdeadbeef { // never true; defeats dead-code elimination
+		ctx.EmitAll(event.Int(int64(acc)))
+		return
+	}
+	m.hashMod.Step(ctx)
+}
+
+// recEntry is one recorded execution of a vertex.
+type recEntry struct {
+	phase int
+	ports []int
+	vals  []event.Value
+	emits []core.Emission
+}
+
+// recorder wraps a module and records every execution: the phase, the
+// exact input set (sorted by port) and the emissions. Comparing recorder
+// logs between the parallel engine and the sequential oracle checks
+// serializability at every vertex, not just at sinks.
+type recorder struct {
+	inner core.Module
+	log   []recEntry
+}
+
+func (r *recorder) Step(ctx *core.Context) {
+	e := recEntry{phase: ctx.Phase()}
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			e.ports = append(e.ports, p)
+			e.vals = append(e.vals, v)
+		}
+	}
+	r.inner.Step(ctx)
+	e.emits = append(e.emits, ctx.Emissions()...)
+	sort.Slice(e.emits, func(i, j int) bool { return e.emits[i].Out < e.emits[j].Out })
+	r.log = append(r.log, e)
+}
+
+func sameLogs(a, b []recEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.phase != y.phase || len(x.ports) != len(y.ports) || len(x.emits) != len(y.emits) {
+			return false
+		}
+		for j := range x.ports {
+			if x.ports[j] != y.ports[j] || !x.vals[j].Equal(y.vals[j]) {
+				return false
+			}
+		}
+		for j := range x.emits {
+			if x.emits[j].Out != y.emits[j].Out || !x.emits[j].Val.Equal(y.emits[j].Val) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// depthProbe observes concurrent executions and tracks the maximum number
+// of distinct phases in flight simultaneously (Figure 1's notion of
+// pipelining depth).
+type depthProbe struct {
+	mu       sync.Mutex
+	inFlight map[int]int // phase -> executing count
+	maxDepth int
+	maxConc  int // max concurrently executing pairs
+	cur      int
+}
+
+func newDepthProbe() *depthProbe { return &depthProbe{inFlight: make(map[int]int)} }
+
+func (d *depthProbe) PhaseStarted(p int)    {}
+func (d *depthProbe) PairEnqueued(v, p int) {}
+func (d *depthProbe) PhaseCompleted(p int)  {}
+
+func (d *depthProbe) ExecBegin(v, p int) {
+	d.mu.Lock()
+	d.inFlight[p]++
+	d.cur++
+	if len(d.inFlight) > d.maxDepth {
+		d.maxDepth = len(d.inFlight)
+	}
+	if d.cur > d.maxConc {
+		d.maxConc = d.cur
+	}
+	d.mu.Unlock()
+}
+
+func (d *depthProbe) ExecEnd(v, p int, emitted int) {
+	d.mu.Lock()
+	d.inFlight[p]--
+	if d.inFlight[p] == 0 {
+		delete(d.inFlight, p)
+	}
+	d.cur--
+	d.mu.Unlock()
+}
+
+func (d *depthProbe) MaxDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxDepth
+}

@@ -1,0 +1,369 @@
+// Package distrib implements the paper's §6 future-work direction:
+// "using networks of multiprocessor machines ... including methods for
+// partitioning the computation graph across multiple machines and
+// replication of event streams to multiple distinct computation graphs."
+//
+// Machines are simulated as independent engine instances — each with its
+// own global lock, run queue and worker pool, so nothing is shared but
+// the explicit message channels between them (the honest stand-in for a
+// network: see DESIGN.md substitutions).
+//
+// Partitioning is by contiguous vertex-index ranges, which is pipeline
+// partitioning: because the numbering is topological, every cross-
+// partition edge points from a lower machine to a higher one. Each
+// outgoing cross edge gets a portal sink on the producing machine, and
+// each incoming cross edge a bridge source on the consuming machine;
+// machine j starts phase p only after every upstream machine has
+// finished phase p and forwarded its portal outputs, preserving the
+// "all inputs known" invariant and hence serializability end to end.
+package distrib
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// Config tunes a partitioned run.
+type Config struct {
+	// Machines is the number of simulated machines (pipeline stages).
+	Machines int
+	// WorkersPerMachine is each machine's compute-thread count.
+	WorkersPerMachine int
+	// MaxInFlight bounds each machine's open-phase window.
+	MaxInFlight int
+	// Buffer is the per-link channel depth (cross-machine pipelining
+	// slack). Defaults to 8.
+	Buffer int
+}
+
+// Stats aggregates a partitioned run.
+type Stats struct {
+	// PerMachine holds each machine's engine stats.
+	PerMachine []core.Stats
+	// CrossMessages counts values forwarded across machine boundaries.
+	CrossMessages int64
+	// CrossEdges is the number of graph edges cut by the partition.
+	CrossEdges int
+	// Wall is the end-to-end wall-clock time of Run.
+	Wall time.Duration
+}
+
+// portal is the sink standing in for a cross-partition edge on the
+// producing machine: it buffers the value emitted for each phase until
+// the forwarder ships it. WaitPhase(p) guarantees the phase-p entry is
+// final before the forwarder takes it, but Steps for later phases can
+// still be writing, so the buffer carries its own lock.
+type portal struct {
+	mu  sync.Mutex // Step (phase q) can run while the forwarder reads phase p < q
+	buf map[int]event.Value
+}
+
+func (p *portal) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		p.mu.Lock()
+		p.buf[ctx.Phase()] = v
+		p.mu.Unlock()
+	}
+}
+
+// take removes and returns the value buffered for phase p, if any.
+func (p *portal) take(phase int) (event.Value, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.buf[phase]
+	if ok {
+		delete(p.buf, phase)
+	}
+	return v, ok
+}
+
+// bridge is the source standing in for a cross-partition edge on the
+// consuming machine: it relays the value the environment delivered from
+// the upstream portal, preserving silence when the upstream vertex
+// emitted nothing that phase.
+type bridge struct{}
+
+func (b bridge) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		ctx.EmitAll(v)
+	}
+}
+
+// machine is one simulated multiprocessor.
+type machine struct {
+	idx     int
+	eng     *core.Engine
+	ng      *graph.Numbered
+	localOf map[int]int // global vertex index -> local index (real vertices)
+	// portals on this machine: one per outgoing cross edge.
+	portals []*portalRoute
+	// inLinks[i] is the channel from upstream machine i (nil when no
+	// edges from i).
+	inLinks []chan []core.ExtInput
+	// upstream lists machine indices with edges into this machine.
+	upstream []int
+	// outLinks[j] is the channel to downstream machine j.
+	outLinks map[int]chan []core.ExtInput
+	// routesTo[j] lists the portals forwarding to machine j.
+	routesTo map[int][]*portalRoute
+}
+
+// portalRoute ties a portal module to its destination bridge.
+type portalRoute struct {
+	p            *portal
+	toMachine    int
+	bridgeVertex int // local index of the bridge on the target machine
+}
+
+// Partition splits the numbered graph into cfg.Machines contiguous index
+// ranges and returns the per-machine boundaries (inclusive starts). It
+// is exported for tests and for reporting which vertices land where.
+func Partition(n, machines int) ([]int, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("distrib: %d machines", machines)
+	}
+	if machines > n {
+		return nil, fmt.Errorf("distrib: %d machines for %d vertices", machines, n)
+	}
+	starts := make([]int, machines)
+	base, rem := n/machines, n%machines
+	at := 1
+	for m := 0; m < machines; m++ {
+		starts[m] = at
+		at += base
+		if m < rem {
+			at++
+		}
+	}
+	return starts, nil
+}
+
+// machineOf returns which partition a global index belongs to.
+func machineOf(starts []int, v int) int {
+	m := 0
+	for m+1 < len(starts) && v >= starts[m+1] {
+		m++
+	}
+	return m
+}
+
+// Run executes the computation partitioned across simulated machines and
+// returns aggregate stats. mods[v-1] is the module for global vertex v,
+// exactly as for core.New; batches are the per-phase external inputs in
+// global vertex indices.
+func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config) (Stats, error) {
+	t0 := time.Now()
+	if len(mods) != g.N() {
+		return Stats{}, fmt.Errorf("distrib: %d modules for %d vertices", len(mods), g.N())
+	}
+	if cfg.WorkersPerMachine <= 0 {
+		cfg.WorkersPerMachine = 1
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 8
+	}
+	starts, err := Partition(g.N(), cfg.Machines)
+	if err != nil {
+		return Stats{}, err
+	}
+	M := cfg.Machines
+
+	// First pass: build per-machine construction graphs.
+	type build struct {
+		g    *graph.Graph
+		mods []core.Module
+		ids  map[int]int // global vertex -> construction id
+	}
+	builds := make([]*build, M)
+	for m := range builds {
+		builds[m] = &build{g: graph.New(), ids: make(map[int]int)}
+	}
+	crossEdges := 0
+	// Real vertices.
+	for v := 1; v <= g.N(); v++ {
+		m := machineOf(starts, v)
+		id := builds[m].g.AddVertex(fmt.Sprintf("g%d", v))
+		builds[m].ids[v] = id
+		builds[m].mods = append(builds[m].mods, mods[v-1])
+	}
+	// Edges, bridges and portals.
+	type crossRef struct {
+		fromMachine int
+		portal      *portal
+		toMachine   int
+		bridgeID    int // construction id of bridge on target machine
+	}
+	var crosses []*crossRef
+	for v := 1; v <= g.N(); v++ {
+		mv := machineOf(starts, v)
+		for _, w := range g.Succ(v) {
+			mw := machineOf(starts, w)
+			if mv == mw {
+				builds[mv].g.MustEdge(builds[mv].ids[v], builds[mv].ids[w])
+				continue
+			}
+			crossEdges++
+			// portal on mv
+			pm := &portal{buf: make(map[int]event.Value)}
+			pid := builds[mv].g.AddVertex(fmt.Sprintf("portal:%d->%d", v, w))
+			builds[mv].mods = append(builds[mv].mods, pm)
+			builds[mv].g.MustEdge(builds[mv].ids[v], pid)
+			// bridge on mw
+			bid := builds[mw].g.AddVertex(fmt.Sprintf("bridge:%d->%d", v, w))
+			builds[mw].mods = append(builds[mw].mods, bridge{})
+			builds[mw].g.MustEdge(bid, builds[mw].ids[w])
+			crosses = append(crosses, &crossRef{fromMachine: mv, portal: pm, toMachine: mw, bridgeID: bid})
+		}
+	}
+
+	// Second pass: number subgraphs, create engines and wire links.
+	machines := make([]*machine, M)
+	for m := 0; m < M; m++ {
+		ng, err := builds[m].g.Number()
+		if err != nil {
+			return Stats{}, fmt.Errorf("distrib: machine %d: %w", m, err)
+		}
+		// modules must be reordered to numbered indices
+		ordered := make([]core.Module, ng.N())
+		for id, mod := range builds[m].mods {
+			ordered[ng.IndexOf(id)-1] = mod
+		}
+		eng, err := core.New(ng, ordered, core.Config{
+			Workers:     cfg.WorkersPerMachine,
+			MaxInFlight: cfg.MaxInFlight,
+		})
+		if err != nil {
+			return Stats{}, fmt.Errorf("distrib: machine %d: %w", m, err)
+		}
+		localOf := make(map[int]int)
+		for v, id := range builds[m].ids {
+			localOf[v] = ng.IndexOf(id)
+		}
+		machines[m] = &machine{
+			idx:      m,
+			eng:      eng,
+			ng:       ng,
+			localOf:  localOf,
+			inLinks:  make([]chan []core.ExtInput, M),
+			outLinks: make(map[int]chan []core.ExtInput),
+			routesTo: make(map[int][]*portalRoute),
+		}
+	}
+	for _, c := range crosses {
+		src, dst := machines[c.fromMachine], machines[c.toMachine]
+		route := &portalRoute{
+			p:            c.portal,
+			toMachine:    c.toMachine,
+			bridgeVertex: dst.ng.IndexOf(c.bridgeID),
+		}
+		src.portals = append(src.portals, route)
+		src.routesTo[c.toMachine] = append(src.routesTo[c.toMachine], route)
+		if src.outLinks[c.toMachine] == nil {
+			ch := make(chan []core.ExtInput, cfg.Buffer)
+			src.outLinks[c.toMachine] = ch
+			dst.inLinks[c.fromMachine] = ch
+			dst.upstream = append(dst.upstream, c.fromMachine)
+		}
+	}
+
+	// Pre-split global external inputs by machine (sources are real
+	// vertices; bridges receive only forwarded values).
+	phases := len(batches)
+	extFor := make([][][]core.ExtInput, M)
+	for m := range extFor {
+		extFor[m] = make([][]core.ExtInput, phases)
+	}
+	for p, batch := range batches {
+		for _, x := range batch {
+			m := machineOf(starts, x.Vertex)
+			lv := machines[m].localOf[x.Vertex]
+			extFor[m][p] = append(extFor[m][p], core.ExtInput{Vertex: lv, Port: x.Port, Val: x.Val})
+		}
+	}
+
+	// Drivers: per machine, a starter goroutine (receives upstream
+	// deliveries, starts phases) and a forwarder goroutine (waits for
+	// phase completion, ships portal outputs downstream).
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	crossCounts := make([]int64, M) // written by forwarder m, read after Wait
+	for _, mc := range machines {
+		mc.eng.Start()
+		cnt := &crossCounts[mc.idx]
+
+		wg.Add(2)
+		go func(mc *machine) { // starter
+			defer wg.Done()
+			inFlight := cfg.MaxInFlight
+			if inFlight <= 0 {
+				inFlight = 64
+			}
+			for p := 1; p <= phases; p++ {
+				if w := p - inFlight; w >= 1 {
+					mc.eng.WaitPhase(w)
+				}
+				ext := extFor[mc.idx][p-1]
+				for _, up := range mc.upstream {
+					batch, ok := <-mc.inLinks[up]
+					if !ok {
+						fail(fmt.Errorf("distrib: machine %d: upstream %d closed early", mc.idx, up))
+						return
+					}
+					ext = append(ext, batch...)
+				}
+				if _, err := mc.eng.StartPhase(ext); err != nil {
+					fail(fmt.Errorf("distrib: machine %d: %w", mc.idx, err))
+					return
+				}
+			}
+		}(mc)
+		go func(mc *machine, cnt *int64) { // forwarder
+			defer wg.Done()
+			defer func() {
+				for _, ch := range mc.outLinks {
+					close(ch)
+				}
+			}()
+			for p := 1; p <= phases; p++ {
+				mc.eng.WaitPhase(p)
+				for dst, routes := range mc.routesTo {
+					batch := make([]core.ExtInput, 0, len(routes))
+					for _, r := range routes {
+						if v, ok := r.p.take(p); ok {
+							batch = append(batch, core.ExtInput{Vertex: r.bridgeVertex, Port: 0, Val: v})
+							*cnt++
+						}
+					}
+					mc.outLinks[dst] <- batch
+				}
+			}
+		}(mc, cnt)
+	}
+	wg.Wait()
+	st := Stats{CrossEdges: crossEdges}
+	for _, mc := range machines {
+		mc.eng.Stop()
+		st.PerMachine = append(st.PerMachine, mc.eng.Stats())
+	}
+	for _, c := range crossCounts {
+		st.CrossMessages += c
+	}
+	st.Wall = time.Since(t0)
+	if firstErr != nil {
+		return st, firstErr
+	}
+	return st, nil
+}

@@ -1,0 +1,79 @@
+package distrib
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// StreamEvent is one external observation on a named stream. Replication
+// fans the same stream history out to several distinct computation
+// graphs — the paper's §1 observation that "people in different roles
+// ... are concerned about different threats and opportunities" over the
+// same feeds (public health watches hospital occupancy, the utility
+// watches the grid), and its §6 proposal of "replication of event
+// streams to multiple distinct computation graphs".
+type StreamEvent struct {
+	Stream string
+	Val    event.Value
+}
+
+// Replica is one computation graph subscribing to named streams.
+type Replica struct {
+	// Name labels the replica in errors and reports.
+	Name string
+	// Graph and Modules define the computation, as for core.New.
+	Graph   *graph.Numbered
+	Modules []core.Module
+	// Config tunes the replica's engine.
+	Config core.Config
+	// Subscribe maps stream names to the replica's source vertex that
+	// consumes them (port 0). Streams absent from the map are ignored by
+	// this replica.
+	Subscribe map[string]int
+}
+
+// Replicate runs every replica concurrently over the same per-phase
+// stream history and returns each replica's engine stats, in order.
+func Replicate(stream [][]StreamEvent, replicas []Replica) ([]core.Stats, error) {
+	stats := make([]core.Stats, len(replicas))
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i := range replicas {
+		r := &replicas[i]
+		// Pre-map the shared stream into this replica's batches.
+		batches := make([][]core.ExtInput, len(stream))
+		for p, evs := range stream {
+			for _, ev := range evs {
+				if v, ok := r.Subscribe[ev.Stream]; ok {
+					batches[p] = append(batches[p], core.ExtInput{Vertex: v, Port: 0, Val: ev.Val})
+				}
+			}
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, err := core.New(r.Graph, r.Modules, r.Config)
+			if err != nil {
+				errs[i] = fmt.Errorf("distrib: replica %s: %w", r.Name, err)
+				return
+			}
+			st, err := eng.Run(batches)
+			if err != nil {
+				errs[i] = fmt.Errorf("distrib: replica %s: %w", r.Name, err)
+				return
+			}
+			stats[i] = st
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,94 @@
+package event
+
+import "fmt"
+
+// Timestamp is the instant at which an event was generated, in abstract
+// ticks. The paper assumes perfect timestamps and zero transmission delay,
+// so all events bearing the same timestamp arrive together and form one
+// phase; the engine therefore works with phase indices and carries the
+// timestamp only as metadata for applications.
+type Timestamp int64
+
+// Phase identifies a computation phase. Phases are numbered 1, 2, 3, ...
+// in timestamp order; phase 0 means "before any phase".
+type Phase int
+
+// Event is one message on one edge of the correlation graph, or one
+// external observation delivered to a source vertex.
+type Event struct {
+	// Phase the event belongs to (k for arrival time t_k).
+	Phase Phase
+	// Time is the generating timestamp; informational.
+	Time Timestamp
+	// Src is the 1-based index of the vertex that emitted the event, or 0
+	// for events injected by the environment (external sensor data).
+	Src int
+	// Port is the input-port index at the destination vertex on which the
+	// event arrives. External events use the destination's port numbering
+	// too (sources conventionally expose port 0).
+	Port int
+	// Val is the payload.
+	Val Value
+}
+
+// String renders the event for traces.
+func (e Event) String() string {
+	return fmt.Sprintf("{p%d t%d %d→port%d %s}", e.Phase, e.Time, e.Src, e.Port, e.Val)
+}
+
+// History is an ordered record of the values observed at one vertex (in
+// practice, a sink) across phases. Serializability tests compare Histories
+// from different executors bit-for-bit.
+type History struct {
+	// Phases[i] is the phase of the i-th recorded observation; strictly
+	// increasing within a History because a vertex executes each phase at
+	// most once and phases execute in order at a given vertex.
+	Phases []Phase
+	// Values[i] is the payload recorded at Phases[i].
+	Values []Value
+}
+
+// Append records one observation.
+func (h *History) Append(p Phase, v Value) {
+	h.Phases = append(h.Phases, p)
+	h.Values = append(h.Values, v)
+}
+
+// Len returns the number of recorded observations.
+func (h *History) Len() int { return len(h.Phases) }
+
+// Equal reports whether two histories are identical phase-for-phase and
+// value-for-value.
+func (h *History) Equal(o *History) bool {
+	if h.Len() != o.Len() {
+		return false
+	}
+	for i := range h.Phases {
+		if h.Phases[i] != o.Phases[i] || !h.Values[i].Equal(o.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a short description of the first difference between two
+// histories, or "" when they are equal. Used by tests to report
+// serializability violations readably.
+func (h *History) Diff(o *History) string {
+	n := h.Len()
+	if o.Len() < n {
+		n = o.Len()
+	}
+	for i := 0; i < n; i++ {
+		if h.Phases[i] != o.Phases[i] {
+			return fmt.Sprintf("entry %d: phase %d vs %d", i, h.Phases[i], o.Phases[i])
+		}
+		if !h.Values[i].Equal(o.Values[i]) {
+			return fmt.Sprintf("entry %d (phase %d): value %s vs %s", i, h.Phases[i], h.Values[i], o.Values[i])
+		}
+	}
+	if h.Len() != o.Len() {
+		return fmt.Sprintf("length %d vs %d", h.Len(), o.Len())
+	}
+	return ""
+}

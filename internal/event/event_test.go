@@ -1,0 +1,247 @@
+package event
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{None(), KindNone},
+		{Bool(true), KindBool},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{String("x"), KindString},
+		{Vector([]float64{1, 2}), KindVector},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Errorf("Bool(true).AsBool() = %v, %v", b, ok)
+	}
+	if b, ok := Bool(false).AsBool(); !ok || b {
+		t.Errorf("Bool(false).AsBool() = %v, %v", b, ok)
+	}
+	if i, ok := Int(-7).AsInt(); !ok || i != -7 {
+		t.Errorf("Int(-7).AsInt() = %v, %v", i, ok)
+	}
+	if f, ok := Float(2.25).AsFloat(); !ok || f != 2.25 {
+		t.Errorf("Float(2.25).AsFloat() = %v, %v", f, ok)
+	}
+	if s, ok := String("abc").AsString(); !ok || s != "abc" {
+		t.Errorf("String(abc).AsString() = %q, %v", s, ok)
+	}
+	if v, ok := Vector([]float64{1, 2, 3}).AsVector(); !ok || len(v) != 3 {
+		t.Errorf("Vector.AsVector() = %v, %v", v, ok)
+	}
+}
+
+func TestValueAsFloatCoercion(t *testing.T) {
+	if f, ok := Bool(true).AsFloat(); !ok || f != 1 {
+		t.Errorf("Bool(true).AsFloat() = %v, %v, want 1, true", f, ok)
+	}
+	if f, ok := Int(9).AsFloat(); !ok || f != 9 {
+		t.Errorf("Int(9).AsFloat() = %v, %v, want 9, true", f, ok)
+	}
+	if _, ok := String("9").AsFloat(); ok {
+		t.Error("String.AsFloat() should not coerce")
+	}
+	if _, ok := None().AsFloat(); ok {
+		t.Error("None.AsFloat() should fail")
+	}
+}
+
+func TestValueWrongKindAccessors(t *testing.T) {
+	if _, ok := Float(1).AsBool(); ok {
+		t.Error("Float.AsBool() should fail")
+	}
+	if _, ok := Float(1).AsInt(); ok {
+		t.Error("Float.AsInt() should fail")
+	}
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString() should fail")
+	}
+	if _, ok := Float(1).AsVector(); ok {
+		t.Error("Float.AsVector() should fail")
+	}
+}
+
+func TestValueDefaults(t *testing.T) {
+	if got := String("x").Float(-1); got != -1 {
+		t.Errorf("String.Float(-1) = %v", got)
+	}
+	if got := Float(2).Float(-1); got != 2 {
+		t.Errorf("Float(2).Float(-1) = %v", got)
+	}
+	if got := Int(3).Bool(true); got != true {
+		t.Errorf("Int.Bool(true) = %v", got)
+	}
+	if got := Bool(false).Bool(true); got != false {
+		t.Errorf("Bool(false).Bool(true) = %v", got)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		eq   bool
+	}{
+		{None(), None(), true},
+		{None(), Int(0), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Int(5), Int(5), true},
+		{Int(5), Float(5), false}, // kinds differ
+		{Float(1.5), Float(1.5), true},
+		{Float(math.NaN()), Float(math.NaN()), true},
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{Vector([]float64{1, 2}), Vector([]float64{1, 2}), true},
+		{Vector([]float64{1, 2}), Vector([]float64{1, 3}), false},
+		{Vector([]float64{1}), Vector([]float64{1, 2}), false},
+		{Vector([]float64{math.NaN()}), Vector([]float64{math.NaN()}), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.eq {
+			t.Errorf("case %d: %v.Equal(%v) = %v, want %v", i, c.a, c.b, got, c.eq)
+		}
+		if got := c.b.Equal(c.a); got != c.eq {
+			t.Errorf("case %d: Equal not symmetric", i)
+		}
+	}
+}
+
+func TestVectorCopyIsolation(t *testing.T) {
+	src := []float64{1, 2, 3}
+	v := VectorCopy(src)
+	src[0] = 99
+	got, _ := v.AsVector()
+	if got[0] != 1 {
+		t.Errorf("VectorCopy shares backing array: got %v", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{None(), "∅"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-3), "-3"},
+		{Float(0.5), "0.5"},
+		{String("hi"), `"hi"`},
+		{Vector([]float64{1, 2}), "[1 2]"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNone: "none", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindString: "string", KindVector: "vector",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+}
+
+func TestValueEqualReflexiveProperty(t *testing.T) {
+	f := func(x float64, s string, vec []float64, which uint8) bool {
+		var v Value
+		switch which % 5 {
+		case 0:
+			v = None()
+		case 1:
+			v = Bool(x > 0)
+		case 2:
+			v = Float(x)
+		case 3:
+			v = String(s)
+		case 4:
+			v = Vector(vec)
+		}
+		return v.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(i int32) bool {
+		got, ok := Int(int64(i)).AsInt()
+		return ok && got == int64(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryAppendEqual(t *testing.T) {
+	var a, b History
+	a.Append(1, Float(1))
+	a.Append(2, Float(2))
+	b.Append(1, Float(1))
+	b.Append(2, Float(2))
+	if !a.Equal(&b) {
+		t.Error("identical histories not equal")
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	b.Append(3, Float(3))
+	if a.Equal(&b) {
+		t.Error("histories of different length compare equal")
+	}
+}
+
+func TestHistoryDiff(t *testing.T) {
+	var a, b History
+	a.Append(1, Float(1))
+	b.Append(1, Float(1))
+	if d := a.Diff(&b); d != "" {
+		t.Errorf("equal histories diff = %q", d)
+	}
+	b.Phases[0] = 2
+	if d := a.Diff(&b); d == "" {
+		t.Error("phase mismatch not reported")
+	}
+	b.Phases[0] = 1
+	b.Values[0] = Float(9)
+	if d := a.Diff(&b); d == "" {
+		t.Error("value mismatch not reported")
+	}
+	b.Values[0] = Float(1)
+	b.Append(2, Float(2))
+	if d := a.Diff(&b); d == "" {
+		t.Error("length mismatch not reported")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Phase: 3, Time: 30, Src: 2, Port: 1, Val: Int(7)}
+	if got := e.String(); got != "{p3 t30 2→port1 7}" {
+		t.Errorf("Event.String() = %q", got)
+	}
+}

@@ -1,0 +1,223 @@
+// Package event defines the value, timestamp and message types that flow
+// along the edges of a correlation graph.
+//
+// The engine in internal/core is agnostic to payload contents: it routes
+// opaque Values between vertices and guarantees serializable Δ-dataflow
+// semantics. Values are small tagged unions designed to avoid allocation
+// for the common scalar cases (bool, int, float) that dominate sensor
+// streams.
+package event
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the payload type stored in a Value.
+type Kind uint8
+
+// Payload kinds. KindNone is the zero Value and means "no payload"; it is
+// what source vertices see on their phase-signal input.
+const (
+	KindNone Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindVector
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindVector:
+		return "vector"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable tagged union carried by events. The zero Value has
+// KindNone. Scalar kinds are stored inline; vectors share their backing
+// array, so callers must not mutate a slice after wrapping it in a Value.
+type Value struct {
+	kind Kind
+	num  float64
+	str  string
+	vec  []float64
+}
+
+// None returns the empty value.
+func None() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value {
+	n := 0.0
+	if b {
+		n = 1.0
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int wraps an integer. Values beyond 2^53 lose precision; event payloads
+// in this domain (counts, identifiers) comfortably fit.
+func Int(i int64) Value { return Value{kind: KindInt, num: float64(i)} }
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{kind: KindFloat, num: f} }
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Vector wraps a slice of float64 without copying. The caller must not
+// mutate v afterwards.
+func Vector(v []float64) Value { return Value{kind: KindVector, vec: v} }
+
+// VectorCopy wraps a copy of v, safe against later mutation by the caller.
+func VectorCopy(v []float64) Value {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return Value{kind: KindVector, vec: c}
+}
+
+// Kind reports the payload kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNone reports whether the value is empty.
+func (v Value) IsNone() bool { return v.kind == KindNone }
+
+// AsBool returns the boolean payload and whether the value is a bool.
+func (v Value) AsBool() (bool, bool) {
+	if v.kind != KindBool {
+		return false, false
+	}
+	return v.num != 0, true
+}
+
+// AsInt returns the integer payload and whether the value is an int.
+func (v Value) AsInt() (int64, bool) {
+	if v.kind != KindInt {
+		return 0, false
+	}
+	return int64(v.num), true
+}
+
+// AsFloat returns the numeric payload and whether the value is numeric.
+// Bool, int and float all convert; this is the accessor most statistical
+// modules use.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindBool, KindInt, KindFloat:
+		return v.num, true
+	default:
+		return 0, false
+	}
+}
+
+// AsString returns the string payload and whether the value is a string.
+func (v Value) AsString() (string, bool) {
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.str, true
+}
+
+// AsVector returns the vector payload and whether the value is a vector.
+// The returned slice is shared; callers must not mutate it.
+func (v Value) AsVector() ([]float64, bool) {
+	if v.kind != KindVector {
+		return nil, false
+	}
+	return v.vec, true
+}
+
+// Float returns the numeric payload, or def when the value is not numeric.
+func (v Value) Float(def float64) float64 {
+	if f, ok := v.AsFloat(); ok {
+		return f
+	}
+	return def
+}
+
+// Bool returns the boolean payload, or def when the value is not a bool.
+func (v Value) Bool(def bool) bool {
+	if b, ok := v.AsBool(); ok {
+		return b
+	}
+	return def
+}
+
+// Equal reports deep equality of two values. NaN floats compare equal to
+// each other so that histories containing NaN can be compared in tests.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNone:
+		return true
+	case KindBool, KindInt:
+		return v.num == o.num
+	case KindFloat:
+		return v.num == o.num || (math.IsNaN(v.num) && math.IsNaN(o.num))
+	case KindString:
+		return v.str == o.str
+	case KindVector:
+		if len(v.vec) != len(o.vec) {
+			return false
+		}
+		for i := range v.vec {
+			a, b := v.vec[i], o.vec[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders the value for traces and logs.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNone:
+		return "∅"
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindVector:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, f := range v.vec {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// E1Result reproduces the §4 measurement: "identical computations see a
+// speedup of approximately 50% when two computation threads are running,
+// compared to the speed when a single computation thread is running"
+// (on a dual-processor machine, with the environment thread always
+// present).
+type E1Result struct {
+	Time1, Time2 time.Duration
+	Speedup      float64
+	Table        *metrics.Table
+}
+
+// E1Section4 runs the identical computation with one and two compute
+// workers. The workload is compute-heavy (the regime the paper
+// measured): a layered graph of ~40 vertices with ~40µs vertex grain.
+func E1Section4(quick bool) E1Result {
+	w := Workload{
+		Depth: 8, Width: 5, FanIn: 2,
+		Grain:      40 * time.Microsecond,
+		SourceRate: 1, InteriorRate: 1,
+		Seed: 0xE1,
+	}
+	phases, reps := 300, 3
+	if quick {
+		phases, reps = 40, 1
+	}
+	run := func(workers int) time.Duration {
+		return metrics.BestOf(reps, func() {
+			ng, mods := w.Build()
+			eng, err := core.New(ng, mods, core.Config{Workers: workers, MaxInFlight: 16})
+			if err != nil {
+				panic(err)
+			}
+			if _, err := eng.Run(Phases(phases)); err != nil {
+				panic(err)
+			}
+		})
+	}
+	t1 := run(1)
+	t2 := run(2)
+	res := E1Result{Time1: t1, Time2: t2, Speedup: metrics.Speedup(t1, t2)}
+	tb := metrics.NewTable(
+		"E1 — §4 measurement: identical computation, 1 vs 2 compute threads (env thread always present)",
+		"compute-threads", "wall-time", "speedup-vs-1")
+	tb.Add(1, t1, 1.0)
+	tb.Add(2, t2, res.Speedup)
+	res.Table = tb
+	return res
+}
+
+// E2Row is one cell of the thread-scaling sweep.
+type E2Row struct {
+	Grain   time.Duration
+	Workers int
+	Time    time.Duration
+	Speedup float64
+}
+
+// E2Result reproduces the §4 prediction: "as long as the computations
+// performed by the vertices take significantly more time than the
+// computations performed to maintain the data structures, the speedup
+// will be close to linear in the number of processors".
+type E2Result struct {
+	Rows  []E2Row
+	Table *metrics.Table
+}
+
+// E2ThreadScaling sweeps worker counts against per-vertex grains. Coarse
+// grains should scale near-linearly; fine grains should saturate on the
+// global lock.
+func E2ThreadScaling(quick bool) E2Result {
+	grains := []time.Duration{1 * time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond}
+	workerSet := []int{1, 2, 4, 8, 16}
+	phases, reps := 150, 2
+	if quick {
+		grains = []time.Duration{2 * time.Microsecond, 60 * time.Microsecond}
+		workerSet = []int{1, 2, 4}
+		phases, reps = 40, 1
+	}
+	maxW := MaxWorkers(workerSet[len(workerSet)-1])
+	var res E2Result
+	tb := metrics.NewTable(
+		"E2 — §4 prediction: speedup vs compute threads across vertex grains",
+		"grain", "threads", "wall-time", "speedup-vs-1")
+	for _, grain := range grains {
+		w := Workload{
+			Depth: 6, Width: 8, FanIn: 2,
+			Grain: grain, SourceRate: 1, InteriorRate: 1,
+			Seed: 0xE2,
+		}
+		var base time.Duration
+		for _, workers := range workerSet {
+			if workers > maxW {
+				continue
+			}
+			t := metrics.BestOf(reps, func() {
+				ng, mods := w.Build()
+				eng, err := core.New(ng, mods, core.Config{Workers: workers, MaxInFlight: 32})
+				if err != nil {
+					panic(err)
+				}
+				if _, err := eng.Run(Phases(phases)); err != nil {
+					panic(err)
+				}
+			})
+			if workers == 1 {
+				base = t
+			}
+			row := E2Row{Grain: grain, Workers: workers, Time: t, Speedup: metrics.Speedup(base, t)}
+			res.Rows = append(res.Rows, row)
+			tb.Add(grain.String(), workers, t, row.Speedup)
+		}
+	}
+	res.Table = tb
+	return res
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// E3Row is one sparsity level of the Δ-dataflow vs full-dataflow
+// comparison.
+type E3Row struct {
+	Epsilon       float64
+	DeltaMsgs     int64
+	FullMsgs      int64
+	MsgRatio      float64 // full / delta
+	DeltaExecs    int64
+	FullExecs     int64
+	DeltaTime     time.Duration
+	FullTime      time.Duration
+	TimeAdvantage float64 // fullTime / deltaTime
+}
+
+// E3Result reproduces the §1 argument: an anomaly detector that emits
+// only anomalies generates ε times the messages of one that answers
+// every transaction ("if one in a million transactions is anomalous then
+// the rate of events generated ... is only a millionth"). We sweep the
+// change probability ε and compare the Δ-dataflow engine against the
+// full-dataflow executor on the same graph and module set.
+type E3Result struct {
+	Rows  []E3Row
+	Table *metrics.Table
+}
+
+// E3DeltaVsFull sweeps ε. Both executors run the modules with a small
+// fixed grain so the comparison includes compute avoidance, not just
+// message counting.
+func E3DeltaVsFull(quick bool) E3Result {
+	eps := []float64{1, 0.1, 0.01, 0.001}
+	phases := 400
+	depth, width := 8, 8
+	grain := 2 * time.Microsecond
+	if quick {
+		eps = []float64{1, 0.01}
+		phases = 60
+		depth, width = 4, 4
+	}
+	var res E3Result
+	tb := metrics.NewTable(
+		"E3 — §1 sparse events: Δ-dataflow vs full dataflow across change probability ε",
+		"ε", "Δ-msgs", "full-msgs", "msg-ratio", "Δ-execs", "full-execs", "Δ-time", "full-time", "time-adv")
+	for _, e := range eps {
+		w := Workload{
+			Depth: depth, Width: width, FanIn: 2,
+			Grain: grain, SourceRate: e, InteriorRate: 1,
+			Seed: 0xE3,
+		}
+		// Δ-dataflow engine (2 workers, like-for-like with baseline's 2).
+		var deltaStats core.Stats
+		deltaTime := metrics.MeasureWall(func() {
+			ng, mods := w.Build()
+			eng, err := core.New(ng, mods, core.Config{Workers: 2, MaxInFlight: 16})
+			if err != nil {
+				panic(err)
+			}
+			st, err := eng.Run(Phases(phases))
+			if err != nil {
+				panic(err)
+			}
+			deltaStats = st
+		})
+		// Full-dataflow baseline on identical fresh modules.
+		var fullStats baseline.Stats
+		fullTime := metrics.MeasureWall(func() {
+			ng, mods := w.Build()
+			st, err := baseline.FullDataflow(ng, mods, Phases(phases), baseline.FullDataflowConfig{Workers: 2})
+			if err != nil {
+				panic(err)
+			}
+			fullStats = st
+		})
+		row := E3Row{
+			Epsilon:       e,
+			DeltaMsgs:     deltaStats.Messages,
+			FullMsgs:      fullStats.Messages,
+			DeltaExecs:    deltaStats.Executions,
+			FullExecs:     fullStats.Executions,
+			DeltaTime:     deltaTime,
+			FullTime:      fullTime,
+			TimeAdvantage: metrics.Speedup(fullTime, deltaTime),
+		}
+		if row.DeltaMsgs > 0 {
+			row.MsgRatio = float64(row.FullMsgs) / float64(row.DeltaMsgs)
+		}
+		res.Rows = append(res.Rows, row)
+		tb.Add(e, row.DeltaMsgs, row.FullMsgs, row.MsgRatio,
+			row.DeltaExecs, row.FullExecs, deltaTime, fullTime, row.TimeAdvantage)
+	}
+	res.Table = tb
+	return res
+}
+
+// E4Result reproduces Figure 1: a 10-node graph in which 5 phases are
+// executed concurrently. We run the figure's ladder topology plus deeper
+// variants with a depth probe and report the maximum number of phases
+// observed in flight.
+type E4Result struct {
+	Rows  []E4Row
+	Table *metrics.Table
+}
+
+// E4Row is one topology's pipelining measurement.
+type E4Row struct {
+	Name       string
+	Depth      int
+	MaxPhases  int
+	MaxPairs   int
+	OpenWindow int
+}
+
+// E4PipelineDepth measures concurrent phases on the Figure 1 ladder and
+// on deeper chains. Slow vertices and a generous in-flight window let
+// the pipeline fill; the observable depth is bounded by graph depth.
+func E4PipelineDepth(quick bool) E4Result {
+	grain := 200 * time.Microsecond
+	phases := 60
+	if quick {
+		grain = 50 * time.Microsecond
+		phases = 25
+	}
+	type topo struct {
+		name  string
+		build func() *graph.Graph
+	}
+	topos := []topo{
+		{"figure1-ladder(10v,depth5)", graph.Figure1},
+		{"chain(10v,depth10)", func() *graph.Graph { return graph.Chain(10) }},
+	}
+	if !quick {
+		topos = append(topos, topo{"chain(20v,depth20)", func() *graph.Graph { return graph.Chain(20) }})
+	}
+	var res E4Result
+	tb := metrics.NewTable(
+		"E4 — Figure 1: phases executing concurrently (paper depicts 5 on the 10-node graph)",
+		"topology", "graph-depth", "max-concurrent-phases", "max-concurrent-pairs", "max-open-phases")
+	for _, tp := range topos {
+		ng, err := tp.build().Number()
+		if err != nil {
+			panic(err)
+		}
+		w := Workload{Seed: 0xE4, Grain: grain, SourceRate: 1, InteriorRate: 1}
+		mods := BuildModsFor(ng, w)
+		probe := trace.NewDepthProbe()
+		eng, err := core.New(ng, mods, core.Config{
+			Workers: ng.N(), MaxInFlight: 2 * ng.Depth(), Observer: probe,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := eng.Run(Phases(phases)); err != nil {
+			panic(err)
+		}
+		row := E4Row{
+			Name: tp.name, Depth: ng.Depth(),
+			MaxPhases: probe.MaxDepth(), MaxPairs: probe.MaxConcurrency(),
+			OpenWindow: probe.MaxOpenPhases(),
+		}
+		res.Rows = append(res.Rows, row)
+		tb.Add(row.Name, row.Depth, row.MaxPhases, row.MaxPairs, row.OpenWindow)
+	}
+	res.Table = tb
+	return res
+}
+
+// BuildModsFor instantiates the workload module set for an existing
+// graph (Workload.Build creates its own layered topology; experiments
+// with fixed figures need this variant).
+func BuildModsFor(ng *graph.Numbered, w Workload) []core.Module {
+	loops := LoopsForGrain(w.Grain)
+	srcThresh := rateThresh(w.SourceRate)
+	intThresh := rateThresh(w.InteriorRate)
+	mods := make([]core.Module, ng.N())
+	for v := 1; v <= ng.N(); v++ {
+		v := v
+		if ng.IsSource(v) {
+			mods[v-1] = core.StepFunc(func(ctx *core.Context) {
+				if loops > 0 {
+					spin(loops)
+				}
+				h := mix64(w.Seed ^ uint64(v)<<32 ^ uint64(ctx.Phase()))
+				if h>>11 < srcThresh {
+					ctx.EmitAll(intEvent(int64(h)))
+				}
+			})
+			continue
+		}
+		state := uint64(v)
+		mods[v-1] = core.StepFunc(func(ctx *core.Context) {
+			if ctx.InCount() == 0 {
+				return
+			}
+			if loops > 0 {
+				spin(loops)
+			}
+			for p := 0; p < ctx.Ports(); p++ {
+				if val, ok := ctx.In(p); ok {
+					i, _ := val.AsInt()
+					state = mix64(state ^ uint64(i))
+				}
+			}
+			if mix64(state)>>11 < intThresh {
+				ctx.EmitAll(intEvent(int64(state)))
+			}
+		})
+	}
+	return mods
+}

@@ -1,0 +1,115 @@
+// Package experiments contains the drivers that regenerate every
+// evaluation artifact of the paper — its §4 measurement and prediction,
+// the behaviors depicted in Figures 1–3, the §1 sparse-event argument —
+// plus the ablations DESIGN.md calls out. Each driver returns structured
+// results and a formatted table; cmd/fusebench prints them and
+// bench_test.go wraps them in testing.B benchmarks. EXPERIMENTS.md
+// records paper-claim vs measured for each.
+package experiments
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// mix64 drives all deterministic pseudo-randomness in workload modules.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// spinSink consumes spin results so the compiler cannot remove the work.
+var spinSink uint64
+
+// spin burns approximately `loops` iterations of serial integer work.
+func spin(loops int) {
+	acc := uint64(loops)
+	for i := 0; i < loops; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	spinSink += acc
+}
+
+// calibration: loops per microsecond, measured once per process.
+var loopsPerMicro = func() int {
+	const probe = 2_000_000
+	// warm up
+	spin(probe / 10)
+	t0 := time.Now()
+	spin(probe)
+	per := float64(probe) / (float64(time.Since(t0)) / float64(time.Microsecond))
+	if per < 1 {
+		per = 1
+	}
+	return int(per)
+}()
+
+// LoopsForGrain converts a per-vertex compute grain to spin loops.
+func LoopsForGrain(grain time.Duration) int {
+	return int(float64(loopsPerMicro) * float64(grain) / float64(time.Microsecond))
+}
+
+// Workload describes a synthetic correlation computation: a layered
+// graph whose vertices spin for a fixed grain and propagate
+// deterministic hashes, with sources (and optionally interior vertices)
+// emitting sparsely.
+type Workload struct {
+	Depth, Width, FanIn int
+	// Grain is the per-vertex compute time (0 = no spinning).
+	Grain time.Duration
+	// SourceRate is the probability a source emits in a phase (1 = every
+	// phase).
+	SourceRate float64
+	// InteriorRate is the probability an interior vertex forwards when
+	// its inputs changed (1 = always).
+	InteriorRate float64
+	Seed         uint64
+}
+
+// Build materializes the workload: a fresh numbered graph and fresh
+// module instances (modules are stateful and single-use).
+func (w Workload) Build() (*graph.Numbered, []core.Module) {
+	rng := rand.New(rand.NewPCG(w.Seed, w.Seed^0xdecafbad))
+	ng, err := graph.Layered(w.Depth, w.Width, w.FanIn, rng).Number()
+	if err != nil {
+		panic(err) // static topology parameters; cannot fail
+	}
+	return ng, BuildModsFor(ng, w)
+}
+
+// intEvent wraps event.Int; a local alias keeping module closures terse.
+func intEvent(i int64) event.Value { return event.Int(i) }
+
+// rateThresh converts a firing probability into a threshold over the top
+// 53 bits of a hash: fire iff h>>11 < rateThresh(rate). Rates ≥ 1 fire
+// always; computing the threshold in the 53-bit domain avoids the uint64
+// overflow that a naive rate*2^64 conversion hits at rate = 1.
+func rateThresh(rate float64) uint64 {
+	if rate >= 1 {
+		return 1 << 53
+	}
+	if rate <= 0 {
+		return 0
+	}
+	return uint64(rate * float64(uint64(1)<<53))
+}
+
+// Phases returns empty external-input batches for n phases (workload
+// sources are self-driven).
+func Phases(n int) [][]core.ExtInput { return make([][]core.ExtInput, n) }
+
+// MaxWorkers caps thread sweeps at the host's parallelism.
+func MaxWorkers(limit int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > limit {
+		return limit
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the numbered graph in Graphviz dot syntax, one vertex per
+// index with its display name, sources drawn as boxes and sinks as double
+// circles. Useful for debugging example topologies; no Graphviz binary is
+// required to produce the text.
+func (ng *Numbered) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n")
+	for v := 1; v <= ng.n; v++ {
+		shape := "ellipse"
+		if ng.IsSource(v) {
+			shape = "box"
+		} else if ng.IsSink(v) {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%d: %s\" shape=%s];\n", v, v, ng.Name(v), shape)
+	}
+	for v := 1; v <= ng.n; v++ {
+		for _, s := range ng.succ[v-1] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", v, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary returns a one-line description of the numbered graph's shape,
+// used in experiment table headers.
+func (ng *Numbered) Summary() string {
+	return fmt.Sprintf("N=%d E=%d sources=%d depth=%d", ng.n, ng.edges, ng.Sources(), ng.Depth())
+}

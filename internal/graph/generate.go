@@ -1,0 +1,230 @@
+package graph
+
+import "math/rand/v2"
+
+// The generators in this file build the DAG families used throughout the
+// test suite and the experiment harness. All randomness is drawn from a
+// caller-supplied seed so that every workload is reproducible.
+
+// Chain returns a path graph v1 -> v2 -> ... -> vn. Chains maximize
+// pipeline depth per vertex and are the worst case for intra-phase
+// parallelism.
+func Chain(n int) *Graph {
+	g := New()
+	g.AddVertices(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustEdge(i, i+1)
+	}
+	return g
+}
+
+// Diamond returns the classic 4-vertex diamond: one source fanning out to
+// two parallel vertices that join at a sink. The smallest graph where
+// Δ-dataflow readiness is nontrivial (the join must learn about absent
+// messages).
+func Diamond() *Graph {
+	g := New()
+	s := g.AddVertex("src")
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	t := g.AddVertex("sink")
+	g.MustEdge(s, a)
+	g.MustEdge(s, b)
+	g.MustEdge(a, t)
+	g.MustEdge(b, t)
+	return g
+}
+
+// Layered returns a graph of depth layers each containing width vertices.
+// Every vertex in layer i+1 receives edges from fanin randomly chosen
+// vertices of layer i (or all of them when fanin >= width). Layer 0
+// vertices are sources. This is the standard workload topology for the
+// scaling experiments: depth controls pipelining, width controls
+// intra-phase parallelism.
+func Layered(depth, width, fanin int, rng *rand.Rand) *Graph {
+	g := New()
+	prev := make([]int, 0, width)
+	cur := make([]int, 0, width)
+	for l := 0; l < depth; l++ {
+		cur = cur[:0]
+		for i := 0; i < width; i++ {
+			cur = append(cur, g.AddVertices(1))
+		}
+		if l > 0 {
+			for _, w := range cur {
+				if fanin >= width {
+					for _, u := range prev {
+						g.MustEdge(u, w)
+					}
+					continue
+				}
+				// Sample fanin distinct predecessors from prev.
+				perm := rng.Perm(len(prev))
+				for k := 0; k < fanin && k < len(perm); k++ {
+					g.MustEdge(prev[perm[k]], w)
+				}
+			}
+		}
+		prev = append(prev[:0], cur...)
+	}
+	return g
+}
+
+// Random returns a DAG with n vertices where each ordered pair (i, j),
+// i < j in construction order, is an edge with probability p. Vertices
+// that end up with no predecessors are sources. Used by the property
+// tests to exercise the numbering and engine on unstructured topologies.
+func Random(n int, p float64, rng *rand.Rand) *Graph {
+	g := New()
+	g.AddVertices(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.MustEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected is Random but guarantees every non-first vertex has at
+// least one predecessor (a single connected "correlation network" with
+// vertex 0 as the only source unless p adds more structure). Sink-heavy
+// graphs stress the frontier bookkeeping.
+func RandomConnected(n int, p float64, rng *rand.Rand) *Graph {
+	g := New()
+	g.AddVertices(n)
+	for j := 1; j < n; j++ {
+		// guaranteed predecessor, uniform among earlier vertices
+		g.MustEdge(rng.IntN(j), j)
+		for i := 0; i < j; i++ {
+			if rng.Float64() < p {
+				// AddEdge rejects duplicates; ignore those.
+				_ = g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// FanInTree returns a complete k-ary in-tree with the given number of
+// leaves: leaves are sources, internal vertices aggregate k children, and
+// the root is the single sink. Models hierarchical sensor aggregation.
+func FanInTree(leaves, k int) *Graph {
+	g := New()
+	level := make([]int, 0, leaves)
+	for i := 0; i < leaves; i++ {
+		level = append(level, g.AddVertices(1))
+	}
+	for len(level) > 1 {
+		next := make([]int, 0, (len(level)+k-1)/k)
+		for i := 0; i < len(level); i += k {
+			parent := g.AddVertices(1)
+			for j := i; j < i+k && j < len(level); j++ {
+				g.MustEdge(level[j], parent)
+			}
+			next = append(next, parent)
+		}
+		level = next
+	}
+	return g
+}
+
+// FanOutIn returns a graph with one source fanning out to width parallel
+// workers that all join into one sink — the maximum intra-phase
+// parallelism per vertex count.
+func FanOutIn(width int) *Graph {
+	g := New()
+	src := g.AddVertex("src")
+	sink := g.AddVertex("sink")
+	_ = sink
+	mid := make([]int, width)
+	for i := range mid {
+		mid[i] = g.AddVertices(1)
+		g.MustEdge(src, mid[i])
+	}
+	for _, m := range mid {
+		g.MustEdge(m, sink)
+	}
+	return g
+}
+
+// Figure1 returns the 10-node graph of Figure 1 of the paper: a pipeline
+// of five 2-vertex stages in which five phases can execute concurrently.
+// The figure does not label edges, so we use the canonical reading — a
+// ladder: each stage has two vertices, each feeding both vertices of the
+// next stage.
+func Figure1() *Graph {
+	g := New()
+	ids := make([]int, 10)
+	for i := range ids {
+		ids[i] = g.AddVertices(1)
+	}
+	for stage := 0; stage < 4; stage++ {
+		a, b := ids[2*stage], ids[2*stage+1]
+		c, d := ids[2*stage+2], ids[2*stage+3]
+		g.MustEdge(a, c)
+		g.MustEdge(a, d)
+		g.MustEdge(b, c)
+		g.MustEdge(b, d)
+	}
+	return g
+}
+
+// Figure2 returns the 7-vertex graph used in Figure 2 of the paper,
+// along with the two numberings shown there: perm (a), which is
+// topologically sorted but violates the S-prefix restriction, and perm
+// (b), which satisfies it. Construction IDs 0..6 correspond to the
+// vertices labelled 1..7 in subfigure (b).
+//
+// The topology is reconstructed from the S-sequences the paper prints.
+// In (b)-labels: sources are 1, 2, 3; lastPred(4) = 2 (S(2) gains 4),
+// lastPred(5) = 3 (S(3) gains 5), lastPred(6) = 5 (S(5) gains 6), and
+// lastPred(7) = 6. In (a), where labels 4 and 5 are transposed,
+// S(2) = {1,2,3,5} is not a prefix — 4 is missing — and S(4) gains 6,
+// forcing vertex 4 (= (b)'s 5) to be 6's deepest predecessor and ruling
+// out an edge 4→6 in (b)-labels. Edges: 1→4, 2→4, 3→5, 5→6, 6→7, 4→7.
+//
+//	(b): m = [3, 3, 4, 5, 5, 6, 7, 7]   (the sequence printed in §3.1.1)
+func Figure2() (g *Graph, permA, permB []int) {
+	g = New()
+	v1 := g.AddVertex("1")
+	v2 := g.AddVertex("2")
+	v3 := g.AddVertex("3")
+	v4 := g.AddVertex("4") // labelled 5 in subfigure (a)
+	v5 := g.AddVertex("5") // labelled 4 in subfigure (a)
+	v6 := g.AddVertex("6")
+	v7 := g.AddVertex("7")
+	g.MustEdge(v1, v4)
+	g.MustEdge(v2, v4)
+	g.MustEdge(v3, v5)
+	g.MustEdge(v5, v6)
+	g.MustEdge(v6, v7)
+	g.MustEdge(v4, v7)
+	// Permutations map construction ID -> assigned index.
+	permB = []int{1, 2, 3, 4, 5, 6, 7}
+	// Subfigure (a) transposes the labels of the two middle vertices.
+	permA = []int{1, 2, 3, 5, 4, 6, 7}
+	return g, permA, permB
+}
+
+// Figure3 returns the 6-vertex graph used in the execution walkthrough of
+// Figure 3. From the figure: sources 1 and 2; vertex 3 reads 1 and 2;
+// vertex 4 reads 2; vertex 5 reads 3 and 4; vertex 6 reads 4 (a sink
+// alongside 5).
+func Figure3() *Graph {
+	g := New()
+	v1 := g.AddVertex("1")
+	v2 := g.AddVertex("2")
+	v3 := g.AddVertex("3")
+	v4 := g.AddVertex("4")
+	v5 := g.AddVertex("5")
+	v6 := g.AddVertex("6")
+	g.MustEdge(v1, v3)
+	g.MustEdge(v2, v3)
+	g.MustEdge(v2, v4)
+	g.MustEdge(v3, v5)
+	g.MustEdge(v4, v5)
+	g.MustEdge(v4, v6)
+	return g
+}

@@ -1,0 +1,422 @@
+// Package graph provides the computation-graph substrate of the event
+// correlation engine: directed acyclic graphs of computational modules,
+// the restricted topological numbering of §3.1.1 of the paper, the m(v)
+// prefix function used for readiness detection, validation utilities and
+// random-graph generators for tests and benchmarks.
+//
+// Vertices in a numbered graph are identified by integer indices 1..N
+// exactly as in the paper; index 0 is reserved (m(0) is the number of
+// source vertices).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a mutable directed graph under construction. Vertices are
+// created by AddVertex and referenced by the opaque IDs it returns; edges
+// are added by AddEdge. Call Number to freeze the graph into a Numbered
+// graph satisfying the paper's indexing restriction.
+type Graph struct {
+	names []string
+	succ  [][]int // successor vertex IDs, 0-based
+	pred  [][]int // predecessor vertex IDs, 0-based
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddVertex adds a vertex with the given display name and returns its
+// 0-based construction ID. Names need not be unique but unique names make
+// traces and DOT output much easier to read.
+func (g *Graph) AddVertex(name string) int {
+	g.names = append(g.names, name)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return len(g.names) - 1
+}
+
+// AddVertices adds n anonymous vertices named v0..v(n-1) starting at the
+// current size, returning the ID of the first.
+func (g *Graph) AddVertices(n int) int {
+	first := len(g.names)
+	for i := 0; i < n; i++ {
+		g.AddVertex(fmt.Sprintf("v%d", first+i))
+	}
+	return first
+}
+
+// AddEdge adds a directed edge from construction ID u to construction ID
+// w. Duplicate edges are rejected: the engine treats each edge as one
+// input port and duplicating it would double-deliver messages.
+func (g *Graph) AddEdge(u, w int) error {
+	if u < 0 || u >= len(g.names) || w < 0 || w >= len(g.names) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, w, len(g.names))
+	}
+	if u == w {
+		return fmt.Errorf("graph: self-loop on vertex %d (%s)", u, g.names[u])
+	}
+	for _, s := range g.succ[u] {
+		if s == w {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, w)
+		}
+	}
+	g.succ[u] = append(g.succ[u], w)
+	g.pred[w] = append(g.pred[w], u)
+	g.edges++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; intended for tests and
+// hand-built example graphs where edges are statically known to be valid.
+func (g *Graph) MustEdge(u, w int) {
+	if err := g.AddEdge(u, w); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.names) }
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// Name returns the display name of construction ID id.
+func (g *Graph) Name(id int) string { return g.names[id] }
+
+// Numbered is an immutable computation graph whose vertices carry indices
+// 1..N that are topologically sorted and satisfy the paper's additional
+// restriction: for every v, S(v) — the set of vertices all of whose
+// predecessors are indexed ≤ v — equals the prefix {1, ..., m(v)}.
+type Numbered struct {
+	n     int
+	names []string // names[v-1] is the display name of vertex v
+	succ  [][]int  // succ[v-1] lists successor indices of vertex v, ascending
+	pred  [][]int  // pred[v-1] lists predecessor indices of vertex v, ascending
+	// inPort[v-1][u] is the input-port index at v on which messages from
+	// predecessor u arrive; ports are 0..len(pred)-1 in ascending
+	// predecessor order.
+	inPort []map[int]int
+	m      []int // m[v] for v in 0..N (m[0] = number of sources)
+	id2idx []int // construction ID -> index
+	idx2id []int // index -> construction ID
+	edges  int
+}
+
+// N returns the number of vertices.
+func (ng *Numbered) N() int { return ng.n }
+
+// Edges returns the number of edges.
+func (ng *Numbered) Edges() int { return ng.edges }
+
+// M returns m(v), the size of S(v): when all vertices indexed ≤ v have
+// finished a phase, all vertices indexed ≤ m(v) have sufficient
+// information to execute that phase. Valid for 0 ≤ v ≤ N.
+func (ng *Numbered) M(v int) int { return ng.m[v] }
+
+// Sources returns the number of source vertices; sources are exactly the
+// vertices indexed 1..Sources().
+func (ng *Numbered) Sources() int { return ng.m[0] }
+
+// IsSource reports whether vertex v has no input edges.
+func (ng *Numbered) IsSource(v int) bool { return v >= 1 && v <= ng.m[0] }
+
+// IsSink reports whether vertex v has no output edges.
+func (ng *Numbered) IsSink(v int) bool { return len(ng.succ[v-1]) == 0 }
+
+// Succ returns the successor indices of vertex v in ascending order. The
+// returned slice is shared and must not be mutated.
+func (ng *Numbered) Succ(v int) []int { return ng.succ[v-1] }
+
+// Pred returns the predecessor indices of vertex v in ascending order.
+// The returned slice is shared and must not be mutated.
+func (ng *Numbered) Pred(v int) []int { return ng.pred[v-1] }
+
+// InDegree returns the number of input ports of vertex v.
+func (ng *Numbered) InDegree(v int) int { return len(ng.pred[v-1]) }
+
+// OutDegree returns the number of output edges of vertex v.
+func (ng *Numbered) OutDegree(v int) int { return len(ng.succ[v-1]) }
+
+// PortOf returns the input-port index at vertex w on which messages from
+// predecessor u arrive. It panics if (u,w) is not an edge.
+func (ng *Numbered) PortOf(u, w int) int {
+	p, ok := ng.inPort[w-1][u]
+	if !ok {
+		panic(fmt.Sprintf("graph: no edge (%d,%d)", u, w))
+	}
+	return p
+}
+
+// Name returns the display name of vertex v (1-based index).
+func (ng *Numbered) Name(v int) string { return ng.names[v-1] }
+
+// IndexOf returns the 1-based index assigned to construction ID id.
+func (ng *Numbered) IndexOf(id int) int { return ng.id2idx[id] }
+
+// IDOf returns the construction ID of the vertex with 1-based index v.
+func (ng *Numbered) IDOf(v int) int { return ng.idx2id[v] }
+
+// Depth returns the length of the longest path in the graph measured in
+// vertices (a single vertex has depth 1). This is the minimum number of
+// sequential steps a phase needs from sources to sinks, and bounds the
+// pipeline depth observable in Figure 1-style experiments.
+func (ng *Numbered) Depth() int {
+	depth := make([]int, ng.n+1)
+	max := 0
+	for v := 1; v <= ng.n; v++ {
+		d := 1
+		for _, u := range ng.pred[v-1] {
+			if depth[u]+1 > d {
+				d = depth[u] + 1
+			}
+		}
+		depth[v] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Levels returns, for each vertex index 1..N, its level: sources are level
+// 0 and every other vertex is one more than its deepest predecessor. Used
+// by the barrier baseline executor.
+func (ng *Numbered) Levels() []int {
+	lv := make([]int, ng.n+1)
+	for v := 1; v <= ng.n; v++ {
+		l := 0
+		for _, u := range ng.pred[v-1] {
+			if lv[u]+1 > l {
+				l = lv[u] + 1
+			}
+		}
+		lv[v] = l
+	}
+	return lv[1:]
+}
+
+// Number freezes g into a Numbered graph, producing an indexing that is
+// topologically sorted and satisfies the S-prefix restriction of §3.1.1.
+//
+// A numbering satisfies the restriction iff vertices appear in
+// non-decreasing order of "ready time" — the index assigned to the last of
+// their predecessors to be numbered (0 for sources). Kahn's algorithm with
+// a FIFO queue assigns indices in exactly that order: when the vertex
+// receiving index v is the last predecessor of w, w is appended to the
+// queue, and every vertex appended later has ready time ≥ v. The
+// construction is O(V + E) and fails only if the graph has a cycle.
+func (g *Graph) Number() (*Numbered, error) {
+	n := len(g.names)
+	indeg := make([]int, n)
+	for id := 0; id < n; id++ {
+		indeg[id] = len(g.pred[id])
+	}
+	// FIFO queue of construction IDs whose predecessors are all numbered.
+	// Seed with sources in ID order for determinism.
+	queue := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	id2idx := make([]int, n)
+	idx2id := make([]int, n+1)
+	next := 1
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		id2idx[id] = next
+		idx2id[next] = id
+		next++
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if next != n+1 {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d vertices numbered)", next-1, n)
+	}
+
+	ng := &Numbered{
+		n:      n,
+		names:  make([]string, n),
+		succ:   make([][]int, n),
+		pred:   make([][]int, n),
+		inPort: make([]map[int]int, n),
+		id2idx: id2idx,
+		idx2id: idx2id,
+		edges:  g.edges,
+	}
+	for v := 1; v <= n; v++ {
+		id := idx2id[v]
+		ng.names[v-1] = g.names[id]
+		for _, s := range g.succ[id] {
+			ng.succ[v-1] = append(ng.succ[v-1], id2idx[s])
+		}
+		for _, p := range g.pred[id] {
+			ng.pred[v-1] = append(ng.pred[v-1], id2idx[p])
+		}
+		sort.Ints(ng.succ[v-1])
+		sort.Ints(ng.pred[v-1])
+		ports := make(map[int]int, len(ng.pred[v-1]))
+		for i, u := range ng.pred[v-1] {
+			ports[u] = i
+		}
+		ng.inPort[v-1] = ports
+	}
+	ng.m = computeM(ng)
+	if err := ValidateNumbering(ng); err != nil {
+		// Should be impossible by construction; fail loudly if the
+		// invariant is ever broken rather than corrupting executions.
+		return nil, fmt.Errorf("graph: internal error: constructed numbering invalid: %w", err)
+	}
+	return ng, nil
+}
+
+// computeM derives m(v) = |S(v)| for 0 ≤ v ≤ N from the numbered graph.
+// lastPred(w) is the maximum predecessor index of w (0 for sources);
+// S(v) = {w : lastPred(w) ≤ v}, so m(v) counts vertices whose lastPred is
+// ≤ v. With a restriction-satisfying numbering this is a prefix count.
+func computeM(ng *Numbered) []int {
+	n := ng.n
+	// histogram of lastPred values
+	counts := make([]int, n+1)
+	for w := 1; w <= n; w++ {
+		lp := 0
+		for _, u := range ng.pred[w-1] {
+			if u > lp {
+				lp = u
+			}
+		}
+		counts[lp]++
+	}
+	m := make([]int, n+1)
+	running := 0
+	for v := 0; v <= n; v++ {
+		running += counts[v]
+		m[v] = running
+	}
+	return m
+}
+
+// ValidateNumbering checks that a Numbered graph's indexing is
+// topologically sorted and that every S(v) is the prefix {1..m(v)} — the
+// two conditions of §3.1.1 — and that the m values satisfy properties
+// (2)-(4) of the paper. It returns nil when all hold.
+func ValidateNumbering(ng *Numbered) error {
+	n := ng.n
+	// Topological order: every edge goes from lower to higher index.
+	for v := 1; v <= n; v++ {
+		for _, s := range ng.succ[v-1] {
+			if s <= v {
+				return fmt.Errorf("edge (%d,%d) not topologically sorted", v, s)
+			}
+		}
+	}
+	// S-prefix restriction, checked against a direct evaluation of the
+	// definition S(v) = {w | all preds of w are ≤ v}.
+	lastPred := make([]int, n+1)
+	for w := 1; w <= n; w++ {
+		for _, u := range ng.pred[w-1] {
+			if u > lastPred[w] {
+				lastPred[w] = u
+			}
+		}
+	}
+	for v := 0; v <= n; v++ {
+		size := 0
+		prefix := true
+		for w := 1; w <= n; w++ {
+			if lastPred[w] <= v {
+				size++
+				if size != w {
+					prefix = false
+				}
+			}
+		}
+		if !prefix {
+			return fmt.Errorf("S(%d) is not a prefix", v)
+		}
+		if size != ng.m[v] {
+			return fmt.Errorf("m(%d) = %d but |S(%d)| = %d", v, ng.m[v], v, size)
+		}
+	}
+	// Properties (2)-(4).
+	for v := 1; v <= n; v++ {
+		if ng.m[v-1] > ng.m[v] {
+			return fmt.Errorf("m not monotone at %d: m(%d)=%d > m(%d)=%d", v, v-1, ng.m[v-1], v, ng.m[v])
+		}
+	}
+	for v := 1; v < n; v++ {
+		if v >= ng.m[v] {
+			return fmt.Errorf("property (3) violated: m(%d) = %d ≤ %d", v, ng.m[v], v)
+		}
+	}
+	if n > 0 && ng.m[n] != n {
+		return fmt.Errorf("property (4) violated: m(N) = %d, want %d", ng.m[n], n)
+	}
+	return nil
+}
+
+// CheckIndexing verifies an externally supplied numbering (a permutation
+// perm where perm[id] is the 1-based index of construction ID id) against
+// the paper's two conditions, without rebuilding the graph. It is used to
+// test numberings that are expected to fail, such as Figure 2(a).
+func (g *Graph) CheckIndexing(perm []int) error {
+	n := len(g.names)
+	if len(perm) != n {
+		return fmt.Errorf("graph: permutation has %d entries, want %d", len(perm), n)
+	}
+	seen := make([]bool, n+1)
+	for id, v := range perm {
+		if v < 1 || v > n {
+			return fmt.Errorf("graph: index %d for vertex %d out of range", v, id)
+		}
+		if seen[v] {
+			return fmt.Errorf("graph: index %d assigned twice", v)
+		}
+		seen[v] = true
+	}
+	// Topological order.
+	for id := 0; id < n; id++ {
+		for _, s := range g.succ[id] {
+			if perm[s] <= perm[id] {
+				return fmt.Errorf("edge (%d,%d) not topologically sorted under permutation", perm[id], perm[s])
+			}
+		}
+	}
+	// S-prefix restriction via lastPred.
+	lastPred := make([]int, n+1)
+	for id := 0; id < n; id++ {
+		w := perm[id]
+		for _, p := range g.pred[id] {
+			if perm[p] > lastPred[w] {
+				lastPred[w] = perm[p]
+			}
+		}
+	}
+	for v := 0; v <= n; v++ {
+		size := 0
+		for w := 1; w <= n; w++ {
+			if lastPred[w] <= v {
+				size++
+				if size != w {
+					return fmt.Errorf("S(%d) is not a prefix under permutation", v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MSequence returns the sequence [m(0), m(1), ..., m(N)]; Figure 2(b) of
+// the paper lists this sequence for its example graph.
+func (ng *Numbered) MSequence() []int {
+	out := make([]int, len(ng.m))
+	copy(out, ng.m)
+	return out
+}

@@ -1,0 +1,395 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustNumber(t *testing.T, g *Graph) *Numbered {
+	t.Helper()
+	ng, err := g.Number()
+	if err != nil {
+		t.Fatalf("Number: %v", err)
+	}
+	return ng
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := g.AddEdge(-1, b); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if g.Edges() != 1 {
+		t.Errorf("Edges() = %d, want 1", g.Edges())
+	}
+}
+
+func TestMustEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEdge did not panic on invalid edge")
+		}
+	}()
+	g := New()
+	a := g.AddVertex("a")
+	g.MustEdge(a, a)
+}
+
+func TestNumberCycleDetection(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	c := g.AddVertex("c")
+	g.MustEdge(a, b)
+	g.MustEdge(b, c)
+	g.MustEdge(c, a)
+	if _, err := g.Number(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestNumberEmptyAndSingle(t *testing.T) {
+	g := New()
+	ng := mustNumber(t, g)
+	if ng.N() != 0 {
+		t.Errorf("empty graph N = %d", ng.N())
+	}
+	g2 := New()
+	g2.AddVertex("only")
+	ng2 := mustNumber(t, g2)
+	if ng2.N() != 1 || ng2.Sources() != 1 || !ng2.IsSink(1) {
+		t.Errorf("single vertex: N=%d sources=%d sink=%v", ng2.N(), ng2.Sources(), ng2.IsSink(1))
+	}
+	if ng2.M(0) != 1 || ng2.M(1) != 1 {
+		t.Errorf("single vertex m = %v", ng2.MSequence())
+	}
+}
+
+func TestChainNumbering(t *testing.T) {
+	ng := mustNumber(t, Chain(5))
+	if ng.Sources() != 1 {
+		t.Errorf("chain sources = %d", ng.Sources())
+	}
+	if ng.Depth() != 5 {
+		t.Errorf("chain depth = %d", ng.Depth())
+	}
+	// In a chain, m(v) = v+1 for v < N: knowing vertex v finished lets
+	// exactly v+1 execute.
+	for v := 0; v < 5; v++ {
+		if ng.M(v) != v+1 {
+			t.Errorf("chain m(%d) = %d, want %d", v, ng.M(v), v+1)
+		}
+	}
+	if ng.M(5) != 5 {
+		t.Errorf("chain m(N) = %d", ng.M(5))
+	}
+}
+
+func TestDiamondStructure(t *testing.T) {
+	ng := mustNumber(t, Diamond())
+	if ng.Sources() != 1 {
+		t.Errorf("diamond sources = %d", ng.Sources())
+	}
+	if ng.Depth() != 3 {
+		t.Errorf("diamond depth = %d", ng.Depth())
+	}
+	if got := ng.MSequence(); !reflect.DeepEqual(got, []int{1, 3, 3, 4, 4}) {
+		t.Errorf("diamond m = %v, want [1 3 3 4 4]", got)
+	}
+	sink := 4
+	if !ng.IsSink(sink) || ng.InDegree(sink) != 2 {
+		t.Errorf("diamond sink wrong: sink=%v indeg=%d", ng.IsSink(sink), ng.InDegree(sink))
+	}
+}
+
+func TestFigure2Numberings(t *testing.T) {
+	g, permA, permB := Figure2()
+	// The paper: numbering (a) is topologically sorted but fails the
+	// restriction; numbering (b) satisfies it.
+	if err := g.CheckIndexing(permB); err != nil {
+		t.Errorf("numbering (b) rejected: %v", err)
+	}
+	if err := g.CheckIndexing(permA); err == nil {
+		t.Error("numbering (a) accepted; paper says S(2) = {1,2,3,5} is not a prefix")
+	} else if !strings.Contains(err.Error(), "prefix") {
+		t.Errorf("numbering (a) rejected for wrong reason: %v", err)
+	}
+}
+
+func TestFigure2MSequence(t *testing.T) {
+	g, _, permB := Figure2()
+	ng := mustNumber(t, g)
+	want := []int{3, 3, 4, 5, 5, 6, 7, 7} // §3.1.1 of the paper
+	if got := ng.MSequence(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Figure 2(b) m-sequence = %v, want %v", got, want)
+	}
+	// Our FIFO-Kahn numbering should coincide with the paper's (b)
+	// numbering for this construction order.
+	for id, idx := range permB {
+		if ng.IndexOf(id) != idx {
+			t.Errorf("vertex %s numbered %d, paper gives %d", g.Name(id), ng.IndexOf(id), idx)
+		}
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	ng := mustNumber(t, Figure1())
+	if ng.N() != 10 {
+		t.Fatalf("Figure1 N = %d", ng.N())
+	}
+	if ng.Sources() != 2 {
+		t.Errorf("Figure1 sources = %d, want 2", ng.Sources())
+	}
+	if ng.Depth() != 5 {
+		t.Errorf("Figure1 depth = %d, want 5 (five pipeline stages)", ng.Depth())
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	ng := mustNumber(t, Figure3())
+	if ng.N() != 6 || ng.Sources() != 2 {
+		t.Fatalf("Figure3 N=%d sources=%d", ng.N(), ng.Sources())
+	}
+	want := []int{2, 2, 4, 4, 6, 6, 6}
+	if got := ng.MSequence(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Figure3 m = %v, want %v", got, want)
+	}
+	if !ng.IsSink(5) || !ng.IsSink(6) {
+		t.Errorf("Figure3 sinks: 5=%v 6=%v", ng.IsSink(5), ng.IsSink(6))
+	}
+}
+
+func TestPortOf(t *testing.T) {
+	ng := mustNumber(t, Diamond())
+	sink := 4
+	preds := ng.Pred(sink)
+	if len(preds) != 2 {
+		t.Fatalf("sink preds = %v", preds)
+	}
+	if ng.PortOf(preds[0], sink) != 0 || ng.PortOf(preds[1], sink) != 1 {
+		t.Errorf("ports: %d %d", ng.PortOf(preds[0], sink), ng.PortOf(preds[1], sink))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PortOf on non-edge did not panic")
+		}
+	}()
+	ng.PortOf(2, 3) // siblings, no edge
+}
+
+func TestLevels(t *testing.T) {
+	ng := mustNumber(t, Chain(4))
+	if got := ng.Levels(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("chain levels = %v", got)
+	}
+	ngd := mustNumber(t, Diamond())
+	if got := ngd.Levels(); !reflect.DeepEqual(got, []int{0, 1, 1, 2}) {
+		t.Errorf("diamond levels = %v", got)
+	}
+}
+
+func TestFanInTree(t *testing.T) {
+	ng := mustNumber(t, FanInTree(8, 2))
+	if ng.Sources() != 8 {
+		t.Errorf("tree sources = %d", ng.Sources())
+	}
+	if ng.N() != 15 { // 8 + 4 + 2 + 1
+		t.Errorf("tree N = %d, want 15", ng.N())
+	}
+	sinks := 0
+	for v := 1; v <= ng.N(); v++ {
+		if ng.IsSink(v) {
+			sinks++
+		}
+	}
+	if sinks != 1 {
+		t.Errorf("tree sinks = %d, want 1", sinks)
+	}
+}
+
+func TestFanOutIn(t *testing.T) {
+	ng := mustNumber(t, FanOutIn(6))
+	if ng.Sources() != 1 || ng.N() != 8 || ng.Depth() != 3 {
+		t.Errorf("fan-out-in: sources=%d N=%d depth=%d", ng.Sources(), ng.N(), ng.Depth())
+	}
+}
+
+func TestLayeredShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	ng := mustNumber(t, Layered(4, 5, 2, rng))
+	if ng.N() != 20 || ng.Sources() != 5 || ng.Depth() != 4 {
+		t.Errorf("layered: N=%d sources=%d depth=%d", ng.N(), ng.Sources(), ng.Depth())
+	}
+	// every non-source vertex has exactly fanin=2 predecessors
+	for v := ng.Sources() + 1; v <= ng.N(); v++ {
+		if ng.InDegree(v) != 2 {
+			t.Errorf("vertex %d indegree = %d, want 2", v, ng.InDegree(v))
+		}
+	}
+}
+
+func TestLayeredFullFanin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	ng := mustNumber(t, Layered(3, 3, 10, rng)) // fanin >= width → complete bipartite layers
+	for v := 4; v <= 9; v++ {
+		if ng.InDegree(v) != 3 {
+			t.Errorf("vertex %d indegree = %d, want 3", v, ng.InDegree(v))
+		}
+	}
+}
+
+func TestRandomConnectedSingleSource(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 10; trial++ {
+		ng := mustNumber(t, RandomConnected(30, 0.1, rng))
+		if ng.Sources() != 1 {
+			t.Errorf("RandomConnected sources = %d, want 1", ng.Sources())
+		}
+	}
+}
+
+func TestCheckIndexingErrors(t *testing.T) {
+	g := Chain(3)
+	if err := g.CheckIndexing([]int{1, 2}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if err := g.CheckIndexing([]int{1, 2, 5}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := g.CheckIndexing([]int{1, 1, 2}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := g.CheckIndexing([]int{3, 2, 1}); err == nil {
+		t.Error("anti-topological permutation accepted")
+	}
+	if err := g.CheckIndexing([]int{1, 2, 3}); err != nil {
+		t.Errorf("valid chain numbering rejected: %v", err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	ng := mustNumber(t, Diamond())
+	dot := ng.DOT("diamond")
+	for _, want := range []string{"digraph", "n1 -> n2", "shape=box", "shape=doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	ng := mustNumber(t, Diamond())
+	if got := ng.Summary(); got != "N=4 E=4 sources=1 depth=3" {
+		t.Errorf("Summary = %q", got)
+	}
+}
+
+// property: for every generated random DAG, the constructed numbering
+// passes independent validation (topological + S-prefix + m properties).
+func TestNumberingPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(60)
+		p := rng.Float64() * 0.3
+		g := Random(n, p, rng)
+		ng := mustNumber(t, g)
+		if err := ValidateNumbering(ng); err != nil {
+			t.Fatalf("trial %d (n=%d p=%.2f): %v", trial, n, p, err)
+		}
+	}
+}
+
+// property: quick.Check over seeds — m is monotone, v < m(v) for v < N,
+// m(N) = N, and the source count equals m(0).
+func TestMPropertiesQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := 1 + int(nRaw%50)
+		p := float64(pRaw%100) / 150.0
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		ng, err := Random(n, p, rng).Number()
+		if err != nil {
+			return false
+		}
+		if ng.M(n) != n {
+			return false
+		}
+		src := 0
+		for v := 1; v <= n; v++ {
+			if ng.InDegree(v) == 0 {
+				src++
+			}
+			if ng.M(v-1) > ng.M(v) {
+				return false
+			}
+			if v < n && v >= ng.M(v) {
+				return false
+			}
+		}
+		return src == ng.M(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// property: numbering round-trips construction IDs.
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := Random(40, 0.15, rng)
+	ng := mustNumber(t, g)
+	for id := 0; id < g.Len(); id++ {
+		if ng.IDOf(ng.IndexOf(id)) != id {
+			t.Fatalf("round trip failed for id %d", id)
+		}
+	}
+	for v := 1; v <= ng.N(); v++ {
+		if ng.IndexOf(ng.IDOf(v)) != v {
+			t.Fatalf("round trip failed for index %d", v)
+		}
+	}
+}
+
+// property: predecessor/successor lists are mutually consistent and
+// ports are dense 0..indeg-1.
+func TestAdjacencyConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	ng := mustNumber(t, Random(50, 0.1, rng))
+	for v := 1; v <= ng.N(); v++ {
+		for _, s := range ng.Succ(v) {
+			found := false
+			for _, p := range ng.Pred(s) {
+				if p == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) missing from pred list", v, s)
+			}
+		}
+		seen := make(map[int]bool)
+		for _, u := range ng.Pred(v) {
+			port := ng.PortOf(u, v)
+			if port < 0 || port >= ng.InDegree(v) || seen[port] {
+				t.Fatalf("bad port %d for edge (%d,%d)", port, u, v)
+			}
+			seen[port] = true
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package metrics provides the small measurement and reporting toolkit
+// the experiment harness uses: wall-clock timing with repetition,
+// throughput/speedup arithmetic, and aligned text tables matching the
+// rows the paper's evaluation reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// MeasureWall runs f once and returns its wall-clock duration.
+func MeasureWall(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// BestOf runs f reps times and returns the minimum duration — the
+// standard way to strip scheduler noise from a throughput measurement.
+// reps < 1 is treated as 1.
+func BestOf(reps int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(-1)
+	for i := 0; i < reps; i++ {
+		d := MeasureWall(f)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Speedup returns base/with as a ratio (0 when with is 0).
+func Speedup(base, with time.Duration) float64 {
+	if with <= 0 {
+		return 0
+	}
+	return float64(base) / float64(with)
+}
+
+// Throughput returns items per second over d.
+func Throughput(items int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(items) / d.Seconds()
+}
+
+// Table accumulates rows and renders them with aligned columns. Cells
+// are formatted at Add time; the layout pass only measures widths.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Add appends a row; cells are rendered with %v, floats with %.3g and
+// durations in milliseconds.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddStrings appends a pre-formatted row.
+func (t *Table) AddStrings(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted cell at (row, col); empty string out of
+// range. Used by tests to assert harness output.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		return fmt.Sprintf("%.3f", v)
+	case float32:
+		return fmt.Sprintf("%.3f", v)
+	case time.Duration:
+		return fmt.Sprintf("%.2fms", float64(v)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "%s\n", t.title)
+	}
+	var head strings.Builder
+	for i, h := range t.headers {
+		if i > 0 {
+			head.WriteString("  ")
+		}
+		head.WriteString(pad(h, widths[i]))
+	}
+	fmt.Fprintln(w, head.String())
+	fmt.Fprintln(w, strings.Repeat("-", len([]rune(head.String()))))
+	for _, row := range t.rows {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				b.WriteString(pad(c, widths[i]))
+			} else {
+				b.WriteString(c)
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if n := w - len([]rune(s)); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureWallAndBestOf(t *testing.T) {
+	d := MeasureWall(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 4*time.Millisecond {
+		t.Errorf("measured %v for a 5ms sleep", d)
+	}
+	calls := 0
+	best := BestOf(3, func() { calls++; time.Sleep(time.Millisecond) })
+	if calls != 3 {
+		t.Errorf("BestOf ran %d times", calls)
+	}
+	if best <= 0 {
+		t.Errorf("best = %v", best)
+	}
+	if BestOf(0, func() {}) < 0 {
+		t.Error("BestOf(0) negative")
+	}
+}
+
+func TestSpeedupAndThroughput(t *testing.T) {
+	if s := Speedup(2*time.Second, time.Second); s != 2 {
+		t.Errorf("speedup = %g", s)
+	}
+	if s := Speedup(time.Second, 0); s != 0 {
+		t.Errorf("speedup by zero = %g", s)
+	}
+	if th := Throughput(1000, time.Second); th != 1000 {
+		t.Errorf("throughput = %g", th)
+	}
+	if th := Throughput(5, 0); th != 0 {
+		t.Errorf("throughput over zero = %g", th)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Results", "threads", "time", "speedup")
+	tb.Add(1, 200*time.Millisecond, 1.0)
+	tb.Add(2, 100*time.Millisecond, 2.0)
+	tb.AddStrings("4", "n/a", "-")
+	out := tb.String()
+	if !strings.Contains(out, "My Results") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "speedup") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "200.00ms") || !strings.Contains(out, "2.000") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 0) != "1" || tb.Cell(1, 2) != "2.000" || tb.Cell(2, 1) != "n/a" {
+		t.Errorf("cells: %q %q %q", tb.Cell(0, 0), tb.Cell(1, 2), tb.Cell(2, 1))
+	}
+	if tb.Cell(9, 9) != "" {
+		t.Error("out-of-range cell not empty")
+	}
+	// columns aligned: header line and first data row have same prefix width
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("output lines = %d", len(lines))
+	}
+}
+
+func TestTableFloat32(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.Add(float32(1.5))
+	if tb.Cell(0, 0) != "1.500" {
+		t.Errorf("float32 cell = %q", tb.Cell(0, 0))
+	}
+}

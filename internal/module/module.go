@@ -1,0 +1,155 @@
+// Package module provides the library of computational modules —
+// sources, operators, statistical detectors and sinks — that populate
+// the vertices of a correlation graph, together with a registry so
+// graphs can be declared by name in XML specifications (§4 of the paper:
+// "vertices as instances of Java classes conforming to well-defined
+// guidelines"; here, registered Go constructors).
+//
+// All modules follow the Δ-dataflow contract of internal/core: they are
+// executed only in phases where at least one input changed (sources: in
+// every phase), treat absent inputs as "unchanged", and emit only when
+// their own output changes. Modules are deterministic functions of their
+// internal state and inputs; all pseudo-randomness is derived from
+// explicit seeds, so executions are reproducible and serializability is
+// checkable bit-for-bit.
+package module
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Params carries the string key/value parameters a module is constructed
+// with (from an XML spec or built programmatically).
+type Params map[string]string
+
+// Float returns the named float parameter or def when absent. It returns
+// an error only for malformed values.
+func (p Params) Float(key string, def float64) (float64, error) {
+	s, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("module: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// Int returns the named integer parameter or def when absent.
+func (p Params) Int(key string, def int) (int, error) {
+	s, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("module: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// Uint64 returns the named uint64 parameter (typically a seed) or def.
+func (p Params) Uint64(key string, def uint64) (uint64, error) {
+	s, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("module: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// String returns the named string parameter or def when absent.
+func (p Params) String(key, def string) string {
+	if s, ok := p[key]; ok {
+		return s
+	}
+	return def
+}
+
+// Factory constructs a module from parameters.
+type Factory func(p Params) (core.Module, error)
+
+// Registry maps module type names to factories.
+type Registry struct {
+	factories map[string]Factory
+}
+
+// NewRegistry returns a registry pre-populated with every built-in
+// module type in this package.
+func NewRegistry() *Registry {
+	r := &Registry{factories: make(map[string]Factory)}
+	registerBuiltins(r)
+	return r
+}
+
+// Register adds (or replaces) a factory under the given type name.
+func (r *Registry) Register(name string, f Factory) {
+	r.factories[name] = f
+}
+
+// Build constructs a module of the given registered type.
+func (r *Registry) Build(name string, p Params) (core.Module, error) {
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("module: unknown type %q (known: %v)", name, r.Names())
+	}
+	m, err := f(p)
+	if err != nil {
+		return nil, fmt.Errorf("module: building %q: %w", name, err)
+	}
+	return m, nil
+}
+
+// Names lists the registered type names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mix64 is the splitmix64 finalizer used for all seeded pseudo-random
+// module behavior. Deriving every decision as mix64(seed ^ f(phase))
+// makes sources pure functions of (seed, phase), which keeps parallel
+// and sequential executions bit-identical.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// gauss returns a deterministic standard normal deviate derived from two
+// hashes via Box-Muller (cosine branch only).
+func gauss(h1, h2 uint64) float64 {
+	u1 := unitFloat(h1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := unitFloat(h2)
+	return boxMuller(u1, u2)
+}
+
+func registerBuiltins(r *Registry) {
+	registerSources(r)
+	registerOps(r)
+	registerStatsOps(r)
+	registerStreamOps(r)
+	registerSurveillance(r)
+	registerSinks(r)
+}

@@ -1,0 +1,785 @@
+package module
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// drive feeds a module a sequence of port-0 inputs, one per phase
+// (None = silent phase for non-source semantics, still delivered as an
+// execution for source semantics), and returns the emissions per phase.
+// exec controls whether the module runs on silent phases (sources do).
+func drive(m core.Module, inputs []event.Value, execSilent bool) [][]core.Emission {
+	var d core.Driver
+	out := make([][]core.Emission, len(inputs))
+	for i, v := range inputs {
+		p := i + 1
+		var in []core.PortIn
+		if !v.IsNone() {
+			in = []core.PortIn{{Port: 0, Val: v}}
+		} else if !execSilent {
+			continue
+		}
+		emits := d.Exec(m, 1, p, 1, 1, in)
+		out[i] = append([]core.Emission(nil), emits...)
+	}
+	return out
+}
+
+// drive2 feeds a two-input module values on ports 0 and 1 (None = no
+// message on that port this phase).
+func drive2(m core.Module, a, b []event.Value) [][]core.Emission {
+	var d core.Driver
+	out := make([][]core.Emission, len(a))
+	for i := range a {
+		var in []core.PortIn
+		if !a[i].IsNone() {
+			in = append(in, core.PortIn{Port: 0, Val: a[i]})
+		}
+		if !b[i].IsNone() {
+			in = append(in, core.PortIn{Port: 1, Val: b[i]})
+		}
+		if len(in) == 0 {
+			continue
+		}
+		emits := d.Exec(m, 1, i+1, 2, 1, in)
+		out[i] = append([]core.Emission(nil), emits...)
+	}
+	return out
+}
+
+func floats(vals ...float64) []event.Value {
+	out := make([]event.Value, len(vals))
+	for i, v := range vals {
+		out[i] = event.Float(v)
+	}
+	return out
+}
+
+func TestCounterSource(t *testing.T) {
+	out := drive(&Counter{}, make([]event.Value, 5), true)
+	for i, emits := range out {
+		if len(emits) != 1 {
+			t.Fatalf("phase %d: %d emissions", i+1, len(emits))
+		}
+		if got, _ := emits[0].Val.AsInt(); got != int64(i+1) {
+			t.Errorf("phase %d: emitted %d", i+1, got)
+		}
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	a := drive(&RandomWalk{Seed: 42, Drift: 1, Start: 10}, make([]event.Value, 50), true)
+	b := drive(&RandomWalk{Seed: 42, Drift: 1, Start: 10}, make([]event.Value, 50), true)
+	for i := range a {
+		if len(a[i]) != 1 || len(b[i]) != 1 || !a[i][0].Val.Equal(b[i][0].Val) {
+			t.Fatalf("phase %d: walks diverged", i+1)
+		}
+	}
+	c := drive(&RandomWalk{Seed: 43, Drift: 1, Start: 10}, make([]event.Value, 50), true)
+	same := true
+	for i := range a {
+		if !a[i][0].Val.Equal(c[i][0].Val) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical walks")
+	}
+}
+
+func TestSinePeriodicity(t *testing.T) {
+	s := &Sine{Mean: 20, Amp: 10, Period: 24, Noise: 0}
+	out := drive(s, make([]event.Value, 48), true)
+	v6, _ := out[5][0].Val.AsFloat()   // phase 6: sin(π/2) = 1
+	v18, _ := out[17][0].Val.AsFloat() // phase 18: sin(3π/2) = -1
+	if math.Abs(v6-30) > 1e-9 || math.Abs(v18-10) > 1e-9 {
+		t.Errorf("peaks = %g / %g, want 30 / 10", v6, v18)
+	}
+	v30, _ := out[29][0].Val.AsFloat()
+	if math.Abs(v30-v6) > 1e-9 {
+		t.Errorf("period violated: %g vs %g", v30, v6)
+	}
+}
+
+func TestSpikeSparsity(t *testing.T) {
+	out := drive(&Spike{Seed: 7, Prob: 0.1, Magnitude: 5}, make([]event.Value, 10000), true)
+	fired := 0
+	for _, emits := range out {
+		fired += len(emits)
+	}
+	if fired < 800 || fired > 1200 {
+		t.Errorf("spike fired %d of 10000 phases at prob 0.1", fired)
+	}
+	silent := drive(&Spike{Seed: 7, Prob: 0}, make([]event.Value, 100), true)
+	for _, emits := range silent {
+		if len(emits) != 0 {
+			t.Fatal("prob 0 spike fired")
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	vals := []event.Value{event.Int(1), event.None(), event.Int(3)}
+	out := drive(&Replay{Values: vals}, make([]event.Value, 5), true)
+	if len(out[0]) != 1 || len(out[1]) != 0 || len(out[2]) != 1 || len(out[3]) != 0 || len(out[4]) != 0 {
+		t.Errorf("replay pattern wrong: %v", out)
+	}
+	if got, _ := out[2][0].Val.AsInt(); got != 3 {
+		t.Errorf("phase 3 = %d", got)
+	}
+}
+
+func TestExtRelay(t *testing.T) {
+	out := drive(&ExtRelay{}, []event.Value{event.Int(5), event.None(), event.Int(9)}, true)
+	if len(out[0]) != 1 || len(out[1]) != 0 || len(out[2]) != 1 {
+		t.Fatalf("relay pattern: %v", out)
+	}
+}
+
+func TestThresholdTransitionsOnly(t *testing.T) {
+	out := drive(&Threshold{Level: 10}, floats(5, 6, 11, 12, 13, 9, 8, 11), false)
+	// transitions: below(p1), above(p3), below(p6), above(p8)
+	var got []int
+	var states []bool
+	for i, emits := range out {
+		if len(emits) == 1 {
+			got = append(got, i+1)
+			states = append(states, emits[0].Val.Bool(false))
+		} else if len(emits) > 1 {
+			t.Fatalf("phase %d: %d emissions", i+1, len(emits))
+		}
+	}
+	wantPhases := []int{1, 3, 6, 8}
+	wantStates := []bool{false, true, false, true}
+	if len(got) != len(wantPhases) {
+		t.Fatalf("transitions at %v, want %v", got, wantPhases)
+	}
+	for i := range got {
+		if got[i] != wantPhases[i] || states[i] != wantStates[i] {
+			t.Fatalf("transition %d: phase %d state %v", i, got[i], states[i])
+		}
+	}
+}
+
+func TestThresholdHysteresis(t *testing.T) {
+	out := drive(&Threshold{Level: 10, Hysteresis: 2}, floats(5, 13, 9, 7, 13), false)
+	// p1: below. p2: 13 > 12 → above. p3: 9 > 8 → stays above.
+	// p4: 7 < 8 → below. p5: 13 > 12 → above.
+	var phases []int
+	for i, emits := range out {
+		if len(emits) == 1 {
+			phases = append(phases, i+1)
+		}
+	}
+	want := []int{1, 2, 4, 5}
+	if len(phases) != len(want) {
+		t.Fatalf("transitions at %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("transitions at %v, want %v", phases, want)
+		}
+	}
+}
+
+func TestLinear(t *testing.T) {
+	out := drive(&Linear{Scale: 2, Offset: 1}, floats(3), false)
+	if got, _ := out[0][0].Val.AsFloat(); got != 7 {
+		t.Errorf("linear(3) = %g, want 7", got)
+	}
+}
+
+func TestSumWaitsForAllPorts(t *testing.T) {
+	out := drive2(&Sum{},
+		[]event.Value{event.Float(1), event.None(), event.Float(5)},
+		[]event.Value{event.None(), event.Float(2), event.None()})
+	if len(out[0]) != 0 {
+		t.Error("sum emitted before all ports seen")
+	}
+	if len(out[1]) != 1 {
+		t.Fatal("sum did not emit once ready")
+	}
+	if got, _ := out[1][0].Val.AsFloat(); got != 3 {
+		t.Errorf("sum = %g, want 3", got)
+	}
+	// port 1 retains its old value 2
+	if got, _ := out[2][0].Val.AsFloat(); got != 7 {
+		t.Errorf("sum with remembered port = %g, want 7", got)
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	out := drive2(&Sum{Weights: []float64{2, -1}},
+		[]event.Value{event.Float(3)},
+		[]event.Value{event.Float(4)})
+	if got, _ := out[0][0].Val.AsFloat(); got != 2 {
+		t.Errorf("weighted sum = %g, want 2", got)
+	}
+}
+
+func TestMaxMinOf(t *testing.T) {
+	outMax := drive2(&MaxOf{},
+		[]event.Value{event.Float(1), event.Float(5), event.None()},
+		[]event.Value{event.Float(3), event.None(), event.Float(2)})
+	if got, _ := outMax[0][0].Val.AsFloat(); got != 3 {
+		t.Errorf("max = %g, want 3", got)
+	}
+	if got, _ := outMax[1][0].Val.AsFloat(); got != 5 {
+		t.Errorf("max = %g, want 5", got)
+	}
+	if len(outMax[2]) != 0 { // max(5,2) = 5 unchanged → silent
+		t.Error("max emitted unchanged value")
+	}
+	outMin := drive2(&MinOf{},
+		[]event.Value{event.Float(1), event.Float(5)},
+		[]event.Value{event.Float(3), event.None()})
+	if got, _ := outMin[0][0].Val.AsFloat(); got != 1 {
+		t.Errorf("min = %g, want 1", got)
+	}
+	// port 0 becomes 5, port 1 remembered as 3 → min moves 1 → 3: emit.
+	if len(outMin[1]) != 1 {
+		t.Fatal("min did not emit change")
+	}
+	if got, _ := outMin[1][0].Val.AsFloat(); got != 3 {
+		t.Errorf("min = %g, want 3", got)
+	}
+}
+
+func TestGateAndOr(t *testing.T) {
+	and := drive2(&Gate{Mode: "and"},
+		[]event.Value{event.Bool(true), event.Bool(true), event.None()},
+		[]event.Value{event.Bool(false), event.Bool(true), event.Bool(false)})
+	if len(and[0]) != 1 || and[0][0].Val.Bool(true) {
+		t.Error("and: first state not false")
+	}
+	if len(and[1]) != 1 || !and[1][0].Val.Bool(false) {
+		t.Error("and: did not turn true")
+	}
+	if len(and[2]) != 1 || and[2][0].Val.Bool(true) {
+		t.Error("and: did not turn false")
+	}
+	or := drive2(&Gate{Mode: "or"},
+		[]event.Value{event.Bool(false), event.Bool(true)},
+		[]event.Value{event.Bool(false), event.None()})
+	if or[0][0].Val.Bool(true) {
+		t.Error("or: first state not false")
+	}
+	if !or[1][0].Val.Bool(false) {
+		t.Error("or: did not turn true")
+	}
+}
+
+func TestChangeDetector(t *testing.T) {
+	out := drive(&ChangeDetector{}, floats(1, 1, 2, 2, 2, 3), false)
+	var phases []int
+	for i, emits := range out {
+		if len(emits) > 0 {
+			phases = append(phases, i+1)
+		}
+	}
+	want := []int{1, 3, 6}
+	if len(phases) != 3 || phases[0] != 1 || phases[1] != 3 || phases[2] != 6 {
+		t.Errorf("changes at %v, want %v", phases, want)
+	}
+}
+
+func TestDebounce(t *testing.T) {
+	in := []event.Value{
+		event.Bool(true), event.Bool(false), event.Bool(true),
+		event.Bool(true), event.Bool(true), event.Bool(false), event.Bool(false),
+	}
+	out := drive(&Debounce{Hold: 2}, in, false)
+	var fired []int
+	for i, emits := range out {
+		if len(emits) > 0 {
+			fired = append(fired, i+1)
+		}
+	}
+	// true needs 2 consecutive: phases 3,4 → fires at 4. false at 6,7 → 7.
+	if len(fired) != 2 || fired[0] != 4 || fired[1] != 7 {
+		t.Errorf("debounce fired at %v, want [4 7]", fired)
+	}
+}
+
+func TestDeadband(t *testing.T) {
+	out := drive(&Deadband{Band: 1}, floats(10, 10.5, 11.5, 11.4, 13), false)
+	var fired []int
+	for i, emits := range out {
+		if len(emits) > 0 {
+			fired = append(fired, i+1)
+		}
+	}
+	// 10 (first), 11.5 (moved 1.5), 13 (moved 1.5)
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 3 || fired[2] != 5 {
+		t.Errorf("deadband fired at %v, want [1 3 5]", fired)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	out := drive(NewMovingAverage(3, 2), floats(3, 5, 10, 1), false)
+	if len(out[0]) != 0 {
+		t.Error("emitted before min fill")
+	}
+	if got, _ := out[1][0].Val.AsFloat(); got != 4 {
+		t.Errorf("mean = %g, want 4", got)
+	}
+	if got, _ := out[2][0].Val.AsFloat(); got != 6 {
+		t.Errorf("mean = %g, want 6", got)
+	}
+	if got, _ := out[3][0].Val.AsFloat(); math.Abs(got-16.0/3) > 1e-12 {
+		t.Errorf("mean = %g, want %g", got, 16.0/3)
+	}
+}
+
+func TestSmoother(t *testing.T) {
+	out := drive(NewSmoother(0.5), floats(10, 20), false)
+	if got, _ := out[1][0].Val.AsFloat(); got != 15 {
+		t.Errorf("smoothed = %g, want 15", got)
+	}
+}
+
+func TestZScoreDetector(t *testing.T) {
+	// stable stream then a gross outlier
+	in := make([]float64, 30)
+	for i := range in {
+		in[i] = 10 + 0.1*float64(i%3)
+	}
+	in = append(in, 50) // outlier
+	in = append(in, 10) // back to normal
+	out := drive(NewZScoreDetector(20, 3, 10), floats(in...), false)
+	var transitions []int
+	var states []bool
+	for i, emits := range out {
+		if len(emits) > 0 {
+			transitions = append(transitions, i+1)
+			states = append(states, emits[0].Val.Bool(false))
+		}
+	}
+	// initial false state, then true at the outlier, then false after
+	if len(transitions) != 3 {
+		t.Fatalf("transitions at %v (states %v)", transitions, states)
+	}
+	if states[0] || !states[1] || states[2] {
+		t.Errorf("states = %v, want [false true false]", states)
+	}
+	if transitions[1] != 31 {
+		t.Errorf("anomaly detected at phase %d, want 31", transitions[1])
+	}
+}
+
+func TestRegressionOutlier(t *testing.T) {
+	var in []float64
+	for i := 0; i < 60; i++ {
+		in = append(in, 2+0.5*float64(i+1))
+	}
+	in = append(in, 100) // far off the line at phase 61
+	m := &RegressionOutlier{K: 4, Warm: 20}
+	out := drive(m, floats(in...), false)
+	var fired []int
+	for i, emits := range out {
+		if len(emits) > 0 {
+			fired = append(fired, i+1)
+		}
+	}
+	// perfect line has zero residual sd → no firing until the outlier;
+	// the outlier itself fires only if sd > 0... with zero residuals the
+	// detector stays silent (documented Outlier behavior). Add noise-free
+	// check: no false positives.
+	for _, p := range fired {
+		if p < 61 {
+			t.Errorf("false positive at phase %d", p)
+		}
+	}
+}
+
+func TestForecastMonitor(t *testing.T) {
+	var in []float64
+	x := 10.0
+	for i := 0; i < 100; i++ {
+		x = 1 + 0.8*x + 0.01*math.Sin(float64(i)) // nearly deterministic AR(1)
+		in = append(in, x)
+	}
+	in = append(in, x+25) // violated assumption
+	out := drive(&ForecastMonitor{K: 5, Warm: 30}, floats(in...), false)
+	firedAtEnd := len(out[len(out)-1]) > 0
+	if !firedAtEnd {
+		t.Error("forecast monitor missed gross violation")
+	}
+	for i := 35; i < 100; i++ {
+		if len(out[i]) > 0 {
+			t.Errorf("false positive at phase %d", i+1)
+		}
+	}
+}
+
+func TestCorrelator(t *testing.T) {
+	n := 40
+	a := make([]event.Value, n)
+	b := make([]event.Value, n)
+	for i := 0; i < n; i++ {
+		a[i] = event.Float(float64(i))
+		b[i] = event.Float(float64(2 * i))
+	}
+	out := drive2(NewCorrelator(10), a, b)
+	last := out[n-1]
+	if len(last) != 1 {
+		t.Fatal("correlator silent at end")
+	}
+	if got, _ := last[0].Val.AsFloat(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("correlation = %g, want 1", got)
+	}
+	// anti-correlated
+	for i := 0; i < n; i++ {
+		b[i] = event.Float(float64(-3 * i))
+	}
+	out = drive2(NewCorrelator(10), a, b)
+	if got, _ := out[n-1][0].Val.AsFloat(); math.Abs(got+1) > 1e-9 {
+		t.Errorf("correlation = %g, want -1", got)
+	}
+}
+
+func TestClusterMonitor(t *testing.T) {
+	m := NewClusterMonitor(2, 2, 3, 20)
+	var d core.Driver
+	fired := 0
+	for i := 0; i < 100; i++ {
+		var pt []float64
+		if i%2 == 0 {
+			pt = []float64{0, 0}
+		} else {
+			pt = []float64{10, 10}
+		}
+		emits := d.Exec(m, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: event.VectorCopy(pt)}})
+		fired += len(emits)
+	}
+	if fired != 0 {
+		t.Errorf("cluster monitor fired %d times on in-cluster points", fired)
+	}
+	emits := d.Exec(m, 1, 101, 1, 1, []core.PortIn{{Port: 0, Val: event.Vector([]float64{50, 50})}})
+	if len(emits) != 1 {
+		t.Error("cluster monitor missed novel point")
+	}
+}
+
+func TestCollectorAndLatest(t *testing.T) {
+	c := &Collector{}
+	drive(c, floats(1, 2, 3), false)
+	if c.History().Len() != 3 {
+		t.Errorf("collector len = %d", c.History().Len())
+	}
+	l := &LatestSink{}
+	drive(l, floats(1, 2, 3), false)
+	if got, _ := l.Val.AsFloat(); got != 3 || l.Phase != 3 || !l.Seen {
+		t.Errorf("latest = %v at %d", l.Val, l.Phase)
+	}
+}
+
+func TestMultiCollector(t *testing.T) {
+	mc := &MultiCollector{}
+	drive2(mc,
+		[]event.Value{event.Float(1), event.None()},
+		[]event.Value{event.Float(2), event.Float(3)})
+	if mc.HistoryOf(0).Len() != 1 || mc.HistoryOf(1).Len() != 2 {
+		t.Errorf("per-port lens = %d/%d", mc.HistoryOf(0).Len(), mc.HistoryOf(1).Len())
+	}
+	if mc.HistoryOf(9).Len() != 0 {
+		t.Error("out-of-range port not empty")
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	s := &CountingSink{}
+	drive(s, floats(1, 2), false)
+	if s.Executions != 2 || s.Messages != 2 {
+		t.Errorf("counts = %d/%d", s.Executions, s.Messages)
+	}
+}
+
+func TestAlertSink(t *testing.T) {
+	s := &AlertSink{}
+	in := []event.Value{event.Bool(false), event.Bool(true), event.Bool(true), event.Bool(false), event.Bool(true)}
+	drive(s, in, false)
+	if len(s.Alerts) != 2 || s.Alerts[0] != 2 || s.Alerts[1] != 5 {
+		t.Errorf("alerts = %v, want [2 5]", s.Alerts)
+	}
+}
+
+func TestRegistryBuildAll(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) < 20 {
+		t.Fatalf("only %d registered types: %v", len(names), names)
+	}
+	for _, n := range names {
+		if _, err := r.Build(n, Params{}); err != nil {
+			t.Errorf("Build(%q) with defaults: %v", n, err)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Build("no-such-module", nil); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := r.Build("threshold", Params{"level": "abc"}); err == nil {
+		t.Error("malformed float accepted")
+	}
+	if _, err := r.Build("debounce", Params{"hold": "0"}); err == nil {
+		t.Error("hold=0 accepted")
+	}
+	if _, err := r.Build("gate", Params{"mode": "xor"}); err == nil {
+		t.Error("bad gate mode accepted")
+	}
+	if _, err := r.Build("moving-average", Params{"window": "0"}); err == nil {
+		t.Error("window=0 accepted")
+	}
+	if _, err := r.Build("zscore-detector", Params{"window": "1"}); err == nil {
+		t.Error("window=1 accepted for zscore")
+	}
+	if _, err := r.Build("correlator", Params{"window": "1"}); err == nil {
+		t.Error("window=1 accepted for correlator")
+	}
+}
+
+func TestParams(t *testing.T) {
+	p := Params{"f": "2.5", "i": "7", "u": "9", "s": "x", "bad": "zz"}
+	if v, err := p.Float("f", 0); err != nil || v != 2.5 {
+		t.Errorf("Float = %v, %v", v, err)
+	}
+	if v, err := p.Float("missing", 3); err != nil || v != 3 {
+		t.Errorf("Float default = %v, %v", v, err)
+	}
+	if _, err := p.Float("bad", 0); err == nil {
+		t.Error("bad float accepted")
+	}
+	if v, err := p.Int("i", 0); err != nil || v != 7 {
+		t.Errorf("Int = %v, %v", v, err)
+	}
+	if _, err := p.Int("bad", 0); err == nil {
+		t.Error("bad int accepted")
+	}
+	if v, err := p.Uint64("u", 0); err != nil || v != 9 {
+		t.Errorf("Uint64 = %v, %v", v, err)
+	}
+	if _, err := p.Uint64("bad", 0); err == nil {
+		t.Error("bad uint accepted")
+	}
+	if p.String("s", "") != "x" || p.String("missing", "d") != "d" {
+		t.Error("String wrong")
+	}
+}
+
+func TestCUSUMDetectorModule(t *testing.T) {
+	m := NewCUSUMDetector(0.5, 6, 30)
+	var in []float64
+	for i := 0; i < 100; i++ {
+		in = append(in, 10+0.5*float64(i%5)) // steady, small variation
+	}
+	for i := 0; i < 30; i++ {
+		in = append(in, 14) // persistent upward shift
+	}
+	out := drive(m, floats(in...), false)
+	firedBefore, firedAfter := 0, 0
+	for i, emits := range out {
+		if len(emits) > 0 {
+			if i < 100 {
+				firedBefore++
+			} else {
+				firedAfter++
+			}
+		}
+	}
+	if firedBefore != 0 {
+		t.Errorf("CUSUM fired %d times on steady stream", firedBefore)
+	}
+	if firedAfter == 0 {
+		t.Error("CUSUM missed persistent shift")
+	}
+}
+
+func TestCUSUMDetectorFixedReference(t *testing.T) {
+	m := NewCUSUMDetector(0.5, 3, 1000)
+	m.SetReference(0, 1)
+	out := drive(m, floats(2, 2, 2, 2), false)
+	total := 0
+	for _, e := range out {
+		total += len(e)
+	}
+	if total == 0 {
+		t.Error("fixed-reference CUSUM never fired on +2σ stream")
+	}
+}
+
+func TestQuantileMonitorModule(t *testing.T) {
+	m := NewQuantileMonitor(0.9, 1.5, 50)
+	var in []float64
+	for i := 0; i < 200; i++ {
+		in = append(in, 10+float64(i%10)) // values in [10,19]
+	}
+	in = append(in, 100) // gross tail event
+	in = append(in, 12)  // back to normal
+	out := drive(m, floats(in...), false)
+	var transitions []int
+	for i, emits := range out {
+		if len(emits) > 0 {
+			transitions = append(transitions, i+1)
+		}
+	}
+	// initial false state after warm, true at the spike, false after
+	if len(transitions) < 3 {
+		t.Fatalf("transitions at %v", transitions)
+	}
+	if transitions[len(transitions)-2] != 201 {
+		t.Errorf("spike transition at %v, want 201", transitions)
+	}
+}
+
+func TestDriftDetectorModule(t *testing.T) {
+	m := NewDriftDetector(0, 100, 10, 100, 50, 0.5)
+	var in []float64
+	for i := 0; i < 160; i++ {
+		in = append(in, 20+float64(i%5)) // reference + initial window: low values
+	}
+	for i := 0; i < 60; i++ {
+		in = append(in, 80+float64(i%5)) // drifted regime: high values
+	}
+	out := drive(m, floats(in...), false)
+	fired := -1
+	for i, emits := range out {
+		if len(emits) > 0 {
+			if fired < 0 {
+				fired = i + 1
+			}
+			if v, _ := emits[0].Val.AsFloat(); v <= 0.5 {
+				t.Errorf("emitted TV %g below threshold", v)
+			}
+		}
+	}
+	if fired < 0 {
+		t.Fatal("drift never detected")
+	}
+	if fired <= 160 {
+		t.Errorf("drift detected at %d, before the regime change", fired)
+	}
+}
+
+func TestSurveillanceRegistry(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"cusum-detector", "quantile-monitor", "drift-detector"} {
+		if _, err := r.Build(name, Params{}); err != nil {
+			t.Errorf("Build(%q): %v", name, err)
+		}
+	}
+	if _, err := r.Build("quantile-monitor", Params{"q": "1.5"}); err == nil {
+		t.Error("q out of range accepted")
+	}
+	if _, err := r.Build("drift-detector", Params{"lo": "5", "hi": "1"}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestRateModule(t *testing.T) {
+	out := drive(&Rate{}, floats(10, 13, 11), false)
+	if len(out[0]) != 0 {
+		t.Error("rate emitted on first observation")
+	}
+	if got, _ := out[1][0].Val.AsFloat(); got != 3 {
+		t.Errorf("rate = %g, want 3", got)
+	}
+	if got, _ := out[2][0].Val.AsFloat(); got != -2 {
+		t.Errorf("rate = %g, want -2", got)
+	}
+}
+
+func TestIntegratorModule(t *testing.T) {
+	out := drive(&Integrator{}, floats(1, 2, 3), false)
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if got, _ := out[i][0].Val.AsFloat(); got != want[i] {
+			t.Errorf("integral[%d] = %g, want %g", i, got, want[i])
+		}
+	}
+}
+
+func TestLagModule(t *testing.T) {
+	out := drive(&Lag{Depth: 2}, floats(1, 2, 3, 4), false)
+	if len(out[0]) != 0 || len(out[1]) != 0 {
+		t.Error("lag emitted before depth filled")
+	}
+	if got, _ := out[2][0].Val.AsFloat(); got != 1 {
+		t.Errorf("lag = %g, want 1", got)
+	}
+	if got, _ := out[3][0].Val.AsFloat(); got != 2 {
+		t.Errorf("lag = %g, want 2", got)
+	}
+	// zero depth behaves as depth 1
+	out0 := drive(&Lag{}, floats(7, 9), false)
+	if got, _ := out0[1][0].Val.AsFloat(); got != 7 {
+		t.Errorf("depth-0 lag = %g, want 7", got)
+	}
+}
+
+func TestPairJoinModule(t *testing.T) {
+	out := drive2(PairJoin{},
+		[]event.Value{event.Float(1), event.Float(3), event.None()},
+		[]event.Value{event.Float(2), event.None(), event.Float(4)})
+	if len(out[0]) != 1 {
+		t.Fatal("join missed same-phase pair")
+	}
+	vec, _ := out[0][0].Val.AsVector()
+	if len(vec) != 2 || vec[0] != 1 || vec[1] != 2 {
+		t.Errorf("joined = %v", vec)
+	}
+	if len(out[1]) != 0 || len(out[2]) != 0 {
+		t.Error("join emitted on one-sided phases")
+	}
+}
+
+func TestSamplerModule(t *testing.T) {
+	out := drive(&Sampler{Every: 3}, floats(1, 2, 3, 4, 5, 6, 7), false)
+	var emitted []float64
+	for _, e := range out {
+		if len(e) > 0 {
+			v, _ := e[0].Val.AsFloat()
+			emitted = append(emitted, v)
+		}
+	}
+	if len(emitted) != 2 || emitted[0] != 3 || emitted[1] != 6 {
+		t.Errorf("sampled = %v, want [3 6]", emitted)
+	}
+}
+
+func TestClampModule(t *testing.T) {
+	out := drive(&Clamp{Lo: 0, Hi: 10}, floats(5, 15, 20, 3, -4, -9), false)
+	var emitted []float64
+	for _, e := range out {
+		if len(e) > 0 {
+			v, _ := e[0].Val.AsFloat()
+			emitted = append(emitted, v)
+		}
+	}
+	// 5, 10 (15 clamped), [20 clamps to 10: suppressed], 3, 0, [-9 → 0: suppressed]
+	want := []float64{5, 10, 3, 0}
+	if len(emitted) != len(want) {
+		t.Fatalf("clamped = %v, want %v", emitted, want)
+	}
+	for i := range want {
+		if emitted[i] != want[i] {
+			t.Fatalf("clamped = %v, want %v", emitted, want)
+		}
+	}
+}
+
+func TestStreamOpsRegistry(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"rate", "integrator", "lag", "pair-join", "sampler", "clamp"} {
+		if _, err := r.Build(name, Params{}); err != nil {
+			t.Errorf("Build(%q): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package module
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Operator modules transform and combine streams. Stateful operators
+// remember the last value per input port, since under Δ-dataflow an
+// absent input means "unchanged", and most multi-input computations need
+// the current value of every input.
+
+// portMemory remembers the last value received on each port and reports
+// whether anything changed this Step.
+type portMemory struct {
+	vals []event.Value
+	seen []bool
+}
+
+// absorb folds this Step's inputs into memory; returns true if at least
+// one port changed.
+func (m *portMemory) absorb(ctx *core.Context) bool {
+	if m.vals == nil {
+		m.vals = make([]event.Value, ctx.Ports())
+		m.seen = make([]bool, ctx.Ports())
+	}
+	changed := false
+	for p := 0; p < ctx.Ports() && p < len(m.vals); p++ {
+		if v, ok := ctx.In(p); ok {
+			m.vals[p] = v
+			m.seen[p] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ready reports whether every port has received at least one value.
+func (m *portMemory) ready() bool {
+	if m.seen == nil {
+		return false
+	}
+	for _, s := range m.seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// Threshold emits Bool(above) transitions of its input against Level: it
+// emits only when the predicate value changes (with optional hysteresis),
+// the prototypical Δ-module — its silence means "condition state
+// unchanged".
+type Threshold struct {
+	Level      float64
+	Hysteresis float64
+	state      int8 // 0 unknown, 1 above, -1 below
+}
+
+// Step implements core.Module.
+func (t *Threshold) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	var next int8
+	switch t.state {
+	case 1:
+		if x < t.Level-t.Hysteresis {
+			next = -1
+		} else {
+			next = 1
+		}
+	case -1:
+		if x > t.Level+t.Hysteresis {
+			next = 1
+		} else {
+			next = -1
+		}
+	default:
+		if x > t.Level {
+			next = 1
+		} else {
+			next = -1
+		}
+	}
+	if next != t.state {
+		t.state = next
+		ctx.EmitAll(event.Bool(next == 1))
+	}
+}
+
+// Linear emits Scale*x + Offset for every arriving value: a stateless
+// unit conversion / calibration stage.
+type Linear struct {
+	Scale  float64
+	Offset float64
+}
+
+// Step implements core.Module.
+func (l *Linear) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		if x, ok := v.AsFloat(); ok {
+			ctx.EmitAll(event.Float(l.Scale*x + l.Offset))
+		}
+	}
+}
+
+// Sum emits the sum of the current values of all inputs whenever any of
+// them changes (after all have arrived at least once). With Weights set,
+// it computes a weighted sum — a linear fusion stage.
+type Sum struct {
+	Weights []float64 // nil = all 1
+	mem     portMemory
+}
+
+// Step implements core.Module.
+func (s *Sum) Step(ctx *core.Context) {
+	if !s.mem.absorb(ctx) || !s.mem.ready() {
+		return
+	}
+	var sum float64
+	for i, v := range s.mem.vals {
+		x, ok := v.AsFloat()
+		if !ok {
+			continue
+		}
+		w := 1.0
+		if s.Weights != nil && i < len(s.Weights) {
+			w = s.Weights[i]
+		}
+		sum += w * x
+	}
+	ctx.EmitAll(event.Float(sum))
+}
+
+// MaxOf emits the maximum of the current values of all inputs whenever
+// it changes. Dual MinOf below.
+type MaxOf struct {
+	mem  portMemory
+	last event.Value
+}
+
+// Step implements core.Module.
+func (m *MaxOf) Step(ctx *core.Context) {
+	if !m.mem.absorb(ctx) || !m.mem.ready() {
+		return
+	}
+	best, ok := m.mem.vals[0].AsFloat()
+	if !ok {
+		return
+	}
+	for _, v := range m.mem.vals[1:] {
+		if x, ok := v.AsFloat(); ok && x > best {
+			best = x
+		}
+	}
+	out := event.Float(best)
+	if !out.Equal(m.last) {
+		m.last = out
+		ctx.EmitAll(out)
+	}
+}
+
+// MinOf emits the minimum of the current values of all inputs whenever
+// it changes.
+type MinOf struct {
+	mem  portMemory
+	last event.Value
+}
+
+// Step implements core.Module.
+func (m *MinOf) Step(ctx *core.Context) {
+	if !m.mem.absorb(ctx) || !m.mem.ready() {
+		return
+	}
+	best, ok := m.mem.vals[0].AsFloat()
+	if !ok {
+		return
+	}
+	for _, v := range m.mem.vals[1:] {
+		if x, ok := v.AsFloat(); ok && x < best {
+			best = x
+		}
+	}
+	out := event.Float(best)
+	if !out.Equal(m.last) {
+		m.last = out
+		ctx.EmitAll(out)
+	}
+}
+
+// Gate combines boolean condition streams: Mode "and" emits true when
+// all current inputs are true, "or" when any is; it emits only state
+// transitions. This is how composite conditions over multiple detectors
+// ("hospital occupancy high AND blood supply low") are expressed.
+type Gate struct {
+	Mode  string // "and" | "or"
+	mem   portMemory
+	state int8
+}
+
+// Step implements core.Module.
+func (g *Gate) Step(ctx *core.Context) {
+	if !g.mem.absorb(ctx) || !g.mem.ready() {
+		return
+	}
+	out := g.Mode == "and"
+	for _, v := range g.mem.vals {
+		b := v.Bool(false)
+		if g.Mode == "and" {
+			out = out && b
+		} else {
+			out = out || b
+		}
+	}
+	var next int8 = -1
+	if out {
+		next = 1
+	}
+	if next != g.state {
+		g.state = next
+		ctx.EmitAll(event.Bool(out))
+	}
+}
+
+// ChangeDetector suppresses no-op updates: it forwards a value only when
+// it differs from the last forwarded one. Wrapping a chatty stream in a
+// ChangeDetector is how option (2) of the paper's §1 anomaly-detector
+// discussion is realized — downstream message rates drop to the rate of
+// actual change.
+type ChangeDetector struct {
+	last event.Value
+	has  bool
+}
+
+// Step implements core.Module.
+func (c *ChangeDetector) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	if c.has && v.Equal(c.last) {
+		return
+	}
+	c.last, c.has = v, true
+	ctx.EmitAll(v)
+}
+
+// Debounce forwards a boolean condition only after it has held for Hold
+// consecutive observations, suppressing flapping detectors.
+type Debounce struct {
+	Hold    int
+	pending int8
+	count   int
+	emitted int8
+}
+
+// Step implements core.Module.
+func (d *Debounce) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	b := v.Bool(false)
+	var cur int8 = -1
+	if b {
+		cur = 1
+	}
+	if cur != d.pending {
+		d.pending = cur
+		d.count = 1
+	} else {
+		d.count++
+	}
+	if d.count >= d.Hold && d.pending != d.emitted {
+		d.emitted = d.pending
+		ctx.EmitAll(event.Bool(b))
+	}
+}
+
+// Deadband forwards a numeric stream only when it moves more than Band
+// away from the last forwarded value — the numeric analogue of
+// ChangeDetector, modelling sensors that report only significant moves.
+type Deadband struct {
+	Band float64
+	last float64
+	has  bool
+}
+
+// Step implements core.Module.
+func (d *Deadband) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	if d.has && x >= d.last-d.Band && x <= d.last+d.Band {
+		return
+	}
+	d.last, d.has = x, true
+	ctx.EmitAll(event.Float(x))
+}
+
+func registerOps(r *Registry) {
+	r.Register("threshold", func(p Params) (core.Module, error) {
+		level, err := p.Float("level", 0)
+		if err != nil {
+			return nil, err
+		}
+		hyst, err := p.Float("hysteresis", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Threshold{Level: level, Hysteresis: hyst}, nil
+	})
+	r.Register("linear", func(p Params) (core.Module, error) {
+		scale, err := p.Float("scale", 1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := p.Float("offset", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Linear{Scale: scale, Offset: off}, nil
+	})
+	r.Register("sum", func(p Params) (core.Module, error) {
+		return &Sum{}, nil
+	})
+	r.Register("max", func(p Params) (core.Module, error) { return &MaxOf{}, nil })
+	r.Register("min", func(p Params) (core.Module, error) { return &MinOf{}, nil })
+	r.Register("and", func(p Params) (core.Module, error) { return &Gate{Mode: "and"}, nil })
+	r.Register("or", func(p Params) (core.Module, error) { return &Gate{Mode: "or"}, nil })
+	r.Register("gate", func(p Params) (core.Module, error) {
+		mode := p.String("mode", "and")
+		if mode != "and" && mode != "or" {
+			return nil, fmt.Errorf("gate mode %q (want and|or)", mode)
+		}
+		return &Gate{Mode: mode}, nil
+	})
+	r.Register("change-detector", func(p Params) (core.Module, error) {
+		return &ChangeDetector{}, nil
+	})
+	r.Register("debounce", func(p Params) (core.Module, error) {
+		hold, err := p.Int("hold", 2)
+		if err != nil {
+			return nil, err
+		}
+		if hold < 1 {
+			return nil, fmt.Errorf("debounce hold %d (want >= 1)", hold)
+		}
+		return &Debounce{Hold: hold}, nil
+	})
+	r.Register("deadband", func(p Params) (core.Module, error) {
+		band, err := p.Float("band", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Deadband{Band: band}, nil
+	})
+}

@@ -1,0 +1,116 @@
+package module
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Sink modules occupy sink vertices. The paper's sinks "are read by
+// input/output units outside the data fusion system"; here they record
+// histories that examples print and tests compare. A sink's Step calls
+// are serialized by the engine (one vertex executes one phase at a
+// time), and reading the recorded data after Engine.Stop (or any Wait)
+// is properly synchronized by the engine's lock, so sinks need no
+// internal locking when used through those APIs.
+
+// Collector records every value received on port 0 (or the first active
+// port) with its phase.
+type Collector struct {
+	hist event.History
+}
+
+// Step implements core.Module.
+func (c *Collector) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		c.hist.Append(event.Phase(ctx.Phase()), v)
+	}
+}
+
+// History returns the recorded history. Callers must ensure the engine
+// has quiesced (Drain/Stop/WaitPhase) before reading.
+func (c *Collector) History() *event.History { return &c.hist }
+
+// MultiCollector records the values received on every port, keeping one
+// history per port.
+type MultiCollector struct {
+	hists []event.History
+}
+
+// Step implements core.Module.
+func (c *MultiCollector) Step(ctx *core.Context) {
+	if len(c.hists) < ctx.Ports() {
+		grown := make([]event.History, ctx.Ports())
+		copy(grown, c.hists)
+		c.hists = grown
+	}
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			c.hists[p].Append(event.Phase(ctx.Phase()), v)
+		}
+	}
+}
+
+// HistoryOf returns the history for one port (empty history for ports
+// never seen).
+func (c *MultiCollector) HistoryOf(port int) *event.History {
+	if port < 0 || port >= len(c.hists) {
+		return &event.History{}
+	}
+	return &c.hists[port]
+}
+
+// CountingSink counts received messages and executions without storing
+// values; the cheapest sink for benchmarks.
+type CountingSink struct {
+	Executions int64
+	Messages   int64
+}
+
+// Step implements core.Module.
+func (s *CountingSink) Step(ctx *core.Context) {
+	s.Executions++
+	s.Messages += int64(ctx.InCount())
+}
+
+// LatestSink keeps only the most recent value and its phase.
+type LatestSink struct {
+	Phase int
+	Val   event.Value
+	Seen  bool
+}
+
+// Step implements core.Module.
+func (s *LatestSink) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		s.Phase, s.Val, s.Seen = ctx.Phase(), v, true
+	}
+}
+
+// AlertSink records the phases at which a boolean condition stream
+// turned true (rising edges only), the natural record of "when did the
+// composite condition fire".
+type AlertSink struct {
+	Alerts []int
+	state  bool
+}
+
+// Step implements core.Module.
+func (s *AlertSink) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	b := v.Bool(false)
+	if b && !s.state {
+		s.Alerts = append(s.Alerts, ctx.Phase())
+	}
+	s.state = b
+}
+
+func registerSinks(r *Registry) {
+	r.Register("collector", func(p Params) (core.Module, error) { return &Collector{}, nil })
+	r.Register("multi-collector", func(p Params) (core.Module, error) { return &MultiCollector{}, nil })
+	r.Register("counting-sink", func(p Params) (core.Module, error) { return &CountingSink{}, nil })
+	r.Register("latest-sink", func(p Params) (core.Module, error) { return &LatestSink{}, nil })
+	r.Register("alert-sink", func(p Params) (core.Module, error) { return &AlertSink{}, nil })
+}

@@ -1,0 +1,190 @@
+package module
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// boxMuller converts two uniforms into a standard normal deviate.
+func boxMuller(u1, u2 float64) float64 {
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Source modules occupy source vertices: the engine executes them every
+// phase (the phase signal of §3.1.2) and they decide whether the
+// external world changed enough to emit. Sources that model sensors
+// derive their readings deterministically from (seed, phase).
+
+// RandomWalk is a source producing a Gaussian random walk, emitting the
+// new position every phase. Models a continuously drifting sensor
+// reading (load, price, water level).
+type RandomWalk struct {
+	Seed  uint64
+	Drift float64 // standard deviation of one increment
+	Start float64
+	pos   float64
+	init  bool
+}
+
+// Step implements core.Module.
+func (s *RandomWalk) Step(ctx *core.Context) {
+	if !s.init {
+		s.pos, s.init = s.Start, true
+	}
+	p := uint64(ctx.Phase())
+	s.pos += s.Drift * gauss(mix64(s.Seed^p), mix64(s.Seed^p^0xabcdef))
+	ctx.EmitAll(event.Float(s.pos))
+}
+
+// Sine is a source producing a sinusoid with additive Gaussian noise:
+// reading(p) = Mean + Amp·sin(2πp/Period) + Noise·N(0,1). Models diurnal
+// signals such as temperature (the §1 energy-pricing example).
+type Sine struct {
+	Seed   uint64
+	Mean   float64
+	Amp    float64
+	Period float64
+	Noise  float64
+}
+
+// Step implements core.Module.
+func (s *Sine) Step(ctx *core.Context) {
+	p := float64(ctx.Phase())
+	v := s.Mean + s.Amp*math.Sin(2*math.Pi*p/s.Period)
+	if s.Noise > 0 {
+		h := uint64(ctx.Phase())
+		v += s.Noise * gauss(mix64(s.Seed^h), mix64(s.Seed^h^0x5ca1ab1e))
+	}
+	ctx.EmitAll(event.Float(v))
+}
+
+// Spike is a sparse source: with probability Prob per phase it emits
+// Magnitude (plus noise); otherwise it is silent. Models rare-event
+// feeds — alarms, anomaly reports — whose information content lies
+// mostly in their absence (§1's one-in-a-million anomalous
+// transactions).
+type Spike struct {
+	Seed      uint64
+	Prob      float64
+	Magnitude float64
+	Noise     float64
+}
+
+// Step implements core.Module.
+func (s *Spike) Step(ctx *core.Context) {
+	h := mix64(s.Seed ^ uint64(ctx.Phase()))
+	if unitFloat(h) >= s.Prob {
+		return
+	}
+	v := s.Magnitude
+	if s.Noise > 0 {
+		v += s.Noise * gauss(mix64(h), mix64(h^0xfeed))
+	}
+	ctx.EmitAll(event.Float(v))
+}
+
+// Counter emits the phase number every phase; the simplest live source,
+// used by quickstart examples and tests.
+type Counter struct{}
+
+// Step implements core.Module.
+func (s *Counter) Step(ctx *core.Context) {
+	ctx.EmitAll(event.Int(int64(ctx.Phase())))
+}
+
+// Replay emits Values[p-1] at phase p and nothing once the script is
+// exhausted; None entries are skipped (silent phase). Used to drive
+// graphs with hand-written scenarios, including the Figure 3 trace.
+type Replay struct {
+	Values []event.Value
+}
+
+// Step implements core.Module.
+func (s *Replay) Step(ctx *core.Context) {
+	i := ctx.Phase() - 1
+	if i < 0 || i >= len(s.Values) || s.Values[i].IsNone() {
+		return
+	}
+	ctx.EmitAll(s.Values[i])
+}
+
+// ExtRelay forwards externally injected observations: when the
+// environment delivered values to this source this phase, it emits the
+// one on the lowest port. The canonical bridge from real sensor feeds
+// (or the simulators in internal/sim) into the graph.
+type ExtRelay struct{}
+
+// Step implements core.Module.
+func (s *ExtRelay) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		ctx.EmitAll(v)
+	}
+}
+
+func registerSources(r *Registry) {
+	r.Register("random-walk", func(p Params) (core.Module, error) {
+		seed, err := p.Uint64("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		step, err := p.Float("step", 1)
+		if err != nil {
+			return nil, err
+		}
+		start, err := p.Float("start", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &RandomWalk{Seed: seed, Drift: step, Start: start}, nil
+	})
+	r.Register("sine", func(p Params) (core.Module, error) {
+		seed, err := p.Uint64("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		mean, err := p.Float("mean", 0)
+		if err != nil {
+			return nil, err
+		}
+		amp, err := p.Float("amp", 1)
+		if err != nil {
+			return nil, err
+		}
+		period, err := p.Float("period", 24)
+		if err != nil {
+			return nil, err
+		}
+		noise, err := p.Float("noise", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Sine{Seed: seed, Mean: mean, Amp: amp, Period: period, Noise: noise}, nil
+	})
+	r.Register("spike", func(p Params) (core.Module, error) {
+		seed, err := p.Uint64("seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		prob, err := p.Float("prob", 0.01)
+		if err != nil {
+			return nil, err
+		}
+		mag, err := p.Float("magnitude", 1)
+		if err != nil {
+			return nil, err
+		}
+		noise, err := p.Float("noise", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &Spike{Seed: seed, Prob: prob, Magnitude: mag, Noise: noise}, nil
+	})
+	r.Register("counter", func(p Params) (core.Module, error) {
+		return &Counter{}, nil
+	})
+	r.Register("ext-relay", func(p Params) (core.Module, error) {
+		return &ExtRelay{}, nil
+	})
+}

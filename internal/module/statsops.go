@@ -1,0 +1,339 @@
+package module
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/stats"
+)
+
+// Statistical modules implement the paper's "models": regressions, time
+// series analyses and clustering that watch a stream and speak only when
+// their assumptions about it are violated.
+
+// MovingAverage emits the sliding-window mean of its input each time a
+// new observation arrives (after the window has warmed up to MinFill
+// observations).
+type MovingAverage struct {
+	win     *stats.Window
+	MinFill int
+}
+
+// NewMovingAverage returns a moving average over the given window size.
+func NewMovingAverage(size, minFill int) *MovingAverage {
+	return &MovingAverage{win: stats.NewWindow(size), MinFill: minFill}
+}
+
+// Step implements core.Module.
+func (m *MovingAverage) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	m.win.Add(x)
+	if m.win.Len() >= m.MinFill {
+		ctx.EmitAll(event.Float(m.win.Mean()))
+	}
+}
+
+// Smoother emits an exponentially smoothed copy of its input.
+type Smoother struct {
+	ewma *stats.EWMA
+}
+
+// NewSmoother returns a smoother with the given alpha.
+func NewSmoother(alpha float64) *Smoother { return &Smoother{ewma: stats.NewEWMA(alpha)} }
+
+// Step implements core.Module.
+func (s *Smoother) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	if x, ok := v.AsFloat(); ok {
+		ctx.EmitAll(event.Float(s.ewma.Add(x)))
+	}
+}
+
+// ZScoreDetector watches a stream and emits Bool transitions of the
+// condition |z| > K, where z is measured against a sliding window of the
+// stream's own history — the paper's "moving point average ... two
+// standard deviations away" predicate. It emits the anomaly state only
+// when it changes.
+type ZScoreDetector struct {
+	win   *stats.Window
+	K     float64
+	Warm  int
+	state int8
+}
+
+// NewZScoreDetector builds a detector over a window of the given size
+// that fires at |z| > k after warm observations.
+func NewZScoreDetector(size int, k float64, warm int) *ZScoreDetector {
+	return &ZScoreDetector{win: stats.NewWindow(size), K: k, Warm: warm}
+}
+
+// Step implements core.Module.
+func (d *ZScoreDetector) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	var next int8 = -1
+	if d.win.Len() >= d.Warm && math.Abs(d.win.ZScore(x)) > d.K {
+		next = 1
+	}
+	d.win.Add(x)
+	if next != d.state {
+		d.state = next
+		ctx.EmitAll(event.Bool(next == 1))
+	}
+}
+
+// RegressionOutlier fits an online regression of the input stream
+// against phase number and emits the observation itself whenever it lies
+// more than K residual standard deviations off the line (an anomalous-
+// transaction detector in the §1 money-laundering sense: one output per
+// anomaly, silence otherwise).
+type RegressionOutlier struct {
+	ols  stats.OLS
+	K    float64
+	Warm int64
+}
+
+// Step implements core.Module.
+func (d *RegressionOutlier) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	ph := float64(ctx.Phase())
+	if d.ols.N() >= d.Warm && d.ols.Outlier(ph, x, d.K) {
+		ctx.EmitAll(event.Float(x))
+	}
+	d.ols.Add(ph, x)
+}
+
+// ForecastMonitor runs an AR(1) model of its input and emits the
+// surprise (|obs - forecast| in residual standard deviations) whenever
+// it exceeds K — the §1 temperature-assumption pattern: the model is
+// notified only when its assumptions are violated.
+type ForecastMonitor struct {
+	ar   stats.AR1
+	K    float64
+	Warm int64
+}
+
+// Step implements core.Module.
+func (f *ForecastMonitor) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	if f.ar.N() >= f.Warm {
+		if s := f.ar.Surprise(x); s > f.K {
+			ctx.EmitAll(event.Float(s))
+		}
+	}
+	f.ar.Add(x)
+}
+
+// Correlator consumes two numeric streams (ports 0 and 1) and emits
+// their sliding-window Pearson correlation whenever both windows are
+// full and a new pair is complete. Port values are paired by phase: the
+// correlator remembers the latest value on each port and samples when
+// either changes.
+type Correlator struct {
+	size   int
+	xs, ys *stats.Window
+	sumXY  float64
+	bufX   []float64
+	bufY   []float64
+	mem    portMemory
+}
+
+// NewCorrelator returns a correlator over windows of the given size.
+func NewCorrelator(size int) *Correlator {
+	return &Correlator{size: size, xs: stats.NewWindow(size), ys: stats.NewWindow(size)}
+}
+
+// Step implements core.Module.
+func (c *Correlator) Step(ctx *core.Context) {
+	if !c.mem.absorb(ctx) || !c.mem.ready() {
+		return
+	}
+	x, okx := c.mem.vals[0].AsFloat()
+	y, oky := c.mem.vals[1].AsFloat()
+	if !okx || !oky {
+		return
+	}
+	c.bufX = append(c.bufX, x)
+	c.bufY = append(c.bufY, y)
+	if len(c.bufX) > c.size {
+		c.bufX = c.bufX[1:]
+		c.bufY = c.bufY[1:]
+	}
+	c.xs.Add(x)
+	c.ys.Add(y)
+	if len(c.bufX) < c.size {
+		return
+	}
+	mx, my := c.xs.Mean(), c.ys.Mean()
+	var cov float64
+	for i := range c.bufX {
+		cov += (c.bufX[i] - mx) * (c.bufY[i] - my)
+	}
+	cov /= float64(len(c.bufX) - 1)
+	sx, sy := c.xs.StdDev(), c.ys.StdDev()
+	if sx == 0 || sy == 0 {
+		return
+	}
+	ctx.EmitAll(event.Float(cov / (sx * sy)))
+}
+
+// ClusterMonitor maintains an online k-means model of incoming vector
+// events and emits the distance to the nearest centroid whenever it
+// exceeds Radius — "this point doesn't belong to any known cluster", a
+// multidimensional novelty detector.
+type ClusterMonitor struct {
+	km     *stats.OnlineKMeans
+	Radius float64
+	Warm   int64
+	seen   int64
+}
+
+// NewClusterMonitor builds a monitor with k clusters over dim-dimensional
+// events firing beyond radius after warm observations.
+func NewClusterMonitor(k, dim int, radius float64, warm int64) *ClusterMonitor {
+	return &ClusterMonitor{km: stats.NewOnlineKMeans(k, dim), Radius: radius, Warm: warm}
+}
+
+// Step implements core.Module.
+func (c *ClusterMonitor) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	vec, ok := v.AsVector()
+	if !ok {
+		return
+	}
+	c.seen++
+	if c.seen > c.Warm {
+		if _, d := c.km.Nearest(vec); d > c.Radius && !math.IsInf(d, 1) {
+			ctx.EmitAll(event.Float(d))
+		}
+	}
+	c.km.Add(vec)
+}
+
+func registerStatsOps(r *Registry) {
+	r.Register("moving-average", func(p Params) (core.Module, error) {
+		size, err := p.Int("window", 10)
+		if err != nil {
+			return nil, err
+		}
+		if size < 1 {
+			return nil, fmt.Errorf("moving-average window %d", size)
+		}
+		fill, err := p.Int("min-fill", 1)
+		if err != nil {
+			return nil, err
+		}
+		return NewMovingAverage(size, fill), nil
+	})
+	r.Register("smoother", func(p Params) (core.Module, error) {
+		alpha, err := p.Float("alpha", 0.2)
+		if err != nil {
+			return nil, err
+		}
+		return NewSmoother(alpha), nil
+	})
+	r.Register("zscore-detector", func(p Params) (core.Module, error) {
+		size, err := p.Int("window", 50)
+		if err != nil {
+			return nil, err
+		}
+		if size < 2 {
+			return nil, fmt.Errorf("zscore-detector window %d", size)
+		}
+		k, err := p.Float("k", 2)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := p.Int("warm", 10)
+		if err != nil {
+			return nil, err
+		}
+		return NewZScoreDetector(size, k, warm), nil
+	})
+	r.Register("regression-outlier", func(p Params) (core.Module, error) {
+		k, err := p.Float("k", 3)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := p.Int("warm", 20)
+		if err != nil {
+			return nil, err
+		}
+		return &RegressionOutlier{K: k, Warm: int64(warm)}, nil
+	})
+	r.Register("forecast-monitor", func(p Params) (core.Module, error) {
+		k, err := p.Float("k", 3)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := p.Int("warm", 20)
+		if err != nil {
+			return nil, err
+		}
+		return &ForecastMonitor{K: k, Warm: int64(warm)}, nil
+	})
+	r.Register("correlator", func(p Params) (core.Module, error) {
+		size, err := p.Int("window", 30)
+		if err != nil {
+			return nil, err
+		}
+		if size < 2 {
+			return nil, fmt.Errorf("correlator window %d", size)
+		}
+		return NewCorrelator(size), nil
+	})
+	r.Register("cluster-monitor", func(p Params) (core.Module, error) {
+		k, err := p.Int("k", 3)
+		if err != nil {
+			return nil, err
+		}
+		dim, err := p.Int("dim", 2)
+		if err != nil {
+			return nil, err
+		}
+		radius, err := p.Float("radius", 5)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := p.Int("warm", 50)
+		if err != nil {
+			return nil, err
+		}
+		return NewClusterMonitor(k, dim, radius, int64(warm)), nil
+	})
+}

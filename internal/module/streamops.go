@@ -1,0 +1,188 @@
+package module
+
+import (
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Classic stream transformations over single event streams. All are
+// Δ-honest: they execute only when an input arrives and emit only when
+// their output is defined (and, where meaningful, changed).
+
+// Rate emits the difference between consecutive observed values — the
+// discrete derivative of a stream. Silent on the first observation.
+type Rate struct {
+	last float64
+	has  bool
+}
+
+// Step implements core.Module.
+func (r *Rate) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	if r.has {
+		ctx.EmitAll(event.Float(x - r.last))
+	}
+	r.last, r.has = x, true
+}
+
+// Integrator emits the running sum of its input — the discrete integral.
+type Integrator struct {
+	sum float64
+}
+
+// Step implements core.Module.
+func (m *Integrator) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	if x, ok := v.AsFloat(); ok {
+		m.sum += x
+		ctx.EmitAll(event.Float(m.sum))
+	}
+}
+
+// Lag emits its input delayed by Depth observations: the value emitted
+// at the k-th observation is the (k-Depth)-th input. Used to wire
+// autoregressive structure directly in the graph.
+type Lag struct {
+	Depth int
+	ring  []event.Value
+	n     int
+}
+
+// Step implements core.Module.
+func (l *Lag) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	if l.ring == nil {
+		d := l.Depth
+		if d < 1 {
+			d = 1
+		}
+		l.ring = make([]event.Value, d)
+	}
+	idx := l.n % len(l.ring)
+	if l.n >= len(l.ring) {
+		ctx.EmitAll(l.ring[idx])
+	}
+	l.ring[idx] = v
+	l.n++
+}
+
+// PairJoin emits a 2-vector [a b] whenever both of its inputs have a
+// fresh value in the same phase — the strict same-instant join. For the
+// looser "latest value of each" semantics use Sum/Correlator-style
+// port memory instead.
+type PairJoin struct{}
+
+// Step implements core.Module.
+func (j PairJoin) Step(ctx *core.Context) {
+	a, okA := ctx.In(0)
+	b, okB := ctx.In(1)
+	if !okA || !okB {
+		return
+	}
+	x, okX := a.AsFloat()
+	y, okY := b.AsFloat()
+	if !okX || !okY {
+		return
+	}
+	ctx.EmitAll(event.Vector([]float64{x, y}))
+}
+
+// Sampler forwards every Nth observation (N = Every), thinning a chatty
+// stream deterministically.
+type Sampler struct {
+	Every int
+	seen  int
+}
+
+// Step implements core.Module.
+func (s *Sampler) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	s.seen++
+	every := s.Every
+	if every < 1 {
+		every = 1
+	}
+	if s.seen%every == 0 {
+		ctx.EmitAll(v)
+	}
+}
+
+// Clamp forwards its input limited to [Lo, Hi]; it emits only when the
+// clamped value differs from the last emitted one, so a stream pinned at
+// a bound goes quiet.
+type Clamp struct {
+	Lo, Hi float64
+	last   event.Value
+	has    bool
+}
+
+// Step implements core.Module.
+func (c *Clamp) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	if x < c.Lo {
+		x = c.Lo
+	}
+	if x > c.Hi {
+		x = c.Hi
+	}
+	out := event.Float(x)
+	if c.has && out.Equal(c.last) {
+		return
+	}
+	c.last, c.has = out, true
+	ctx.EmitAll(out)
+}
+
+func registerStreamOps(r *Registry) {
+	r.Register("rate", func(p Params) (core.Module, error) { return &Rate{}, nil })
+	r.Register("integrator", func(p Params) (core.Module, error) { return &Integrator{}, nil })
+	r.Register("lag", func(p Params) (core.Module, error) {
+		d, err := p.Int("depth", 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Lag{Depth: d}, nil
+	})
+	r.Register("pair-join", func(p Params) (core.Module, error) { return PairJoin{}, nil })
+	r.Register("sampler", func(p Params) (core.Module, error) {
+		n, err := p.Int("every", 2)
+		if err != nil {
+			return nil, err
+		}
+		return &Sampler{Every: n}, nil
+	})
+	r.Register("clamp", func(p Params) (core.Module, error) {
+		lo, err := p.Float("lo", 0)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.Float("hi", 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Clamp{Lo: lo, Hi: hi}, nil
+	})
+}

@@ -1,0 +1,157 @@
+// Package runqueue implements the thread-safe blocking FIFO queue the
+// paper's algorithm assumes (§3.2): "any thread executing a dequeue
+// operation suspends until an item is available for dequeuing, and the
+// dequeue operation atomically removes an item from the queue such that
+// each item on the queue is dequeued at most once."
+//
+// The queue is a growable generic ring buffer guarded by a mutex and
+// condition variable, the Go analogue of the paper's
+// java.util.concurrent BlockingQueue. It additionally supports closing,
+// which the engine uses for shutdown: after Close, Dequeue drains
+// remaining items and then reports ok=false.
+package runqueue
+
+import "sync"
+
+// Queue is a multi-producer multi-consumer blocking FIFO over items of
+// type T.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	nonEmp sync.Cond
+	buf    []T
+	head   int // index of the next item to dequeue
+	count  int
+	closed bool
+	// maxLen tracks the high-water mark, reported by experiments as a
+	// measure of scheduler backlog.
+	maxLen int
+}
+
+// New returns an empty open queue with the given initial capacity hint.
+func New[T any](capHint int) *Queue[T] {
+	if capHint < 4 {
+		capHint = 4
+	}
+	q := &Queue[T]{buf: make([]T, capHint)}
+	q.nonEmp.L = &q.mu
+	return q
+}
+
+// Enqueue appends an item. Enqueueing on a closed queue panics: the
+// engine closes the queue only after all phases have drained, so a late
+// enqueue is a serious logic error that must not be silently dropped.
+func (q *Queue[T]) Enqueue(it T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("runqueue: enqueue on closed queue")
+	}
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = it
+	q.count++
+	if q.count > q.maxLen {
+		q.maxLen = q.count
+	}
+	q.mu.Unlock()
+	q.nonEmp.Signal()
+}
+
+// grow doubles the ring capacity. Caller holds mu.
+func (q *Queue[T]) grow() {
+	nb := make([]T, 2*len(q.buf))
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Dequeue removes and returns the oldest item, blocking while the queue
+// is empty and open. It returns ok=false only when the queue is closed
+// and fully drained.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	q.mu.Lock()
+	for q.count == 0 && !q.closed {
+		q.nonEmp.Wait()
+	}
+	var zero T
+	if q.count == 0 {
+		q.mu.Unlock()
+		return zero, false
+	}
+	it := q.buf[q.head]
+	q.buf[q.head] = zero // release references for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.mu.Unlock()
+	return it, true
+}
+
+// TryDequeue removes the oldest item without blocking. ok=false means
+// the queue was empty (whether or not it is closed).
+func (q *Queue[T]) TryDequeue() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	it := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return it, true
+}
+
+// TakeFunc removes and returns the oldest item satisfying match, without
+// blocking. It is used by the engine's manual stepping mode to execute a
+// chosen ready pair (reproducing a specific interleaving, as in the
+// Figure 3 trace); the scan is O(n) and not intended for hot paths.
+func (q *Queue[T]) TakeFunc(match func(T) bool) (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	for i := 0; i < q.count; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if !match(q.buf[idx]) {
+			continue
+		}
+		it := q.buf[idx]
+		// shift the earlier items forward by one slot
+		for j := i; j > 0; j-- {
+			from := (q.head + j - 1) % len(q.buf)
+			to := (q.head + j) % len(q.buf)
+			q.buf[to] = q.buf[from]
+		}
+		q.buf[q.head] = zero
+		q.head = (q.head + 1) % len(q.buf)
+		q.count--
+		return it, true
+	}
+	return zero, false
+}
+
+// Close marks the queue closed and wakes all blocked consumers. Items
+// already enqueued remain dequeuable. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmp.Broadcast()
+}
+
+// Len returns the current number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// MaxLen returns the high-water mark of the queue length.
+func (q *Queue[T]) MaxLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.maxLen
+}

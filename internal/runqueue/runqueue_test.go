@@ -1,0 +1,287 @@
+package runqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](2)
+	for i := 1; i <= 100; i++ {
+		q.Enqueue(i)
+	}
+	for i := 1; i <= 100; i++ {
+		it, ok := q.Dequeue()
+		if !ok || it != i {
+			t.Fatalf("dequeue %d: got (%v,%v)", i, it, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestGrowthAcrossWrap(t *testing.T) {
+	q := New[int](4)
+	// Force head to advance, then grow with wrapped contents.
+	for i := 0; i < 4; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 3; i++ {
+		q.Dequeue()
+	}
+	for i := 4; i < 12; i++ {
+		q.Enqueue(i)
+	}
+	for i := 3; i < 12; i++ {
+		it, ok := q.Dequeue()
+		if !ok || it != i {
+			t.Fatalf("after wrap, dequeue got (%v,%v), want %d", it, ok, i)
+		}
+	}
+}
+
+func TestDequeueBlocksUntilEnqueue(t *testing.T) {
+	q := New[int](4)
+	got := make(chan int, 1)
+	go func() {
+		it, ok := q.Dequeue()
+		if ok {
+			got <- it
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("dequeue returned before enqueue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Enqueue(7)
+	select {
+	case it := <-got:
+		if it != 7 {
+			t.Errorf("got item %d", it)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("dequeue did not wake after enqueue")
+	}
+}
+
+func TestCloseWakesConsumers(t *testing.T) {
+	q := New[int](4)
+	var wg sync.WaitGroup
+	var falses atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := q.Dequeue(); !ok {
+				falses.Add(1)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	wg.Wait()
+	if falses.Load() != 8 {
+		t.Errorf("%d consumers got ok=false, want 8", falses.Load())
+	}
+}
+
+func TestCloseDrainsRemaining(t *testing.T) {
+	q := New[int](4)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Close()
+	for i := 1; i <= 2; i++ {
+		it, ok := q.Dequeue()
+		if !ok || it != i {
+			t.Fatalf("drain item %d: (%v,%v)", i, it, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("dequeue on closed empty queue returned ok")
+	}
+}
+
+func TestEnqueueAfterClosePanics(t *testing.T) {
+	q := New[int](4)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("enqueue after close did not panic")
+		}
+	}()
+	q.Enqueue(0)
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	q := New[int](4)
+	q.Close()
+	q.Close() // must not panic or deadlock
+}
+
+func TestTryDequeue(t *testing.T) {
+	q := New[int](4)
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("TryDequeue on empty queue returned ok")
+	}
+	q.Enqueue(5)
+	it, ok := q.TryDequeue()
+	if !ok || it != 5 {
+		t.Errorf("TryDequeue = (%v,%v)", it, ok)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("TryDequeue on drained queue returned ok")
+	}
+}
+
+func TestStructPayload(t *testing.T) {
+	type pair struct{ v, p int }
+	q := New[pair](4)
+	q.Enqueue(pair{3, 9})
+	it, ok := q.Dequeue()
+	if !ok || it != (pair{3, 9}) {
+		t.Errorf("struct payload round trip = (%+v,%v)", it, ok)
+	}
+}
+
+// Exactly-once delivery under heavy concurrency: every enqueued item is
+// dequeued by exactly one consumer.
+func TestExactlyOnceConcurrent(t *testing.T) {
+	const producers, perProducer, consumers = 8, 2000, 8
+	q := New[int](16)
+	seen := make([]atomic.Int32, producers*perProducer)
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				it, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				seen[it].Add(1)
+			}
+		}()
+	}
+	var pw sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pw.Add(1)
+		go func(p int) {
+			defer pw.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(p*perProducer + i)
+			}
+		}(p)
+	}
+	pw.Wait()
+	q.Close()
+	wg.Wait()
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("item %d dequeued %d times", i, n)
+		}
+	}
+	if q.MaxLen() < 1 {
+		t.Errorf("MaxLen = %d", q.MaxLen())
+	}
+}
+
+func TestMaxLenHighWaterMark(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 10; i++ {
+		q.Dequeue()
+	}
+	q.Enqueue(0)
+	if q.MaxLen() != 10 {
+		t.Errorf("MaxLen = %d, want 10", q.MaxLen())
+	}
+}
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+			q.TryDequeue()
+		}
+	})
+}
+
+func TestTakeFuncRemovesChosen(t *testing.T) {
+	q := New[int](4)
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(i)
+	}
+	it, ok := q.TakeFunc(func(v int) bool { return v == 3 })
+	if !ok || it != 3 {
+		t.Fatalf("TakeFunc = (%v,%v)", it, ok)
+	}
+	if q.Len() != 4 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	// remaining items preserve FIFO order
+	want := []int{1, 2, 4, 5}
+	for _, w := range want {
+		it, ok := q.Dequeue()
+		if !ok || it != w {
+			t.Fatalf("dequeue = (%v,%v), want %d", it, ok, w)
+		}
+	}
+}
+
+func TestTakeFuncNoMatch(t *testing.T) {
+	q := New[int](4)
+	q.Enqueue(1)
+	if _, ok := q.TakeFunc(func(v int) bool { return v == 9 }); ok {
+		t.Error("TakeFunc matched nothing but returned ok")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d after failed take", q.Len())
+	}
+}
+
+func TestTakeFuncAcrossWrap(t *testing.T) {
+	q := New[int](4)
+	// wrap the ring: fill, drain some, refill
+	for i := 1; i <= 4; i++ {
+		q.Enqueue(i)
+	}
+	q.Dequeue() // 1
+	q.Dequeue() // 2
+	for i := 5; i <= 7; i++ {
+		q.Enqueue(i) // ring now wraps
+	}
+	// take an element stored past the wrap point
+	it, ok := q.TakeFunc(func(v int) bool { return v == 6 })
+	if !ok || it != 6 {
+		t.Fatalf("TakeFunc across wrap = (%v,%v)", it, ok)
+	}
+	want := []int{3, 4, 5, 7}
+	for _, w := range want {
+		it, ok := q.Dequeue()
+		if !ok || it != w {
+			t.Fatalf("after wrapped take: dequeue = (%v,%v), want %d", it, ok, w)
+		}
+	}
+}
+
+func TestTakeFuncHead(t *testing.T) {
+	q := New[int](4)
+	q.Enqueue(10)
+	q.Enqueue(20)
+	it, ok := q.TakeFunc(func(v int) bool { return v == 10 })
+	if !ok || it != 10 {
+		t.Fatalf("head take = (%v,%v)", it, ok)
+	}
+	it2, _ := q.Dequeue()
+	if it2 != 20 {
+		t.Errorf("remaining = %d", it2)
+	}
+}

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/event"
+)
+
+// --- Energy pricing (§1: temperature / power-demand / price models) ---
+
+// TemperatureConfig shapes a diurnal temperature series in °C with
+// occasional heat waves.
+type TemperatureConfig struct {
+	Seed       uint64
+	Mean       float64 // daily mean, e.g. 22.5
+	Swing      float64 // half daily amplitude, e.g. 7.5 (15 at night → 30 at noon)
+	Period     int     // phases per day, e.g. 24
+	Noise      float64 // sensor noise stddev
+	WaveProb   float64 // probability a heat wave starts on a given day
+	WaveBoost  float64 // °C added during a wave
+	WaveLength int     // phases a wave lasts
+}
+
+// Temperature returns the temperature series and a function reporting
+// whether a given phase lies inside an injected heat wave (ground truth
+// for detector-quality checks).
+func Temperature(cfg TemperatureConfig) (Series, func(phase int) bool) {
+	if cfg.Period <= 0 {
+		cfg.Period = 24
+	}
+	inWave := func(phase int) bool {
+		if cfg.WaveProb <= 0 || cfg.WaveLength <= 0 {
+			return false
+		}
+		// A wave starting on day d covers phases [d*Period+1, d*Period+WaveLength].
+		day := (phase - 1) / cfg.Period
+		if unit(mix64(cfg.Seed^0x3a7e^uint64(day))) >= cfg.WaveProb {
+			return false
+		}
+		off := (phase - 1) % cfg.Period
+		return off < cfg.WaveLength
+	}
+	series := func(phase int) (event.Value, bool) {
+		t := cfg.Mean + cfg.Swing*math.Sin(2*math.Pi*float64(phase)/float64(cfg.Period)-math.Pi/2)
+		if inWave(phase) {
+			t += cfg.WaveBoost
+		}
+		if cfg.Noise > 0 {
+			t += cfg.Noise * gaussAt(cfg.Seed, phase, 0x7e3)
+		}
+		return event.Float(t), true
+	}
+	return series, inWave
+}
+
+// PowerLoad derives a grid-load series (MW) from a temperature series:
+// load rises quadratically with cooling demand above comfort
+// temperature, plus noise. Models the §1 power-demand model's
+// assumption that load follows temperature.
+func PowerLoad(seed uint64, baseMW, perDeg2 float64, comfort float64, temp Series) Series {
+	return func(phase int) (event.Value, bool) {
+		tv, ok := temp(phase)
+		if !ok {
+			return event.Value{}, false
+		}
+		t, _ := tv.AsFloat()
+		excess := t - comfort
+		if excess < 0 {
+			excess = 0
+		}
+		load := baseMW + perDeg2*excess*excess + 5*gaussAt(seed, phase, 0x10ad)
+		return event.Float(load), true
+	}
+}
+
+// --- Money laundering (§1: anomalous banking transactions) ---
+
+// TransactionConfig shapes a per-account transaction amount stream.
+type TransactionConfig struct {
+	Seed        uint64
+	MeanAmount  float64 // typical transaction size
+	Spread      float64 // lognormal sigma of ordinary amounts
+	AnomalyProb float64 // probability a phase's transaction is anomalous
+	AnomalyMult float64 // multiplier applied to anomalous amounts
+	// AnomalySeed, when nonzero, drives the anomaly schedule separately
+	// from the amount stream. Accounts sharing an AnomalySeed go
+	// anomalous in the same phases — a coordinated laundering ring.
+	AnomalySeed uint64
+}
+
+// Transactions returns the amount series and the ground-truth anomaly
+// predicate. Every phase carries a transaction (busy account); anomalies
+// are rare large transfers — the paper's one-in-a-million example uses
+// AnomalyProb = 1e-6.
+func Transactions(cfg TransactionConfig) (Series, func(phase int) bool) {
+	aseed := cfg.AnomalySeed
+	if aseed == 0 {
+		aseed = cfg.Seed
+	}
+	isAnomaly := func(phase int) bool {
+		return unit(mix64(aseed^0xa40a^uint64(phase))) < cfg.AnomalyProb
+	}
+	series := func(phase int) (event.Value, bool) {
+		amt := cfg.MeanAmount * math.Exp(cfg.Spread*gaussAt(cfg.Seed, phase, 0x7a))
+		if isAnomaly(phase) {
+			amt *= cfg.AnomalyMult
+		}
+		return event.Float(amt), true
+	}
+	return series, isAnomaly
+}
+
+// --- Disease surveillance (§1: bioterror incidence monitoring) ---
+
+// Outbreak is an injected disease outbreak: from Start (inclusive) for
+// Length phases, incidence is multiplied by Boost.
+type Outbreak struct {
+	Start  int
+	Length int
+	Boost  float64
+}
+
+// DiseaseConfig shapes a county's daily case-count series.
+type DiseaseConfig struct {
+	Seed      uint64
+	Base      float64 // baseline expected daily cases
+	Weekly    float64 // weekly seasonality amplitude (fraction of base)
+	Period    int     // phases per week, e.g. 7
+	Outbreaks []Outbreak
+}
+
+// Disease returns the case-count series (integer counts) and the
+// ground-truth outbreak predicate.
+func Disease(cfg DiseaseConfig) (Series, func(phase int) bool) {
+	if cfg.Period <= 0 {
+		cfg.Period = 7
+	}
+	inOutbreak := func(phase int) bool {
+		for _, o := range cfg.Outbreaks {
+			if phase >= o.Start && phase < o.Start+o.Length {
+				return true
+			}
+		}
+		return false
+	}
+	series := func(phase int) (event.Value, bool) {
+		rate := cfg.Base * (1 + cfg.Weekly*math.Sin(2*math.Pi*float64(phase)/float64(cfg.Period)))
+		for _, o := range cfg.Outbreaks {
+			if phase >= o.Start && phase < o.Start+o.Length {
+				rate *= o.Boost
+			}
+		}
+		// Deterministic Poisson-ish sample: rate + sqrt(rate) * N(0,1),
+		// floored at 0 and rounded — adequate shape for count data.
+		c := rate + math.Sqrt(math.Max(rate, 1e-9))*gaussAt(cfg.Seed, phase, 0xd15)
+		if c < 0 {
+			c = 0
+		}
+		return event.Int(int64(math.Round(c))), true
+	}
+	return series, inOutbreak
+}
+
+// --- Crisis management (§1: hurricane response) ---
+
+// HurricaneConfig shapes the feeds of a hurricane scenario: storm
+// distance to the coast, flood level and shelter occupancy.
+type HurricaneConfig struct {
+	Seed       uint64
+	Landfall   int     // phase at which the storm reaches the coast
+	ApproachKm float64 // initial distance
+	FloodRate  float64 // flood rise per phase after landfall
+	Shelters   int     // shelter capacity units
+}
+
+// Hurricane returns three series: storm distance (km, every phase),
+// flood level (m, reported only when it changes by ≥ 0.25 m — a sparse
+// feed), and shelter occupancy fraction (reported on change of ≥ 2%).
+func Hurricane(cfg HurricaneConfig) (distance, flood, shelter Series) {
+	distance = func(phase int) (event.Value, bool) {
+		// approach linearly, make landfall, then recede as the storm
+		// moves inland/along the coast
+		frac := 1 - float64(phase)/float64(cfg.Landfall)
+		if frac < 0 {
+			frac = -frac / 2 // recedes at half the approach speed
+		}
+		d := cfg.ApproachKm*frac + 3*gaussAt(cfg.Seed, phase, 0xd157)
+		if d < 0 {
+			d = 0
+		}
+		return event.Float(d), true
+	}
+	flood = func(phase int) (event.Value, bool) {
+		var level float64
+		if phase > cfg.Landfall {
+			level = cfg.FloodRate * float64(phase-cfg.Landfall)
+			level += 0.1 * gaussAt(cfg.Seed, phase, 0xf100d)
+			if level < 0 {
+				level = 0
+			}
+		}
+		// report only quantized changes: sparse feed
+		q := math.Floor(level/0.25) * 0.25
+		prevLevel := 0.0
+		if phase-1 > cfg.Landfall {
+			prevLevel = cfg.FloodRate * float64(phase-1-cfg.Landfall)
+			prevLevel += 0.1 * gaussAt(cfg.Seed, phase-1, 0xf100d)
+			if prevLevel < 0 {
+				prevLevel = 0
+			}
+		}
+		pq := math.Floor(prevLevel/0.25) * 0.25
+		if q == pq && phase != 1 {
+			return event.Value{}, false
+		}
+		return event.Float(q), true
+	}
+	shelter = func(phase int) (event.Value, bool) {
+		// occupancy ramps toward 1 after landfall with noise
+		var occ float64
+		if phase > cfg.Landfall-10 {
+			occ = 1 - math.Exp(-float64(phase-(cfg.Landfall-10))/20)
+		}
+		occ += 0.01 * gaussAt(cfg.Seed, phase, 0x5e17)
+		occ = math.Max(0, math.Min(1, occ))
+		q := math.Floor(occ/0.02) * 0.02
+		var prevOcc float64
+		if phase-1 > cfg.Landfall-10 {
+			prevOcc = 1 - math.Exp(-float64(phase-1-(cfg.Landfall-10))/20)
+		}
+		prevOcc += 0.01 * gaussAt(cfg.Seed, phase-1, 0x5e17)
+		prevOcc = math.Max(0, math.Min(1, prevOcc))
+		pq := math.Floor(prevOcc/0.02) * 0.02
+		if q == pq && phase != 1 {
+			return event.Value{}, false
+		}
+		return event.Float(q), true
+	}
+	return distance, flood, shelter
+}

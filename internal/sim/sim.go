@@ -1,0 +1,82 @@
+// Package sim synthesizes the external event streams the paper's
+// applications consume. The paper assumes sensor feeds (RFID readers,
+// news feeds, ERP events, disease surveillance, banking transactions);
+// none of those are available here, so each domain gets a seeded
+// deterministic generator that reproduces the statistical property the
+// algorithm cares about: mostly steady signals whose rare deviations are
+// the information (see DESIGN.md §3, substitutions).
+//
+// A Series is a pure function of the phase number, so workloads are
+// reproducible across executors and worker counts — a prerequisite for
+// the serializability comparisons.
+package sim
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Series produces the external observation for a phase; ok = false means
+// the feed has nothing to report that phase (the common case for sparse
+// feeds).
+type Series func(phase int) (v event.Value, ok bool)
+
+// mix64 is the splitmix64 finalizer; all sim randomness derives from it.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// gaussAt returns a deterministic N(0,1) deviate for (seed, phase, salt).
+func gaussAt(seed uint64, phase int, salt uint64) float64 {
+	h1 := mix64(seed ^ uint64(phase) ^ salt)
+	h2 := mix64(h1 ^ 0x5bd1e995)
+	u1 := unit(h1)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*unit(h2))
+}
+
+// BuildBatches materializes per-phase external input batches for the
+// engine: feeds maps a source vertex index to the Series feeding it (on
+// port 0).
+func BuildBatches(phases int, feeds map[int]Series) [][]core.ExtInput {
+	out := make([][]core.ExtInput, phases)
+	// iterate vertices in sorted order for deterministic batch layout
+	var verts []int
+	for v := range feeds {
+		verts = append(verts, v)
+	}
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if verts[j] < verts[i] {
+				verts[i], verts[j] = verts[j], verts[i]
+			}
+		}
+	}
+	for p := 1; p <= phases; p++ {
+		for _, v := range verts {
+			if val, ok := feeds[v](p); ok {
+				out[p-1] = append(out[p-1], core.ExtInput{Vertex: v, Port: 0, Val: val})
+			}
+		}
+	}
+	return out
+}
+
+// Constant returns a series that reports the same value every phase.
+func Constant(v float64) Series {
+	return func(int) (event.Value, bool) { return event.Float(v), true }
+}
+
+// Silent returns a series that never reports.
+func Silent() Series {
+	return func(int) (event.Value, bool) { return event.Value{}, false }
+}

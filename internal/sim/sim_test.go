@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func TestBuildBatchesLayout(t *testing.T) {
+	feeds := map[int]Series{
+		2: Constant(5),
+		1: func(p int) (event.Value, bool) {
+			if p%2 == 0 {
+				return event.Float(float64(p)), true
+			}
+			return event.Value{}, false
+		},
+		3: Silent(),
+	}
+	batches := BuildBatches(4, feeds)
+	if len(batches) != 4 {
+		t.Fatalf("len = %d", len(batches))
+	}
+	// phase 1: only vertex 2
+	if len(batches[0]) != 1 || batches[0][0].Vertex != 2 {
+		t.Errorf("phase 1 batch = %v", batches[0])
+	}
+	// phase 2: vertices 1 and 2, sorted by vertex
+	if len(batches[1]) != 2 || batches[1][0].Vertex != 1 || batches[1][1].Vertex != 2 {
+		t.Errorf("phase 2 batch = %v", batches[1])
+	}
+	if v, _ := batches[1][0].Val.AsFloat(); v != 2 {
+		t.Errorf("phase 2 vertex 1 value = %v", v)
+	}
+}
+
+func TestBuildBatchesDeterministic(t *testing.T) {
+	mk := func() [][]event.Value {
+		tcfg := TemperatureConfig{Seed: 9, Mean: 20, Swing: 8, Period: 24, Noise: 0.5}
+		temp, _ := Temperature(tcfg)
+		var out [][]event.Value
+		for p := 1; p <= 100; p++ {
+			v, ok := temp(p)
+			if ok {
+				out = append(out, []event.Value{v})
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if !a[i][0].Equal(b[i][0]) {
+			t.Fatalf("phase %d: series not deterministic", i+1)
+		}
+	}
+}
+
+func TestTemperatureShape(t *testing.T) {
+	temp, inWave := Temperature(TemperatureConfig{
+		Seed: 1, Mean: 22.5, Swing: 7.5, Period: 24, Noise: 0,
+	})
+	// no waves configured
+	for p := 1; p <= 48; p++ {
+		if inWave(p) {
+			t.Fatalf("phase %d in wave with WaveProb=0", p)
+		}
+	}
+	// trough near phase 24k+... with sin(2πp/24 - π/2): minimum at p=0/24/48, max at p=12.
+	vMax, _ := temp(12)
+	vMin, _ := temp(24)
+	mx, _ := vMax.AsFloat()
+	mn, _ := vMin.AsFloat()
+	if math.Abs(mx-30) > 1e-9 || math.Abs(mn-15) > 1e-9 {
+		t.Errorf("temp extremes = %g / %g, want 30 / 15", mx, mn)
+	}
+}
+
+func TestTemperatureWaves(t *testing.T) {
+	temp, inWave := Temperature(TemperatureConfig{
+		Seed: 5, Mean: 20, Swing: 5, Period: 24, Noise: 0,
+		WaveProb: 0.5, WaveBoost: 12, WaveLength: 24,
+	})
+	waves := 0
+	for day := 0; day < 100; day++ {
+		p := day*24 + 3
+		if inWave(p) {
+			waves++
+			v, _ := temp(p)
+			base, _ := Temperature(TemperatureConfig{Seed: 5, Mean: 20, Swing: 5, Period: 24})
+			bv, _ := base(p)
+			x, _ := v.AsFloat()
+			b, _ := bv.AsFloat()
+			if math.Abs(x-b-12) > 1e-9 {
+				t.Errorf("wave boost wrong at phase %d: %g vs %g", p, x, b)
+			}
+		}
+	}
+	if waves < 20 || waves > 80 {
+		t.Errorf("%d of 100 days in waves at prob 0.5", waves)
+	}
+}
+
+func TestPowerLoadFollowsTemperature(t *testing.T) {
+	hot := Constant(35)
+	cold := Constant(15)
+	loadHot := PowerLoad(1, 1000, 10, 22, hot)
+	loadCold := PowerLoad(1, 1000, 10, 22, cold)
+	vh, _ := loadHot(5)
+	vc, _ := loadCold(5)
+	h, _ := vh.AsFloat()
+	c, _ := vc.AsFloat()
+	// hot: 1000 + 10*13² = 2690 ± noise; cold: 1000 ± noise
+	if h < 2500 || c > 1200 {
+		t.Errorf("loads = %g (hot) / %g (cold)", h, c)
+	}
+	silent := PowerLoad(1, 1000, 10, 22, Silent())
+	if _, ok := silent(3); ok {
+		t.Error("load reported without temperature")
+	}
+}
+
+func TestTransactionsAnomalyRate(t *testing.T) {
+	series, isAnomaly := Transactions(TransactionConfig{
+		Seed: 3, MeanAmount: 100, Spread: 0.5, AnomalyProb: 0.01, AnomalyMult: 50,
+	})
+	anomalies := 0
+	var normalMax, anomalyMin float64 = 0, math.Inf(1)
+	for p := 1; p <= 20000; p++ {
+		v, ok := series(p)
+		if !ok {
+			t.Fatal("transaction feed skipped a phase")
+		}
+		amt, _ := v.AsFloat()
+		if isAnomaly(p) {
+			anomalies++
+			if amt < anomalyMin {
+				anomalyMin = amt
+			}
+		} else if amt > normalMax {
+			normalMax = amt
+		}
+	}
+	if anomalies < 120 || anomalies > 280 {
+		t.Errorf("%d anomalies in 20000 at prob 0.01", anomalies)
+	}
+	if anomalyMin < normalMax/10 {
+		// 50x multiplier should dominate lognormal spread most of the time;
+		// just sanity-check separation is material.
+		t.Logf("weak separation: anomalyMin=%g normalMax=%g", anomalyMin, normalMax)
+	}
+}
+
+func TestDiseaseOutbreaks(t *testing.T) {
+	series, inOutbreak := Disease(DiseaseConfig{
+		Seed: 7, Base: 20, Weekly: 0.2, Period: 7,
+		Outbreaks: []Outbreak{{Start: 50, Length: 10, Boost: 4}},
+	})
+	if inOutbreak(49) || !inOutbreak(50) || !inOutbreak(59) || inOutbreak(60) {
+		t.Error("outbreak window predicate wrong")
+	}
+	var baseSum, outSum float64
+	for p := 30; p < 44; p++ {
+		v, _ := series(p)
+		c, _ := v.AsInt()
+		baseSum += float64(c)
+	}
+	for p := 50; p < 60; p++ {
+		v, _ := series(p)
+		c, _ := v.AsInt()
+		outSum += float64(c)
+	}
+	if outSum/10 < 2*(baseSum/14) {
+		t.Errorf("outbreak mean %g not elevated over base %g", outSum/10, baseSum/14)
+	}
+	// counts are non-negative integers
+	for p := 1; p <= 100; p++ {
+		v, _ := series(p)
+		if c, ok := v.AsInt(); !ok || c < 0 {
+			t.Fatalf("phase %d: bad count %v", p, v)
+		}
+	}
+}
+
+func TestHurricaneFeeds(t *testing.T) {
+	dist, flood, shelter := Hurricane(HurricaneConfig{
+		Seed: 11, Landfall: 50, ApproachKm: 500, FloodRate: 0.2, Shelters: 10,
+	})
+	// distance reported every phase and broadly decreasing
+	v1, ok1 := dist(1)
+	v40, ok40 := dist(40)
+	if !ok1 || !ok40 {
+		t.Fatal("distance feed skipped")
+	}
+	d1, _ := v1.AsFloat()
+	d40, _ := v40.AsFloat()
+	if d1 < d40 {
+		t.Errorf("distance not decreasing: %g then %g", d1, d40)
+	}
+	// flood is silent before landfall (after the initial report)
+	silentCount := 0
+	for p := 2; p < 45; p++ {
+		if _, ok := flood(p); !ok {
+			silentCount++
+		}
+	}
+	if silentCount < 35 {
+		t.Errorf("flood feed too chatty before landfall: %d silent of 43", silentCount)
+	}
+	// flood rises after landfall
+	reported := 0
+	var last float64
+	for p := 51; p < 120; p++ {
+		if v, ok := flood(p); ok {
+			reported++
+			last, _ = v.AsFloat()
+		}
+	}
+	if reported == 0 || last < 5 {
+		t.Errorf("flood after landfall: %d reports, last %g", reported, last)
+	}
+	// shelter occupancy within [0,1]
+	for p := 1; p < 150; p++ {
+		if v, ok := shelter(p); ok {
+			o, _ := v.AsFloat()
+			if o < 0 || o > 1 {
+				t.Fatalf("occupancy %g out of range", o)
+			}
+		}
+	}
+}
+
+func TestIntrusionFeeds(t *testing.T) {
+	failed, probes, egress, under := Intrusion(IntrusionConfig{
+		Seed: 13, BaseLogins: 100, FailRate: 0.05,
+		Attacks: []Attack{{Start: 100, Length: 20, BruteForce: 15, Scan: 8, Exfil: 60}},
+	})
+	if under(99) || !under(100) || !under(119) || under(120) {
+		t.Error("attack window predicate wrong")
+	}
+	// baseline failed logins around 5/phase, during attack around 75
+	var base, attack float64
+	for p := 20; p < 80; p++ {
+		v, _ := failed(p)
+		c, _ := v.AsInt()
+		base += float64(c)
+	}
+	for p := 100; p < 120; p++ {
+		v, _ := failed(p)
+		c, _ := v.AsInt()
+		attack += float64(c)
+	}
+	if attack/20 < 5*(base/60) {
+		t.Errorf("attack failed-login mean %.1f not elevated over base %.1f", attack/20, base/60)
+	}
+	// probes sparse at baseline
+	silent := 0
+	for p := 1; p < 100; p++ {
+		if _, ok := probes(p); !ok {
+			silent++
+		}
+	}
+	if silent < 60 {
+		t.Errorf("probe feed too chatty at baseline: %d silent of 99", silent)
+	}
+	// probes present during scan
+	present := 0
+	for p := 100; p < 120; p++ {
+		if _, ok := probes(p); ok {
+			present++
+		}
+	}
+	if present < 15 {
+		t.Errorf("probe feed missed scan: %d of 20 phases", present)
+	}
+	// egress elevated during exfil
+	var eBase, eAtk float64
+	for p := 20; p < 80; p++ {
+		v, _ := egress(p)
+		x, _ := v.AsFloat()
+		eBase += x
+	}
+	for p := 100; p < 120; p++ {
+		v, _ := egress(p)
+		x, _ := v.AsFloat()
+		eAtk += x
+	}
+	if eAtk/20 < 3*(eBase/60) {
+		t.Errorf("egress during exfil %.1f not elevated over base %.1f", eAtk/20, eBase/60)
+	}
+}
+
+// TestIntrusionPipelineEndToEnd wires the intrusion feeds into a small
+// correlation graph — brute-force CUSUM AND probe activity AND egress
+// z-score — and checks the composite alert fires inside the attack
+// window and nowhere else. This is the paper's intrusion-detection
+// motivation as an integration test.
+func TestIntrusionPipelineEndToEnd(t *testing.T) {
+	failed, probes, egress, under := Intrusion(IntrusionConfig{
+		Seed: 4, BaseLogins: 100, FailRate: 0.05,
+		Attacks: []Attack{{Start: 300, Length: 40, BruteForce: 20, Scan: 10, Exfil: 80}},
+	})
+	alerts := runIntrusionGraph(t, failed, probes, egress, 500)
+	if len(alerts) == 0 {
+		t.Fatal("no composite alerts over an injected 40-phase attack")
+	}
+	for _, p := range alerts {
+		if !under(p) && !under(p-1) && !under(p-2) {
+			t.Errorf("false alarm at phase %d", p)
+		}
+	}
+}
+
+// runIntrusionGraph wires the three telemetry feeds into a correlation
+// graph (brute-force CUSUM + probe presence + egress z-score → 2-of-3
+// vote) and returns the phases at which the composite alert rose.
+func runIntrusionGraph(t *testing.T, failed, probes, egress Series, phases int) []int {
+	t.Helper()
+	g := graph.New()
+	vFail := g.AddVertex("failed-logins")
+	vProbe := g.AddVertex("port-probes")
+	vEgress := g.AddVertex("egress")
+	vBrute := g.AddVertex("brute-cusum")
+	vBruteLvl := g.AddVertex("brute-level")
+	vProbeLvl := g.AddVertex("probe-level")
+	vEgressZ := g.AddVertex("egress-z")
+	vVote := g.AddVertex("vote")
+	vSink := g.AddVertex("alerts")
+	g.MustEdge(vFail, vBrute)
+	g.MustEdge(vBrute, vBruteLvl)
+	g.MustEdge(vFail, vBruteLvl) // clock for pulse expiry
+	g.MustEdge(vProbe, vProbeLvl)
+	g.MustEdge(vEgress, vEgressZ)
+	g.MustEdge(vBruteLvl, vVote)
+	g.MustEdge(vProbeLvl, vVote)
+	g.MustEdge(vEgressZ, vVote)
+	g.MustEdge(vVote, vSink)
+	ng, err := g.Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relay := func() core.Module {
+		return core.StepFunc(func(ctx *core.Context) {
+			if v, ok := ctx.FirstIn(); ok {
+				ctx.EmitAll(v)
+			}
+		})
+	}
+	// pulse: true for hold phases after any Float (CUSUM) message; Int
+	// messages are the clock.
+	pulse := func(hold int) core.Module {
+		until, state := 0, int8(0)
+		return core.StepFunc(func(ctx *core.Context) {
+			for p := 0; p < ctx.Ports(); p++ {
+				if v, ok := ctx.In(p); ok && v.Kind() == event.KindFloat {
+					until = ctx.Phase() + hold
+				}
+			}
+			var next int8 = -1
+			if ctx.Phase() < until {
+				next = 1
+			}
+			if next != state {
+				state = next
+				ctx.EmitAll(event.Bool(next == 1))
+			}
+		})
+	}
+	// probeLevel: true while probe messages keep arriving (expires after
+	// quiet gap — but with no clock on this path, emit presence per
+	// arrival transition; vote's port memory holds the last state, so
+	// emit true on each probe and rely on 2-of-3 semantics).
+	probeLevel := func() core.Module {
+		lastSeen := -10
+		state := int8(0)
+		return core.StepFunc(func(ctx *core.Context) {
+			// only multi-port probes count: benign background scanners
+			// touch a single port, campaigns sweep many
+			if v, ok := ctx.FirstIn(); ok {
+				if c, _ := v.AsInt(); c >= 2 {
+					lastSeen = ctx.Phase()
+				}
+			}
+			var next int8 = -1
+			if ctx.Phase()-lastSeen < 5 {
+				next = 1
+			}
+			if next != state {
+				state = next
+				ctx.EmitAll(event.Bool(next == 1))
+			}
+		})
+	}
+	// egress z-score over long window
+	zdet := func() core.Module {
+		win := stats.NewWindow(100)
+		state := int8(0)
+		return core.StepFunc(func(ctx *core.Context) {
+			v, ok := ctx.FirstIn()
+			if !ok {
+				return
+			}
+			x, _ := v.AsFloat()
+			var next int8 = -1
+			if win.Len() >= 50 && win.ZScore(x) > 5 {
+				next = 1
+			}
+			win.Add(x)
+			if next != state {
+				state = next
+				ctx.EmitAll(event.Bool(next == 1))
+			}
+		})
+	}
+	cusum := func() core.Module {
+		c := &stats.CUSUM{K: 0.75, H: 10, Warm: 150}
+		return core.StepFunc(func(ctx *core.Context) {
+			v, ok := ctx.FirstIn()
+			if !ok {
+				return
+			}
+			x, _ := v.AsFloat()
+			if sig, sum := c.Add(x); sig {
+				ctx.EmitAll(event.Float(sum))
+				c.Reset()
+			}
+		})
+	}
+	vote := func(need int) core.Module {
+		var st []bool
+		out := int8(0)
+		return core.StepFunc(func(ctx *core.Context) {
+			if st == nil {
+				st = make([]bool, ctx.Ports())
+			}
+			changed := false
+			for p := 0; p < ctx.Ports(); p++ {
+				if v, ok := ctx.In(p); ok {
+					st[p] = v.Bool(false)
+					changed = true
+				}
+			}
+			if !changed {
+				return
+			}
+			n := 0
+			for _, b := range st {
+				if b {
+					n++
+				}
+			}
+			var next int8 = -1
+			if n >= need {
+				next = 1
+			}
+			if next != out {
+				out = next
+				ctx.EmitAll(event.Bool(next == 1))
+			}
+		})
+	}
+	var alerts []int
+	var alertState bool
+	sink := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			b := v.Bool(false)
+			if b && !alertState {
+				alerts = append(alerts, ctx.Phase())
+			}
+			alertState = b
+		}
+	})
+
+	mods := make([]core.Module, ng.N())
+	set := func(id int, m core.Module) { mods[ng.IndexOf(id)-1] = m }
+	set(vFail, relay())
+	set(vProbe, relay())
+	set(vEgress, relay())
+	set(vBrute, cusum())
+	set(vBruteLvl, pulse(15))
+	set(vProbeLvl, probeLevel())
+	set(vEgressZ, zdet())
+	set(vVote, vote(2))
+	set(vSink, sink)
+
+	feeds := map[int]Series{
+		ng.IndexOf(vFail):   failed,
+		ng.IndexOf(vProbe):  probes,
+		ng.IndexOf(vEgress): egress,
+	}
+	eng, err := core.New(ng, mods, core.Config{Workers: 4, MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(BuildBatches(phases, feeds)); err != nil {
+		t.Fatal(err)
+	}
+	return alerts
+}

@@ -1,0 +1,234 @@
+// Package spec loads and saves XML computation specifications, the input
+// format of the paper's prototype (§4: "an XML specification file for a
+// computation, which includes a specification of the computation graph
+// with vertices as instances of [registered classes] ... [and]
+// simulation parameters, such as the number of timesteps to run and
+// random seeds").
+//
+// A specification names each vertex, gives it a registered module type
+// with parameters, wires edges by vertex id, and sets simulation
+// parameters. Building a spec yields a numbered graph plus one module
+// instance per vertex, ready to hand to the engine or the baseline
+// executors.
+package spec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/module"
+)
+
+// Spec is a parsed computation specification.
+type Spec struct {
+	XMLName    xml.Name     `xml:"computation"`
+	Name       string       `xml:"name,attr"`
+	Vertices   []VertexSpec `xml:"graph>vertex"`
+	Edges      []EdgeSpec   `xml:"graph>edge"`
+	Simulation Simulation   `xml:"simulation"`
+}
+
+// VertexSpec declares one vertex: a unique id, a registered module type
+// and its parameters.
+type VertexSpec struct {
+	ID     string      `xml:"id,attr"`
+	Type   string      `xml:"type,attr"`
+	Params []ParamSpec `xml:"param"`
+}
+
+// ParamSpec is one name=value module parameter.
+type ParamSpec struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// EdgeSpec wires two vertices by id.
+type EdgeSpec struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+// Simulation carries run parameters.
+type Simulation struct {
+	Phases      int    `xml:"phases,attr"`
+	Workers     int    `xml:"workers,attr"`
+	MaxInFlight int    `xml:"maxInFlight,attr"`
+	Seed        uint64 `xml:"seed,attr"`
+}
+
+// Parse reads a specification from r.
+func Parse(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile reads a specification from a file.
+func ParseFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Validate checks structural well-formedness: unique non-empty ids,
+// edges referencing declared vertices, no self-loops or duplicate edges,
+// positive phase count.
+func (s *Spec) Validate() error {
+	if len(s.Vertices) == 0 {
+		return fmt.Errorf("spec %q: no vertices", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Vertices))
+	for _, v := range s.Vertices {
+		if v.ID == "" {
+			return fmt.Errorf("spec %q: vertex with empty id", s.Name)
+		}
+		if v.Type == "" {
+			return fmt.Errorf("spec %q: vertex %q has no type", s.Name, v.ID)
+		}
+		if seen[v.ID] {
+			return fmt.Errorf("spec %q: duplicate vertex id %q", s.Name, v.ID)
+		}
+		seen[v.ID] = true
+	}
+	edges := make(map[[2]string]bool, len(s.Edges))
+	for _, e := range s.Edges {
+		if !seen[e.From] {
+			return fmt.Errorf("spec %q: edge from unknown vertex %q", s.Name, e.From)
+		}
+		if !seen[e.To] {
+			return fmt.Errorf("spec %q: edge to unknown vertex %q", s.Name, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("spec %q: self-loop on %q", s.Name, e.From)
+		}
+		k := [2]string{e.From, e.To}
+		if edges[k] {
+			return fmt.Errorf("spec %q: duplicate edge %q -> %q", s.Name, e.From, e.To)
+		}
+		edges[k] = true
+	}
+	if s.Simulation.Phases < 0 {
+		return fmt.Errorf("spec %q: negative phase count", s.Name)
+	}
+	return nil
+}
+
+// Built is the executable form of a spec: the numbered graph, one module
+// per vertex index, and id lookup tables.
+type Built struct {
+	Graph   *graph.Numbered
+	Modules []core.Module
+	// IndexOf maps vertex id to 1-based vertex index.
+	IndexOf map[string]int
+	// IDOf maps 1-based vertex index to vertex id.
+	IDOf []string
+}
+
+// ModuleByID returns the module instance for a vertex id (nil when the
+// id is unknown).
+func (b *Built) ModuleByID(id string) core.Module {
+	v, ok := b.IndexOf[id]
+	if !ok {
+		return nil
+	}
+	return b.Modules[v-1]
+}
+
+// Build materializes the spec against a module registry. Vertices
+// without an explicit "seed" parameter receive one derived from the
+// simulation seed and their position, so runs are reproducible yet
+// vertices are decorrelated.
+func (s *Spec) Build(reg *module.Registry) (*Built, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	ids := make(map[string]int, len(s.Vertices)) // id -> construction id
+	for _, v := range s.Vertices {
+		ids[v.ID] = g.AddVertex(v.ID)
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(ids[e.From], ids[e.To]); err != nil {
+			return nil, fmt.Errorf("spec %q: %w", s.Name, err)
+		}
+	}
+	ng, err := g.Number()
+	if err != nil {
+		return nil, fmt.Errorf("spec %q: %w", s.Name, err)
+	}
+	b := &Built{
+		Graph:   ng,
+		Modules: make([]core.Module, ng.N()),
+		IndexOf: make(map[string]int, len(s.Vertices)),
+		IDOf:    make([]string, ng.N()+1),
+	}
+	for i, v := range s.Vertices {
+		idx := ng.IndexOf(ids[v.ID])
+		b.IndexOf[v.ID] = idx
+		b.IDOf[idx] = v.ID
+		params := module.Params{}
+		for _, p := range v.Params {
+			params[p.Name] = p.Value
+		}
+		if _, has := params["seed"]; !has {
+			params["seed"] = strconv.FormatUint(s.Simulation.Seed+uint64(i)*0x9e3779b9+1, 10)
+		}
+		m, err := reg.Build(v.Type, params)
+		if err != nil {
+			return nil, fmt.Errorf("spec %q: vertex %q: %w", s.Name, v.ID, err)
+		}
+		b.Modules[idx-1] = m
+	}
+	return b, nil
+}
+
+// EngineConfig derives a core.Config from the simulation parameters.
+func (s *Spec) EngineConfig() core.Config {
+	return core.Config{
+		Workers:     s.Simulation.Workers,
+		MaxInFlight: s.Simulation.MaxInFlight,
+	}
+}
+
+// Marshal renders the spec back to indented XML.
+func (s *Spec) Marshal() ([]byte, error) {
+	out, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: marshal: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Run builds the spec, executes it on the parallel engine for the
+// configured number of phases (with no external inputs beyond the phase
+// signal — specs drive themselves through source modules), and returns
+// the built artifacts and engine stats.
+func Run(s *Spec, reg *module.Registry) (*Built, core.Stats, error) {
+	b, err := s.Build(reg)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	eng, err := core.New(b.Graph, b.Modules, s.EngineConfig())
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	st, err := eng.Run(make([][]core.ExtInput, s.Simulation.Phases))
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	return b, st, nil
+}

@@ -1,0 +1,85 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/module"
+)
+
+// specsDir locates the repository's specs/ directory relative to this
+// package's source tree.
+func specsDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "specs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Skipf("specs directory not found: %v", err)
+	}
+	return dir
+}
+
+// TestShippedSpecsBuildAndRun loads every XML file under specs/, builds
+// it against the full registry and executes it end to end — the same
+// path cmd/fusion takes.
+func TestShippedSpecsBuildAndRun(t *testing.T) {
+	dir := specsDir(t)
+	files, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no shipped specs found")
+	}
+	reg := module.NewRegistry()
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			s, err := ParseFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Simulation.Phases <= 0 {
+				t.Fatal("spec has no phases")
+			}
+			b, st, err := Run(s, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.PhasesCompleted != int64(s.Simulation.Phases) {
+				t.Errorf("completed %d of %d phases", st.PhasesCompleted, s.Simulation.Phases)
+			}
+			if st.Executions < st.PhasesCompleted {
+				t.Errorf("suspiciously few executions: %d", st.Executions)
+			}
+			if b.Graph.N() != len(s.Vertices) {
+				t.Errorf("graph N = %d, spec has %d vertices", b.Graph.N(), len(s.Vertices))
+			}
+		})
+	}
+}
+
+// TestHeatwaveSpecAlerts runs the heatwave spec and checks its alert
+// sink fired roughly daily.
+func TestHeatwaveSpecAlerts(t *testing.T) {
+	s, err := ParseFile(filepath.Join(specsDir(t), "heatwave.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(s, module.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := b.ModuleByID("alerts").(*module.AlertSink)
+	days := s.Simulation.Phases / 24
+	if len(sink.Alerts) < days-3 || len(sink.Alerts) > days+3 {
+		t.Errorf("%d alerts over %d days: %v", len(sink.Alerts), days, sink.Alerts)
+	}
+	trace := b.ModuleByID("trace").(*module.Collector)
+	if trace.History().Len() < len(sink.Alerts) {
+		t.Errorf("trace shorter than alerts: %d < %d", trace.History().Len(), len(sink.Alerts))
+	}
+}

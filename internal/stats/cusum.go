@@ -1,0 +1,192 @@
+package stats
+
+import "math"
+
+// CUSUM is a two-sided cumulative-sum change detector (Page's test), the
+// standard sequential statistic for disease-surveillance and process-
+// monitoring predicates: it accumulates small persistent shifts of the
+// mean that a per-observation z-score misses.
+//
+// Observations are standardized against a reference mean and standard
+// deviation (learned online from the first Warm observations unless set
+// explicitly); the detector signals when either one-sided sum exceeds
+// the decision threshold H. K is the slack (in standard deviations)
+// subtracted each step — shifts smaller than K per observation are
+// ignored.
+type CUSUM struct {
+	// K is the allowance/slack per observation, in reference standard
+	// deviations (typically 0.5).
+	K float64
+	// H is the decision threshold, in reference standard deviations
+	// (typically 4-5).
+	H float64
+	// Warm is how many observations train the reference before the
+	// detector arms (ignored when Mean/Std are set explicitly via
+	// SetReference).
+	Warm int64
+
+	ref      Welford
+	fixedRef bool
+	mean     float64
+	std      float64
+
+	hi, lo float64
+	armed  bool
+}
+
+// SetReference fixes the reference distribution instead of learning it.
+func (c *CUSUM) SetReference(mean, std float64) {
+	c.mean, c.std = mean, std
+	c.fixedRef = true
+	c.armed = std > 0
+}
+
+// Add folds one observation in and reports whether the detector signals
+// a change at this observation, along with the dominant cumulative sum
+// (positive for upward shifts, negative for downward).
+func (c *CUSUM) Add(x float64) (signal bool, sum float64) {
+	if !c.fixedRef {
+		if !c.armed {
+			c.ref.Add(x)
+			if c.ref.N() >= c.Warm && c.ref.StdDev() > 0 {
+				c.mean, c.std = c.ref.Mean(), c.ref.StdDev()
+				c.armed = true
+			}
+			return false, 0
+		}
+	} else if !c.armed {
+		return false, 0
+	}
+	z := (x - c.mean) / c.std
+	c.hi = math.Max(0, c.hi+z-c.K)
+	c.lo = math.Min(0, c.lo+z+c.K)
+	if c.hi >= c.H {
+		return true, c.hi
+	}
+	if -c.lo >= c.H {
+		return true, c.lo
+	}
+	if c.hi >= -c.lo {
+		return false, c.hi
+	}
+	return false, c.lo
+}
+
+// Reset clears the cumulative sums (keeping the reference), the usual
+// post-alarm action.
+func (c *CUSUM) Reset() { c.hi, c.lo = 0, 0 }
+
+// Armed reports whether the reference is trained.
+func (c *CUSUM) Armed() bool { return c.armed }
+
+// Sums returns the current one-sided sums (hi ≥ 0, lo ≤ 0).
+func (c *CUSUM) Sums() (hi, lo float64) { return c.hi, c.lo }
+
+// Autocorrelation computes the lag-k sample autocorrelation of a sliding
+// window of observations — the building block for periodicity and
+// regime-change predicates over event histories.
+type Autocorrelation struct {
+	win *Window
+	lag int
+}
+
+// NewAutocorrelation returns an estimator over a window of the given
+// size (must exceed the lag).
+func NewAutocorrelation(size, lag int) *Autocorrelation {
+	if lag < 1 || size <= lag+1 {
+		panic("stats: autocorrelation needs size > lag+1 >= 2")
+	}
+	return &Autocorrelation{win: NewWindow(size), lag: lag}
+}
+
+// Add folds one observation in.
+func (a *Autocorrelation) Add(x float64) { a.win.Add(x) }
+
+// Ready reports whether the window holds enough data for an estimate.
+func (a *Autocorrelation) Ready() bool { return a.win.Len() > a.lag+1 }
+
+// Value returns the lag-k autocorrelation in [-1, 1] (0 when not ready
+// or degenerate).
+func (a *Autocorrelation) Value() float64 {
+	if !a.Ready() {
+		return 0
+	}
+	xs := a.win.Values()
+	mean := a.win.Mean()
+	var num, den float64
+	for i := range xs {
+		d := xs[i] - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := a.lag; i < len(xs); i++ {
+		num += (xs[i] - mean) * (xs[i-a.lag] - mean)
+	}
+	return num / den
+}
+
+// Histogram is a fixed-bin histogram over a known range, used by
+// distribution-drift predicates and by test assertions on simulated
+// feeds. Values outside the range clamp into the edge bins.
+type Histogram struct {
+	lo, hi float64
+	bins   []int64
+	n      int64
+}
+
+// NewHistogram returns a histogram of the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("stats: histogram needs bins >= 1 and hi > lo")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, bins)}
+}
+
+// Add folds one observation in.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.bins[i]) / float64(h.n)
+}
+
+// TV returns the total-variation distance between the two histograms'
+// normalized distributions (0 = identical, 1 = disjoint); they must have
+// the same shape.
+func (h *Histogram) TV(o *Histogram) float64 {
+	if len(h.bins) != len(o.bins) {
+		panic("stats: histogram shape mismatch")
+	}
+	if h.n == 0 || o.n == 0 {
+		return 0
+	}
+	var tv float64
+	for i := range h.bins {
+		tv += math.Abs(h.Fraction(i) - o.Fraction(i))
+	}
+	return tv / 2
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestCUSUMDetectsMeanShift(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	// H=8 gives an in-control average run length far beyond the test
+	// horizon, so the stable regime must stay silent.
+	c := &CUSUM{K: 0.5, H: 8, Warm: 100}
+	// stable regime
+	for i := 0; i < 300; i++ {
+		if sig, _ := c.Add(10 + rng.NormFloat64()); sig {
+			t.Fatalf("false alarm at stable observation %d", i)
+		}
+	}
+	// persistent +1.5σ shift — individually unremarkable observations
+	fired := -1
+	for i := 0; i < 40; i++ {
+		if sig, sum := c.Add(11.5 + rng.NormFloat64()); sig {
+			fired = i
+			if sum <= 0 {
+				t.Errorf("upward shift signalled with sum %g", sum)
+			}
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("missed +1.5σ persistent shift within 40 observations")
+	}
+	if fired > 20 {
+		t.Errorf("detection latency %d observations", fired)
+	}
+}
+
+func TestCUSUMDetectsDownwardShift(t *testing.T) {
+	c := &CUSUM{K: 0.5, H: 4}
+	c.SetReference(0, 1)
+	fired := false
+	for i := 0; i < 30; i++ {
+		if sig, sum := c.Add(-1.2); sig {
+			fired = true
+			if sum >= 0 {
+				t.Errorf("downward shift signalled with sum %g", sum)
+			}
+			break
+		}
+	}
+	if !fired {
+		t.Error("missed downward shift")
+	}
+}
+
+func TestCUSUMSlackIgnoresSmallShifts(t *testing.T) {
+	c := &CUSUM{K: 0.5, H: 5}
+	c.SetReference(0, 1)
+	// shift below slack: +0.3σ forever must never alarm
+	for i := 0; i < 10000; i++ {
+		if sig, _ := c.Add(0.3); sig {
+			t.Fatalf("alarm on sub-slack shift at %d", i)
+		}
+	}
+}
+
+func TestCUSUMResetAndArming(t *testing.T) {
+	c := &CUSUM{K: 0.5, H: 3}
+	if c.Armed() {
+		t.Error("armed before reference")
+	}
+	if sig, _ := c.Add(100); sig {
+		t.Error("unarmed detector signalled")
+	}
+	c.SetReference(0, 1)
+	if !c.Armed() {
+		t.Error("not armed after SetReference")
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(2)
+	}
+	hi, _ := c.Sums()
+	if hi == 0 {
+		t.Error("no accumulation")
+	}
+	c.Reset()
+	hi, lo := c.Sums()
+	if hi != 0 || lo != 0 {
+		t.Error("reset did not clear sums")
+	}
+	// zero-std reference never arms
+	var c2 CUSUM
+	c2.SetReference(5, 0)
+	if c2.Armed() {
+		t.Error("armed with zero std")
+	}
+}
+
+func TestAutocorrelationPeriodicSignal(t *testing.T) {
+	a := NewAutocorrelation(64, 8)
+	for i := 0; i < 64; i++ {
+		a.Add(math.Sin(2 * math.Pi * float64(i) / 8)) // period exactly the lag
+	}
+	if !a.Ready() {
+		t.Fatal("not ready")
+	}
+	if v := a.Value(); v < 0.8 {
+		t.Errorf("lag-8 autocorrelation of period-8 signal = %g", v)
+	}
+	b := NewAutocorrelation(64, 4) // half period → anti-correlated
+	for i := 0; i < 64; i++ {
+		b.Add(math.Sin(2 * math.Pi * float64(i) / 8))
+	}
+	if v := b.Value(); v > -0.8 {
+		t.Errorf("lag-4 autocorrelation of period-8 signal = %g", v)
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := NewAutocorrelation(512, 5)
+	for i := 0; i < 512; i++ {
+		a.Add(rng.NormFloat64())
+	}
+	if v := math.Abs(a.Value()); v > 0.2 {
+		t.Errorf("white-noise autocorrelation = %g", v)
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	a := NewAutocorrelation(16, 2)
+	if a.Value() != 0 {
+		t.Error("empty estimator nonzero")
+	}
+	for i := 0; i < 16; i++ {
+		a.Add(7) // constant → zero variance
+	}
+	if a.Value() != 0 {
+		t.Error("constant series autocorrelation nonzero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad constructor args did not panic")
+		}
+	}()
+	NewAutocorrelation(3, 2)
+}
+
+func TestHistogramBinningAndTV(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	// bins: [0,2): 0,1.9,-3 → 3; [2,4): 2 → 1; [4,6): 5 → 1; [8,10): 9.9,42 → 2
+	wantBins := []int64{3, 1, 1, 0, 2}
+	for i, want := range wantBins {
+		if h.Bin(i) != want {
+			t.Errorf("bin %d = %d, want %d", i, h.Bin(i), want)
+		}
+	}
+	if h.Fraction(0) != 3.0/7.0 {
+		t.Errorf("fraction = %g", h.Fraction(0))
+	}
+	// identical histograms → TV 0; disjoint → 1
+	h2 := NewHistogram(0, 10, 5)
+	for i := 0; i < 4; i++ {
+		h2.Add(1)
+	}
+	h3 := NewHistogram(0, 10, 5)
+	for i := 0; i < 4; i++ {
+		h3.Add(9)
+	}
+	if tv := h2.TV(h2); tv != 0 {
+		t.Errorf("self TV = %g", tv)
+	}
+	if tv := h2.TV(h3); tv != 1 {
+		t.Errorf("disjoint TV = %g", tv)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	func() {
+		defer func() { recover() }()
+		NewHistogram(5, 5, 3)
+		t.Error("hi == lo accepted")
+	}()
+	func() {
+		defer func() { recover() }()
+		NewHistogram(0, 1, 0)
+		t.Error("zero bins accepted")
+	}()
+	func() {
+		defer func() { recover() }()
+		NewHistogram(0, 1, 2).TV(NewHistogram(0, 1, 3))
+		t.Error("shape mismatch accepted")
+	}()
+}

@@ -1,0 +1,109 @@
+package stats
+
+import "math"
+
+// OnlineKMeans clusters points in d-dimensional space incrementally
+// (sequential k-means / MacQueen's algorithm): each arriving point moves
+// its nearest centroid toward it by 1/count. The paper lists "clustering
+// of points in multidimensional spaces" among the models modules
+// execute; this is the streaming variant suited to one-event-at-a-time
+// module Steps.
+//
+// Centroids are seeded lazily from the first k distinct points, which
+// keeps the structure deterministic — no RNG involved.
+type OnlineKMeans struct {
+	k      int
+	dim    int
+	cents  [][]float64
+	counts []int64
+}
+
+// NewOnlineKMeans returns a clusterer for k clusters of dim-dimensional
+// points. Both must be positive.
+func NewOnlineKMeans(k, dim int) *OnlineKMeans {
+	if k <= 0 || dim <= 0 {
+		panic("stats: k and dim must be positive")
+	}
+	return &OnlineKMeans{k: k, dim: dim}
+}
+
+// K returns the configured number of clusters.
+func (m *OnlineKMeans) K() int { return m.k }
+
+// Seeded returns how many centroids have been seeded so far.
+func (m *OnlineKMeans) Seeded() int { return len(m.cents) }
+
+// Add assigns p to its nearest centroid, updates that centroid, and
+// returns the assigned cluster index along with the pre-update distance.
+// Until k distinct points have been seen, points seed new centroids
+// (distance 0 for the seeding point). Add panics if p has the wrong
+// dimension; feeding mis-shaped events is a wiring bug.
+func (m *OnlineKMeans) Add(p []float64) (cluster int, dist float64) {
+	if len(p) != m.dim {
+		panic("stats: point dimension mismatch")
+	}
+	if len(m.cents) < m.k {
+		// seed with distinct points only
+		for i, c := range m.cents {
+			if sqDist(c, p) == 0 {
+				m.counts[i]++
+				return i, 0
+			}
+		}
+		c := make([]float64, m.dim)
+		copy(c, p)
+		m.cents = append(m.cents, c)
+		m.counts = append(m.counts, 1)
+		return len(m.cents) - 1, 0
+	}
+	best, bd := 0, math.Inf(1)
+	for i, c := range m.cents {
+		if d := sqDist(c, p); d < bd {
+			best, bd = i, d
+		}
+	}
+	m.counts[best]++
+	step := 1 / float64(m.counts[best])
+	for j := range p {
+		m.cents[best][j] += step * (p[j] - m.cents[best][j])
+	}
+	return best, math.Sqrt(bd)
+}
+
+// Nearest returns the index of and distance to the centroid closest to p
+// without updating anything. Returns (-1, +Inf) before any centroid is
+// seeded.
+func (m *OnlineKMeans) Nearest(p []float64) (int, float64) {
+	if len(p) != m.dim {
+		panic("stats: point dimension mismatch")
+	}
+	best, bd := -1, math.Inf(1)
+	for i, c := range m.cents {
+		if d := sqDist(c, p); d < bd {
+			best, bd = i, d
+		}
+	}
+	if best < 0 {
+		return -1, math.Inf(1)
+	}
+	return best, math.Sqrt(bd)
+}
+
+// Centroid returns a copy of centroid i.
+func (m *OnlineKMeans) Centroid(i int) []float64 {
+	out := make([]float64, m.dim)
+	copy(out, m.cents[i])
+	return out
+}
+
+// Count returns how many points have been assigned to cluster i.
+func (m *OnlineKMeans) Count(i int) int64 { return m.counts[i] }
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+// Package stats provides the online statistical primitives the paper's
+// computational modules are built from: the conditions §1 motivates are
+// "complex functions of event histories" using "models such as
+// statistical regressions, time series analyses, clustering of points in
+// multidimensional spaces". Everything here is incremental (O(1) or
+// O(window) per observation) so modules can be driven one event at a
+// time, and purely deterministic so executions stay serializable.
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance in one pass using Welford's
+// numerically stable recurrence.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// ZScore returns how many standard deviations x lies from the running
+// mean; 0 when the deviation is undefined (fewer than two observations
+// or zero variance).
+func (w *Welford) ZScore(x float64) float64 {
+	sd := w.StdDev()
+	if sd == 0 {
+		return 0
+	}
+	return (x - w.mean) / sd
+}
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]; larger alpha weighs recent observations more.
+type EWMA struct {
+	alpha float64
+	val   float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha is
+// clamped into (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds one observation in and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.val, e.init = x, true
+		return x
+	}
+	e.val += e.alpha * (x - e.val)
+	return e.val
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.val }
+
+// Initialized reports whether any observation has been folded in.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// OLS is an incremental simple linear regression y = a + b*x with
+// O(1) updates, used by the paper's regression-model predicates (e.g.
+// "two standard deviations away from a regression model developed using
+// data from a one-month window").
+type OLS struct {
+	n                     int64
+	sx, sy, sxx, sxy, syy float64
+}
+
+// Add folds one (x, y) pair in.
+func (o *OLS) Add(x, y float64) {
+	o.n++
+	o.sx += x
+	o.sy += y
+	o.sxx += x * x
+	o.sxy += x * y
+	o.syy += y * y
+}
+
+// N returns the number of pairs.
+func (o *OLS) N() int64 { return o.n }
+
+// Slope returns the fitted slope b (0 when degenerate).
+func (o *OLS) Slope() float64 {
+	n := float64(o.n)
+	den := n*o.sxx - o.sx*o.sx
+	if o.n < 2 || den == 0 {
+		return 0
+	}
+	return (n*o.sxy - o.sx*o.sy) / den
+}
+
+// Intercept returns the fitted intercept a.
+func (o *OLS) Intercept() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return (o.sy - o.Slope()*o.sx) / float64(o.n)
+}
+
+// Predict evaluates the fitted line at x.
+func (o *OLS) Predict(x float64) float64 { return o.Intercept() + o.Slope()*x }
+
+// ResidualStdDev estimates the standard deviation of residuals around
+// the fitted line (0 with fewer than three points).
+func (o *OLS) ResidualStdDev() float64 {
+	if o.n < 3 {
+		return 0
+	}
+	n := float64(o.n)
+	b := o.Slope()
+	a := o.Intercept()
+	// SSE = Σ(y - a - b x)² expanded into the accumulated moments.
+	sse := o.syy - 2*a*o.sy - 2*b*o.sxy + n*a*a + 2*a*b*o.sx + b*b*o.sxx
+	if sse < 0 {
+		sse = 0 // numerical floor
+	}
+	return math.Sqrt(sse / (n - 2))
+}
+
+// Outlier reports whether (x, y) lies more than k residual standard
+// deviations from the regression line. Always false until the fit has at
+// least three points and positive residual spread.
+func (o *OLS) Outlier(x, y, k float64) bool {
+	sd := o.ResidualStdDev()
+	if sd == 0 {
+		return false
+	}
+	return math.Abs(y-o.Predict(x)) > k*sd
+}
+
+// AR1 fits a first-order autoregressive model x_t = c + φ·x_{t-1} + ε
+// incrementally, for the paper's time-series forecasting modules (e.g.
+// the temperature forecast model of §1). It regresses each observation
+// on its predecessor.
+type AR1 struct {
+	ols  OLS
+	last float64
+	has  bool
+}
+
+// Add folds one observation of the series in.
+func (a *AR1) Add(x float64) {
+	if a.has {
+		a.ols.Add(a.last, x)
+	}
+	a.last, a.has = x, true
+}
+
+// N returns the number of consecutive pairs observed.
+func (a *AR1) N() int64 { return a.ols.N() }
+
+// Phi returns the fitted autoregressive coefficient.
+func (a *AR1) Phi() float64 { return a.ols.Slope() }
+
+// Constant returns the fitted constant term.
+func (a *AR1) Constant() float64 { return a.ols.Intercept() }
+
+// Forecast predicts the next value of the series given the latest
+// observation folded in (the latest observation itself before any pair
+// exists).
+func (a *AR1) Forecast() float64 {
+	if a.ols.N() < 2 {
+		return a.last
+	}
+	return a.ols.Predict(a.last)
+}
+
+// Surprise returns |x - forecast| / residual stddev — how surprising an
+// incoming observation is under the model (0 while the model is
+// untrained).
+func (a *AR1) Surprise(x float64) float64 {
+	sd := a.ols.ResidualStdDev()
+	if sd == 0 {
+		return 0
+	}
+	return math.Abs(x-a.Forecast()) / sd
+}

@@ -1,0 +1,387 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %g, want 5", w.Mean())
+	}
+	// population variance of this classic set is 4; sample variance is 32/7
+	if !almost(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %g, want %g", w.Variance(), 32.0/7.0)
+	}
+	if z := w.ZScore(5 + w.StdDev()); !almost(z, 1, 1e-12) {
+		t.Errorf("z = %g, want 1", z)
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.ZScore(3) != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	w.Add(5)
+	if w.Variance() != 0 || w.ZScore(10) != 0 {
+		t.Error("single observation variance/z not zero")
+	}
+	w.Add(5)
+	if w.ZScore(9) != 0 {
+		t.Error("zero-variance z not zero")
+	}
+	w.Reset()
+	if w.N() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 2 + int(nRaw%100)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		var w Welford
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*50 + 10
+			w.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return almost(w.Mean(), mean, 1e-9) && almost(w.Variance(), ss/float64(n-1), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Error("initialized before Add")
+	}
+	if got := e.Add(10); got != 10 {
+		t.Errorf("first Add = %g", got)
+	}
+	if got := e.Add(20); !almost(got, 15, 1e-12) {
+		t.Errorf("second Add = %g, want 15", got)
+	}
+	if got := e.Value(); !almost(got, 15, 1e-12) {
+		t.Errorf("Value = %g", got)
+	}
+	// alpha clamping
+	lo := NewEWMA(-1)
+	lo.Add(1)
+	lo.Add(100)
+	if lo.Value() >= 2 {
+		t.Errorf("clamped-low EWMA moved too fast: %g", lo.Value())
+	}
+	hi := NewEWMA(5)
+	hi.Add(1)
+	hi.Add(100)
+	if hi.Value() != 100 {
+		t.Errorf("clamped-high EWMA = %g, want 100", hi.Value())
+	}
+}
+
+func TestOLSPerfectLine(t *testing.T) {
+	var o OLS
+	for x := 0.0; x < 10; x++ {
+		o.Add(x, 3+2*x)
+	}
+	if !almost(o.Slope(), 2, 1e-9) || !almost(o.Intercept(), 3, 1e-9) {
+		t.Errorf("fit = %g + %g x", o.Intercept(), o.Slope())
+	}
+	if !almost(o.Predict(20), 43, 1e-9) {
+		t.Errorf("predict(20) = %g", o.Predict(20))
+	}
+	if o.ResidualStdDev() > 1e-6 {
+		t.Errorf("residual sd = %g on perfect line", o.ResidualStdDev())
+	}
+	if o.Outlier(5, 13, 3) {
+		t.Error("on-line point flagged as outlier with zero residual sd")
+	}
+}
+
+func TestOLSOutlier(t *testing.T) {
+	var o OLS
+	rng := rand.New(rand.NewPCG(3, 4))
+	for x := 0.0; x < 200; x++ {
+		o.Add(x, 1+0.5*x+rng.NormFloat64())
+	}
+	if o.Outlier(100, 51, 4) {
+		t.Error("near-line point flagged")
+	}
+	if !o.Outlier(100, 51+20, 4) {
+		t.Error("gross outlier missed")
+	}
+}
+
+func TestOLSDegenerate(t *testing.T) {
+	var o OLS
+	if o.Slope() != 0 || o.Intercept() != 0 {
+		t.Error("empty OLS fit nonzero")
+	}
+	o.Add(5, 7)
+	if o.Slope() != 0 || !almost(o.Intercept(), 7, 1e-12) {
+		t.Errorf("single point: %g + %g x", o.Intercept(), o.Slope())
+	}
+	// all x identical → zero denominator
+	var same OLS
+	same.Add(2, 1)
+	same.Add(2, 9)
+	if same.Slope() != 0 {
+		t.Errorf("vertical data slope = %g", same.Slope())
+	}
+}
+
+func TestAR1RecoversPhi(t *testing.T) {
+	var a AR1
+	rng := rand.New(rand.NewPCG(9, 9))
+	x := 0.0
+	for i := 0; i < 5000; i++ {
+		x = 2 + 0.7*x + rng.NormFloat64()*0.1
+		a.Add(x)
+	}
+	if !almost(a.Phi(), 0.7, 0.02) {
+		t.Errorf("phi = %g, want ~0.7", a.Phi())
+	}
+	if !almost(a.Constant(), 2, 0.15) {
+		t.Errorf("constant = %g, want ~2", a.Constant())
+	}
+	fc := a.Forecast()
+	if !almost(fc, 2+0.7*x, 0.2) {
+		t.Errorf("forecast = %g, want ~%g", fc, 2+0.7*x)
+	}
+	if s := a.Surprise(fc); s > 0.5 {
+		t.Errorf("surprise at forecast = %g", s)
+	}
+	if s := a.Surprise(fc + 10); s < 5 {
+		t.Errorf("surprise at gross deviation = %g", s)
+	}
+}
+
+func TestAR1Untrained(t *testing.T) {
+	var a AR1
+	if a.Forecast() != 0 || a.Surprise(5) != 0 {
+		t.Error("untrained AR1 not inert")
+	}
+	a.Add(42)
+	if a.Forecast() != 42 {
+		t.Errorf("one-observation forecast = %g, want last value", a.Forecast())
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	w.Add(1)
+	w.Add(2)
+	w.Add(3)
+	if !w.Full() || w.Len() != 3 {
+		t.Fatalf("len=%d full=%v", w.Len(), w.Full())
+	}
+	if !almost(w.Mean(), 2, 1e-12) {
+		t.Errorf("mean = %g", w.Mean())
+	}
+	w.Add(10) // evicts 1 → window = [2 3 10]
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean after evict = %g, want 5", w.Mean())
+	}
+	if w.Min() != 2 || w.Max() != 10 {
+		t.Errorf("min/max = %g/%g", w.Min(), w.Max())
+	}
+	vals := w.Values()
+	if len(vals) != 3 || vals[0] != 2 || vals[2] != 10 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestWindowAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	w := NewWindow(16)
+	var all []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*100 - 50
+		w.Add(x)
+		all = append(all, x)
+		lo := len(all) - 16
+		if lo < 0 {
+			lo = 0
+		}
+		win := all[lo:]
+		var sum, min, max float64
+		min, max = win[0], win[0]
+		for _, v := range win {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		mean := sum / float64(len(win))
+		if !almost(w.Mean(), mean, 1e-9) {
+			t.Fatalf("step %d: mean %g vs %g", i, w.Mean(), mean)
+		}
+		if w.Min() != min || w.Max() != max {
+			t.Fatalf("step %d: min/max %g/%g vs %g/%g", i, w.Min(), w.Max(), min, max)
+		}
+		if len(win) >= 2 {
+			var ss float64
+			for _, v := range win {
+				ss += (v - mean) * (v - mean)
+			}
+			if !almost(w.Variance(), ss/float64(len(win)-1), 1e-7) {
+				t.Fatalf("step %d: variance %g vs %g", i, w.Variance(), ss/float64(len(win)-1))
+			}
+		}
+	}
+}
+
+func TestWindowZScoreAndEmpty(t *testing.T) {
+	w := NewWindow(4)
+	if w.Mean() != 0 || w.Min() != 0 || w.Max() != 0 || w.ZScore(1) != 0 {
+		t.Error("empty window not inert")
+	}
+	w.Add(1)
+	w.Add(3)
+	if z := w.ZScore(2); z != 0 {
+		// sd = sqrt(2), mean 2 → z(2) = 0
+		t.Errorf("z = %g", z)
+	}
+	if z := w.ZScore(2 + w.StdDev()); !almost(z, 1, 1e-12) {
+		t.Errorf("z one sd above = %g", z)
+	}
+}
+
+func TestWindowPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestP2QuantileNormal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		e := NewP2Quantile(q)
+		for i := 0; i < 50000; i++ {
+			e.Add(rng.NormFloat64())
+		}
+		want := map[float64]float64{0.5: 0, 0.9: 1.2816, 0.99: 2.3263}[q]
+		if !almost(e.Value(), want, 0.08) {
+			t.Errorf("q%.2f = %g, want ~%g", q, e.Value(), want)
+		}
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 {
+		t.Error("empty estimator nonzero")
+	}
+	e.Add(3)
+	e.Add(1)
+	e.Add(2)
+	if v := e.Value(); v < 1 || v > 3 {
+		t.Errorf("3-sample median = %g", v)
+	}
+	if e.N() != 3 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestP2QuantilePanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() { recover() }()
+			NewP2Quantile(p)
+			t.Errorf("NewP2Quantile(%g) did not panic", p)
+		}()
+	}
+}
+
+func TestKMeansSeparatedClusters(t *testing.T) {
+	m := NewOnlineKMeans(2, 2)
+	rng := rand.New(rand.NewPCG(31, 32))
+	// two well-separated blobs
+	for i := 0; i < 2000; i++ {
+		var p []float64
+		if i%2 == 0 {
+			p = []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5}
+		} else {
+			p = []float64{10 + rng.NormFloat64()*0.5, 10 + rng.NormFloat64()*0.5}
+		}
+		m.Add(p)
+	}
+	c0, c1 := m.Centroid(0), m.Centroid(1)
+	near := func(c []float64, x, y float64) bool {
+		return almost(c[0], x, 0.5) && almost(c[1], y, 0.5)
+	}
+	ok := (near(c0, 0, 0) && near(c1, 10, 10)) || (near(c0, 10, 10) && near(c1, 0, 0))
+	if !ok {
+		t.Errorf("centroids %v %v not near blobs", c0, c1)
+	}
+	// far point distance is large
+	if _, d := m.Nearest([]float64{50, 50}); d < 20 {
+		t.Errorf("distance to far point = %g", d)
+	}
+	if m.Count(0)+m.Count(1) != 2000 {
+		t.Errorf("counts = %d + %d", m.Count(0), m.Count(1))
+	}
+}
+
+func TestKMeansSeeding(t *testing.T) {
+	m := NewOnlineKMeans(3, 1)
+	if m.Seeded() != 0 {
+		t.Error("seeded before points")
+	}
+	if c, d := m.Nearest([]float64{1}); c != -1 || !math.IsInf(d, 1) {
+		t.Error("Nearest on empty clusterer")
+	}
+	m.Add([]float64{1})
+	m.Add([]float64{1}) // duplicate must not seed a second centroid
+	if m.Seeded() != 1 {
+		t.Errorf("seeded = %d after duplicate, want 1", m.Seeded())
+	}
+	m.Add([]float64{5})
+	m.Add([]float64{9})
+	if m.Seeded() != 3 {
+		t.Errorf("seeded = %d, want 3", m.Seeded())
+	}
+	if m.K() != 3 {
+		t.Errorf("K = %d", m.K())
+	}
+}
+
+func TestKMeansDimensionPanic(t *testing.T) {
+	m := NewOnlineKMeans(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-dimension Add did not panic")
+		}
+	}()
+	m.Add([]float64{1, 2})
+}

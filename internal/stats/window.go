@@ -1,0 +1,255 @@
+package stats
+
+import "math"
+
+// Window is a fixed-capacity sliding window over a scalar series with
+// O(1) mean/variance via running sums and O(1) amortized min/max via
+// monotone deques. It backs the paper's "one-week moving point average"
+// style predicates.
+type Window struct {
+	cap  int
+	buf  []float64
+	head int // index of oldest
+	n    int
+	sum  float64
+	sum2 float64
+	// monotone deques of element sequence numbers for min/max
+	minq, maxq []winEntry
+	seq        int64
+}
+
+type winEntry struct {
+	seq int64
+	val float64
+}
+
+// NewWindow returns a sliding window holding the most recent size
+// observations. size must be positive.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		panic("stats: window size must be positive")
+	}
+	return &Window{cap: size, buf: make([]float64, size)}
+}
+
+// Add pushes one observation, evicting the oldest when full.
+func (w *Window) Add(x float64) {
+	if w.n == w.cap {
+		old := w.buf[w.head]
+		w.sum -= old
+		w.sum2 -= old * old
+		w.head = (w.head + 1) % w.cap
+		w.n--
+	}
+	w.buf[(w.head+w.n)%w.cap] = x
+	w.n++
+	w.sum += x
+	w.sum2 += x * x
+	w.seq++
+	// expire deque entries that slid out of the window
+	lo := w.seq - int64(w.n)
+	for len(w.minq) > 0 && w.minq[0].seq <= lo {
+		w.minq = w.minq[1:]
+	}
+	for len(w.maxq) > 0 && w.maxq[0].seq <= lo {
+		w.maxq = w.maxq[1:]
+	}
+	for len(w.minq) > 0 && w.minq[len(w.minq)-1].val >= x {
+		w.minq = w.minq[:len(w.minq)-1]
+	}
+	w.minq = append(w.minq, winEntry{w.seq, x})
+	for len(w.maxq) > 0 && w.maxq[len(w.maxq)-1].val <= x {
+		w.maxq = w.maxq[:len(w.maxq)-1]
+	}
+	w.maxq = append(w.maxq, winEntry{w.seq, x})
+}
+
+// Len returns the number of observations currently in the window.
+func (w *Window) Len() int { return w.n }
+
+// Full reports whether the window has reached capacity.
+func (w *Window) Full() bool { return w.n == w.cap }
+
+// Mean returns the window mean (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// Variance returns the unbiased sample variance over the window (0 with
+// fewer than two observations). Computed from running sums; adequate for
+// the magnitudes event streams carry.
+func (w *Window) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	n := float64(w.n)
+	v := (w.sum2 - w.sum*w.sum/n) / (n - 1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the window standard deviation.
+func (w *Window) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest value in the window (0 when empty).
+func (w *Window) Min() float64 {
+	if len(w.minq) == 0 {
+		return 0
+	}
+	return w.minq[0].val
+}
+
+// Max returns the largest value in the window (0 when empty).
+func (w *Window) Max() float64 {
+	if len(w.maxq) == 0 {
+		return 0
+	}
+	return w.maxq[0].val
+}
+
+// ZScore returns how many window standard deviations x lies from the
+// window mean (0 when undefined).
+func (w *Window) ZScore(x float64) float64 {
+	sd := w.StdDev()
+	if sd == 0 {
+		return 0
+	}
+	return (x - w.Mean()) / sd
+}
+
+// Values returns the window contents oldest-first (a fresh slice).
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.n)
+	for i := 0; i < w.n; i++ {
+		out[i] = w.buf[(w.head+i)%w.cap]
+	}
+	return out
+}
+
+// P2Quantile estimates a single quantile online with the P² algorithm
+// (Jain & Chlamtac), using five markers and O(1) space — the standard
+// streaming quantile sketch for latency-style monitoring predicates.
+type P2Quantile struct {
+	p     float64
+	n     int        // observations seen
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions
+	want  [5]float64 // desired positions
+	dWant [5]float64 // desired position increments
+	init  []float64
+}
+
+// NewP2Quantile returns an estimator for quantile p in (0, 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: quantile must be in (0,1)")
+	}
+	e := &P2Quantile{p: p}
+	e.dWant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add folds one observation in.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.init = append(e.init, x)
+		e.n++
+		if e.n == 5 {
+			sortFive(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+			e.init = nil
+		}
+		return
+	}
+	e.n++
+	// find cell k
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.dWant[i]
+	}
+	// adjust interior markers
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five observations
+// it falls back to a sorted-sample estimate.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		tmp := make([]float64, len(e.init))
+		copy(tmp, e.init)
+		sortFive(tmp)
+		idx := int(e.p * float64(len(tmp)))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return e.q[2]
+}
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int { return e.n }
+
+// sortFive insertion-sorts a tiny slice in place.
+func sortFive(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package trace instruments engine executions: it records the
+// partial/full/ready set transitions of every (vertex, phase) pair and
+// the frontier movements, reconstructs Figure 3-style set-membership
+// snapshots, and measures the pipelining depth of Figure 1 (how many
+// phases execute concurrently).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// State is a vertex-phase pair's set membership, matching the four
+// glyphs of Figure 3: no set (circle), partial only (diamond), full only
+// (octagon), full and ready (square).
+type State uint8
+
+// Set membership states.
+const (
+	StateNone State = iota
+	StatePartial
+	StateFull
+	StateReady
+	// StateDone marks pairs that executed and left all sets; Figure 3
+	// draws them as circles again, but distinguishing them makes traces
+	// easier to read.
+	StateDone
+)
+
+// Glyph returns the symbol used in rendered traces.
+func (s State) Glyph() string {
+	switch s {
+	case StatePartial:
+		return "◇"
+	case StateFull:
+		return "⬡"
+	case StateReady:
+		return "■"
+	case StateDone:
+		return "✓"
+	default:
+		return "·"
+	}
+}
+
+// Event is one recorded transition.
+type Event struct {
+	// Kind is one of "phase-start", "partial", "full", "ready", "done",
+	// "frontier", "exec-begin", "exec-end", "phase-complete".
+	Kind string
+	V    int // vertex (0 for phase-level events)
+	P    int // phase
+	X    int // new frontier value for "frontier" events
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	switch e.Kind {
+	case "frontier":
+		return fmt.Sprintf("x_%d=%d", e.P, e.X)
+	case "phase-start", "phase-complete":
+		return fmt.Sprintf("%s %d", e.Kind, e.P)
+	default:
+		return fmt.Sprintf("%s(%d,%d)", e.Kind, e.V, e.P)
+	}
+}
+
+// Recorder implements core.Observer and core.SetObserver, maintaining
+// the current set membership of every pair plus an event log. All
+// methods are internally locked; the engine calls most of them under its
+// own lock, but ExecBegin/ExecEnd arrive from worker goroutines.
+type Recorder struct {
+	n int
+
+	mu     sync.Mutex
+	states map[[2]int]State
+	x      map[int]int
+	events []Event
+}
+
+// NewRecorder returns a recorder for an N-vertex graph.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{
+		n:      n,
+		states: make(map[[2]int]State),
+		x:      make(map[int]int),
+	}
+}
+
+func (r *Recorder) add(kind string, v, p, x int) {
+	r.events = append(r.events, Event{Kind: kind, V: v, P: p, X: x})
+}
+
+// PhaseStarted implements core.Observer.
+func (r *Recorder) PhaseStarted(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.x[p] = 0
+	r.add("phase-start", 0, p, 0)
+}
+
+// PairEnqueued implements core.Observer (the ready transition is
+// recorded by PairReady; this is kept for the queue-level view).
+func (r *Recorder) PairEnqueued(v, p int) {}
+
+// ExecBegin implements core.Observer.
+func (r *Recorder) ExecBegin(v, p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.add("exec-begin", v, p, 0)
+}
+
+// ExecEnd implements core.Observer.
+func (r *Recorder) ExecEnd(v, p int, emitted int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.add("exec-end", v, p, emitted)
+}
+
+// PhaseCompleted implements core.Observer.
+func (r *Recorder) PhaseCompleted(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.add("phase-complete", 0, p, 0)
+}
+
+// PairPartial implements core.SetObserver.
+func (r *Recorder) PairPartial(v, p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.states[[2]int{v, p}] = StatePartial
+	r.add("partial", v, p, 0)
+}
+
+// PairFull implements core.SetObserver.
+func (r *Recorder) PairFull(v, p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.states[[2]int{v, p}] = StateFull
+	r.add("full", v, p, 0)
+}
+
+// PairReady implements core.SetObserver.
+func (r *Recorder) PairReady(v, p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.states[[2]int{v, p}] = StateReady
+	r.add("ready", v, p, 0)
+}
+
+// PairDone implements core.SetObserver.
+func (r *Recorder) PairDone(v, p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.states[[2]int{v, p}] = StateDone
+	r.add("done", v, p, 0)
+}
+
+// FrontierMoved implements core.SetObserver.
+func (r *Recorder) FrontierMoved(p, x int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.x[p] = x
+	r.add("frontier", 0, p, x)
+}
+
+// StateOf returns the current membership of (v, p).
+func (r *Recorder) StateOf(v, p int) State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.states[[2]int{v, p}]
+}
+
+// Frontier returns the last observed x_p (0 if never moved).
+func (r *Recorder) Frontier(p int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.x[p]
+}
+
+// Snapshot returns the membership of every vertex for phase p,
+// indexed 1..N.
+func (r *Recorder) Snapshot(p int) []State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]State, r.n+1)
+	for v := 1; v <= r.n; v++ {
+		out[v] = r.states[[2]int{v, p}]
+	}
+	return out
+}
+
+// Events returns a copy of the event log.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Render draws the membership of the given phases as aligned glyph rows,
+// Figure 3 style:
+//
+//	phase 1: 1:✓ 2:✓ 3:■ 4:■ 5:· 6:·   (x=2)
+func (r *Recorder) Render(label string, phases ...int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", label)
+	for _, p := range phases {
+		fmt.Fprintf(&b, "  phase %d:", p)
+		for v := 1; v <= r.n; v++ {
+			fmt.Fprintf(&b, " %d:%s", v, r.states[[2]int{v, p}].Glyph())
+		}
+		fmt.Fprintf(&b, "   (x=%d)\n", r.x[p])
+	}
+	return b.String()
+}
+
+// DepthProbe measures pipelining: the maximum number of distinct phases
+// whose pairs were executing simultaneously (Figure 1 depicts 5 on a
+// 10-node graph) and the maximum number of concurrently executing pairs.
+type DepthProbe struct {
+	mu       sync.Mutex
+	inFlight map[int]int
+	maxDepth int
+	cur      int
+	maxConc  int
+	// phaseSpan tracks, under the engine lock, the widest open-phase
+	// window (pmax - done) seen via PhaseStarted/PhaseCompleted.
+	open    map[int]bool
+	maxOpen int
+}
+
+// NewDepthProbe returns an empty probe.
+func NewDepthProbe() *DepthProbe {
+	return &DepthProbe{inFlight: make(map[int]int), open: make(map[int]bool)}
+}
+
+// PhaseStarted implements core.Observer.
+func (d *DepthProbe) PhaseStarted(p int) {
+	d.mu.Lock()
+	d.open[p] = true
+	if len(d.open) > d.maxOpen {
+		d.maxOpen = len(d.open)
+	}
+	d.mu.Unlock()
+}
+
+// PairEnqueued implements core.Observer.
+func (d *DepthProbe) PairEnqueued(v, p int) {}
+
+// ExecBegin implements core.Observer.
+func (d *DepthProbe) ExecBegin(v, p int) {
+	d.mu.Lock()
+	d.inFlight[p]++
+	d.cur++
+	if len(d.inFlight) > d.maxDepth {
+		d.maxDepth = len(d.inFlight)
+	}
+	if d.cur > d.maxConc {
+		d.maxConc = d.cur
+	}
+	d.mu.Unlock()
+}
+
+// ExecEnd implements core.Observer.
+func (d *DepthProbe) ExecEnd(v, p int, emitted int) {
+	d.mu.Lock()
+	d.inFlight[p]--
+	if d.inFlight[p] == 0 {
+		delete(d.inFlight, p)
+	}
+	d.cur--
+	d.mu.Unlock()
+}
+
+// PhaseCompleted implements core.Observer.
+func (d *DepthProbe) PhaseCompleted(p int) {
+	d.mu.Lock()
+	delete(d.open, p)
+	d.mu.Unlock()
+}
+
+// MaxDepth returns the maximum number of distinct phases observed
+// executing concurrently.
+func (d *DepthProbe) MaxDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxDepth
+}
+
+// MaxConcurrency returns the maximum number of pairs observed executing
+// concurrently.
+func (d *DepthProbe) MaxConcurrency() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxConc
+}
+
+// MaxOpenPhases returns the widest window of started-but-incomplete
+// phases.
+func (d *DepthProbe) MaxOpenPhases() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxOpen
+}
+
+// SortedPairs is a helper for tests: it returns the (v,p) keys of a
+// snapshot-style map in deterministic order.
+func SortedPairs(m map[[2]int]State) [][2]int {
+	out := make([][2]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][1] != out[j][1] {
+			return out[i][1] < out[j][1]
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// abbreviations for expected-state tables
+const (
+	nS = StateNone
+	pS = StatePartial
+	fS = StateFull
+	rS = StateReady
+	dS = StateDone
+)
+
+func TestStateGlyphs(t *testing.T) {
+	glyphs := map[State]string{nS: "·", pS: "◇", fS: "⬡", rS: "■", dS: "✓"}
+	for s, g := range glyphs {
+		if s.Glyph() != g {
+			t.Errorf("glyph(%d) = %q, want %q", s, s.Glyph(), g)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: "frontier", P: 2, X: 3}, "x_2=3"},
+		{Event{Kind: "phase-start", P: 1}, "phase-start 1"},
+		{Event{Kind: "ready", V: 4, P: 2}, "ready(4,2)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestFigure3Walkthrough asserts the full set-membership evolution of
+// the paper's Figure 3, step by step. The expected states are derived
+// from the figure's glyphs: circles (no set), diamonds (partial),
+// octagons (full), squares (full + ready); executed pairs are ✓ in our
+// rendering where the figure returns to circles.
+func TestFigure3Walkthrough(t *testing.T) {
+	steps, err := Figure3Walkthrough()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 8 {
+		t.Fatalf("%d steps", len(steps))
+	}
+	// want[i] = {phase1 states, phase2 states}, vertices 1..6.
+	want := [8][2][]State{
+		// (a) phase 1 initiated: sources 1,2 full+ready
+		{{rS, rS, nS, nS, nS, nS}, {nS, nS, nS, nS, nS, nS}},
+		// (b) (1,1) executed, output → 3 partial
+		{{dS, rS, pS, nS, nS, nS}, {nS, nS, nS, nS, nS, nS}},
+		// (c) phase 2 initiated: (1,2) ready; (2,2) full behind (2,1)
+		{{dS, rS, pS, nS, nS, nS}, {rS, fS, nS, nS, nS, nS}},
+		// (d) (1,2) executed, no output
+		{{dS, rS, pS, nS, nS, nS}, {dS, fS, nS, nS, nS, nS}},
+		// (e) (2,1) executed, output → 3,4: frontier x_1=2, m(2)=4 →
+		// 3,4 full+ready; (2,2) becomes ready
+		{{dS, dS, rS, rS, nS, nS}, {dS, rS, nS, nS, nS, nS}},
+		// (f) (2,2) executed, output → 3,4 for phase 2: x_2=2, m(2)=4 →
+		// full, but not ready (phase-1 pairs hold vertices 3 and 4)
+		{{dS, dS, rS, rS, nS, nS}, {dS, dS, fS, fS, nS, nS}},
+		// (g) (3,1) executed, output → 5 partial (x_1=3, m(3)=4 < 5);
+		// (3,2) becomes ready
+		{{dS, dS, dS, rS, pS, nS}, {dS, dS, rS, fS, nS, nS}},
+		// (h) (4,1) executed, output → 5,6: x_1=4, m(4)=6 → 5,6
+		// full+ready; (4,2) becomes ready
+		{{dS, dS, dS, dS, rS, rS}, {dS, dS, rS, rS, nS, nS}},
+	}
+	for i, step := range steps {
+		for phase := 1; phase <= 2; phase++ {
+			row := step.Phase1
+			if phase == 2 {
+				row = step.Phase2
+			}
+			for v := 1; v <= 6; v++ {
+				exp := want[i][phase-1][v-1]
+				if row[v] != exp {
+					t.Errorf("step %s phase %d vertex %d: state %s, want %s",
+						step.Label, phase, v, row[v].Glyph(), exp.Glyph())
+				}
+			}
+		}
+	}
+}
+
+func TestRenderFigure3(t *testing.T) {
+	steps, err := Figure3Walkthrough()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFigure3(steps)
+	for _, want := range []string{"(a) Phase 1 initiated", "(h) (4,1) executed", "phase 1:", "phase 2:", "■"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestRecorderFrontier checks frontier tracking against a simple chain
+// run in manual mode.
+func TestRecorderFrontier(t *testing.T) {
+	ng, _ := graph.Chain(3).Number()
+	rec := NewRecorder(3)
+	relay := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+	src := core.StepFunc(func(ctx *core.Context) { ctx.EmitAll(event.Int(1)) })
+	eng, err := core.New(ng, []core.Module{src, relay, relay}, core.Config{Manual: true, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.StartPhase(nil); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Frontier(1) != 0 {
+		t.Errorf("x_1 = %d at start", rec.Frontier(1))
+	}
+	for i := 1; i <= 3; i++ {
+		if !eng.StepOne() {
+			t.Fatalf("step %d: nothing ready", i)
+		}
+		if got := rec.Frontier(1); got != i {
+			t.Errorf("after step %d: x_1 = %d, want %d", i, got, i)
+		}
+	}
+	if rec.StateOf(3, 1) != StateDone {
+		t.Error("final pair not done")
+	}
+	evs := rec.Events()
+	if len(evs) == 0 || evs[0].Kind != "phase-start" {
+		t.Errorf("event log starts with %v", evs[:1])
+	}
+	found := false
+	for _, e := range evs {
+		if e.Kind == "phase-complete" && e.P == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("phase-complete not recorded")
+	}
+}
+
+func TestRecorderRender(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.PairPartial(2, 1)
+	rec.PairFull(1, 1)
+	rec.FrontierMoved(1, 0)
+	out := rec.Render("snapshot", 1)
+	if !strings.Contains(out, "1:⬡") || !strings.Contains(out, "2:◇") || !strings.Contains(out, "(x=0)") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestDepthProbeCounts(t *testing.T) {
+	d := NewDepthProbe()
+	d.PhaseStarted(1)
+	d.PhaseStarted(2)
+	d.ExecBegin(1, 1)
+	d.ExecBegin(2, 1)
+	d.ExecBegin(3, 2)
+	if d.MaxDepth() != 2 {
+		t.Errorf("MaxDepth = %d, want 2", d.MaxDepth())
+	}
+	if d.MaxConcurrency() != 3 {
+		t.Errorf("MaxConcurrency = %d, want 3", d.MaxConcurrency())
+	}
+	d.ExecEnd(1, 1, 0)
+	d.ExecEnd(2, 1, 0)
+	d.ExecEnd(3, 2, 0)
+	d.PhaseCompleted(1)
+	if d.MaxOpenPhases() != 2 {
+		t.Errorf("MaxOpenPhases = %d, want 2", d.MaxOpenPhases())
+	}
+}
+
+// TestFigure1PipelineDepth runs the paper's Figure 1 topology (10-node,
+// 5-stage ladder) and checks that with enough workers and in-flight
+// phases, at least 3 distinct phases execute concurrently — the
+// pipelining the figure depicts (it shows 5; the exact number is
+// scheduling-dependent, so assert a conservative bound).
+func TestFigure1PipelineDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	ng, err := graph.Figure1().Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := NewDepthProbe()
+	spin := func() core.Module {
+		return core.StepFunc(func(ctx *core.Context) {
+			acc := uint64(ctx.Phase())
+			for i := 0; i < 300000; i++ {
+				acc = acc*6364136223846793005 + 1442695040888963407
+			}
+			if acc == 1 {
+				return // defeat dead-code elimination
+			}
+			if v, ok := ctx.FirstIn(); ok {
+				ctx.EmitAll(v)
+			} else if ctx.Vertex() <= ng.Sources() {
+				ctx.EmitAll(event.Int(int64(ctx.Phase())))
+			}
+		})
+	}
+	mods := make([]core.Module, ng.N())
+	for i := range mods {
+		mods[i] = spin()
+	}
+	eng, err := core.New(ng, mods, core.Config{Workers: 10, MaxInFlight: 8, Observer: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(make([][]core.ExtInput, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if d := probe.MaxDepth(); d < 3 {
+		t.Errorf("pipeline depth = %d, want >= 3 on Figure 1 topology", d)
+	}
+}

@@ -1,0 +1,181 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/module"
+)
+
+func TestBuilderQuickstart(t *testing.T) {
+	b := NewBuilder()
+	src := b.Vertex("temp", &module.Sine{Mean: 20, Amp: 10, Period: 24})
+	det := b.Vertex("hot", &module.Threshold{Level: 25})
+	alerts := &module.AlertSink{}
+	out := b.Vertex("alerts", alerts)
+	b.Edge(src, det).Edge(det, out)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 3 || sys.Depth() != 3 {
+		t.Errorf("N=%d depth=%d", sys.N(), sys.Depth())
+	}
+	st, err := sys.Run(Options{Workers: 4, Phases: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PhasesCompleted != 48 {
+		t.Errorf("phases = %d", st.PhasesCompleted)
+	}
+	if len(alerts.Alerts) < 2 {
+		t.Errorf("alerts = %v", alerts.Alerts)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	v := b.Vertex("a", &module.Counter{})
+	b.Edge(v, v) // self loop
+	if _, err := b.Build(); err == nil {
+		t.Error("self loop accepted")
+	}
+	b2 := NewBuilder()
+	bad := b2.Vertex("nil", nil)
+	if bad.id != -1 {
+		t.Error("nil module got a real ID")
+	}
+	if _, err := b2.Build(); err == nil {
+		t.Error("nil module accepted")
+	}
+	b3 := NewBuilder()
+	x := b3.Vertex("x", &module.Counter{})
+	y := b3.Vertex("y", &module.Collector{})
+	b3.Edge(x, y).Edge(x, y) // duplicate
+	if _, err := b3.Build(); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestSystemExternalInputs(t *testing.T) {
+	b := NewBuilder()
+	src := b.Vertex("feed", &module.ExtRelay{})
+	sink := &module.Collector{}
+	out := b.Vertex("log", sink)
+	b.Edge(src, out)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]ExtInput{
+		{{Vertex: sys.IndexOf(src), Port: 0, Val: event.Float(1.5)}},
+		{},
+		{{Vertex: sys.IndexOf(src), Port: 0, Val: event.Float(2.5)}},
+	}
+	if _, err := sys.Run(Options{Workers: 2, Inputs: inputs}); err != nil {
+		t.Fatal(err)
+	}
+	h := sink.History()
+	if h.Len() != 2 {
+		t.Fatalf("history len = %d", h.Len())
+	}
+	if v, _ := h.Values[1].AsFloat(); v != 2.5 {
+		t.Errorf("second value = %v", h.Values[1])
+	}
+}
+
+func TestRunSequentialMatchesParallel(t *testing.T) {
+	build := func() (*System, *module.Collector) {
+		b := NewBuilder()
+		src := b.Vertex("walk", &module.RandomWalk{Seed: 77, Drift: 1})
+		avg := b.Vertex("avg", module.NewMovingAverage(5, 1))
+		sink := &module.Collector{}
+		out := b.Vertex("out", sink)
+		b.Edge(src, avg).Edge(avg, out)
+		sys, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, sink
+	}
+	seqSys, seqSink := build()
+	if err := seqSys.RunSequential(Options{Phases: 60}); err != nil {
+		t.Fatal(err)
+	}
+	parSys, parSink := build()
+	if _, err := parSys.Run(Options{Workers: 8, Phases: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if diff := seqSink.History().Diff(parSink.History()); diff != "" {
+		t.Errorf("serializability violation: %s", diff)
+	}
+}
+
+func TestSystemDOT(t *testing.T) {
+	b := NewBuilder()
+	a := b.Vertex("a", &module.Counter{})
+	c := b.Vertex("c", &module.Collector{})
+	b.Edge(a, c)
+	sys, _ := b.Build()
+	if !strings.Contains(sys.DOT("t"), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestLoadSpecFileErrors(t *testing.T) {
+	if _, _, err := LoadSpecFile("/does/not/exist.xml"); err == nil {
+		t.Error("missing spec accepted")
+	}
+}
+
+func TestRunPartitionedFacade(t *testing.T) {
+	build := func() (*System, *module.Collector) {
+		b := NewBuilder()
+		src := b.Vertex("src", &module.Counter{})
+		a := b.Vertex("a", module.NewSmoother(0.5))
+		c := b.Vertex("b", &module.Linear{Scale: 2})
+		sink := &module.Collector{}
+		out := b.Vertex("out", sink)
+		b.Edge(src, a).Edge(a, c).Edge(c, out)
+		sys, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, sink
+	}
+	seqSys, seqSink := build()
+	if err := seqSys.RunSequential(Options{Phases: 40}); err != nil {
+		t.Fatal(err)
+	}
+	parSys, parSink := build()
+	st, err := parSys.RunPartitioned(2, 2, make([][]ExtInput, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerMachine) != 2 || st.CrossEdges != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if diff := seqSink.History().Diff(parSink.History()); diff != "" {
+		t.Errorf("partitioned run diverged: %s", diff)
+	}
+}
+
+func TestSystemReplicaSubscription(t *testing.T) {
+	b := NewBuilder()
+	in := b.Vertex("in", &module.ExtRelay{})
+	sink := &module.Collector{}
+	out := b.Vertex("out", sink)
+	b.Edge(in, out)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Replica("r", 2, map[string]VertexID{"feed": in})
+	if rep.Subscribe["feed"] != sys.IndexOf(in) {
+		t.Errorf("subscription index = %d", rep.Subscribe["feed"])
+	}
+	if rep.Name != "r" || rep.Graph == nil || len(rep.Modules) != 2 {
+		t.Errorf("replica = %+v", rep)
+	}
+}
