@@ -1,10 +1,12 @@
 package repro
 
 // Benchmark harness: one testing.B benchmark per evaluation artifact of
-// the paper (see DESIGN.md §4 and EXPERIMENTS.md). The benchmarks wrap
-// the same workload builders as cmd/fusebench so `go test -bench=.`
-// regenerates every table's underlying measurement; the bench names
-// encode the parameter axes the tables sweep.
+// the paper (see DESIGN.md §4 for the benchmark-to-table mapping). The
+// benchmarks wrap the same workload builders as cmd/fusebench so
+// `go test -bench=.` regenerates every table's underlying measurement;
+// the bench names encode the parameter axes the tables sweep, and
+// cmd/fusebench -json emits the same workloads as machine-readable
+// BENCH.json for cross-PR tracking.
 
 import (
 	"fmt"
@@ -46,6 +48,7 @@ func BenchmarkE1Section4Speedup(b *testing.B) {
 	const phases = 100
 	for _, workers := range []int{1, 2} {
 		b.Run(fmt.Sprintf("threads=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				st := runWorkload(b, w, phases, core.Config{Workers: workers, MaxInFlight: 16})
 				b.ReportMetric(float64(st.Executions)/float64(phases), "execs/phase")
@@ -69,6 +72,7 @@ func BenchmarkE2ThreadScaling(b *testing.B) {
 				Grain: grain, SourceRate: 1, InteriorRate: 1, Seed: 0xE2,
 			}
 			b.Run(fmt.Sprintf("grain=%s/threads=%d", grain, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					runWorkload(b, w, phases, core.Config{Workers: workers, MaxInFlight: 32})
 				}
@@ -88,12 +92,14 @@ func BenchmarkE3DeltaVsFull(b *testing.B) {
 			Grain: 2 * time.Microsecond, SourceRate: eps, InteriorRate: 1, Seed: 0xE3,
 		}
 		b.Run(fmt.Sprintf("eps=%g/delta", eps), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				st := runWorkload(b, w, phases, core.Config{Workers: 2, MaxInFlight: 16})
 				b.ReportMetric(float64(st.Messages)/float64(phases), "msgs/phase")
 			}
 		})
 		b.Run(fmt.Sprintf("eps=%g/full", eps), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ng, mods := w.Build()
 				st, err := baseline.FullDataflow(ng, mods, experiments.Phases(phases),
@@ -118,6 +124,7 @@ func BenchmarkE4PipelineDepth(b *testing.B) {
 	}
 	w := experiments.Workload{Grain: 100 * time.Microsecond, SourceRate: 1, InteriorRate: 1, Seed: 0xE4}
 	b.Run("figure1-ladder", func(b *testing.B) {
+		b.ReportAllocs()
 		maxDepth := 0
 		for i := 0; i < b.N; i++ {
 			ng, _ := graph.Figure1().Number()
@@ -151,6 +158,7 @@ func BenchmarkE8LockContention(b *testing.B) {
 			Grain: grain, SourceRate: 1, InteriorRate: 1, Seed: 0xE8,
 		}
 		b.Run(fmt.Sprintf("grain=%s", grain), func(b *testing.B) {
+			b.ReportAllocs()
 			var lockShare float64
 			for i := 0; i < b.N; i++ {
 				ng, mods := w.Build()
@@ -184,6 +192,7 @@ func BenchmarkE9Partitioned(b *testing.B) {
 			Grain: 50 * time.Microsecond, SourceRate: 1, InteriorRate: 1, Seed: 0xE9,
 		}
 		b.Run(fmt.Sprintf("machines=%d", machines), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ng, mods := w.Build()
 				st, err := distrib.Run(ng, mods, experiments.Phases(phases), distrib.Config{
@@ -210,6 +219,7 @@ func BenchmarkE10PipelineAblation(b *testing.B) {
 			Grain: 50 * time.Microsecond, SourceRate: 1, InteriorRate: 1, Seed: 0xE10,
 		}
 		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runWorkload(b, w, phases, core.Config{
 					Workers: experiments.MaxWorkers(8), MaxInFlight: window,
@@ -226,6 +236,7 @@ func BenchmarkE10PipelineAblation(b *testing.B) {
 func BenchmarkEngineOverhead(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			w := experiments.Workload{
 				Depth: 6, Width: 8, FanIn: 2,
 				Grain: 0, SourceRate: 1, InteriorRate: 1, Seed: 0xBE,
@@ -257,6 +268,7 @@ func BenchmarkNumbering(b *testing.B) {
 	ng, _ := w.Build()
 	_ = ng
 	b.Run("layered-2000v", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			w := experiments.Workload{Depth: 50, Width: 40, FanIn: 4, Seed: uint64(i)}
 			ng, _ := w.Build()
@@ -273,6 +285,7 @@ func BenchmarkNumbering(b *testing.B) {
 func BenchmarkE11Watermark(b *testing.B) {
 	for _, wm := range []int{0, 2, 8} {
 		b.Run(fmt.Sprintf("watermark=%d", wm), func(b *testing.B) {
+			b.ReportAllocs()
 			var loss float64
 			for i := 0; i < b.N; i++ {
 				res := experiments.E11Watermark(true)

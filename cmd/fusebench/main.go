@@ -1,13 +1,14 @@
-// Command fusebench regenerates the experiment tables of EXPERIMENTS.md:
-// the paper's §4 measurement and prediction, the §1 sparse-event
-// comparison, the Figure 1 pipelining measurement, and the extensions
-// and ablations DESIGN.md indexes (E8-E10).
+// Command fusebench regenerates the experiment tables DESIGN.md §4
+// indexes: the paper's §4 measurement and prediction, the §1
+// sparse-event comparison, the Figure 1 pipelining measurement, and the
+// extensions and ablations (E8-E11).
 //
 // Usage:
 //
 //	fusebench -exp all            # every table (slow, minutes)
 //	fusebench -exp e1 -quick      # one table at reduced size
 //	fusebench -list               # available experiment ids
+//	fusebench -json BENCH.json    # machine-readable bench report only
 package main
 
 import (
@@ -23,9 +24,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10 or all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonPath := flag.String("json", "", "write a machine-readable bench report (ns/op, lock wait, queue depth per workload) to this path and exit")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *jsonPath != "" {
+		if err := experiments.WriteBenchJSON(*jsonPath, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "fusebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 		return
 	}
 	if *exp == "all" {

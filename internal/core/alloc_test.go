@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// TestSteadyStateAllocs pins the allocation count of the steady-state
+// phase loop: once the phase-state free list, inbox slice pool and run
+// queue have warmed up, opening a phase, executing every pair in it and
+// completing it must not allocate at all. This is the "pooled
+// phase/inbox state" guarantee of DESIGN.md §3 — any regression here
+// puts map inserts, bitset or snapshot allocations back on the hot path
+// under the global lock.
+func TestSteadyStateAllocs(t *testing.T) {
+	// Diamond with a 4-vertex tail: source fans out to two relays that
+	// rejoin, exercising fan-out, fan-in (2 ports) and chain delivery.
+	g := graph.New()
+	ids := make([]int, 8)
+	for i := range ids {
+		ids[i] = g.AddVertex("v")
+	}
+	g.MustEdge(ids[0], ids[1])
+	g.MustEdge(ids[0], ids[2])
+	g.MustEdge(ids[1], ids[3])
+	g.MustEdge(ids[2], ids[3])
+	for i := 3; i < 7; i++ {
+		g.MustEdge(ids[i], ids[i+1])
+	}
+	ng, err := g.Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+	src := core.StepFunc(func(ctx *core.Context) {
+		ctx.EmitAll(event.Int(int64(ctx.Phase())))
+	})
+	mods := make([]core.Module, ng.N())
+	for i := range mods {
+		mods[i] = relay
+	}
+	mods[0] = src
+
+	// Manual mode keeps the measurement on one goroutine so
+	// AllocsPerRun attributes every allocation to the loop under test.
+	eng, err := core.New(ng, mods, core.Config{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	onePhase := func() {
+		if _, err := eng.StartPhase(nil); err != nil {
+			t.Fatal(err)
+		}
+		for eng.StepOne() {
+		}
+	}
+	// Warm the pools: free list, inbox slices, queue rings, context and
+	// fullPhases capacities all reach steady state within a few phases.
+	for i := 0; i < 50; i++ {
+		onePhase()
+	}
+	allocs := testing.AllocsPerRun(100, onePhase)
+	if allocs > 0 {
+		st := eng.Stats()
+		perExec := allocs * float64(st.PhasesCompleted) / float64(st.Executions)
+		t.Errorf("steady-state phase loop allocates: %.2f allocs/phase (~%.3f per executed pair), want 0",
+			allocs, perExec)
+	}
+}

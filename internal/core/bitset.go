@@ -85,15 +85,18 @@ func (b *bitset) forRange(lo, hi int, fn func(v int)) {
 }
 
 // drainRange is forRange but also removes the visited elements; fn may
-// mutate other state freely.
-func (b *bitset) drainRange(lo, hi int, fn func(v int)) {
+// mutate other state freely (including this set outside the range). The
+// visited elements are staged in scratch, whose (possibly grown) backing
+// array is returned for reuse so repeated drains do not allocate.
+func (b *bitset) drainRange(lo, hi int, scratch []int, fn func(v int)) []int {
 	if hi <= lo {
-		return
+		return scratch
 	}
-	var drained []int
-	b.forRange(lo, hi, func(v int) { drained = append(drained, v) })
-	for _, v := range drained {
+	scratch = scratch[:0]
+	b.forRange(lo, hi, func(v int) { scratch = append(scratch, v) })
+	for _, v := range scratch {
 		b.clear(v)
 		fn(v)
 	}
+	return scratch
 }

@@ -90,7 +90,7 @@ func TestBitsetDrainRange(t *testing.T) {
 		b.set(v)
 	}
 	var got []int
-	b.drainRange(10, 20, func(v int) { got = append(got, v) })
+	b.drainRange(10, 20, nil, func(v int) { got = append(got, v) })
 	if len(got) != 10 {
 		t.Fatalf("drained %d, want 10: %v", len(got), got)
 	}

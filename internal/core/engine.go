@@ -116,17 +116,28 @@ type portValue struct {
 	val  event.Value
 }
 
-// phaseState is the engine's record of one open phase.
+// phaseState is the engine's record of one open phase. States are
+// recycled through a free list (DESIGN.md §3): the bitsets and the inbox
+// slot table are allocated once per object and reused across phases, so
+// steady-state phase turnover is allocation-free.
 type phaseState struct {
+	// p is the phase this state currently represents; the ring lookup
+	// checks it so a stale slot can never be mistaken for an open phase.
+	p int
 	// x is the frontier x_p of §3.1.2.
 	x int
 	// partial and full are the sets of equations (9) and (7), restricted
 	// to this phase.
 	partial *bitset
 	full    *bitset
-	// inbox buffers messages delivered for this phase, keyed by
-	// destination vertex, until the pair becomes ready.
-	inbox map[int][]portValue
+	// inbox buffers messages delivered for this phase until the pair
+	// becomes ready: slot v-1 holds vertex v's pending inputs. A slot is
+	// nil when empty; its slice is pooled on the engine's free list when
+	// the pair is snapshotted, so delivery does not allocate in steady
+	// state.
+	inbox [][]portValue
+	// inboxed counts non-nil inbox slots (pairs with undelivered input).
+	inboxed int
 }
 
 func (ps *phaseState) pending() int { return ps.partial.count + ps.full.count }
@@ -150,7 +161,8 @@ type vertexState struct {
 	inReady bool
 	// fullPhases lists the phases p with (v, p) in the full set,
 	// ascending. Entries are appended in strictly increasing order (see
-	// the invariant argument in finish) and removed from the front.
+	// the invariant argument in finish) and removed from the front by
+	// shifting in place, so the backing array's capacity is retained.
 	fullPhases []int
 }
 
@@ -181,7 +193,7 @@ type Engine struct {
 	mods   []Module
 	cfg    Config
 	setObs SetObserver // non-nil when cfg.Observer also observes sets
-	q      *runqueue.Queue[workItem]
+	q      *runqueue.Sharded[workItem]
 
 	workers sync.WaitGroup
 	started bool
@@ -190,11 +202,33 @@ type Engine struct {
 	mu   sync.Mutex
 	cond sync.Cond // broadcast whenever a phase completes
 
-	phases map[int]*phaseState
-	pmax   int // newest started phase
-	done   int // all phases ≤ done are complete
+	// ring holds the open phases (done+1 .. pmax), indexed by phase
+	// number masked to the power-of-two capacity. Phases open
+	// sequentially and the window is bounded by MaxInFlight under Run,
+	// so a direct-mapped ring replaces the former map[int]*phaseState
+	// and its per-lookup hashing on the hot path; explicit StartPhase
+	// bursts beyond the capacity grow the ring.
+	ring     []*phaseState
+	ringMask int
+	pmax     int // newest started phase
+	done     int // all phases ≤ done are complete
+
+	// freePhases recycles phaseState objects (bitsets and inbox slot
+	// tables) across phases; freeIn recycles the portValue slices that
+	// flow from inbox slots into workItem snapshots and back. scratch
+	// backs the partial→full migration scan. All are guarded by mu.
+	freePhases []*phaseState
+	freeIn     [][]portValue
+	scratch    []int
 
 	vs []vertexState
+
+	// manualCtx is the execution context reused by StepOne/StepPair;
+	// Manual stepping is driven by one caller goroutine at a time, and
+	// stepping guards that contract with a panic instead of letting
+	// concurrent callers corrupt the shared context.
+	manualCtx Context
+	stepping  atomic.Bool
 
 	// counters
 	execs    atomic.Int64
@@ -231,13 +265,24 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 64
 	}
+	// One run-queue shard per worker; Manual mode uses a single shard so
+	// StepOne/TakeFunc keep the exact FIFO semantics of the old queue.
+	shards := cfg.Workers
+	if cfg.Manual {
+		shards = 1
+	}
+	ringCap := 8
+	for ringCap < cfg.MaxInFlight {
+		ringCap *= 2
+	}
 	e := &Engine{
-		g:      g,
-		mods:   mods,
-		cfg:    cfg,
-		q:      runqueue.New[workItem](256),
-		phases: make(map[int]*phaseState),
-		vs:     make([]vertexState, g.N()),
+		g:        g,
+		mods:     mods,
+		cfg:      cfg,
+		q:        runqueue.NewSharded[workItem](shards, 256),
+		ring:     make([]*phaseState, ringCap),
+		ringMask: ringCap - 1,
+		vs:       make([]vertexState, g.N()),
 	}
 	e.cond.L = &e.mu
 	if so, ok := cfg.Observer.(SetObserver); ok {
@@ -264,6 +309,89 @@ func (e *Engine) lock() {
 	e.mu.Lock()
 }
 
+// phaseAt returns the open phase p, or nil if p is closed (or never
+// opened). Caller holds mu.
+func (e *Engine) phaseAt(p int) *phaseState {
+	ps := e.ring[p&e.ringMask]
+	if ps == nil || ps.p != p {
+		return nil
+	}
+	return ps
+}
+
+// growRing doubles the ring capacity and re-slots the open phases.
+// Caller holds mu. Open phases are consecutive integers, so doubling
+// until the window fits always resolves slot collisions.
+func (e *Engine) growRing() {
+	nb := make([]*phaseState, 2*len(e.ring))
+	mask := len(nb) - 1
+	for _, ps := range e.ring {
+		if ps != nil {
+			nb[ps.p&mask] = ps
+		}
+	}
+	e.ring = nb
+	e.ringMask = mask
+}
+
+// openPhase installs a state for phase p, recycling one from the free
+// list when possible. Caller holds mu.
+func (e *Engine) openPhase(p int) *phaseState {
+	for e.ring[p&e.ringMask] != nil {
+		e.growRing()
+	}
+	var ps *phaseState
+	if n := len(e.freePhases); n > 0 {
+		ps = e.freePhases[n-1]
+		e.freePhases[n-1] = nil
+		e.freePhases = e.freePhases[:n-1]
+	} else {
+		ps = &phaseState{
+			partial: newBitset(e.g.N()),
+			full:    newBitset(e.g.N()),
+			inbox:   make([][]portValue, e.g.N()),
+		}
+	}
+	ps.p, ps.x = p, 0
+	e.ring[p&e.ringMask] = ps
+	return ps
+}
+
+// closePhase removes the completed phase state from the ring and returns
+// it to the free list. Caller holds mu; the phase's sets and inbox are
+// empty by the completion invariant (checked by the caller), so the
+// recycled bitsets need no clearing.
+func (e *Engine) closePhase(ps *phaseState) {
+	if ps.partial.count != 0 || ps.full.count != 0 {
+		panic(fmt.Sprintf("core: phase %d completed with %d partial / %d full pairs",
+			ps.p, ps.partial.count, ps.full.count))
+	}
+	e.ring[ps.p&e.ringMask] = nil
+	e.freePhases = append(e.freePhases, ps)
+}
+
+// deliverTo appends one input message to (w, ps.p)'s inbox slot, taking
+// a pooled slice for a previously empty slot. Caller holds mu.
+func (e *Engine) deliverTo(ps *phaseState, w int, pv portValue) {
+	s := ps.inbox[w-1]
+	if s == nil {
+		if n := len(e.freeIn); n > 0 {
+			s = e.freeIn[n-1]
+			e.freeIn[n-1] = nil
+			e.freeIn = e.freeIn[:n-1]
+		}
+		ps.inboxed++
+	}
+	ps.inbox[w-1] = append(s, pv)
+}
+
+// recycleIn returns a consumed workItem input snapshot to the slice
+// pool, dropping payload references first. Caller holds mu.
+func (e *Engine) recycleIn(in []portValue) {
+	clear(in)
+	e.freeIn = append(e.freeIn, in[:0])
+}
+
 // Start launches the worker pool. It may be called before or after the
 // first StartPhase; items enqueued earlier are picked up on start.
 func (e *Engine) Start() {
@@ -279,7 +407,7 @@ func (e *Engine) Start() {
 	}
 	for i := 0; i < e.cfg.Workers; i++ {
 		e.workers.Add(1)
-		go e.worker()
+		go e.worker(i)
 	}
 }
 
@@ -303,18 +431,12 @@ func (e *Engine) StartPhase(ext []ExtInput) (int, error) {
 	}
 	e.pmax++
 	p := e.pmax
-	ps := &phaseState{
-		x:       0,
-		partial: newBitset(e.g.N()),
-		full:    newBitset(e.g.N()),
-		inbox:   make(map[int][]portValue),
-	}
-	e.phases[p] = ps
+	ps := e.openPhase(p)
 	if obs := e.cfg.Observer; obs != nil {
 		obs.PhaseStarted(p)
 	}
 	for _, x := range ext {
-		ps.inbox[x.Vertex] = append(ps.inbox[x.Vertex], portValue{x.Port, x.Val})
+		e.deliverTo(ps, x.Vertex, portValue{x.Port, x.Val})
 	}
 	// Statement 2.12-2.15: all source pairs enter the full set;
 	// statements 2.16-2.19: those that are their vertex's minimum full
@@ -324,7 +446,8 @@ func (e *Engine) StartPhase(ext []ExtInput) (int, error) {
 		if e.setObs != nil {
 			e.setObs.PairFull(s, p)
 		}
-		e.noteFull(s, p, ps)
+		// The environment thread enqueues round-robin across shards.
+		e.noteFull(s, p, ps, -1)
 	}
 	return p, nil
 }
@@ -333,7 +456,7 @@ func (e *Engine) StartPhase(ext []ExtInput) (int, error) {
 // v's minimum full phase and v has no pair in flight, moves it to the
 // ready set and enqueues it with its input snapshot. Caller holds mu and
 // has already inserted v into phases[p].full.
-func (e *Engine) noteFull(v, p int, ps *phaseState) {
+func (e *Engine) noteFull(v, p int, ps *phaseState, shard int) {
 	vs := &e.vs[v-1]
 	// Phases enter a vertex's full set in strictly increasing order: if
 	// (v, q) with q > p were already full, all predecessors of v would
@@ -344,17 +467,20 @@ func (e *Engine) noteFull(v, p int, ps *phaseState) {
 	}
 	vs.fullPhases = append(vs.fullPhases, p)
 	if !vs.inReady && vs.fullPhases[0] == p {
-		e.makeReady(v, p, ps)
+		e.makeReady(v, p, ps, shard)
 	}
 }
 
 // makeReady moves (v, p) — v's minimum full phase — into the ready set:
-// snapshots its inbox and enqueues it. Caller holds mu.
-func (e *Engine) makeReady(v, p int, ps *phaseState) {
+// snapshots its inbox and enqueues it to the given run-queue shard (the
+// finishing worker's own shard, or -1 for round-robin from the
+// environment thread). Caller holds mu.
+func (e *Engine) makeReady(v, p int, ps *phaseState, shard int) {
 	e.vs[v-1].inReady = true
-	in := ps.inbox[v]
+	in := ps.inbox[v-1]
 	if in != nil {
-		delete(ps.inbox, v)
+		ps.inbox[v-1] = nil
+		ps.inboxed--
 	}
 	if e.setObs != nil {
 		e.setObs.PairReady(v, p)
@@ -362,11 +488,13 @@ func (e *Engine) makeReady(v, p int, ps *phaseState) {
 	if obs := e.cfg.Observer; obs != nil {
 		obs.PairEnqueued(v, p)
 	}
-	e.q.Enqueue(workItem{v: v, p: p, in: in})
+	e.q.Enqueue(shard, workItem{v: v, p: p, in: in})
 }
 
-// worker is one computation process (Listing 1).
-func (e *Engine) worker() {
+// worker is one computation process (Listing 1). id is its run-queue
+// shard: it dequeues from its own shard first, steals otherwise, and
+// pairs it enqueues while finishing go to its own shard.
+func (e *Engine) worker(id int) {
 	defer e.workers.Done()
 	defer func() {
 		if r := recover(); r != nil {
@@ -382,17 +510,18 @@ func (e *Engine) worker() {
 	}()
 	ctx := &Context{}
 	for {
-		it, ok := e.q.Dequeue()
+		it, ok := e.q.Dequeue(id)
 		if !ok {
 			return
 		}
-		e.execute(ctx, it)
+		e.execute(ctx, it, id)
 	}
 }
 
 // execute runs one dequeued pair: statements 1.3 (the computation,
-// outside the lock) and 1.4-1.31 (via finish).
-func (e *Engine) execute(ctx *Context, it workItem) {
+// outside the lock) and 1.4-1.31 (via finish). shard is the executing
+// worker's run-queue shard hint (-1 outside the worker pool).
+func (e *Engine) execute(ctx *Context, it workItem, shard int) {
 	v := it.v
 	obs := e.cfg.Observer
 	ctx.reset(v, it.p, e.g.InDegree(v), e.g.OutDegree(v))
@@ -413,11 +542,13 @@ func (e *Engine) execute(ctx *Context, it workItem) {
 		obs.ExecEnd(v, it.p, len(ctx.emits))
 	}
 	e.execs.Add(1)
-	e.finish(v, it.p, ctx.emits)
+	e.finish(v, it.p, ctx.emits, it.in, shard)
 }
 
 // StepOne executes the oldest ready pair on the calling goroutine,
-// reporting whether there was one. Requires Config.Manual.
+// reporting whether there was one. Requires Config.Manual. Manual
+// stepping reuses one engine-owned execution context, so StepOne and
+// StepPair must be driven from a single goroutine at a time.
 func (e *Engine) StepOne() bool {
 	if !e.cfg.Manual {
 		panic("core: StepOne requires Config.Manual")
@@ -426,15 +557,20 @@ func (e *Engine) StepOne() bool {
 	if !ok {
 		return false
 	}
-	var ctx Context
-	e.execute(&ctx, it)
+	if !e.stepping.CompareAndSwap(false, true) {
+		panic("core: concurrent manual stepping")
+	}
+	defer e.stepping.Store(false)
+	e.execute(&e.manualCtx, it, -1)
 	return true
 }
 
 // StepPair executes the ready pair (v, p) on the calling goroutine,
-// reporting whether it was ready. Requires Config.Manual. Together with
-// StartPhase this reproduces any legal interleaving of the algorithm —
-// the trace of Figure 3 uses it to follow the paper's exact step order.
+// reporting whether it was ready. Requires Config.Manual, and like
+// StepOne must be driven from a single goroutine at a time. Together
+// with StartPhase this reproduces any legal interleaving of the
+// algorithm — the trace of Figure 3 uses it to follow the paper's
+// exact step order.
 func (e *Engine) StepPair(v, p int) bool {
 	if !e.cfg.Manual {
 		panic("core: StepPair requires Config.Manual")
@@ -443,18 +579,26 @@ func (e *Engine) StepPair(v, p int) bool {
 	if !ok {
 		return false
 	}
-	var ctx Context
-	e.execute(&ctx, it)
+	if !e.stepping.CompareAndSwap(false, true) {
+		panic("core: concurrent manual stepping")
+	}
+	defer e.stepping.Store(false)
+	e.execute(&e.manualCtx, it, -1)
 	return true
 }
 
 // finish performs the locked bookkeeping of Listing 1 (statements
-// 1.4-1.31) after (v, p) has executed with the given emissions.
-func (e *Engine) finish(v, p int, emits []Emission) {
+// 1.4-1.31) after (v, p) has executed with the given emissions. in is
+// the consumed input snapshot (returned to the slice pool) and shard
+// the executing worker's run-queue shard hint.
+func (e *Engine) finish(v, p int, emits []Emission, in []portValue, shard int) {
 	e.lock()
 	defer e.mu.Unlock()
+	if in != nil {
+		e.recycleIn(in)
+	}
 
-	ps := e.phases[p]
+	ps := e.phaseAt(p)
 	if ps == nil {
 		panic(fmt.Sprintf("core: finish(%d,%d) for closed phase", v, p))
 	}
@@ -468,7 +612,7 @@ func (e *Engine) finish(v, p int, emits []Emission) {
 		panic(fmt.Sprintf("core: ready bookkeeping corrupt at (%d,%d)", v, p))
 	}
 	vs.inReady = false
-	vs.fullPhases = vs.fullPhases[1:]
+	vs.fullPhases = vs.fullPhases[:copy(vs.fullPhases, vs.fullPhases[1:])]
 	if e.setObs != nil {
 		e.setObs.PairDone(v, p)
 	}
@@ -481,7 +625,7 @@ func (e *Engine) finish(v, p int, emits []Emission) {
 	for _, em := range emits {
 		w := succ[em.Out]
 		port := e.g.PortOf(v, w)
-		ps.inbox[w] = append(ps.inbox[w], portValue{port, em.Val})
+		e.deliverTo(ps, w, portValue{port, em.Val})
 		if ps.full.test(w) {
 			// Impossible: w has v as a predecessor and v only finished
 			// phase p now, so all of w's predecessors cannot already be
@@ -500,7 +644,7 @@ func (e *Engine) finish(v, p int, emits []Emission) {
 	// own (unchanged) sets and the clamp against x_i.
 	changedLo, changedHi := 0, -1
 	for i := p; i <= e.pmax; i++ {
-		psI := e.phases[i]
+		psI := e.phaseAt(i)
 		var nx int
 		if psI.pending() > 0 {
 			nx = psI.minPending() - 1
@@ -530,34 +674,34 @@ func (e *Engine) finish(v, p int, emits []Emission) {
 	// (w, q) with w ≤ m(x_q), for the phases whose frontier moved; then
 	// statements 1.27-1.30: ready-check each.
 	for i := changedLo; i <= changedHi; i++ {
-		psI := e.phases[i]
+		psI := e.phaseAt(i)
 		hi := e.g.M(psI.x)
-		psI.partial.drainRange(0, hi, func(w int) {
+		e.scratch = psI.partial.drainRange(0, hi, e.scratch, func(w int) {
 			psI.full.set(w)
 			if e.setObs != nil {
 				e.setObs.PairFull(w, i)
 			}
-			e.noteFull(w, i, psI)
+			e.noteFull(w, i, psI, shard)
 		})
 	}
 
 	// Statement 1.27 also covers the executed vertex's own next phase.
 	if !vs.inReady && len(vs.fullPhases) > 0 {
 		q := vs.fullPhases[0]
-		e.makeReady(v, q, e.phases[q])
+		e.makeReady(v, q, e.phaseAt(q), shard)
 	}
 
 	// Advance the completed-phase prefix. x_p = N requires x_{p-1} = N,
 	// so completion is monotone in p and a simple scan suffices.
 	for {
-		next := e.phases[e.done+1]
+		next := e.phaseAt(e.done + 1)
 		if next == nil || next.x != e.g.N() {
 			break
 		}
-		if len(next.inbox) != 0 {
-			panic(fmt.Sprintf("core: phase %d completed with %d undelivered inboxes", e.done+1, len(next.inbox)))
+		if next.inboxed != 0 {
+			panic(fmt.Sprintf("core: phase %d completed with %d undelivered inboxes", e.done+1, next.inboxed))
 		}
-		delete(e.phases, e.done+1)
+		e.closePhase(next)
 		e.done++
 		if obs := e.cfg.Observer; obs != nil {
 			obs.PhaseCompleted(e.done)
@@ -572,7 +716,7 @@ func (e *Engine) xOf(i int) int {
 	if i <= e.done {
 		return e.g.N()
 	}
-	return e.phases[i].x
+	return e.phaseAt(i).x
 }
 
 // WaitPhase blocks until phase p has completed (x_p = N). It panics if a

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// TestRingGrowsUnderPhaseBurst opens far more phases than the engine's
+// initial ring capacity before executing anything: Run paces phase
+// starts by MaxInFlight, but explicit StartPhase is unbounded, so the
+// phase ring must grow (re-slotting the open window) rather than
+// collide. Every phase must then drain to completion with the usual
+// exactly-once accounting.
+func TestRingGrowsUnderPhaseBurst(t *testing.T) {
+	const phases = 100 // initial ring capacity is 8 when MaxInFlight=1
+	ng, err := graph.Chain(4).Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+	src := core.StepFunc(func(ctx *core.Context) {
+		ctx.EmitAll(event.Int(int64(ctx.Phase())))
+	})
+	mods := []core.Module{src, relay, relay, relay}
+	eng, err := core.New(ng, mods, core.Config{Manual: true, MaxInFlight: 1, CountExecutions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	for p := 1; p <= phases; p++ {
+		if _, err := eng.StartPhase(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for eng.StepOne() {
+	}
+	st := eng.Stats()
+	if st.PhasesCompleted != phases {
+		t.Fatalf("completed %d of %d phases", st.PhasesCompleted, phases)
+	}
+	if want := int64(phases * ng.N()); st.Executions != want {
+		t.Errorf("executions = %d, want %d", st.Executions, want)
+	}
+	for p := 1; p <= phases; p += 17 {
+		for v := 1; v <= ng.N(); v++ {
+			if n := eng.ExecCount(v, p); n != 1 {
+				t.Errorf("pair (%d,%d) executed %d times", v, p, n)
+			}
+		}
+	}
+}

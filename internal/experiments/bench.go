@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// BenchRow is one workload's measurement in the machine-readable bench
+// report cmd/fusebench -json emits. NsPerExec is wall time divided by
+// executed pairs — the scheduler-inclusive cost the engine-overhead
+// benchmark tracks — and the LockWait/LockAcquisitions counters are the
+// E8 contention instrument, so the repo's bench trajectory (DESIGN.md
+// §4) can be compared across PRs without parsing testing.B output.
+type BenchRow struct {
+	Name             string `json:"name"`
+	Workers          int    `json:"workers"`
+	Phases           int    `json:"phases"`
+	GrainNs          int64  `json:"grain_ns"`
+	Executions       int64  `json:"executions"`
+	Messages         int64  `json:"messages"`
+	WallNs           int64  `json:"wall_ns"`
+	NsPerExec        int64  `json:"ns_per_exec"`
+	LockWaitNs       int64  `json:"lock_wait_ns"`
+	LockAcquisitions int64  `json:"lock_acquisitions"`
+	MaxQueueLen      int    `json:"max_queue_len"`
+}
+
+// BenchReport is the top-level BENCH.json document.
+type BenchReport struct {
+	GoVersion  string     `json:"go_version"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Quick      bool       `json:"quick"`
+	Workloads  []BenchRow `json:"workloads"`
+}
+
+// benchCase is one fixed workload of the report: the same parameter
+// points the E1/E8/overhead benchmarks sweep, at a size small enough to
+// run on every fusebench invocation.
+type benchCase struct {
+	name    string
+	w       Workload
+	workers int
+	window  int
+}
+
+func benchCases() []benchCase {
+	return []benchCase{
+		{"e1-compute-heavy/threads=1", Workload{
+			Depth: 8, Width: 5, FanIn: 2,
+			Grain: 40 * time.Microsecond, SourceRate: 1, InteriorRate: 1, Seed: 0xE1,
+		}, 1, 16},
+		{"e1-compute-heavy/threads=2", Workload{
+			Depth: 8, Width: 5, FanIn: 2,
+			Grain: 40 * time.Microsecond, SourceRate: 1, InteriorRate: 1, Seed: 0xE1,
+		}, 2, 16},
+		{"e8-contention/grain=0", Workload{
+			Depth: 6, Width: 8, FanIn: 2,
+			Grain: 0, SourceRate: 1, InteriorRate: 1, Seed: 0xE8,
+		}, MaxWorkers(8), 32},
+		{"e8-contention/grain=5us", Workload{
+			Depth: 6, Width: 8, FanIn: 2,
+			Grain: 5 * time.Microsecond, SourceRate: 1, InteriorRate: 1, Seed: 0xE8,
+		}, MaxWorkers(8), 32},
+		{"overhead-zero-grain/threads=1", Workload{
+			Depth: 6, Width: 8, FanIn: 2,
+			Grain: 0, SourceRate: 1, InteriorRate: 1, Seed: 0xBE,
+		}, 1, 32},
+	}
+}
+
+// BenchJSON runs the fixed bench workloads with contention measurement
+// on and returns the report.
+func BenchJSON(quick bool) BenchReport {
+	phases := 120
+	if quick {
+		phases = 30
+	}
+	rep := BenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	for _, c := range benchCases() {
+		ng, mods := c.w.Build()
+		eng, err := core.New(ng, mods, core.Config{
+			Workers: c.workers, MaxInFlight: c.window, MeasureContention: true,
+		})
+		if err != nil {
+			panic(err) // static workload parameters; cannot fail
+		}
+		wall := metrics.MeasureWall(func() {
+			if _, err := eng.Run(Phases(phases)); err != nil {
+				panic(err)
+			}
+		})
+		st := eng.Stats()
+		row := BenchRow{
+			Name:             c.name,
+			Workers:          c.workers,
+			Phases:           phases,
+			GrainNs:          int64(c.w.Grain),
+			Executions:       st.Executions,
+			Messages:         st.Messages,
+			WallNs:           int64(wall),
+			LockWaitNs:       int64(st.LockWait),
+			LockAcquisitions: st.LockAcquisitions,
+			MaxQueueLen:      st.MaxQueueLen,
+		}
+		if st.Executions > 0 {
+			row.NsPerExec = int64(wall) / st.Executions
+		}
+		rep.Workloads = append(rep.Workloads, row)
+	}
+	return rep
+}
+
+// WriteBenchJSON runs the bench workloads and writes the report to path
+// as indented JSON.
+func WriteBenchJSON(path string, quick bool) error {
+	rep := BenchJSON(quick)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

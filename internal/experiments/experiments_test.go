@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +12,18 @@ import (
 // assertions are deliberately loose — CI machines are noisy — but the
 // structural claims (who wins, monotonicity of message counts) are
 // asserted firmly.
+
+// requireParallelism skips shape tests whose claims (multi-thread
+// speedup, concurrently executing phases) are physically impossible on
+// a single-CPU host: with GOMAXPROCS=1 the workers time-slice one
+// processor, so the paper's §4 speedup and Figure 1's pipelining depth
+// cannot materialize no matter what the scheduler does.
+func requireParallelism(t *testing.T) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skipf("GOMAXPROCS = %d: parallel speedup shape not measurable", runtime.GOMAXPROCS(0))
+	}
+}
 
 func TestLoopsCalibration(t *testing.T) {
 	loops := LoopsForGrain(10 * time.Microsecond)
@@ -46,6 +59,7 @@ func TestE1QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiment")
 	}
+	requireParallelism(t)
 	res := E1Section4(true)
 	if res.Table.Rows() != 2 {
 		t.Fatalf("table rows = %d", res.Table.Rows())
@@ -64,6 +78,7 @@ func TestE2QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiment")
 	}
+	requireParallelism(t)
 	res := E2ThreadScaling(true)
 	if len(res.Rows) == 0 {
 		t.Fatal("no rows")
@@ -118,6 +133,7 @@ func TestE4QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiment")
 	}
+	requireParallelism(t)
 	res := E4PipelineDepth(true)
 	for _, r := range res.Rows {
 		if r.MaxPhases < 2 {
@@ -170,6 +186,7 @@ func TestE10QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiment")
 	}
+	requireParallelism(t)
 	res := E10PipelineAblation(true)
 	if len(res.Rows) != 2 {
 		t.Fatalf("rows = %d", len(res.Rows))
@@ -210,8 +227,8 @@ func TestE11QuickShape(t *testing.T) {
 	}
 }
 
-// TestWatermarkLossCurve is the named E11 artifact cited in
-// EXPERIMENTS.md: the full watermark sweep at reduced size.
+// TestWatermarkLossCurve is the named E11 artifact (DESIGN.md §4): the
+// full watermark sweep at reduced size.
 func TestWatermarkLossCurve(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")

@@ -3,13 +3,15 @@
 // the behaviors depicted in Figures 1–3, the §1 sparse-event argument —
 // plus the ablations DESIGN.md calls out. Each driver returns structured
 // results and a formatted table; cmd/fusebench prints them and
-// bench_test.go wraps them in testing.B benchmarks. EXPERIMENTS.md
-// records paper-claim vs measured for each.
+// bench_test.go wraps them in testing.B benchmarks. DESIGN.md §4
+// records the benchmark-to-table mapping and the paper claim each
+// measures.
 package experiments
 
 import (
 	"math/rand/v2"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -25,8 +27,9 @@ func mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// spinSink consumes spin results so the compiler cannot remove the work.
-var spinSink uint64
+// spinSink consumes spin results so the compiler cannot remove the
+// work; atomic because workload vertices spin concurrently on workers.
+var spinSink atomic.Uint64
 
 // spin burns approximately `loops` iterations of serial integer work.
 func spin(loops int) {
@@ -34,7 +37,7 @@ func spin(loops int) {
 	for i := 0; i < loops; i++ {
 		acc = acc*6364136223846793005 + 1442695040888963407
 	}
-	spinSink += acc
+	spinSink.Add(acc)
 }
 
 // calibration: loops per microsecond, measured once per process.

@@ -9,6 +9,11 @@
 // java.util.concurrent BlockingQueue. It additionally supports closing,
 // which the engine uses for shutdown: after Close, Dequeue drains
 // remaining items and then reports ok=false.
+//
+// The engine itself now runs on Sharded (sharded.go); Queue is retained
+// deliberately as the single-lock reference implementation — the
+// before-state baseline DESIGN.md §3 measures Sharded against, and the
+// semantic model Sharded's single-shard mode must match.
 package runqueue
 
 import "sync"

@@ -1,0 +1,240 @@
+// Sharded is the scalable successor to Queue for the engine's hot path
+// (DESIGN.md §3): instead of one mutex+condvar FIFO that every worker
+// and the environment thread contend on, items are spread over
+// per-worker shards, each its own small mutex-guarded ring. A worker
+// dequeues from its own shard first and steals from the others — always
+// from the front, so each shard individually remains FIFO — which
+// preserves the paper's §3.2 contract ("each item on the queue is
+// dequeued at most once") while eliminating the single point of
+// serialization.
+//
+// Blocking is kept off the fast path: a worker only touches the shared
+// sleep mutex after a full scan of every shard comes up empty. Wakeups
+// use a sleeper count so uncontended enqueues pay one atomic load and
+// no lock beyond their target shard's.
+//
+// With a single shard the queue degenerates to the exact FIFO semantics
+// of Queue, which is what the engine's Manual deterministic-stepping
+// mode uses: StepOne's "oldest ready pair" and TakeFunc's ordered scan
+// stay reproducible.
+package runqueue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shard is one mutex-guarded FIFO ring. The pad keeps hot shards on
+// separate cache lines so stealing does not false-share with pushes.
+type shard[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	head  int // index of the next item to dequeue
+	count int
+	_     [64]byte
+}
+
+// push appends an item. Caller holds mu.
+func (s *shard[T]) push(it T) {
+	if s.count == len(s.buf) {
+		nb := make([]T, 2*len(s.buf))
+		for i := 0; i < s.count; i++ {
+			nb[i] = s.buf[(s.head+i)%len(s.buf)]
+		}
+		s.buf = nb
+		s.head = 0
+	}
+	s.buf[(s.head+s.count)%len(s.buf)] = it
+	s.count++
+}
+
+// popFront removes the oldest item. Caller holds mu and has checked
+// count > 0.
+func (s *shard[T]) popFront() T {
+	var zero T
+	it := s.buf[s.head]
+	s.buf[s.head] = zero // release references for GC
+	s.head = (s.head + 1) % len(s.buf)
+	s.count--
+	return it
+}
+
+// Sharded is a multi-producer multi-consumer blocking queue over
+// per-worker FIFO shards with work stealing.
+type Sharded[T any] struct {
+	shards []shard[T]
+	rr     atomic.Uint32 // round-robin cursor for hint-less producers
+
+	length atomic.Int64 // total items across shards
+	maxLen atomic.Int64 // high-water mark of length
+	closed atomic.Bool
+
+	sleepMu  sync.Mutex
+	wake     sync.Cond    // signaled per enqueue, broadcast on Close
+	sleepers atomic.Int32 // consumers blocked (or about to block) in wake.Wait
+}
+
+// NewSharded returns an empty open queue with the given shard count
+// (typically the worker count; values < 1 are clamped to 1) and
+// per-shard initial capacity hint.
+func NewSharded[T any](shards, capHint int) *Sharded[T] {
+	if shards < 1 {
+		shards = 1
+	}
+	if capHint < 4 {
+		capHint = 4
+	}
+	q := &Sharded[T]{shards: make([]shard[T], shards)}
+	for i := range q.shards {
+		q.shards[i].buf = make([]T, capHint)
+	}
+	q.wake.L = &q.sleepMu
+	return q
+}
+
+// Shards returns the shard count.
+func (q *Sharded[T]) Shards() int { return len(q.shards) }
+
+// Enqueue appends an item to the hinted shard (a worker enqueues to its
+// own shard for locality); a negative or out-of-range hint round-robins
+// across shards, which is what the environment thread uses. Enqueueing
+// on a closed queue panics, as for Queue: the engine closes only after
+// all phases have drained, so a late enqueue is a logic error.
+func (q *Sharded[T]) Enqueue(hint int, it T) {
+	if q.closed.Load() {
+		panic("runqueue: enqueue on closed queue")
+	}
+	n := len(q.shards)
+	if hint < 0 || hint >= n {
+		// Modulo in uint32: on 32-bit platforms a wrapped counter cast
+		// to int would go negative and index out of range.
+		hint = int((q.rr.Add(1) - 1) % uint32(n))
+	}
+	s := &q.shards[hint]
+	s.mu.Lock()
+	s.push(it)
+	s.mu.Unlock()
+	l := q.length.Add(1)
+	for {
+		m := q.maxLen.Load()
+		if l <= m || q.maxLen.CompareAndSwap(m, l) {
+			break
+		}
+	}
+	// The sleeper count is incremented before the sleeper re-checks
+	// length (both seq-cst atomics), so either we observe the sleeper
+	// here or it observes our length increment and does not block.
+	if q.sleepers.Load() > 0 {
+		q.sleepMu.Lock()
+		q.wake.Signal()
+		q.sleepMu.Unlock()
+	}
+}
+
+// scan tries every shard once, starting at self (a consumer's own shard,
+// then stealing from the others in ring order). Each shard pops from the
+// front, so per-shard FIFO order is preserved for steals too.
+func (q *Sharded[T]) scan(self int) (T, bool) {
+	n := len(q.shards)
+	for i := 0; i < n; i++ {
+		s := &q.shards[(self+i)%n]
+		s.mu.Lock()
+		if s.count > 0 {
+			it := s.popFront()
+			s.mu.Unlock()
+			q.length.Add(-1)
+			return it, true
+		}
+		s.mu.Unlock()
+	}
+	var zero T
+	return zero, false
+}
+
+// Dequeue removes and returns an item, preferring the caller's own shard
+// (self; out-of-range values fall back to shard 0) and stealing
+// otherwise. It blocks while the queue is empty and open, and returns
+// ok=false only when the queue is closed and fully drained.
+func (q *Sharded[T]) Dequeue(self int) (T, bool) {
+	n := len(q.shards)
+	if self < 0 || self >= n {
+		self = 0
+	}
+	for {
+		if it, ok := q.scan(self); ok {
+			return it, true
+		}
+		if q.closed.Load() && q.length.Load() == 0 {
+			var zero T
+			return zero, false
+		}
+		q.sleepMu.Lock()
+		q.sleepers.Add(1)
+		// Re-check after announcing ourselves: an enqueue that missed
+		// our announcement must be visible to this load (see Enqueue).
+		if q.length.Load() > 0 || q.closed.Load() {
+			q.sleepers.Add(-1)
+			q.sleepMu.Unlock()
+			continue
+		}
+		q.wake.Wait()
+		q.sleepers.Add(-1)
+		q.sleepMu.Unlock()
+	}
+}
+
+// TryDequeue removes the oldest item of the first non-empty shard in
+// index order, without blocking. With one shard this is exactly Queue's
+// TryDequeue; the engine's Manual mode relies on that for StepOne's
+// "oldest ready pair" semantics.
+func (q *Sharded[T]) TryDequeue() (T, bool) {
+	return q.scan(0)
+}
+
+// TakeFunc removes and returns the oldest item satisfying match,
+// scanning shards in index order and each shard front to back, without
+// blocking. As for Queue, it is O(n) and meant for the engine's manual
+// deterministic-stepping mode (single shard), not for hot paths.
+func (q *Sharded[T]) TakeFunc(match func(T) bool) (T, bool) {
+	var zero T
+	for si := range q.shards {
+		s := &q.shards[si]
+		s.mu.Lock()
+		for i := 0; i < s.count; i++ {
+			idx := (s.head + i) % len(s.buf)
+			if !match(s.buf[idx]) {
+				continue
+			}
+			it := s.buf[idx]
+			// shift the earlier items forward by one slot
+			for j := i; j > 0; j-- {
+				from := (s.head + j - 1) % len(s.buf)
+				to := (s.head + j) % len(s.buf)
+				s.buf[to] = s.buf[from]
+			}
+			s.buf[s.head] = zero
+			s.head = (s.head + 1) % len(s.buf)
+			s.count--
+			s.mu.Unlock()
+			q.length.Add(-1)
+			return it, true
+		}
+		s.mu.Unlock()
+	}
+	return zero, false
+}
+
+// Close marks the queue closed and wakes all blocked consumers. Items
+// already enqueued remain dequeuable. Close is idempotent.
+func (q *Sharded[T]) Close() {
+	q.closed.Store(true)
+	q.sleepMu.Lock()
+	q.wake.Broadcast()
+	q.sleepMu.Unlock()
+}
+
+// Len returns the current total number of queued items.
+func (q *Sharded[T]) Len() int { return int(q.length.Load()) }
+
+// MaxLen returns the high-water mark of the total queue length.
+func (q *Sharded[T]) MaxLen() int { return int(q.maxLen.Load()) }

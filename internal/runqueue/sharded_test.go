@@ -1,0 +1,291 @@
+package runqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedSingleShardFIFO(t *testing.T) {
+	q := NewSharded[int](1, 2)
+	for i := 1; i <= 100; i++ {
+		q.Enqueue(-1, i)
+	}
+	for i := 1; i <= 100; i++ {
+		it, ok := q.Dequeue(0)
+		if !ok || it != i {
+			t.Fatalf("dequeue %d: got (%v,%v)", i, it, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestShardedPerShardFIFOUnderStealing(t *testing.T) {
+	// All items go to shard 0; a consumer registered on shard 3 must
+	// steal them in FIFO order.
+	q := NewSharded[int](4, 4)
+	for i := 1; i <= 50; i++ {
+		q.Enqueue(0, i)
+	}
+	for i := 1; i <= 50; i++ {
+		it, ok := q.Dequeue(3)
+		if !ok || it != i {
+			t.Fatalf("steal %d: got (%v,%v)", i, it, ok)
+		}
+	}
+}
+
+func TestShardedDequeueBlocksUntilEnqueue(t *testing.T) {
+	q := NewSharded[int](4, 4)
+	got := make(chan int, 1)
+	go func() {
+		it, ok := q.Dequeue(2)
+		if ok {
+			got <- it
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("dequeue returned before enqueue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Enqueue(-1, 7)
+	select {
+	case it := <-got:
+		if it != 7 {
+			t.Errorf("got item %d", it)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("dequeue did not wake after enqueue")
+	}
+}
+
+func TestShardedCloseWakesConsumers(t *testing.T) {
+	q := NewSharded[int](2, 4)
+	var wg sync.WaitGroup
+	var falses atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, ok := q.Dequeue(i % 2); !ok {
+				falses.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	wg.Wait()
+	if falses.Load() != 8 {
+		t.Errorf("%d consumers got ok=false, want 8", falses.Load())
+	}
+}
+
+func TestShardedCloseDrainsRemaining(t *testing.T) {
+	q := NewSharded[int](1, 4)
+	q.Enqueue(-1, 1)
+	q.Enqueue(-1, 2)
+	q.Close()
+	for i := 1; i <= 2; i++ {
+		it, ok := q.Dequeue(0)
+		if !ok || it != i {
+			t.Fatalf("drain item %d: (%v,%v)", i, it, ok)
+		}
+	}
+	if _, ok := q.Dequeue(0); ok {
+		t.Error("dequeue on closed empty queue returned ok")
+	}
+}
+
+func TestShardedEnqueueAfterClosePanics(t *testing.T) {
+	q := NewSharded[int](2, 4)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("enqueue after close did not panic")
+		}
+	}()
+	q.Enqueue(-1, 0)
+}
+
+func TestShardedCloseIdempotent(t *testing.T) {
+	q := NewSharded[int](2, 4)
+	q.Close()
+	q.Close() // must not panic or deadlock
+}
+
+func TestShardedTryDequeueOldestFirst(t *testing.T) {
+	q := NewSharded[int](1, 4)
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("TryDequeue on empty queue returned ok")
+	}
+	q.Enqueue(-1, 5)
+	q.Enqueue(-1, 6)
+	it, ok := q.TryDequeue()
+	if !ok || it != 5 {
+		t.Errorf("TryDequeue = (%v,%v), want oldest (5)", it, ok)
+	}
+}
+
+func TestShardedTakeFuncOrdering(t *testing.T) {
+	// Single shard: TakeFunc must match Queue's semantics exactly —
+	// remove the chosen item, preserve FIFO order of the rest.
+	q := NewSharded[int](1, 4)
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(-1, i)
+	}
+	it, ok := q.TakeFunc(func(v int) bool { return v == 3 })
+	if !ok || it != 3 {
+		t.Fatalf("TakeFunc = (%v,%v)", it, ok)
+	}
+	if q.Len() != 4 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	want := []int{1, 2, 4, 5}
+	for _, w := range want {
+		it, ok := q.Dequeue(0)
+		if !ok || it != w {
+			t.Fatalf("dequeue = (%v,%v), want %d", it, ok, w)
+		}
+	}
+	if _, ok := q.TakeFunc(func(v int) bool { return true }); ok {
+		t.Error("TakeFunc on empty queue returned ok")
+	}
+}
+
+func TestShardedTakeFuncAcrossWrap(t *testing.T) {
+	q := NewSharded[int](1, 4)
+	for i := 1; i <= 4; i++ {
+		q.Enqueue(-1, i)
+	}
+	q.Dequeue(0) // 1
+	q.Dequeue(0) // 2
+	for i := 5; i <= 7; i++ {
+		q.Enqueue(-1, i) // ring now wraps
+	}
+	it, ok := q.TakeFunc(func(v int) bool { return v == 6 })
+	if !ok || it != 6 {
+		t.Fatalf("TakeFunc across wrap = (%v,%v)", it, ok)
+	}
+	want := []int{3, 4, 5, 7}
+	for _, w := range want {
+		it, ok := q.Dequeue(0)
+		if !ok || it != w {
+			t.Fatalf("after wrapped take: dequeue = (%v,%v), want %d", it, ok, w)
+		}
+	}
+}
+
+// TestShardedExactlyOnceConcurrent is the §3.2 contract under heavy
+// concurrency with Close racing the final dequeues: every enqueued item
+// is dequeued by exactly one consumer, across all shard/hint mixes.
+func TestShardedExactlyOnceConcurrent(t *testing.T) {
+	const producers, perProducer, consumers, shards = 8, 2000, 8, 4
+	q := NewSharded[int](shards, 16)
+	seen := make([]atomic.Int32, producers*perProducer)
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				it, ok := q.Dequeue(c % shards)
+				if !ok {
+					return
+				}
+				seen[it].Add(1)
+			}
+		}(c)
+	}
+	var pw sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pw.Add(1)
+		go func(p int) {
+			defer pw.Done()
+			for i := 0; i < perProducer; i++ {
+				// Half the producers enqueue to a fixed shard (worker
+				// locality), half round-robin (environment thread).
+				hint := -1
+				if p%2 == 0 {
+					hint = p % shards
+				}
+				q.Enqueue(hint, p*perProducer+i)
+			}
+		}(p)
+	}
+	pw.Wait()
+	q.Close()
+	wg.Wait()
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("item %d dequeued %d times", i, n)
+		}
+	}
+	if q.MaxLen() < 1 {
+		t.Errorf("MaxLen = %d", q.MaxLen())
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after full drain", q.Len())
+	}
+}
+
+// TestShardedChurn hammers blocking dequeues with slow trickled
+// enqueues so consumers repeatedly park and wake (the sleeper-count
+// handshake), then verifies the drain count.
+func TestShardedChurn(t *testing.T) {
+	const items, consumers = 3000, 6
+	q := NewSharded[int](consumers, 4)
+	var got atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				if _, ok := q.Dequeue(c); !ok {
+					return
+				}
+				got.Add(1)
+			}
+		}(c)
+	}
+	for i := 0; i < items; i++ {
+		q.Enqueue(-1, i)
+		if i%64 == 0 {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	q.Close()
+	wg.Wait()
+	if got.Load() != items {
+		t.Errorf("drained %d of %d items", got.Load(), items)
+	}
+}
+
+func TestShardedMaxLenHighWaterMark(t *testing.T) {
+	q := NewSharded[int](2, 4)
+	for i := 0; i < 10; i++ {
+		q.Enqueue(-1, i)
+	}
+	for i := 0; i < 10; i++ {
+		q.Dequeue(0)
+	}
+	q.Enqueue(-1, 0)
+	if q.MaxLen() != 10 {
+		t.Errorf("MaxLen = %d, want 10", q.MaxLen())
+	}
+}
+
+func BenchmarkShardedEnqueueDequeue(b *testing.B) {
+	q := NewSharded[int](4, 1024)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(0, 1)
+			q.TryDequeue()
+		}
+	})
+}

@@ -4,7 +4,7 @@
 // none of those are available here, so each domain gets a seeded
 // deterministic generator that reproduces the statistical property the
 // algorithm cares about: mostly steady signals whose rare deviations are
-// the information (see DESIGN.md §3, substitutions).
+// the information (see DESIGN.md §2, substitutions).
 //
 // A Series is a pure function of the phase number, so workloads are
 // reproducible across executors and worker counts — a prerequisite for
