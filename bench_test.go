@@ -207,6 +207,35 @@ func BenchmarkE9Partitioned(b *testing.B) {
 	}
 }
 
+// BenchmarkE12PipelineScaleOut is the distrib scale-out measurement:
+// the same deep pipeline workload across 1..4 machines, each machine
+// bringing its own 2-worker engine, joined by bounded backpressured
+// links (cost-aware planner). Wall-clock per op should fall as machines
+// are added — on hosts with enough cores to run the engines in
+// parallel.
+func BenchmarkE12PipelineScaleOut(b *testing.B) {
+	const phases = 80
+	for _, machines := range []int{1, 2, 4} {
+		w := experiments.E12Pipeline()
+		b.Run(fmt.Sprintf("machines=%d", machines), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ng, mods := w.Build()
+				st, err := distrib.Run(ng, mods, experiments.Phases(phases), experiments.E12Config(machines))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var blocked time.Duration
+				for _, ls := range st.Links {
+					blocked += ls.Blocked
+				}
+				b.ReportMetric(float64(st.CrossMessages)/float64(phases), "xmsgs/phase")
+				b.ReportMetric(float64(blocked.Nanoseconds())/float64(phases), "blocked-ns/phase")
+			}
+		})
+	}
+}
+
 // BenchmarkE10PipelineAblation ablates multi-phase pipelining: window=1
 // forces phase-at-a-time execution; larger windows enable Figure 1's
 // concurrency. Deep narrow graph so pipelining is the only speedup

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// Options are the regression thresholds. Defaults are deliberately
+// generous: the baseline is checked in, so the comparison spans
+// machines and scheduler moods — the gate exists to catch step-change
+// regressions (a 2× slowdown in the engine hot path, a new allocation
+// per execution), not 5% drift.
+type Options struct {
+	// TimeFactor fails a row when ns_per_exec exceeds baseline × factor.
+	TimeFactor float64
+	// AllocFactor and AllocSlack fail a row when allocs_per_exec
+	// exceeds baseline × factor + slack. The additive slack keeps
+	// near-zero baselines (the steady-state engine allocates ~0.2/exec)
+	// from gating on noise while still catching a full new
+	// allocation-per-execution.
+	AllocFactor float64
+	AllocSlack  float64
+	// ScaleOutFactor gates the intra-report scale-out invariant: within
+	// the *current* report alone, a machines=N row's wall time must not
+	// exceed machines=1 × this factor for the same workload family.
+	// Adding machines adds cores, so even on a host too small to show
+	// speedup the partitioned run stays near 1× — a gross link-layer or
+	// planner regression (e.g. accidental lockstep) blows well past it.
+	// Unlike the ns/exec gate this needs no comparable baseline host,
+	// so it stays armed even while a 1-proc-recorded baseline forces
+	// the absolute time comparisons into "skipped".
+	ScaleOutFactor float64
+}
+
+// DefaultOptions returns the CI gate thresholds.
+func DefaultOptions() Options {
+	return Options{TimeFactor: 1.5, AllocFactor: 1.5, AllocSlack: 0.5, ScaleOutFactor: 1.75}
+}
+
+// Verdict classifies one metric comparison.
+type Verdict string
+
+const (
+	// OK: within threshold.
+	OK Verdict = "ok"
+	// Regressed: past threshold — fails the gate.
+	Regressed Verdict = "REGRESSED"
+	// Skipped: not comparable (insufficient parallelism on one host).
+	Skipped Verdict = "skipped"
+	// New: present only in the current report — informational.
+	New Verdict = "new"
+	// Missing: tracked in the baseline but absent now — fails the gate,
+	// so coverage cannot silently vanish.
+	Missing Verdict = "MISSING"
+	// ConfigChanged: the row exists in both reports but measures a
+	// different configuration (workers, machines, grain or phases).
+	// Fails the gate: a re-parameterized workload must ship with a
+	// regenerated baseline, or a cheapened workload would pass silently.
+	ConfigChanged Verdict = "CONFIG-CHANGED"
+)
+
+// Finding is one (row, metric) comparison result.
+type Finding struct {
+	Row     string
+	Metric  string
+	Base    float64
+	Current float64
+	Limit   float64
+	Verdict Verdict
+}
+
+// Failed reports whether the finding fails the gate.
+func (f Finding) Failed() bool {
+	return f.Verdict == Regressed || f.Verdict == Missing || f.Verdict == ConfigChanged
+}
+
+// Compare evaluates the current report against the baseline and
+// returns per-metric findings plus the overall gate outcome.
+//
+// Time (ns_per_exec) is compared only when both hosts had at least as
+// many procs as the row's worker count: a 4-machine pipeline measured
+// on a 2-core runner is legitimately slower than its 16-core baseline,
+// and gating on that would only teach people to ignore the gate.
+// Allocations are scheduling-insensitive, so they are always compared.
+func Compare(base, cur experiments.BenchReport, o Options) ([]Finding, error) {
+	if base.Quick != cur.Quick {
+		return nil, fmt.Errorf("benchdiff: baseline quick=%v but current quick=%v — reports are not comparable (regenerate the baseline with the same fusebench flags)", base.Quick, cur.Quick)
+	}
+	curRows := make(map[string]experiments.BenchRow, len(cur.Workloads))
+	for _, r := range cur.Workloads {
+		curRows[r.Name] = r
+	}
+	var out []Finding
+	for _, b := range base.Workloads {
+		c, ok := curRows[b.Name]
+		if !ok {
+			out = append(out, Finding{Row: b.Name, Metric: "-", Verdict: Missing})
+			continue
+		}
+		delete(curRows, b.Name)
+
+		// Executions stands in for the workload shape (depth, width,
+		// seed, rates): workloads are fully deterministic, so a changed
+		// execution count means the row measures different work, while
+		// a pure perf change never moves it.
+		if b.Workers != c.Workers || b.Machines != c.Machines ||
+			b.GrainNs != c.GrainNs || b.Phases != c.Phases ||
+			b.Executions != c.Executions {
+			out = append(out, Finding{Row: b.Name, Metric: "-", Verdict: ConfigChanged})
+			continue
+		}
+
+		// time
+		timeComparable := b.Workers <= base.GoMaxProcs && b.Workers <= cur.GoMaxProcs
+		f := Finding{
+			Row: b.Name, Metric: "ns/exec",
+			Base: float64(b.NsPerExec), Current: float64(c.NsPerExec),
+			Limit: float64(b.NsPerExec) * o.TimeFactor,
+		}
+		switch {
+		case !timeComparable:
+			f.Verdict = Skipped
+		case b.NsPerExec > 0 && float64(c.NsPerExec) > f.Limit:
+			f.Verdict = Regressed
+		default:
+			f.Verdict = OK
+		}
+		out = append(out, f)
+
+		// allocs
+		g := Finding{
+			Row: b.Name, Metric: "allocs/exec",
+			Base: b.AllocsPerExec, Current: c.AllocsPerExec,
+			Limit: b.AllocsPerExec*o.AllocFactor + o.AllocSlack,
+		}
+		if c.AllocsPerExec > g.Limit {
+			g.Verdict = Regressed
+		} else {
+			g.Verdict = OK
+		}
+		out = append(out, g)
+	}
+	extra := make([]string, 0, len(curRows))
+	for name := range curRows {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		out = append(out, Finding{Row: name, Metric: "-", Verdict: New})
+	}
+	out = append(out, scaleOutFindings(cur, o)...)
+	return out, nil
+}
+
+// scaleOutFindings evaluates the intra-report scale-out invariant:
+// every multi-machine row is compared against its family's machines=1
+// row in the same report. Rows form a family when their names share
+// the prefix before "/machines=".
+func scaleOutFindings(cur experiments.BenchReport, o Options) []Finding {
+	single := make(map[string]experiments.BenchRow)
+	for _, r := range cur.Workloads {
+		if r.Machines == 1 {
+			single[familyOf(r.Name)] = r
+		}
+	}
+	var out []Finding
+	for _, r := range cur.Workloads {
+		if r.Machines <= 1 {
+			continue
+		}
+		base, ok := single[familyOf(r.Name)]
+		if !ok || base.WallNs <= 0 {
+			continue
+		}
+		f := Finding{
+			Row: r.Name, Metric: "wall-vs-machines=1",
+			Base: float64(base.WallNs), Current: float64(r.WallNs),
+			Limit: float64(base.WallNs) * o.ScaleOutFactor,
+		}
+		if float64(r.WallNs) > f.Limit {
+			f.Verdict = Regressed
+		} else {
+			f.Verdict = OK
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// familyOf strips the "/machines=N" suffix from a row name.
+func familyOf(name string) string {
+	if i := strings.LastIndex(name, "/machines="); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

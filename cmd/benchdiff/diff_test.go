@@ -1,0 +1,209 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func report(procs int, rows ...experiments.BenchRow) experiments.BenchReport {
+	return experiments.BenchReport{GoVersion: "test", GoMaxProcs: procs, Quick: true, Workloads: rows}
+}
+
+func row(name string, workers int, nsPerExec int64, allocs float64) experiments.BenchRow {
+	return experiments.BenchRow{Name: name, Workers: workers, NsPerExec: nsPerExec, AllocsPerExec: allocs}
+}
+
+// find returns the finding for (row, metric), failing the test when absent.
+func find(t *testing.T, fs []Finding, rowName, metric string) Finding {
+	t.Helper()
+	for _, f := range fs {
+		if f.Row == rowName && f.Metric == metric {
+			return f
+		}
+	}
+	t.Fatalf("no finding for (%s, %s) in %+v", rowName, metric, fs)
+	return Finding{}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := report(8, row("a", 1, 1000, 0.2))
+	cur := report(8, row("a", 1, 1400, 0.6)) // 1.4× time, within 1.5×; allocs within 0.2×1.5+0.5
+	fs, err := Compare(base, cur, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Failed() {
+			t.Errorf("unexpected failure: %+v", f)
+		}
+	}
+}
+
+// TestCompareCatchesTwofoldSlowdown is the acceptance scenario: a 2×
+// engine hot-path slowdown must trip the default gate.
+func TestCompareCatchesTwofoldSlowdown(t *testing.T) {
+	base := report(8, row("overhead-zero-grain/threads=1", 1, 217, 0.2))
+	cur := report(8, row("overhead-zero-grain/threads=1", 1, 434, 0.2))
+	fs, err := Compare(base, cur, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := find(t, fs, "overhead-zero-grain/threads=1", "ns/exec")
+	if f.Verdict != Regressed {
+		t.Errorf("2× slowdown verdict = %s, want REGRESSED", f.Verdict)
+	}
+}
+
+func TestCompareCatchesNewAllocationPerExec(t *testing.T) {
+	base := report(8, row("a", 1, 1000, 0.2))
+	cur := report(8, row("a", 1, 1000, 1.2)) // one new allocation per execution
+	fs, err := Compare(base, cur, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := find(t, fs, "a", "allocs/exec")
+	if f.Verdict != Regressed {
+		t.Errorf("+1 alloc/exec verdict = %s, want REGRESSED", f.Verdict)
+	}
+}
+
+func TestCompareSkipsTimeWhenUnderProvisioned(t *testing.T) {
+	// Baseline recorded on a big box; CI runner has 2 procs. The
+	// 8-worker row's time is not comparable — but allocs still are.
+	base := report(16, row("e12-pipeline/machines=4", 8, 1000, 0.3))
+	cur := report(2, row("e12-pipeline/machines=4", 8, 4000, 0.3))
+	fs, err := Compare(base, cur, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := find(t, fs, "e12-pipeline/machines=4", "ns/exec"); f.Verdict != Skipped {
+		t.Errorf("under-provisioned time verdict = %s, want skipped", f.Verdict)
+	}
+	if f := find(t, fs, "e12-pipeline/machines=4", "allocs/exec"); f.Verdict != OK {
+		t.Errorf("allocs verdict = %s, want ok", f.Verdict)
+	}
+	// ...and an alloc regression on the same row still fails.
+	cur = report(2, row("e12-pipeline/machines=4", 8, 4000, 2.0))
+	fs, _ = Compare(base, cur, DefaultOptions())
+	if f := find(t, fs, "e12-pipeline/machines=4", "allocs/exec"); f.Verdict != Regressed {
+		t.Errorf("alloc regression under-provisioned verdict = %s, want REGRESSED", f.Verdict)
+	}
+}
+
+func TestCompareBaselineUnderProvisionedAlsoSkips(t *testing.T) {
+	// Baseline itself recorded on 1 proc (this repo's dev host): the
+	// multi-worker row never measured real parallelism, so its time is
+	// never gated, on any runner.
+	base := report(1, row("e12-pipeline/machines=2", 4, 9000, 0.3))
+	cur := report(8, row("e12-pipeline/machines=2", 4, 2000, 0.3))
+	fs, err := Compare(base, cur, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := find(t, fs, "e12-pipeline/machines=2", "ns/exec"); f.Verdict != Skipped {
+		t.Errorf("verdict = %s, want skipped", f.Verdict)
+	}
+}
+
+func TestCompareMissingRowFails(t *testing.T) {
+	base := report(8, row("a", 1, 1000, 0.2), row("b", 1, 500, 0.1))
+	cur := report(8, row("a", 1, 1000, 0.2))
+	fs, err := Compare(base, cur, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := find(t, fs, "b", "-"); f.Verdict != Missing {
+		t.Errorf("dropped row verdict = %s, want MISSING", f.Verdict)
+	}
+}
+
+func TestCompareNewRowInformational(t *testing.T) {
+	base := report(8, row("a", 1, 1000, 0.2))
+	cur := report(8, row("a", 1, 1000, 0.2), row("z", 1, 999999, 50))
+	fs, err := Compare(base, cur, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := find(t, fs, "z", "-")
+	if f.Verdict != New || f.Failed() {
+		t.Errorf("new row verdict = %s (failed=%v), want informational", f.Verdict, f.Failed())
+	}
+}
+
+// rowM builds a multi-machine row with the given wall time.
+func rowM(name string, machines, workers int, wallNs int64) experiments.BenchRow {
+	return experiments.BenchRow{
+		Name: name, Machines: machines, Workers: workers,
+		WallNs: wallNs, NsPerExec: 100, AllocsPerExec: 0.2,
+	}
+}
+
+// TestCompareScaleOutInvariant: the intra-report check needs no
+// comparable baseline host — a machines=4 row far slower than its own
+// machines=1 sibling fails even when absolute time comparisons are all
+// skipped for lack of procs.
+func TestCompareScaleOutInvariant(t *testing.T) {
+	base := report(1,
+		rowM("e12-pipeline/machines=1", 1, 2, 1000),
+		rowM("e12-pipeline/machines=4", 4, 8, 1000))
+	healthy := report(2,
+		rowM("e12-pipeline/machines=1", 1, 2, 1000),
+		rowM("e12-pipeline/machines=4", 4, 8, 1200)) // 1.2×: fine
+	fs, err := Compare(base, healthy, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := find(t, fs, "e12-pipeline/machines=4", "wall-vs-machines=1"); f.Verdict != OK {
+		t.Errorf("healthy scale-out verdict = %s, want ok", f.Verdict)
+	}
+	lockstep := report(2,
+		rowM("e12-pipeline/machines=1", 1, 2, 1000),
+		rowM("e12-pipeline/machines=4", 4, 8, 2500)) // 2.5×: link layer broke
+	fs, err = Compare(base, lockstep, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := find(t, fs, "e12-pipeline/machines=4", "wall-vs-machines=1")
+	if f.Verdict != Regressed || !f.Failed() {
+		t.Errorf("lockstep scale-out verdict = %s, want REGRESSED", f.Verdict)
+	}
+}
+
+func TestCompareConfigDriftFails(t *testing.T) {
+	base := report(8, row("a", 4, 1000, 0.2))
+	cheaper := report(8, row("a", 1, 100, 0.1)) // workload re-parameterized
+	fs, err := Compare(base, cheaper, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := find(t, fs, "a", "-")
+	if f.Verdict != ConfigChanged || !f.Failed() {
+		t.Errorf("config drift verdict = %s, want CONFIG-CHANGED failure", f.Verdict)
+	}
+
+	// A changed workload *shape* (same workers/grain/phases, fewer
+	// executions — e.g. a shallower graph) must also trip the gate:
+	// workloads are deterministic, so execution counts only move when
+	// the workload itself does.
+	br := row("b", 1, 1000, 0.2)
+	br.Executions = 4800
+	cr := br
+	cr.Executions = 2400
+	fs, err = Compare(report(8, br), report(8, cr), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := find(t, fs, "b", "-"); f.Verdict != ConfigChanged {
+		t.Errorf("shape drift verdict = %s, want CONFIG-CHANGED", f.Verdict)
+	}
+}
+
+func TestCompareQuickMismatchRejected(t *testing.T) {
+	base := report(8, row("a", 1, 1000, 0.2))
+	cur := report(8, row("a", 1, 1000, 0.2))
+	cur.Quick = false
+	if _, err := Compare(base, cur, DefaultOptions()); err == nil {
+		t.Error("quick/full report mismatch accepted")
+	}
+}

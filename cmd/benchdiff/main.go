@@ -1,0 +1,132 @@
+// Command benchdiff is the CI bench-regression gate: it compares a
+// fresh fusebench report against the checked-in baseline and exits
+// non-zero when a tracked metric (ns/exec or allocs/exec) regresses
+// past its threshold, or when a tracked row disappears.
+//
+// Usage:
+//
+//	benchdiff [flags] BENCH_BASELINE.json BENCH.json
+//	benchdiff -update BENCH_BASELINE.json BENCH.json   # adopt current as baseline
+//
+// Time comparisons are skipped for rows needing more parallelism than
+// either host had (workers > GOMAXPROCS), so a laptop-recorded baseline
+// stays usable on small CI runners; allocation comparisons always run.
+// Regenerate the baseline (same -quick setting!) after an intentional
+// perf change:
+//
+//	go run ./cmd/fusebench -json BENCH.json -quick
+//	go run ./cmd/benchdiff -update BENCH_BASELINE.json BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	o := DefaultOptions()
+	flag.Float64Var(&o.TimeFactor, "time-factor", o.TimeFactor,
+		"fail when ns/exec exceeds baseline × this factor")
+	flag.Float64Var(&o.AllocFactor, "alloc-factor", o.AllocFactor,
+		"fail when allocs/exec exceeds baseline × this factor + alloc-slack")
+	flag.Float64Var(&o.AllocSlack, "alloc-slack", o.AllocSlack,
+		"additive allocs/exec headroom over the scaled baseline")
+	flag.Float64Var(&o.ScaleOutFactor, "scaleout-factor", o.ScaleOutFactor,
+		"fail when a machines=N row's wall time exceeds its machines=1 row × this factor (same report)")
+	update := flag.Bool("update", false,
+		"overwrite the baseline with the current report instead of comparing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] BENCH_BASELINE.json BENCH.json")
+		os.Exit(2)
+	}
+	basePath, curPath := flag.Arg(0), flag.Arg(1)
+
+	if *update {
+		if err := copyFile(curPath, basePath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline %s updated from %s\n", basePath, curPath)
+		return
+	}
+
+	base, err := readReport(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := readReport(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	findings, err := Compare(base, cur, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("bench gate: %s (procs=%d) vs %s (procs=%d)",
+			basePath, base.GoMaxProcs, curPath, cur.GoMaxProcs),
+		"workload", "metric", "baseline", "current", "limit", "verdict")
+	failed := false
+	for _, f := range findings {
+		if f.Failed() {
+			failed = true
+		}
+		if f.Metric == "-" {
+			tb.AddStrings(f.Row, "-", "-", "-", "-", string(f.Verdict))
+			continue
+		}
+		tb.AddStrings(f.Row, f.Metric,
+			fmt.Sprintf("%.3g", f.Base), fmt.Sprintf("%.3g", f.Current),
+			fmt.Sprintf("%.3g", f.Limit), string(f.Verdict))
+	}
+	tb.Fprint(os.Stdout)
+	if failed {
+		fmt.Println("\nFAIL: tracked bench metric regressed past threshold (see REGRESSED/MISSING rows).")
+		fmt.Println("If the change is intentional, regenerate the baseline: go run ./cmd/benchdiff -update", basePath, curPath)
+		os.Exit(1)
+	}
+	fmt.Println("\nok: no tracked metric regressed")
+}
+
+func readReport(path string) (experiments.BenchReport, error) {
+	var rep experiments.BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Workloads) == 0 {
+		return rep, fmt.Errorf("%s: no workloads in report", path)
+	}
+	return rep, nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

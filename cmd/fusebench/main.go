@@ -1,7 +1,7 @@
 // Command fusebench regenerates the experiment tables DESIGN.md §4
 // indexes: the paper's §4 measurement and prediction, the §1
 // sparse-event comparison, the Figure 1 pipelining measurement, and the
-// extensions and ablations (E8-E11).
+// extensions and ablations (E8-E12).
 //
 // Usage:
 //
@@ -9,6 +9,9 @@
 //	fusebench -exp e1 -quick      # one table at reduced size
 //	fusebench -list               # available experiment ids
 //	fusebench -json BENCH.json    # machine-readable bench report only
+//
+// The -json report is the input to cmd/benchdiff, which gates CI on
+// regressions against the checked-in BENCH_BASELINE.json.
 package main
 
 import (
@@ -21,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10, e11, e12 or all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "write a machine-readable bench report (ns/op, lock wait, queue depth per workload) to this path and exit")

@@ -1,0 +1,147 @@
+// Pipeline: a partitioned multi-machine deployment (§6 of the paper).
+//
+// A wide-area grid-monitoring computation — four regional feeds, each
+// smoothed and screened for anomalies, fused into a national alert —
+// is partitioned across three simulated machines by the cost-aware
+// planner and run as a true multi-engine pipeline: each machine owns an
+// independent engine (its own lock, run queue and worker pool), joined
+// only by bounded backpressured links. The run is serializable end to
+// end, so the partitioned deployment fires alerts at exactly the same
+// phases as a single machine holding the whole graph.
+//
+// Run: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/event"
+	"repro/internal/graph"
+	"repro/internal/module"
+)
+
+const regions = 4
+
+// build constructs the monitoring graph with fresh modules (modules are
+// stateful and single-use) and returns the numbered graph, its modules
+// in numbered order, per-vertex planner costs and the alert sink.
+func build() (*graph.Numbered, []core.Module, []float64, *module.AlertSink) {
+	g := graph.New()
+	type pending struct {
+		id   int
+		mod  core.Module
+		cost float64
+	}
+	var vertices []pending
+	add := func(name string, mod core.Module, cost float64) int {
+		id := g.AddVertex(name)
+		vertices = append(vertices, pending{id, mod, cost})
+		return id
+	}
+
+	// Fusion counts regions currently in anomaly; Δ-inputs arrive only
+	// on transitions, so it keeps the latest state per region.
+	state := make([]bool, regions)
+	fusion := core.StepFunc(func(ctx *core.Context) {
+		if ctx.InCount() == 0 {
+			return
+		}
+		for p := 0; p < ctx.Ports(); p++ {
+			if v, ok := ctx.In(p); ok {
+				state[p] = v.Bool(false)
+			}
+		}
+		n := 0
+		for _, s := range state {
+			if s {
+				n++
+			}
+		}
+		ctx.EmitAll(event.Float(float64(n)))
+	})
+	fuse := add("national-fusion", fusion, 2)
+	alarm := add("multi-region-alarm", &module.Threshold{Level: 1.5}, 1)
+	alerts := &module.AlertSink{}
+	sink := add("alerts", alerts, 1)
+	g.MustEdge(fuse, alarm)
+	g.MustEdge(alarm, sink)
+
+	for r := 0; r < regions; r++ {
+		// Analytics dominate the cost estimate: the planner should pack
+		// sources together and spread the detectors.
+		feed := add(fmt.Sprintf("region%d/feed", r),
+			&module.RandomWalk{Seed: uint64(0xFEED + r), Drift: 1.0}, 1)
+		smooth := add(fmt.Sprintf("region%d/smoother", r), module.NewSmoother(0.25), 2)
+		detect := add(fmt.Sprintf("region%d/zscore", r), module.NewZScoreDetector(48, 2.5, 48), 4)
+		g.MustEdge(feed, smooth)
+		g.MustEdge(smooth, detect)
+		g.MustEdge(detect, fuse)
+	}
+
+	ng, err := g.Number()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mods := make([]core.Module, ng.N())
+	costs := make([]float64, ng.N())
+	for _, p := range vertices {
+		mods[ng.IndexOf(p.id)-1] = p.mod
+		costs[ng.IndexOf(p.id)-1] = p.cost
+	}
+	return ng, mods, costs, alerts
+}
+
+func main() {
+	const phases = 720
+
+	run := func(machines int) (distrib.Stats, *module.AlertSink) {
+		ng, mods, costs, alerts := build()
+		st, err := distrib.Run(ng, mods, make([][]core.ExtInput, phases), distrib.Config{
+			Machines: machines, WorkersPerMachine: 2,
+			MaxInFlight: 16, Buffer: 8,
+			Planner: distrib.CostAware{}, Costs: costs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st, alerts
+	}
+
+	single, refAlerts := run(1)
+	st, alerts := run(3)
+
+	fmt.Printf("partitioned %d vertices over 3 machines (%s planner)\n",
+		regions*3+3, st.Planner)
+	ng, _, costs, _ := build()
+	loads := graph.StageLoads(st.Starts, costs)
+	for m := range st.Starts {
+		end := ng.N()
+		if m+1 < len(st.Starts) {
+			end = st.Starts[m+1] - 1
+		}
+		fmt.Printf("  machine %d: vertices %d..%d  est. load %.0f  executions %d\n",
+			m, st.Starts[m], end, loads[m], st.PerMachine[m].Executions)
+	}
+	fmt.Printf("cut edges: %d   cross-machine values: %d\n", st.CrossEdges, st.CrossMessages)
+	for _, ls := range st.Links {
+		fmt.Printf("  link %d->%d: %d frames, %d values, blocked %v\n",
+			ls.From, ls.To, ls.Frames, ls.Values, ls.Blocked)
+	}
+	fmt.Printf("wall: 1 machine %v, 3 machines %v\n", single.Wall, st.Wall)
+
+	fmt.Printf("multi-region alerts at phases: %v\n", alerts.Alerts)
+	if len(alerts.Alerts) != len(refAlerts.Alerts) {
+		log.Fatalf("partitioned run fired %d alerts, single machine %d — serializability broken",
+			len(alerts.Alerts), len(refAlerts.Alerts))
+	}
+	for i := range alerts.Alerts {
+		if alerts.Alerts[i] != refAlerts.Alerts[i] {
+			log.Fatalf("alert %d at phase %d, single machine at %d — serializability broken",
+				i, alerts.Alerts[i], refAlerts.Alerts[i])
+		}
+	}
+	fmt.Println("alert history identical to the single-machine run ✓")
+}

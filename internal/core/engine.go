@@ -760,23 +760,51 @@ func (e *Engine) Stop() {
 	}
 }
 
+// FeedFunc supplies the external inputs for phase p (1-based). RunFeed
+// calls it once per phase in ascending order, after the MaxInFlight
+// window has opened for that phase; it may block (e.g. on a cross-
+// machine link) and its error aborts the run.
+type FeedFunc func(p int) ([]ExtInput, error)
+
+// RunFeed starts the engine and opens `phases` phases, pulling each
+// phase's external inputs from feed under MaxInFlight flow control,
+// then drains and stops. onStarted, when non-nil, is invoked after each
+// successful StartPhase with the phase number — a partitioned machine's
+// egress loop uses it to learn which phases will complete and must be
+// shipped downstream (internal/distrib). On a feed or StartPhase error
+// the engine is stopped — already-started phases complete — and the
+// stats accumulated so far are returned with the error.
+func (e *Engine) RunFeed(phases int, feed FeedFunc, onStarted func(p int)) (Stats, error) {
+	e.Start()
+	for p := 1; p <= phases; p++ {
+		if w := p - e.cfg.MaxInFlight; w >= 1 {
+			e.WaitPhase(w)
+		}
+		ext, err := feed(p)
+		if err != nil {
+			e.Stop()
+			return e.Stats(), err
+		}
+		if _, err := e.StartPhase(ext); err != nil {
+			e.Stop()
+			return e.Stats(), err
+		}
+		if onStarted != nil {
+			onStarted(p)
+		}
+	}
+	e.Stop()
+	return e.Stats(), nil
+}
+
 // Run starts the engine, feeds it the given per-phase external input
 // batches with MaxInFlight flow control, drains and stops. It returns
 // the engine stats. Run is the whole-computation convenience wrapper
 // used by examples, experiments and the sequential-equivalence tests.
 func (e *Engine) Run(batches [][]ExtInput) (Stats, error) {
-	e.Start()
-	for i, b := range batches {
-		p := i + 1
-		if w := p - e.cfg.MaxInFlight; w >= 1 {
-			e.WaitPhase(w)
-		}
-		if _, err := e.StartPhase(b); err != nil {
-			return Stats{}, err
-		}
-	}
-	e.Stop()
-	return e.Stats(), nil
+	return e.RunFeed(len(batches), func(p int) ([]ExtInput, error) {
+		return batches[p-1], nil
+	}, nil)
 }
 
 // Stats returns a snapshot of the engine counters.

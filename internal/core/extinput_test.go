@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/baseline"
@@ -108,6 +109,81 @@ func TestHugeFanInOut(t *testing.T) {
 		if !sameLogs(seqRecs[v-1].log, parRecs[v-1].log) {
 			t.Fatalf("vertex %d diverged on wide graph", v)
 		}
+	}
+}
+
+// TestRunFeed: the pull-based run loop (the distrib link hook) matches
+// a batch-driven Run, reports phase starts in order, and aborts cleanly
+// on a feed error with the already-started phases completed.
+func TestRunFeed(t *testing.T) {
+	ng, _ := graph.Chain(3).Number()
+	mk := func() ([]core.Module, *int) {
+		var relayed int
+		mods := []core.Module{
+			core.StepFunc(func(ctx *core.Context) {
+				if v, ok := ctx.In(0); ok {
+					ctx.EmitAll(v)
+				}
+			}),
+			core.StepFunc(func(ctx *core.Context) {
+				if v, ok := ctx.FirstIn(); ok {
+					ctx.EmitAll(v)
+				}
+			}),
+			core.StepFunc(func(ctx *core.Context) {
+				if _, ok := ctx.FirstIn(); ok {
+					relayed++
+				}
+			}),
+		}
+		return mods, &relayed
+	}
+
+	mods, relayed := mk()
+	e, err := core.New(ng, mods, core.Config{Workers: 2, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started []int
+	st, err := e.RunFeed(10, func(p int) ([]core.ExtInput, error) {
+		if p%2 == 0 { // silent even phases
+			return nil, nil
+		}
+		return []core.ExtInput{{Vertex: 1, Port: 0, Val: event.Int(int64(p))}}, nil
+	}, func(p int) { started = append(started, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PhasesCompleted != 10 || *relayed != 5 {
+		t.Errorf("completed %d phases, relayed %d values", st.PhasesCompleted, *relayed)
+	}
+	if len(started) != 10 {
+		t.Fatalf("onStarted fired %d times", len(started))
+	}
+	for i, p := range started {
+		if p != i+1 {
+			t.Fatalf("onStarted order %v", started)
+		}
+	}
+
+	// Feed error at phase 4: three phases complete, error propagates.
+	mods, relayed = mk()
+	e, err = core.New(ng, mods, core.Config{Workers: 2, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedErr := fmt.Errorf("upstream gone")
+	st, err = e.RunFeed(10, func(p int) ([]core.ExtInput, error) {
+		if p == 4 {
+			return nil, feedErr
+		}
+		return []core.ExtInput{{Vertex: 1, Port: 0, Val: event.Int(int64(p))}}, nil
+	}, nil)
+	if err != feedErr {
+		t.Fatalf("err = %v, want feed error", err)
+	}
+	if st.PhasesCompleted != 3 || *relayed != 3 {
+		t.Errorf("after abort: %d phases, %d relayed", st.PhasesCompleted, *relayed)
 	}
 }
 

@@ -3,19 +3,25 @@
 // partitioning the computation graph across multiple machines and
 // replication of event streams to multiple distinct computation graphs."
 //
-// Machines are simulated as independent engine instances — each with its
-// own global lock, run queue and worker pool, so nothing is shared but
-// the explicit message channels between them (the honest stand-in for a
-// network: see DESIGN.md substitutions).
+// Machines are simulated as independent engine instances — each with
+// its own global lock, run queue and worker pool, so nothing is shared
+// but the explicit bounded links between them (the honest stand-in for
+// a network: see DESIGN.md §2 and §6).
 //
-// Partitioning is by contiguous vertex-index ranges, which is pipeline
-// partitioning: because the numbering is topological, every cross-
-// partition edge points from a lower machine to a higher one. Each
-// outgoing cross edge gets a portal sink on the producing machine, and
-// each incoming cross edge a bridge source on the consuming machine;
-// machine j starts phase p only after every upstream machine has
-// finished phase p and forwarded its portal outputs, preserving the
-// "all inputs known" invariant and hence serializability end to end.
+// Partitioning is by contiguous vertex-index ranges chosen by a
+// Planner (cost-aware by default, blind equal-count as the reference):
+// because the numbering is topological, every cross-partition edge
+// points from a lower machine to a higher one. Each outgoing cross edge
+// gets a portal sink on the producing machine and a bridge source on
+// the consuming machine; machine j starts phase p only after every
+// upstream machine has shipped its phase-p frame, preserving the "all
+// inputs known" invariant and hence serializability end to end. Within
+// that constraint the machines run freely: each machine's ingress pulls
+// frames and opens phases under its own MaxInFlight window while its
+// egress ships completed phases downstream, so different machines are
+// concurrently executing different phases — the pipeline runs across
+// the cut, with link buffers and a ship window bounding how far any
+// machine can run ahead of its consumers.
 package distrib
 
 import (
@@ -34,32 +40,49 @@ type Config struct {
 	Machines int
 	// WorkersPerMachine is each machine's compute-thread count.
 	WorkersPerMachine int
-	// MaxInFlight bounds each machine's open-phase window.
+	// MaxInFlight bounds each machine's open-phase window and how many
+	// completed-but-unshipped phases it may accumulate. Defaults to 64.
 	MaxInFlight int
-	// Buffer is the per-link channel depth (cross-machine pipelining
+	// Buffer is the per-link frame depth (cross-machine pipelining
 	// slack). Defaults to 8.
 	Buffer int
+	// Planner chooses the stage boundaries. Defaults to CostAware{}.
+	Planner Planner
+	// Costs[v-1] estimates vertex v's per-phase work for the planner.
+	// Defaults to uniform costs.
+	Costs []float64
+	// MeasureContention enables each machine engine's lock-wait
+	// instrumentation (core.Config.MeasureContention), surfaced through
+	// Stats.PerMachine.
+	MeasureContention bool
 }
 
 // Stats aggregates a partitioned run.
 type Stats struct {
 	// PerMachine holds each machine's engine stats.
 	PerMachine []core.Stats
+	// Links snapshots every cross-machine link, in creation order.
+	Links []LinkStats
 	// CrossMessages counts values forwarded across machine boundaries.
 	CrossMessages int64
 	// CrossEdges is the number of graph edges cut by the partition.
 	CrossEdges int
+	// Starts is the partition the planner chose (per-machine inclusive
+	// start indices into the global numbering).
+	Starts []int
+	// Planner names the planner that produced Starts.
+	Planner string
 	// Wall is the end-to-end wall-clock time of Run.
 	Wall time.Duration
 }
 
 // portal is the sink standing in for a cross-partition edge on the
 // producing machine: it buffers the value emitted for each phase until
-// the forwarder ships it. WaitPhase(p) guarantees the phase-p entry is
-// final before the forwarder takes it, but Steps for later phases can
-// still be writing, so the buffer carries its own lock.
+// the egress loop ships it. WaitPhase(p) guarantees the phase-p entry
+// is final before egress takes it, but Steps for later phases can still
+// be writing, so the buffer carries its own lock.
 type portal struct {
-	mu  sync.Mutex // Step (phase q) can run while the forwarder reads phase p < q
+	mu  sync.Mutex // Step (phase q) can run while egress reads phase p < q
 	buf map[int]event.Value
 }
 
@@ -83,34 +106,15 @@ func (p *portal) take(phase int) (event.Value, bool) {
 }
 
 // bridge is the source standing in for a cross-partition edge on the
-// consuming machine: it relays the value the environment delivered from
-// the upstream portal, preserving silence when the upstream vertex
-// emitted nothing that phase.
+// consuming machine: it relays the value the link delivered from the
+// upstream portal, preserving silence when the upstream vertex emitted
+// nothing that phase.
 type bridge struct{}
 
 func (b bridge) Step(ctx *core.Context) {
 	if v, ok := ctx.FirstIn(); ok {
 		ctx.EmitAll(v)
 	}
-}
-
-// machine is one simulated multiprocessor.
-type machine struct {
-	idx     int
-	eng     *core.Engine
-	ng      *graph.Numbered
-	localOf map[int]int // global vertex index -> local index (real vertices)
-	// portals on this machine: one per outgoing cross edge.
-	portals []*portalRoute
-	// inLinks[i] is the channel from upstream machine i (nil when no
-	// edges from i).
-	inLinks []chan []core.ExtInput
-	// upstream lists machine indices with edges into this machine.
-	upstream []int
-	// outLinks[j] is the channel to downstream machine j.
-	outLinks map[int]chan []core.ExtInput
-	// routesTo[j] lists the portals forwarding to machine j.
-	routesTo map[int][]*portalRoute
 }
 
 // portalRoute ties a portal module to its destination bridge.
@@ -120,42 +124,96 @@ type portalRoute struct {
 	bridgeVertex int // local index of the bridge on the target machine
 }
 
-// Partition splits the numbered graph into cfg.Machines contiguous index
-// ranges and returns the per-machine boundaries (inclusive starts). It
-// is exported for tests and for reporting which vertices land where.
-func Partition(n, machines int) ([]int, error) {
-	if machines < 1 {
-		return nil, fmt.Errorf("distrib: %d machines", machines)
-	}
-	if machines > n {
-		return nil, fmt.Errorf("distrib: %d machines for %d vertices", machines, n)
-	}
-	starts := make([]int, machines)
-	base, rem := n/machines, n%machines
-	at := 1
-	for m := 0; m < machines; m++ {
-		starts[m] = at
-		at += base
-		if m < rem {
-			at++
+// machine is one simulated multiprocessor: an engine over its slice of
+// the graph plus the link plumbing that couples it to its neighbors.
+type machine struct {
+	idx     int
+	eng     *core.Engine
+	ng      *graph.Numbered
+	localOf map[int]int // global vertex index -> local index (real vertices)
+	// inLinks[i] is the link from upstream machine i (nil when no edges
+	// from i); upstream lists the non-nil indices ascending.
+	inLinks  []*Link
+	upstream []int
+	// outLinks[j] is the link to downstream machine j; routesTo[j]
+	// lists the portals whose values ride it.
+	outLinks map[int]*Link
+	routesTo map[int][]*portalRoute
+	// ext[p-1] is the machine's share of the global external inputs.
+	ext [][]core.ExtInput
+}
+
+// ingress drives the machine's engine: for each phase it takes a ship
+// token, receives one frame from every upstream link, merges in the
+// local external inputs and opens the phase. Ship tokens (returned by
+// egress) bound completed-but-unshipped phases so portal buffers cannot
+// grow without bound when a downstream machine is slow — backpressure
+// propagates link by link all the way to the head of the pipeline.
+//
+// An error is reported through fail *before* the started channel
+// closes: the close is what lets egress shut the outbound links and
+// cascade the failure downstream, so reporting first guarantees the
+// root-cause error wins the first-error slot over the derived
+// "upstream closed" errors it triggers.
+func (mc *machine) ingress(phases int, tokens chan struct{}, started chan<- int, fail func(error)) core.Stats {
+	defer close(started)
+	st, err := mc.eng.RunFeed(phases, func(p int) ([]core.ExtInput, error) {
+		<-tokens
+		ext := mc.ext[p-1]
+		for _, up := range mc.upstream {
+			f, ok := mc.inLinks[up].Recv()
+			if !ok {
+				return nil, fmt.Errorf("distrib: machine %d: upstream %d closed before phase %d", mc.idx, up, p)
+			}
+			if f.Phase != p {
+				return nil, fmt.Errorf("distrib: machine %d: frame for phase %d while starting %d", mc.idx, f.Phase, p)
+			}
+			ext = append(ext, f.Inputs...)
+		}
+		return ext, nil
+	}, func(p int) { started <- p })
+	if err != nil {
+		fail(err)
+		// Abandon the inbound links so upstream egress loops can never
+		// wedge against a buffer nobody reads; they observe our egress
+		// closing its links and cascade the shutdown.
+		for _, up := range mc.upstream {
+			go mc.inLinks[up].DrainDiscard()
 		}
 	}
-	return starts, nil
+	return st
 }
 
-// machineOf returns which partition a global index belongs to.
-func machineOf(starts []int, v int) int {
-	m := 0
-	for m+1 < len(starts) && v >= starts[m+1] {
-		m++
+// egress ships every started phase downstream as soon as the engine
+// completes it, then closes the machine's outbound links and returns
+// each phase's ship token.
+func (mc *machine) egress(tokens chan<- struct{}, started <-chan int) {
+	defer func() {
+		for _, l := range mc.outLinks {
+			l.Close()
+		}
+	}()
+	for p := range started {
+		mc.eng.WaitPhase(p)
+		for dst, routes := range mc.routesTo {
+			f := Frame{Phase: p, Inputs: make([]core.ExtInput, 0, len(routes))}
+			for _, r := range routes {
+				if v, ok := r.p.take(p); ok {
+					f.Inputs = append(f.Inputs, core.ExtInput{Vertex: r.bridgeVertex, Port: 0, Val: v})
+				}
+			}
+			mc.outLinks[dst].Send(f)
+		}
+		tokens <- struct{}{}
 	}
-	return m
 }
 
-// Run executes the computation partitioned across simulated machines and
-// returns aggregate stats. mods[v-1] is the module for global vertex v,
-// exactly as for core.New; batches are the per-phase external inputs in
-// global vertex indices.
+// Run executes the computation partitioned across simulated machines
+// and returns aggregate stats. mods[v-1] is the module for global
+// vertex v, exactly as for core.New; batches are the per-phase external
+// inputs in global vertex indices. The run is bit-identical to
+// baseline.Sequential over the same graph and modules (pinned by the
+// equivalence tests), for every planner.
 func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config) (Stats, error) {
 	t0 := time.Now()
 	if len(mods) != g.N() {
@@ -167,13 +225,91 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 8
 	}
-	starts, err := Partition(g.N(), cfg.Machines)
+	planner := cfg.Planner
+	if planner == nil {
+		planner = CostAware{}
+	}
+	costs := cfg.Costs
+	if costs == nil {
+		costs = graph.UniformCosts(g.N())
+	} else if len(costs) != g.N() {
+		return Stats{}, fmt.Errorf("distrib: %d costs for %d vertices", len(costs), g.N())
+	}
+	starts, err := planner.Plan(g, costs, cfg.Machines)
 	if err != nil {
 		return Stats{}, err
 	}
-	M := cfg.Machines
+	if len(starts) != cfg.Machines {
+		return Stats{}, fmt.Errorf("distrib: planner %s returned %d stages for %d machines", planner.Name(), len(starts), cfg.Machines)
+	}
+	if err := graph.ValidateStarts(g.N(), starts); err != nil {
+		return Stats{}, fmt.Errorf("distrib: planner %s: %w", planner.Name(), err)
+	}
+	machines, links, crossEdges, err := assemble(g, mods, starts, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	splitExternal(machines, starts, batches)
 
-	// First pass: build per-machine construction graphs.
+	// Drive every machine: ingress opens phases, egress ships them.
+	phases := len(batches)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, mc := range machines {
+		mc := mc
+		window := cfg.MaxInFlight
+		if window <= 0 {
+			window = 64
+		}
+		tokens := make(chan struct{}, window)
+		for i := 0; i < window; i++ {
+			tokens <- struct{}{}
+		}
+		started := make(chan int, phases)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			mc.finalStats = mc.ingress(phases, tokens, started, fail)
+		}()
+		go func() {
+			defer wg.Done()
+			mc.egress(tokens, started)
+		}()
+	}
+	wg.Wait()
+
+	st := Stats{
+		CrossEdges: crossEdges,
+		Starts:     starts,
+		Planner:    planner.Name(),
+	}
+	for _, mc := range machines {
+		st.PerMachine = append(st.PerMachine, mc.finalStats)
+	}
+	for _, l := range links {
+		ls := l.Stats()
+		st.Links = append(st.Links, ls)
+		st.CrossMessages += ls.Values
+	}
+	st.Wall = time.Since(t0)
+	if firstErr != nil {
+		return st, firstErr
+	}
+	return st, nil
+}
+
+// assemble builds the per-machine subgraphs, engines, portals, bridges
+// and links for the given partition.
+func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) ([]*machineState, []*Link, int, error) {
+	M := len(starts)
 	type build struct {
 		g    *graph.Graph
 		mods []core.Module
@@ -183,10 +319,9 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 	for m := range builds {
 		builds[m] = &build{g: graph.New(), ids: make(map[int]int)}
 	}
-	crossEdges := 0
 	// Real vertices.
 	for v := 1; v <= g.N(); v++ {
-		m := machineOf(starts, v)
+		m := graph.PartitionOf(starts, v)
 		id := builds[m].g.AddVertex(fmt.Sprintf("g%d", v))
 		builds[m].ids[v] = id
 		builds[m].mods = append(builds[m].mods, mods[v-1])
@@ -199,10 +334,11 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 		bridgeID    int // construction id of bridge on target machine
 	}
 	var crosses []*crossRef
+	crossEdges := 0
 	for v := 1; v <= g.N(); v++ {
-		mv := machineOf(starts, v)
+		mv := graph.PartitionOf(starts, v)
 		for _, w := range g.Succ(v) {
-			mw := machineOf(starts, w)
+			mw := graph.PartitionOf(starts, w)
 			if mv == mw {
 				builds[mv].g.MustEdge(builds[mv].ids[v], builds[mv].ids[w])
 				continue
@@ -220,40 +356,40 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 			crosses = append(crosses, &crossRef{fromMachine: mv, portal: pm, toMachine: mw, bridgeID: bid})
 		}
 	}
-
-	// Second pass: number subgraphs, create engines and wire links.
-	machines := make([]*machine, M)
+	// Number subgraphs, create engines, wire links.
+	machines := make([]*machineState, M)
 	for m := 0; m < M; m++ {
 		ng, err := builds[m].g.Number()
 		if err != nil {
-			return Stats{}, fmt.Errorf("distrib: machine %d: %w", m, err)
+			return nil, nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)
 		}
-		// modules must be reordered to numbered indices
 		ordered := make([]core.Module, ng.N())
 		for id, mod := range builds[m].mods {
 			ordered[ng.IndexOf(id)-1] = mod
 		}
 		eng, err := core.New(ng, ordered, core.Config{
-			Workers:     cfg.WorkersPerMachine,
-			MaxInFlight: cfg.MaxInFlight,
+			Workers:           cfg.WorkersPerMachine,
+			MaxInFlight:       cfg.MaxInFlight,
+			MeasureContention: cfg.MeasureContention,
 		})
 		if err != nil {
-			return Stats{}, fmt.Errorf("distrib: machine %d: %w", m, err)
+			return nil, nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)
 		}
 		localOf := make(map[int]int)
 		for v, id := range builds[m].ids {
 			localOf[v] = ng.IndexOf(id)
 		}
-		machines[m] = &machine{
+		machines[m] = &machineState{machine: machine{
 			idx:      m,
 			eng:      eng,
 			ng:       ng,
 			localOf:  localOf,
-			inLinks:  make([]chan []core.ExtInput, M),
-			outLinks: make(map[int]chan []core.ExtInput),
+			inLinks:  make([]*Link, M),
+			outLinks: make(map[int]*Link),
 			routesTo: make(map[int][]*portalRoute),
-		}
+		}}
 	}
+	var links []*Link
 	for _, c := range crosses {
 		src, dst := machines[c.fromMachine], machines[c.toMachine]
 		route := &portalRoute{
@@ -261,109 +397,36 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 			toMachine:    c.toMachine,
 			bridgeVertex: dst.ng.IndexOf(c.bridgeID),
 		}
-		src.portals = append(src.portals, route)
 		src.routesTo[c.toMachine] = append(src.routesTo[c.toMachine], route)
 		if src.outLinks[c.toMachine] == nil {
-			ch := make(chan []core.ExtInput, cfg.Buffer)
-			src.outLinks[c.toMachine] = ch
-			dst.inLinks[c.fromMachine] = ch
+			l := newLink(c.fromMachine, c.toMachine, cfg.Buffer)
+			links = append(links, l)
+			src.outLinks[c.toMachine] = l
+			dst.inLinks[c.fromMachine] = l
 			dst.upstream = append(dst.upstream, c.fromMachine)
 		}
 	}
+	return machines, links, crossEdges, nil
+}
 
-	// Pre-split global external inputs by machine (sources are real
-	// vertices; bridges receive only forwarded values).
-	phases := len(batches)
-	extFor := make([][][]core.ExtInput, M)
-	for m := range extFor {
-		extFor[m] = make([][]core.ExtInput, phases)
+// machineState couples a machine with the stats its ingress goroutine
+// reports back.
+type machineState struct {
+	machine
+	finalStats core.Stats
+}
+
+// splitExternal pre-splits the global external inputs by owning machine
+// (sources are real vertices; bridges receive only link frames).
+func splitExternal(machines []*machineState, starts []int, batches [][]core.ExtInput) {
+	for m := range machines {
+		machines[m].ext = make([][]core.ExtInput, len(batches))
 	}
 	for p, batch := range batches {
 		for _, x := range batch {
-			m := machineOf(starts, x.Vertex)
+			m := graph.PartitionOf(starts, x.Vertex)
 			lv := machines[m].localOf[x.Vertex]
-			extFor[m][p] = append(extFor[m][p], core.ExtInput{Vertex: lv, Port: x.Port, Val: x.Val})
+			machines[m].ext[p] = append(machines[m].ext[p], core.ExtInput{Vertex: lv, Port: x.Port, Val: x.Val})
 		}
 	}
-
-	// Drivers: per machine, a starter goroutine (receives upstream
-	// deliveries, starts phases) and a forwarder goroutine (waits for
-	// phase completion, ships portal outputs downstream).
-	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	crossCounts := make([]int64, M) // written by forwarder m, read after Wait
-	for _, mc := range machines {
-		mc.eng.Start()
-		cnt := &crossCounts[mc.idx]
-
-		wg.Add(2)
-		go func(mc *machine) { // starter
-			defer wg.Done()
-			inFlight := cfg.MaxInFlight
-			if inFlight <= 0 {
-				inFlight = 64
-			}
-			for p := 1; p <= phases; p++ {
-				if w := p - inFlight; w >= 1 {
-					mc.eng.WaitPhase(w)
-				}
-				ext := extFor[mc.idx][p-1]
-				for _, up := range mc.upstream {
-					batch, ok := <-mc.inLinks[up]
-					if !ok {
-						fail(fmt.Errorf("distrib: machine %d: upstream %d closed early", mc.idx, up))
-						return
-					}
-					ext = append(ext, batch...)
-				}
-				if _, err := mc.eng.StartPhase(ext); err != nil {
-					fail(fmt.Errorf("distrib: machine %d: %w", mc.idx, err))
-					return
-				}
-			}
-		}(mc)
-		go func(mc *machine, cnt *int64) { // forwarder
-			defer wg.Done()
-			defer func() {
-				for _, ch := range mc.outLinks {
-					close(ch)
-				}
-			}()
-			for p := 1; p <= phases; p++ {
-				mc.eng.WaitPhase(p)
-				for dst, routes := range mc.routesTo {
-					batch := make([]core.ExtInput, 0, len(routes))
-					for _, r := range routes {
-						if v, ok := r.p.take(p); ok {
-							batch = append(batch, core.ExtInput{Vertex: r.bridgeVertex, Port: 0, Val: v})
-							*cnt++
-						}
-					}
-					mc.outLinks[dst] <- batch
-				}
-			}
-		}(mc, cnt)
-	}
-	wg.Wait()
-	st := Stats{CrossEdges: crossEdges}
-	for _, mc := range machines {
-		mc.eng.Stop()
-		st.PerMachine = append(st.PerMachine, mc.eng.Stats())
-	}
-	for _, c := range crossCounts {
-		st.CrossMessages += c
-	}
-	st.Wall = time.Since(t0)
-	if firstErr != nil {
-		return st, firstErr
-	}
-	return st, nil
 }

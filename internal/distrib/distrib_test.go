@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"math"
 	"math/rand/v2"
 	"sort"
 	"sync"
@@ -12,36 +13,174 @@ import (
 	"repro/internal/graph"
 )
 
-func TestPartitionBoundaries(t *testing.T) {
-	starts, err := Partition(10, 3)
-	if err != nil {
-		t.Fatal(err)
+// TestPartitionEdgeCases pins the documented domain of the reference
+// splitter: every boundary condition either partitions cleanly or
+// errors, never silently misassigns.
+func TestPartitionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		n, machines int
+		want        []int // nil means error expected
+	}{
+		{"even split", 10, 2, []int{1, 6}},
+		{"uneven split", 10, 3, []int{1, 5, 8}},
+		{"single machine", 5, 1, []int{1}},
+		{"one vertex one machine", 1, 1, []int{1}},
+		{"machines == n", 4, 4, []int{1, 2, 3, 4}},
+		{"machines > n", 2, 3, nil},
+		{"zero machines", 5, 0, nil},
+		{"negative machines", 5, -2, nil},
+		{"empty graph", 0, 1, nil},
+		{"empty graph many machines", 0, 4, nil},
 	}
-	// 10 over 3 → sizes 4,3,3 → starts 1,5,8
-	want := []int{1, 5, 8}
-	for i := range want {
-		if starts[i] != want[i] {
-			t.Fatalf("starts = %v, want %v", starts, want)
-		}
-	}
-	if _, err := Partition(2, 3); err == nil {
-		t.Error("more machines than vertices accepted")
-	}
-	if _, err := Partition(5, 0); err == nil {
-		t.Error("zero machines accepted")
-	}
-	single, _ := Partition(5, 1)
-	if len(single) != 1 || single[0] != 1 {
-		t.Errorf("single machine starts = %v", single)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			starts, err := Partition(c.n, c.machines)
+			if c.want == nil {
+				if err == nil {
+					t.Fatalf("Partition(%d, %d) = %v, want error", c.n, c.machines, starts)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Partition(%d, %d): %v", c.n, c.machines, err)
+			}
+			if len(starts) != len(c.want) {
+				t.Fatalf("starts = %v, want %v", starts, c.want)
+			}
+			for i := range c.want {
+				if starts[i] != c.want[i] {
+					t.Fatalf("starts = %v, want %v", starts, c.want)
+				}
+			}
+			if err := graph.ValidateStarts(c.n, starts); err != nil {
+				t.Errorf("Partition produced invalid starts: %v", err)
+			}
+		})
 	}
 }
 
-func TestMachineOf(t *testing.T) {
-	starts := []int{1, 5, 8}
-	cases := map[int]int{1: 0, 4: 0, 5: 1, 7: 1, 8: 2, 10: 2}
-	for v, m := range cases {
-		if got := machineOf(starts, v); got != m {
-			t.Errorf("machineOf(%d) = %d, want %d", v, got, m)
+// TestCostAwareBalances: with skewed costs the cost-aware planner moves
+// the boundary the blind splitter would misplace.
+func TestCostAwareBalances(t *testing.T) {
+	// chain of 8; vertex 1 carries half the total work
+	ng, err := graph.Chain(8).Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []float64{7, 1, 1, 1, 1, 1, 1, 1}
+	starts, err := CostAware{}.Plan(ng, costs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := graph.StageLoads(starts, costs)
+	if loads[0] != 7 || loads[1] != 7 {
+		t.Errorf("cost-aware loads = %v (starts %v), want perfectly balanced [7 7]", loads, starts)
+	}
+	// the blind splitter puts 4 vertices per stage: loads 10 vs 4
+	blind, _ := Contiguous{}.Plan(ng, costs, 2)
+	blindLoads := graph.StageLoads(blind, costs)
+	if blindLoads[0] <= loads[0] {
+		t.Errorf("blind loads %v not worse than cost-aware %v — test workload too easy", blindLoads, loads)
+	}
+}
+
+// TestCostAwareMinimizesCuts: among balanced partitions the planner
+// prefers the one severing fewer edges.
+func TestCostAwareMinimizesCuts(t *testing.T) {
+	// Two 4-cliques of uniform cost joined by a single edge: the only
+	// 2-stage partition with one cut edge is the clique boundary.
+	g := graph.New()
+	a := make([]int, 4)
+	b := make([]int, 4)
+	for i := range a {
+		a[i] = g.AddVertices(1)
+	}
+	for i := range b {
+		b[i] = g.AddVertices(1)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.MustEdge(a[i], a[j])
+			g.MustEdge(b[i], b[j])
+		}
+	}
+	g.MustEdge(a[3], b[0])
+	ng, err := g.Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, err := CostAware{Slack: 0.5}.Plan(ng, graph.UniformCosts(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := graph.CutEdges(ng, starts); cut != 1 {
+		t.Errorf("cost-aware cut %d edges at %v, want 1 (the clique bridge)", cut, starts)
+	}
+}
+
+// TestCostAwareValidation: planner input errors are reported, not
+// mispartitioned.
+func TestCostAwareValidation(t *testing.T) {
+	ng, _ := graph.Chain(4).Number()
+	if _, err := (CostAware{}).Plan(ng, []float64{1, 1}, 2); err == nil {
+		t.Error("short cost vector accepted")
+	}
+	if _, err := (CostAware{}).Plan(ng, []float64{1, -1, 1, 1}, 2); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := (CostAware{}).Plan(ng, []float64{1, math.Inf(1), 1, 1}, 2); err == nil {
+		t.Error("infinite cost accepted")
+	}
+	if _, err := (CostAware{}).Plan(ng, graph.UniformCosts(4), 5); err == nil {
+		t.Error("machines > n accepted")
+	}
+}
+
+// TestCostAwarePlansAreValid fuzzes the planner across random DAGs,
+// skews and machine counts: every plan must be a valid starts vector
+// whose bottleneck is no worse than the blind splitter's.
+func TestCostAwarePlansAreValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.IntN(40)
+		ng, err := graph.RandomConnected(n, 0.1, rng).Number()
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = float64(1 + rng.IntN(9))
+		}
+		for _, machines := range []int{1, 2, 3, 4} {
+			if machines > n {
+				continue
+			}
+			starts, err := CostAware{}.Plan(ng, costs, machines)
+			if err != nil {
+				t.Fatalf("trial %d machines %d: %v", trial, machines, err)
+			}
+			if err := graph.ValidateStarts(n, starts); err != nil {
+				t.Fatalf("trial %d machines %d: invalid plan %v: %v", trial, machines, starts, err)
+			}
+			if len(starts) != machines {
+				t.Fatalf("trial %d: %d stages for %d machines", len(starts), machines, machines)
+			}
+			blind, _ := Contiguous{}.Plan(ng, costs, machines)
+			worst := func(s []int) float64 {
+				max := 0.0
+				for _, l := range graph.StageLoads(s, costs) {
+					if l > max {
+						max = l
+					}
+				}
+				return max
+			}
+			// Slack tolerates 10% over the optimum; the blind bottleneck
+			// is ≥ the optimum, so cost-aware must stay within 1.1× of it.
+			if w, bw := worst(starts), worst(blind); w > bw*1.1+1e-9 {
+				t.Errorf("trial %d machines %d: cost-aware bottleneck %.1f vs blind %.1f", trial, machines, w, bw)
+			}
 		}
 	}
 }
@@ -137,9 +276,17 @@ func sinkLogsEqual(a, b []*recSink) bool {
 	return true
 }
 
+// equivalencePlanners is the planner set the equivalence sweeps cover:
+// the reference splitter plus cost-aware at both default and loose
+// slack (different slacks pick different boundaries, so the link layer
+// is exercised on several distinct cuts).
+func equivalencePlanners() []Planner {
+	return []Planner{Contiguous{}, CostAware{}, CostAware{Slack: 0.75}}
+}
+
 // TestPartitionedMatchesSequential: the partitioned multi-machine run
 // produces the same sink histories as the sequential oracle, across
-// machine counts.
+// machine counts and across every planner.
 func TestPartitionedMatchesSequential(t *testing.T) {
 	const phases = 80
 	batches := make([][]core.ExtInput, phases)
@@ -148,25 +295,113 @@ func TestPartitionedMatchesSequential(t *testing.T) {
 		if _, err := baseline.Sequential(ngRef, modsRef, batches); err != nil {
 			t.Fatal(err)
 		}
-		for _, machines := range []int{1, 2, 3, 5} {
-			ng, mods, sinks := buildWorkload(t, seed)
-			st, err := Run(ng, mods, batches, Config{
-				Machines: machines, WorkersPerMachine: 2, MaxInFlight: 8, Buffer: 4,
-			})
+		for _, planner := range equivalencePlanners() {
+			for _, machines := range []int{1, 2, 3, 5} {
+				ng, mods, sinks := buildWorkload(t, seed)
+				st, err := Run(ng, mods, batches, Config{
+					Machines: machines, WorkersPerMachine: 2, MaxInFlight: 8, Buffer: 4,
+					Planner: planner,
+				})
+				if err != nil {
+					t.Fatalf("%s machines=%d: %v", planner.Name(), machines, err)
+				}
+				if !sinkLogsEqual(sinksRef, sinks) {
+					t.Fatalf("seed=%d %s machines=%d: sink histories differ from sequential", seed, planner.Name(), machines)
+				}
+				if len(st.PerMachine) != machines {
+					t.Errorf("stats for %d machines", len(st.PerMachine))
+				}
+				if st.Planner != planner.Name() {
+					t.Errorf("stats report planner %q", st.Planner)
+				}
+				if err := graph.ValidateStarts(ng.N(), st.Starts); err != nil {
+					t.Errorf("reported starts invalid: %v", err)
+				}
+				if machines > 1 && st.CrossEdges == 0 {
+					t.Errorf("%s machines=%d: no cross edges in layered graph partition", planner.Name(), machines)
+				}
+				if machines == 1 && (st.CrossEdges != 0 || st.CrossMessages != 0 || len(st.Links) != 0) {
+					t.Errorf("single machine has cross traffic: %+v", st)
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceSweepPlannerOutputs is the deterministic-seed sweep
+// over planner outputs: random connected DAGs with skewed costs, every
+// planner, machines up to 4 — each plan's partitioned run must match
+// the sequential oracle exactly.
+func TestEquivalenceSweepPlannerOutputs(t *testing.T) {
+	const phases = 40
+	batches := make([][]core.ExtInput, phases)
+	for _, seed := range []uint64{7, 21, 1234} {
+		build := func() (*graph.Numbered, []core.Module, []*recSink) {
+			rng := rand.New(rand.NewPCG(seed, seed*3))
+			ng, err := graph.RandomConnected(24, 0.12, rng).Number()
 			if err != nil {
-				t.Fatalf("machines=%d: %v", machines, err)
+				t.Fatal(err)
 			}
-			if !sinkLogsEqual(sinksRef, sinks) {
-				t.Fatalf("seed=%d machines=%d: sink histories differ from sequential", seed, machines)
+			mods := make([]core.Module, ng.N())
+			var sinks []*recSink
+			for v := 1; v <= ng.N(); v++ {
+				v := v
+				switch {
+				case ng.IsSource(v):
+					mods[v-1] = core.StepFunc(func(ctx *core.Context) {
+						h := mix(seed ^ uint64(v)<<24 ^ uint64(ctx.Phase()))
+						if h%3 != 0 {
+							ctx.EmitAll(event.Int(int64(h)))
+						}
+					})
+				case ng.IsSink(v):
+					rs := &recSink{}
+					sinks = append(sinks, rs)
+					mods[v-1] = rs
+				default:
+					acc := int64(v)
+					mods[v-1] = core.StepFunc(func(ctx *core.Context) {
+						if ctx.InCount() == 0 {
+							return
+						}
+						for pt := 0; pt < ctx.Ports(); pt++ {
+							if val, ok := ctx.In(pt); ok {
+								i, _ := val.AsInt()
+								acc = int64(mix(uint64(acc) + uint64(i)))
+							}
+						}
+						ctx.EmitAll(event.Int(acc))
+					})
+				}
 			}
-			if len(st.PerMachine) != machines {
-				t.Errorf("stats for %d machines", len(st.PerMachine))
-			}
-			if machines > 1 && st.CrossEdges == 0 {
-				t.Errorf("machines=%d: no cross edges in layered graph partition", machines)
-			}
-			if machines == 1 && (st.CrossEdges != 0 || st.CrossMessages != 0) {
-				t.Errorf("single machine has cross traffic: %+v", st)
+			return ng, mods, sinks
+		}
+		ngRef, modsRef, sinksRef := build()
+		if _, err := baseline.Sequential(ngRef, modsRef, batches); err != nil {
+			t.Fatal(err)
+		}
+		// skewed cost estimate: hash-derived, deterministic per seed
+		costs := make([]float64, ngRef.N())
+		for i := range costs {
+			costs[i] = float64(1 + mix(seed+uint64(i))%8)
+		}
+		for _, planner := range equivalencePlanners() {
+			for _, machines := range []int{2, 3, 4} {
+				ng, mods, sinks := build()
+				st, err := Run(ng, mods, batches, Config{
+					Machines: machines, WorkersPerMachine: 2, MaxInFlight: 6, Buffer: 2,
+					Planner: planner, Costs: costs,
+				})
+				if err != nil {
+					t.Fatalf("seed=%d %s machines=%d: %v", seed, planner.Name(), machines, err)
+				}
+				if !sinkLogsEqual(sinksRef, sinks) {
+					t.Fatalf("seed=%d %s machines=%d (starts %v): diverged from sequential",
+						seed, planner.Name(), machines, st.Starts)
+				}
+				if want := graph.CutEdges(ngRef, st.Starts); st.CrossEdges != want {
+					t.Errorf("CrossEdges = %d, CutEdges(starts) = %d", st.CrossEdges, want)
+				}
 			}
 		}
 	}
@@ -208,6 +443,14 @@ func TestPartitionedChain(t *testing.T) {
 	}
 	if st.CrossEdges != 2 {
 		t.Errorf("chain over 3 machines cut %d edges, want 2", st.CrossEdges)
+	}
+	if len(st.Links) != 2 {
+		t.Errorf("chain over 3 machines has %d links, want 2", len(st.Links))
+	}
+	for _, ls := range st.Links {
+		if ls.Frames != phases {
+			t.Errorf("link %d->%d carried %d frames, want one per phase (%d)", ls.From, ls.To, ls.Frames, phases)
+		}
 	}
 	if len(rs.log) != len(rsRef.log) {
 		t.Fatalf("sink saw %d values, oracle %d", len(rs.log), len(rsRef.log))
@@ -279,6 +522,13 @@ func TestRunValidation(t *testing.T) {
 	mods := []core.Module{bridge{}, bridge{}}
 	if _, err := Run(ng, mods, nil, Config{Machines: 1}); err == nil {
 		t.Error("module count mismatch accepted")
+	}
+	full := []core.Module{bridge{}, bridge{}, bridge{}}
+	if _, err := Run(ng, full, nil, Config{Machines: 4}); err == nil {
+		t.Error("machines > vertices accepted")
+	}
+	if _, err := Run(ng, full, nil, Config{Machines: 2, Costs: []float64{1}}); err == nil {
+		t.Error("short cost vector accepted")
 	}
 }
 

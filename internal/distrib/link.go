@@ -1,0 +1,107 @@
+package distrib
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Frame is one phase's worth of traffic on a link: the values every
+// portal on the sending machine captured for that phase, already
+// addressed to the bridge vertices of the receiving machine. A frame is
+// sent for every (link, phase) pair even when empty — the receiver must
+// learn that the upstream phase finished with nothing to say, or the
+// "all inputs known at phase start" invariant (and with it cross-
+// machine serializability) would be lost.
+type Frame struct {
+	Phase  int
+	Inputs []core.ExtInput
+}
+
+// Link is a bounded, backpressured connection between two machines —
+// the honest stand-in for a network socket (DESIGN.md §2). Send blocks
+// when the receiver has fallen more than the buffer depth behind, which
+// is exactly the flow control a bounded TCP window would provide;
+// blocked time is accounted so experiments can see where a pipeline
+// stalls.
+type Link struct {
+	from, to int
+	ch       chan Frame
+
+	frames  atomic.Int64
+	values  atomic.Int64
+	blocks  atomic.Int64
+	blocked atomic.Int64 // ns spent in blocked sends
+}
+
+// LinkStats is a snapshot of one link's counters.
+type LinkStats struct {
+	// From and To are the machine indices the link connects.
+	From, To int
+	// Frames is the number of frames sent (one per phase).
+	Frames int64
+	// Values is the number of cross-machine values carried.
+	Values int64
+	// SendBlocks counts sends that found the buffer full.
+	SendBlocks int64
+	// Blocked is the cumulative time sends spent waiting for buffer
+	// space — the backpressure the downstream machine exerted.
+	Blocked time.Duration
+}
+
+// newLink returns a link from machine `from` to machine `to` with the
+// given buffer depth (≥ 1: depth 0 would re-serialize the pipeline into
+// the lockstep handoff this layer replaces).
+func newLink(from, to, depth int) *Link {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Link{from: from, to: to, ch: make(chan Frame, depth)}
+}
+
+// Send delivers a frame, blocking while the buffer is full. The fast
+// path is a plain non-blocking send; only the slow path pays for
+// timestamps, so an unclogged pipeline measures no backpressure.
+func (l *Link) Send(f Frame) {
+	select {
+	case l.ch <- f:
+	default:
+		t0 := time.Now()
+		l.ch <- f
+		l.blocked.Add(int64(time.Since(t0)))
+		l.blocks.Add(1)
+	}
+	l.frames.Add(1)
+	l.values.Add(int64(len(f.Inputs)))
+}
+
+// Recv returns the next frame, blocking until one arrives; ok is false
+// once the sender has closed the link and the buffer is drained.
+func (l *Link) Recv() (Frame, bool) {
+	f, ok := <-l.ch
+	return f, ok
+}
+
+// Close marks the sending side done; buffered frames remain receivable.
+func (l *Link) Close() { close(l.ch) }
+
+// DrainDiscard consumes and discards frames until the link closes. A
+// machine that aborts mid-run drains its inbound links so upstream
+// senders can never wedge against a full buffer nobody is reading.
+func (l *Link) DrainDiscard() {
+	for range l.ch {
+	}
+}
+
+// Stats snapshots the link counters.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		From:       l.from,
+		To:         l.to,
+		Frames:     l.frames.Load(),
+		Values:     l.values.Load(),
+		SendBlocks: l.blocks.Load(),
+		Blocked:    time.Duration(l.blocked.Load()),
+	}
+}

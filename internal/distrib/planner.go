@@ -1,0 +1,209 @@
+package distrib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// A Planner chooses where to cut the numbered graph into pipeline
+// stages. It returns the 1-based inclusive start index of each
+// machine's contiguous vertex range (ascending, starts[0] == 1), as
+// validated by graph.ValidateStarts.
+//
+// Stages must be contiguous in the numbering: the numbering is
+// topological, so contiguous ranges make every cut edge point from a
+// lower machine to a higher one and the machine-level graph is itself a
+// pipeline. That acyclicity is what lets machine j start phase p as
+// soon as machines i < j have shipped their phase-p outputs; an
+// arbitrary (non-contiguous) assignment could make two machines wait on
+// each other within one phase and deadlock the ingress loops.
+type Planner interface {
+	// Name labels the planner in stats and reports.
+	Name() string
+	// Plan partitions g into `machines` stages. costs[v-1] is the
+	// estimated per-phase work of vertex v (uniform when the caller
+	// knows nothing better).
+	Plan(g *graph.Numbered, costs []float64, machines int) ([]int, error)
+}
+
+// Partition splits n vertices into `machines` contiguous index ranges
+// of near-equal vertex count and returns the per-machine inclusive
+// start indices. It is the blind reference splitter (the Contiguous
+// planner) and is exported for tests and reports.
+//
+// Edge cases (pinned by TestPartitionEdgeCases):
+//   - machines < 1: error — there is nothing to run the graph on.
+//   - n < 1: error — an engine cannot be built over an empty range,
+//     so an empty graph cannot be partitioned at all.
+//   - machines > n: error — some machine would own no vertices; callers
+//     must clamp the machine count to the vertex count themselves.
+//   - machines == 1: the degenerate single-stage partition [1].
+//   - machines == n: singleton stages [1, 2, ..., n].
+func Partition(n, machines int) ([]int, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("distrib: %d machines", machines)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("distrib: cannot partition an empty graph")
+	}
+	if machines > n {
+		return nil, fmt.Errorf("distrib: %d machines for %d vertices (machines must be ≤ vertices)", machines, n)
+	}
+	starts := make([]int, machines)
+	base, rem := n/machines, n%machines
+	at := 1
+	for m := 0; m < machines; m++ {
+		starts[m] = at
+		at += base
+		if m < rem {
+			at++
+		}
+	}
+	return starts, nil
+}
+
+// Contiguous is the reference planner: equal vertex counts per stage,
+// ignoring costs and cut edges (the seed repo's only strategy, kept as
+// the baseline the cost-aware planner is measured against).
+type Contiguous struct{}
+
+// Name implements Planner.
+func (Contiguous) Name() string { return "contiguous" }
+
+// Plan implements Planner.
+func (Contiguous) Plan(g *graph.Numbered, costs []float64, machines int) ([]int, error) {
+	return Partition(g.N(), machines)
+}
+
+// CostAware balances estimated per-stage work and minimizes cut edges,
+// in that order: it first computes the minimum achievable bottleneck
+// (the heaviest stage's cost over all contiguous partitions), then,
+// among partitions whose every stage stays within Slack of that
+// bottleneck, picks one with the fewest cut edges. Both steps are exact
+// dynamic programs over stage boundaries, O(machines · N²) time.
+type CostAware struct {
+	// Slack is the tolerated bottleneck overshoot while minimizing cut
+	// edges: stages may cost up to minBottleneck × (1 + Slack). Zero or
+	// negative uses the default 0.1 — trading 10% balance for fewer
+	// links is almost always a bargain, since every cut edge costs a
+	// portal execution, a bridge execution and a channel hop per phase.
+	Slack float64
+}
+
+// Name implements Planner.
+func (c CostAware) Name() string { return "cost-aware" }
+
+// Plan implements Planner.
+func (c CostAware) Plan(g *graph.Numbered, costs []float64, machines int) ([]int, error) {
+	n := g.N()
+	if _, err := Partition(n, machines); err != nil {
+		return nil, err // same domain errors as the reference splitter
+	}
+	if len(costs) != n {
+		return nil, fmt.Errorf("distrib: %d costs for %d vertices", len(costs), n)
+	}
+	for v, cost := range costs {
+		if cost < 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+			return nil, fmt.Errorf("distrib: invalid cost %v for vertex %d", cost, v+1)
+		}
+	}
+	slack := c.Slack
+	if slack <= 0 {
+		slack = 0.1
+	}
+
+	// prefix[v] = cost of vertices 1..v, so load(s..e) = prefix[e]-prefix[s-1].
+	prefix := make([]float64, n+1)
+	for v := 1; v <= n; v++ {
+		prefix[v] = prefix[v-1] + costs[v-1]
+	}
+	load := func(s, e int) float64 { return prefix[e] - prefix[s-1] }
+
+	// Pass 1 — minimum bottleneck: dpB[e] after m rounds is the least
+	// achievable max stage load splitting 1..e into m non-empty stages.
+	const inf = math.MaxFloat64
+	dpB := make([]float64, n+1)
+	prev := make([]float64, n+1)
+	for e := 1; e <= n; e++ {
+		dpB[e] = load(1, e)
+	}
+	for m := 2; m <= machines; m++ {
+		dpB, prev = prev, dpB
+		for e := 0; e <= n; e++ {
+			dpB[e] = inf
+		}
+		for e := m; e <= n; e++ {
+			for s := m; s <= e; s++ { // stage m is s..e; m-1 stages need s-1 ≥ m-1
+				if b := math.Max(prev[s-1], load(s, e)); b < dpB[e] {
+					dpB[e] = b
+				}
+			}
+		}
+	}
+	budget := dpB[n] * (1 + slack)
+
+	// Pass 2 — fewest cut edges within the load budget. cutFrom[s] is
+	// F(s, e) for the current e: the number of edges leaving s..e for
+	// vertices > e, i.e. the cut edges charged to a stage s..e. dpC[e]
+	// after m rounds is the least total cut splitting 1..e into m
+	// budget-respecting stages; from[m][e] records the argmin start.
+	dpC := make([]float64, n+1)
+	prevC := make([]float64, n+1)
+	from := make([][]int, machines+1)
+	for m := range from {
+		from[m] = make([]int, n+1)
+	}
+	cutFrom := make([]float64, n+2)
+	succOver := func(v, e int) float64 {
+		succ := g.Succ(v) // ascending
+		return float64(len(succ) - sort.SearchInts(succ, e+1))
+	}
+	for e := 1; e <= n; e++ {
+		dpC[e] = inf
+		if load(1, e) <= budget {
+			f := 0.0
+			for v := 1; v <= e; v++ {
+				f += succOver(v, e)
+			}
+			dpC[e] = f
+		}
+		from[1][e] = 1
+	}
+	for m := 2; m <= machines; m++ {
+		dpC, prevC = prevC, dpC
+		for e := 0; e <= n; e++ {
+			dpC[e] = inf
+		}
+		for e := m; e <= n; e++ {
+			cutFrom[e+1] = 0
+			for s := e; s >= m; s-- {
+				cutFrom[s] = cutFrom[s+1] + succOver(s, e)
+				if load(s, e) > budget {
+					break // loads only grow as s decreases
+				}
+				if prevC[s-1] == inf {
+					continue
+				}
+				if total := prevC[s-1] + cutFrom[s]; total < dpC[e] {
+					dpC[e] = total
+					from[m][e] = s
+				}
+			}
+		}
+	}
+	if dpC[n] == inf {
+		// Unreachable: the bottleneck-optimal partition fits the budget
+		// by construction. Guard against arithmetic surprises anyway.
+		return Partition(n, machines)
+	}
+	starts := make([]int, machines)
+	e := n
+	for m := machines; m >= 1; m-- {
+		starts[m-1] = from[m][e]
+		e = from[m][e] - 1
+	}
+	return starts, nil
+}

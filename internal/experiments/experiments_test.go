@@ -182,6 +182,71 @@ func TestE9QuickShape(t *testing.T) {
 	}
 }
 
+func TestE12QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res := E12PipelineScaleOut(true)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	one, two := res.Rows[0], res.Rows[1]
+	if one.Machines != 1 || two.Machines != 2 {
+		t.Fatalf("machine counts = %d, %d", one.Machines, two.Machines)
+	}
+	if one.TotalWorkers != 2 || two.TotalWorkers != 4 {
+		t.Errorf("total workers = %d, %d", one.TotalWorkers, two.TotalWorkers)
+	}
+	if one.CrossMsgs != 0 || one.CutEdges != 0 {
+		t.Error("single machine reported cross traffic")
+	}
+	if two.CrossMsgs == 0 || two.CutEdges == 0 {
+		t.Error("two machines reported no cross traffic")
+	}
+	if one.Speedup != 1 {
+		t.Errorf("base speedup = %v, want 1", one.Speedup)
+	}
+	// Wall-clock speedup itself needs real cores; shape tests only
+	// assert it is positive (the GOMAXPROCS ≥ 2 parallelism assertions
+	// live in the benchmark, not here).
+	if two.Speedup <= 0 {
+		t.Errorf("speedup = %v", two.Speedup)
+	}
+}
+
+func TestBenchJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	rep := BenchJSON(true)
+	if !rep.Quick || rep.GoMaxProcs < 1 {
+		t.Fatalf("header = %+v", rep)
+	}
+	names := map[string]bool{}
+	for _, row := range rep.Workloads {
+		names[row.Name] = true
+		if row.Executions == 0 || row.WallNs <= 0 || row.NsPerExec <= 0 {
+			t.Errorf("row %s not measured: %+v", row.Name, row)
+		}
+		if row.AllocsPerExec < 0 {
+			t.Errorf("row %s negative allocs/exec", row.Name)
+		}
+	}
+	for _, want := range []string{
+		"e1-compute-heavy/threads=1", "overhead-zero-grain/threads=1",
+		"e12-pipeline/machines=1", "e12-pipeline/machines=4",
+	} {
+		if !names[want] {
+			t.Errorf("report missing tracked row %q", want)
+		}
+	}
+	for _, row := range rep.Workloads {
+		if row.Machines == 4 && row.Workers != 8 {
+			t.Errorf("machines=4 row claims %d total workers, want 8", row.Workers)
+		}
+	}
+}
+
 func TestE10QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiment")
@@ -245,7 +310,7 @@ func TestWatermarkLossCurve(t *testing.T) {
 
 func TestNamesOrderAndRunAll(t *testing.T) {
 	names := Names()
-	want := []string{"e1", "e2", "e3", "e4", "e8", "e9", "e10", "e11"}
+	want := []string{"e1", "e2", "e3", "e4", "e8", "e9", "e10", "e11", "e12"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -260,7 +325,7 @@ func TestNamesOrderAndRunAll(t *testing.T) {
 	var sb strings.Builder
 	RunAll(&sb, true)
 	out := sb.String()
-	for _, frag := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E8 —", "E9 —", "E10 —", "E11 —"} {
+	for _, frag := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E8 —", "E9 —", "E10 —", "E11 —", "E12 —"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("RunAll output missing %q", frag)
 		}

@@ -1,0 +1,84 @@
+package graph
+
+import "fmt"
+
+// This file provides the partition metadata used by the pipeline
+// partitioner in internal/distrib: helpers over "starts" vectors — the
+// contiguous stage boundaries of a pipeline partition — and per-vertex
+// cost estimates.
+//
+// A partition of a numbered graph into k stages is described by the
+// ascending vector of 1-based inclusive start indices, starts[0] == 1:
+// stage i owns vertices starts[i] .. starts[i+1]-1 (the last stage owns
+// through N). Because the numbering is topological, contiguous stages
+// make every cut edge point from a lower stage to a higher one, so the
+// stage-level graph is itself a pipeline.
+
+// ValidateStarts checks that starts describes a partition of 1..n into
+// non-empty contiguous stages: ascending, starts[0] == 1, and every
+// start within 1..n.
+func ValidateStarts(n int, starts []int) error {
+	if len(starts) == 0 {
+		return fmt.Errorf("graph: empty partition")
+	}
+	if starts[0] != 1 {
+		return fmt.Errorf("graph: partition starts at %d, want 1", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			return fmt.Errorf("graph: partition starts not strictly ascending at %d: %v", i, starts)
+		}
+	}
+	if last := starts[len(starts)-1]; last > n {
+		return fmt.Errorf("graph: partition start %d beyond %d vertices", last, n)
+	}
+	return nil
+}
+
+// PartitionOf returns the stage owning vertex v under the given starts
+// vector (0-based stage index). v must be in 1..N and starts valid.
+func PartitionOf(starts []int, v int) int {
+	// Stages are few (machine counts), so a linear scan beats binary
+	// search overhead in practice and keeps the helper allocation-free.
+	m := 0
+	for m+1 < len(starts) && v >= starts[m+1] {
+		m++
+	}
+	return m
+}
+
+// CutEdges counts the edges of ng whose endpoints fall in different
+// stages of the partition — each becomes one cross-machine link message
+// route under pipeline partitioning.
+func CutEdges(ng *Numbered, starts []int) int {
+	cut := 0
+	for v := 1; v <= ng.N(); v++ {
+		mv := PartitionOf(starts, v)
+		for _, w := range ng.Succ(v) {
+			if PartitionOf(starts, w) != mv {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// UniformCosts returns a cost vector assigning every vertex unit work —
+// the default estimate when nothing better is known.
+func UniformCosts(n int) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+	}
+	return c
+}
+
+// StageLoads sums the per-vertex costs of each stage; costs[v-1] is the
+// estimated work of vertex v and defines N (= len(costs)).
+func StageLoads(starts []int, costs []float64) []float64 {
+	loads := make([]float64, len(starts))
+	for v := 1; v <= len(costs); v++ {
+		loads[PartitionOf(starts, v)] += costs[v-1]
+	}
+	return loads
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestValidateStarts(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		starts []int
+		ok     bool
+	}{
+		{"single stage", 5, []int{1}, true},
+		{"even split", 10, []int{1, 5, 8}, true},
+		{"all singleton", 3, []int{1, 2, 3}, true},
+		{"empty", 5, nil, false},
+		{"not starting at 1", 5, []int{2, 4}, false},
+		{"not ascending", 5, []int{1, 3, 3}, false},
+		{"descending", 5, []int{1, 4, 2}, false},
+		{"start beyond n", 5, []int{1, 6}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateStarts(c.n, c.starts)
+			if (err == nil) != c.ok {
+				t.Errorf("ValidateStarts(%d, %v) = %v, want ok=%v", c.n, c.starts, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	starts := []int{1, 5, 8}
+	cases := map[int]int{1: 0, 4: 0, 5: 1, 7: 1, 8: 2, 10: 2}
+	for v, m := range cases {
+		if got := PartitionOf(starts, v); got != m {
+			t.Errorf("PartitionOf(%d) = %d, want %d", v, got, m)
+		}
+	}
+}
+
+func TestCutEdgesChain(t *testing.T) {
+	ng, err := Chain(9).Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain cut into k stages severs exactly k-1 edges.
+	for _, starts := range [][]int{{1}, {1, 4}, {1, 4, 7}, {1, 2, 3, 4, 5, 6, 7, 8, 9}} {
+		want := len(starts) - 1
+		if got := CutEdges(ng, starts); got != want {
+			t.Errorf("CutEdges(chain, %v) = %d, want %d", starts, got, want)
+		}
+	}
+}
+
+// TestCutEdgesMatchesDefinition cross-checks the helper against a direct
+// per-edge evaluation on random DAGs.
+func TestCutEdgesMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 20; trial++ {
+		ng, err := RandomConnected(30, 0.15, rng).Number()
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts := []int{1}
+		for v := 2; v <= ng.N(); v++ {
+			if rng.Float64() < 0.2 {
+				starts = append(starts, v)
+			}
+		}
+		want := 0
+		for v := 1; v <= ng.N(); v++ {
+			for _, w := range ng.Succ(v) {
+				if PartitionOf(starts, v) != PartitionOf(starts, w) {
+					want++
+				}
+			}
+		}
+		if got := CutEdges(ng, starts); got != want {
+			t.Fatalf("trial %d: CutEdges = %d, direct count = %d (starts %v)", trial, got, want, starts)
+		}
+	}
+}
+
+func TestStageLoads(t *testing.T) {
+	costs := []float64{1, 2, 3, 4, 5}
+	loads := StageLoads([]int{1, 3}, costs)
+	if len(loads) != 2 || loads[0] != 3 || loads[1] != 12 {
+		t.Errorf("StageLoads = %v, want [3 12]", loads)
+	}
+	uni := UniformCosts(4)
+	loads = StageLoads([]int{1, 2, 4}, uni)
+	if loads[0] != 1 || loads[1] != 2 || loads[2] != 1 {
+		t.Errorf("uniform StageLoads = %v", loads)
+	}
+}
