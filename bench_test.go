@@ -308,6 +308,45 @@ func BenchmarkNumbering(b *testing.B) {
 	})
 }
 
+// BenchmarkE13WireOverhead prices the pluggable transport layer
+// (DESIGN.md §7): the same partitioned pipeline once over in-process
+// channel links and once over loopback TCP with the netwire codec and
+// credit-window flow control. The gap is pure wire cost — syscalls,
+// serialization, credits — since plan and workload are identical.
+func BenchmarkE13WireOverhead(b *testing.B) {
+	const phases = 80
+	for _, transport := range []string{"chan", "tcp"} {
+		w := experiments.E12Pipeline()
+		b.Run("transport="+transport, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ng, mods := w.Build()
+				cfg := experiments.E12Config(experiments.E13Machines)
+				if transport == "tcp" {
+					tn, err := distrib.NewTCPNetwork()
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg.Network = tn
+				}
+				st, err := distrib.Run(ng, mods, experiments.Phases(phases), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tn, ok := cfg.Network.(*distrib.TCPNetwork); ok {
+					tn.Close()
+				}
+				var bytes int64
+				for _, ls := range st.Links {
+					bytes += ls.Bytes
+				}
+				b.ReportMetric(float64(st.CrossMessages)/float64(phases), "xmsgs/phase")
+				b.ReportMetric(float64(bytes)/float64(phases), "wire-bytes/phase")
+			}
+		})
+	}
+}
+
 // BenchmarkE11Watermark is the §6 delay-tolerance extension: the cost of
 // assembling delayed events into phases at each watermark, with the loss
 // rate reported as a metric.

@@ -1,0 +1,67 @@
+// Command fuseworker runs ONE machine of a partitioned deployment as a
+// standalone process over real TCP links — the genuinely distributed
+// form of internal/distrib (DESIGN.md §7). Every worker builds the
+// identical shared workload (internal/griddemo), computes the identical
+// cost-aware plan, and exchanges nothing with its peers but netwire
+// handshakes, frames and flow-control credits.
+//
+// A 3-machine deployment on one host is three processes:
+//
+//	fuseworker -machine 0 -peers 127.0.0.1:42707,127.0.0.1:42708,127.0.0.1:42709 &
+//	fuseworker -machine 1 -peers 127.0.0.1:42707,127.0.0.1:42708,127.0.0.1:42709 &
+//	fuseworker -machine 2 -peers 127.0.0.1:42707,127.0.0.1:42708,127.0.0.1:42709
+//
+// Workers may start in any order: dialers retry while peers boot. The
+// machine owning the alert sink prints the alert phases; because the
+// run is serializable end to end, they are identical to a
+// single-process run of the same graph (examples/pipeline -multiproc
+// launches exactly this and checks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/griddemo"
+)
+
+func main() {
+	machine := flag.Int("machine", -1, "this worker's machine index (0-based, required)")
+	peers := flag.String("peers", "", "comma-separated listen addresses, one per machine (required; machine count = entry count)")
+	phases := flag.Int("phases", 720, "phases to run")
+	workers := flag.Int("workers", 2, "compute threads for this machine")
+	buffer := flag.Int("buffer", 8, "per-link frame window (credit depth)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines (the alerts@ line still prints)")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || *machine < 0 || *machine >= len(addrs) {
+		fmt.Fprintln(os.Stderr, "fuseworker: -machine and -peers are required; -machine must index into -peers")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := griddemo.WorkerOptions{
+		Machine:  *machine,
+		Machines: len(addrs),
+		Peers:    addrs,
+		Phases:   *phases,
+		Workers:  *workers,
+		Buffer:   *buffer,
+		Log:      os.Stdout,
+	}
+	if *quiet {
+		opts.Log = nil
+	}
+	alerts, ownsSink, err := griddemo.RunWorker(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuseworker: %v\n", err)
+		os.Exit(1)
+	}
+	if ownsSink {
+		// Machine-parsable: examples/pipeline -multiproc compares this
+		// line against its in-process reference run.
+		fmt.Printf("alerts@%v\n", alerts)
+	}
+}

@@ -1,124 +1,103 @@
 // Pipeline: a partitioned multi-machine deployment (§6 of the paper).
 //
-// A wide-area grid-monitoring computation — four regional feeds, each
-// smoothed and screened for anomalies, fused into a national alert —
-// is partitioned across three simulated machines by the cost-aware
-// planner and run as a true multi-engine pipeline: each machine owns an
-// independent engine (its own lock, run queue and worker pool), joined
-// only by bounded backpressured links. The run is serializable end to
-// end, so the partitioned deployment fires alerts at exactly the same
-// phases as a single machine holding the whole graph.
+// A wide-area grid-monitoring computation (internal/griddemo) — four
+// regional feeds, each smoothed and screened for anomalies, fused into
+// a national alert — is partitioned across three machines by the
+// cost-aware planner and run as a true multi-engine pipeline: each
+// machine owns an independent engine (its own lock, run queue and
+// worker pool), joined only by bounded backpressured links. The run is
+// serializable end to end, so the partitioned deployment fires alerts
+// at exactly the same phases as a single machine holding the whole
+// graph — whatever transport carries the links.
 //
-// Run: go run ./examples/pipeline
+//	go run ./examples/pipeline                  # in-process channel links
+//	go run ./examples/pipeline -transport tcp   # in-process, loopback TCP links
+//	go run ./examples/pipeline -multiproc       # three worker PROCESSES over TCP
+//
+// -multiproc re-executes this binary as three fuseworker-style worker
+// processes (internal/griddemo.RunWorker, the same driver behind
+// cmd/fuseworker), wires them over loopback TCP, and checks the
+// distributed alert history against the in-process reference.
 package main
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/distrib"
-	"repro/internal/event"
 	"repro/internal/graph"
-	"repro/internal/module"
+	"repro/internal/griddemo"
 )
 
-const regions = 4
+const (
+	machines = 3
+	phases   = 720
+)
 
-// build constructs the monitoring graph with fresh modules (modules are
-// stateful and single-use) and returns the numbered graph, its modules
-// in numbered order, per-vertex planner costs and the alert sink.
-func build() (*graph.Numbered, []core.Module, []float64, *module.AlertSink) {
-	g := graph.New()
-	type pending struct {
-		id   int
-		mod  core.Module
-		cost float64
-	}
-	var vertices []pending
-	add := func(name string, mod core.Module, cost float64) int {
-		id := g.AddVertex(name)
-		vertices = append(vertices, pending{id, mod, cost})
-		return id
-	}
+func main() {
+	transport := flag.String("transport", "chan", "link transport for the in-process run: chan | tcp")
+	multiproc := flag.Bool("multiproc", false, "run the deployment as three separate worker processes over TCP")
+	workerIdx := flag.Int("worker", -1, "internal: run as worker process for this machine index")
+	peers := flag.String("peers", "", "internal: comma-separated worker listen addresses")
+	flag.Parse()
 
-	// Fusion counts regions currently in anomaly; Δ-inputs arrive only
-	// on transitions, so it keeps the latest state per region.
-	state := make([]bool, regions)
-	fusion := core.StepFunc(func(ctx *core.Context) {
-		if ctx.InCount() == 0 {
-			return
-		}
-		for p := 0; p < ctx.Ports(); p++ {
-			if v, ok := ctx.In(p); ok {
-				state[p] = v.Bool(false)
-			}
-		}
-		n := 0
-		for _, s := range state {
-			if s {
-				n++
-			}
-		}
-		ctx.EmitAll(event.Float(float64(n)))
+	if *workerIdx >= 0 {
+		runAsWorker(*workerIdx, strings.Split(*peers, ","))
+		return
+	}
+	if *multiproc {
+		runMultiProcess()
+		return
+	}
+	runInProcess(*transport)
+}
+
+// run executes the demo on the given machine count in-process and
+// returns the stats, fired alert phases and the planner cost vector.
+func run(machineCount int, network distrib.Network) (distrib.Stats, []int, []float64) {
+	ng, mods, costs, alerts, _ := griddemo.Build()
+	st, err := distrib.Run(ng, mods, make([][]core.ExtInput, phases), distrib.Config{
+		Machines: machineCount, WorkersPerMachine: 2,
+		MaxInFlight: 16, Buffer: 8,
+		Planner: distrib.CostAware{}, Costs: costs,
+		Network: network,
 	})
-	fuse := add("national-fusion", fusion, 2)
-	alarm := add("multi-region-alarm", &module.Threshold{Level: 1.5}, 1)
-	alerts := &module.AlertSink{}
-	sink := add("alerts", alerts, 1)
-	g.MustEdge(fuse, alarm)
-	g.MustEdge(alarm, sink)
-
-	for r := 0; r < regions; r++ {
-		// Analytics dominate the cost estimate: the planner should pack
-		// sources together and spread the detectors.
-		feed := add(fmt.Sprintf("region%d/feed", r),
-			&module.RandomWalk{Seed: uint64(0xFEED + r), Drift: 1.0}, 1)
-		smooth := add(fmt.Sprintf("region%d/smoother", r), module.NewSmoother(0.25), 2)
-		detect := add(fmt.Sprintf("region%d/zscore", r), module.NewZScoreDetector(48, 2.5, 48), 4)
-		g.MustEdge(feed, smooth)
-		g.MustEdge(smooth, detect)
-		g.MustEdge(detect, fuse)
-	}
-
-	ng, err := g.Number()
 	if err != nil {
 		log.Fatal(err)
 	}
-	mods := make([]core.Module, ng.N())
-	costs := make([]float64, ng.N())
-	for _, p := range vertices {
-		mods[ng.IndexOf(p.id)-1] = p.mod
-		costs[ng.IndexOf(p.id)-1] = p.cost
-	}
-	return ng, mods, costs, alerts
+	return st, alerts.Alerts, costs
 }
 
-func main() {
-	const phases = 720
-
-	run := func(machines int) (distrib.Stats, *module.AlertSink) {
-		ng, mods, costs, alerts := build()
-		st, err := distrib.Run(ng, mods, make([][]core.ExtInput, phases), distrib.Config{
-			Machines: machines, WorkersPerMachine: 2,
-			MaxInFlight: 16, Buffer: 8,
-			Planner: distrib.CostAware{}, Costs: costs,
-		})
+func runInProcess(transport string) {
+	var network distrib.Network
+	switch transport {
+	case "chan":
+	case "tcp":
+		tn, err := distrib.NewTCPNetwork()
 		if err != nil {
 			log.Fatal(err)
 		}
-		return st, alerts
+		defer tn.Close()
+		network = tn
+	default:
+		log.Fatalf("unknown -transport %q (chan | tcp)", transport)
 	}
 
-	single, refAlerts := run(1)
-	st, alerts := run(3)
+	single, refAlerts, _ := run(1, nil)
+	st, alerts, costs := run(machines, network)
 
-	fmt.Printf("partitioned %d vertices over 3 machines (%s planner)\n",
-		regions*3+3, st.Planner)
-	ng, _, costs, _ := build()
+	fmt.Printf("partitioned %d vertices over %d machines (%s planner, %s transport)\n",
+		len(costs), machines, st.Planner, st.Transport)
 	loads := graph.StageLoads(st.Starts, costs)
 	for m := range st.Starts {
-		end := ng.N()
+		end := len(costs)
 		if m+1 < len(st.Starts) {
 			end = st.Starts[m+1] - 1
 		}
@@ -127,21 +106,125 @@ func main() {
 	}
 	fmt.Printf("cut edges: %d   cross-machine values: %d\n", st.CrossEdges, st.CrossMessages)
 	for _, ls := range st.Links {
-		fmt.Printf("  link %d->%d: %d frames, %d values, blocked %v\n",
-			ls.From, ls.To, ls.Frames, ls.Values, ls.Blocked)
+		fmt.Printf("  link %d->%d (%s): %d frames, %d values, %d bytes, blocked %v\n",
+			ls.From, ls.To, ls.Transport, ls.Frames, ls.Values, ls.Bytes, ls.Blocked)
 	}
-	fmt.Printf("wall: 1 machine %v, 3 machines %v\n", single.Wall, st.Wall)
+	fmt.Printf("wall: 1 machine %v, %d machines %v\n", single.Wall, machines, st.Wall)
 
-	fmt.Printf("multi-region alerts at phases: %v\n", alerts.Alerts)
-	if len(alerts.Alerts) != len(refAlerts.Alerts) {
-		log.Fatalf("partitioned run fired %d alerts, single machine %d — serializability broken",
-			len(alerts.Alerts), len(refAlerts.Alerts))
+	fmt.Printf("multi-region alerts at phases: %v\n", alerts)
+	compareAlerts(alerts, refAlerts)
+	fmt.Println("alert history identical to the single-machine run ✓")
+}
+
+// runAsWorker is the re-exec target: one machine of the deployment in
+// this process, wired to its peers over TCP.
+func runAsWorker(machine int, peerAddrs []string) {
+	alerts, ownsSink, err := griddemo.RunWorker(griddemo.WorkerOptions{
+		Machine:  machine,
+		Machines: len(peerAddrs),
+		Peers:    peerAddrs,
+		Phases:   phases,
+		Workers:  2,
+		Buffer:   8,
+		Log:      os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i := range alerts.Alerts {
-		if alerts.Alerts[i] != refAlerts.Alerts[i] {
-			log.Fatalf("alert %d at phase %d, single machine at %d — serializability broken",
-				i, alerts.Alerts[i], refAlerts.Alerts[i])
+	if ownsSink {
+		fmt.Printf("alerts@%v\n", alerts)
+	}
+}
+
+// runMultiProcess launches one worker process per machine (re-executing
+// this binary with -worker) and compares the sink machine's alert line
+// with the in-process reference.
+func runMultiProcess() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := make([]string, machines)
+	for i := range addrs {
+		addrs[i] = freeLoopbackAddr()
+	}
+	peerList := strings.Join(addrs, ",")
+	fmt.Printf("launching %d worker processes over TCP (%s)\n", machines, peerList)
+
+	alertLine := make(chan string, machines)
+	lineDone := make(chan struct{}, machines)
+	procs := make([]*exec.Cmd, machines)
+	for m := 0; m < machines; m++ {
+		cmd := exec.Command(exe, "-worker", fmt.Sprint(m), "-peers", peerList)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		procs[m] = cmd
+		go func(m int) {
+			defer func() { lineDone <- struct{}{} }()
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				fmt.Printf("  [worker %d] %s\n", m, line)
+				if rest, ok := strings.CutPrefix(line, "alerts@"); ok {
+					alertLine <- rest
+				}
+			}
+		}(m)
+	}
+	for range procs {
+		<-lineDone
+	}
+	for m, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("worker %d: %v", m, err)
 		}
 	}
-	fmt.Println("alert history identical to the single-machine run ✓")
+
+	// Reference: the same computation in a single process.
+	_, refAlerts, _ := run(1, nil)
+	select {
+	case got := <-alertLine:
+		want := fmt.Sprint(refAlerts)
+		if got != want {
+			log.Fatalf("distributed alerts %s != single-process %s — serializability broken", got, want)
+		}
+		fmt.Printf("multi-region alerts at phases: %s\n", got)
+		fmt.Println("multi-process alert history identical to the single-process run ✓")
+	default:
+		log.Fatal("no worker reported an alert history")
+	}
+}
+
+// compareAlerts fails the run loudly when the partitioned alert history
+// diverges from the reference — that would mean serializability broke.
+func compareAlerts(got, want []int) {
+	if len(got) != len(want) {
+		log.Fatalf("partitioned run fired %d alerts, single machine %d — serializability broken",
+			len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			log.Fatalf("alert %d at phase %d, single machine at %d — serializability broken",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// freeLoopbackAddr reserves a loopback port by briefly listening on it.
+// The tiny race between Close and the worker's Listen is acceptable in
+// a demo launcher.
+func freeLoopbackAddr() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
 }

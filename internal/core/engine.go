@@ -85,6 +85,11 @@ type Config struct {
 	// MeasureContention records time spent waiting for the global lock
 	// and time spent inside module Steps (experiment E8).
 	MeasureContention bool
+	// MeasureVertexTimes records each vertex's cumulative Step wall
+	// time, surfaced by Engine.VertexTimes — the calibration input
+	// distrib.MeasuredCosts converts into planner costs. Costs one
+	// timestamp pair plus an atomic add per execution.
+	MeasureVertexTimes bool
 	// Manual disables the worker pool: no goroutines are spawned and the
 	// caller drives execution with StepOne/StepPair. Used by traces and
 	// debugging tools that need a deterministic, chosen interleaving.
@@ -237,6 +242,10 @@ type Engine struct {
 	lockAcq  atomic.Int64
 	execTime atomic.Int64
 
+	// vertexNs[v-1] accumulates vertex v's Step time (atomically:
+	// workers execute concurrently). Nil unless MeasureVertexTimes.
+	vertexNs []int64
+
 	// execCount, when CountExecutions, maps (v,p) to times executed.
 	execCount map[[2]int]int
 
@@ -290,6 +299,9 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 	}
 	if cfg.CountExecutions {
 		e.execCount = make(map[[2]int]int)
+	}
+	if cfg.MeasureVertexTimes {
+		e.vertexNs = make([]int64, g.N())
 	}
 	return e, nil
 }
@@ -531,10 +543,16 @@ func (e *Engine) execute(ctx *Context, it workItem, shard int) {
 	if obs != nil {
 		obs.ExecBegin(v, it.p)
 	}
-	if e.cfg.MeasureContention {
+	if e.cfg.MeasureContention || e.cfg.MeasureVertexTimes {
 		t0 := time.Now()
 		e.mods[v-1].Step(ctx)
-		e.execTime.Add(int64(time.Since(t0)))
+		d := int64(time.Since(t0))
+		if e.cfg.MeasureContention {
+			e.execTime.Add(d)
+		}
+		if e.vertexNs != nil {
+			atomic.AddInt64(&e.vertexNs[v-1], d)
+		}
 	} else {
 		e.mods[v-1].Step(ctx)
 	}
@@ -822,6 +840,20 @@ func (e *Engine) Stats() Stats {
 		LockAcquisitions: e.lockAcq.Load(),
 		ExecTime:         time.Duration(e.execTime.Load()),
 	}
+}
+
+// VertexTimes returns each vertex's cumulative Step wall time
+// (index v-1 for vertex v). Requires Config.MeasureVertexTimes; the
+// returned slice is a snapshot and safe to keep.
+func (e *Engine) VertexTimes() []time.Duration {
+	if e.vertexNs == nil {
+		return nil
+	}
+	out := make([]time.Duration, len(e.vertexNs))
+	for i := range out {
+		out[i] = time.Duration(atomic.LoadInt64(&e.vertexNs[i]))
+	}
+	return out
 }
 
 // ExecCount reports how many times (v, p) executed. Requires

@@ -1,0 +1,52 @@
+package distrib
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// MeasuredCosts converts a calibration run's per-vertex Step times
+// into a cost vector for the CostAware planner — the ROADMAP's "feed
+// it measured ExecTime profiles" item. It runs the computation on a
+// single engine with core.Config.MeasureVertexTimes and returns each
+// vertex's observed share of the total Step time, normalized to mean
+// 1.0 so the vector composes with UniformCosts-scaled expectations.
+//
+// Modules are stateful and single-use: the calibration consumes the
+// modules it is given, so callers build one instance for MeasuredCosts
+// and a fresh instance for the measured run (exactly how fusebench's
+// E12 does it). When the calibration observes no Step time at all —
+// modules too fast for the clock — it falls back to uniform costs
+// rather than handing the planner a zero vector.
+func MeasuredCosts(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, workers int) ([]float64, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	eng, err := core.New(g, mods, core.Config{
+		Workers:            workers,
+		MeasureVertexTimes: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("distrib: calibration: %w", err)
+	}
+	if _, err := eng.Run(batches); err != nil {
+		return nil, fmt.Errorf("distrib: calibration run: %w", err)
+	}
+	times := eng.VertexTimes()
+	var total time.Duration
+	for _, t := range times {
+		total += t
+	}
+	if total <= 0 {
+		return graph.UniformCosts(g.N()), nil
+	}
+	mean := float64(total) / float64(len(times))
+	costs := make([]float64, len(times))
+	for v, t := range times {
+		costs[v] = float64(t) / mean
+	}
+	return costs, nil
+}

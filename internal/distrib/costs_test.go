@@ -1,0 +1,116 @@
+package distrib
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// spinMod returns a module that burns roughly d of wall time per
+// execution and forwards its input (or the phase, for sources).
+func spinMod(d time.Duration) core.Module {
+	return core.StepFunc(func(ctx *core.Context) {
+		t0 := time.Now()
+		for time.Since(t0) < d {
+		}
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+			return
+		}
+		ctx.EmitAll(event.Int(int64(ctx.Phase())))
+	})
+}
+
+// buildSkewedChain returns a 6-vertex chain whose head does ~16× the
+// work of every other vertex — the workload where uniform costs
+// misplace the 2-machine boundary.
+func buildSkewedChain() (*graph.Numbered, []core.Module) {
+	const n = 6
+	ng, err := graph.Chain(n).Number()
+	if err != nil {
+		panic(err)
+	}
+	mods := make([]core.Module, n)
+	mods[0] = spinMod(1600 * time.Microsecond)
+	for i := 1; i < n; i++ {
+		mods[i] = spinMod(100 * time.Microsecond)
+	}
+	return ng, mods
+}
+
+// TestMeasuredCostsShiftBoundary is the planner-feedback satellite's
+// acceptance: on a skewed workload the calibration-derived costs move
+// a stage boundary the uniform default misplaces.
+func TestMeasuredCostsShiftBoundary(t *testing.T) {
+	ng, mods := buildSkewedChain()
+	batches := make([][]core.ExtInput, 12)
+	costs, err := MeasuredCosts(ng, mods, batches, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != ng.N() {
+		t.Fatalf("%d costs for %d vertices", len(costs), ng.N())
+	}
+	// The heavy head must dominate the measured vector.
+	for v := 1; v < ng.N(); v++ {
+		if costs[0] <= costs[v]*4 {
+			t.Fatalf("calibration missed the skew: costs[0]=%.2f vs costs[%d]=%.2f (all %v)",
+				costs[0], v, costs[v], costs)
+		}
+	}
+	uniform, err := CostAware{}.Plan(ng, graph.UniformCosts(ng.N()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := CostAware{}.Plan(ng, costs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform costs split a 6-chain 3+3; with the head carrying ~3/4 of
+	// the wall time the measured plan must pull the boundary left so
+	// the heavy vertex's stage holds fewer vertices.
+	if uniform[1] != 4 {
+		t.Fatalf("uniform boundary = %v, expected [1 4] on a 6-chain", uniform)
+	}
+	if measured[1] >= uniform[1] {
+		t.Errorf("measured costs did not shift the boundary: uniform %v, measured %v (costs %v)",
+			uniform, measured, costs)
+	}
+	// And the measured plan's bottleneck must beat the uniform plan's
+	// under the measured costs — the whole point of calibration.
+	worst := func(starts []int) float64 {
+		max := 0.0
+		for _, l := range graph.StageLoads(starts, costs) {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	if worst(measured) >= worst(uniform) {
+		t.Errorf("measured plan bottleneck %.2f not better than uniform plan %.2f",
+			worst(measured), worst(uniform))
+	}
+}
+
+// TestMeasuredCostsZeroFallback: instantaneous modules produce a
+// uniform vector, never zeros.
+func TestMeasuredCostsZeroFallback(t *testing.T) {
+	ng, _ := graph.Chain(3).Number()
+	mods := []core.Module{bridge{}, bridge{}, bridge{}}
+	costs, err := MeasuredCosts(ng, mods, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range costs {
+		if c < 0 {
+			t.Errorf("cost[%d] = %v", v, c)
+		}
+	}
+	if _, err := (CostAware{}).Plan(ng, costs, 2); err != nil {
+		t.Errorf("planner rejected fallback costs: %v", err)
+	}
+}

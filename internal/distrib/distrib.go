@@ -3,10 +3,14 @@
 // partitioning the computation graph across multiple machines and
 // replication of event streams to multiple distinct computation graphs."
 //
-// Machines are simulated as independent engine instances — each with
-// its own global lock, run queue and worker pool, so nothing is shared
-// but the explicit bounded links between them (the honest stand-in for
-// a network: see DESIGN.md §2 and §6).
+// Machines are independent engine instances — each with its own global
+// lock, run queue and worker pool, so nothing is shared but the
+// explicit bounded links between them. The links themselves sit behind
+// the Transport interface: in-process bounded channels by default
+// (ChannelNetwork), real loopback TCP sockets with a credit window
+// (TCPNetwork), or a fault-injecting wrapper (FaultyNetwork) — see
+// DESIGN.md §7. cmd/fuseworker drives a single machine of a Deployment
+// over TCP, making a genuinely multi-process run of the same plan.
 //
 // Partitioning is by contiguous vertex-index ranges chosen by a
 // Planner (cost-aware by default, blind equal-count as the reference):
@@ -20,13 +24,15 @@
 // frames and opens phases under its own MaxInFlight window while its
 // egress ships completed phases downstream, so different machines are
 // concurrently executing different phases — the pipeline runs across
-// the cut, with link buffers and a ship window bounding how far any
+// the cut, with link windows and a ship window bounding how far any
 // machine can run ahead of its consumers.
 package distrib
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -36,7 +42,7 @@ import (
 
 // Config tunes a partitioned run.
 type Config struct {
-	// Machines is the number of simulated machines (pipeline stages).
+	// Machines is the number of machines (pipeline stages).
 	Machines int
 	// WorkersPerMachine is each machine's compute-thread count.
 	WorkersPerMachine int
@@ -44,12 +50,20 @@ type Config struct {
 	// completed-but-unshipped phases it may accumulate. Defaults to 64.
 	MaxInFlight int
 	// Buffer is the per-link frame depth (cross-machine pipelining
-	// slack). Defaults to 8.
+	// slack). Zero defaults to 8; values below MinLinkDepth are
+	// rejected at plan time — the former silent clamp is gone, so
+	// callers own their flow-control window explicitly.
 	Buffer int
+	// Network supplies the cross-machine transports. Nil defaults to
+	// ChannelNetwork (in-process bounded channels). Run closes only the
+	// network it defaulted itself; a caller-supplied Network (e.g. a
+	// TCPNetwork) is closed by the caller, after Run returns.
+	Network Network
 	// Planner chooses the stage boundaries. Defaults to CostAware{}.
 	Planner Planner
 	// Costs[v-1] estimates vertex v's per-phase work for the planner.
-	// Defaults to uniform costs.
+	// Defaults to uniform costs; MeasuredCosts converts a calibration
+	// run's per-vertex Step times into this vector.
 	Costs []float64
 	// MeasureContention enables each machine engine's lock-wait
 	// instrumentation (core.Config.MeasureContention), surfaced through
@@ -72,6 +86,8 @@ type Stats struct {
 	Starts []int
 	// Planner names the planner that produced Starts.
 	Planner string
+	// Transport names the Network that carried the links.
+	Transport string
 	// Wall is the end-to-end wall-clock time of Run.
 	Wall time.Duration
 }
@@ -124,23 +140,29 @@ type portalRoute struct {
 	bridgeVertex int // local index of the bridge on the target machine
 }
 
-// machine is one simulated multiprocessor: an engine over its slice of
-// the graph plus the link plumbing that couples it to its neighbors.
+// machine is one pipeline stage: an engine over its slice of the graph
+// plus the routing metadata that couples it to its neighbors. The
+// transports themselves are supplied at run time, so the same machine
+// definition runs over channels, loopback TCP, or a remote process's
+// sockets.
 type machine struct {
 	idx     int
 	eng     *core.Engine
 	ng      *graph.Numbered
 	localOf map[int]int // global vertex index -> local index (real vertices)
-	// inLinks[i] is the link from upstream machine i (nil when no edges
-	// from i); upstream lists the non-nil indices ascending.
-	inLinks  []*Link
-	upstream []int
-	// outLinks[j] is the link to downstream machine j; routesTo[j]
-	// lists the portals whose values ride it.
-	outLinks map[int]*Link
+	// upstream and downstream list the machine indices with at least one
+	// edge into / out of this machine, ascending.
+	upstream   []int
+	downstream []int
+	// routesTo[j] lists the portals whose values ride the link to
+	// downstream machine j.
 	routesTo map[int][]*portalRoute
 	// ext[p-1] is the machine's share of the global external inputs.
 	ext [][]core.ExtInput
+	// egressDown is set when the egress loop lost a link; ingress
+	// checks it before opening another phase so a machine whose
+	// outbound wire died aborts instead of computing into the void.
+	egressDown atomic.Pointer[error]
 }
 
 // ingress drives the machine's engine: for each phase it takes a ship
@@ -155,15 +177,23 @@ type machine struct {
 // cascade the failure downstream, so reporting first guarantees the
 // root-cause error wins the first-error slot over the derived
 // "upstream closed" errors it triggers.
-func (mc *machine) ingress(phases int, tokens chan struct{}, started chan<- int, fail func(error)) core.Stats {
+func (mc *machine) ingress(phases int, in map[int]Transport, tokens chan struct{}, started chan<- int, fail func(error)) core.Stats {
 	defer close(started)
 	st, err := mc.eng.RunFeed(phases, func(p int) ([]core.ExtInput, error) {
 		<-tokens
+		if errp := mc.egressDown.Load(); errp != nil {
+			return nil, fmt.Errorf("distrib: machine %d: aborting ingress at phase %d: %w", mc.idx, p, *errp)
+		}
 		ext := mc.ext[p-1]
 		for _, up := range mc.upstream {
-			f, ok := mc.inLinks[up].Recv()
-			if !ok {
+			f, err := in[up].Recv()
+			if err == ErrLinkClosed {
 				return nil, fmt.Errorf("distrib: machine %d: upstream %d closed before phase %d", mc.idx, up, p)
+			}
+			if err != nil {
+				// A wire-level failure (corruption, broken socket):
+				// surface the root cause, not a summary.
+				return nil, fmt.Errorf("distrib: machine %d: upstream %d link failed before phase %d: %w", mc.idx, up, p, err)
 			}
 			if f.Phase != p {
 				return nil, fmt.Errorf("distrib: machine %d: frame for phase %d while starting %d", mc.idx, f.Phase, p)
@@ -175,10 +205,10 @@ func (mc *machine) ingress(phases int, tokens chan struct{}, started chan<- int,
 	if err != nil {
 		fail(err)
 		// Abandon the inbound links so upstream egress loops can never
-		// wedge against a buffer nobody reads; they observe our egress
+		// wedge against a window nobody reads; they observe our egress
 		// closing its links and cascade the shutdown.
 		for _, up := range mc.upstream {
-			go mc.inLinks[up].DrainDiscard()
+			go in[up].DrainDiscard()
 		}
 	}
 	return st
@@ -186,44 +216,82 @@ func (mc *machine) ingress(phases int, tokens chan struct{}, started chan<- int,
 
 // egress ships every started phase downstream as soon as the engine
 // completes it, then closes the machine's outbound links and returns
-// each phase's ship token.
-func (mc *machine) egress(tokens chan<- struct{}, started <-chan int) {
+// each phase's ship token. A Send error (dead wire, injected fault)
+// marks the machine down: the failure is reported, ingress stops
+// opening phases, and the remaining started phases only have their
+// ship tokens returned — the deferred close then cascades the outage
+// to every downstream machine.
+func (mc *machine) egress(out map[int]Transport, tokens chan<- struct{}, started <-chan int, fail func(error)) {
 	defer func() {
-		for _, l := range mc.outLinks {
+		for _, l := range out {
 			l.Close()
 		}
 	}()
 	for p := range started {
-		mc.eng.WaitPhase(p)
-		for dst, routes := range mc.routesTo {
-			f := Frame{Phase: p, Inputs: make([]core.ExtInput, 0, len(routes))}
-			for _, r := range routes {
-				if v, ok := r.p.take(p); ok {
-					f.Inputs = append(f.Inputs, core.ExtInput{Vertex: r.bridgeVertex, Port: 0, Val: v})
-				}
+		if mc.egressDown.Load() == nil {
+			mc.eng.WaitPhase(p)
+			if err := mc.ship(out, p); err != nil {
+				err = fmt.Errorf("distrib: machine %d: phase %d: %w", mc.idx, p, err)
+				fail(err)
+				mc.egressDown.Store(&err)
 			}
-			mc.outLinks[dst].Send(f)
 		}
 		tokens <- struct{}{}
 	}
 }
 
-// Run executes the computation partitioned across simulated machines
-// and returns aggregate stats. mods[v-1] is the module for global
-// vertex v, exactly as for core.New; batches are the per-phase external
-// inputs in global vertex indices. The run is bit-identical to
-// baseline.Sequential over the same graph and modules (pinned by the
-// equivalence tests), for every planner.
-func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config) (Stats, error) {
-	t0 := time.Now()
+// ship sends phase p's frame on every outbound link.
+func (mc *machine) ship(out map[int]Transport, p int) error {
+	for _, dst := range mc.downstream {
+		routes := mc.routesTo[dst]
+		f := Frame{Phase: p, Inputs: make([]core.ExtInput, 0, len(routes))}
+		for _, r := range routes {
+			if v, ok := r.p.take(p); ok {
+				f.Inputs = append(f.Inputs, core.ExtInput{Vertex: r.bridgeVertex, Port: 0, Val: v})
+			}
+		}
+		if err := out[dst].Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deployment is a planned partitioned run: the per-machine engines,
+// portal/bridge routing and cross-machine topology chosen by the
+// planner, ready to be wired to any Transport implementation. A
+// Deployment is single-use (engines and modules are stateful): plan,
+// run every machine once, discard.
+//
+// Run wires and drives all machines in-process; RunMachine drives one
+// machine over caller-supplied transports, which is how cmd/fuseworker
+// turns the same plan into a multi-process deployment.
+type Deployment struct {
+	cfg        Config
+	starts     []int
+	planner    string
+	crossEdges int
+	machines   []*machineState
+}
+
+// NewDeployment validates the configuration, plans the partition and
+// assembles every machine's engine. mods[v-1] is the module for global
+// vertex v, exactly as for core.New.
+func NewDeployment(g *graph.Numbered, mods []core.Module, cfg Config) (*Deployment, error) {
 	if len(mods) != g.N() {
-		return Stats{}, fmt.Errorf("distrib: %d modules for %d vertices", len(mods), g.N())
+		return nil, fmt.Errorf("distrib: %d modules for %d vertices", len(mods), g.N())
 	}
 	if cfg.WorkersPerMachine <= 0 {
 		cfg.WorkersPerMachine = 1
 	}
-	if cfg.Buffer <= 0 {
+	if cfg.Buffer == 0 {
 		cfg.Buffer = 8
+	}
+	if cfg.Buffer < MinLinkDepth {
+		return nil, fmt.Errorf("distrib: link buffer depth %d < minimum %d (depth 0 would re-serialize the pipeline)", cfg.Buffer, MinLinkDepth)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
 	}
 	planner := cfg.Planner
 	if planner == nil {
@@ -233,26 +301,158 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 	if costs == nil {
 		costs = graph.UniformCosts(g.N())
 	} else if len(costs) != g.N() {
-		return Stats{}, fmt.Errorf("distrib: %d costs for %d vertices", len(costs), g.N())
+		return nil, fmt.Errorf("distrib: %d costs for %d vertices", len(costs), g.N())
 	}
 	starts, err := planner.Plan(g, costs, cfg.Machines)
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	if len(starts) != cfg.Machines {
-		return Stats{}, fmt.Errorf("distrib: planner %s returned %d stages for %d machines", planner.Name(), len(starts), cfg.Machines)
+		return nil, fmt.Errorf("distrib: planner %s returned %d stages for %d machines", planner.Name(), len(starts), cfg.Machines)
 	}
 	if err := graph.ValidateStarts(g.N(), starts); err != nil {
-		return Stats{}, fmt.Errorf("distrib: planner %s: %w", planner.Name(), err)
+		return nil, fmt.Errorf("distrib: planner %s: %w", planner.Name(), err)
 	}
-	machines, links, crossEdges, err := assemble(g, mods, starts, cfg)
+	machines, crossEdges, err := assemble(g, mods, starts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		cfg:        cfg,
+		starts:     starts,
+		planner:    planner.Name(),
+		crossEdges: crossEdges,
+		machines:   machines,
+	}, nil
+}
+
+// Machines returns the number of pipeline stages.
+func (d *Deployment) Machines() int { return len(d.machines) }
+
+// Starts returns the partition the planner chose (per-machine inclusive
+// start indices into the global numbering).
+func (d *Deployment) Starts() []int { return append([]int(nil), d.starts...) }
+
+// CrossEdges returns the number of graph edges the partition cuts.
+func (d *Deployment) CrossEdges() int { return d.crossEdges }
+
+// PlannerName names the planner that produced the partition.
+func (d *Deployment) PlannerName() string { return d.planner }
+
+// Buffer returns the validated per-link frame depth every transport of
+// this deployment must be built with.
+func (d *Deployment) Buffer() int { return d.cfg.Buffer }
+
+// Upstream returns the machine indices with at least one link into
+// machine m, ascending. RunMachine(m, ...) requires exactly one inbound
+// transport per entry.
+func (d *Deployment) Upstream(m int) []int {
+	return append([]int(nil), d.machines[m].upstream...)
+}
+
+// Downstream returns the machine indices machine m links to, ascending.
+// RunMachine(m, ...) requires exactly one outbound transport per entry.
+func (d *Deployment) Downstream(m int) []int {
+	return append([]int(nil), d.machines[m].downstream...)
+}
+
+// RunMachine drives one machine of the deployment to completion over
+// caller-supplied transports: in[i] must deliver the frames upstream
+// machine i ships, out[j] must carry this machine's frames to
+// downstream machine j — one transport per Upstream/Downstream entry.
+// batches are the *global* per-phase external inputs; the machine takes
+// only the share addressed to its own vertices. RunMachine blocks until
+// the machine has completed (or aborted) all phases; the returned error
+// is the machine's root-cause failure, with outbound links closed and
+// inbound links drained so no peer can wedge against this machine.
+func (d *Deployment) RunMachine(m int, batches [][]core.ExtInput, in, out map[int]Transport) (core.Stats, error) {
+	mc := d.machines[m]
+	for _, up := range mc.upstream {
+		if in[up] == nil {
+			return core.Stats{}, fmt.Errorf("distrib: machine %d: missing inbound transport from machine %d", m, up)
+		}
+	}
+	for _, dst := range mc.downstream {
+		if out[dst] == nil {
+			return core.Stats{}, fmt.Errorf("distrib: machine %d: missing outbound transport to machine %d", m, dst)
+		}
+	}
+	mc.splitExternal(d.starts, batches)
+
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	st := mc.run(len(batches), d.cfg.MaxInFlight, in, out, fail)
+	errMu.Lock()
+	defer errMu.Unlock()
+	return st, firstErr
+}
+
+// run drives the machine's ingress and egress loops to completion and
+// returns the engine stats. fail receives every loop failure;
+// first-error selection is the caller's.
+func (mc *machine) run(phases, window int, in, out map[int]Transport, fail func(error)) core.Stats {
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	started := make(chan int, phases)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mc.egress(out, tokens, started, fail)
+	}()
+	st := mc.ingress(phases, in, tokens, started, fail)
+	wg.Wait()
+	return st
+}
+
+// Run executes the computation partitioned across machines in-process
+// and returns aggregate stats. mods[v-1] is the module for global
+// vertex v, exactly as for core.New; batches are the per-phase external
+// inputs in global vertex indices. The run is bit-identical to
+// baseline.Sequential over the same graph and modules (pinned by the
+// equivalence tests), for every planner and every Transport.
+func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config) (Stats, error) {
+	t0 := time.Now()
+	d, err := NewDeployment(g, mods, cfg)
 	if err != nil {
 		return Stats{}, err
 	}
-	splitExternal(machines, starts, batches)
+	net := cfg.Network
+	if net == nil {
+		net = ChannelNetwork{}
+		defer net.Close()
+	}
+
+	// Wire every connected machine pair through the Network, in
+	// deterministic (from, to) order.
+	type linkKey struct{ from, to int }
+	var order []linkKey
+	transports := make(map[linkKey]Transport)
+	for m, mc := range d.machines {
+		for _, dst := range mc.downstream {
+			k := linkKey{m, dst}
+			tr, err := net.Link(m, dst, d.cfg.Buffer)
+			if err != nil {
+				for _, kk := range order {
+					transports[kk].Close()
+				}
+				return Stats{}, fmt.Errorf("distrib: wiring link %d->%d over %s: %w", m, dst, net.Name(), err)
+			}
+			order = append(order, k)
+			transports[k] = tr
+		}
+	}
 
 	// Drive every machine: ingress opens phases, egress ships them.
-	phases := len(batches)
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
@@ -263,52 +463,53 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 		}
 		errMu.Unlock()
 	}
-	for _, mc := range machines {
+	splitExternalAll(d.machines, d.starts, batches)
+	for m, mc := range d.machines {
+		in := make(map[int]Transport, len(mc.upstream))
+		for _, up := range mc.upstream {
+			in[up] = transports[linkKey{up, m}]
+		}
+		out := make(map[int]Transport, len(mc.downstream))
+		for _, dst := range mc.downstream {
+			out[dst] = transports[linkKey{m, dst}]
+		}
 		mc := mc
-		window := cfg.MaxInFlight
-		if window <= 0 {
-			window = 64
-		}
-		tokens := make(chan struct{}, window)
-		for i := 0; i < window; i++ {
-			tokens <- struct{}{}
-		}
-		started := make(chan int, phases)
-		wg.Add(2)
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			mc.finalStats = mc.ingress(phases, tokens, started, fail)
-		}()
-		go func() {
-			defer wg.Done()
-			mc.egress(tokens, started)
+			mc.finalStats = mc.run(len(batches), d.cfg.MaxInFlight, in, out, fail)
 		}()
 	}
 	wg.Wait()
 
 	st := Stats{
-		CrossEdges: crossEdges,
-		Starts:     starts,
-		Planner:    planner.Name(),
+		CrossEdges: d.crossEdges,
+		Starts:     d.starts,
+		Planner:    d.planner,
+		Transport:  net.Name(),
 	}
-	for _, mc := range machines {
+	for _, mc := range d.machines {
 		st.PerMachine = append(st.PerMachine, mc.finalStats)
 	}
-	for _, l := range links {
-		ls := l.Stats()
+	for _, k := range order {
+		ls := transports[k].Stats()
 		st.Links = append(st.Links, ls)
 		st.CrossMessages += ls.Values
 	}
 	st.Wall = time.Since(t0)
-	if firstErr != nil {
-		return st, firstErr
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	if err != nil {
+		return st, err
 	}
 	return st, nil
 }
 
-// assemble builds the per-machine subgraphs, engines, portals, bridges
-// and links for the given partition.
-func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) ([]*machineState, []*Link, int, error) {
+// assemble builds the per-machine subgraphs, engines, portals and
+// bridges for the given partition. Transports are wired later, by Run
+// or by the RunMachine caller.
+func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) ([]*machineState, int, error) {
 	M := len(starts)
 	type build struct {
 		g    *graph.Graph
@@ -356,12 +557,12 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) (
 			crosses = append(crosses, &crossRef{fromMachine: mv, portal: pm, toMachine: mw, bridgeID: bid})
 		}
 	}
-	// Number subgraphs, create engines, wire links.
+	// Number subgraphs, create engines, record the topology.
 	machines := make([]*machineState, M)
 	for m := 0; m < M; m++ {
 		ng, err := builds[m].g.Number()
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)
+			return nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)
 		}
 		ordered := make([]core.Module, ng.N())
 		for id, mod := range builds[m].mods {
@@ -373,7 +574,7 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) (
 			MeasureContention: cfg.MeasureContention,
 		})
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)
+			return nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)
 		}
 		localOf := make(map[int]int)
 		for v, id := range builds[m].ids {
@@ -384,12 +585,9 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) (
 			eng:      eng,
 			ng:       ng,
 			localOf:  localOf,
-			inLinks:  make([]*Link, M),
-			outLinks: make(map[int]*Link),
 			routesTo: make(map[int][]*portalRoute),
 		}}
 	}
-	var links []*Link
 	for _, c := range crosses {
 		src, dst := machines[c.fromMachine], machines[c.toMachine]
 		route := &portalRoute{
@@ -397,16 +595,17 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) (
 			toMachine:    c.toMachine,
 			bridgeVertex: dst.ng.IndexOf(c.bridgeID),
 		}
-		src.routesTo[c.toMachine] = append(src.routesTo[c.toMachine], route)
-		if src.outLinks[c.toMachine] == nil {
-			l := newLink(c.fromMachine, c.toMachine, cfg.Buffer)
-			links = append(links, l)
-			src.outLinks[c.toMachine] = l
-			dst.inLinks[c.fromMachine] = l
+		if src.routesTo[c.toMachine] == nil {
+			src.downstream = append(src.downstream, c.toMachine)
 			dst.upstream = append(dst.upstream, c.fromMachine)
 		}
+		src.routesTo[c.toMachine] = append(src.routesTo[c.toMachine], route)
 	}
-	return machines, links, crossEdges, nil
+	for _, mc := range machines {
+		sort.Ints(mc.upstream)
+		sort.Ints(mc.downstream)
+	}
+	return machines, crossEdges, nil
 }
 
 // machineState couples a machine with the stats its ingress goroutine
@@ -416,17 +615,35 @@ type machineState struct {
 	finalStats core.Stats
 }
 
-// splitExternal pre-splits the global external inputs by owning machine
-// (sources are real vertices; bridges receive only link frames).
-func splitExternal(machines []*machineState, starts []int, batches [][]core.ExtInput) {
-	for m := range machines {
-		machines[m].ext = make([][]core.ExtInput, len(batches))
+// splitExternal takes this machine's share of the global external
+// inputs (sources are real vertices; bridges receive only link
+// frames). Used by RunMachine, where a process owns one machine and a
+// full scan of the batches is the only option.
+func (mc *machine) splitExternal(starts []int, batches [][]core.ExtInput) {
+	mc.ext = make([][]core.ExtInput, len(batches))
+	for p, batch := range batches {
+		for _, x := range batch {
+			if graph.PartitionOf(starts, x.Vertex) != mc.idx {
+				continue
+			}
+			lv := mc.localOf[x.Vertex]
+			mc.ext[p] = append(mc.ext[p], core.ExtInput{Vertex: lv, Port: x.Port, Val: x.Val})
+		}
+	}
+}
+
+// splitExternalAll dispatches the global external inputs to every
+// machine in one pass — O(inputs), where per-machine filtering would
+// rescan every batch once per machine.
+func splitExternalAll(machines []*machineState, starts []int, batches [][]core.ExtInput) {
+	for _, mc := range machines {
+		mc.ext = make([][]core.ExtInput, len(batches))
 	}
 	for p, batch := range batches {
 		for _, x := range batch {
-			m := graph.PartitionOf(starts, x.Vertex)
-			lv := machines[m].localOf[x.Vertex]
-			machines[m].ext[p] = append(machines[m].ext[p], core.ExtInput{Vertex: lv, Port: x.Port, Val: x.Val})
+			mc := machines[graph.PartitionOf(starts, x.Vertex)]
+			lv := mc.localOf[x.Vertex]
+			mc.ext[p] = append(mc.ext[p], core.ExtInput{Vertex: lv, Port: x.Port, Val: x.Val})
 		}
 	}
 }

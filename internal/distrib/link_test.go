@@ -11,8 +11,18 @@ import (
 	"repro/internal/graph"
 )
 
+// mustLink builds a ChannelTransport or fails the test.
+func mustLink(t *testing.T, from, to, depth int) *ChannelTransport {
+	t.Helper()
+	l, err := NewChannelTransport(from, to, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
 func TestLinkFIFO(t *testing.T) {
-	l := newLink(0, 1, 4)
+	l := mustLink(t, 0, 1, 4)
 	go func() {
 		for p := 1; p <= 100; p++ {
 			l.Send(Frame{Phase: p})
@@ -20,13 +30,13 @@ func TestLinkFIFO(t *testing.T) {
 		l.Close()
 	}()
 	for p := 1; p <= 100; p++ {
-		f, ok := l.Recv()
-		if !ok || f.Phase != p {
-			t.Fatalf("recv %d: got (%+v, %v)", p, f, ok)
+		f, err := l.Recv()
+		if err != nil || f.Phase != p {
+			t.Fatalf("recv %d: got (%+v, %v)", p, f, err)
 		}
 	}
-	if _, ok := l.Recv(); ok {
-		t.Error("recv on closed drained link returned ok")
+	if _, err := l.Recv(); err != ErrLinkClosed {
+		t.Errorf("recv on closed drained link returned %v, want ErrLinkClosed", err)
 	}
 	st := l.Stats()
 	if st.Frames != 100 || st.From != 0 || st.To != 1 {
@@ -35,19 +45,19 @@ func TestLinkFIFO(t *testing.T) {
 }
 
 func TestLinkCloseDrainsBuffered(t *testing.T) {
-	l := newLink(2, 3, 8)
+	l := mustLink(t, 2, 3, 8)
 	l.Send(Frame{Phase: 1, Inputs: []core.ExtInput{{Vertex: 1, Val: event.Int(9)}}})
 	l.Send(Frame{Phase: 2})
 	l.Close()
-	f, ok := l.Recv()
-	if !ok || f.Phase != 1 || len(f.Inputs) != 1 {
-		t.Fatalf("first frame = (%+v, %v)", f, ok)
+	f, err := l.Recv()
+	if err != nil || f.Phase != 1 || len(f.Inputs) != 1 {
+		t.Fatalf("first frame = (%+v, %v)", f, err)
 	}
-	if f, ok := l.Recv(); !ok || f.Phase != 2 {
-		t.Fatalf("second frame = (%+v, %v)", f, ok)
+	if f, err := l.Recv(); err != nil || f.Phase != 2 {
+		t.Fatalf("second frame = (%+v, %v)", f, err)
 	}
-	if _, ok := l.Recv(); ok {
-		t.Error("third recv returned ok")
+	if _, err := l.Recv(); err != ErrLinkClosed {
+		t.Errorf("third recv returned %v, want ErrLinkClosed", err)
 	}
 	if st := l.Stats(); st.Values != 1 {
 		t.Errorf("Values = %d, want 1", st.Values)
@@ -55,18 +65,16 @@ func TestLinkCloseDrainsBuffered(t *testing.T) {
 }
 
 func TestLinkMinimumDepth(t *testing.T) {
-	// depth < 1 is clamped: a zero-depth link would re-serialize the
-	// pipeline into lockstep handoff.
-	l := newLink(0, 1, 0)
-	done := make(chan struct{})
-	go func() {
-		l.Send(Frame{Phase: 1}) // must not block on an unbuffered channel
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(time.Second):
-		t.Fatal("send on clamped-depth link blocked with no receiver")
+	// depth < MinLinkDepth is rejected, not clamped: a zero-depth link
+	// would re-serialize the pipeline into lockstep handoff, and the
+	// former silent clamp let callers depend on that accident.
+	for _, depth := range []int{0, -1, -8} {
+		if _, err := NewChannelTransport(0, 1, depth); err == nil {
+			t.Errorf("NewChannelTransport accepted depth %d, want error", depth)
+		}
+	}
+	if _, err := NewChannelTransport(0, 1, MinLinkDepth); err != nil {
+		t.Errorf("NewChannelTransport rejected the documented minimum depth %d: %v", MinLinkDepth, err)
 	}
 }
 
@@ -76,7 +84,7 @@ func TestLinkBackpressureAccounted(t *testing.T) {
 	// assume the sender always wins a sleep race on a loaded runner:
 	// one observed blocked send proves the accounting.
 	for attempt := 0; attempt < 20; attempt++ {
-		l := newLink(0, 1, 1)
+		l := mustLink(t, 0, 1, 1)
 		l.Send(Frame{Phase: 1}) // fills the buffer
 		go func() {
 			time.Sleep(5 * time.Millisecond)
@@ -99,7 +107,7 @@ func TestLinkBackpressureAccounted(t *testing.T) {
 // inbound link; the upstream sender, mid-blocked-send, must complete
 // and close without deadlock.
 func TestLinkDrainDiscardUnblocksSender(t *testing.T) {
-	l := newLink(0, 1, 1)
+	l := mustLink(t, 0, 1, 1)
 	done := make(chan struct{})
 	go func() {
 		for p := 1; p <= 1000; p++ {
@@ -122,9 +130,9 @@ func TestLinkDrainDiscardUnblocksSender(t *testing.T) {
 // tail.
 func TestLinkChainStress(t *testing.T) {
 	const stages, frames = 5, 2000
-	links := make([]*Link, stages)
+	links := make([]*ChannelTransport, stages)
 	for i := range links {
-		links[i] = newLink(i, i+1, 2)
+		links[i] = mustLink(t, i, i+1, 2)
 	}
 	var wg sync.WaitGroup
 	// head producer
@@ -143,8 +151,8 @@ func TestLinkChainStress(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(uint64(i), 0xfeed))
 			for {
-				f, ok := links[i-1].Recv()
-				if !ok {
+				f, err := links[i-1].Recv()
+				if err != nil {
 					links[i].Close()
 					return
 				}
@@ -157,8 +165,8 @@ func TestLinkChainStress(t *testing.T) {
 	}
 	want := 1
 	for {
-		f, ok := links[stages-1].Recv()
-		if !ok {
+		f, err := links[stages-1].Recv()
+		if err != nil {
 			break
 		}
 		if f.Phase != want {

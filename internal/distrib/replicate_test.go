@@ -1,0 +1,157 @@
+package distrib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// mkRelayReplica builds a minimal healthy replica: one source relaying
+// a named stream into a recording sink.
+func mkRelayReplica(t *testing.T, name, stream string) (Replica, *recSink) {
+	t.Helper()
+	g := graph.New()
+	src := g.AddVertex("src")
+	sink := g.AddVertex("sink")
+	g.MustEdge(src, sink)
+	ng, err := g.Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &recSink{}
+	mods := make([]core.Module, 2)
+	mods[ng.IndexOf(src)-1] = core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+	mods[ng.IndexOf(sink)-1] = rs
+	return Replica{
+		Name: name, Graph: ng, Modules: mods,
+		Subscribe: map[string]int{stream: ng.IndexOf(src)},
+		Config:    core.Config{Workers: 1},
+	}, rs
+}
+
+// TestReplicateErrorPaths is the dedicated table for Replicate's
+// failure modes, which were previously only exercised incidentally.
+func TestReplicateErrorPaths(t *testing.T) {
+	stream := [][]StreamEvent{
+		{{Stream: "feed", Val: event.Int(1)}},
+		{{Stream: "feed", Val: event.Int(2)}},
+	}
+	cases := []struct {
+		name string
+		// build returns the replicas to run; healthySinks lists sinks
+		// that must still see their full history despite other replicas
+		// failing.
+		build   func(t *testing.T) ([]Replica, []*recSink)
+		stream  [][]StreamEvent
+		wantErr string // substring; empty means success
+	}{
+		{
+			name: "module count mismatch",
+			build: func(t *testing.T) ([]Replica, []*recSink) {
+				ng, _ := graph.Chain(2).Number()
+				bad := Replica{Name: "shortmods", Graph: ng, Modules: []core.Module{bridge{}}}
+				return []Replica{bad}, nil
+			},
+			stream:  stream,
+			wantErr: "shortmods",
+		},
+		{
+			name: "aborting replica: subscription to nonexistent vertex",
+			build: func(t *testing.T) ([]Replica, []*recSink) {
+				r, _ := mkRelayReplica(t, "badsub", "feed")
+				r.Subscribe["feed"] = 99 // beyond the 2-vertex graph
+				return []Replica{r}, nil
+			},
+			stream:  stream,
+			wantErr: "badsub",
+		},
+		{
+			name: "aborting replica: subscription to non-source vertex",
+			build: func(t *testing.T) ([]Replica, []*recSink) {
+				r, _ := mkRelayReplica(t, "sinksub", "feed")
+				r.Subscribe["feed"] = 2 // the sink, not a source
+				return []Replica{r}, nil
+			},
+			stream:  stream,
+			wantErr: "sinksub",
+		},
+		{
+			name: "empty stream",
+			build: func(t *testing.T) ([]Replica, []*recSink) {
+				r, rs := mkRelayReplica(t, "idle", "feed")
+				_ = rs // zero phases: sink legitimately sees nothing
+				return []Replica{r}, nil
+			},
+			stream:  nil,
+			wantErr: "",
+		},
+		{
+			name: "replica count zero",
+			build: func(t *testing.T) ([]Replica, []*recSink) {
+				return nil, nil
+			},
+			stream:  stream,
+			wantErr: "",
+		},
+		{
+			name: "one failing replica does not poison the healthy one",
+			build: func(t *testing.T) ([]Replica, []*recSink) {
+				good, rs := mkRelayReplica(t, "healthy", "feed")
+				ng, _ := graph.Chain(2).Number()
+				bad := Replica{Name: "failing", Graph: ng, Modules: []core.Module{bridge{}}}
+				return []Replica{good, bad}, []*recSink{rs}
+			},
+			stream:  stream,
+			wantErr: "failing",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			replicas, healthy := c.build(t)
+			stats, err := Replicate(c.stream, replicas)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Replicate: %v", err)
+				}
+			} else {
+				if err == nil {
+					t.Fatal("Replicate succeeded, want error")
+				}
+				if !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("error %q does not name replica %q", err, c.wantErr)
+				}
+			}
+			if len(stats) != len(replicas) {
+				t.Errorf("stats for %d replicas, want %d", len(stats), len(replicas))
+			}
+			for _, rs := range healthy {
+				if len(rs.log) != len(c.stream) {
+					t.Errorf("healthy sink saw %d values, want %d", len(rs.log), len(c.stream))
+				}
+			}
+		})
+	}
+}
+
+// TestReplicateEmptyStreamStats: an empty history completes cleanly
+// with zero phases, not an error.
+func TestReplicateEmptyStreamStats(t *testing.T) {
+	r, rs := mkRelayReplica(t, "idle", "feed")
+	stats, err := Replicate([][]StreamEvent{}, []Replica{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].PhasesCompleted != 0 || stats[0].Executions != 0 {
+		t.Errorf("empty stream stats = %+v", stats[0])
+	}
+	if len(rs.log) != 0 {
+		t.Errorf("sink saw %d values on an empty stream", len(rs.log))
+	}
+}

@@ -1,0 +1,157 @@
+package distrib
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// FaultPlan describes the faults a FaultyNetwork injects. Every fault
+// is seeded and per-link deterministic, so a failing configuration
+// replays exactly.
+type FaultPlan struct {
+	// Seed drives the per-link randomness (delays, reorder). The same
+	// plan with the same seed injects the same faults.
+	Seed uint64
+	// MaxDelay, when positive, sleeps a uniform random duration in
+	// [0, MaxDelay) before delivering each received frame — the paper's
+	// §6 concession that "message delays may be significant and random".
+	MaxDelay time.Duration
+	// ReorderWindow, when positive, shuffles each frame's inputs within
+	// a bounded window before delivery. Cross-machine values of one
+	// phase carry no intra-phase ordering contract (each is addressed
+	// to its own bridge vertex and all are known at phase start), so a
+	// correct runtime is bit-identical under any such reorder — this
+	// fault exists to prove that, not to break it.
+	ReorderWindow int
+	// CrashAtPhase, when positive, kills the matching link the moment a
+	// frame for that phase (or later) is sent: Send reports an
+	// injected-crash error and refuses all further frames. The sending
+	// machine's egress then closes its links through the normal failure
+	// path — *after* reporting the root cause, so the injected error
+	// always wins the first-error slot over the "upstream closed"
+	// errors it triggers downstream. This models a machine dropping off
+	// the network mid-run and exercises the failure-cascade drain path
+	// end to end.
+	CrashAtPhase int
+	// CrashFrom/CrashTo select the link to crash. A cut always points
+	// from a lower machine to a higher one, so no real link connects a
+	// machine to itself: CrashFrom == CrashTo (the zero value included)
+	// means every link crashes at CrashAtPhase.
+	CrashFrom, CrashTo int
+}
+
+// crashes reports whether the plan crashes the (from, to) link.
+func (fp FaultPlan) crashes(from, to int) bool {
+	if fp.CrashAtPhase <= 0 {
+		return false
+	}
+	if fp.CrashFrom == fp.CrashTo {
+		return true
+	}
+	return fp.CrashFrom == from && fp.CrashTo == to
+}
+
+// FaultyNetwork wraps another Network and injects the plan's faults
+// into every link it creates. Wrap ChannelNetwork to test the runtime's
+// failure semantics cheaply, or a TCPNetwork to exercise them over real
+// sockets.
+type FaultyNetwork struct {
+	inner Network
+	plan  FaultPlan
+}
+
+// NewFaultyNetwork wraps inner (nil defaults to ChannelNetwork) with
+// the given fault plan.
+func NewFaultyNetwork(inner Network, plan FaultPlan) *FaultyNetwork {
+	if inner == nil {
+		inner = ChannelNetwork{}
+	}
+	return &FaultyNetwork{inner: inner, plan: plan}
+}
+
+// Name implements Network.
+func (n *FaultyNetwork) Name() string { return "faulty+" + n.inner.Name() }
+
+// Link implements Network.
+func (n *FaultyNetwork) Link(from, to, depth int) (Transport, error) {
+	tr, err := n.inner.Link(from, to, depth)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyTransport{
+		inner: tr,
+		from:  from,
+		to:    to,
+		plan:  n.plan,
+		// Distinct deterministic stream per link; recv-side only, so a
+		// single rng needs no locking.
+		rng: rand.New(rand.NewPCG(n.plan.Seed^0xFA017, n.plan.Seed+uint64(from)<<32+uint64(to))),
+	}, nil
+}
+
+// Close implements Network.
+func (n *FaultyNetwork) Close() error { return n.inner.Close() }
+
+// faultyTransport injects the plan's faults around one inner link.
+type faultyTransport struct {
+	inner    Transport
+	from, to int
+	plan     FaultPlan
+	rng      *rand.Rand // used only by Recv (single-goroutine)
+	crashed  bool       // used only by Send (single-goroutine)
+}
+
+// Send crashes the link at the planned phase; otherwise it passes
+// through.
+func (t *faultyTransport) Send(f Frame) error {
+	if t.crashed {
+		return fmt.Errorf("distrib: link %d->%d: already crashed by fault injection", t.from, t.to)
+	}
+	if t.plan.crashes(t.from, t.to) && f.Phase >= t.plan.CrashAtPhase {
+		t.crashed = true
+		// Do NOT close the inner transport here: the egress loop owns
+		// the close and performs it only after reporting this error, so
+		// the injected crash — not a derived "upstream closed" — is
+		// what surfaces to the caller.
+		return fmt.Errorf("distrib: link %d->%d: injected crash at phase %d", t.from, t.to, f.Phase)
+	}
+	return t.inner.Send(f)
+}
+
+// Recv delays and reorders per the plan, then delivers.
+func (t *faultyTransport) Recv() (Frame, error) {
+	f, err := t.inner.Recv()
+	if err != nil {
+		return f, err
+	}
+	if t.plan.MaxDelay > 0 {
+		time.Sleep(time.Duration(t.rng.Int64N(int64(t.plan.MaxDelay))))
+	}
+	if w := t.plan.ReorderWindow; w > 0 && len(f.Inputs) > 1 {
+		// Bounded Fisher-Yates: each input may move at most w slots.
+		for i := len(f.Inputs) - 1; i > 0; i-- {
+			lo := i - w
+			if lo < 0 {
+				lo = 0
+			}
+			j := lo + t.rng.IntN(i-lo+1)
+			f.Inputs[i], f.Inputs[j] = f.Inputs[j], f.Inputs[i]
+		}
+	}
+	return f, nil
+}
+
+func (t *faultyTransport) Close() error  { return t.inner.Close() }
+func (t *faultyTransport) DrainDiscard() { t.inner.DrainDiscard() }
+
+func (t *faultyTransport) Stats() LinkStats {
+	ls := t.inner.Stats()
+	ls.Transport = "faulty+" + ls.Transport
+	return ls
+}
+
+var (
+	_ Network   = (*FaultyNetwork)(nil)
+	_ Transport = (*faultyTransport)(nil)
+)

@@ -36,6 +36,10 @@ type BenchRow struct {
 	LockWaitNs       int64   `json:"lock_wait_ns"`
 	LockAcquisitions int64   `json:"lock_acquisitions"`
 	MaxQueueLen      int     `json:"max_queue_len"`
+	// WireBytes is the encoded cross-machine payload volume for rows
+	// whose links run over a real wire transport (0 for in-process
+	// channel links, which move pointers, not bytes).
+	WireBytes int64 `json:"wire_bytes,omitempty"`
 }
 
 // BenchReport is the top-level BENCH.json document.
@@ -103,6 +107,26 @@ func distribCases() []distribCase {
 		{"e12-pipeline/machines=1", 1},
 		{"e12-pipeline/machines=2", 2},
 		{"e12-pipeline/machines=4", 4},
+	}
+}
+
+// e13Case is one transport of the wire-overhead comparison: the same
+// E12 pipeline at E13Machines, chan vs loopback TCP. Both rows have
+// deterministic execution counts (same workload, same uniform-cost
+// plan), so benchdiff's full time/alloc gate covers them. The
+// fault-abort row is different: a crash races the pipeline, so its
+// executed-pair count is nondeterministic and it deliberately reports
+// Executions=0 — the gate then pins its existence and configuration
+// (MISSING/CONFIG-CHANGED still fire) without flapping on ns/exec.
+type e13Case struct {
+	name      string
+	transport string // "chan" | "tcp"
+}
+
+func e13Cases() []e13Case {
+	return []e13Case{
+		{"e13-wire/transport=chan", "chan"},
+		{"e13-wire/transport=tcp", "tcp"},
 	}
 }
 
@@ -226,6 +250,65 @@ func BenchJSON(quick bool) BenchReport {
 		}
 		rep.Workloads = append(rep.Workloads, row)
 	}
+	for _, c := range e13Cases() {
+		wall, allocs, st := measureBest(func() (time.Duration, uint64, distrib.Stats) {
+			ng, mods := e12w.Build()
+			cfg := E12Config(E13Machines)
+			if c.transport == "tcp" {
+				tn, err := distrib.NewTCPNetwork()
+				if err != nil {
+					panic(err)
+				}
+				defer tn.Close()
+				cfg.Network = tn
+			}
+			var rst distrib.Stats
+			w, a := allocsAround(func() {
+				var err error
+				rst, err = distrib.Run(ng, mods, Phases(phases), cfg)
+				if err != nil {
+					panic(err)
+				}
+			})
+			return w, a, rst
+		})
+		row := BenchRow{
+			Name:     c.name,
+			Workers:  E13Machines * E12WorkersPerMachine,
+			Machines: E13Machines,
+			Phases:   phases,
+			GrainNs:  int64(e12w.Grain),
+			WallNs:   int64(wall),
+		}
+		for _, m := range st.PerMachine {
+			row.Executions += m.Executions
+			row.Messages += m.Messages
+			if m.MaxQueueLen > row.MaxQueueLen {
+				row.MaxQueueLen = m.MaxQueueLen
+			}
+		}
+		for _, ls := range st.Links {
+			row.WireBytes += ls.Bytes
+		}
+		if row.Executions > 0 {
+			row.NsPerExec = int64(wall) / row.Executions
+			row.AllocsPerExec = float64(allocs) / float64(row.Executions)
+		}
+		rep.Workloads = append(rep.Workloads, row)
+	}
+	// Fault-recovery row: wall time from phase 1 to a clean cascaded
+	// abort after every link crashes mid-run. Executions under a crash
+	// race the cascade and are nondeterministic, so the row pins
+	// Executions=0 — see e13Case.
+	abortWall, _ := E13FaultAbort(e12w, phases)
+	rep.Workloads = append(rep.Workloads, BenchRow{
+		Name:     "e13-fault-abort/crash=mid",
+		Workers:  E13Machines * E12WorkersPerMachine,
+		Machines: E13Machines,
+		Phases:   phases,
+		GrainNs:  int64(e12w.Grain),
+		WallNs:   int64(abortWall),
+	})
 	return rep
 }
 

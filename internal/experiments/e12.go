@@ -63,6 +63,13 @@ func E12Config(machines int) distrib.Config {
 // machine count only when the host has enough cores to actually run
 // the engines in parallel (GOMAXPROCS ≥ machines × workers); E12
 // reports whatever the hardware delivers.
+//
+// The planner runs on MEASURED costs: a short single-engine
+// calibration run with per-vertex Step timing feeds
+// distrib.MeasuredCosts, replacing the former UniformCosts default.
+// (The BENCH.json e12 rows deliberately keep uniform costs: measured
+// boundaries are host-dependent, and a checked-in baseline must name
+// the same configuration on every machine — see bench.go.)
 func E12PipelineScaleOut(quick bool) E12Result {
 	machineSet := []int{1, 2, 4}
 	phases := 240
@@ -72,14 +79,23 @@ func E12PipelineScaleOut(quick bool) E12Result {
 		phases = 60
 		w.Depth = 8
 	}
+	// Calibration consumes a module set of its own (modules are
+	// stateful and single-use); the measured runs build fresh ones.
+	calNG, calMods := w.Build()
+	costs, err := distrib.MeasuredCosts(calNG, calMods, Phases(phases/4+1), E12WorkersPerMachine)
+	if err != nil {
+		panic(err)
+	}
 	var res E12Result
 	tb := metrics.NewTable(
-		"E12 — scale-out: partitioned pipeline vs machines×workers (cost-aware planner, 2 workers/machine)",
+		"E12 — scale-out: partitioned pipeline vs machines×workers (cost-aware planner, measured costs, 2 workers/machine)",
 		"machines", "workers", "wall-time", "speedup-vs-1", "cross-msgs", "cut-edges", "link-blocked")
 	var base time.Duration
 	for _, m := range machineSet {
 		ng, mods := w.Build()
-		st, err := distrib.Run(ng, mods, Phases(phases), E12Config(m))
+		cfg := E12Config(m)
+		cfg.Costs = costs
+		st, err := distrib.Run(ng, mods, Phases(phases), cfg)
 		if err != nil {
 			panic(err)
 		}

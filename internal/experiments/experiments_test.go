@@ -225,6 +225,15 @@ func TestBenchJSONShape(t *testing.T) {
 	names := map[string]bool{}
 	for _, row := range rep.Workloads {
 		names[row.Name] = true
+		if row.Name == "e13-fault-abort/crash=mid" {
+			// The fault row times a crash cascade: executions race the
+			// abort, so it deliberately pins Executions=0 and reports
+			// wall time only (see e13Case in bench.go).
+			if row.WallNs <= 0 || row.Executions != 0 {
+				t.Errorf("fault row mis-measured: %+v", row)
+			}
+			continue
+		}
 		if row.Executions == 0 || row.WallNs <= 0 || row.NsPerExec <= 0 {
 			t.Errorf("row %s not measured: %+v", row.Name, row)
 		}
@@ -235,6 +244,8 @@ func TestBenchJSONShape(t *testing.T) {
 	for _, want := range []string{
 		"e1-compute-heavy/threads=1", "overhead-zero-grain/threads=1",
 		"e12-pipeline/machines=1", "e12-pipeline/machines=4",
+		"e13-wire/transport=chan", "e13-wire/transport=tcp",
+		"e13-fault-abort/crash=mid",
 	} {
 		if !names[want] {
 			t.Errorf("report missing tracked row %q", want)
@@ -243,6 +254,16 @@ func TestBenchJSONShape(t *testing.T) {
 	for _, row := range rep.Workloads {
 		if row.Machines == 4 && row.Workers != 8 {
 			t.Errorf("machines=4 row claims %d total workers, want 8", row.Workers)
+		}
+		switch row.Name {
+		case "e13-wire/transport=tcp":
+			if row.WireBytes == 0 {
+				t.Error("tcp wire row reports zero encoded bytes")
+			}
+		case "e13-wire/transport=chan":
+			if row.WireBytes != 0 {
+				t.Errorf("chan row reports %d wire bytes; channels move pointers", row.WireBytes)
+			}
 		}
 	}
 }
@@ -310,7 +331,7 @@ func TestWatermarkLossCurve(t *testing.T) {
 
 func TestNamesOrderAndRunAll(t *testing.T) {
 	names := Names()
-	want := []string{"e1", "e2", "e3", "e4", "e8", "e9", "e10", "e11", "e12"}
+	want := []string{"e1", "e2", "e3", "e4", "e8", "e9", "e10", "e11", "e12", "e13"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -325,7 +346,7 @@ func TestNamesOrderAndRunAll(t *testing.T) {
 	var sb strings.Builder
 	RunAll(&sb, true)
 	out := sb.String()
-	for _, frag := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E8 —", "E9 —", "E10 —", "E11 —", "E12 —"} {
+	for _, frag := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E8 —", "E9 —", "E10 —", "E11 —", "E12 —", "E13 —"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("RunAll output missing %q", frag)
 		}

@@ -1,0 +1,226 @@
+// Package griddemo is the shared workload behind examples/pipeline and
+// cmd/fuseworker: a wide-area grid-monitoring computation — regional
+// feeds smoothed and screened for anomalies, fused into a national
+// alert — plus the worker driver that runs one machine of its
+// partitioned deployment over real TCP links. Both binaries build the
+// identical graph with identical costs, so every process independently
+// computes the same cost-aware plan and they agree on which machine
+// owns which vertices without exchanging anything but frames.
+package griddemo
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/event"
+	"repro/internal/graph"
+	"repro/internal/module"
+	"repro/internal/netwire"
+)
+
+// Regions is the number of regional feeds in the demo graph.
+const Regions = 4
+
+// Build constructs the monitoring graph with fresh modules (modules are
+// stateful and single-use) and returns the numbered graph, its modules
+// in numbered order, per-vertex planner costs, the alert sink and the
+// sink's global vertex index (whose owning machine reports alerts).
+func Build() (*graph.Numbered, []core.Module, []float64, *module.AlertSink, int) {
+	g := graph.New()
+	type pending struct {
+		id   int
+		mod  core.Module
+		cost float64
+	}
+	var vertices []pending
+	add := func(name string, mod core.Module, cost float64) int {
+		id := g.AddVertex(name)
+		vertices = append(vertices, pending{id, mod, cost})
+		return id
+	}
+
+	// Fusion counts regions currently in anomaly; Δ-inputs arrive only
+	// on transitions, so it keeps the latest state per region.
+	state := make([]bool, Regions)
+	fusion := core.StepFunc(func(ctx *core.Context) {
+		if ctx.InCount() == 0 {
+			return
+		}
+		for p := 0; p < ctx.Ports(); p++ {
+			if v, ok := ctx.In(p); ok {
+				state[p] = v.Bool(false)
+			}
+		}
+		n := 0
+		for _, s := range state {
+			if s {
+				n++
+			}
+		}
+		ctx.EmitAll(event.Float(float64(n)))
+	})
+	fuse := add("national-fusion", fusion, 2)
+	alarm := add("multi-region-alarm", &module.Threshold{Level: 1.5}, 1)
+	alerts := &module.AlertSink{}
+	sink := add("alerts", alerts, 1)
+	g.MustEdge(fuse, alarm)
+	g.MustEdge(alarm, sink)
+
+	for r := 0; r < Regions; r++ {
+		// Analytics dominate the cost estimate: the planner should pack
+		// sources together and spread the detectors.
+		feed := add(fmt.Sprintf("region%d/feed", r),
+			&module.RandomWalk{Seed: uint64(0xFEED + r), Drift: 1.0}, 1)
+		smooth := add(fmt.Sprintf("region%d/smoother", r), module.NewSmoother(0.25), 2)
+		detect := add(fmt.Sprintf("region%d/zscore", r), module.NewZScoreDetector(48, 2.5, 48), 4)
+		g.MustEdge(feed, smooth)
+		g.MustEdge(smooth, detect)
+		g.MustEdge(detect, fuse)
+	}
+
+	ng, err := g.Number()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mods := make([]core.Module, ng.N())
+	costs := make([]float64, ng.N())
+	for _, p := range vertices {
+		mods[ng.IndexOf(p.id)-1] = p.mod
+		costs[ng.IndexOf(p.id)-1] = p.cost
+	}
+	return ng, mods, costs, alerts, ng.IndexOf(sink)
+}
+
+// Deploy plans the demo across the given machine count with the
+// cost-aware planner, returning the deployment plus the alert sink and
+// its global vertex index.
+func Deploy(machines, workers, buffer int) (*distrib.Deployment, *module.AlertSink, int, error) {
+	ng, mods, costs, alerts, sinkV := Build()
+	d, err := distrib.NewDeployment(ng, mods, distrib.Config{
+		Machines: machines, WorkersPerMachine: workers,
+		MaxInFlight: 16, Buffer: buffer,
+		Planner: distrib.CostAware{}, Costs: costs,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return d, alerts, sinkV, nil
+}
+
+// WorkerOptions configures one machine's standalone run.
+type WorkerOptions struct {
+	// Machine is this process's machine index, 0-based.
+	Machine int
+	// Machines is the total machine count of the deployment.
+	Machines int
+	// Peers[m] is the address machine m listens on for inbound links.
+	Peers []string
+	// Phases is the number of phases to run.
+	Phases int
+	// Workers is this machine's compute-thread count.
+	Workers int
+	// Buffer is the per-link frame depth (credit window).
+	Buffer int
+	// DialTimeout bounds how long to keep retrying a peer that has not
+	// started listening yet. Defaults to 15s.
+	DialTimeout time.Duration
+	// Log receives progress lines. Defaults to discarding.
+	Log io.Writer
+}
+
+// RunWorker runs one machine of the demo deployment over real TCP
+// links: it listens for every upstream machine's connection on its own
+// peer address, dials every downstream machine (retrying while peers
+// start up), and drives the machine to completion. Every worker
+// process computes the identical plan from the shared workload, so the
+// only bytes exchanged are handshakes, frames and credits.
+//
+// When this machine owns the alert sink, ownsSink is true and alerts
+// lists the phases at which the national alarm fired (it is what a
+// single-process run produces, bit for bit — serializability holds
+// across the wire).
+func RunWorker(o WorkerOptions) (alerts []int, ownsSink bool, err error) {
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 15 * time.Second
+	}
+	if o.Machine < 0 || o.Machine >= o.Machines || len(o.Peers) != o.Machines {
+		return nil, false, fmt.Errorf("griddemo: machine %d of %d with %d peers", o.Machine, o.Machines, len(o.Peers))
+	}
+	d, sink, sinkV, err := Deploy(o.Machines, o.Workers, o.Buffer)
+	if err != nil {
+		return nil, false, err
+	}
+	m := o.Machine
+	up, down := d.Upstream(m), d.Downstream(m)
+	fmt.Fprintf(o.Log, "machine %d/%d: plan starts=%v, %d upstream, %d downstream\n",
+		m, o.Machines, d.Starts(), len(up), len(down))
+
+	// Listen before dialing, so peers that dial us early are not lost.
+	var ln *netwire.Listener
+	if len(up) > 0 {
+		ln, err = netwire.Listen(o.Peers[m])
+		if err != nil {
+			return nil, false, err
+		}
+		defer ln.Close()
+	}
+
+	// Dial every downstream machine, retrying while it boots.
+	out := make(map[int]distrib.Transport, len(down))
+	for _, dst := range down {
+		var sl *netwire.SendLink
+		deadline := time.Now().Add(o.DialTimeout)
+		for {
+			sl, err = netwire.Dial(o.Peers[dst], m, dst, d.Buffer())
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, false, fmt.Errorf("griddemo: machine %d: dialing machine %d at %s: %w", m, dst, o.Peers[dst], err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		out[dst] = distrib.NewSendTransport(m, dst, sl)
+		fmt.Fprintf(o.Log, "machine %d: connected to machine %d (%s)\n", m, dst, o.Peers[dst])
+	}
+
+	// Accept one inbound link per upstream machine, whichever order
+	// they arrive in.
+	in := make(map[int]distrib.Transport, len(up))
+	want := make(map[int]bool, len(up))
+	for _, u := range up {
+		want[u] = true
+	}
+	for len(in) < len(up) {
+		rl, err := ln.Accept()
+		if err != nil {
+			return nil, false, fmt.Errorf("griddemo: machine %d: accepting upstream link: %w", m, err)
+		}
+		hs := rl.Handshake()
+		if hs.To != m || !want[hs.From] || in[hs.From] != nil {
+			rl.Close()
+			return nil, false, fmt.Errorf("griddemo: machine %d: unexpected link %d->%d", m, hs.From, hs.To)
+		}
+		in[hs.From] = distrib.NewRecvTransport(rl)
+		fmt.Fprintf(o.Log, "machine %d: accepted link from machine %d\n", m, hs.From)
+	}
+
+	t0 := time.Now()
+	st, err := d.RunMachine(m, make([][]core.ExtInput, o.Phases), in, out)
+	if err != nil {
+		return nil, false, fmt.Errorf("griddemo: machine %d: %w", m, err)
+	}
+	fmt.Fprintf(o.Log, "machine %d: %d executions, %d phases in %v\n",
+		m, st.Executions, st.PhasesCompleted, time.Since(t0).Round(time.Millisecond))
+	if graph.PartitionOf(d.Starts(), sinkV) == m {
+		return sink.Alerts, true, nil
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,203 @@
+// Package netwire is the wire layer under distrib's TCP transport: a
+// compact binary codec for event values, external inputs and per-phase
+// frames, length-prefixed framing with strict bounds checking, and the
+// per-link handshake + credit-window protocol that gives a real socket
+// the same bounded-buffer semantics as an in-process channel
+// (DESIGN.md §7).
+//
+// The codec is deliberately tiny and self-contained — varints and
+// little-endian float bits, no reflection, no external schema — so the
+// serialized form is stable, fuzzable and cheap: encoding a frame
+// reuses the caller's scratch buffer and allocates nothing in steady
+// state.
+package netwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// DefaultMaxFrame is the largest encoded frame payload a link accepts
+// unless configured otherwise: past this, a length prefix is treated as
+// corruption (or abuse), not data. 16 MiB fits ~2M float64 vector
+// elements per phase per link — far beyond any workload in the repo.
+const DefaultMaxFrame = 16 << 20
+
+// value kind tags on the wire. These deliberately mirror event.Kind but
+// are a separate namespace: the wire format is frozen by round-trip and
+// fuzz tests, while event.Kind is free to evolve internally.
+const (
+	wireNone   = 0
+	wireBool   = 1
+	wireInt    = 2
+	wireFloat  = 3
+	wireString = 4
+	wireVector = 5
+)
+
+// AppendValue appends the wire encoding of v to buf and returns the
+// extended slice. All five payload kinds round-trip exactly, including
+// NaN floats, empty strings and empty (but non-nil) vectors.
+func AppendValue(buf []byte, v event.Value) []byte {
+	switch v.Kind() {
+	case event.KindNone:
+		return append(buf, wireNone)
+	case event.KindBool:
+		b, _ := v.AsBool()
+		if b {
+			return append(buf, wireBool, 1)
+		}
+		return append(buf, wireBool, 0)
+	case event.KindInt:
+		i, _ := v.AsInt()
+		buf = append(buf, wireInt)
+		return binary.AppendVarint(buf, i)
+	case event.KindFloat:
+		f, _ := v.AsFloat()
+		buf = append(buf, wireFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	case event.KindString:
+		s, _ := v.AsString()
+		buf = append(buf, wireString)
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		return append(buf, s...)
+	case event.KindVector:
+		vec, _ := v.AsVector()
+		buf = append(buf, wireVector)
+		buf = binary.AppendUvarint(buf, uint64(len(vec)))
+		for _, f := range vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		return buf
+	default:
+		panic(fmt.Sprintf("netwire: unencodable value kind %v", v.Kind()))
+	}
+}
+
+// ReadValue decodes one value from the front of buf, returning the
+// value and the remaining bytes. Truncated or unknown-kind input is an
+// error, never a partial value.
+func ReadValue(buf []byte) (event.Value, []byte, error) {
+	if len(buf) == 0 {
+		return event.Value{}, nil, fmt.Errorf("netwire: truncated value: missing kind")
+	}
+	kind, rest := buf[0], buf[1:]
+	switch kind {
+	case wireNone:
+		return event.None(), rest, nil
+	case wireBool:
+		if len(rest) < 1 {
+			return event.Value{}, nil, fmt.Errorf("netwire: truncated bool")
+		}
+		return event.Bool(rest[0] != 0), rest[1:], nil
+	case wireInt:
+		i, n := binary.Varint(rest)
+		if n <= 0 {
+			return event.Value{}, nil, fmt.Errorf("netwire: truncated int varint")
+		}
+		return event.Int(i), rest[n:], nil
+	case wireFloat:
+		if len(rest) < 8 {
+			return event.Value{}, nil, fmt.Errorf("netwire: truncated float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		return event.Float(f), rest[8:], nil
+	case wireString:
+		n, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return event.Value{}, nil, fmt.Errorf("netwire: truncated string length")
+		}
+		rest = rest[used:]
+		if uint64(len(rest)) < n {
+			return event.Value{}, nil, fmt.Errorf("netwire: truncated string: want %d bytes, have %d", n, len(rest))
+		}
+		return event.String(string(rest[:n])), rest[n:], nil
+	case wireVector:
+		n, used := binary.Uvarint(rest)
+		if used <= 0 {
+			return event.Value{}, nil, fmt.Errorf("netwire: truncated vector length")
+		}
+		rest = rest[used:]
+		if uint64(len(rest)) < n*8 || n > uint64(len(rest)) {
+			return event.Value{}, nil, fmt.Errorf("netwire: truncated vector: want %d elements, have %d bytes", n, len(rest))
+		}
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+		}
+		return event.Vector(vec), rest[n*8:], nil
+	default:
+		return event.Value{}, nil, fmt.Errorf("netwire: unknown value kind %d", kind)
+	}
+}
+
+// AppendFrame appends the payload encoding of one phase frame — the
+// phase number and every external input it carries — to buf and
+// returns the extended slice. The payload is what travels inside the
+// length-prefixed wire frame; WriteFrame adds the prefix.
+func AppendFrame(buf []byte, phase int, inputs []core.ExtInput) []byte {
+	buf = binary.AppendUvarint(buf, uint64(phase))
+	buf = binary.AppendUvarint(buf, uint64(len(inputs)))
+	for _, in := range inputs {
+		buf = binary.AppendUvarint(buf, uint64(in.Vertex))
+		buf = binary.AppendUvarint(buf, uint64(in.Port))
+		buf = AppendValue(buf, in.Val)
+	}
+	return buf
+}
+
+// DecodeFrame decodes a frame payload produced by AppendFrame. Every
+// byte must be consumed: trailing garbage is corruption, not padding.
+func DecodeFrame(payload []byte) (phase int, inputs []core.ExtInput, err error) {
+	p, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return 0, nil, fmt.Errorf("netwire: truncated frame: missing phase")
+	}
+	if p > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("netwire: implausible phase %d", p)
+	}
+	payload = payload[used:]
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return 0, nil, fmt.Errorf("netwire: truncated frame: missing input count")
+	}
+	payload = payload[used:]
+	// Each input costs at least 3 bytes (vertex, port, kind), so an
+	// input count beyond len/3 cannot be honest — reject it before
+	// allocating.
+	if n > uint64(len(payload)/3+1) {
+		return 0, nil, fmt.Errorf("netwire: frame claims %d inputs in %d bytes", n, len(payload))
+	}
+	if n > 0 {
+		inputs = make([]core.ExtInput, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		vtx, used := binary.Uvarint(payload)
+		if used <= 0 {
+			return 0, nil, fmt.Errorf("netwire: truncated input %d: vertex", i)
+		}
+		payload = payload[used:]
+		port, used := binary.Uvarint(payload)
+		if used <= 0 {
+			return 0, nil, fmt.Errorf("netwire: truncated input %d: port", i)
+		}
+		payload = payload[used:]
+		if vtx == 0 || vtx > math.MaxInt32 || port > math.MaxInt32 {
+			return 0, nil, fmt.Errorf("netwire: input %d: implausible vertex %d / port %d", i, vtx, port)
+		}
+		var v event.Value
+		v, payload, err = ReadValue(payload)
+		if err != nil {
+			return 0, nil, fmt.Errorf("netwire: input %d: %w", i, err)
+		}
+		inputs = append(inputs, core.ExtInput{Vertex: int(vtx), Port: int(port), Val: v})
+	}
+	if len(payload) != 0 {
+		return 0, nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))
+	}
+	return int(p), inputs, nil
+}

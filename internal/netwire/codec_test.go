@@ -1,0 +1,234 @@
+package netwire
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// values returns one representative of every payload kind plus the
+// edge cases the wire format must preserve exactly.
+func values() []event.Value {
+	return []event.Value{
+		event.None(),
+		event.Bool(false),
+		event.Bool(true),
+		event.Int(0),
+		event.Int(1),
+		event.Int(-1),
+		// ±2^53 is event.Int's documented exact-precision boundary;
+		// beyond it AsInt itself is lossy, so the wire cannot do better.
+		event.Int(1 << 53),
+		event.Int(-(1 << 53)),
+		event.Float(0),
+		event.Float(math.Copysign(0, -1)),
+		event.Float(3.14159),
+		event.Float(math.Inf(1)),
+		event.Float(math.Inf(-1)),
+		event.Float(math.NaN()),
+		event.String(""),
+		event.String("hospital-occupancy"),
+		event.String(strings.Repeat("x", 1000)),
+		event.String("unicode: Δ-dataflow ∅"),
+		event.Vector([]float64{}),
+		event.Vector([]float64{1}),
+		event.Vector([]float64{-1.5, math.NaN(), math.Inf(1), 0}),
+		event.Vector(make([]float64, 512)),
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	for _, v := range values() {
+		buf := AppendValue(nil, v)
+		got, rest, err := ReadValue(buf)
+		if err != nil {
+			t.Fatalf("ReadValue(%v): %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("ReadValue(%v) left %d bytes", v, len(rest))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+		if got.Kind() != v.Kind() {
+			t.Errorf("round trip changed kind: %v -> %v", v.Kind(), got.Kind())
+		}
+	}
+}
+
+// TestValueRoundTripConcatenated: values decode in sequence from one
+// buffer, each consuming exactly its own bytes.
+func TestValueRoundTripConcatenated(t *testing.T) {
+	vs := values()
+	var buf []byte
+	for _, v := range vs {
+		buf = AppendValue(buf, v)
+	}
+	for i, want := range vs {
+		var got event.Value
+		var err error
+		got, buf, err = ReadValue(buf)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("value %d: %v != %v", i, got, want)
+		}
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d bytes left after all values", len(buf))
+	}
+}
+
+func TestValueTruncatedRejected(t *testing.T) {
+	// Every strict prefix of a value encoding must fail: length fields
+	// precede their payloads and varints keep their continuation bit set
+	// until the final byte, so a truncation can never pass for a
+	// complete (shorter) value.
+	for _, v := range values() {
+		full := AppendValue(nil, v)
+		for cut := 0; cut < len(full); cut++ {
+			if _, _, err := ReadValue(full[:cut]); err == nil {
+				t.Errorf("truncated %v at %d/%d bytes accepted", v, cut, len(full))
+			}
+		}
+	}
+}
+
+func TestValueUnknownKindRejected(t *testing.T) {
+	for _, b := range []byte{6, 7, 99, 255} {
+		if _, _, err := ReadValue([]byte{b}); err == nil {
+			t.Errorf("kind %d accepted", b)
+		}
+	}
+}
+
+func frameInputs() []core.ExtInput {
+	return []core.ExtInput{
+		{Vertex: 1, Port: 0, Val: event.Int(42)},
+		{Vertex: 7, Port: 3, Val: event.String("")},
+		{Vertex: 123456, Port: 0, Val: event.Vector([]float64{1, 2, 3})},
+		{Vertex: 2, Port: 1, Val: event.None()},
+		{Vertex: 9, Port: 0, Val: event.Float(math.NaN())},
+		{Vertex: 10, Port: 0, Val: event.Bool(true)},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		phase  int
+		inputs []core.ExtInput
+	}{
+		{"empty", 1, nil},
+		{"empty high phase", 1 << 30, nil},
+		{"mixed kinds", 17, frameInputs()},
+		{"single", 2, frameInputs()[:1]},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			payload := AppendFrame(nil, c.phase, c.inputs)
+			phase, inputs, err := DecodeFrame(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if phase != c.phase {
+				t.Errorf("phase %d != %d", phase, c.phase)
+			}
+			if len(inputs) != len(c.inputs) {
+				t.Fatalf("%d inputs != %d", len(inputs), len(c.inputs))
+			}
+			for i := range inputs {
+				if inputs[i].Vertex != c.inputs[i].Vertex || inputs[i].Port != c.inputs[i].Port {
+					t.Errorf("input %d addressing %+v != %+v", i, inputs[i], c.inputs[i])
+				}
+				if !inputs[i].Val.Equal(c.inputs[i].Val) {
+					t.Errorf("input %d value %v != %v", i, inputs[i].Val, c.inputs[i].Val)
+				}
+			}
+		})
+	}
+}
+
+func TestFrameTruncatedRejected(t *testing.T) {
+	full := AppendFrame(nil, 99, frameInputs())
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeFrame(full[:cut]); err == nil {
+			t.Errorf("truncated frame at %d/%d accepted", cut, len(full))
+		}
+	}
+}
+
+func TestFrameTrailingBytesRejected(t *testing.T) {
+	full := AppendFrame(nil, 5, frameInputs()[:2])
+	if _, _, err := DecodeFrame(append(full, 0)); err == nil {
+		t.Error("frame with trailing byte accepted")
+	}
+}
+
+// TestFrameImplausibleCountsRejected: hostile length fields fail fast
+// instead of allocating or over-reading.
+func TestFrameImplausibleCountsRejected(t *testing.T) {
+	// input count far beyond the payload size
+	buf := binary.AppendUvarint(nil, 1)            // phase
+	buf = binary.AppendUvarint(buf, math.MaxInt32) // claimed inputs
+	if _, _, err := DecodeFrame(buf); err == nil {
+		t.Error("absurd input count accepted")
+	}
+	// vertex 0 is not a vertex
+	buf = binary.AppendUvarint(nil, 1)
+	buf = binary.AppendUvarint(buf, 1)
+	buf = binary.AppendUvarint(buf, 0) // vertex
+	buf = binary.AppendUvarint(buf, 0) // port
+	buf = AppendValue(buf, event.Int(1))
+	if _, _, err := DecodeFrame(buf); err == nil {
+		t.Error("vertex 0 accepted")
+	}
+	// vector claiming more elements than bytes remain
+	buf = []byte{wireVector}
+	buf = binary.AppendUvarint(buf, 1<<40)
+	if _, _, err := ReadValue(buf); err == nil {
+		t.Error("absurd vector length accepted")
+	}
+	// string claiming more bytes than remain
+	buf = []byte{wireString}
+	buf = binary.AppendUvarint(buf, 1<<30)
+	if _, _, err := ReadValue(buf); err == nil {
+		t.Error("absurd string length accepted")
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var b strings.Builder
+	hs := Handshake{From: 3, To: 11, Window: 8}
+	if err := writeHandshake(&b, hs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readHandshake(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hs {
+		t.Errorf("handshake %+v != %+v", got, hs)
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"short":       "FWR1",
+		"bad magic":   "NOPE" + strings.Repeat("\x00", 13),
+		"bad version": "FWR1\x7f" + strings.Repeat("\x00", 12),
+		// valid magic+version but zero window
+		"zero window": "FWR1\x01" + strings.Repeat("\x00", 12),
+	}
+	for name, raw := range cases {
+		if _, err := readHandshake(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package netwire
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// valueFromSeed deterministically builds a Value of any kind from fuzz
+// bytes, covering every branch of the codec including empty strings and
+// empty vectors.
+func valueFromSeed(kind uint8, num int64, s string, vec []byte) event.Value {
+	switch kind % 6 {
+	case 0:
+		return event.None()
+	case 1:
+		return event.Bool(num%2 == 0)
+	case 2:
+		// event.Int documents exact precision only within ±2^53; beyond
+		// that AsInt is already lossy before any wire is involved.
+		return event.Int(num % (1 << 53))
+	case 3:
+		return event.Float(math.Float64frombits(uint64(num)))
+	case 4:
+		return event.String(s)
+	default:
+		fs := make([]float64, len(vec)%17)
+		for i := range fs {
+			fs[i] = float64(int8(vec[i%max(len(vec), 1)])) / 3.0
+		}
+		return event.Vector(fs)
+	}
+}
+
+// FuzzValueRoundTrip: every constructible value survives encode+decode
+// bit-exactly, with no bytes left over.
+func FuzzValueRoundTrip(f *testing.F) {
+	f.Add(uint8(0), int64(0), "", []byte{})
+	f.Add(uint8(2), int64(-99), "x", []byte{1, 2})
+	f.Add(uint8(3), int64(math.MaxInt64), "", []byte{})
+	f.Add(uint8(4), int64(0), "Δ-dataflow", []byte{})
+	f.Add(uint8(5), int64(7), "", []byte{0xff, 0x00, 0x7f, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, kind uint8, num int64, s string, vec []byte) {
+		v := valueFromSeed(kind, num, s, vec)
+		buf := AppendValue(nil, v)
+		got, rest, err := ReadValue(buf)
+		if err != nil {
+			t.Fatalf("ReadValue(%v): %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes decoding %v", len(rest), v)
+		}
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Fatalf("round trip %v (%v) -> %v (%v)", v, v.Kind(), got, got.Kind())
+		}
+	})
+}
+
+// FuzzFrameRoundTrip: frames built from fuzzed inputs round-trip, and
+// re-encoding the decoded frame reproduces the identical bytes
+// (canonical encoding).
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(1, uint8(3), int64(12), "a", []byte{9})
+	f.Add(1<<20, uint8(5), int64(-1), "", []byte{})
+	f.Fuzz(func(t *testing.T, phase int, kind uint8, num int64, s string, vec []byte) {
+		if phase < 0 || phase > math.MaxInt32 {
+			t.Skip()
+		}
+		inputs := []core.ExtInput{
+			{Vertex: 1 + int(kind)%7, Port: int(num & 3), Val: valueFromSeed(kind, num, s, vec)},
+			{Vertex: 2, Port: 0, Val: valueFromSeed(kind+1, num^5, s+"!", vec)},
+		}
+		payload := AppendFrame(nil, phase, inputs)
+		gotPhase, gotInputs, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if gotPhase != phase || len(gotInputs) != len(inputs) {
+			t.Fatalf("frame shape changed: phase %d->%d, inputs %d->%d", phase, gotPhase, len(inputs), len(gotInputs))
+		}
+		for i := range inputs {
+			if gotInputs[i].Vertex != inputs[i].Vertex || gotInputs[i].Port != inputs[i].Port || !gotInputs[i].Val.Equal(inputs[i].Val) {
+				t.Fatalf("input %d: %+v != %+v", i, gotInputs[i], inputs[i])
+			}
+		}
+		again := AppendFrame(nil, gotPhase, gotInputs)
+		if string(again) != string(payload) {
+			t.Fatalf("re-encoding is not canonical: %x != %x", again, payload)
+		}
+	})
+}
+
+// FuzzDecodeFrameHostile: arbitrary bytes never panic and never
+// over-allocate — they either decode cleanly or error. An accepted
+// frame must survive a re-encode + re-decode with identical semantics
+// (byte canonicality is not promised for hostile input: Uvarint
+// tolerates non-minimal varints).
+func FuzzDecodeFrameHostile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, 3, []core.ExtInput{{Vertex: 1, Port: 0, Val: event.Int(5)}}))
+	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x00, wireVector, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		phase, inputs, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		again := AppendFrame(nil, phase, inputs)
+		p2, in2, err := DecodeFrame(again)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if p2 != phase || len(in2) != len(inputs) {
+			t.Fatalf("re-decode changed frame: phase %d->%d, %d->%d inputs", phase, p2, len(inputs), len(in2))
+		}
+		for i := range inputs {
+			if in2[i].Vertex != inputs[i].Vertex || in2[i].Port != inputs[i].Port || !in2[i].Val.Equal(inputs[i].Val) {
+				t.Fatalf("re-decode changed input %d: %+v != %+v", i, in2[i], inputs[i])
+			}
+		}
+	})
+}
+
+// FuzzReadValueHostile: arbitrary bytes never panic ReadValue; an
+// accepted value survives re-encode + re-decode unchanged.
+func FuzzReadValueHostile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{wireVector, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add(AppendValue(nil, event.String("seed")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, _, err := ReadValue(data)
+		if err != nil {
+			return
+		}
+		got, rest, err := ReadValue(AppendValue(nil, v))
+		if err != nil || len(rest) != 0 || !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Fatalf("re-decode of accepted value %v failed: %v (%v, %d left)", v, got, err, len(rest))
+		}
+	})
+}

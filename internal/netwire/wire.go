@@ -1,0 +1,445 @@
+package netwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Wire protocol, in order on every link connection:
+//
+//  1. Handshake (dialer → acceptor): magic "FWR1", version byte, then
+//     uint32 from-machine, uint32 to-machine, uint32 window — so the
+//     acceptor knows which directed link of the deployment this
+//     connection carries and how many frames may be in flight.
+//  2. Ack (acceptor → dialer): one ackByte, confirming the link is
+//     registered before the dialer's first frame.
+//  3. Data frames (dialer → acceptor): uint32 big-endian payload
+//     length, then the AppendFrame payload. Lengths beyond the
+//     receiver's max frame size are rejected as corruption.
+//  4. Credits (acceptor → dialer): one creditByte per frame *consumed*
+//     by the application (not merely received), so at most `window`
+//     frames are ever buffered beyond the consumer — the same
+//     backpressure a bounded in-process channel provides, independent
+//     of kernel socket buffer sizes.
+//  5. Shutdown: the dialer half-closes after its last frame
+//     (CloseWrite); the acceptor reads EOF after the final frame,
+//     delivers what remains and closes the connection, which ends the
+//     dialer's credit reader.
+
+const (
+	version    = 1
+	ackByte    = 0xA5
+	creditByte = 0xC7
+	// handshakeTimeout bounds how long an accepted connection may dawdle
+	// before identifying itself, and how long a dialer waits for its ack.
+	handshakeTimeout = 10 * time.Second
+)
+
+var magic = [4]byte{'F', 'W', 'R', '1'}
+
+// Handshake identifies one directed link of a partitioned deployment.
+type Handshake struct {
+	// From and To are the machine indices the link connects.
+	From, To int
+	// Window is the credit window: the maximum number of frames in
+	// flight past the consumer.
+	Window int
+}
+
+func writeHandshake(w io.Writer, h Handshake) error {
+	var buf [17]byte
+	copy(buf[:4], magic[:])
+	buf[4] = version
+	binary.BigEndian.PutUint32(buf[5:], uint32(h.From))
+	binary.BigEndian.PutUint32(buf[9:], uint32(h.To))
+	binary.BigEndian.PutUint32(buf[13:], uint32(h.Window))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHandshake(r io.Reader) (Handshake, error) {
+	var buf [17]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Handshake{}, fmt.Errorf("netwire: reading handshake: %w", err)
+	}
+	if [4]byte(buf[:4]) != magic {
+		return Handshake{}, fmt.Errorf("netwire: bad handshake magic %q", buf[:4])
+	}
+	if buf[4] != version {
+		return Handshake{}, fmt.Errorf("netwire: protocol version %d, want %d", buf[4], version)
+	}
+	h := Handshake{
+		From:   int(binary.BigEndian.Uint32(buf[5:])),
+		To:     int(binary.BigEndian.Uint32(buf[9:])),
+		Window: int(binary.BigEndian.Uint32(buf[13:])),
+	}
+	if h.Window < 1 {
+		return Handshake{}, fmt.Errorf("netwire: handshake window %d < 1", h.Window)
+	}
+	return h, nil
+}
+
+// WireStats counts one link endpoint's traffic.
+type WireStats struct {
+	// Frames and Values count what was sent (or received).
+	Frames, Values int64
+	// Bytes is the encoded payload volume, excluding length prefixes.
+	Bytes int64
+	// Blocks counts sends that found the credit window empty; Blocked
+	// is the cumulative time spent waiting for a credit.
+	Blocks  int64
+	Blocked time.Duration
+}
+
+// SendLink is the sending end of one directed link: it owns the dialed
+// connection, encodes frames, and enforces the credit window. Send and
+// Close must be driven from a single goroutine (the machine's egress).
+type SendLink struct {
+	conn    net.Conn
+	hs      Handshake
+	maxSize int
+	buf     []byte // encode scratch, reused across frames
+
+	credits   chan struct{}
+	done      chan struct{} // closed when the credit reader exits
+	closeOnce sync.Once
+	err       atomic.Pointer[error] // first wire failure
+
+	frames  atomic.Int64
+	values  atomic.Int64
+	bytes   atomic.Int64
+	blocks  atomic.Int64
+	blocked atomic.Int64
+}
+
+// Dial connects to a peer's listener and performs the handshake for
+// the directed link from machine `from` to machine `to` with the given
+// credit window. It blocks until the acceptor acknowledges the link.
+func Dial(addr string, from, to, window int) (*SendLink, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("netwire: dial %d->%d: window %d < 1", from, to, window)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netwire: dial %d->%d: %w", from, to, err)
+	}
+	hs := Handshake{From: from, To: to, Window: window}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := writeHandshake(conn, hs); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netwire: handshake %d->%d: %w", from, to, err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != ackByte {
+		conn.Close()
+		return nil, fmt.Errorf("netwire: link %d->%d not acknowledged: %v", from, to, err)
+	}
+	conn.SetDeadline(time.Time{})
+	s := &SendLink{
+		conn:    conn,
+		hs:      hs,
+		maxSize: DefaultMaxFrame,
+		credits: make(chan struct{}, window),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < window; i++ {
+		s.credits <- struct{}{}
+	}
+	go s.readCredits()
+	return s, nil
+}
+
+// readCredits returns one send credit per credit byte the receiver
+// writes back. It exits — closing done, which unblocks any waiting
+// Send — when the receiver closes the connection (cleanly after EOF,
+// or abruptly on failure).
+func (s *SendLink) readCredits() {
+	defer close(s.done)
+	buf := make([]byte, 64)
+	for {
+		n, err := s.conn.Read(buf)
+		for i := 0; i < n; i++ {
+			if buf[i] != creditByte {
+				err := fmt.Errorf("netwire: link %d->%d: unexpected byte %#x on credit channel", s.hs.From, s.hs.To, buf[i])
+				s.err.CompareAndSwap(nil, &err)
+				return
+			}
+			select {
+			case s.credits <- struct{}{}:
+			default:
+				err := fmt.Errorf("netwire: link %d->%d: credit overflow", s.hs.From, s.hs.To)
+				s.err.CompareAndSwap(nil, &err)
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				err := fmt.Errorf("netwire: link %d->%d: credit channel: %w", s.hs.From, s.hs.To, err)
+				s.err.CompareAndSwap(nil, &err)
+			}
+			return
+		}
+	}
+}
+
+// Send encodes and writes one frame, blocking while the credit window
+// is exhausted. The fast path takes an available credit without
+// timestamps, so an unclogged link measures no backpressure.
+func (s *SendLink) Send(phase int, inputs []core.ExtInput) error {
+	select {
+	case <-s.credits:
+	default:
+		t0 := time.Now()
+		select {
+		case <-s.credits:
+			s.blocked.Add(int64(time.Since(t0)))
+			s.blocks.Add(1)
+		case <-s.done:
+			return s.deadErr()
+		}
+	}
+	s.buf = AppendFrame(s.buf[:0], phase, inputs)
+	if len(s.buf) > s.maxSize {
+		return fmt.Errorf("netwire: link %d->%d: frame of %d bytes exceeds max %d", s.hs.From, s.hs.To, len(s.buf), s.maxSize)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(s.buf)))
+	if _, err := s.conn.Write(prefix[:]); err != nil {
+		return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
+	}
+	if _, err := s.conn.Write(s.buf); err != nil {
+		return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
+	}
+	s.frames.Add(1)
+	s.values.Add(int64(len(inputs)))
+	s.bytes.Add(int64(len(s.buf)))
+	return nil
+}
+
+// deadErr reports why the link died: the recorded wire failure, or a
+// generic closed-by-peer error after a clean shutdown.
+func (s *SendLink) deadErr() error {
+	if e := s.err.Load(); e != nil {
+		return *e
+	}
+	return fmt.Errorf("netwire: link %d->%d closed by receiver", s.hs.From, s.hs.To)
+}
+
+// Close half-closes the link (the receiver still drains every sent
+// frame), waits for the receiver to finish and close its side, then
+// releases the connection. Idempotent.
+func (s *SendLink) Close() error {
+	s.closeOnce.Do(func() {
+		if tc, ok := s.conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+			// Wait for the receiver to consume everything and close;
+			// bounded so a wedged peer cannot hang shutdown forever.
+			select {
+			case <-s.done:
+			case <-time.After(30 * time.Second):
+			}
+		}
+		s.conn.Close()
+	})
+	return nil
+}
+
+// Abort closes the connection immediately, without draining. The
+// receiver observes a wire error, not a clean end of stream.
+func (s *SendLink) Abort() {
+	s.closeOnce.Do(func() {})
+	s.conn.Close()
+}
+
+// Stats snapshots the sender-side counters.
+func (s *SendLink) Stats() WireStats {
+	return WireStats{
+		Frames:  s.frames.Load(),
+		Values:  s.values.Load(),
+		Bytes:   s.bytes.Load(),
+		Blocks:  s.blocks.Load(),
+		Blocked: time.Duration(s.blocked.Load()),
+	}
+}
+
+// received is one decoded inbound frame.
+type received struct {
+	phase  int
+	inputs []core.ExtInput
+}
+
+// RecvLink is the receiving end of one directed link. Frames are
+// decoded by an internal reader goroutine and handed to Recv in order;
+// each Recv returns one credit to the sender. Recv must be driven from
+// one goroutine at a time (the machine's ingress, or DrainDiscard
+// after ingress abandons the link).
+type RecvLink struct {
+	conn    net.Conn
+	hs      Handshake
+	frames  chan received
+	readErr atomic.Pointer[error] // non-nil when the stream ended uncleanly
+
+	creditMu  sync.Mutex
+	closeOnce sync.Once
+
+	rframes atomic.Int64
+	rvalues atomic.Int64
+	rbytes  atomic.Int64
+}
+
+// newRecvLink wraps an accepted, handshake-complete connection and
+// starts its reader.
+func newRecvLink(conn net.Conn, hs Handshake, maxSize int) *RecvLink {
+	r := &RecvLink{
+		conn:   conn,
+		hs:     hs,
+		frames: make(chan received, hs.Window),
+	}
+	go r.readFrames(maxSize)
+	return r
+}
+
+// Handshake returns the link identity the dialer declared.
+func (r *RecvLink) Handshake() Handshake { return r.hs }
+
+// readFrames decodes inbound frames until EOF or failure. On a clean
+// EOF the frame channel is closed and, once drained, Recv reports
+// ok=false; on corruption or a broken wire the error is recorded for
+// Err and the channel closes early. Either way the connection itself
+// is released immediately: the sender has nothing more to say (or the
+// wire is already dead), so holding the socket open would only stall
+// the sender's Close behind a receiver that may never Recv again.
+func (r *RecvLink) readFrames(maxSize int) {
+	defer r.Close()
+	defer close(r.frames)
+	var prefix [4]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r.conn, prefix[:]); err != nil {
+			if err != io.EOF {
+				err = fmt.Errorf("netwire: link %d->%d: reading frame length: %w", r.hs.From, r.hs.To, err)
+				r.readErr.CompareAndSwap(nil, &err)
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(prefix[:])
+		if n > uint32(maxSize) {
+			err := fmt.Errorf("netwire: link %d->%d: frame length %d exceeds max %d", r.hs.From, r.hs.To, n, maxSize)
+			r.readErr.CompareAndSwap(nil, &err)
+			return
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r.conn, payload); err != nil {
+			err = fmt.Errorf("netwire: link %d->%d: truncated frame: %w", r.hs.From, r.hs.To, err)
+			r.readErr.CompareAndSwap(nil, &err)
+			return
+		}
+		phase, inputs, err := DecodeFrame(payload)
+		if err != nil {
+			err = fmt.Errorf("netwire: link %d->%d: %w", r.hs.From, r.hs.To, err)
+			r.readErr.CompareAndSwap(nil, &err)
+			return
+		}
+		r.rframes.Add(1)
+		r.rvalues.Add(int64(len(inputs)))
+		r.rbytes.Add(int64(n))
+		r.frames <- received{phase, inputs}
+	}
+}
+
+// Recv returns the next frame, blocking until one arrives, and writes
+// one credit back to the sender. ok is false once the sender has
+// half-closed and every frame has been consumed — or the wire failed,
+// which Err distinguishes.
+func (r *RecvLink) Recv() (phase int, inputs []core.ExtInput, ok bool) {
+	f, ok := <-r.frames
+	if !ok {
+		return 0, nil, false
+	}
+	r.creditMu.Lock()
+	// A failed credit write is not a receive failure: the sender will
+	// observe the broken wire on its own side.
+	r.conn.Write([]byte{creditByte})
+	r.creditMu.Unlock()
+	return f.phase, f.inputs, true
+}
+
+// Err reports why the stream ended, nil for a clean close. Valid after
+// Recv has returned ok=false.
+func (r *RecvLink) Err() error {
+	if e := r.readErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Close force-closes the connection. The reader goroutine exits and
+// pending frames are dropped. Idempotent; Recv calls it automatically
+// at end of stream.
+func (r *RecvLink) Close() error {
+	r.closeOnce.Do(func() { r.conn.Close() })
+	return nil
+}
+
+// Stats snapshots the receiver-side counters.
+func (r *RecvLink) Stats() WireStats {
+	return WireStats{
+		Frames: r.rframes.Load(),
+		Values: r.rvalues.Load(),
+		Bytes:  r.rbytes.Load(),
+	}
+}
+
+// Listener accepts inbound link connections for one machine (or, for
+// the in-process TCPNetwork, for a whole deployment).
+type Listener struct {
+	ln      net.Listener
+	maxSize int
+}
+
+// Listen opens a TCP listener on addr ("127.0.0.1:0" picks a free
+// loopback port).
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netwire: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln, maxSize: DefaultMaxFrame}, nil
+}
+
+// Addr returns the listener's address, suitable for Dial.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Accept blocks for the next inbound connection, validates its
+// handshake and returns the receiving end of the link it carries.
+func (l *Listener) Accept() (*RecvLink, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	hs, err := readHandshake(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write([]byte{ackByte}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netwire: acking link %d->%d: %w", hs.From, hs.To, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return newRecvLink(conn, hs, l.maxSize), nil
+}
+
+// Close stops accepting. Established links are unaffected.
+func (l *Listener) Close() error { return l.ln.Close() }
