@@ -33,9 +33,19 @@ func main() {
 	phases := flag.Int("phases", 720, "phases to run")
 	workers := flag.Int("workers", 2, "compute threads for this machine")
 	buffer := flag.Int("buffer", 8, "per-link frame window (credit depth)")
+	rebalance := flag.Bool("rebalance", false, "dynamically repartition mid-run (in-process runtime only; not yet supported across worker processes)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines (the alerts@ line still prints)")
 	flag.Parse()
 
+	if *rebalance {
+		// The wire protocol already speaks barrier and snapshot frames,
+		// but coordinating a quiesce needs a control plane between the
+		// worker processes that does not exist yet — OPERATIONS.md
+		// "Known limits" and the ROADMAP track it. Refuse loudly rather
+		// than run with a flag that silently does nothing.
+		fmt.Fprintln(os.Stderr, "fuseworker: -rebalance is not yet supported across worker processes; run the in-process form instead (examples/pipeline -rebalance, see OPERATIONS.md)")
+		os.Exit(2)
+	}
 	addrs := strings.Split(*peers, ",")
 	if *peers == "" || *machine < 0 || *machine >= len(addrs) {
 		fmt.Fprintln(os.Stderr, "fuseworker: -machine and -peers are required; -machine must index into -peers")

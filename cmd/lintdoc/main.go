@@ -1,0 +1,134 @@
+// Command lintdoc enforces the repo's godoc floor: every package named
+// on the command line must have a package-level doc comment, and every
+// exported top-level declaration in it (type, function, or const/var —
+// individually or via its group) must carry a doc comment. CI runs it
+// over the seam packages (internal/core, internal/distrib,
+// internal/netwire, internal/runqueue) so the documented surface can
+// only grow; it exists because the container has no network to fetch a
+// third-party linter from and the rule is small enough to own.
+//
+//	go run ./cmd/lintdoc ./internal/core ./internal/distrib
+//
+// Exit status 1 lists every violation as file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d undocumented declarations\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir checks one package directory and returns the violation count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintdoc: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		if !packageDocumented(pkg) {
+			fmt.Printf("%s: package %s has no package doc comment\n", dir, pkg.Name)
+			bad++
+		}
+		for _, f := range pkg.Files {
+			bad += lintFile(fset, f)
+		}
+	}
+	return bad
+}
+
+// packageDocumented reports whether any file of the package carries a
+// package doc comment.
+func packageDocumented(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverExported reports whether fn is a plain function or a method
+// whose receiver type is exported.
+func receiverExported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintFile checks every exported top-level declaration of one file.
+func lintFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what, name string) {
+		fmt.Printf("%s: exported %s %s has no doc comment\n", fset.Position(pos), what, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// Methods on exported types included: the seam types'
+			// exported methods are part of the documented surface.
+			// Methods on unexported types are not (they never render
+			// in godoc), however the interfaces they implement are.
+			if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+				report(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A const/var is documented by its own comment, a
+					// line comment, or the group's doc.
+					for _, name := range s.Names {
+						if name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "const/var", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}

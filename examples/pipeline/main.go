@@ -12,12 +12,22 @@
 //
 //	go run ./examples/pipeline                  # in-process channel links
 //	go run ./examples/pipeline -transport tcp   # in-process, loopback TCP links
+//	go run ./examples/pipeline -rebalance       # with mid-run epoch switches
 //	go run ./examples/pipeline -multiproc       # three worker PROCESSES over TCP
 //
 // -multiproc re-executes this binary as three fuseworker-style worker
 // processes (internal/griddemo.RunWorker, the same driver behind
 // cmd/fuseworker), wires them over loopback TCP, and checks the
 // distributed alert history against the in-process reference.
+//
+// -rebalance runs the in-process deployment under dynamic
+// repartitioning (DESIGN.md §8): the run quiesces at epoch barriers,
+// hands migrating vertices' state between machines (serialized through
+// the transport for modules that support it), re-plans on measured
+// per-vertex costs and resumes — and the alert history must still be
+// bit-identical to the single-machine run. It composes with
+// -transport tcp; it is rejected with -multiproc (epoch switching is
+// in-process only for now — see OPERATIONS.md).
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/distrib"
@@ -43,6 +54,7 @@ const (
 
 func main() {
 	transport := flag.String("transport", "chan", "link transport for the in-process run: chan | tcp")
+	rebalance := flag.Bool("rebalance", false, "dynamically repartition the in-process run at epoch barriers")
 	multiproc := flag.Bool("multiproc", false, "run the deployment as three separate worker processes over TCP")
 	workerIdx := flag.Int("worker", -1, "internal: run as worker process for this machine index")
 	peers := flag.String("peers", "", "internal: comma-separated worker listen addresses")
@@ -53,29 +65,47 @@ func main() {
 		return
 	}
 	if *multiproc {
+		if *rebalance {
+			log.Fatal("-rebalance is in-process only: multi-process epoch switching is not yet supported (see OPERATIONS.md)")
+		}
 		runMultiProcess()
 		return
 	}
-	runInProcess(*transport)
+	runInProcess(*transport, *rebalance)
 }
 
 // run executes the demo on the given machine count in-process and
 // returns the stats, fired alert phases and the planner cost vector.
-func run(machineCount int, network distrib.Network) (distrib.Stats, []int, []float64) {
+// With rebalance set, the run switches epochs every phases/3 phases —
+// a deterministic demonstration of the barrier/handoff machinery whose
+// output must nevertheless be identical to the plain run (the
+// drift-triggered mode is measured by fusebench's E14).
+func run(machineCount int, network distrib.Network, rebalance bool) (distrib.Stats, []int, []float64) {
 	ng, mods, costs, alerts, _ := griddemo.Build()
-	st, err := distrib.Run(ng, mods, make([][]core.ExtInput, phases), distrib.Config{
+	cfg := distrib.Config{
 		Machines: machineCount, WorkersPerMachine: 2,
 		MaxInFlight: 16, Buffer: 8,
 		Planner: distrib.CostAware{}, Costs: costs,
 		Network: network,
-	})
+	}
+	batches := make([][]core.ExtInput, phases)
+	var st distrib.Stats
+	var err error
+	if rebalance {
+		st, err = distrib.RunRebalancing(ng, mods, batches, cfg, distrib.RebalanceConfig{
+			ForceEvery:   phases / 3,
+			MinRemaining: phases / 6,
+		})
+	} else {
+		st, err = distrib.Run(ng, mods, batches, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	return st, alerts.Alerts, costs
 }
 
-func runInProcess(transport string) {
+func runInProcess(transport string, rebalance bool) {
 	var network distrib.Network
 	switch transport {
 	case "chan":
@@ -90,8 +120,8 @@ func runInProcess(transport string) {
 		log.Fatalf("unknown -transport %q (chan | tcp)", transport)
 	}
 
-	single, refAlerts, _ := run(1, nil)
-	st, alerts, costs := run(machines, network)
+	single, refAlerts, _ := run(1, nil, false)
+	st, alerts, costs := run(machines, network, rebalance)
 
 	fmt.Printf("partitioned %d vertices over %d machines (%s planner, %s transport)\n",
 		len(costs), machines, st.Planner, st.Transport)
@@ -108,6 +138,10 @@ func runInProcess(transport string) {
 	for _, ls := range st.Links {
 		fmt.Printf("  link %d->%d (%s): %d frames, %d values, %d bytes, blocked %v\n",
 			ls.From, ls.To, ls.Transport, ls.Frames, ls.Values, ls.Bytes, ls.Blocked)
+	}
+	for _, ev := range st.Rebalances {
+		fmt.Printf("  epoch switch @ phase %d: starts %v -> %v, %d vertices moved (%d serialized, %d bytes) in %v\n",
+			ev.Barrier, ev.FromStarts, ev.ToStarts, ev.Moved, ev.Serialized, ev.HandoffBytes, ev.Wall.Round(time.Microsecond))
 	}
 	fmt.Printf("wall: 1 machine %v, %d machines %v\n", single.Wall, machines, st.Wall)
 
@@ -187,7 +221,7 @@ func runMultiProcess() {
 	}
 
 	// Reference: the same computation in a single process.
-	_, refAlerts, _ := run(1, nil)
+	_, refAlerts, _ := run(1, nil, false)
 	select {
 	case got := <-alertLine:
 		want := fmt.Sprint(refAlerts)

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,14 @@ type Config struct {
 	// on external data arrival, and keeps the frontier window small.
 	// Defaults to 64. It does not limit explicit StartPhase calls.
 	MaxInFlight int
+	// BasePhase offsets the engine's phase numbering: the first phase
+	// started is BasePhase+1 and phases ≤ BasePhase count as already
+	// complete. A fresh engine that resumes a computation mid-stream —
+	// the epoch after a distrib rebalance — uses it so modules keep
+	// observing globally continuous ctx.Phase() numbers across the
+	// switch. Zero (the default) keeps the usual 1-based numbering.
+	// Negative values are rejected by New.
+	BasePhase int
 	// Observer, when non-nil, receives lifecycle callbacks.
 	Observer Observer
 	// CountExecutions records how many times each (vertex, phase) pair
@@ -274,6 +283,9 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 64
 	}
+	if cfg.BasePhase < 0 {
+		return nil, fmt.Errorf("core: negative base phase %d", cfg.BasePhase)
+	}
 	// One run-queue shard per worker; Manual mode uses a single shard so
 	// StepOne/TakeFunc keep the exact FIFO semantics of the old queue.
 	shards := cfg.Workers
@@ -291,6 +303,8 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 		q:        runqueue.NewSharded[workItem](shards, 256),
 		ring:     make([]*phaseState, ringCap),
 		ringMask: ringCap - 1,
+		pmax:     cfg.BasePhase,
+		done:     cfg.BasePhase,
 		vs:       make([]vertexState, g.N()),
 	}
 	e.cond.L = &e.mu
@@ -778,24 +792,38 @@ func (e *Engine) Stop() {
 	}
 }
 
-// FeedFunc supplies the external inputs for phase p (1-based). RunFeed
-// calls it once per phase in ascending order, after the MaxInFlight
-// window has opened for that phase; it may block (e.g. on a cross-
-// machine link) and its error aborts the run.
+// FeedFunc supplies the external inputs for phase p (BasePhase+1-based).
+// RunFeed calls it once per phase in ascending order, after the
+// MaxInFlight window has opened for that phase; it may block (e.g. on a
+// cross-machine link) and its error aborts the run. Returning
+// ErrStopFeed instead quiesces the run cleanly: no further phases open,
+// already-started phases complete, and RunFeed reports ErrStopFeed so
+// the caller can tell a deliberate stop from a failure.
 type FeedFunc func(p int) ([]ExtInput, error)
 
-// RunFeed starts the engine and opens `phases` phases, pulling each
-// phase's external inputs from feed under MaxInFlight flow control,
-// then drains and stops. onStarted, when non-nil, is invoked after each
-// successful StartPhase with the phase number — a partitioned machine's
-// egress loop uses it to learn which phases will complete and must be
-// shipped downstream (internal/distrib). On a feed or StartPhase error
-// the engine is stopped — already-started phases complete — and the
-// stats accumulated so far are returned with the error.
+// ErrStopFeed is the sentinel a FeedFunc returns to end a RunFeed run
+// early but cleanly — the epoch-barrier quiesce of distrib's dynamic
+// repartitioning. The engine stops exactly as it would at the natural
+// end of the run: every started phase executes to completion and the
+// worker pool drains, leaving all module state consistent as of the
+// last started phase.
+var ErrStopFeed = errors.New("core: feed stopped")
+
+// RunFeed starts the engine and opens `phases` phases (numbered
+// BasePhase+1 through BasePhase+phases), pulling each phase's external
+// inputs from feed under MaxInFlight flow control, then drains and
+// stops. onStarted, when non-nil, is invoked after each successful
+// StartPhase with the phase number — a partitioned machine's egress
+// loop uses it to learn which phases will complete and must be shipped
+// downstream (internal/distrib). On a feed or StartPhase error the
+// engine is stopped — already-started phases complete — and the stats
+// accumulated so far are returned with the error (ErrStopFeed included,
+// so quiesced callers can distinguish the clean early stop).
 func (e *Engine) RunFeed(phases int, feed FeedFunc, onStarted func(p int)) (Stats, error) {
 	e.Start()
-	for p := 1; p <= phases; p++ {
-		if w := p - e.cfg.MaxInFlight; w >= 1 {
+	base := e.cfg.BasePhase
+	for p := base + 1; p <= base+phases; p++ {
+		if w := p - e.cfg.MaxInFlight; w > base {
 			e.WaitPhase(w)
 		}
 		ext, err := feed(p)
@@ -819,9 +847,10 @@ func (e *Engine) RunFeed(phases int, feed FeedFunc, onStarted func(p int)) (Stat
 // batches with MaxInFlight flow control, drains and stops. It returns
 // the engine stats. Run is the whole-computation convenience wrapper
 // used by examples, experiments and the sequential-equivalence tests.
+// batches[i] feeds phase BasePhase+1+i.
 func (e *Engine) Run(batches [][]ExtInput) (Stats, error) {
 	return e.RunFeed(len(batches), func(p int) ([]ExtInput, error) {
-		return batches[p-1], nil
+		return batches[p-1-e.cfg.BasePhase], nil
 	}, nil)
 }
 
@@ -829,7 +858,7 @@ func (e *Engine) Run(batches [][]ExtInput) (Stats, error) {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	msgs := e.msgs
-	done := int64(e.done)
+	done := int64(e.done - e.cfg.BasePhase)
 	e.mu.Unlock()
 	return Stats{
 		Executions:       e.execs.Load(),

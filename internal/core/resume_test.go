@@ -1,0 +1,181 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/graph"
+)
+
+// phaseLog records the phase number of every Step at a sink — the
+// observable modules use to prove numbering continuity across a resume.
+type phaseLog struct {
+	phases []int
+	vals   []int64
+}
+
+func (s *phaseLog) Step(ctx *Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		i, _ := v.AsInt()
+		s.phases = append(s.phases, ctx.Phase())
+		s.vals = append(s.vals, i)
+	}
+}
+
+// accumulator is a minimal stateful Snapshotter: it folds inputs into a
+// running sum and emits it every phase its inputs changed.
+type accumulator struct {
+	sum int64
+}
+
+func (a *accumulator) Step(ctx *Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		i, _ := v.AsInt()
+		a.sum += i
+		ctx.EmitAll(event.Int(a.sum))
+	}
+}
+
+func (a *accumulator) SnapshotState() ([]byte, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(a.sum))
+	return buf[:], nil
+}
+
+func (a *accumulator) RestoreState(state []byte) error {
+	if len(state) != 8 {
+		return errors.New("accumulator: bad snapshot length")
+	}
+	a.sum = int64(binary.LittleEndian.Uint64(state))
+	return nil
+}
+
+func chain3(t *testing.T) (*graph.Numbered, *accumulator, *phaseLog, []Module) {
+	t.Helper()
+	ng, err := graph.Chain(3).Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := StepFunc(func(ctx *Context) {
+		ctx.EmitAll(event.Int(int64(ctx.Phase())))
+	})
+	acc := &accumulator{}
+	log := &phaseLog{}
+	return ng, acc, log, []Module{src, acc, log}
+}
+
+// TestBasePhaseNumbering: an engine built with BasePhase resumes the
+// numbering where a predecessor left off — modules observe globally
+// continuous ctx.Phase() values and stats count only this engine's own
+// phases.
+func TestBasePhaseNumbering(t *testing.T) {
+	ng, _, log, mods := chain3(t)
+	eng, err := New(ng, mods, Config{Workers: 2, BasePhase: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run(make([][]ExtInput, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PhasesCompleted != 5 {
+		t.Errorf("PhasesCompleted = %d, want 5", st.PhasesCompleted)
+	}
+	want := []int{11, 12, 13, 14, 15}
+	if len(log.phases) != len(want) {
+		t.Fatalf("sink phases = %v, want %v", log.phases, want)
+	}
+	for i := range want {
+		if log.phases[i] != want[i] {
+			t.Fatalf("sink phases = %v, want %v", log.phases, want)
+		}
+	}
+}
+
+func TestBasePhaseNegativeRejected(t *testing.T) {
+	ng, _, _, mods := chain3(t)
+	if _, err := New(ng, mods, Config{BasePhase: -1}); err == nil {
+		t.Error("negative BasePhase accepted")
+	}
+}
+
+// TestRunFeedStopFeed: a feed returning ErrStopFeed quiesces the run —
+// started phases complete, the sentinel surfaces, and the stats count
+// exactly the phases that ran.
+func TestRunFeedStopFeed(t *testing.T) {
+	ng, _, log, mods := chain3(t)
+	eng, err := New(ng, mods, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.RunFeed(10, func(p int) ([]ExtInput, error) {
+		if p > 3 {
+			return nil, ErrStopFeed
+		}
+		return nil, nil
+	}, nil)
+	if !errors.Is(err, ErrStopFeed) {
+		t.Fatalf("err = %v, want ErrStopFeed", err)
+	}
+	if st.PhasesCompleted != 3 {
+		t.Errorf("PhasesCompleted = %d, want 3", st.PhasesCompleted)
+	}
+	if len(log.phases) != 3 {
+		t.Errorf("sink saw phases %v, want exactly 1..3", log.phases)
+	}
+}
+
+// TestSnapshotResume: stopping an engine at a phase boundary, moving
+// the Snapshotter module's state into a fresh module set, and resuming
+// on a BasePhase engine reproduces the uninterrupted run bit for bit.
+func TestSnapshotResume(t *testing.T) {
+	const total, cut = 9, 4
+
+	ngRef, _, logRef, modsRef := chain3(t)
+	engRef, err := New(ngRef, modsRef, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engRef.Run(make([][]ExtInput, total)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First epoch: phases 1..cut.
+	ng1, acc1, log1, mods1 := chain3(t)
+	eng1, err := New(ng1, mods1, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng1.Run(make([][]ExtInput, cut)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := acc1.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second epoch: fresh modules, restored state, phases cut+1..total.
+	ng2, acc2, log2, mods2 := chain3(t)
+	if err := acc2.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := New(ng2, mods2, Config{Workers: 2, BasePhase: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Run(make([][]ExtInput, total-cut)); err != nil {
+		t.Fatal(err)
+	}
+
+	got := append(append([]int64(nil), log1.vals...), log2.vals...)
+	if len(got) != len(logRef.vals) {
+		t.Fatalf("resumed run produced %d sink values, reference %d", len(got), len(logRef.vals))
+	}
+	for i := range got {
+		if got[i] != logRef.vals[i] {
+			t.Fatalf("sink value %d: resumed %d, reference %d", i, got[i], logRef.vals[i])
+		}
+	}
+}

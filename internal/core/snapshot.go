@@ -1,0 +1,37 @@
+package core
+
+// Snapshotter is the optional Module capability behind live state
+// migration. A module that implements it can have its internal state
+// serialized while the engine is quiesced (every started phase
+// complete, no Step in flight) and re-installed later — possibly in a
+// different process — which is what lets distrib's dynamic
+// repartitioning move a vertex between machines mid-run without
+// replaying its history.
+//
+// The contract mirrors the Module determinism contract: SnapshotState
+// must capture everything RestoreState needs to make the module's
+// future Steps behave exactly as if the handoff never happened. Both
+// calls happen only while the engine is stopped, so implementations
+// need no synchronization. Modules that do not implement Snapshotter
+// can still migrate within one process (the module value itself moves);
+// only serialized handoff — the wire path — requires it.
+type Snapshotter interface {
+	Module
+	// SnapshotState serializes the module's internal state. The
+	// returned bytes are owned by the caller.
+	SnapshotState() ([]byte, error)
+	// RestoreState replaces the module's internal state with a
+	// snapshot previously produced by SnapshotState.
+	RestoreState(state []byte) error
+}
+
+// VertexSnapshot carries one migrating vertex's serialized module
+// state during an epoch switch: the global vertex index and the bytes
+// its Snapshotter produced. It is the payload of the state-snapshot
+// frame kind internal/netwire encodes for cross-machine handoff.
+type VertexSnapshot struct {
+	// Vertex is the 1-based global vertex index the state belongs to.
+	Vertex int
+	// State is the module's serialized internal state.
+	State []byte
+}

@@ -35,13 +35,35 @@ func MeasuredCosts(g *graph.Numbered, mods []core.Module, batches [][]core.ExtIn
 	if _, err := eng.Run(batches); err != nil {
 		return nil, fmt.Errorf("distrib: calibration run: %w", err)
 	}
-	times := eng.VertexTimes()
+	return CostsFromTimes(eng.VertexTimes())
+}
+
+// CostsFromTimes converts measured per-vertex Step durations (index
+// v-1 for vertex v) into a planner cost vector normalized to mean 1.0.
+// It is the shared tail of MeasuredCosts and the rebalancer's
+// re-planning step, and it owns the measurement edge cases:
+//
+//   - a negative duration is rejected with an error — it can only mean
+//     a broken clock or corrupted accounting, and a planner fed a
+//     negative cost would mispartition silently;
+//   - all-zero measurements (modules faster than the clock, or a
+//     calibration that never ran) fall back to uniform costs rather
+//     than handing the planner a zero vector;
+//   - a vertex that never ran keeps cost 0 — a legal planner input
+//     that packs the idle vertex wherever it cuts cleanest.
+func CostsFromTimes(times []time.Duration) ([]float64, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("distrib: no vertex times to convert into costs")
+	}
 	var total time.Duration
-	for _, t := range times {
+	for v, t := range times {
+		if t < 0 {
+			return nil, fmt.Errorf("distrib: negative measured time %v for vertex %d", t, v+1)
+		}
 		total += t
 	}
 	if total <= 0 {
-		return graph.UniformCosts(g.N()), nil
+		return graph.UniformCosts(len(times)), nil
 	}
 	mean := float64(total) / float64(len(times))
 	costs := make([]float64, len(times))

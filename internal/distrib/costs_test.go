@@ -1,6 +1,8 @@
 package distrib
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -112,5 +114,79 @@ func TestMeasuredCostsZeroFallback(t *testing.T) {
 	}
 	if _, err := (CostAware{}).Plan(ng, costs, 2); err != nil {
 		t.Errorf("planner rejected fallback costs: %v", err)
+	}
+}
+
+// TestCostsFromTimesEdgeCases pins the measurement edge cases the
+// drift re-planner leans on: all-zero measurements fall back to
+// uniform, a vertex that never ran keeps cost 0 in a still-plannable
+// vector, and corrupted (negative) durations are rejected with a clear
+// error instead of reaching the planner.
+func TestCostsFromTimesEdgeCases(t *testing.T) {
+	t.Run("all zero falls back to uniform", func(t *testing.T) {
+		costs, err := CostsFromTimes(make([]time.Duration, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, c := range costs {
+			if c != 1 {
+				t.Errorf("cost[%d] = %v, want uniform 1.0", v, c)
+			}
+		}
+	})
+	t.Run("vertex that never ran", func(t *testing.T) {
+		costs, err := CostsFromTimes([]time.Duration{
+			3 * time.Millisecond, 0, 9 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if costs[1] != 0 {
+			t.Errorf("idle vertex cost = %v, want 0", costs[1])
+		}
+		// Normalized to mean 1.0: total 12ms over 3 vertices.
+		if costs[0] != 0.75 || costs[2] != 2.25 {
+			t.Errorf("costs = %v, want [0.75 0 2.25]", costs)
+		}
+		ng, _ := graph.Chain(3).Number()
+		if _, err := (CostAware{}).Plan(ng, costs, 2); err != nil {
+			t.Errorf("planner rejected a vector with an idle vertex: %v", err)
+		}
+	})
+	t.Run("negative duration rejected", func(t *testing.T) {
+		_, err := CostsFromTimes([]time.Duration{time.Millisecond, -time.Nanosecond})
+		if err == nil {
+			t.Fatal("negative measured time accepted")
+		}
+		if !strings.Contains(err.Error(), "negative measured time") || !strings.Contains(err.Error(), "vertex 2") {
+			t.Errorf("error %q does not name the corrupt measurement", err)
+		}
+	})
+	t.Run("empty rejected", func(t *testing.T) {
+		if _, err := CostsFromTimes(nil); err == nil {
+			t.Fatal("empty time vector accepted")
+		}
+	})
+}
+
+// TestDeploymentRejectsHostileCosts: NaN, infinite and negative
+// Config.Costs are configuration corruption NewDeployment refuses for
+// every planner — including Contiguous, which never reads them.
+func TestDeploymentRejectsHostileCosts(t *testing.T) {
+	ng, _ := graph.Chain(4).Number()
+	mods := []core.Module{bridge{}, bridge{}, bridge{}, bridge{}}
+	for name, costs := range map[string][]float64{
+		"NaN":      {1, math.NaN(), 1, 1},
+		"negative": {1, -2, 1, 1},
+		"+Inf":     {1, math.Inf(1), 1, 1},
+	} {
+		for _, planner := range []Planner{nil, Contiguous{}} {
+			_, err := NewDeployment(ng, mods, Config{Machines: 2, Costs: costs, Planner: planner})
+			if err == nil {
+				t.Errorf("%s cost accepted (planner %v)", name, planner)
+			} else if !strings.Contains(err.Error(), "invalid cost") {
+				t.Errorf("%s: error %q does not name the invalid cost", name, err)
+			}
+		}
 	}
 }

@@ -29,7 +29,9 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -88,6 +90,11 @@ type Stats struct {
 	Planner string
 	// Transport names the Network that carried the links.
 	Transport string
+	// Rebalances records each epoch switch a RunRebalancing run
+	// performed, in order; empty for plain Run. After a rebalance,
+	// Starts/CrossEdges/Planner describe the newest epoch's plan and
+	// PerMachine[m] aggregates machine m's counters across epochs.
+	Rebalances []RebalanceEvent
 	// Wall is the end-to-end wall-clock time of Run.
 	Wall time.Duration
 }
@@ -157,8 +164,25 @@ type machine struct {
 	// routesTo[j] lists the portals whose values ride the link to
 	// downstream machine j.
 	routesTo map[int][]*portalRoute
-	// ext[p-1] is the machine's share of the global external inputs.
+	// ext[p-1-base] is the machine's share of this epoch's external
+	// inputs (phase numbers are global; base offsets into the slice).
 	ext [][]core.ExtInput
+	// epoch and base identify the machine's run window under dynamic
+	// repartitioning: it runs phases base+1 onward, tagging every frame
+	// with epoch and rejecting frames tagged otherwise. Both stay zero
+	// outside RunRebalancing, reproducing the single-epoch behavior
+	// exactly.
+	epoch int
+	base  int
+	// ctl couples head machines (no upstream links) to the epoch
+	// barrier; nil outside RunRebalancing. Non-head machines learn the
+	// barrier in-band, from the barrier frames their upstreams flood.
+	ctl *epochCtl
+	// barrierAt, when nonzero, is the phase this machine quiesced at:
+	// its engine completed every phase ≤ barrierAt and no later one.
+	// Written by the ingress goroutine before it closes the started
+	// channel, read by egress after that close, so no lock is needed.
+	barrierAt int
 	// egressDown is set when the egress loop lost a link; ingress
 	// checks it before opening another phase so a machine whose
 	// outbound wire died aborts instead of computing into the void.
@@ -177,14 +201,30 @@ type machine struct {
 // cascade the failure downstream, so reporting first guarantees the
 // root-cause error wins the first-error slot over the derived
 // "upstream closed" errors it triggers.
+//
+// Under dynamic repartitioning the feed is also where the epoch
+// barrier lands: a head machine (no upstream) asks the epoch
+// controller before opening each phase and quiesces once the phase is
+// past the agreed barrier; a non-head machine quiesces when every
+// upstream has sent the barrier frame that follows its final data
+// frame. Either way the quiesce is core.ErrStopFeed — a clean early
+// stop, not a failure.
 func (mc *machine) ingress(phases int, in map[int]Transport, tokens chan struct{}, started chan<- int, fail func(error)) core.Stats {
 	defer close(started)
+	if mc.ctl != nil && len(mc.upstream) == 0 {
+		defer mc.ctl.headFinished(mc.idx)
+	}
 	st, err := mc.eng.RunFeed(phases, func(p int) ([]core.ExtInput, error) {
+		if mc.ctl != nil && len(mc.upstream) == 0 && !mc.ctl.headProceed(mc.idx, p) {
+			mc.barrierAt = p - 1
+			return nil, core.ErrStopFeed
+		}
 		<-tokens
 		if errp := mc.egressDown.Load(); errp != nil {
 			return nil, fmt.Errorf("distrib: machine %d: aborting ingress at phase %d: %w", mc.idx, p, *errp)
 		}
-		ext := mc.ext[p-1]
+		ext := mc.ext[p-1-mc.base]
+		barriers := 0
 		for _, up := range mc.upstream {
 			f, err := in[up].Recv()
 			if err == ErrLinkClosed {
@@ -195,14 +235,39 @@ func (mc *machine) ingress(phases int, in map[int]Transport, tokens chan struct{
 				// surface the root cause, not a summary.
 				return nil, fmt.Errorf("distrib: machine %d: upstream %d link failed before phase %d: %w", mc.idx, up, p, err)
 			}
-			if f.Phase != p {
-				return nil, fmt.Errorf("distrib: machine %d: frame for phase %d while starting %d", mc.idx, f.Phase, p)
+			if f.Epoch != mc.epoch {
+				return nil, fmt.Errorf("distrib: machine %d: stale-epoch frame from upstream %d: epoch %d, running epoch %d", mc.idx, up, f.Epoch, mc.epoch)
 			}
-			ext = append(ext, f.Inputs...)
+			switch f.Kind {
+			case FrameBarrier:
+				// The barrier follows the upstream's final data frame, so
+				// it can only ever arrive where phase p-1 data ended.
+				if f.Phase != p-1 {
+					return nil, fmt.Errorf("distrib: machine %d: upstream %d announced barrier at phase %d while starting %d", mc.idx, up, f.Phase, p)
+				}
+				barriers++
+			case FrameData:
+				if barriers > 0 {
+					return nil, fmt.Errorf("distrib: machine %d: upstream %d sent phase-%d data after another upstream's barrier", mc.idx, up, f.Phase)
+				}
+				if f.Phase != p {
+					return nil, fmt.Errorf("distrib: machine %d: frame for phase %d while starting %d", mc.idx, f.Phase, p)
+				}
+				ext = append(ext, f.Inputs...)
+			default:
+				return nil, fmt.Errorf("distrib: machine %d: unexpected frame kind %d from upstream %d", mc.idx, f.Kind, up)
+			}
+		}
+		if barriers > 0 {
+			if barriers != len(mc.upstream) {
+				return nil, fmt.Errorf("distrib: machine %d: %d of %d upstreams at the barrier before phase %d", mc.idx, barriers, len(mc.upstream), p)
+			}
+			mc.barrierAt = p - 1
+			return nil, core.ErrStopFeed
 		}
 		return ext, nil
 	}, func(p int) { started <- p })
-	if err != nil {
+	if err != nil && !errors.Is(err, core.ErrStopFeed) {
 		fail(err)
 		// Abandon the inbound links so upstream egress loops can never
 		// wedge against a window nobody reads; they observe our egress
@@ -221,6 +286,11 @@ func (mc *machine) ingress(phases int, in map[int]Transport, tokens chan struct{
 // opening phases, and the remaining started phases only have their
 // ship tokens returned — the deferred close then cascades the outage
 // to every downstream machine.
+//
+// When the machine quiesced at an epoch barrier, egress floods the
+// barrier downstream after its final data frame — the control frame
+// that tells every consumer where this epoch ends — and only then
+// closes the links.
 func (mc *machine) egress(out map[int]Transport, tokens chan<- struct{}, started <-chan int, fail func(error)) {
 	defer func() {
 		for _, l := range out {
@@ -238,13 +308,23 @@ func (mc *machine) egress(out map[int]Transport, tokens chan<- struct{}, started
 		}
 		tokens <- struct{}{}
 	}
+	if mc.barrierAt > 0 && mc.egressDown.Load() == nil {
+		for _, dst := range mc.downstream {
+			if err := out[dst].Send(Frame{Kind: FrameBarrier, Epoch: mc.epoch, Phase: mc.barrierAt}); err != nil {
+				err = fmt.Errorf("distrib: machine %d: flooding barrier %d: %w", mc.idx, mc.barrierAt, err)
+				fail(err)
+				mc.egressDown.Store(&err)
+				return
+			}
+		}
+	}
 }
 
 // ship sends phase p's frame on every outbound link.
 func (mc *machine) ship(out map[int]Transport, p int) error {
 	for _, dst := range mc.downstream {
 		routes := mc.routesTo[dst]
-		f := Frame{Phase: p, Inputs: make([]core.ExtInput, 0, len(routes))}
+		f := Frame{Kind: FrameData, Epoch: mc.epoch, Phase: p, Inputs: make([]core.ExtInput, 0, len(routes))}
 		for _, r := range routes {
 			if v, ok := r.p.take(p); ok {
 				f.Inputs = append(f.Inputs, core.ExtInput{Vertex: r.bridgeVertex, Port: 0, Val: v})
@@ -268,16 +348,39 @@ func (mc *machine) ship(out map[int]Transport, p int) error {
 // turns the same plan into a multi-process deployment.
 type Deployment struct {
 	cfg        Config
+	window     runWindow
 	starts     []int
 	planner    string
 	crossEdges int
 	machines   []*machineState
 }
 
+// runWindow positions a deployment inside a longer computation: the
+// epoch number stamped on its frames, the phase base it resumes after
+// (phases base+1 onward), and whether its engines measure per-vertex
+// Step times (the rebalancer's drift signal). starts, when non-nil,
+// is a pre-validated partition to assemble instead of planning anew —
+// the rebalancer computes the migration set from the new plan and
+// must deploy exactly that plan, not a second Plan call's output. The
+// zero value is a plain single-epoch deployment starting at phase 1.
+type runWindow struct {
+	epoch   int
+	base    int
+	measure bool
+	starts  []int
+}
+
 // NewDeployment validates the configuration, plans the partition and
 // assembles every machine's engine. mods[v-1] is the module for global
 // vertex v, exactly as for core.New.
 func NewDeployment(g *graph.Numbered, mods []core.Module, cfg Config) (*Deployment, error) {
+	return newDeploymentAt(g, mods, cfg, runWindow{})
+}
+
+// newDeploymentAt is NewDeployment positioned at an arbitrary run
+// window — the epoch constructor RunRebalancing uses after each
+// barrier.
+func newDeploymentAt(g *graph.Numbered, mods []core.Module, cfg Config, window runWindow) (*Deployment, error) {
 	if len(mods) != g.N() {
 		return nil, fmt.Errorf("distrib: %d modules for %d vertices", len(mods), g.N())
 	}
@@ -303,9 +406,18 @@ func NewDeployment(g *graph.Numbered, mods []core.Module, cfg Config) (*Deployme
 	} else if len(costs) != g.N() {
 		return nil, fmt.Errorf("distrib: %d costs for %d vertices", len(costs), g.N())
 	}
-	starts, err := planner.Plan(g, costs, cfg.Machines)
-	if err != nil {
-		return nil, err
+	for v, cost := range costs {
+		if cost < 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+			return nil, fmt.Errorf("distrib: invalid cost %v for vertex %d (costs must be finite and non-negative)", cost, v+1)
+		}
+	}
+	starts := window.starts
+	if starts == nil {
+		var err error
+		starts, err = planner.Plan(g, costs, cfg.Machines)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(starts) != cfg.Machines {
 		return nil, fmt.Errorf("distrib: planner %s returned %d stages for %d machines", planner.Name(), len(starts), cfg.Machines)
@@ -313,12 +425,13 @@ func NewDeployment(g *graph.Numbered, mods []core.Module, cfg Config) (*Deployme
 	if err := graph.ValidateStarts(g.N(), starts); err != nil {
 		return nil, fmt.Errorf("distrib: planner %s: %w", planner.Name(), err)
 	}
-	machines, crossEdges, err := assemble(g, mods, starts, cfg)
+	machines, crossEdges, err := assemble(g, mods, starts, cfg, window)
 	if err != nil {
 		return nil, err
 	}
 	return &Deployment{
 		cfg:        cfg,
+		window:     window,
 		starts:     starts,
 		planner:    planner.Name(),
 		crossEdges: crossEdges,
@@ -421,7 +534,6 @@ func (mc *machine) run(phases, window int, in, out map[int]Transport, fail func(
 // baseline.Sequential over the same graph and modules (pinned by the
 // equivalence tests), for every planner and every Transport.
 func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config) (Stats, error) {
-	t0 := time.Now()
 	d, err := NewDeployment(g, mods, cfg)
 	if err != nil {
 		return Stats{}, err
@@ -431,7 +543,17 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 		net = ChannelNetwork{}
 		defer net.Close()
 	}
+	return d.runWired(batches, net)
+}
 
+// runWired wires every connected machine pair through net and drives
+// all machines of the deployment in-process. batches are the epoch's
+// per-phase external inputs, already sliced to this deployment's run
+// window (batches[i] feeds phase window.base+1+i). It is the engine
+// room shared by Run (one epoch covering the whole computation) and
+// RunRebalancing (one call per epoch).
+func (d *Deployment) runWired(batches [][]core.ExtInput, net Network) (Stats, error) {
+	t0 := time.Now()
 	// Wire every connected machine pair through the Network, in
 	// deterministic (from, to) order.
 	type linkKey struct{ from, to int }
@@ -498,7 +620,7 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 	}
 	st.Wall = time.Since(t0)
 	errMu.Lock()
-	err = firstErr
+	err := firstErr
 	errMu.Unlock()
 	if err != nil {
 		return st, err
@@ -509,7 +631,21 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 // assemble builds the per-machine subgraphs, engines, portals and
 // bridges for the given partition. Transports are wired later, by Run
 // or by the RunMachine caller.
-func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) ([]*machineState, int, error) {
+//
+// Construction order is load-bearing: a consumer's input-port order is
+// its ascending local predecessor numbering, and that must reproduce
+// the ascending *global* predecessor order or the module folds its
+// inputs differently than the sequential oracle. Cross-edge sources
+// all have lower global indices than any local vertex (the partition
+// is contiguous over a topological numbering), so each machine adds
+// its bridges first — in ascending (source, consumer) order — then its
+// real vertices: every bridge is a subgraph source with a lower
+// construction id than any real vertex, so the Kahn numbering puts
+// bridge predecessors ahead of local ones exactly as the global
+// numbering does. (Pinned by TestCrossPortOrderMatchesSequential; the
+// seed's real-vertices-first order inverted ports whenever a consumer
+// had both a local-source predecessor and a remote one.)
+func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config, window runWindow) ([]*machineState, int, error) {
 	M := len(starts)
 	type build struct {
 		g    *graph.Graph
@@ -520,42 +656,54 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) (
 	for m := range builds {
 		builds[m] = &build{g: graph.New(), ids: make(map[int]int)}
 	}
-	// Real vertices.
-	for v := 1; v <= g.N(); v++ {
-		m := graph.PartitionOf(starts, v)
-		id := builds[m].g.AddVertex(fmt.Sprintf("g%d", v))
-		builds[m].ids[v] = id
-		builds[m].mods = append(builds[m].mods, mods[v-1])
-	}
-	// Edges, bridges and portals.
+	// Cross edges in ascending (source, consumer) order — the scan
+	// order everything below depends on.
 	type crossRef struct {
+		v, w        int // global edge
 		fromMachine int
 		portal      *portal
 		toMachine   int
 		bridgeID    int // construction id of bridge on target machine
 	}
 	var crosses []*crossRef
-	crossEdges := 0
 	for v := 1; v <= g.N(); v++ {
 		mv := graph.PartitionOf(starts, v)
 		for _, w := range g.Succ(v) {
-			mw := graph.PartitionOf(starts, w)
-			if mv == mw {
-				builds[mv].g.MustEdge(builds[mv].ids[v], builds[mv].ids[w])
-				continue
+			if mw := graph.PartitionOf(starts, w); mv != mw {
+				crosses = append(crosses, &crossRef{v: v, w: w, fromMachine: mv, toMachine: mw})
 			}
-			crossEdges++
-			// portal on mv
-			pm := &portal{buf: make(map[int]event.Value)}
-			pid := builds[mv].g.AddVertex(fmt.Sprintf("portal:%d->%d", v, w))
-			builds[mv].mods = append(builds[mv].mods, pm)
-			builds[mv].g.MustEdge(builds[mv].ids[v], pid)
-			// bridge on mw
-			bid := builds[mw].g.AddVertex(fmt.Sprintf("bridge:%d->%d", v, w))
-			builds[mw].mods = append(builds[mw].mods, bridge{})
-			builds[mw].g.MustEdge(bid, builds[mw].ids[w])
-			crosses = append(crosses, &crossRef{fromMachine: mv, portal: pm, toMachine: mw, bridgeID: bid})
 		}
+	}
+	crossEdges := len(crosses)
+	// Bridges first (consuming machine), so their construction ids —
+	// and hence their numbering — precede every real vertex's.
+	for _, c := range crosses {
+		c.bridgeID = builds[c.toMachine].g.AddVertex(fmt.Sprintf("bridge:%d->%d", c.v, c.w))
+		builds[c.toMachine].mods = append(builds[c.toMachine].mods, bridge{})
+	}
+	// Real vertices, ascending global order.
+	for v := 1; v <= g.N(); v++ {
+		m := graph.PartitionOf(starts, v)
+		id := builds[m].g.AddVertex(fmt.Sprintf("g%d", v))
+		builds[m].ids[v] = id
+		builds[m].mods = append(builds[m].mods, mods[v-1])
+	}
+	// Local edges.
+	for v := 1; v <= g.N(); v++ {
+		mv := graph.PartitionOf(starts, v)
+		for _, w := range g.Succ(v) {
+			if graph.PartitionOf(starts, w) == mv {
+				builds[mv].g.MustEdge(builds[mv].ids[v], builds[mv].ids[w])
+			}
+		}
+	}
+	// Portals (producing machine) and the edges tying both stand-ins in.
+	for _, c := range crosses {
+		c.portal = &portal{buf: make(map[int]event.Value)}
+		pid := builds[c.fromMachine].g.AddVertex(fmt.Sprintf("portal:%d->%d", c.v, c.w))
+		builds[c.fromMachine].mods = append(builds[c.fromMachine].mods, c.portal)
+		builds[c.fromMachine].g.MustEdge(builds[c.fromMachine].ids[c.v], pid)
+		builds[c.toMachine].g.MustEdge(c.bridgeID, builds[c.toMachine].ids[c.w])
 	}
 	// Number subgraphs, create engines, record the topology.
 	machines := make([]*machineState, M)
@@ -569,9 +717,11 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) (
 			ordered[ng.IndexOf(id)-1] = mod
 		}
 		eng, err := core.New(ng, ordered, core.Config{
-			Workers:           cfg.WorkersPerMachine,
-			MaxInFlight:       cfg.MaxInFlight,
-			MeasureContention: cfg.MeasureContention,
+			Workers:            cfg.WorkersPerMachine,
+			MaxInFlight:        cfg.MaxInFlight,
+			MeasureContention:  cfg.MeasureContention,
+			MeasureVertexTimes: window.measure,
+			BasePhase:          window.base,
 		})
 		if err != nil {
 			return nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)
@@ -586,6 +736,8 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config) (
 			ng:       ng,
 			localOf:  localOf,
 			routesTo: make(map[int][]*portalRoute),
+			epoch:    window.epoch,
+			base:     window.base,
 		}}
 	}
 	for _, c := range crosses {

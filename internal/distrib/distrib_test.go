@@ -517,6 +517,83 @@ func TestPartitionedExternalInputs(t *testing.T) {
 	}
 }
 
+// fixedPlanner returns a predetermined partition — the harness for
+// pinning plan-shape-specific behavior.
+type fixedPlanner struct{ starts []int }
+
+func (f fixedPlanner) Name() string { return "fixed" }
+func (f fixedPlanner) Plan(g *graph.Numbered, costs []float64, machines int) ([]int, error) {
+	return f.starts, nil
+}
+
+// TestCrossPortOrderMatchesSequential pins the assemble ordering fix:
+// when a consumer has both a local-source predecessor and a remote
+// one, the bridge must take the port its (lower-numbered) global
+// source held in the sequential run. The seed's real-vertices-first
+// construction numbered the local source ahead of the bridge and
+// folded the consumer's inputs in inverted order — a divergence no
+// stock planner's partitions happened to expose until the rebalancer
+// started cutting measured-cost plans mid-run.
+func TestCrossPortOrderMatchesSequential(t *testing.T) {
+	// v1(src) -> v3, v2(src) -> v3; the fixed plan [1 | 2 3] makes v1
+	// remote and v2 a local source of v3's machine.
+	g := graph.New()
+	a := g.AddVertex("s1")
+	b := g.AddVertex("s2")
+	w := g.AddVertex("w")
+	g.MustEdge(a, w)
+	g.MustEdge(b, w)
+	ng, err := g.Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() ([]core.Module, *recSink) {
+		rs := &recSink{}
+		concat := func(tag int64) core.Module {
+			return core.StepFunc(func(ctx *core.Context) { ctx.EmitAll(event.Int(tag)) })
+		}
+		fold := core.StepFunc(func(ctx *core.Context) {
+			// Fold ports in order with a non-commutative mix, then
+			// forward through FirstIn-style recording.
+			acc := int64(0)
+			for p := 0; p < ctx.Ports(); p++ {
+				if v, ok := ctx.In(p); ok {
+					i, _ := v.AsInt()
+					acc = acc*1000 + i
+				}
+			}
+			rs.mu.Lock()
+			rs.log = append(rs.log, struct {
+				p int
+				v int64
+			}{ctx.Phase(), acc})
+			rs.mu.Unlock()
+		})
+		return []core.Module{concat(1), concat(2), fold}, rs
+	}
+	batches := make([][]core.ExtInput, 3)
+	modsRef, rsRef := mk()
+	if _, err := baseline.Sequential(ng, modsRef, batches); err != nil {
+		t.Fatal(err)
+	}
+	mods, rs := mk()
+	if _, err := Run(ng, mods, batches, Config{
+		Machines: 2, WorkersPerMachine: 1, Planner: fixedPlanner{[]int{1, 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sinkLogsEqual([]*recSink{rsRef}, []*recSink{rs}) {
+		t.Fatalf("fold order diverged: partitioned %+v, sequential %+v (port inversion)", rs.log, rsRef.log)
+	}
+	// The oracle fold is 1*1000+2 = 1002 every phase; pin it so the test
+	// can never pass vacuously.
+	for _, e := range rsRef.log {
+		if e.v != 1002 {
+			t.Fatalf("oracle fold = %d, want 1002", e.v)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	ng, _ := graph.Chain(3).Number()
 	mods := []core.Module{bridge{}, bridge{}}

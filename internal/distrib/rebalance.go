@@ -1,0 +1,606 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// RebalanceConfig tunes dynamic repartitioning (DESIGN.md §8): when
+// the drift monitor declares the running plan stale, and how often the
+// run may pay for an epoch switch.
+type RebalanceConfig struct {
+	// SkewThreshold triggers a rebalance when the measured bottleneck
+	// stage costs more than SkewThreshold × the mean stage cost under
+	// the current partition. 1.0 means perfectly balanced; the default
+	// 1.35 tolerates modest drift before paying for a switch.
+	SkewThreshold float64
+	// CheckEvery is the drift monitor's poll period. Defaults to 2ms.
+	CheckEvery time.Duration
+	// MinEpochPhases is the least number of phases an epoch must have
+	// started before its measurements are trusted (and before another
+	// switch may fire). Defaults to 16.
+	MinEpochPhases int
+	// MinRemaining stops triggering when fewer phases than this remain:
+	// a switch that close to the end can never pay for itself.
+	// Defaults to 16.
+	MinRemaining int
+	// MaxRebalances bounds the epoch switches in one run. Defaults
+	// to 3.
+	MaxRebalances int
+	// MinSignal is the least cumulative measured Step time an epoch
+	// must have accumulated before skew is computed, keeping clock
+	// granularity from fabricating drift on fast modules. Defaults
+	// to 1ms.
+	MinSignal time.Duration
+	// ForceEvery, when positive, triggers a barrier each time an epoch
+	// has started this many phases, regardless of measured skew — the
+	// deterministic trigger the equivalence tests use to exercise epoch
+	// switches without depending on timing. Production runs leave it 0.
+	ForceEvery int
+}
+
+func (rc RebalanceConfig) withDefaults() RebalanceConfig {
+	if rc.SkewThreshold <= 1 {
+		rc.SkewThreshold = 1.35
+	}
+	if rc.CheckEvery <= 0 {
+		rc.CheckEvery = 2 * time.Millisecond
+	}
+	if rc.MinEpochPhases <= 0 {
+		rc.MinEpochPhases = 16
+	}
+	if rc.MinRemaining <= 0 {
+		rc.MinRemaining = 16
+	}
+	if rc.MaxRebalances <= 0 {
+		rc.MaxRebalances = 3
+	}
+	if rc.MinSignal <= 0 {
+		rc.MinSignal = time.Millisecond
+	}
+	return rc
+}
+
+// RebalanceEvent records one epoch switch.
+type RebalanceEvent struct {
+	// Epoch is the epoch that ended at this switch (0 = the initial
+	// plan's epoch).
+	Epoch int
+	// Barrier is the phase the deployment quiesced at: every machine
+	// completed exactly the phases ≤ Barrier before the switch.
+	Barrier int
+	// FromStarts and ToStarts are the partitions before and after.
+	FromStarts, ToStarts []int
+	// Moved counts the vertices that changed machines.
+	Moved int
+	// Serialized counts the moved vertices whose state crossed through
+	// a Snapshotter round-trip (the rest moved by reference, which only
+	// an in-process deployment can do).
+	Serialized int
+	// HandoffBytes is the encoded snapshot volume wire transports
+	// carried (0 for in-process channel links).
+	HandoffBytes int64
+	// Skew is the measured bottleneck/mean stage-cost ratio that
+	// triggered the switch (0 when ForceEvery triggered it).
+	Skew float64
+	// Wall is the time from quiesce decision to the new epoch's plan
+	// being ready to run — the pipeline's downtime paid for the switch.
+	Wall time.Duration
+}
+
+// epochCtl coordinates one epoch's quiesce. Head machines (no upstream
+// links) consult it before opening each phase; the drift monitor asks
+// it to choose a barrier. The chosen barrier is the maximum phase any
+// head has already committed to, so no machine ever has to un-start
+// work: heads run up to the barrier and stop, and every downstream
+// machine drains to the same phase behind the barrier frames the heads'
+// egress floods.
+type epochCtl struct {
+	epoch int
+	base  int
+	total int
+	heads []int
+
+	mu          sync.Mutex
+	cond        sync.Cond
+	pausing     bool
+	barrier     int // 0 = not yet decided
+	lastStarted map[int]int
+	parked      map[int]bool
+	finished    map[int]bool
+}
+
+func newEpochCtl(epoch, base, total int, heads []int) *epochCtl {
+	c := &epochCtl{
+		epoch:       epoch,
+		base:        base,
+		total:       total,
+		heads:       heads,
+		lastStarted: make(map[int]int, len(heads)),
+		parked:      make(map[int]bool, len(heads)),
+		finished:    make(map[int]bool, len(heads)),
+	}
+	c.cond.L = &c.mu
+	return c
+}
+
+// headProceed reports whether head machine m may open phase p. While a
+// barrier decision is pending the call parks until the decision lands;
+// once a barrier is set, phases past it are refused — the head's
+// quiesce signal.
+func (c *epochCtl) headProceed(m, p int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.barrier != 0 {
+			if p > c.barrier {
+				return false
+			}
+			c.lastStarted[m] = p
+			c.cond.Broadcast()
+			return true
+		}
+		if !c.pausing {
+			c.lastStarted[m] = p
+			c.cond.Broadcast()
+			return true
+		}
+		c.parked[m] = true
+		c.cond.Broadcast()
+		c.cond.Wait()
+		delete(c.parked, m)
+	}
+}
+
+// waitStarted blocks until some head machine has opened phase target
+// (reporting true) or every head has finished without reaching it
+// (false). The deterministic wake-up behind ForceEvery.
+func (c *epochCtl) waitStarted(target int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		p := c.base
+		done := true
+		for _, m := range c.heads {
+			if c.lastStarted[m] > p {
+				p = c.lastStarted[m]
+			}
+			if !c.finished[m] {
+				done = false
+			}
+		}
+		if p >= target {
+			return true
+		}
+		if done {
+			return false
+		}
+		c.cond.Wait()
+	}
+}
+
+// headFinished marks head machine m done opening phases (it ran out of
+// phases or quiesced), so a pending barrier decision stops waiting on
+// it.
+func (c *epochCtl) headFinished(m int) {
+	c.mu.Lock()
+	c.finished[m] = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// maxStarted returns the newest phase any head machine has opened.
+func (c *epochCtl) maxStarted() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.base
+	for _, m := range c.heads {
+		if c.lastStarted[m] > p {
+			p = c.lastStarted[m]
+		}
+	}
+	return p
+}
+
+// requestBarrier pauses every head machine, picks the earliest phase
+// all of them can stop at together, publishes it and resumes them. The
+// returned barrier equals total when the run will finish before any
+// consistent cut — the no-op switch the caller treats as "run to
+// completion". Idempotent: a second request returns the first
+// decision.
+func (c *epochCtl) requestBarrier() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.barrier != 0 {
+		return c.barrier
+	}
+	c.pausing = true
+	c.cond.Broadcast()
+	for !c.headsSettledLocked() {
+		c.cond.Wait()
+	}
+	b := c.base + 1 // every epoch runs at least one phase
+	for _, m := range c.heads {
+		if c.lastStarted[m] > b {
+			b = c.lastStarted[m]
+		}
+	}
+	if b > c.total {
+		b = c.total
+	}
+	c.barrier = b
+	c.pausing = false
+	c.cond.Broadcast()
+	return b
+}
+
+// headsSettledLocked reports whether every head machine is parked at
+// the gate or done opening phases. Caller holds mu.
+func (c *epochCtl) headsSettledLocked() bool {
+	for _, m := range c.heads {
+		if !c.parked[m] && !c.finished[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// decided returns the published barrier, 0 if none was requested.
+func (c *epochCtl) decided() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.barrier
+}
+
+// headMachines lists the deployment's machines with no inbound links —
+// the machines that pace phase starts and therefore anchor a barrier.
+func (d *Deployment) headMachines() []int {
+	var heads []int
+	for m, mc := range d.machines {
+		if len(mc.upstream) == 0 {
+			heads = append(heads, m)
+		}
+	}
+	return heads
+}
+
+// attachCtl couples every machine of the deployment to an epoch
+// controller.
+func (d *Deployment) attachCtl(ctl *epochCtl) {
+	for _, mc := range d.machines {
+		mc.ctl = ctl
+	}
+}
+
+// globalVertexTimes maps each machine engine's measured per-vertex
+// Step times back to the global numbering (portal and bridge vertices
+// are infrastructure, not workload, and are excluded). Requires the
+// deployment to have been built with measurement on.
+func (d *Deployment) globalVertexTimes(n int) []time.Duration {
+	times := make([]time.Duration, n)
+	for _, mc := range d.machines {
+		local := mc.eng.VertexTimes()
+		if local == nil {
+			continue
+		}
+		for gv, lv := range mc.localOf {
+			times[gv-1] += local[lv-1]
+		}
+	}
+	return times
+}
+
+// measuredSkew computes the bottleneck/mean ratio of per-stage measured
+// Step time under the deployment's current partition, and the total
+// measured time backing it. A total below the caller's signal floor
+// means "no data yet".
+func (d *Deployment) measuredSkew(n int) (float64, time.Duration) {
+	times := d.globalVertexTimes(n)
+	loads := make([]time.Duration, len(d.starts))
+	var total time.Duration
+	for v, t := range times {
+		loads[graph.PartitionOf(d.starts, v+1)] += t
+		total += t
+	}
+	if total <= 0 {
+		return 1, 0
+	}
+	var max time.Duration
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean, total
+}
+
+// monitorEpoch watches the running epoch and requests a barrier when
+// the plan has gone stale. In drift mode it polls measured per-vertex
+// times every CheckEvery; with ForceEvery set it instead waits —
+// deterministically, no polling — for the epoch to start that many
+// phases. It returns when a barrier was requested, the epoch finished,
+// or the window for a useful switch has passed; the returned skew is
+// the ratio that crossed the threshold at decision time (0 when no
+// barrier was requested, or when ForceEvery triggered it).
+func monitorEpoch(d *Deployment, ctl *epochCtl, rc RebalanceConfig, n int, stop <-chan struct{}) float64 {
+	if rc.ForceEvery > 0 {
+		if !ctl.waitStarted(ctl.base + rc.ForceEvery) {
+			return 0
+		}
+		if ctl.total-ctl.maxStarted() < rc.MinRemaining {
+			return 0 // too late for a switch to pay off
+		}
+		ctl.requestBarrier()
+		return 0
+	}
+	tick := time.NewTicker(rc.CheckEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return 0
+		case <-tick.C:
+		}
+		started := ctl.maxStarted()
+		if started-ctl.base < rc.MinEpochPhases {
+			continue
+		}
+		if ctl.total-started < rc.MinRemaining {
+			return 0 // too late for a switch to pay off
+		}
+		skew, signal := d.measuredSkew(n)
+		if signal < rc.MinSignal {
+			continue
+		}
+		if skew > rc.SkewThreshold {
+			ctl.requestBarrier()
+			return skew
+		}
+	}
+}
+
+// migration is one vertex's move between machines at an epoch switch.
+type migration struct {
+	vertex   int
+	from, to int
+}
+
+// planMigrations lists the vertices whose owning machine changes
+// between two partitions, in ascending vertex order.
+func planMigrations(n int, oldStarts, newStarts []int) []migration {
+	var moves []migration
+	for v := 1; v <= n; v++ {
+		from := graph.PartitionOf(oldStarts, v)
+		to := graph.PartitionOf(newStarts, v)
+		if from != to {
+			moves = append(moves, migration{vertex: v, from: from, to: to})
+		}
+	}
+	return moves
+}
+
+// handoffState moves the migrating vertices' module state to their new
+// machines through the Network: for every (from, to) machine pair with
+// migrations, a dedicated handoff link carries one snapshot frame.
+// Modules implementing core.Snapshotter are serialized and restored on
+// arrival — over a wire transport the bytes genuinely cross the codec
+// — while plain modules move by reference (possible only because the
+// deployment is in-process; the returned serialized count tells the
+// caller how much of the state took the wire-safe path). The barrier
+// phase and closing epoch tag every frame so a stale or misrouted
+// handoff is rejected, not silently applied.
+func handoffState(mods []core.Module, moves []migration, net Network, depth, epoch, barrier int) (serialized int, bytes int64, err error) {
+	pairs := make(map[[2]int][]int)
+	for _, mv := range moves {
+		k := [2]int{mv.from, mv.to}
+		pairs[k] = append(pairs[k], mv.vertex)
+	}
+	order := make([][2]int, 0, len(pairs))
+	for k := range pairs {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return order[i][0] < order[j][0] || (order[i][0] == order[j][0] && order[i][1] < order[j][1])
+	})
+	for _, k := range order {
+		var snaps []core.VertexSnapshot
+		for _, v := range pairs[k] {
+			s, ok := mods[v-1].(core.Snapshotter)
+			if !ok {
+				continue // moves by reference
+			}
+			state, err := s.SnapshotState()
+			if err != nil {
+				return serialized, bytes, fmt.Errorf("distrib: snapshotting vertex %d for handoff %d->%d: %w", v, k[0], k[1], err)
+			}
+			snaps = append(snaps, core.VertexSnapshot{Vertex: v, State: state})
+		}
+		if len(snaps) == 0 {
+			continue
+		}
+		tr, err := net.Link(k[0], k[1], depth)
+		if err != nil {
+			return serialized, bytes, fmt.Errorf("distrib: wiring handoff link %d->%d: %w", k[0], k[1], err)
+		}
+		sendErr := tr.Send(Frame{Kind: FrameSnapshot, Epoch: epoch, Phase: barrier, Snaps: snaps})
+		if sendErr != nil {
+			tr.Close()
+			return serialized, bytes, fmt.Errorf("distrib: handoff %d->%d at barrier %d: %w", k[0], k[1], barrier, sendErr)
+		}
+		f, recvErr := tr.Recv()
+		if recvErr == nil {
+			switch {
+			case f.Kind != FrameSnapshot:
+				recvErr = fmt.Errorf("frame kind %d", f.Kind)
+			case f.Epoch != epoch:
+				recvErr = fmt.Errorf("stale epoch %d (want %d)", f.Epoch, epoch)
+			case f.Phase != barrier:
+				recvErr = fmt.Errorf("barrier %d (want %d)", f.Phase, barrier)
+			case len(f.Snaps) != len(snaps):
+				recvErr = fmt.Errorf("%d snapshots (sent %d)", len(f.Snaps), len(snaps))
+			}
+		}
+		if recvErr != nil {
+			tr.Close()
+			return serialized, bytes, fmt.Errorf("distrib: handoff %d->%d at barrier %d: receiving state: %w", k[0], k[1], barrier, recvErr)
+		}
+		for i, snap := range f.Snaps {
+			if snap.Vertex != snaps[i].Vertex {
+				tr.Close()
+				return serialized, bytes, fmt.Errorf("distrib: handoff %d->%d: snapshot %d is vertex %d, want %d", k[0], k[1], i, snap.Vertex, snaps[i].Vertex)
+			}
+			if err := mods[snap.Vertex-1].(core.Snapshotter).RestoreState(snap.State); err != nil {
+				tr.Close()
+				return serialized, bytes, fmt.Errorf("distrib: restoring vertex %d after handoff %d->%d: %w", snap.Vertex, k[0], k[1], err)
+			}
+			serialized++
+		}
+		tr.Close()
+		bytes += tr.Stats().Bytes
+	}
+	return serialized, bytes, nil
+}
+
+// RunRebalancing executes the computation like Run, but re-plans the
+// partition mid-run when measured per-vertex cost drifts away from the
+// estimate the current boundaries were cut for — the ROADMAP's dynamic
+// repartitioning. A drift monitor watches every machine engine's
+// per-vertex Step times; past the skew threshold it quiesces the
+// deployment at an epoch barrier (a control frame flooded over the
+// links), hands migrating vertices' state to their new machines
+// (serialized through the transport for modules implementing
+// core.Snapshotter), rebuilds the deployment on the new plan with
+// fresh links and ship-token windows, and resumes at the next phase.
+//
+// The run is bit-identical to Run over the same graph, modules and
+// batches, whatever barriers land where — the equivalence tests pin
+// exactly that, over channel and TCP transports. Stats.Rebalances
+// records every switch.
+func RunRebalancing(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config, rcfg RebalanceConfig) (Stats, error) {
+	t0 := time.Now()
+	rc := rcfg.withDefaults()
+	net := cfg.Network
+	if net == nil {
+		net = ChannelNetwork{}
+		defer net.Close()
+	}
+	total := len(batches)
+
+	var agg Stats
+	base := 0
+	epoch := 0
+	epochCfg := cfg
+	epochCfg.Network = net
+	var epochStarts []int // nil for epoch 0: plan from cfg.Costs
+	for {
+		d, err := newDeploymentAt(g, mods, epochCfg, runWindow{epoch: epoch, base: base, measure: true, starts: epochStarts})
+		if err != nil {
+			return agg, err
+		}
+		ctl := newEpochCtl(epoch, base, total, d.headMachines())
+		d.attachCtl(ctl)
+
+		stop := make(chan struct{})
+		monDone := make(chan struct{})
+		var triggerSkew float64 // skew the monitor saw at decision time
+		if len(agg.Rebalances) < rc.MaxRebalances {
+			go func() {
+				defer close(monDone)
+				triggerSkew = monitorEpoch(d, ctl, rc, g.N(), stop)
+			}()
+		} else {
+			close(monDone)
+		}
+		st, err := d.runWired(batches[base:], net)
+		close(stop)
+		<-monDone
+		mergeStats(&agg, st)
+		if err != nil {
+			agg.Wall = time.Since(t0)
+			return agg, err
+		}
+		barrier := ctl.decided()
+		if barrier == 0 || barrier >= total {
+			agg.Wall = time.Since(t0)
+			return agg, nil
+		}
+
+		// Quiesced at the barrier: re-plan on this epoch's measured
+		// costs and hand migrating state to its new machines.
+		sw0 := time.Now()
+		costs, err := CostsFromTimes(d.globalVertexTimes(g.N()))
+		if err != nil {
+			agg.Wall = time.Since(t0)
+			return agg, fmt.Errorf("distrib: rebalance at phase %d: %w", barrier, err)
+		}
+		planner := cfg.Planner
+		if planner == nil {
+			planner = CostAware{}
+		}
+		newStarts, err := planner.Plan(g, costs, cfg.Machines)
+		if err != nil {
+			agg.Wall = time.Since(t0)
+			return agg, fmt.Errorf("distrib: re-planning at phase %d: %w", barrier, err)
+		}
+		if err := graph.ValidateStarts(g.N(), newStarts); err != nil {
+			agg.Wall = time.Since(t0)
+			return agg, fmt.Errorf("distrib: re-planning at phase %d: planner %s: %w", barrier, planner.Name(), err)
+		}
+		moves := planMigrations(g.N(), d.starts, newStarts)
+		serialized, bytes, err := handoffState(mods, moves, net, d.cfg.Buffer, epoch, barrier)
+		if err != nil {
+			agg.Wall = time.Since(t0)
+			return agg, err
+		}
+		agg.Rebalances = append(agg.Rebalances, RebalanceEvent{
+			Epoch:        epoch,
+			Barrier:      barrier,
+			FromStarts:   append([]int(nil), d.starts...),
+			ToStarts:     append([]int(nil), newStarts...),
+			Moved:        len(moves),
+			Serialized:   serialized,
+			HandoffBytes: bytes,
+			Skew:         triggerSkew,
+			Wall:         time.Since(sw0),
+		})
+		base = barrier
+		epoch++
+		epochCfg.Costs = costs
+		epochStarts = newStarts
+	}
+}
+
+// mergeStats folds one epoch's stats into the aggregate: per-machine
+// counters add (machine m of every epoch occupies slot m — its vertex
+// set may differ between epochs), links append, and the plan-shaped
+// fields (Starts, CrossEdges, Planner, Transport) reflect the newest
+// epoch.
+func mergeStats(agg *Stats, st Stats) {
+	if agg.PerMachine == nil {
+		agg.PerMachine = make([]core.Stats, len(st.PerMachine))
+	}
+	for m := range st.PerMachine {
+		a, b := &agg.PerMachine[m], st.PerMachine[m]
+		a.Executions += b.Executions
+		a.Messages += b.Messages
+		a.PhasesCompleted += b.PhasesCompleted
+		a.LockWait += b.LockWait
+		a.LockAcquisitions += b.LockAcquisitions
+		a.ExecTime += b.ExecTime
+		if b.MaxQueueLen > a.MaxQueueLen {
+			a.MaxQueueLen = b.MaxQueueLen
+		}
+	}
+	agg.Links = append(agg.Links, st.Links...)
+	agg.CrossMessages += st.CrossMessages
+	agg.CrossEdges = st.CrossEdges
+	agg.Starts = st.Starts
+	agg.Planner = st.Planner
+	agg.Transport = st.Transport
+}

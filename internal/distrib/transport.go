@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netwire"
 )
 
 // ErrLinkClosed is the clean end-of-stream: the sender closed the link
@@ -16,16 +17,49 @@ import (
 // root cause.
 var ErrLinkClosed = errors.New("link closed")
 
-// Frame is one phase's worth of traffic on a link: the values every
-// portal on the sending machine captured for that phase, already
-// addressed to the bridge vertices of the receiving machine. A frame is
-// sent for every (link, phase) pair even when empty — the receiver must
-// learn that the upstream phase finished with nothing to say, or the
-// "all inputs known at phase start" invariant (and with it cross-
-// machine serializability) would be lost.
+// FrameKind distinguishes the traffic a link carries. Data frames are
+// the steady state; barrier and snapshot frames are the control plane
+// of dynamic repartitioning (DESIGN.md §8). The values mirror
+// internal/netwire's wire tags one for one, so wire transports encode
+// the kind without translation.
+type FrameKind uint8
+
+// Frame kinds. See the netwire constants of the same names for the
+// wire-level semantics.
+const (
+	// FrameData carries one phase's cross-machine values.
+	FrameData FrameKind = netwire.FrameData
+	// FrameBarrier announces the sender quiesced its epoch after Phase.
+	FrameBarrier FrameKind = netwire.FrameBarrier
+	// FrameSnapshot hands off migrating vertices' serialized state.
+	FrameSnapshot FrameKind = netwire.FrameSnapshot
+)
+
+// Frame is one message on a link. A data frame is one phase's worth of
+// traffic: the values every portal on the sending machine captured for
+// that phase, already addressed to the bridge vertices of the receiving
+// machine. A data frame is sent for every (link, phase) pair even when
+// empty — the receiver must learn that the upstream phase finished with
+// nothing to say, or the "all inputs known at phase start" invariant
+// (and with it cross-machine serializability) would be lost.
+//
+// A barrier frame (Kind == FrameBarrier) follows the sender's final
+// data frame of an epoch: Phase names the barrier — the last phase the
+// sender ran — and the receiver, once every upstream has sent the same
+// barrier, quiesces at the same phase and floods the barrier onward. A
+// snapshot frame (Kind == FrameSnapshot) rides a dedicated handoff
+// link between epochs, carrying migrating vertices' state in Snaps.
+//
+// Epoch tags every frame with the deployment epoch that produced it
+// (0 until the first rebalance); receivers reject mismatches, so a
+// frame that somehow survives an epoch switch is an error, never a
+// silently misapplied input.
 type Frame struct {
+	Kind   FrameKind
+	Epoch  int
 	Phase  int
 	Inputs []core.ExtInput
+	Snaps  []core.VertexSnapshot
 }
 
 // MinLinkDepth is the smallest legal link buffer depth. A zero-depth

@@ -144,10 +144,19 @@ type tcpTransport struct {
 	recv     *netwire.RecvLink
 }
 
-func (t *tcpTransport) Send(f Frame) error { return t.send.Send(f.Phase, f.Inputs) }
+func (t *tcpTransport) Send(f Frame) error { return t.send.Send(wireFrame(f)) }
 
 func (t *tcpTransport) Recv() (Frame, error) {
 	return recvWire(t.recv)
+}
+
+// wireFrame converts a runtime frame to its netwire form; the kinds
+// share one tag namespace, so conversion is field-for-field.
+func wireFrame(f Frame) netwire.WireFrame {
+	return netwire.WireFrame{
+		Kind: uint8(f.Kind), Epoch: f.Epoch, Phase: f.Phase,
+		Inputs: f.Inputs, Snaps: f.Snaps,
+	}
 }
 
 func (t *tcpTransport) Close() error { return t.send.Close() }
@@ -158,20 +167,23 @@ func (t *tcpTransport) DrainDiscard() { drainWire(t.recv) }
 // end of stream is ErrLinkClosed, an unclean one surfaces the recorded
 // wire-level root cause (oversized frame, truncation, codec error).
 func recvWire(r *netwire.RecvLink) (Frame, error) {
-	phase, inputs, ok := r.Recv()
+	f, ok := r.Recv()
 	if !ok {
 		if err := r.Err(); err != nil {
 			return Frame{}, err
 		}
 		return Frame{}, ErrLinkClosed
 	}
-	return Frame{Phase: phase, Inputs: inputs}, nil
+	return Frame{
+		Kind: FrameKind(f.Kind), Epoch: f.Epoch, Phase: f.Phase,
+		Inputs: f.Inputs, Snaps: f.Snaps,
+	}, nil
 }
 
 // drainWire consumes a netwire receiving end until it closes.
 func drainWire(r *netwire.RecvLink) {
 	for {
-		if _, _, ok := r.Recv(); !ok {
+		if _, ok := r.Recv(); !ok {
 			return
 		}
 	}
@@ -204,7 +216,7 @@ type sendOnly struct {
 	s        *netwire.SendLink
 }
 
-func (t *sendOnly) Send(f Frame) error { return t.s.Send(f.Phase, f.Inputs) }
+func (t *sendOnly) Send(f Frame) error { return t.s.Send(wireFrame(f)) }
 func (t *sendOnly) Close() error       { return t.s.Close() }
 func (t *sendOnly) Recv() (Frame, error) {
 	panic("distrib: Recv on the sending end of a wire link")

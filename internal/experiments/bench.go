@@ -309,6 +309,25 @@ func BenchJSON(quick bool) BenchReport {
 		GrainNs:  int64(e12w.Grain),
 		WallNs:   int64(abortWall),
 	})
+	// Dynamic-repartitioning row: the E14 drift run with the rebalancer
+	// on. Portal/bridge executions depend on where the drift-driven
+	// barriers land, so the executed-pair count is nondeterministic and
+	// the row pins Executions=0 — like the fault row, the gate guards
+	// its existence and configuration, and E14's own test guards the
+	// recovery ratio.
+	e14 := E14DynamicRepartition(quick)
+	for _, r := range e14.Rows {
+		if r.Mode != "rebalance" {
+			continue
+		}
+		rep.Workloads = append(rep.Workloads, BenchRow{
+			Name:     "e14-rebalance/machines=3",
+			Workers:  E14Machines * 2,
+			Machines: E14Machines,
+			Phases:   e14.Phases,
+			WallNs:   int64(r.Wall),
+		})
+	}
 	return rep
 }
 

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// E14Machines is the machine count of every E14 measurement point.
+const E14Machines = 3
+
+// e14Mod is one vertex of the drift workload: a Snapshotter module
+// that burns a phase-dependent compute grain and folds its inputs into
+// a deterministic running hash. Before DriftAt it costs preLoops;
+// after, postLoops — the mid-run cost drift E14 exists to recover
+// from.
+type e14Mod struct {
+	state     int64
+	preLoops  int
+	postLoops int
+	driftAt   int
+}
+
+func (m *e14Mod) Step(ctx *core.Context) {
+	if ctx.InCount() == 0 {
+		return
+	}
+	loops := m.preLoops
+	if ctx.Phase() > m.driftAt {
+		loops = m.postLoops
+	}
+	if loops > 0 {
+		spin(loops)
+	}
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			i, _ := v.AsInt()
+			m.state = int64(mix64(uint64(m.state) ^ uint64(i)))
+		}
+	}
+	ctx.EmitAll(intEvent(m.state))
+}
+
+func (m *e14Mod) SnapshotState() ([]byte, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.state))
+	return buf[:], nil
+}
+
+func (m *e14Mod) RestoreState(state []byte) error {
+	if len(state) != 8 {
+		return fmt.Errorf("e14: snapshot of %d bytes, want 8", len(state))
+	}
+	m.state = int64(binary.LittleEndian.Uint64(state))
+	return nil
+}
+
+// e14Sink records every value the chain tail produces — the history
+// all three E14 runs must agree on bit for bit.
+type e14Sink struct {
+	log []int64
+}
+
+func (s *e14Sink) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		i, _ := v.AsInt()
+		s.log = append(s.log, i)
+	}
+}
+
+// E14Workload describes the drift scenario: a chain whose drifter
+// vertex jumps from the shared baseline grain to driftGrain after
+// phase driftAt.
+type E14Workload struct {
+	N          int
+	Drifter    int // 1-based chain position of the drifting vertex
+	BaseGrain  time.Duration
+	DriftGrain time.Duration
+	DriftAt    int
+}
+
+// Build materializes the drift chain with fresh modules, returning the
+// graph, modules, sink, and the pre-drift and post-drift cost vectors
+// (the stale estimate and the oracle's knowledge, respectively).
+func (w E14Workload) Build() (*graph.Numbered, []core.Module, *e14Sink, []float64, []float64) {
+	ng, err := graph.Chain(w.N).Number()
+	if err != nil {
+		panic(err) // static topology; cannot fail
+	}
+	base := LoopsForGrain(w.BaseGrain)
+	drift := LoopsForGrain(w.DriftGrain)
+	mods := make([]core.Module, w.N)
+	pre := make([]float64, w.N)
+	post := make([]float64, w.N)
+	mods[0] = core.StepFunc(func(ctx *core.Context) {
+		if base > 0 {
+			spin(base)
+		}
+		ctx.EmitAll(intEvent(int64(mix64(uint64(ctx.Phase())))))
+	})
+	pre[0], post[0] = 1, 1
+	for i := 1; i < w.N-1; i++ {
+		m := &e14Mod{state: int64(i), preLoops: base, postLoops: base, driftAt: w.DriftAt}
+		pre[i], post[i] = 1, 1
+		if i+1 == w.Drifter {
+			m.postLoops = drift
+			post[i] = float64(w.DriftGrain) / float64(w.BaseGrain)
+		}
+		mods[i] = m
+	}
+	sink := &e14Sink{}
+	mods[w.N-1] = sink
+	pre[w.N-1], post[w.N-1] = 0.1, 0.1
+	return ng, mods, sink, pre, post
+}
+
+// E14Row is one strategy's measurement over the drift workload.
+type E14Row struct {
+	Mode       string
+	Wall       time.Duration
+	Rebalances int
+	Barriers   []int
+	Moved      int
+	// VsOracle is this mode's wall time relative to the oracle plan
+	// that knew the drifted costs up front (1.0 = as good as knowing
+	// the future).
+	VsOracle float64
+}
+
+// E14Result measures what dynamic repartitioning buys (DESIGN.md §8):
+// a run planned on stale (pre-drift) costs, the same run with the
+// rebalancer watching measured per-vertex times, and the oracle that
+// planned on post-drift costs from phase 1. All three sink histories
+// must be bit-identical — the epoch switches are pure performance.
+type E14Result struct {
+	Rows []E14Row
+	// Phases is the phase count every row ran (E14 fixes its own run
+	// length; the BENCH.json row must report this, not the shared
+	// bench phase count).
+	Phases int
+	Table  *metrics.Table
+}
+
+// E14Config is the canonical distrib configuration for an E14 run.
+func E14Config() distrib.Config {
+	return distrib.Config{
+		Machines: E14Machines, WorkersPerMachine: 2,
+		MaxInFlight: 16, Buffer: 8,
+		Planner: distrib.CostAware{},
+	}
+}
+
+// E14RebalanceConfig is the drift-detection tuning every E14
+// measurement (and its test) uses.
+func E14RebalanceConfig() distrib.RebalanceConfig {
+	return distrib.RebalanceConfig{
+		SkewThreshold:  1.35,
+		CheckEvery:     500 * time.Microsecond,
+		MinEpochPhases: 8,
+		MinRemaining:   8,
+		MinSignal:      500 * time.Microsecond,
+		MaxRebalances:  2,
+	}
+}
+
+// E14DynamicRepartition runs the drift scenario three ways — stale
+// static plan, rebalancing, oracle static plan — and reports makespans
+// and the rebalancer's recovery ratio. It panics if any run errors or
+// if the histories diverge: a rebalance that changes output is a
+// correctness bug, not a slow run.
+func E14DynamicRepartition(quick bool) E14Result {
+	phases := 240
+	w := E14Workload{
+		N: 12, Drifter: 10,
+		BaseGrain: 4 * time.Microsecond, DriftGrain: 60 * time.Microsecond,
+		DriftAt: 240 / 6,
+	}
+	if quick {
+		phases = 80
+		w.DriftAt = 80 / 6
+	}
+
+	var res E14Result
+	res.Phases = phases
+	var oracleWall time.Duration
+	var refLog []int64
+	run := func(mode string) E14Row {
+		ng, mods, sink, pre, post := w.Build()
+		cfg := E14Config()
+		row := E14Row{Mode: mode}
+		var st distrib.Stats
+		var err error
+		switch mode {
+		case "static-stale":
+			cfg.Costs = pre
+			st, err = distrib.Run(ng, mods, Phases(phases), cfg)
+		case "rebalance":
+			cfg.Costs = pre
+			st, err = distrib.RunRebalancing(ng, mods, Phases(phases), cfg, E14RebalanceConfig())
+		case "oracle":
+			cfg.Costs = post
+			st, err = distrib.Run(ng, mods, Phases(phases), cfg)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("E14 %s: %v", mode, err))
+		}
+		row.Wall = st.Wall
+		row.Rebalances = len(st.Rebalances)
+		for _, ev := range st.Rebalances {
+			row.Barriers = append(row.Barriers, ev.Barrier)
+			row.Moved += ev.Moved
+		}
+		if refLog == nil {
+			refLog = sink.log
+		} else if !int64sEqual(refLog, sink.log) {
+			panic(fmt.Sprintf("E14 %s: sink history diverged — rebalancing changed the output", mode))
+		}
+		return row
+	}
+
+	// Oracle first so every row can report its ratio immediately.
+	oracle := run("oracle")
+	oracleWall = oracle.Wall
+	oracle.VsOracle = 1.0
+	static := run("static-stale")
+	static.VsOracle = float64(static.Wall) / float64(oracleWall)
+	reb := run("rebalance")
+	reb.VsOracle = float64(reb.Wall) / float64(oracleWall)
+	res.Rows = []E14Row{static, reb, oracle}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("E14 — dynamic repartitioning: mid-run drift ×%d at vertex %d (machines=%d, drift@phase %d)",
+			int(w.DriftGrain/w.BaseGrain), w.Drifter, E14Machines, w.DriftAt),
+		"mode", "wall-time", "rebalances", "barriers", "moved", "vs-oracle")
+	for _, r := range res.Rows {
+		tb.Add(r.Mode, r.Wall, r.Rebalances, fmt.Sprint(r.Barriers), r.Moved, fmt.Sprintf("%.2f×", r.VsOracle))
+	}
+	res.Table = tb
+	return res
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

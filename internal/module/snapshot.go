@@ -1,0 +1,97 @@
+package module
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshotter implementations (core.Snapshotter) for the module types
+// whose state is plain fields, so distrib's dynamic repartitioning can
+// hand them between machines through the wire-safe path. Types built
+// on the stats layer's sliding windows (Smoother, ZScoreDetector) are
+// deliberately left out for now: their windows carry floating-point
+// accumulators whose exact values depend on the insert/evict history,
+// so a rebuild-from-values snapshot would change downstream results
+// bit-wise. They still migrate by reference within one process; exact
+// window serialization is a ROADMAP item for multi-process rebalancing.
+
+// SnapshotState implements core.Snapshotter: the walk position and
+// whether it left Start.
+func (s *RandomWalk) SnapshotState() ([]byte, error) {
+	buf := make([]byte, 9)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(s.pos))
+	if s.init {
+		buf[8] = 1
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *RandomWalk) RestoreState(state []byte) error {
+	if len(state) != 9 {
+		return fmt.Errorf("module: RandomWalk snapshot of %d bytes, want 9", len(state))
+	}
+	s.pos = math.Float64frombits(binary.LittleEndian.Uint64(state))
+	s.init = state[8] != 0
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the hysteresis band the
+// threshold last reported.
+func (t *Threshold) SnapshotState() ([]byte, error) {
+	return []byte{byte(t.state)}, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (t *Threshold) RestoreState(state []byte) error {
+	if len(state) != 1 {
+		return fmt.Errorf("module: Threshold snapshot of %d bytes, want 1", len(state))
+	}
+	t.state = int8(state[0])
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the fired-phase history
+// and the level the alarm last saw.
+func (s *AlertSink) SnapshotState() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(len(s.Alerts)))
+	for _, p := range s.Alerts {
+		buf = binary.AppendUvarint(buf, uint64(p))
+	}
+	if s.state {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *AlertSink) RestoreState(state []byte) error {
+	n, used := binary.Uvarint(state)
+	if used <= 0 {
+		return fmt.Errorf("module: AlertSink snapshot: truncated count")
+	}
+	state = state[used:]
+	// Each phase costs at least one byte, so a count beyond the
+	// remaining bytes is corruption — reject it before allocating.
+	if n > uint64(len(state)) {
+		return fmt.Errorf("module: AlertSink snapshot claims %d alerts in %d bytes", n, len(state))
+	}
+	alerts := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p, used := binary.Uvarint(state)
+		if used <= 0 {
+			return fmt.Errorf("module: AlertSink snapshot: truncated phase %d", i)
+		}
+		state = state[used:]
+		alerts = append(alerts, int(p))
+	}
+	if len(state) != 1 {
+		return fmt.Errorf("module: AlertSink snapshot: %d trailing bytes", len(state))
+	}
+	s.Alerts = alerts
+	s.state = state[0] != 0
+	return nil
+}

@@ -135,69 +135,201 @@ func ReadValue(buf []byte) (event.Value, []byte, error) {
 	}
 }
 
-// AppendFrame appends the payload encoding of one phase frame — the
-// phase number and every external input it carries — to buf and
-// returns the extended slice. The payload is what travels inside the
-// length-prefixed wire frame; WriteFrame adds the prefix.
-func AppendFrame(buf []byte, phase int, inputs []core.ExtInput) []byte {
-	buf = binary.AppendUvarint(buf, uint64(phase))
-	buf = binary.AppendUvarint(buf, uint64(len(inputs)))
-	for _, in := range inputs {
-		buf = binary.AppendUvarint(buf, uint64(in.Vertex))
-		buf = binary.AppendUvarint(buf, uint64(in.Port))
-		buf = AppendValue(buf, in.Val)
+// Frame kinds on the wire. Data frames carry one phase's external
+// inputs; barrier and snapshot frames are the control plane of
+// distrib's dynamic repartitioning (DESIGN.md §8): a barrier announces
+// the phase at which the sender quiesced its epoch, and a snapshot
+// hands migrating vertices' serialized module state to their new
+// machine.
+const (
+	// FrameData is a per-phase data frame: Phase plus Inputs.
+	FrameData = 0
+	// FrameBarrier is an epoch-quiesce announcement: Phase names the
+	// barrier (the last phase of the closing epoch); no payload.
+	FrameBarrier = 1
+	// FrameSnapshot is a state-handoff frame: Phase names the barrier
+	// it follows and Snaps carries the migrating vertices' state.
+	FrameSnapshot = 2
+)
+
+// WireFrame is the decoded form of one link frame: its kind, the
+// deployment epoch that produced it (receivers reject frames from a
+// stale epoch), the phase it belongs to, and the kind-specific payload
+// — Inputs for data frames, Snaps for snapshot frames, neither for
+// barriers.
+type WireFrame struct {
+	Kind  uint8
+	Epoch int
+	Phase int
+	// Inputs is the data payload (FrameData), already addressed to the
+	// receiving machine's bridge vertices.
+	Inputs []core.ExtInput
+	// Snaps is the state-handoff payload (FrameSnapshot).
+	Snaps []core.VertexSnapshot
+}
+
+// AppendFrame appends the payload encoding of one frame — kind, epoch,
+// phase, then the kind-specific payload — to buf and returns the
+// extended slice. The payload is what travels inside the
+// length-prefixed wire frame; SendLink adds the prefix.
+func AppendFrame(buf []byte, f WireFrame) []byte {
+	buf = append(buf, f.Kind)
+	buf = binary.AppendUvarint(buf, uint64(f.Epoch))
+	buf = binary.AppendUvarint(buf, uint64(f.Phase))
+	switch f.Kind {
+	case FrameData:
+		buf = binary.AppendUvarint(buf, uint64(len(f.Inputs)))
+		for _, in := range f.Inputs {
+			buf = binary.AppendUvarint(buf, uint64(in.Vertex))
+			buf = binary.AppendUvarint(buf, uint64(in.Port))
+			buf = AppendValue(buf, in.Val)
+		}
+	case FrameBarrier:
+		// no payload
+	case FrameSnapshot:
+		buf = binary.AppendUvarint(buf, uint64(len(f.Snaps)))
+		for _, s := range f.Snaps {
+			buf = binary.AppendUvarint(buf, uint64(s.Vertex))
+			buf = binary.AppendUvarint(buf, uint64(len(s.State)))
+			buf = append(buf, s.State...)
+		}
+	default:
+		panic(fmt.Sprintf("netwire: unencodable frame kind %d", f.Kind))
 	}
 	return buf
 }
 
 // DecodeFrame decodes a frame payload produced by AppendFrame. Every
 // byte must be consumed: trailing garbage is corruption, not padding.
-func DecodeFrame(payload []byte) (phase int, inputs []core.ExtInput, err error) {
+func DecodeFrame(payload []byte) (WireFrame, error) {
+	var f WireFrame
+	if len(payload) == 0 {
+		return f, fmt.Errorf("netwire: truncated frame: missing kind")
+	}
+	f.Kind, payload = payload[0], payload[1:]
+	epoch, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return f, fmt.Errorf("netwire: truncated frame: missing epoch")
+	}
+	if epoch > math.MaxInt32 {
+		return f, fmt.Errorf("netwire: implausible epoch %d", epoch)
+	}
+	f.Epoch = int(epoch)
+	payload = payload[used:]
 	p, used := binary.Uvarint(payload)
 	if used <= 0 {
-		return 0, nil, fmt.Errorf("netwire: truncated frame: missing phase")
+		return f, fmt.Errorf("netwire: truncated frame: missing phase")
 	}
 	if p > math.MaxInt32 {
-		return 0, nil, fmt.Errorf("netwire: implausible phase %d", p)
+		return f, fmt.Errorf("netwire: implausible phase %d", p)
 	}
+	f.Phase = int(p)
 	payload = payload[used:]
+	var err error
+	switch f.Kind {
+	case FrameData:
+		f.Inputs, err = decodeInputs(payload)
+	case FrameBarrier:
+		if len(payload) != 0 {
+			err = fmt.Errorf("netwire: %d payload bytes on a barrier frame", len(payload))
+		}
+	case FrameSnapshot:
+		f.Snaps, err = decodeSnaps(payload)
+	default:
+		err = fmt.Errorf("netwire: unknown frame kind %d", f.Kind)
+	}
+	if err != nil {
+		return WireFrame{}, err
+	}
+	return f, nil
+}
+
+// decodeInputs decodes a data frame's input list, consuming the whole
+// payload.
+func decodeInputs(payload []byte) ([]core.ExtInput, error) {
 	n, used := binary.Uvarint(payload)
 	if used <= 0 {
-		return 0, nil, fmt.Errorf("netwire: truncated frame: missing input count")
+		return nil, fmt.Errorf("netwire: truncated frame: missing input count")
 	}
 	payload = payload[used:]
 	// Each input costs at least 3 bytes (vertex, port, kind), so an
 	// input count beyond len/3 cannot be honest — reject it before
 	// allocating.
 	if n > uint64(len(payload)/3+1) {
-		return 0, nil, fmt.Errorf("netwire: frame claims %d inputs in %d bytes", n, len(payload))
+		return nil, fmt.Errorf("netwire: frame claims %d inputs in %d bytes", n, len(payload))
 	}
+	var inputs []core.ExtInput
 	if n > 0 {
 		inputs = make([]core.ExtInput, 0, n)
 	}
 	for i := uint64(0); i < n; i++ {
 		vtx, used := binary.Uvarint(payload)
 		if used <= 0 {
-			return 0, nil, fmt.Errorf("netwire: truncated input %d: vertex", i)
+			return nil, fmt.Errorf("netwire: truncated input %d: vertex", i)
 		}
 		payload = payload[used:]
 		port, used := binary.Uvarint(payload)
 		if used <= 0 {
-			return 0, nil, fmt.Errorf("netwire: truncated input %d: port", i)
+			return nil, fmt.Errorf("netwire: truncated input %d: port", i)
 		}
 		payload = payload[used:]
 		if vtx == 0 || vtx > math.MaxInt32 || port > math.MaxInt32 {
-			return 0, nil, fmt.Errorf("netwire: input %d: implausible vertex %d / port %d", i, vtx, port)
+			return nil, fmt.Errorf("netwire: input %d: implausible vertex %d / port %d", i, vtx, port)
 		}
 		var v event.Value
+		var err error
 		v, payload, err = ReadValue(payload)
 		if err != nil {
-			return 0, nil, fmt.Errorf("netwire: input %d: %w", i, err)
+			return nil, fmt.Errorf("netwire: input %d: %w", i, err)
 		}
 		inputs = append(inputs, core.ExtInput{Vertex: int(vtx), Port: int(port), Val: v})
 	}
 	if len(payload) != 0 {
-		return 0, nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))
+		return nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))
 	}
-	return int(p), inputs, nil
+	return inputs, nil
+}
+
+// decodeSnaps decodes a snapshot frame's vertex-state list, consuming
+// the whole payload.
+func decodeSnaps(payload []byte) ([]core.VertexSnapshot, error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return nil, fmt.Errorf("netwire: truncated frame: missing snapshot count")
+	}
+	payload = payload[used:]
+	// Each snapshot costs at least 2 bytes (vertex, state length).
+	if n > uint64(len(payload)/2+1) {
+		return nil, fmt.Errorf("netwire: frame claims %d snapshots in %d bytes", n, len(payload))
+	}
+	var snaps []core.VertexSnapshot
+	if n > 0 {
+		snaps = make([]core.VertexSnapshot, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		vtx, used := binary.Uvarint(payload)
+		if used <= 0 {
+			return nil, fmt.Errorf("netwire: truncated snapshot %d: vertex", i)
+		}
+		payload = payload[used:]
+		if vtx == 0 || vtx > math.MaxInt32 {
+			return nil, fmt.Errorf("netwire: snapshot %d: implausible vertex %d", i, vtx)
+		}
+		size, used := binary.Uvarint(payload)
+		if used <= 0 {
+			return nil, fmt.Errorf("netwire: truncated snapshot %d: state length", i)
+		}
+		payload = payload[used:]
+		if size > uint64(len(payload)) {
+			return nil, fmt.Errorf("netwire: snapshot %d claims %d state bytes, %d remain", i, size, len(payload))
+		}
+		state := make([]byte, size)
+		copy(state, payload[:size])
+		payload = payload[size:]
+		snaps = append(snaps, core.VertexSnapshot{Vertex: int(vtx), State: state})
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))
+	}
+	return snaps, nil
 }

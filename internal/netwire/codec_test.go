@@ -118,75 +118,135 @@ func frameInputs() []core.ExtInput {
 	}
 }
 
+func frameSnaps() []core.VertexSnapshot {
+	return []core.VertexSnapshot{
+		{Vertex: 3, State: []byte{}},
+		{Vertex: 7, State: []byte{0x00}},
+		{Vertex: 123456, State: []byte("opaque module state \xff\x00")},
+	}
+}
+
+func framesEqual(t *testing.T, got, want WireFrame) {
+	t.Helper()
+	if got.Kind != want.Kind || got.Epoch != want.Epoch || got.Phase != want.Phase {
+		t.Errorf("frame header %d/%d/%d != %d/%d/%d",
+			got.Kind, got.Epoch, got.Phase, want.Kind, want.Epoch, want.Phase)
+	}
+	if len(got.Inputs) != len(want.Inputs) {
+		t.Fatalf("%d inputs != %d", len(got.Inputs), len(want.Inputs))
+	}
+	for i := range got.Inputs {
+		if got.Inputs[i].Vertex != want.Inputs[i].Vertex || got.Inputs[i].Port != want.Inputs[i].Port {
+			t.Errorf("input %d addressing %+v != %+v", i, got.Inputs[i], want.Inputs[i])
+		}
+		if !got.Inputs[i].Val.Equal(want.Inputs[i].Val) {
+			t.Errorf("input %d value %v != %v", i, got.Inputs[i].Val, want.Inputs[i].Val)
+		}
+	}
+	if len(got.Snaps) != len(want.Snaps) {
+		t.Fatalf("%d snaps != %d", len(got.Snaps), len(want.Snaps))
+	}
+	for i := range got.Snaps {
+		if got.Snaps[i].Vertex != want.Snaps[i].Vertex || string(got.Snaps[i].State) != string(want.Snaps[i].State) {
+			t.Errorf("snapshot %d: %+v != %+v", i, got.Snaps[i], want.Snaps[i])
+		}
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	cases := []struct {
-		name   string
-		phase  int
-		inputs []core.ExtInput
+		name string
+		f    WireFrame
 	}{
-		{"empty", 1, nil},
-		{"empty high phase", 1 << 30, nil},
-		{"mixed kinds", 17, frameInputs()},
-		{"single", 2, frameInputs()[:1]},
+		{"empty", WireFrame{Kind: FrameData, Phase: 1}},
+		{"empty high phase", WireFrame{Kind: FrameData, Phase: 1 << 30}},
+		{"mixed kinds", WireFrame{Kind: FrameData, Epoch: 2, Phase: 17, Inputs: frameInputs()}},
+		{"single", WireFrame{Kind: FrameData, Phase: 2, Inputs: frameInputs()[:1]}},
+		{"barrier", WireFrame{Kind: FrameBarrier, Epoch: 3, Phase: 240}},
+		{"snapshot", WireFrame{Kind: FrameSnapshot, Epoch: 1, Phase: 9, Snaps: frameSnaps()}},
+		{"snapshot empty", WireFrame{Kind: FrameSnapshot, Epoch: 4, Phase: 9}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			payload := AppendFrame(nil, c.phase, c.inputs)
-			phase, inputs, err := DecodeFrame(payload)
+			payload := AppendFrame(nil, c.f)
+			got, err := DecodeFrame(payload)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if phase != c.phase {
-				t.Errorf("phase %d != %d", phase, c.phase)
-			}
-			if len(inputs) != len(c.inputs) {
-				t.Fatalf("%d inputs != %d", len(inputs), len(c.inputs))
-			}
-			for i := range inputs {
-				if inputs[i].Vertex != c.inputs[i].Vertex || inputs[i].Port != c.inputs[i].Port {
-					t.Errorf("input %d addressing %+v != %+v", i, inputs[i], c.inputs[i])
-				}
-				if !inputs[i].Val.Equal(c.inputs[i].Val) {
-					t.Errorf("input %d value %v != %v", i, inputs[i].Val, c.inputs[i].Val)
-				}
-			}
+			framesEqual(t, got, c.f)
 		})
 	}
 }
 
 func TestFrameTruncatedRejected(t *testing.T) {
-	full := AppendFrame(nil, 99, frameInputs())
-	for cut := 0; cut < len(full); cut++ {
-		if _, _, err := DecodeFrame(full[:cut]); err == nil {
-			t.Errorf("truncated frame at %d/%d accepted", cut, len(full))
+	for _, f := range []WireFrame{
+		{Kind: FrameData, Epoch: 1, Phase: 99, Inputs: frameInputs()},
+		{Kind: FrameSnapshot, Epoch: 2, Phase: 40, Snaps: frameSnaps()},
+	} {
+		full := AppendFrame(nil, f)
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := DecodeFrame(full[:cut]); err == nil {
+				t.Errorf("kind %d: truncated frame at %d/%d accepted", f.Kind, cut, len(full))
+			}
 		}
 	}
 }
 
 func TestFrameTrailingBytesRejected(t *testing.T) {
-	full := AppendFrame(nil, 5, frameInputs()[:2])
-	if _, _, err := DecodeFrame(append(full, 0)); err == nil {
-		t.Error("frame with trailing byte accepted")
+	for _, f := range []WireFrame{
+		{Kind: FrameData, Phase: 5, Inputs: frameInputs()[:2]},
+		{Kind: FrameBarrier, Phase: 5},
+		{Kind: FrameSnapshot, Phase: 5, Snaps: frameSnaps()[:1]},
+	} {
+		full := AppendFrame(nil, f)
+		if _, err := DecodeFrame(append(full, 0)); err == nil {
+			t.Errorf("kind %d: frame with trailing byte accepted", f.Kind)
+		}
+	}
+}
+
+func TestFrameUnknownKindRejected(t *testing.T) {
+	buf := []byte{0x7f}
+	buf = binary.AppendUvarint(buf, 0) // epoch
+	buf = binary.AppendUvarint(buf, 1) // phase
+	if _, err := DecodeFrame(buf); err == nil {
+		t.Error("unknown frame kind accepted")
 	}
 }
 
 // TestFrameImplausibleCountsRejected: hostile length fields fail fast
 // instead of allocating or over-reading.
 func TestFrameImplausibleCountsRejected(t *testing.T) {
+	header := func(kind uint8) []byte {
+		buf := []byte{kind}
+		buf = binary.AppendUvarint(buf, 0) // epoch
+		buf = binary.AppendUvarint(buf, 1) // phase
+		return buf
+	}
 	// input count far beyond the payload size
-	buf := binary.AppendUvarint(nil, 1)            // phase
-	buf = binary.AppendUvarint(buf, math.MaxInt32) // claimed inputs
-	if _, _, err := DecodeFrame(buf); err == nil {
+	buf := binary.AppendUvarint(header(FrameData), math.MaxInt32)
+	if _, err := DecodeFrame(buf); err == nil {
 		t.Error("absurd input count accepted")
 	}
 	// vertex 0 is not a vertex
-	buf = binary.AppendUvarint(nil, 1)
-	buf = binary.AppendUvarint(buf, 1)
+	buf = binary.AppendUvarint(header(FrameData), 1)
 	buf = binary.AppendUvarint(buf, 0) // vertex
 	buf = binary.AppendUvarint(buf, 0) // port
 	buf = AppendValue(buf, event.Int(1))
-	if _, _, err := DecodeFrame(buf); err == nil {
+	if _, err := DecodeFrame(buf); err == nil {
 		t.Error("vertex 0 accepted")
+	}
+	// snapshot count far beyond the payload size
+	buf = binary.AppendUvarint(header(FrameSnapshot), math.MaxInt32)
+	if _, err := DecodeFrame(buf); err == nil {
+		t.Error("absurd snapshot count accepted")
+	}
+	// snapshot state length beyond the remaining bytes
+	buf = binary.AppendUvarint(header(FrameSnapshot), 1)
+	buf = binary.AppendUvarint(buf, 1)     // vertex
+	buf = binary.AppendUvarint(buf, 1<<30) // state length
+	if _, err := DecodeFrame(buf); err == nil {
+		t.Error("absurd snapshot state length accepted")
 	}
 	// vector claiming more elements than bytes remain
 	buf = []byte{wireVector}

@@ -58,34 +58,58 @@ func FuzzValueRoundTrip(f *testing.F) {
 	})
 }
 
+// frameFromSeed deterministically builds a frame of any kind from fuzz
+// bytes: data frames with two inputs, barriers, and snapshot frames
+// whose state bytes come straight from the fuzzer.
+func frameFromSeed(fkind uint8, epoch, phase int, kind uint8, num int64, s string, vec []byte) WireFrame {
+	f := WireFrame{Kind: fkind % 3, Epoch: epoch, Phase: phase}
+	switch f.Kind {
+	case FrameData:
+		f.Inputs = []core.ExtInput{
+			{Vertex: 1 + int(kind)%7, Port: int(num & 3), Val: valueFromSeed(kind, num, s, vec)},
+			{Vertex: 2, Port: 0, Val: valueFromSeed(kind+1, num^5, s+"!", vec)},
+		}
+	case FrameSnapshot:
+		f.Snaps = []core.VertexSnapshot{
+			{Vertex: 1 + int(kind)%9, State: vec},
+			{Vertex: 100 + int(num&15), State: []byte(s)},
+		}
+	}
+	return f
+}
+
 // FuzzFrameRoundTrip: frames built from fuzzed inputs round-trip, and
 // re-encoding the decoded frame reproduces the identical bytes
 // (canonical encoding).
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(1, uint8(3), int64(12), "a", []byte{9})
-	f.Add(1<<20, uint8(5), int64(-1), "", []byte{})
-	f.Fuzz(func(t *testing.T, phase int, kind uint8, num int64, s string, vec []byte) {
-		if phase < 0 || phase > math.MaxInt32 {
+	f.Add(uint8(0), 0, 1, uint8(3), int64(12), "a", []byte{9})
+	f.Add(uint8(1), 2, 1<<20, uint8(5), int64(-1), "", []byte{})
+	f.Add(uint8(2), 1, 40, uint8(0), int64(7), "state", []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, fkind uint8, epoch, phase int, kind uint8, num int64, s string, vec []byte) {
+		if phase < 0 || phase > math.MaxInt32 || epoch < 0 || epoch > math.MaxInt32 {
 			t.Skip()
 		}
-		inputs := []core.ExtInput{
-			{Vertex: 1 + int(kind)%7, Port: int(num & 3), Val: valueFromSeed(kind, num, s, vec)},
-			{Vertex: 2, Port: 0, Val: valueFromSeed(kind+1, num^5, s+"!", vec)},
-		}
-		payload := AppendFrame(nil, phase, inputs)
-		gotPhase, gotInputs, err := DecodeFrame(payload)
+		frame := frameFromSeed(fkind, epoch, phase, kind, num, s, vec)
+		payload := AppendFrame(nil, frame)
+		got, err := DecodeFrame(payload)
 		if err != nil {
 			t.Fatalf("DecodeFrame: %v", err)
 		}
-		if gotPhase != phase || len(gotInputs) != len(inputs) {
-			t.Fatalf("frame shape changed: phase %d->%d, inputs %d->%d", phase, gotPhase, len(inputs), len(gotInputs))
+		if got.Kind != frame.Kind || got.Epoch != frame.Epoch || got.Phase != frame.Phase ||
+			len(got.Inputs) != len(frame.Inputs) || len(got.Snaps) != len(frame.Snaps) {
+			t.Fatalf("frame shape changed: %+v -> %+v", frame, got)
 		}
-		for i := range inputs {
-			if gotInputs[i].Vertex != inputs[i].Vertex || gotInputs[i].Port != inputs[i].Port || !gotInputs[i].Val.Equal(inputs[i].Val) {
-				t.Fatalf("input %d: %+v != %+v", i, gotInputs[i], inputs[i])
+		for i := range frame.Inputs {
+			if got.Inputs[i].Vertex != frame.Inputs[i].Vertex || got.Inputs[i].Port != frame.Inputs[i].Port || !got.Inputs[i].Val.Equal(frame.Inputs[i].Val) {
+				t.Fatalf("input %d: %+v != %+v", i, got.Inputs[i], frame.Inputs[i])
 			}
 		}
-		again := AppendFrame(nil, gotPhase, gotInputs)
+		for i := range frame.Snaps {
+			if got.Snaps[i].Vertex != frame.Snaps[i].Vertex || string(got.Snaps[i].State) != string(frame.Snaps[i].State) {
+				t.Fatalf("snapshot %d: %+v != %+v", i, got.Snaps[i], frame.Snaps[i])
+			}
+		}
+		again := AppendFrame(nil, got)
 		if string(again) != string(payload) {
 			t.Fatalf("re-encoding is not canonical: %x != %x", again, payload)
 		}
@@ -99,25 +123,34 @@ func FuzzFrameRoundTrip(f *testing.F) {
 // tolerates non-minimal varints).
 func FuzzDecodeFrameHostile(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(AppendFrame(nil, 3, []core.ExtInput{{Vertex: 1, Port: 0, Val: event.Int(5)}}))
-	f.Add([]byte{0x01, 0xff, 0xff, 0xff, 0xff, 0x0f})
-	f.Add([]byte{0x01, 0x01, 0x01, 0x00, wireVector, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameData, Phase: 3, Inputs: []core.ExtInput{{Vertex: 1, Port: 0, Val: event.Int(5)}}}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameBarrier, Epoch: 1, Phase: 12}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameSnapshot, Epoch: 1, Phase: 12, Snaps: []core.VertexSnapshot{{Vertex: 2, State: []byte{7}}}}))
+	f.Add([]byte{0x00, 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x01, 0x01, 0x00, wireVector, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0x02, 0x00, 0x01, 0x01, 0x01, 0xff, 0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		phase, inputs, err := DecodeFrame(data)
+		frame, err := DecodeFrame(data)
 		if err != nil {
 			return
 		}
-		again := AppendFrame(nil, phase, inputs)
-		p2, in2, err := DecodeFrame(again)
+		again := AppendFrame(nil, frame)
+		f2, err := DecodeFrame(again)
 		if err != nil {
 			t.Fatalf("re-decode of accepted frame failed: %v", err)
 		}
-		if p2 != phase || len(in2) != len(inputs) {
-			t.Fatalf("re-decode changed frame: phase %d->%d, %d->%d inputs", phase, p2, len(inputs), len(in2))
+		if f2.Kind != frame.Kind || f2.Epoch != frame.Epoch || f2.Phase != frame.Phase ||
+			len(f2.Inputs) != len(frame.Inputs) || len(f2.Snaps) != len(frame.Snaps) {
+			t.Fatalf("re-decode changed frame: %+v != %+v", f2, frame)
 		}
-		for i := range inputs {
-			if in2[i].Vertex != inputs[i].Vertex || in2[i].Port != inputs[i].Port || !in2[i].Val.Equal(inputs[i].Val) {
-				t.Fatalf("re-decode changed input %d: %+v != %+v", i, in2[i], inputs[i])
+		for i := range frame.Inputs {
+			if f2.Inputs[i].Vertex != frame.Inputs[i].Vertex || f2.Inputs[i].Port != frame.Inputs[i].Port || !f2.Inputs[i].Val.Equal(frame.Inputs[i].Val) {
+				t.Fatalf("re-decode changed input %d: %+v != %+v", i, f2.Inputs[i], frame.Inputs[i])
+			}
+		}
+		for i := range frame.Snaps {
+			if f2.Snaps[i].Vertex != frame.Snaps[i].Vertex || string(f2.Snaps[i].State) != string(frame.Snaps[i].State) {
+				t.Fatalf("re-decode changed snapshot %d: %+v != %+v", i, f2.Snaps[i], frame.Snaps[i])
 			}
 		}
 	})

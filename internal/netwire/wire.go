@@ -8,8 +8,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/internal/core"
 )
 
 // Wire protocol, in order on every link connection:
@@ -34,7 +32,9 @@ import (
 //     dialer's credit reader.
 
 const (
-	version    = 1
+	// version 2 added the frame kind byte and epoch tag (dynamic
+	// repartitioning, DESIGN.md §8); v1 peers are rejected at handshake.
+	version    = 2
 	ackByte    = 0xA5
 	creditByte = 0xC7
 	// handshakeTimeout bounds how long an accepted connection may dawdle
@@ -192,7 +192,7 @@ func (s *SendLink) readCredits() {
 // Send encodes and writes one frame, blocking while the credit window
 // is exhausted. The fast path takes an available credit without
 // timestamps, so an unclogged link measures no backpressure.
-func (s *SendLink) Send(phase int, inputs []core.ExtInput) error {
+func (s *SendLink) Send(f WireFrame) error {
 	select {
 	case <-s.credits:
 	default:
@@ -205,7 +205,7 @@ func (s *SendLink) Send(phase int, inputs []core.ExtInput) error {
 			return s.deadErr()
 		}
 	}
-	s.buf = AppendFrame(s.buf[:0], phase, inputs)
+	s.buf = AppendFrame(s.buf[:0], f)
 	if len(s.buf) > s.maxSize {
 		return fmt.Errorf("netwire: link %d->%d: frame of %d bytes exceeds max %d", s.hs.From, s.hs.To, len(s.buf), s.maxSize)
 	}
@@ -218,7 +218,7 @@ func (s *SendLink) Send(phase int, inputs []core.ExtInput) error {
 		return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
 	}
 	s.frames.Add(1)
-	s.values.Add(int64(len(inputs)))
+	s.values.Add(int64(len(f.Inputs)))
 	s.bytes.Add(int64(len(s.buf)))
 	return nil
 }
@@ -269,12 +269,6 @@ func (s *SendLink) Stats() WireStats {
 	}
 }
 
-// received is one decoded inbound frame.
-type received struct {
-	phase  int
-	inputs []core.ExtInput
-}
-
 // RecvLink is the receiving end of one directed link. Frames are
 // decoded by an internal reader goroutine and handed to Recv in order;
 // each Recv returns one credit to the sender. Recv must be driven from
@@ -283,7 +277,7 @@ type received struct {
 type RecvLink struct {
 	conn    net.Conn
 	hs      Handshake
-	frames  chan received
+	frames  chan WireFrame
 	readErr atomic.Pointer[error] // non-nil when the stream ended uncleanly
 
 	creditMu  sync.Mutex
@@ -300,7 +294,7 @@ func newRecvLink(conn net.Conn, hs Handshake, maxSize int) *RecvLink {
 	r := &RecvLink{
 		conn:   conn,
 		hs:     hs,
-		frames: make(chan received, hs.Window),
+		frames: make(chan WireFrame, hs.Window),
 	}
 	go r.readFrames(maxSize)
 	return r
@@ -344,16 +338,16 @@ func (r *RecvLink) readFrames(maxSize int) {
 			r.readErr.CompareAndSwap(nil, &err)
 			return
 		}
-		phase, inputs, err := DecodeFrame(payload)
+		f, err := DecodeFrame(payload)
 		if err != nil {
 			err = fmt.Errorf("netwire: link %d->%d: %w", r.hs.From, r.hs.To, err)
 			r.readErr.CompareAndSwap(nil, &err)
 			return
 		}
 		r.rframes.Add(1)
-		r.rvalues.Add(int64(len(inputs)))
+		r.rvalues.Add(int64(len(f.Inputs)))
 		r.rbytes.Add(int64(n))
-		r.frames <- received{phase, inputs}
+		r.frames <- f
 	}
 }
 
@@ -361,17 +355,17 @@ func (r *RecvLink) readFrames(maxSize int) {
 // one credit back to the sender. ok is false once the sender has
 // half-closed and every frame has been consumed — or the wire failed,
 // which Err distinguishes.
-func (r *RecvLink) Recv() (phase int, inputs []core.ExtInput, ok bool) {
-	f, ok := <-r.frames
+func (r *RecvLink) Recv() (f WireFrame, ok bool) {
+	f, ok = <-r.frames
 	if !ok {
-		return 0, nil, false
+		return WireFrame{}, false
 	}
 	r.creditMu.Lock()
 	// A failed credit write is not a receive failure: the sender will
 	// observe the broken wire on its own side.
 	r.conn.Write([]byte{creditByte})
 	r.creditMu.Unlock()
-	return f.phase, f.inputs, true
+	return f, true
 }
 
 // Err reports why the stream ended, nil for a clean close. Valid after
