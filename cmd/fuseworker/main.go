@@ -1,9 +1,13 @@
 // Command fuseworker runs ONE machine of a partitioned deployment as a
 // standalone process over real TCP links — the genuinely distributed
 // form of internal/distrib (DESIGN.md §7). Every worker builds the
-// identical shared workload (internal/griddemo), computes the identical
-// cost-aware plan, and exchanges nothing with its peers but netwire
-// handshakes, frames and flow-control credits.
+// identical shared workload — the compiled-in grid demo
+// (internal/griddemo) or a computation spec file (-spec) — and
+// exchanges nothing with its peers but netwire handshakes, frames and
+// flow-control credits. With -rebalance the workers additionally speak
+// the control-plane protocol (DESIGN.md §9): machine 0 coordinates
+// epoch switches, re-plans on measured per-vertex costs and migrates
+// vertex state between the processes mid-run.
 //
 // A 3-machine deployment on one host is three processes:
 //
@@ -11,11 +15,13 @@
 //	fuseworker -machine 1 -peers 127.0.0.1:42707,127.0.0.1:42708,127.0.0.1:42709 &
 //	fuseworker -machine 2 -peers 127.0.0.1:42707,127.0.0.1:42708,127.0.0.1:42709
 //
-// Workers may start in any order: dialers retry while peers boot. The
-// machine owning the alert sink prints the alert phases; because the
-// run is serializable end to end, they are identical to a
-// single-process run of the same graph (examples/pipeline -multiproc
-// launches exactly this and checks).
+// Workers may start in any order: dialers retry under a bounded
+// backoff while peers boot. The machine owning the alert sink at the
+// end of the run prints the alert phases; because the run is
+// serializable end to end — epoch switches included — they are
+// identical to a single-process run of the same graph
+// (examples/pipeline -multiproc [-rebalance] launches exactly this and
+// checks).
 package main
 
 import (
@@ -30,22 +36,16 @@ import (
 func main() {
 	machine := flag.Int("machine", -1, "this worker's machine index (0-based, required)")
 	peers := flag.String("peers", "", "comma-separated listen addresses, one per machine (required; machine count = entry count)")
-	phases := flag.Int("phases", 720, "phases to run")
+	phases := flag.Int("phases", 720, "phases to run (a -spec that sets phases overrides this; all workers must agree)")
 	workers := flag.Int("workers", 2, "compute threads for this machine")
 	buffer := flag.Int("buffer", 8, "per-link frame window (credit depth)")
-	rebalance := flag.Bool("rebalance", false, "dynamically repartition mid-run (in-process runtime only; not yet supported across worker processes)")
-	quiet := flag.Bool("quiet", false, "suppress progress lines (the alerts@ line still prints)")
+	specPath := flag.String("spec", "", "XML computation spec to run instead of the compiled-in grid demo (all workers must pass the same spec)")
+	rebalance := flag.Bool("rebalance", false, "dynamically repartition mid-run: machine 0 coordinates epoch switches over the control plane")
+	forceEvery := flag.Int("force-every", 0, "with -rebalance: force an epoch switch each time an epoch has started this many phases (0 = drift-triggered)")
+	drift := flag.Int("drift", 0, "demo workload only: make region 0's detector drift (extra compute grain) after this phase")
+	quiet := flag.Bool("quiet", false, "suppress progress lines (the alerts@/rebalance@ lines still print)")
 	flag.Parse()
 
-	if *rebalance {
-		// The wire protocol already speaks barrier and snapshot frames,
-		// but coordinating a quiesce needs a control plane between the
-		// worker processes that does not exist yet — OPERATIONS.md
-		// "Known limits" and the ROADMAP track it. Refuse loudly rather
-		// than run with a flag that silently does nothing.
-		fmt.Fprintln(os.Stderr, "fuseworker: -rebalance is not yet supported across worker processes; run the in-process form instead (examples/pipeline -rebalance, see OPERATIONS.md)")
-		os.Exit(2)
-	}
 	addrs := strings.Split(*peers, ",")
 	if *peers == "" || *machine < 0 || *machine >= len(addrs) {
 		fmt.Fprintln(os.Stderr, "fuseworker: -machine and -peers are required; -machine must index into -peers")
@@ -53,25 +53,54 @@ func main() {
 		os.Exit(2)
 	}
 	opts := griddemo.WorkerOptions{
-		Machine:  *machine,
-		Machines: len(addrs),
-		Peers:    addrs,
-		Phases:   *phases,
-		Workers:  *workers,
-		Buffer:   *buffer,
-		Log:      os.Stdout,
+		Machine:    *machine,
+		Machines:   len(addrs),
+		Peers:      addrs,
+		Phases:     *phases,
+		Workers:    *workers,
+		Buffer:     *buffer,
+		Rebalance:  *rebalance,
+		ForceEvery: *forceEvery,
+		DriftAt:    *drift,
+		Log:        os.Stdout,
 	}
 	if *quiet {
 		opts.Log = nil
 	}
-	alerts, ownsSink, err := griddemo.RunWorker(opts)
+	if *specPath != "" {
+		if *drift > 0 {
+			fmt.Fprintln(os.Stderr, "fuseworker: -drift applies only to the compiled-in demo workload")
+			os.Exit(2)
+		}
+		w, specPhases, err := griddemo.SpecWorkload(*specPath, len(addrs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuseworker: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Workload = &w
+		if specPhases > 0 {
+			opts.Phases = specPhases
+		}
+	}
+	res, err := griddemo.RunWorker(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fuseworker: %v\n", err)
 		os.Exit(1)
 	}
-	if ownsSink {
+	if *rebalance && *machine == 0 {
+		// Only the coordinator (machine 0) records switches.
+		// Machine-parsable: examples/pipeline -multiproc -rebalance
+		// asserts at least one epoch switch migrated vertices between
+		// the worker processes.
+		moved := 0
+		for _, ev := range res.Rebalances {
+			moved += ev.Moved
+		}
+		fmt.Printf("rebalance@switches=%d moved=%d\n", len(res.Rebalances), moved)
+	}
+	if res.OwnsSink {
 		// Machine-parsable: examples/pipeline -multiproc compares this
 		// line against its in-process reference run.
-		fmt.Printf("alerts@%v\n", alerts)
+		fmt.Printf("alerts@%v\n", res.Alerts)
 	}
 }

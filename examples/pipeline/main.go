@@ -20,14 +20,17 @@
 // cmd/fuseworker), wires them over loopback TCP, and checks the
 // distributed alert history against the in-process reference.
 //
-// -rebalance runs the in-process deployment under dynamic
-// repartitioning (DESIGN.md §8): the run quiesces at epoch barriers,
-// hands migrating vertices' state between machines (serialized through
-// the transport for modules that support it), re-plans on measured
-// per-vertex costs and resumes — and the alert history must still be
-// bit-identical to the single-machine run. It composes with
-// -transport tcp; it is rejected with -multiproc (epoch switching is
-// in-process only for now — see OPERATIONS.md).
+// -rebalance runs the deployment under dynamic repartitioning
+// (DESIGN.md §8): the run quiesces at epoch barriers, hands migrating
+// vertices' state between machines (serialized through the transport
+// for modules that support it), re-plans on measured per-vertex costs
+// and resumes — and the alert history must still be bit-identical to
+// the single-machine run. It composes with -transport tcp, and with
+// -multiproc it exercises the full control plane (DESIGN.md §9):
+// worker 0 coordinates epoch switches across three OS processes,
+// region 0's detector genuinely drifts mid-run, and at least one
+// vertex must migrate between processes — with the distributed alert
+// history still bit-identical to the single-process reference.
 package main
 
 import (
@@ -61,14 +64,11 @@ func main() {
 	flag.Parse()
 
 	if *workerIdx >= 0 {
-		runAsWorker(*workerIdx, strings.Split(*peers, ","))
+		runAsWorker(*workerIdx, strings.Split(*peers, ","), *rebalance)
 		return
 	}
 	if *multiproc {
-		if *rebalance {
-			log.Fatal("-rebalance is in-process only: multi-process epoch switching is not yet supported (see OPERATIONS.md)")
-		}
-		runMultiProcess()
+		runMultiProcess(*rebalance)
 		return
 	}
 	runInProcess(*transport, *rebalance)
@@ -79,30 +79,32 @@ func main() {
 // With rebalance set, the run switches epochs every phases/3 phases —
 // a deterministic demonstration of the barrier/handoff machinery whose
 // output must nevertheless be identical to the plain run (the
-// drift-triggered mode is measured by fusebench's E14).
-func run(machineCount int, network distrib.Network, rebalance bool) (distrib.Stats, []int, []float64) {
-	ng, mods, costs, alerts, _ := griddemo.Build()
+// drift-triggered mode is measured by fusebench's E14). driftAt > 0
+// builds the drifted demo workload (extra cost past that phase,
+// identical values).
+func run(machineCount int, network distrib.Network, rebalance bool, driftAt int) (distrib.Stats, []int, []float64) {
+	w := griddemo.DemoWorkload(driftAt)
 	cfg := distrib.Config{
 		Machines: machineCount, WorkersPerMachine: 2,
 		MaxInFlight: 16, Buffer: 8,
-		Planner: distrib.CostAware{}, Costs: costs,
+		Planner: distrib.CostAware{}, Costs: w.Costs,
 		Network: network,
 	}
 	batches := make([][]core.ExtInput, phases)
 	var st distrib.Stats
 	var err error
 	if rebalance {
-		st, err = distrib.RunRebalancing(ng, mods, batches, cfg, distrib.RebalanceConfig{
+		st, err = distrib.RunRebalancing(w.Graph, w.Mods, batches, cfg, distrib.RebalanceConfig{
 			ForceEvery:   phases / 3,
 			MinRemaining: phases / 6,
 		})
 	} else {
-		st, err = distrib.Run(ng, mods, batches, cfg)
+		st, err = distrib.Run(w.Graph, w.Mods, batches, cfg)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	return st, alerts.Alerts, costs
+	return st, w.Alerts.Alerts, w.Costs
 }
 
 func runInProcess(transport string, rebalance bool) {
@@ -120,8 +122,8 @@ func runInProcess(transport string, rebalance bool) {
 		log.Fatalf("unknown -transport %q (chan | tcp)", transport)
 	}
 
-	single, refAlerts, _ := run(1, nil, false)
-	st, alerts, costs := run(machines, network, rebalance)
+	single, refAlerts, _ := run(1, nil, false, 0)
+	st, alerts, costs := run(machines, network, rebalance, 0)
 
 	fmt.Printf("partitioned %d vertices over %d machines (%s planner, %s transport)\n",
 		len(costs), machines, st.Planner, st.Transport)
@@ -151,9 +153,11 @@ func runInProcess(transport string, rebalance bool) {
 }
 
 // runAsWorker is the re-exec target: one machine of the deployment in
-// this process, wired to its peers over TCP.
-func runAsWorker(machine int, peerAddrs []string) {
-	alerts, ownsSink, err := griddemo.RunWorker(griddemo.WorkerOptions{
+// this process, wired to its peers over TCP. In rebalance mode region
+// 0's detector drifts mid-run and worker 0 coordinates the epoch
+// switches that chase it.
+func runAsWorker(machine int, peerAddrs []string, rebalance bool) {
+	opts := griddemo.WorkerOptions{
 		Machine:  machine,
 		Machines: len(peerAddrs),
 		Peers:    peerAddrs,
@@ -161,19 +165,34 @@ func runAsWorker(machine int, peerAddrs []string) {
 		Workers:  2,
 		Buffer:   8,
 		Log:      os.Stdout,
-	})
+	}
+	if rebalance {
+		opts.Rebalance = true
+		opts.ForceEvery = phases / 3
+		opts.DriftAt = phases / 4
+	}
+	res, err := griddemo.RunWorker(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if ownsSink {
-		fmt.Printf("alerts@%v\n", alerts)
+	if machine == 0 && rebalance {
+		moved := 0
+		for _, ev := range res.Rebalances {
+			moved += ev.Moved
+		}
+		fmt.Printf("rebalance@switches=%d moved=%d\n", len(res.Rebalances), moved)
+	}
+	if res.OwnsSink {
+		fmt.Printf("alerts@%v\n", res.Alerts)
 	}
 }
 
 // runMultiProcess launches one worker process per machine (re-executing
 // this binary with -worker) and compares the sink machine's alert line
-// with the in-process reference.
-func runMultiProcess() {
+// with the in-process reference. With rebalance it additionally
+// requires at least one epoch switch that migrated at least one vertex
+// between the worker processes.
+func runMultiProcess(rebalance bool) {
 	exe, err := os.Executable()
 	if err != nil {
 		log.Fatal(err)
@@ -183,13 +202,22 @@ func runMultiProcess() {
 		addrs[i] = freeLoopbackAddr()
 	}
 	peerList := strings.Join(addrs, ",")
-	fmt.Printf("launching %d worker processes over TCP (%s)\n", machines, peerList)
+	mode := "static plan"
+	if rebalance {
+		mode = "coordinated rebalancing"
+	}
+	fmt.Printf("launching %d worker processes over TCP (%s), %s\n", machines, peerList, mode)
 
 	alertLine := make(chan string, machines)
+	rebalanceLine := make(chan string, machines)
 	lineDone := make(chan struct{}, machines)
 	procs := make([]*exec.Cmd, machines)
 	for m := 0; m < machines; m++ {
-		cmd := exec.Command(exe, "-worker", fmt.Sprint(m), "-peers", peerList)
+		args := []string{"-worker", fmt.Sprint(m), "-peers", peerList}
+		if rebalance {
+			args = append(args, "-rebalance")
+		}
+		cmd := exec.Command(exe, args...)
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
 			log.Fatal(err)
@@ -208,6 +236,9 @@ func runMultiProcess() {
 				if rest, ok := strings.CutPrefix(line, "alerts@"); ok {
 					alertLine <- rest
 				}
+				if rest, ok := strings.CutPrefix(line, "rebalance@"); ok {
+					rebalanceLine <- rest
+				}
 			}
 		}(m)
 	}
@@ -220,8 +251,25 @@ func runMultiProcess() {
 		}
 	}
 
-	// Reference: the same computation in a single process.
-	_, refAlerts, _ := run(1, nil, false)
+	// Reference: the same computation in a single process. The drifted
+	// workload burns extra CPU but emits identical values, so the
+	// reference must match whether or not the workers rebalanced.
+	refAlerts := singleProcessReference(rebalance)
+	if rebalance {
+		select {
+		case got := <-rebalanceLine:
+			var switches, moved int
+			if _, err := fmt.Sscanf(got, "switches=%d moved=%d", &switches, &moved); err != nil {
+				log.Fatalf("unparsable rebalance report %q: %v", got, err)
+			}
+			if switches < 1 || moved < 1 {
+				log.Fatalf("rebalancing run performed %d switches moving %d vertices — expected the drift to force a migration between processes", switches, moved)
+			}
+			fmt.Printf("epoch switches: %d, vertices migrated between processes: %d\n", switches, moved)
+		default:
+			log.Fatal("coordinator reported no rebalance summary")
+		}
+	}
 	select {
 	case got := <-alertLine:
 		want := fmt.Sprint(refAlerts)
@@ -233,6 +281,18 @@ func runMultiProcess() {
 	default:
 		log.Fatal("no worker reported an alert history")
 	}
+}
+
+// singleProcessReference computes the oracle alert history on one
+// machine, over the same workload the workers ran (drifted when they
+// rebalanced — the drift changes cost, never values).
+func singleProcessReference(drifted bool) []int {
+	driftAt := 0
+	if drifted {
+		driftAt = phases / 4
+	}
+	_, refAlerts, _ := run(1, nil, false, driftAt)
+	return refAlerts
 }
 
 // compareAlerts fails the run loudly when the partitioned alert history

@@ -1,0 +1,224 @@
+// Control plane for dynamic repartitioning (DESIGN.md §9): the
+// epoch-switch state machine lives in a Coordinator that talks to
+// Participants only through the narrow interface below, so the same
+// protocol drives both deployments — the in-process one (a single
+// participant holding every machine, bound by direct calls) and the
+// multi-process one (one participant per fuseworker process, bound by
+// netwire control channels).
+
+package distrib
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netwire"
+)
+
+// Progress is one participant's answer to a poll or a pause: how far
+// its head machines have run, whether its machines finished the run,
+// and the measured per-vertex Step times backing the drift monitor.
+type Progress struct {
+	// Started is the newest phase any of the participant's head
+	// machines has opened (the epoch base if it has no heads).
+	Started int
+	// Done reports every machine of the participant completed its run.
+	Done bool
+	// Times is cumulative measured Step time per global vertex
+	// (zero for vertices the participant does not own).
+	Times []time.Duration
+}
+
+// QuiesceReport is a participant's end-of-epoch report, delivered once
+// its machines have drained.
+type QuiesceReport struct {
+	// Barrier is the phase the participant's machines quiesced at; 0
+	// means the epoch ran to completion with no barrier.
+	Barrier int
+	// Times is the epoch's cumulative measured Step time per global
+	// vertex.
+	Times []time.Duration
+}
+
+// Handoff reports one participant's side of an epoch switch's state
+// migration.
+type Handoff struct {
+	// Leaving carries serialized state for vertices migrating off this
+	// participant, for the coordinator to route to their new owners.
+	// The in-process binding migrates internally and leaves it empty.
+	Leaving []core.VertexSnapshot
+	// Serialized counts vertices whose state crossed a Snapshotter
+	// round-trip on this participant's side.
+	Serialized int
+	// Bytes is the serialized state volume the handoff moved.
+	Bytes int64
+}
+
+// Participant is the coordinator's handle on one member of a
+// rebalancing deployment — either the single in-process participant
+// holding every machine, or one fuseworker process. The coordinator
+// drives each epoch through a fixed call sequence: Begin (epoch 0),
+// then per epoch zero or more WaitStarted/Poll calls, optionally
+// Pause + SetBarrier, then AwaitQuiesce; after a mid-run barrier,
+// Offload + Advance move state and start the next epoch; Finish
+// releases the participant when the run is over, and Abort tears it
+// down on any failure.
+type Participant interface {
+	// Begin starts epoch 0, covering every phase under the given
+	// partition.
+	Begin(starts []int) error
+	// WaitStarted blocks until the participant's head machines have
+	// opened phase target (true) or finished without reaching it
+	// (false). Participants without head machines return false
+	// immediately.
+	WaitStarted(target int) (bool, error)
+	// Poll reports the participant's current progress.
+	Poll() (Progress, error)
+	// Pause parks the participant's head machines at their next phase
+	// start and reports how far they had run; they stay parked until
+	// SetBarrier.
+	Pause() (Progress, error)
+	// SetBarrier publishes the epoch barrier: heads resume, run
+	// through phase barrier and quiesce.
+	SetBarrier(barrier int) error
+	// AwaitQuiesce blocks until the participant's machines have
+	// drained — to the barrier, or to the end of the run.
+	AwaitQuiesce() (QuiesceReport, error)
+	// Done returns a channel that closes once the running epoch's
+	// machines have drained (AwaitQuiesce will not block after it
+	// closes) — the monitor's prompt end-of-epoch signal, so a
+	// finished run never waits out a poll tick.
+	Done() <-chan struct{}
+	// Offload announces the next epoch's partition and collects the
+	// state leaving this participant under it.
+	Offload(barrier int, newStarts []int) (Handoff, error)
+	// Advance delivers the state arriving at this participant and
+	// starts the next epoch at base = barrier.
+	Advance(arriving []core.VertexSnapshot) error
+	// Finish releases the participant: the run is over and no further
+	// epoch follows.
+	Finish() error
+	// Abort tears the participant down after a coordinator-side
+	// failure, carrying the root cause for its error report.
+	Abort(reason error)
+}
+
+// CtlChannel is a full-duplex, ordered control connection between the
+// coordinator and one participant. netwire.CtlConn implements it over
+// TCP; NewCtlPipe returns an in-process pair for tests and for the
+// coordinator process's own participant.
+type CtlChannel interface {
+	// Send delivers one control frame. Safe for concurrent use.
+	Send(f netwire.WireFrame) error
+	// Recv blocks for the next control frame; it errors once the
+	// channel is closed from either side.
+	Recv() (netwire.WireFrame, error)
+	// Close tears the channel down, unblocking both sides.
+	Close() error
+}
+
+// errCtlClosed is the generic "control channel torn down" failure a
+// pipe end reports once either side has closed.
+var errCtlClosed = errors.New("distrib: control channel closed")
+
+// ctlPipeState is the shared core of an in-process control channel
+// pair: one bounded frame queue per direction and a common close
+// signal, mirroring a socket (closing either end kills both).
+type ctlPipeState struct {
+	atob, btoa chan netwire.WireFrame
+	closed     chan struct{}
+}
+
+func (s *ctlPipeState) close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+}
+
+// ctlPipeEnd is one end of an in-process control channel.
+type ctlPipeEnd struct {
+	s        *ctlPipeState
+	out, in  chan netwire.WireFrame
+	closeEnd func()
+}
+
+// NewCtlPipe returns the two ends of an in-process control channel —
+// the chan-backed CtlChannel binding. Frames sent on one end arrive at
+// the other in order; closing either end fails both directions, like
+// a broken socket.
+func NewCtlPipe() (CtlChannel, CtlChannel) {
+	s := &ctlPipeState{
+		atob:   make(chan netwire.WireFrame, 64),
+		btoa:   make(chan netwire.WireFrame, 64),
+		closed: make(chan struct{}),
+	}
+	a := &ctlPipeEnd{s: s, out: s.atob, in: s.btoa}
+	b := &ctlPipeEnd{s: s, out: s.btoa, in: s.atob}
+	return a, b
+}
+
+// Send implements CtlChannel.
+func (e *ctlPipeEnd) Send(f netwire.WireFrame) error {
+	select {
+	case e.out <- f:
+		return nil
+	case <-e.s.closed:
+		return errCtlClosed
+	}
+}
+
+// Recv implements CtlChannel. Frames sent before the close are
+// delivered before the close is reported, matching socket semantics.
+func (e *ctlPipeEnd) Recv() (netwire.WireFrame, error) {
+	select {
+	case f := <-e.in:
+		return f, nil
+	case <-e.s.closed:
+		// Drain anything that landed before the close.
+		select {
+		case f := <-e.in:
+			return f, nil
+		default:
+			return netwire.WireFrame{}, errCtlClosed
+		}
+	}
+}
+
+// Close implements CtlChannel.
+func (e *ctlPipeEnd) Close() error {
+	e.s.close()
+	return nil
+}
+
+// interface conformance
+var (
+	_ CtlChannel = (*ctlPipeEnd)(nil)
+	_ CtlChannel = (*netwire.CtlConn)(nil)
+)
+
+// durations converts wire nanosecond vectors to time.Duration, and
+// nanos the reverse; both tolerate nil.
+func durations(ns []int64) []time.Duration {
+	if ns == nil {
+		return nil
+	}
+	out := make([]time.Duration, len(ns))
+	for i, v := range ns {
+		out[i] = time.Duration(v)
+	}
+	return out
+}
+
+func nanos(ts []time.Duration) []int64 {
+	if ts == nil {
+		return nil
+	}
+	out := make([]int64, len(ts))
+	for i, v := range ts {
+		out[i] = int64(v)
+	}
+	return out
+}

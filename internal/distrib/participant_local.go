@@ -1,0 +1,142 @@
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// localParticipant is the in-process Participant binding: it holds
+// every machine of the deployment in one address space and answers the
+// coordinator by direct calls — no frames, no serialization beyond the
+// state handoff itself (which still rides the configured Network, so
+// over a TCP transport migrating state genuinely crosses the codec).
+// It preserves RunRebalancing's pre-control-plane behavior exactly:
+// the epoch controller parks head machines, runWired drives the
+// machines, and handoffState migrates module state between epochs.
+type localParticipant struct {
+	g       *graph.Numbered
+	mods    []core.Module
+	batches [][]core.ExtInput
+	cfg     Config // Network resolved by the caller
+	net     Network
+	total   int
+
+	epoch int
+	base  int
+	d     *Deployment
+	ctl   *epochCtl
+
+	runDone  chan struct{}
+	runStats Stats
+	runErr   error
+	agg      Stats // merged across epochs
+
+	pendingBarrier int
+	pendingStarts  []int
+}
+
+// start builds and launches one epoch's deployment.
+func (lp *localParticipant) start(epoch, base int, starts []int) error {
+	d, err := newDeploymentAt(lp.g, lp.mods, lp.cfg, runWindow{
+		epoch: epoch, base: base, measure: true, starts: starts,
+	})
+	if err != nil {
+		return err
+	}
+	ctl := newEpochCtl(epoch, base, lp.total, d.headMachines())
+	d.attachCtl(ctl)
+	lp.epoch, lp.base = epoch, base
+	lp.d, lp.ctl = d, ctl
+	lp.runDone = make(chan struct{})
+	go func() {
+		st, err := d.runWired(lp.batches[base:], lp.net)
+		lp.runStats, lp.runErr = st, err
+		close(lp.runDone)
+	}()
+	return nil
+}
+
+// Begin implements Participant.
+func (lp *localParticipant) Begin(starts []int) error {
+	return lp.start(0, 0, starts)
+}
+
+// WaitStarted implements Participant: the deterministic, condition-
+// variable wake-up the in-process ForceEvery trigger relies on.
+func (lp *localParticipant) WaitStarted(target int) (bool, error) {
+	return lp.ctl.waitStarted(target), nil
+}
+
+// Poll implements Participant.
+func (lp *localParticipant) Poll() (Progress, error) {
+	started, _ := lp.ctl.progress()
+	done := false
+	select {
+	case <-lp.runDone:
+		done = true
+	default:
+	}
+	return Progress{Started: started, Done: done, Times: lp.d.globalVertexTimes(lp.g.N())}, nil
+}
+
+// Pause implements Participant.
+func (lp *localParticipant) Pause() (Progress, error) {
+	started, done := lp.ctl.pause()
+	return Progress{Started: started, Done: done}, nil
+}
+
+// Done implements Participant.
+func (lp *localParticipant) Done() <-chan struct{} { return lp.runDone }
+
+// SetBarrier implements Participant.
+func (lp *localParticipant) SetBarrier(barrier int) error {
+	lp.ctl.publish(barrier)
+	return nil
+}
+
+// AwaitQuiesce implements Participant.
+func (lp *localParticipant) AwaitQuiesce() (QuiesceReport, error) {
+	<-lp.runDone
+	mergeStats(&lp.agg, lp.runStats)
+	if lp.runErr != nil {
+		return QuiesceReport{}, lp.runErr
+	}
+	barrier := lp.ctl.decided()
+	if barrier >= lp.total {
+		barrier = 0 // the run completed before any useful cut
+	}
+	return QuiesceReport{Barrier: barrier, Times: lp.d.globalVertexTimes(lp.g.N())}, nil
+}
+
+// Offload implements Participant: every migration is internal to the
+// process, so the state moves here — through the Network for modules
+// implementing core.Snapshotter — and nothing is left for the
+// coordinator to route.
+func (lp *localParticipant) Offload(barrier int, newStarts []int) (Handoff, error) {
+	moves := planMigrations(lp.g.N(), lp.d.starts, newStarts)
+	serialized, bytes, err := handoffState(lp.mods, moves, lp.net, lp.cfg.Buffer, lp.epoch, barrier)
+	if err != nil {
+		return Handoff{}, err
+	}
+	lp.pendingBarrier = barrier
+	lp.pendingStarts = newStarts
+	return Handoff{Serialized: serialized, Bytes: bytes}, nil
+}
+
+// Advance implements Participant.
+func (lp *localParticipant) Advance(arriving []core.VertexSnapshot) error {
+	if len(arriving) != 0 {
+		return fmt.Errorf("distrib: in-process participant received %d routed snapshots (state migrates internally)", len(arriving))
+	}
+	return lp.start(lp.epoch+1, lp.pendingBarrier, lp.pendingStarts)
+}
+
+// Finish implements Participant.
+func (lp *localParticipant) Finish() error { return nil }
+
+// Abort implements Participant: the machines have already unwound (a
+// local failure is reported by AwaitQuiesce itself), so there is
+// nothing to tear down.
+func (lp *localParticipant) Abort(error) {}

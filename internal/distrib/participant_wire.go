@@ -1,0 +1,676 @@
+package distrib
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netwire"
+)
+
+// wireMsg is one delivery from a control channel's reader goroutine.
+type wireMsg struct {
+	f   netwire.WireFrame
+	err error
+}
+
+// RemoteParticipant is the coordinator's Participant binding for a
+// worker process reached over a CtlChannel: every interface call maps
+// to one control-frame exchange of the DESIGN.md §9 protocol, with
+// per-reply epoch validation (a reply tagged with another epoch is
+// rejected as stale, never applied) and a bounded ack timeout so a
+// wedged worker fails the run instead of hanging it. AwaitQuiesce
+// alone has no timeout — an epoch legitimately runs as long as it
+// runs — and relies on channel death to unblock when a worker dies.
+type RemoteParticipant struct {
+	// Name labels the participant in errors (e.g. "machine 2").
+	Name string
+	// AckTimeout bounds every control-frame reply except the quiesce
+	// report and the started announcement. Defaults to 60s.
+	AckTimeout time.Duration
+
+	ch    CtlChannel
+	epoch int
+	// pendingBase is the barrier of the switch in flight between
+	// Offload and Advance.
+	pendingBase int
+
+	mu       sync.Mutex // serializes request/reply exchanges
+	inbox    chan netwire.WireFrame
+	quiesced chan netwire.WireFrame
+	started  chan netwire.WireFrame
+	dead     chan struct{}
+	deadErr  atomic.Pointer[error]
+	closed   sync.Once
+
+	doneMu sync.Mutex
+	doneCh chan struct{} // per epoch; closed when the quiesce report lands
+}
+
+// NewRemoteParticipant wraps a control channel to one worker process
+// and starts its reader. name labels the participant in errors.
+func NewRemoteParticipant(ch CtlChannel, name string) *RemoteParticipant {
+	rp := &RemoteParticipant{
+		Name:     name,
+		ch:       ch,
+		inbox:    make(chan netwire.WireFrame, 4),
+		quiesced: make(chan netwire.WireFrame, 1),
+		started:  make(chan netwire.WireFrame, 2),
+		dead:     make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	go rp.read()
+	return rp
+}
+
+// signalDone closes the current epoch's done channel (idempotent).
+func (rp *RemoteParticipant) signalDone() {
+	rp.doneMu.Lock()
+	select {
+	case <-rp.doneCh:
+	default:
+		close(rp.doneCh)
+	}
+	rp.doneMu.Unlock()
+}
+
+// Done implements Participant.
+func (rp *RemoteParticipant) Done() <-chan struct{} {
+	rp.doneMu.Lock()
+	defer rp.doneMu.Unlock()
+	return rp.doneCh
+}
+
+// fail records the terminal error and wakes every waiter.
+func (rp *RemoteParticipant) fail(err error) {
+	rp.deadErr.CompareAndSwap(nil, &err)
+	rp.closed.Do(func() {
+		rp.ch.Close()
+		close(rp.dead)
+	})
+	rp.signalDone()
+}
+
+func (rp *RemoteParticipant) failErr() error {
+	if e := rp.deadErr.Load(); e != nil {
+		return *e
+	}
+	return fmt.Errorf("distrib: participant %s: control channel closed", rp.Name)
+}
+
+// read dispatches inbound control frames: quiesce reports to their
+// dedicated slot (they arrive unsolicited, possibly interleaved with
+// a reply), aborts and wire failures to the terminal error, and
+// everything else to the reply inbox.
+func (rp *RemoteParticipant) read() {
+	for {
+		f, err := rp.ch.Recv()
+		if err != nil {
+			if err != io.EOF {
+				rp.fail(fmt.Errorf("distrib: participant %s: %w", rp.Name, err))
+			} else {
+				rp.fail(fmt.Errorf("distrib: participant %s: control channel closed", rp.Name))
+			}
+			return
+		}
+		switch f.Kind {
+		case netwire.FrameQuiesced:
+			select {
+			case rp.quiesced <- f:
+				rp.signalDone()
+			default:
+				rp.fail(fmt.Errorf("distrib: participant %s: duplicate quiesce report", rp.Name))
+				return
+			}
+		case netwire.FrameStarted:
+			// An announcement, not an ack: a late one (the waiter moved
+			// on) is dropped, never an error.
+			select {
+			case rp.started <- f:
+			default:
+			}
+		case netwire.FrameAbort:
+			rp.fail(fmt.Errorf("distrib: participant %s aborted: %s", rp.Name, f.Msg))
+			return
+		default:
+			select {
+			case rp.inbox <- f:
+			default:
+				rp.fail(fmt.Errorf("distrib: participant %s: unsolicited frame kind %d", rp.Name, f.Kind))
+				return
+			}
+		}
+	}
+}
+
+func (rp *RemoteParticipant) ackTimeout() time.Duration {
+	if rp.AckTimeout > 0 {
+		return rp.AckTimeout
+	}
+	return 60 * time.Second
+}
+
+// recvReply waits for one reply of the given kind tagged with the
+// given epoch, failing the participant on timeout, mismatched kind or
+// a stale epoch.
+func (rp *RemoteParticipant) recvReply(kind uint8, epoch int) (netwire.WireFrame, error) {
+	timer := time.NewTimer(rp.ackTimeout())
+	defer timer.Stop()
+	select {
+	case f := <-rp.inbox:
+		if f.Kind != kind {
+			err := fmt.Errorf("distrib: participant %s: reply kind %d, want %d", rp.Name, f.Kind, kind)
+			rp.fail(err)
+			return netwire.WireFrame{}, err
+		}
+		if f.Epoch != epoch {
+			err := fmt.Errorf("distrib: participant %s: stale-epoch control frame: epoch %d, want %d", rp.Name, f.Epoch, epoch)
+			rp.fail(err)
+			return netwire.WireFrame{}, err
+		}
+		return f, nil
+	case <-rp.dead:
+		return netwire.WireFrame{}, rp.failErr()
+	case <-timer.C:
+		err := fmt.Errorf("distrib: participant %s: no ack for frame kind %d within %v", rp.Name, kind, rp.ackTimeout())
+		rp.fail(err)
+		return netwire.WireFrame{}, err
+	}
+}
+
+func (rp *RemoteParticipant) send(f netwire.WireFrame) error {
+	if err := rp.ch.Send(f); err != nil {
+		err = fmt.Errorf("distrib: participant %s: %w", rp.Name, err)
+		rp.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Begin implements Participant: the epoch-0 plan followed by the empty
+// state delivery that releases the worker into its run.
+func (rp *RemoteParticipant) Begin(starts []int) error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if err := rp.send(netwire.WireFrame{Kind: netwire.FramePlan, Epoch: 0, Phase: 0, Starts: starts}); err != nil {
+		return err
+	}
+	return rp.send(netwire.WireFrame{Kind: netwire.FrameSnapshot, Epoch: 0, Phase: 0})
+}
+
+// WaitStarted implements Participant: the blocking wait runs on the
+// worker's own condition variable (FrameWait → FrameStarted), so the
+// trigger fires the moment the heads reach the target — no polling,
+// no race against a fast epoch. No timeout applies; a dying worker
+// unblocks the wait by killing the channel.
+func (rp *RemoteParticipant) WaitStarted(target int) (bool, error) {
+	rp.mu.Lock()
+	epoch := rp.epoch
+	err := rp.send(netwire.WireFrame{Kind: netwire.FrameWait, Epoch: epoch, Phase: target})
+	rp.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	for {
+		select {
+		case f := <-rp.started:
+			if f.Epoch != epoch {
+				continue // a late announcement from an earlier epoch's wait
+			}
+			return !f.Done, nil
+		case <-rp.dead:
+			return false, rp.failErr()
+		}
+	}
+}
+
+// Poll implements Participant.
+func (rp *RemoteParticipant) Poll() (Progress, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if err := rp.send(netwire.WireFrame{Kind: netwire.FramePoll, Epoch: rp.epoch}); err != nil {
+		return Progress{}, err
+	}
+	f, err := rp.recvReply(netwire.FrameProgress, rp.epoch)
+	if err != nil {
+		return Progress{}, err
+	}
+	return Progress{Started: f.Phase, Done: f.Done, Times: durations(f.Times)}, nil
+}
+
+// Pause implements Participant.
+func (rp *RemoteParticipant) Pause() (Progress, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if err := rp.send(netwire.WireFrame{Kind: netwire.FramePause, Epoch: rp.epoch}); err != nil {
+		return Progress{}, err
+	}
+	f, err := rp.recvReply(netwire.FrameProgress, rp.epoch)
+	if err != nil {
+		return Progress{}, err
+	}
+	return Progress{Started: f.Phase, Done: f.Done, Times: durations(f.Times)}, nil
+}
+
+// SetBarrier implements Participant.
+func (rp *RemoteParticipant) SetBarrier(barrier int) error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.send(netwire.WireFrame{Kind: netwire.FrameBarrier, Epoch: rp.epoch, Phase: barrier})
+}
+
+// AwaitQuiesce implements Participant. No timeout applies: the epoch
+// runs as long as it runs, and a dying worker unblocks the wait by
+// killing the channel.
+func (rp *RemoteParticipant) AwaitQuiesce() (QuiesceReport, error) {
+	select {
+	case f := <-rp.quiesced:
+		if f.Epoch != rp.epoch {
+			err := fmt.Errorf("distrib: participant %s: stale-epoch quiesce report: epoch %d, want %d", rp.Name, f.Epoch, rp.epoch)
+			rp.fail(err)
+			return QuiesceReport{}, err
+		}
+		return QuiesceReport{Barrier: f.Phase, Times: durations(f.Times)}, nil
+	case <-rp.dead:
+		return QuiesceReport{}, rp.failErr()
+	}
+}
+
+// Offload implements Participant: the next epoch's plan goes out, the
+// state leaving the worker comes back.
+func (rp *RemoteParticipant) Offload(barrier int, newStarts []int) (Handoff, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	next := rp.epoch + 1
+	if err := rp.send(netwire.WireFrame{Kind: netwire.FramePlan, Epoch: next, Phase: barrier, Starts: newStarts}); err != nil {
+		return Handoff{}, err
+	}
+	f, err := rp.recvReply(netwire.FrameSnapshot, next)
+	if err != nil {
+		return Handoff{}, err
+	}
+	if f.Phase != barrier {
+		err := fmt.Errorf("distrib: participant %s: offloaded state at barrier %d, want %d", rp.Name, f.Phase, barrier)
+		rp.fail(err)
+		return Handoff{}, err
+	}
+	h := Handoff{Leaving: f.Snaps, Serialized: len(f.Snaps)}
+	for _, s := range f.Snaps {
+		h.Bytes += int64(len(s.State))
+	}
+	rp.pendingBase = barrier
+	return h, nil
+}
+
+// Advance implements Participant: arriving state goes out and the
+// worker rebuilds, rewires and runs the next epoch.
+func (rp *RemoteParticipant) Advance(arriving []core.VertexSnapshot) error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.epoch++
+	rp.doneMu.Lock()
+	rp.doneCh = make(chan struct{}) // fresh epoch, fresh completion signal
+	rp.doneMu.Unlock()
+	return rp.send(netwire.WireFrame{Kind: netwire.FrameSnapshot, Epoch: rp.epoch, Phase: rp.pendingBase, Snaps: arriving})
+}
+
+// Finish implements Participant. After the release frame it waits
+// (bounded) for the worker to close its side first, so an abrupt local
+// close can never race the frame's delivery off the wire.
+func (rp *RemoteParticipant) Finish() error {
+	rp.mu.Lock()
+	err := rp.send(netwire.WireFrame{Kind: netwire.FrameFinish, Epoch: rp.epoch})
+	rp.mu.Unlock()
+	if err == nil {
+		select {
+		case <-rp.dead:
+		case <-time.After(5 * time.Second):
+		}
+	}
+	rp.closed.Do(func() {
+		rp.ch.Close()
+		close(rp.dead)
+	})
+	return err
+}
+
+// Abort implements Participant: best-effort root-cause delivery, then
+// teardown.
+func (rp *RemoteParticipant) Abort(reason error) {
+	rp.mu.Lock()
+	rp.ch.Send(netwire.WireFrame{Kind: netwire.FrameAbort, Epoch: rp.epoch, Msg: reason.Error()})
+	rp.mu.Unlock()
+	rp.closed.Do(func() {
+		rp.ch.Close()
+		close(rp.dead)
+	})
+}
+
+// interface conformance
+var (
+	_ Participant = (*localParticipant)(nil)
+	_ Participant = (*RemoteParticipant)(nil)
+)
+
+// WireFunc wires one epoch's data links for a worker machine:
+// exactly one inbound transport per Upstream entry and one outbound
+// per Downstream entry of the deployment. It is called once per epoch,
+// after the previous epoch's links have fully closed; implementations
+// dial with retry/backoff because peers re-enter their accept loops at
+// slightly different times (WireHost provides the standard TCP
+// implementation).
+type WireFunc func(d *Deployment, epoch int) (in, out map[int]Transport, err error)
+
+// WorkerConfig configures one process's side of a coordinated
+// multi-process rebalancing run: which machine it owns, the shared
+// workload every process builds identically, and how to wire each
+// epoch's data links.
+type WorkerConfig struct {
+	// Machine is this worker's machine index.
+	Machine int
+	// Graph and Mods are the global workload; Mods[v-1] is the module
+	// for global vertex v.
+	Graph *graph.Numbered
+	Mods  []core.Module
+	// Config carries the per-machine engine tuning (workers, window,
+	// buffer). Machines is overridden by each epoch's plan.
+	Config Config
+	// Batches are the global per-phase external inputs of the whole
+	// run; the worker takes the share its machine owns each epoch.
+	Batches [][]core.ExtInput
+	// Wire builds each epoch's data links.
+	Wire WireFunc
+	// Log receives progress lines; nil discards.
+	Log io.Writer
+}
+
+// workerEpoch is one epoch's live state on the worker side.
+type workerEpoch struct {
+	epoch, base int
+	starts      []int
+	d           *Deployment
+	ctl         *epochCtl
+	done        bool
+}
+
+// runResult carries one epoch run's outcome from the machine goroutine
+// to the serve loop.
+type runResult struct {
+	stats core.Stats
+	err   error
+}
+
+// ParticipantReport summarizes one worker's side of a coordinated
+// run.
+type ParticipantReport struct {
+	// Stats accumulates the worker's engine counters across epochs.
+	Stats core.Stats
+	// FinalStarts is the last epoch's partition — what decides, after
+	// any number of migrations, which machine owns which vertex at the
+	// end of the run.
+	FinalStarts []int
+	// Epochs counts the epochs this worker ran (switches + 1).
+	Epochs int
+}
+
+// ServeParticipant runs one worker's side of the control-plane
+// protocol to completion: it receives plans and arriving state from
+// the coordinator, builds and runs its machine for each epoch, parks
+// its head machines on pause, publishes barriers, ships quiesce
+// reports and leaving state, and returns its accumulated engine stats
+// and final partition when the coordinator finishes the run. Any
+// protocol violation, machine failure or channel death aborts with the
+// root cause (after a best-effort FrameAbort so the coordinator can
+// name it too).
+func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error) {
+	logf := func(format string, args ...any) {
+		if wc.Log != nil {
+			fmt.Fprintf(wc.Log, format+"\n", args...)
+		}
+	}
+	var rep ParticipantReport
+	n := wc.Graph.N()
+	total := len(wc.Batches)
+
+	recvd := make(chan wireMsg)
+	stopRead := make(chan struct{})
+	defer close(stopRead)
+	defer ch.Close()
+	go func() {
+		for {
+			f, err := ch.Recv()
+			select {
+			case recvd <- wireMsg{f, err}:
+			case <-stopRead:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	abort := func(err error) (ParticipantReport, error) {
+		ch.Send(netwire.WireFrame{Kind: netwire.FrameAbort, Msg: err.Error()})
+		return rep, err
+	}
+
+	var cur *workerEpoch
+	var pending *workerEpoch // announced by FramePlan, started by FrameSnapshot
+	runDone := make(chan runResult, 1)
+	for {
+		select {
+		case r := <-runDone:
+			rep.Stats = mergeCoreStats(rep.Stats, r.stats)
+			cur.done = true
+			if r.err != nil {
+				return abort(fmt.Errorf("distrib: machine %d: epoch %d: %w", wc.Machine, cur.epoch, r.err))
+			}
+			barrier := cur.d.machines[wc.Machine].barrierAt
+			logf("machine %d: epoch %d drained (barrier %d)", wc.Machine, cur.epoch, barrier)
+			if err := ch.Send(netwire.WireFrame{
+				Kind: netwire.FrameQuiesced, Epoch: cur.epoch, Phase: barrier,
+				Times: nanos(cur.d.globalVertexTimes(n)),
+			}); err != nil {
+				return rep, err
+			}
+
+		case m := <-recvd:
+			if m.err != nil {
+				if m.err == io.EOF || m.err == errCtlClosed {
+					return rep, fmt.Errorf("distrib: machine %d: coordinator closed the control channel mid-run", wc.Machine)
+				}
+				return rep, fmt.Errorf("distrib: machine %d: control channel: %w", wc.Machine, m.err)
+			}
+			f := m.f
+			switch f.Kind {
+			case netwire.FrameWait:
+				if cur == nil || f.Epoch != cur.epoch {
+					return abort(fmt.Errorf("distrib: machine %d: stale-epoch control frame: kind %d epoch %d, running epoch %d", wc.Machine, f.Kind, f.Epoch, epochOf(cur)))
+				}
+				// The blocking wait runs off the serve loop so polls and
+				// pauses stay responsive; the announcement is pushed the
+				// moment the heads reach the target (or finish short).
+				go func(we *workerEpoch, target int) {
+					reached := we.ctl.waitStarted(target)
+					started, _ := we.ctl.progress()
+					ch.Send(netwire.WireFrame{
+						Kind: netwire.FrameStarted, Epoch: we.epoch, Phase: started, Done: !reached,
+					})
+				}(cur, f.Phase)
+
+			case netwire.FramePoll, netwire.FramePause, netwire.FrameBarrier:
+				if cur == nil || f.Epoch != cur.epoch {
+					return abort(fmt.Errorf("distrib: machine %d: stale-epoch control frame: kind %d epoch %d, running epoch %d", wc.Machine, f.Kind, f.Epoch, epochOf(cur)))
+				}
+				switch f.Kind {
+				case netwire.FramePoll:
+					started, _ := cur.ctl.progress()
+					if err := ch.Send(netwire.WireFrame{
+						Kind: netwire.FrameProgress, Epoch: cur.epoch, Phase: started, Done: cur.done,
+						Times: nanos(cur.d.globalVertexTimes(n)),
+					}); err != nil {
+						return rep, err
+					}
+				case netwire.FramePause:
+					started, _ := cur.ctl.pause()
+					if err := ch.Send(netwire.WireFrame{
+						Kind: netwire.FrameProgress, Epoch: cur.epoch, Phase: started, Done: cur.done,
+					}); err != nil {
+						return rep, err
+					}
+				case netwire.FrameBarrier:
+					cur.ctl.publish(f.Phase)
+				}
+
+			case netwire.FramePlan:
+				wantEpoch := 0
+				if cur != nil {
+					wantEpoch = cur.epoch + 1
+				}
+				if f.Epoch != wantEpoch {
+					return abort(fmt.Errorf("distrib: machine %d: stale-epoch plan: epoch %d, want %d", wc.Machine, f.Epoch, wantEpoch))
+				}
+				if cur != nil && !cur.done {
+					return abort(fmt.Errorf("distrib: machine %d: plan for epoch %d arrived while epoch %d is still running", wc.Machine, f.Epoch, cur.epoch))
+				}
+				if pending != nil {
+					return abort(fmt.Errorf("distrib: machine %d: plan for epoch %d arrived before epoch %d started", wc.Machine, f.Epoch, pending.epoch))
+				}
+				if wc.Machine >= len(f.Starts) {
+					return abort(fmt.Errorf("distrib: machine %d: plan has only %d machines", wc.Machine, len(f.Starts)))
+				}
+				pending = &workerEpoch{epoch: f.Epoch, base: f.Phase, starts: f.Starts}
+				if cur != nil {
+					// An epoch switch: ship the state of every vertex
+					// leaving this machine under the new plan.
+					leaving, err := leavingSnaps(wc.Mods, wc.Machine, cur.starts, f.Starts)
+					if err != nil {
+						return abort(err)
+					}
+					logf("machine %d: epoch %d plan %v: %d vertices leaving", wc.Machine, f.Epoch, f.Starts, len(leaving))
+					if err := ch.Send(netwire.WireFrame{
+						Kind: netwire.FrameSnapshot, Epoch: f.Epoch, Phase: f.Phase, Snaps: leaving,
+					}); err != nil {
+						return rep, err
+					}
+				}
+
+			case netwire.FrameSnapshot:
+				if pending == nil || f.Epoch != pending.epoch {
+					return abort(fmt.Errorf("distrib: machine %d: stale-epoch state delivery: epoch %d, pending %d", wc.Machine, f.Epoch, epochOf(pending)))
+				}
+				for _, snap := range f.Snaps {
+					if snap.Vertex < 1 || snap.Vertex > n {
+						return abort(fmt.Errorf("distrib: machine %d: arriving snapshot for vertex %d of %d", wc.Machine, snap.Vertex, n))
+					}
+					if graph.PartitionOf(pending.starts, snap.Vertex) != wc.Machine {
+						return abort(fmt.Errorf("distrib: machine %d: misrouted snapshot for vertex %d", wc.Machine, snap.Vertex))
+					}
+					s, ok := wc.Mods[snap.Vertex-1].(core.Snapshotter)
+					if !ok {
+						return abort(fmt.Errorf("distrib: machine %d: vertex %d (%T) cannot restore serialized state", wc.Machine, snap.Vertex, wc.Mods[snap.Vertex-1]))
+					}
+					if err := s.RestoreState(snap.State); err != nil {
+						return abort(fmt.Errorf("distrib: machine %d: restoring vertex %d: %w", wc.Machine, snap.Vertex, err))
+					}
+				}
+				cfg := wc.Config
+				cfg.Machines = len(pending.starts)
+				d, err := newDeploymentAt(wc.Graph, wc.Mods, cfg, runWindow{
+					epoch: pending.epoch, base: pending.base, measure: true, starts: pending.starts,
+				})
+				if err != nil {
+					return abort(fmt.Errorf("distrib: machine %d: building epoch %d: %w", wc.Machine, pending.epoch, err))
+				}
+				ctl := newEpochCtl(pending.epoch, pending.base, total, machineHeads(d, wc.Machine))
+				d.machines[wc.Machine].ctl = ctl
+				in, out, err := wc.Wire(d, pending.epoch)
+				if err != nil {
+					return abort(fmt.Errorf("distrib: machine %d: wiring epoch %d: %w", wc.Machine, pending.epoch, err))
+				}
+				pending.d, pending.ctl = d, ctl
+				cur, pending = pending, nil
+				rep.FinalStarts = cur.starts
+				rep.Epochs++
+				logf("machine %d: epoch %d running from phase %d (%d restored)", wc.Machine, cur.epoch, cur.base+1, len(f.Snaps))
+				go func(cur *workerEpoch, batches [][]core.ExtInput) {
+					st, err := cur.d.RunMachine(wc.Machine, batches, in, out)
+					runDone <- runResult{st, err}
+				}(cur, wc.Batches[cur.base:])
+
+			case netwire.FrameFinish:
+				if cur == nil || f.Epoch != cur.epoch || !cur.done {
+					return abort(fmt.Errorf("distrib: machine %d: finish for epoch %d out of order", wc.Machine, f.Epoch))
+				}
+				return rep, nil
+
+			case netwire.FrameAbort:
+				return rep, fmt.Errorf("distrib: machine %d: coordinator aborted: %s", wc.Machine, f.Msg)
+
+			default:
+				return abort(fmt.Errorf("distrib: machine %d: unexpected control frame kind %d", wc.Machine, f.Kind))
+			}
+		}
+	}
+}
+
+// epochOf reports a worker epoch's number, -1 when none exists yet.
+func epochOf(w *workerEpoch) int {
+	if w == nil {
+		return -1
+	}
+	return w.epoch
+}
+
+// machineHeads returns the epoch controller's head list for one
+// machine of a deployment: the machine itself when it has no upstream
+// links, empty otherwise.
+func machineHeads(d *Deployment, m int) []int {
+	if len(d.machines[m].upstream) == 0 {
+		return []int{m}
+	}
+	return nil
+}
+
+// leavingSnaps serializes the state of every vertex owned by machine m
+// under oldStarts but not under newStarts. Crossing a process boundary
+// requires core.Snapshotter — a migrating module without it fails the
+// switch with the vertex named, rather than silently dropping state.
+func leavingSnaps(mods []core.Module, m int, oldStarts, newStarts []int) ([]core.VertexSnapshot, error) {
+	var snaps []core.VertexSnapshot
+	for v := 1; v <= len(mods); v++ {
+		if graph.PartitionOf(oldStarts, v) != m || graph.PartitionOf(newStarts, v) == m {
+			continue
+		}
+		s, ok := mods[v-1].(core.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("distrib: machine %d: vertex %d (%T) does not implement core.Snapshotter and cannot migrate between processes", m, v, mods[v-1])
+		}
+		state, err := s.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("distrib: machine %d: snapshotting vertex %d: %w", m, v, err)
+		}
+		snaps = append(snaps, core.VertexSnapshot{Vertex: v, State: state})
+	}
+	return snaps, nil
+}
+
+// mergeCoreStats folds one epoch's engine stats into a worker's
+// running total.
+func mergeCoreStats(a core.Stats, b core.Stats) core.Stats {
+	a.Executions += b.Executions
+	a.Messages += b.Messages
+	a.PhasesCompleted += b.PhasesCompleted
+	a.LockWait += b.LockWait
+	a.LockAcquisitions += b.LockAcquisitions
+	a.ExecTime += b.ExecTime
+	if b.MaxQueueLen > a.MaxQueueLen {
+		a.MaxQueueLen = b.MaxQueueLen
+	}
+	return a
+}

@@ -194,49 +194,59 @@ func (c *epochCtl) headFinished(m int) {
 	c.mu.Unlock()
 }
 
-// maxStarted returns the newest phase any head machine has opened.
-func (c *epochCtl) maxStarted() int {
+// pause parks every head machine at its next phase start and returns
+// the newest phase any of them had opened (base if none) plus whether
+// every head already finished. Heads stay parked until publish; the
+// barrier decision itself belongs to the coordinator, which may be
+// aggregating pauses across several participants. Pausing after a
+// barrier was already published is a no-op reporting the settled
+// state.
+func (c *epochCtl) pause() (started int, done bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p := c.base
-	for _, m := range c.heads {
-		if c.lastStarted[m] > p {
-			p = c.lastStarted[m]
+	if c.barrier == 0 {
+		c.pausing = true
+		c.cond.Broadcast()
+		for !c.headsSettledLocked() {
+			c.cond.Wait()
 		}
 	}
-	return p
+	return c.progressLocked()
 }
 
-// requestBarrier pauses every head machine, picks the earliest phase
-// all of them can stop at together, publishes it and resumes them. The
-// returned barrier equals total when the run will finish before any
-// consistent cut — the no-op switch the caller treats as "run to
-// completion". Idempotent: a second request returns the first
-// decision.
-func (c *epochCtl) requestBarrier() int {
+// publish sets the epoch barrier and resumes the parked heads: they
+// run through phase b and quiesce. Idempotent — the first barrier
+// wins.
+func (c *epochCtl) publish(b int) {
+	c.mu.Lock()
+	if c.barrier == 0 {
+		c.barrier = b
+		c.pausing = false
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// progress returns the newest phase any head machine has opened and
+// whether every head finished.
+func (c *epochCtl) progress() (started int, done bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.barrier != 0 {
-		return c.barrier
-	}
-	c.pausing = true
-	c.cond.Broadcast()
-	for !c.headsSettledLocked() {
-		c.cond.Wait()
-	}
-	b := c.base + 1 // every epoch runs at least one phase
+	return c.progressLocked()
+}
+
+func (c *epochCtl) progressLocked() (started int, done bool) {
+	started = c.base
+	done = true
 	for _, m := range c.heads {
-		if c.lastStarted[m] > b {
-			b = c.lastStarted[m]
+		if c.lastStarted[m] > started {
+			started = c.lastStarted[m]
+		}
+		if !c.finished[m] {
+			done = false
 		}
 	}
-	if b > c.total {
-		b = c.total
-	}
-	c.barrier = b
-	c.pausing = false
-	c.cond.Broadcast()
-	return b
+	return started, done
 }
 
 // headsSettledLocked reports whether every head machine is parked at
@@ -295,16 +305,15 @@ func (d *Deployment) globalVertexTimes(n int) []time.Duration {
 	return times
 }
 
-// measuredSkew computes the bottleneck/mean ratio of per-stage measured
-// Step time under the deployment's current partition, and the total
-// measured time backing it. A total below the caller's signal floor
-// means "no data yet".
-func (d *Deployment) measuredSkew(n int) (float64, time.Duration) {
-	times := d.globalVertexTimes(n)
-	loads := make([]time.Duration, len(d.starts))
+// skewFromTimes computes the bottleneck/mean ratio of per-stage
+// measured Step time under a partition, and the total measured time
+// backing it. A total below the caller's signal floor means "no data
+// yet".
+func skewFromTimes(times []time.Duration, starts []int) (float64, time.Duration) {
+	loads := make([]time.Duration, len(starts))
 	var total time.Duration
 	for v, t := range times {
-		loads[graph.PartitionOf(d.starts, v+1)] += t
+		loads[graph.PartitionOf(starts, v+1)] += t
 		total += t
 	}
 	if total <= 0 {
@@ -318,51 +327,6 @@ func (d *Deployment) measuredSkew(n int) (float64, time.Duration) {
 	}
 	mean := float64(total) / float64(len(loads))
 	return float64(max) / mean, total
-}
-
-// monitorEpoch watches the running epoch and requests a barrier when
-// the plan has gone stale. In drift mode it polls measured per-vertex
-// times every CheckEvery; with ForceEvery set it instead waits —
-// deterministically, no polling — for the epoch to start that many
-// phases. It returns when a barrier was requested, the epoch finished,
-// or the window for a useful switch has passed; the returned skew is
-// the ratio that crossed the threshold at decision time (0 when no
-// barrier was requested, or when ForceEvery triggered it).
-func monitorEpoch(d *Deployment, ctl *epochCtl, rc RebalanceConfig, n int, stop <-chan struct{}) float64 {
-	if rc.ForceEvery > 0 {
-		if !ctl.waitStarted(ctl.base + rc.ForceEvery) {
-			return 0
-		}
-		if ctl.total-ctl.maxStarted() < rc.MinRemaining {
-			return 0 // too late for a switch to pay off
-		}
-		ctl.requestBarrier()
-		return 0
-	}
-	tick := time.NewTicker(rc.CheckEvery)
-	defer tick.Stop()
-	for {
-		select {
-		case <-stop:
-			return 0
-		case <-tick.C:
-		}
-		started := ctl.maxStarted()
-		if started-ctl.base < rc.MinEpochPhases {
-			continue
-		}
-		if ctl.total-started < rc.MinRemaining {
-			return 0 // too late for a switch to pay off
-		}
-		skew, signal := d.measuredSkew(n)
-		if signal < rc.MinSignal {
-			continue
-		}
-		if skew > rc.SkewThreshold {
-			ctl.requestBarrier()
-			return skew
-		}
-	}
 }
 
 // migration is one vertex's move between machines at an epoch switch.
@@ -470,13 +434,16 @@ func handoffState(mods []core.Module, moves []migration, net Network, depth, epo
 // RunRebalancing executes the computation like Run, but re-plans the
 // partition mid-run when measured per-vertex cost drifts away from the
 // estimate the current boundaries were cut for — the ROADMAP's dynamic
-// repartitioning. A drift monitor watches every machine engine's
-// per-vertex Step times; past the skew threshold it quiesces the
-// deployment at an epoch barrier (a control frame flooded over the
-// links), hands migrating vertices' state to their new machines
-// (serialized through the transport for modules implementing
-// core.Snapshotter), rebuilds the deployment on the new plan with
-// fresh links and ship-token windows, and resumes at the next phase.
+// repartitioning. The epoch-switch state machine lives in Coordinator
+// (DESIGN.md §9); here it drives a single in-process participant that
+// holds every machine: the drift monitor watches measured per-vertex
+// Step times, quiesces the deployment at an epoch barrier (a control
+// frame flooded over the links), hands migrating vertices' state to
+// their new machines (serialized through the transport for modules
+// implementing core.Snapshotter), rebuilds the deployment on the new
+// plan with fresh links and ship-token windows, and resumes at the
+// next phase. The same Coordinator drives fuseworker processes through
+// netwire control channels — see ServeParticipant.
 //
 // The run is bit-identical to Run over the same graph, modules and
 // batches, whatever barriers land where — the equivalence tests pin
@@ -484,96 +451,35 @@ func handoffState(mods []core.Module, moves []migration, net Network, depth, epo
 // records every switch.
 func RunRebalancing(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config, rcfg RebalanceConfig) (Stats, error) {
 	t0 := time.Now()
-	rc := rcfg.withDefaults()
 	net := cfg.Network
 	if net == nil {
 		net = ChannelNetwork{}
 		defer net.Close()
 	}
-	total := len(batches)
-
-	var agg Stats
-	base := 0
-	epoch := 0
 	epochCfg := cfg
 	epochCfg.Network = net
-	var epochStarts []int // nil for epoch 0: plan from cfg.Costs
-	for {
-		d, err := newDeploymentAt(g, mods, epochCfg, runWindow{epoch: epoch, base: base, measure: true, starts: epochStarts})
-		if err != nil {
-			return agg, err
-		}
-		ctl := newEpochCtl(epoch, base, total, d.headMachines())
-		d.attachCtl(ctl)
-
-		stop := make(chan struct{})
-		monDone := make(chan struct{})
-		var triggerSkew float64 // skew the monitor saw at decision time
-		if len(agg.Rebalances) < rc.MaxRebalances {
-			go func() {
-				defer close(monDone)
-				triggerSkew = monitorEpoch(d, ctl, rc, g.N(), stop)
-			}()
-		} else {
-			close(monDone)
-		}
-		st, err := d.runWired(batches[base:], net)
-		close(stop)
-		<-monDone
-		mergeStats(&agg, st)
-		if err != nil {
-			agg.Wall = time.Since(t0)
-			return agg, err
-		}
-		barrier := ctl.decided()
-		if barrier == 0 || barrier >= total {
-			agg.Wall = time.Since(t0)
-			return agg, nil
-		}
-
-		// Quiesced at the barrier: re-plan on this epoch's measured
-		// costs and hand migrating state to its new machines.
-		sw0 := time.Now()
-		costs, err := CostsFromTimes(d.globalVertexTimes(g.N()))
-		if err != nil {
-			agg.Wall = time.Since(t0)
-			return agg, fmt.Errorf("distrib: rebalance at phase %d: %w", barrier, err)
-		}
-		planner := cfg.Planner
-		if planner == nil {
-			planner = CostAware{}
-		}
-		newStarts, err := planner.Plan(g, costs, cfg.Machines)
-		if err != nil {
-			agg.Wall = time.Since(t0)
-			return agg, fmt.Errorf("distrib: re-planning at phase %d: %w", barrier, err)
-		}
-		if err := graph.ValidateStarts(g.N(), newStarts); err != nil {
-			agg.Wall = time.Since(t0)
-			return agg, fmt.Errorf("distrib: re-planning at phase %d: planner %s: %w", barrier, planner.Name(), err)
-		}
-		moves := planMigrations(g.N(), d.starts, newStarts)
-		serialized, bytes, err := handoffState(mods, moves, net, d.cfg.Buffer, epoch, barrier)
-		if err != nil {
-			agg.Wall = time.Since(t0)
-			return agg, err
-		}
-		agg.Rebalances = append(agg.Rebalances, RebalanceEvent{
-			Epoch:        epoch,
-			Barrier:      barrier,
-			FromStarts:   append([]int(nil), d.starts...),
-			ToStarts:     append([]int(nil), newStarts...),
-			Moved:        len(moves),
-			Serialized:   serialized,
-			HandoffBytes: bytes,
-			Skew:         triggerSkew,
-			Wall:         time.Since(sw0),
-		})
-		base = barrier
-		epoch++
-		epochCfg.Costs = costs
-		epochStarts = newStarts
+	lp := &localParticipant{
+		g:       g,
+		mods:    mods,
+		batches: batches,
+		cfg:     epochCfg,
+		net:     net,
+		total:   len(batches),
 	}
+	co := &Coordinator{
+		Graph:        g,
+		Costs:        cfg.Costs,
+		Machines:     cfg.Machines,
+		Phases:       len(batches),
+		Planner:      cfg.Planner,
+		Rebalance:    rcfg,
+		Participants: []Participant{lp},
+	}
+	events, err := co.Run()
+	st := lp.agg
+	st.Rebalances = events
+	st.Wall = time.Since(t0)
+	return st, err
 }
 
 // mergeStats folds one epoch's stats into the aggregate: per-machine

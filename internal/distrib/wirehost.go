@@ -1,0 +1,187 @@
+package distrib
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netwire"
+)
+
+// WireHost owns one worker process's listening socket and builds its
+// per-epoch data links: it accepts inbound connections continuously
+// (dispatching data links and control channels by handshake kind) and
+// dials outbound peers under a bounded retry-with-backoff schedule —
+// the policy that also covers post-boot dials, since every epoch
+// switch re-wires the data plane while peers re-enter their accept
+// loops at slightly different times. cmd/fuseworker, the pipeline
+// example's workers and the E14 multi-process experiment all stand on
+// it.
+type WireHost struct {
+	machine int
+	peers   []string
+	ln      *netwire.Listener
+	backoff netwire.Backoff
+	// AcceptTimeout bounds how long Wire waits for one expected
+	// upstream link. Defaults to 30s.
+	AcceptTimeout time.Duration
+
+	links chan *netwire.RecvLink
+	ctls  chan *netwire.CtlConn
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWireHost listens on peers[machine] and starts dispatching inbound
+// connections. backoff tunes the dial retry schedule (zero value =
+// defaults).
+func NewWireHost(machine int, peers []string, backoff netwire.Backoff) (*WireHost, error) {
+	if machine < 0 || machine >= len(peers) {
+		return nil, fmt.Errorf("distrib: wire host machine %d with %d peers", machine, len(peers))
+	}
+	ln, err := netwire.Listen(peers[machine])
+	if err != nil {
+		return nil, err
+	}
+	h := &WireHost{
+		machine: machine,
+		peers:   peers,
+		ln:      ln,
+		backoff: backoff.WithDefaults(),
+		links:   make(chan *netwire.RecvLink, 64),
+		ctls:    make(chan *netwire.CtlConn, len(peers)),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Machine returns the host's machine index.
+func (h *WireHost) Machine() int { return h.machine }
+
+// Addr returns the address the host listens on.
+func (h *WireHost) Addr() string { return h.ln.Addr() }
+
+func (h *WireHost) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		rl, ctl, err := h.ln.AcceptAny()
+		if err != nil {
+			return // listener closed
+		}
+		if ctl != nil {
+			select {
+			case h.ctls <- ctl:
+			default:
+				ctl.Close() // more control channels than peers: refuse
+			}
+			continue
+		}
+		select {
+		case h.links <- rl:
+		default:
+			rl.Close() // nobody will ever collect it
+		}
+	}
+}
+
+// AcceptCtl waits for one inbound control channel (the coordinator's
+// side of participant boot).
+func (h *WireHost) AcceptCtl(timeout time.Duration) (*netwire.CtlConn, error) {
+	select {
+	case ctl := <-h.ctls:
+		return ctl, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("distrib: machine %d: no control channel within %v", h.machine, timeout)
+	}
+}
+
+// DialCtl dials the coordinator's control channel (machine `to`,
+// normally 0) under the host's backoff schedule.
+func (h *WireHost) DialCtl(to int) (*netwire.CtlConn, error) {
+	return netwire.DialCtlRetry(h.peers[to], h.machine, to, h.backoff)
+}
+
+// Wire implements WireFunc over real TCP links: it dials every
+// downstream machine of the deployment (with retry while the peer
+// re-enters its accept loop) and collects one accepted link per
+// upstream machine, validating each handshake against the epoch's
+// topology.
+func (h *WireHost) Wire(d *Deployment, epoch int) (in, out map[int]Transport, err error) {
+	m := h.machine
+	down, up := d.Downstream(m), d.Upstream(m)
+	cleanup := func() {
+		for _, tr := range out {
+			tr.Close()
+		}
+		for _, tr := range in {
+			tr.Close()
+		}
+	}
+	out = make(map[int]Transport, len(down))
+	for _, dst := range down {
+		if dst >= len(h.peers) {
+			cleanup()
+			return nil, nil, fmt.Errorf("distrib: machine %d: downstream machine %d has no peer address", m, dst)
+		}
+		sl, err := netwire.DialRetry(h.peers[dst], m, dst, d.Buffer(), h.backoff)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		out[dst] = NewSendTransport(m, dst, sl)
+	}
+	want := make(map[int]bool, len(up))
+	for _, u := range up {
+		want[u] = true
+	}
+	timeout := h.AcceptTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	in = make(map[int]Transport, len(up))
+	for len(in) < len(up) {
+		select {
+		case rl := <-h.links:
+			hs := rl.Handshake()
+			if hs.To != m || !want[hs.From] || in[hs.From] != nil {
+				rl.Close()
+				cleanup()
+				return nil, nil, fmt.Errorf("distrib: machine %d: unexpected link %d->%d in epoch %d", m, hs.From, hs.To, epoch)
+			}
+			in[hs.From] = NewRecvTransport(rl)
+		case <-deadline.C:
+			cleanup()
+			return nil, nil, fmt.Errorf("distrib: machine %d: epoch %d: %d of %d upstream links within %v", m, epoch, len(in), len(up), timeout)
+		}
+	}
+	return in, out, nil
+}
+
+// Close stops accepting and releases the listener. Links already
+// handed out are owned by their machines.
+func (h *WireHost) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.ln.Close()
+	h.wg.Wait()
+	for {
+		select {
+		case rl := <-h.links:
+			rl.Close()
+		case ctl := <-h.ctls:
+			ctl.Close()
+		default:
+			return nil
+		}
+	}
+}

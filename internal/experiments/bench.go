@@ -315,13 +315,22 @@ func BenchJSON(quick bool) BenchReport {
 	// the row pins Executions=0 — like the fault row, the gate guards
 	// its existence and configuration, and E14's own test guards the
 	// recovery ratio.
+	// The in-process rebalance row plus its control-plane variant (one
+	// participant per machine over real loopback TCP control channels
+	// and data links, DESIGN.md §9). Both wall-only: the gate pins that
+	// each configuration exists and still runs.
 	e14 := E14DynamicRepartition(quick)
+	e14RowNames := map[string]string{
+		"rebalance":           "e14-rebalance/machines=3",
+		"rebalance-multiproc": "e14-rebalance-multiproc/machines=3",
+	}
 	for _, r := range e14.Rows {
-		if r.Mode != "rebalance" {
+		name, tracked := e14RowNames[r.Mode]
+		if !tracked {
 			continue
 		}
 		rep.Workloads = append(rep.Workloads, BenchRow{
-			Name:     "e14-rebalance/machines=3",
+			Name:     name,
 			Workers:  E14Machines * 2,
 			Machines: E14Machines,
 			Phases:   e14.Phases,

@@ -3,12 +3,14 @@ package experiments
 import (
 	"encoding/binary"
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/netwire"
 )
 
 // E14Machines is the machine count of every E14 measurement point.
@@ -231,7 +233,12 @@ func E14DynamicRepartition(quick bool) E14Result {
 	static.VsOracle = float64(static.Wall) / float64(oracleWall)
 	reb := run("rebalance")
 	reb.VsOracle = float64(reb.Wall) / float64(oracleWall)
-	res.Rows = []E14Row{static, reb, oracle}
+	multi, multiLog := runE14MultiProcess(w, phases)
+	multi.VsOracle = float64(multi.Wall) / float64(oracleWall)
+	if !int64sEqual(refLog, multiLog) {
+		panic("E14 rebalance-multiproc: sink history diverged — cross-process migration changed the output")
+	}
+	res.Rows = []E14Row{static, reb, multi, oracle}
 
 	tb := metrics.NewTable(
 		fmt.Sprintf("E14 — dynamic repartitioning: mid-run drift ×%d at vertex %d (machines=%d, drift@phase %d)",
@@ -242,6 +249,117 @@ func E14DynamicRepartition(quick bool) E14Result {
 	}
 	res.Table = tb
 	return res
+}
+
+// runE14MultiProcess runs the drift scenario under the multi-process
+// control plane (DESIGN.md §9): one control-plane participant per
+// machine, each holding its own copy of the workload — exactly as
+// separate fuseworker processes would — joined by real loopback TCP
+// control channels and data links, with the coordinator re-planning on
+// measured costs and migrating vertex state across the sockets. The
+// returned log is the tail sink's history, which the caller checks
+// against the in-process runs bit for bit.
+func runE14MultiProcess(w E14Workload, phases int) (E14Row, []int64) {
+	row := E14Row{Mode: "rebalance-multiproc"}
+	machines := E14Machines
+	fail := func(err error) {
+		panic(fmt.Sprintf("E14 rebalance-multiproc: %v", err))
+	}
+
+	addrs := make([]string, machines)
+	for m := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		addrs[m] = ln.Addr().String()
+		ln.Close()
+	}
+	hosts := make([]*distrib.WireHost, machines)
+	for m := range hosts {
+		h, err := distrib.NewWireHost(m, addrs, netwire.Backoff{Base: 5 * time.Millisecond, Attempts: 40})
+		if err != nil {
+			fail(err)
+		}
+		hosts[m] = h
+		defer h.Close()
+	}
+
+	t0 := time.Now()
+	type workerDone struct {
+		m   int
+		err error
+	}
+	done := make(chan workerDone, machines)
+	parts := make([]distrib.Participant, machines)
+	var coordGraph *graph.Numbered
+	var coordPre []float64
+	var tailSink *e14Sink
+	for m := 0; m < machines; m++ {
+		ng, mods, sink, pre, _ := w.Build()
+		if m == 0 {
+			coordGraph, coordPre = ng, pre
+		}
+		if m == machines-1 {
+			tailSink = sink // the chain tail never leaves the last machine
+		}
+		var ch, coordCh distrib.CtlChannel
+		if m == 0 {
+			coordCh, ch = distrib.NewCtlPipe()
+		} else {
+			conn, err := hosts[m].DialCtl(0)
+			if err != nil {
+				fail(err)
+			}
+			ch = conn
+			acc, err := hosts[0].AcceptCtl(10 * time.Second)
+			if err != nil {
+				fail(err)
+			}
+			coordCh = acc
+		}
+		parts[m] = distrib.NewRemoteParticipant(coordCh, fmt.Sprintf("machine %d", m))
+		cfg := E14Config()
+		wc := distrib.WorkerConfig{
+			Machine: m, Graph: ng, Mods: mods,
+			Config: distrib.Config{
+				WorkersPerMachine: cfg.WorkersPerMachine,
+				MaxInFlight:       cfg.MaxInFlight,
+				Buffer:            cfg.Buffer,
+			},
+			Batches: Phases(phases),
+			Wire:    hosts[m].Wire,
+		}
+		go func(m int) {
+			_, err := distrib.ServeParticipant(ch, wc)
+			done <- workerDone{m, err}
+		}(m)
+	}
+	co := &distrib.Coordinator{
+		Graph:        coordGraph,
+		Costs:        coordPre, // the stale estimate the drift invalidates
+		Machines:     machines,
+		Phases:       phases,
+		Planner:      distrib.CostAware{},
+		Rebalance:    E14RebalanceConfig(),
+		Participants: parts,
+	}
+	events, err := co.Run()
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < machines; i++ {
+		if d := <-done; d.err != nil {
+			fail(fmt.Errorf("worker %d: %w", d.m, d.err))
+		}
+	}
+	row.Wall = time.Since(t0)
+	row.Rebalances = len(events)
+	for _, ev := range events {
+		row.Barriers = append(row.Barriers, ev.Barrier)
+		row.Moved += ev.Moved
+	}
+	return row, tailSink.log
 }
 
 func int64sEqual(a, b []int64) bool {

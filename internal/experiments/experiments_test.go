@@ -225,10 +225,11 @@ func TestBenchJSONShape(t *testing.T) {
 	names := map[string]bool{}
 	for _, row := range rep.Workloads {
 		names[row.Name] = true
-		if row.Name == "e13-fault-abort/crash=mid" || row.Name == "e14-rebalance/machines=3" {
-			// The fault row times a crash cascade and the rebalance row
-			// a run whose portal/bridge execution count depends on where
-			// the drift-driven barriers land: both deliberately pin
+		if row.Name == "e13-fault-abort/crash=mid" || row.Name == "e14-rebalance/machines=3" ||
+			row.Name == "e14-rebalance-multiproc/machines=3" {
+			// The fault row times a crash cascade and the rebalance rows
+			// runs whose portal/bridge execution count depends on where
+			// the drift-driven barriers land: all deliberately pin
 			// Executions=0 and report wall time only (see bench.go).
 			if row.WallNs <= 0 || row.Executions != 0 {
 				t.Errorf("wall-only row mis-measured: %+v", row)
@@ -247,6 +248,7 @@ func TestBenchJSONShape(t *testing.T) {
 		"e12-pipeline/machines=1", "e12-pipeline/machines=4",
 		"e13-wire/transport=chan", "e13-wire/transport=tcp",
 		"e13-fault-abort/crash=mid", "e14-rebalance/machines=3",
+		"e14-rebalance-multiproc/machines=3",
 	} {
 		if !names[want] {
 			t.Errorf("report missing tracked row %q", want)
@@ -342,17 +344,28 @@ func TestE14DriftRecovery(t *testing.T) {
 		t.Skip("E14 needs real measured Step time")
 	}
 	res := E14DynamicRepartition(true)
-	var reb, oracle *E14Row
+	var reb, multi, oracle *E14Row
 	for i := range res.Rows {
 		switch res.Rows[i].Mode {
 		case "rebalance":
 			reb = &res.Rows[i]
+		case "rebalance-multiproc":
+			multi = &res.Rows[i]
 		case "oracle":
 			oracle = &res.Rows[i]
 		}
 	}
-	if reb == nil || oracle == nil {
+	if reb == nil || multi == nil || oracle == nil {
 		t.Fatalf("rows = %+v", res.Rows)
+	}
+	// The control-plane variant must chase the same drift across its
+	// simulated processes (bit-identical output is asserted inside the
+	// experiment itself, against the in-process runs).
+	if multi.Rebalances == 0 {
+		t.Error("multi-process drift never triggered a rebalance")
+	}
+	if multi.Rebalances > 0 && multi.Moved == 0 {
+		t.Error("multi-process rebalance migrated no vertices between participants")
 	}
 	if reb.Rebalances == 0 {
 		t.Fatal("cost drift never triggered a rebalance")

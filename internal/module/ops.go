@@ -312,6 +312,43 @@ func (d *Deadband) Step(ctx *core.Context) {
 	ctx.EmitAll(event.Float(x))
 }
 
+// FusionCount fuses boolean transition streams: it remembers the
+// latest boolean seen on each input port (Δ-inputs arrive only on
+// transitions) and emits the count of ports currently true whenever
+// any input arrives — the "how many regions are in anomaly right now"
+// fusion vertex of the grid demo. It implements core.Snapshotter, so
+// a multi-process rebalance can migrate it with its per-port state.
+type FusionCount struct {
+	state []bool
+}
+
+// Step implements core.Module.
+func (f *FusionCount) Step(ctx *core.Context) {
+	if ctx.InCount() == 0 {
+		return
+	}
+	if len(f.state) < ctx.Ports() {
+		// First input, or a restored snapshot from a vertex with fewer
+		// ports: grow rather than index out of range (extra ports
+		// default to false).
+		grown := make([]bool, ctx.Ports())
+		copy(grown, f.state)
+		f.state = grown
+	}
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			f.state[p] = v.Bool(false)
+		}
+	}
+	n := 0
+	for _, s := range f.state[:ctx.Ports()] {
+		if s {
+			n++
+		}
+	}
+	ctx.EmitAll(event.Float(float64(n)))
+}
+
 func registerOps(r *Registry) {
 	r.Register("threshold", func(p Params) (core.Module, error) {
 		level, err := p.Float("level", 0)
@@ -369,4 +406,5 @@ func registerOps(r *Registry) {
 		}
 		return &Deadband{Band: band}, nil
 	})
+	r.Register("fusion-count", func(p Params) (core.Module, error) { return &FusionCount{}, nil })
 }

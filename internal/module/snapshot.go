@@ -7,14 +7,17 @@ import (
 )
 
 // Snapshotter implementations (core.Snapshotter) for the module types
-// whose state is plain fields, so distrib's dynamic repartitioning can
-// hand them between machines through the wire-safe path. Types built
-// on the stats layer's sliding windows (Smoother, ZScoreDetector) are
-// deliberately left out for now: their windows carry floating-point
-// accumulators whose exact values depend on the insert/evict history,
-// so a rebuild-from-values snapshot would change downstream results
-// bit-wise. They still migrate by reference within one process; exact
-// window serialization is a ROADMAP item for multi-process rebalancing.
+// distrib's dynamic repartitioning can hand between machines through
+// the wire-safe path. Plain-field modules serialize their fields
+// directly; the window-backed modules (Smoother, ZScoreDetector,
+// MovingAverage) serialize the stats layer's *raw* accumulators —
+// running sums, ring contents, monotone deques, the EWMA bits — via
+// stats.Window.AppendState / stats.EWMA.AppendState, never a
+// recomputed-from-values form. Floating-point accumulators depend on
+// the exact insert/evict history, so rebuilding a window from its
+// values would change downstream results bit-wise; the round-trip
+// tests pin that a module migrated mid-window keeps emitting exactly
+// what it would have emitted in place.
 
 // SnapshotState implements core.Snapshotter: the walk position and
 // whether it left Start.
@@ -49,6 +52,97 @@ func (t *Threshold) RestoreState(state []byte) error {
 		return fmt.Errorf("module: Threshold snapshot of %d bytes, want 1", len(state))
 	}
 	t.state = int8(state[0])
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the latest boolean seen
+// on each port (a nil state — no input yet — is length 0).
+func (f *FusionCount) SnapshotState() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(len(f.state)))
+	for _, s := range f.state {
+		if s {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (f *FusionCount) RestoreState(state []byte) error {
+	n, used := binary.Uvarint(state)
+	if used <= 0 {
+		return fmt.Errorf("module: FusionCount snapshot: truncated count")
+	}
+	state = state[used:]
+	if uint64(len(state)) != n {
+		return fmt.Errorf("module: FusionCount snapshot claims %d ports in %d bytes", n, len(state))
+	}
+	if n == 0 {
+		f.state = nil
+		return nil
+	}
+	ports := make([]bool, n)
+	for i := range ports {
+		ports[i] = state[i] != 0
+	}
+	f.state = ports
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the EWMA's raw
+// accumulator state.
+func (s *Smoother) SnapshotState() ([]byte, error) {
+	return s.ewma.AppendState(nil), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *Smoother) RestoreState(state []byte) error {
+	rest, err := s.ewma.ReadState(state)
+	if err != nil {
+		return fmt.Errorf("module: Smoother snapshot: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("module: Smoother snapshot: %d trailing bytes", len(rest))
+	}
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the sliding window's raw
+// accumulators plus the anomaly band last reported.
+func (d *ZScoreDetector) SnapshotState() ([]byte, error) {
+	return append(d.win.AppendState(nil), byte(d.state)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (d *ZScoreDetector) RestoreState(state []byte) error {
+	rest, err := d.win.ReadState(state)
+	if err != nil {
+		return fmt.Errorf("module: ZScoreDetector snapshot: %w", err)
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("module: ZScoreDetector snapshot: %d trailing bytes, want 1", len(rest))
+	}
+	d.state = int8(rest[0])
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the sliding window's raw
+// accumulators.
+func (m *MovingAverage) SnapshotState() ([]byte, error) {
+	return m.win.AppendState(nil), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (m *MovingAverage) RestoreState(state []byte) error {
+	rest, err := m.win.ReadState(state)
+	if err != nil {
+		return fmt.Errorf("module: MovingAverage snapshot: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("module: MovingAverage snapshot: %d trailing bytes", len(rest))
+	}
 	return nil
 }
 

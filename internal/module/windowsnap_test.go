@@ -1,0 +1,154 @@
+package module
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// snapSeries is a deterministic float series with enough movement to
+// keep detectors transitioning.
+func snapSeries(n int) []event.Value {
+	out := make([]event.Value, n)
+	x := uint64(0xABCD)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = event.Float(float64(int64(x%977)-488) / 11)
+	}
+	return out
+}
+
+// emissionsEqual compares two per-phase emission logs bit for bit.
+func emissionsEqual(t *testing.T, label string, a, b [][]core.Emission) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d phases vs %d", label, len(a), len(b))
+	}
+	for p := range a {
+		if len(a[p]) != len(b[p]) {
+			t.Fatalf("%s: phase %d emitted %d vs %d values", label, p+1, len(a[p]), len(b[p]))
+		}
+		for i := range a[p] {
+			va, vb := a[p][i].Val, b[p][i].Val
+			if va.Kind() != vb.Kind() || !va.Equal(vb) {
+				t.Fatalf("%s: phase %d emission %d: %v vs %v", label, p+1, i, va, vb)
+			}
+			if fa, ok := va.AsFloat(); ok {
+				fb, _ := vb.AsFloat()
+				if math.Float64bits(fa) != math.Float64bits(fb) {
+					t.Fatalf("%s: phase %d emission %d: float bits differ", label, p+1, i)
+				}
+			}
+		}
+	}
+}
+
+// driveFrom replays inputs[from:] into a module with global phase
+// numbers continuing where the pre-migration run stopped.
+func driveFrom(m core.Module, inputs []event.Value, from int) [][]core.Emission {
+	var d core.Driver
+	out := make([][]core.Emission, len(inputs))
+	for i := from; i < len(inputs); i++ {
+		if inputs[i].IsNone() {
+			continue
+		}
+		emits := d.Exec(m, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: inputs[i]}})
+		out[i] = append([]core.Emission(nil), emits...)
+	}
+	return out
+}
+
+// TestWindowModulesMigrateMidWindow is the satellite acceptance for
+// exact window snapshots: each window-backed module is run to the
+// middle of a full window, serialized, restored into a fresh instance
+// — the epoch-switch handoff — and driven on. Its downstream output
+// must be bit-identical to an uninterrupted run: the snapshot carries
+// the raw accumulators (running sums, ring, deques, EWMA bits), not a
+// recomputed approximation.
+func TestWindowModulesMigrateMidWindow(t *testing.T) {
+	const phases, cut = 140, 67 // cut mid-window for every size below
+	series := snapSeries(phases)
+	cases := []struct {
+		name  string
+		fresh func() core.Module
+	}{
+		{"smoother", func() core.Module { return NewSmoother(0.25) }},
+		{"moving-average", func() core.Module { return NewMovingAverage(24, 5) }},
+		{"zscore-detector", func() core.Module { return NewZScoreDetector(48, 1.2, 20) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.fresh()
+			refOut := drive(ref, series, false)
+
+			orig := tc.fresh()
+			var d core.Driver
+			pre := make([][]core.Emission, phases)
+			for i := 0; i < cut; i++ {
+				emits := d.Exec(orig, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: series[i]}})
+				pre[i] = append([]core.Emission(nil), emits...)
+			}
+			state, err := orig.(core.Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			migrated := tc.fresh()
+			if err := migrated.(core.Snapshotter).RestoreState(state); err != nil {
+				t.Fatal(err)
+			}
+			post := driveFrom(migrated, series, cut)
+			combined := make([][]core.Emission, phases)
+			copy(combined, pre[:cut])
+			copy(combined[cut:], post[cut:])
+			emissionsEqual(t, tc.name, refOut, combined)
+
+			// Corrupted state is refused, not half-applied.
+			if err := tc.fresh().(core.Snapshotter).RestoreState(state[:len(state)-1]); err == nil {
+				t.Error("truncated snapshot accepted")
+			}
+		})
+	}
+}
+
+// TestFusionCountSnapshot: the fusion vertex's per-port boolean state
+// survives a handoff, including the never-stepped (nil state) case.
+func TestFusionCountSnapshot(t *testing.T) {
+	f := &FusionCount{}
+	var d core.Driver
+	d.Exec(f, 1, 1, 3, 1, []core.PortIn{{Port: 0, Val: event.Bool(true)}, {Port: 2, Val: event.Bool(true)}})
+	d.Exec(f, 1, 2, 3, 1, []core.PortIn{{Port: 2, Val: event.Bool(false)}})
+	state, err := f.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &FusionCount{}
+	if err := g.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	// Both must now report the same count on the next input.
+	ef := d.Exec(f, 1, 3, 3, 1, []core.PortIn{{Port: 1, Val: event.Bool(true)}})
+	eg := d.Exec(g, 1, 3, 3, 1, []core.PortIn{{Port: 1, Val: event.Bool(true)}})
+	if len(ef) != 1 || len(eg) != 1 || !ef[0].Val.Equal(eg[0].Val) {
+		t.Fatalf("restored fusion diverged: %v vs %v", ef, eg)
+	}
+
+	empty := &FusionCount{}
+	s2, err := empty.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := &FusionCount{}
+	if err := e2.RestoreState(s2); err != nil {
+		t.Fatal(err)
+	}
+	if e2.state != nil {
+		t.Error("restored empty fusion has materialized state")
+	}
+	if err := e2.RestoreState([]byte{5, 1}); err == nil {
+		t.Error("hostile port count accepted")
+	}
+}

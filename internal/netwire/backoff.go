@@ -1,0 +1,109 @@
+package netwire
+
+import (
+	"fmt"
+	"time"
+)
+
+// Backoff is a bounded retry-with-backoff schedule for dialing peers:
+// attempt 0 runs immediately, attempt i waits Delay(i-1) first, and
+// after Attempts failures the last dial error is surfaced. It covers
+// both the boot-time window (peers starting in any order) and the
+// post-boot dials an epoch switch performs — re-wiring data links and
+// control traffic for the next epoch — which previously had no retry
+// policy at all. The schedule is deterministic (no jitter) so it can
+// be table-tested and reasoned about in failure reports.
+type Backoff struct {
+	// Base is the delay before the first retry. Defaults to 25ms.
+	Base time.Duration
+	// Factor multiplies the delay each further retry. Defaults to 2;
+	// values below 1 are treated as 1 (constant backoff).
+	Factor float64
+	// Max caps the per-retry delay. Defaults to 1s.
+	Max time.Duration
+	// Attempts is the total dial budget, first try included. Defaults
+	// to 10.
+	Attempts int
+}
+
+// WithDefaults fills unset fields with the default schedule.
+func (b Backoff) WithDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 25 * time.Millisecond
+	}
+	if b.Factor == 0 {
+		b.Factor = 2
+	} else if b.Factor < 1 {
+		b.Factor = 1
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 10
+	}
+	return b
+}
+
+// Delay returns the wait before retry number retry (0-based: the wait
+// between the first failure and the second attempt is Delay(0)),
+// exponential in Factor and capped at Max.
+func (b Backoff) Delay(retry int) time.Duration {
+	b = b.WithDefaults()
+	d := float64(b.Base)
+	for i := 0; i < retry; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			return b.Max
+		}
+	}
+	if d >= float64(b.Max) {
+		return b.Max
+	}
+	return time.Duration(d)
+}
+
+// Total returns the schedule's worst-case cumulative wait — the
+// longest a caller can block before the final error surfaces,
+// excluding the dials themselves.
+func (b Backoff) Total() time.Duration {
+	b = b.WithDefaults()
+	var total time.Duration
+	for i := 0; i < b.Attempts-1; i++ {
+		total += b.Delay(i)
+	}
+	return total
+}
+
+// retryDial runs one dial function under the schedule.
+func retryDial[T any](b Backoff, what string, dial func() (T, error)) (T, error) {
+	b = b.WithDefaults()
+	var zero T
+	var err error
+	for i := 0; i < b.Attempts; i++ {
+		if i > 0 {
+			time.Sleep(b.Delay(i - 1))
+		}
+		var v T
+		v, err = dial()
+		if err == nil {
+			return v, nil
+		}
+	}
+	return zero, fmt.Errorf("netwire: %s: %d attempts exhausted: %w", what, b.Attempts, err)
+}
+
+// DialRetry dials a data link under the backoff schedule, retrying
+// while the peer boots (or re-enters its accept loop between epochs).
+func DialRetry(addr string, from, to, window int, b Backoff) (*SendLink, error) {
+	return retryDial(b, fmt.Sprintf("dial %d->%d at %s", from, to, addr), func() (*SendLink, error) {
+		return Dial(addr, from, to, window)
+	})
+}
+
+// DialCtlRetry dials a control channel under the backoff schedule.
+func DialCtlRetry(addr string, from, to int, b Backoff) (*CtlConn, error) {
+	return retryDial(b, fmt.Sprintf("dial ctl %d->%d at %s", from, to, addr), func() (*CtlConn, error) {
+		return DialCtl(addr, from, to)
+	})
+}

@@ -136,27 +136,76 @@ func ReadValue(buf []byte) (event.Value, []byte, error) {
 }
 
 // Frame kinds on the wire. Data frames carry one phase's external
-// inputs; barrier and snapshot frames are the control plane of
-// distrib's dynamic repartitioning (DESIGN.md §8): a barrier announces
-// the phase at which the sender quiesced its epoch, and a snapshot
-// hands migrating vertices' serialized module state to their new
-// machine.
+// inputs; every other kind is control plane. FrameBarrier and
+// FrameSnapshot travel on data links during an epoch switch
+// (DESIGN.md §8); kinds FramePoll onward travel only on control
+// channels — the coordinator/participant protocol that lets separate
+// worker processes rebalance mid-run (DESIGN.md §9).
 const (
 	// FrameData is a per-phase data frame: Phase plus Inputs.
 	FrameData = 0
 	// FrameBarrier is an epoch-quiesce announcement: Phase names the
-	// barrier (the last phase of the closing epoch); no payload.
+	// barrier (the last phase of the closing epoch); no payload. On a
+	// control channel it is the coordinator's quiesce command: the
+	// participant's head machines must stop after Phase.
 	FrameBarrier = 1
 	// FrameSnapshot is a state-handoff frame: Phase names the barrier
-	// it follows and Snaps carries the migrating vertices' state.
+	// it follows and Snaps carries the migrating vertices' state. On a
+	// control channel it flows both ways: participants ship the state
+	// of vertices leaving them to the coordinator, and the coordinator
+	// delivers the state of vertices arriving (an empty snapshot doubles
+	// as the "start the epoch" release).
 	FrameSnapshot = 2
+	// FramePoll asks a participant for progress (coordinator →
+	// participant; no payload beyond the epoch tag).
+	FramePoll = 3
+	// FrameProgress answers a poll or a pause: Phase is the newest
+	// phase the participant's head machines opened, Done reports its
+	// machines finished, Times carries measured per-vertex Step time.
+	FrameProgress = 4
+	// FramePause asks a participant to park its head machines at their
+	// next phase start and answer with a FrameProgress.
+	FramePause = 5
+	// FrameQuiesced is a participant's unsolicited end-of-epoch report:
+	// Phase is the barrier it drained to (0 = ran to completion) and
+	// Times the epoch's measured per-vertex Step time.
+	FrameQuiesced = 6
+	// FramePlan announces the next epoch's partition: Epoch and Phase
+	// (the base the epoch resumes after) position it, Starts carries
+	// the per-machine start indices.
+	FramePlan = 7
+	// FrameFinish releases a participant: the run is over, no further
+	// epochs follow.
+	FrameFinish = 8
+	// FrameAbort tears the control plane down: Msg carries the
+	// root-cause description for the peer's error report.
+	FrameAbort = 9
+	// FrameWait asks a participant to announce — with a FrameStarted,
+	// whenever the condition lands — that its head machines opened
+	// phase Phase (coordinator → participant). The blocking wait runs
+	// participant-side, so the deterministic ForceEvery trigger needs
+	// no polling over the wire.
+	FrameWait = 10
+	// FrameStarted answers a FrameWait: Phase is the newest phase the
+	// heads opened; Done reports they finished without reaching the
+	// awaited target.
+	FrameStarted = 11
 )
+
+// maxWireStarts bounds a plan frame's machine count; a deployment with
+// more stages than this is not a plausible frame, it is corruption.
+const maxWireStarts = 1 << 20
+
+// maxAbortMsg bounds an abort frame's message so a hostile length
+// cannot force a giant allocation.
+const maxAbortMsg = 1 << 16
 
 // WireFrame is the decoded form of one link frame: its kind, the
 // deployment epoch that produced it (receivers reject frames from a
 // stale epoch), the phase it belongs to, and the kind-specific payload
-// — Inputs for data frames, Snaps for snapshot frames, neither for
-// barriers.
+// — Inputs for data frames, Snaps for snapshot frames, Times/Done for
+// progress reports, Starts for plans, Msg for aborts, nothing for
+// barriers, polls, pauses and finishes.
 type WireFrame struct {
 	Kind  uint8
 	Epoch int
@@ -166,6 +215,17 @@ type WireFrame struct {
 	Inputs []core.ExtInput
 	// Snaps is the state-handoff payload (FrameSnapshot).
 	Snaps []core.VertexSnapshot
+	// Done reports the participant's machines finished every phase
+	// (FrameProgress).
+	Done bool
+	// Times is measured per-vertex Step time in nanoseconds, indexed by
+	// global vertex number minus one (FrameProgress, FrameQuiesced).
+	Times []int64
+	// Starts is the next epoch's partition: per-machine inclusive start
+	// indices into the global numbering (FramePlan).
+	Starts []int
+	// Msg is the abort reason (FrameAbort).
+	Msg string
 }
 
 // AppendFrame appends the payload encoding of one frame — kind, epoch,
@@ -184,8 +244,14 @@ func AppendFrame(buf []byte, f WireFrame) []byte {
 			buf = binary.AppendUvarint(buf, uint64(in.Port))
 			buf = AppendValue(buf, in.Val)
 		}
-	case FrameBarrier:
+	case FrameBarrier, FramePoll, FramePause, FrameFinish, FrameWait:
 		// no payload
+	case FrameStarted:
+		if f.Done {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
 	case FrameSnapshot:
 		buf = binary.AppendUvarint(buf, uint64(len(f.Snaps)))
 		for _, s := range f.Snaps {
@@ -193,6 +259,26 @@ func AppendFrame(buf []byte, f WireFrame) []byte {
 			buf = binary.AppendUvarint(buf, uint64(len(s.State)))
 			buf = append(buf, s.State...)
 		}
+	case FrameProgress, FrameQuiesced:
+		if f.Kind == FrameProgress {
+			if f.Done {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(f.Times)))
+		for _, t := range f.Times {
+			buf = binary.AppendVarint(buf, t)
+		}
+	case FramePlan:
+		buf = binary.AppendUvarint(buf, uint64(len(f.Starts)))
+		for _, s := range f.Starts {
+			buf = binary.AppendUvarint(buf, uint64(s))
+		}
+	case FrameAbort:
+		buf = binary.AppendUvarint(buf, uint64(len(f.Msg)))
+		buf = append(buf, f.Msg...)
 	default:
 		panic(fmt.Sprintf("netwire: unencodable frame kind %d", f.Kind))
 	}
@@ -229,12 +315,29 @@ func DecodeFrame(payload []byte) (WireFrame, error) {
 	switch f.Kind {
 	case FrameData:
 		f.Inputs, err = decodeInputs(payload)
-	case FrameBarrier:
+	case FrameBarrier, FramePoll, FramePause, FrameFinish, FrameWait:
 		if len(payload) != 0 {
-			err = fmt.Errorf("netwire: %d payload bytes on a barrier frame", len(payload))
+			err = fmt.Errorf("netwire: %d payload bytes on a frame of kind %d", len(payload), f.Kind)
 		}
+	case FrameStarted:
+		if len(payload) != 1 {
+			return WireFrame{}, fmt.Errorf("netwire: started frame with %d payload bytes, want 1", len(payload))
+		}
+		f.Done = payload[0] != 0
 	case FrameSnapshot:
 		f.Snaps, err = decodeSnaps(payload)
+	case FrameProgress, FrameQuiesced:
+		if f.Kind == FrameProgress {
+			if len(payload) == 0 {
+				return WireFrame{}, fmt.Errorf("netwire: truncated progress frame: missing done flag")
+			}
+			f.Done, payload = payload[0] != 0, payload[1:]
+		}
+		f.Times, err = decodeTimes(payload)
+	case FramePlan:
+		f.Starts, err = decodeStarts(payload)
+	case FrameAbort:
+		f.Msg, err = decodeMsg(payload)
 	default:
 		err = fmt.Errorf("netwire: unknown frame kind %d", f.Kind)
 	}
@@ -242,6 +345,79 @@ func DecodeFrame(payload []byte) (WireFrame, error) {
 		return WireFrame{}, err
 	}
 	return f, nil
+}
+
+// decodeTimes decodes a progress/quiesced frame's per-vertex time
+// vector, consuming the whole payload.
+func decodeTimes(payload []byte) ([]int64, error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return nil, fmt.Errorf("netwire: truncated frame: missing time count")
+	}
+	payload = payload[used:]
+	// Each time costs at least one varint byte.
+	if n > uint64(len(payload)) {
+		return nil, fmt.Errorf("netwire: frame claims %d times in %d bytes", n, len(payload))
+	}
+	var times []int64
+	if n > 0 {
+		times = make([]int64, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		t, used := binary.Varint(payload)
+		if used <= 0 {
+			return nil, fmt.Errorf("netwire: truncated time %d", i)
+		}
+		payload = payload[used:]
+		times = append(times, t)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))
+	}
+	return times, nil
+}
+
+// decodeStarts decodes a plan frame's partition vector, consuming the
+// whole payload.
+func decodeStarts(payload []byte) ([]int, error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return nil, fmt.Errorf("netwire: truncated frame: missing start count")
+	}
+	payload = payload[used:]
+	if n == 0 || n > maxWireStarts || n > uint64(len(payload)) {
+		return nil, fmt.Errorf("netwire: frame claims %d starts in %d bytes", n, len(payload))
+	}
+	starts := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, used := binary.Uvarint(payload)
+		if used <= 0 {
+			return nil, fmt.Errorf("netwire: truncated start %d", i)
+		}
+		payload = payload[used:]
+		if s == 0 || s > math.MaxInt32 {
+			return nil, fmt.Errorf("netwire: start %d: implausible vertex %d", i, s)
+		}
+		starts = append(starts, int(s))
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))
+	}
+	return starts, nil
+}
+
+// decodeMsg decodes an abort frame's message, consuming the whole
+// payload.
+func decodeMsg(payload []byte) (string, error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return "", fmt.Errorf("netwire: truncated frame: missing message length")
+	}
+	payload = payload[used:]
+	if n > maxAbortMsg || n != uint64(len(payload)) {
+		return "", fmt.Errorf("netwire: abort message of %d bytes in %d-byte payload", n, len(payload))
+	}
+	return string(payload), nil
 }
 
 // decodeInputs decodes a data frame's input list, consuming the whole

@@ -1,0 +1,112 @@
+package netwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// CtlConn is a full-duplex control channel between a rebalancing
+// coordinator and one participant process (DESIGN.md §9). Unlike a
+// data link it carries no credit window — control traffic is a
+// low-rate request/response protocol, so plain length-prefixed frames
+// in both directions suffice. Send is safe for concurrent use; Recv
+// must be driven from a single goroutine.
+type CtlConn struct {
+	conn    net.Conn
+	hs      Handshake
+	maxSize int
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	rbuf      []byte
+	closeOnce sync.Once
+}
+
+func newCtlConn(conn net.Conn, hs Handshake, maxSize int) *CtlConn {
+	return &CtlConn{conn: conn, hs: hs, maxSize: maxSize}
+}
+
+// DialCtl connects the control channel from participant machine `from`
+// to the coordinator machine `to` at addr, performing the v3 handshake
+// with the control channel-kind and waiting for the acceptor's ack.
+func DialCtl(addr string, from, to int) (*CtlConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netwire: dial ctl %d->%d: %w", from, to, err)
+	}
+	hs := Handshake{From: from, To: to, Window: 1, Ctl: true}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := writeHandshake(conn, hs); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netwire: ctl handshake %d->%d: %w", from, to, err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != ackByte {
+		conn.Close()
+		return nil, fmt.Errorf("netwire: ctl channel %d->%d not acknowledged: %v", from, to, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return newCtlConn(conn, hs, DefaultMaxFrame), nil
+}
+
+// Handshake returns the channel identity the dialer declared.
+func (c *CtlConn) Handshake() Handshake { return c.hs }
+
+// Send encodes and writes one control frame. Safe for concurrent use.
+func (c *CtlConn) Send(f WireFrame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = AppendFrame(c.wbuf[:0], f)
+	if len(c.wbuf) > c.maxSize {
+		return fmt.Errorf("netwire: ctl %d->%d: frame of %d bytes exceeds max %d", c.hs.From, c.hs.To, len(c.wbuf), c.maxSize)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(c.wbuf)))
+	if _, err := c.conn.Write(prefix[:]); err != nil {
+		return fmt.Errorf("netwire: ctl %d->%d: %w", c.hs.From, c.hs.To, err)
+	}
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return fmt.Errorf("netwire: ctl %d->%d: %w", c.hs.From, c.hs.To, err)
+	}
+	return nil
+}
+
+// Recv blocks for the next control frame. A clean peer close returns
+// io.EOF; anything else is the wire-level root cause. Single-goroutine.
+func (c *CtlConn) Recv() (WireFrame, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(c.conn, prefix[:]); err != nil {
+		if err == io.EOF {
+			return WireFrame{}, io.EOF
+		}
+		return WireFrame{}, fmt.Errorf("netwire: ctl %d->%d: reading frame length: %w", c.hs.From, c.hs.To, err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > uint32(c.maxSize) {
+		return WireFrame{}, fmt.Errorf("netwire: ctl %d->%d: frame length %d exceeds max %d", c.hs.From, c.hs.To, n, c.maxSize)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	c.rbuf = c.rbuf[:n]
+	if _, err := io.ReadFull(c.conn, c.rbuf); err != nil {
+		return WireFrame{}, fmt.Errorf("netwire: ctl %d->%d: truncated frame: %w", c.hs.From, c.hs.To, err)
+	}
+	f, err := DecodeFrame(c.rbuf)
+	if err != nil {
+		return WireFrame{}, fmt.Errorf("netwire: ctl %d->%d: %w", c.hs.From, c.hs.To, err)
+	}
+	return f, nil
+}
+
+// Close tears the channel down. Any blocked Recv on either side
+// returns an error. Idempotent.
+func (c *CtlConn) Close() error {
+	c.closeOnce.Do(func() { c.conn.Close() })
+	return nil
+}

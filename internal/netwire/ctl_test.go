@@ -1,0 +1,173 @@
+package netwire
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCtlConnRoundTrip: a dialed control channel carries frames in
+// both directions through the codec, AcceptAny classifies it as
+// control, and a clean close surfaces io.EOF on the peer.
+func TestCtlConnRoundTrip(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		ctl *CtlConn
+		err error
+	}
+	acc := make(chan accepted, 1)
+	go func() {
+		rl, ctl, err := ln.AcceptAny()
+		if err == nil && rl != nil {
+			t.Error("data link accepted for a control handshake")
+		}
+		acc <- accepted{ctl, err}
+	}()
+	dialer, err := DialCtl(ln.Addr(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-acc
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	server := a.ctl
+	if hs := server.Handshake(); hs.From != 2 || hs.To != 0 || !hs.Ctl {
+		t.Fatalf("handshake = %+v", hs)
+	}
+
+	// Participant → coordinator, then a reply back.
+	if err := dialer.Send(WireFrame{Kind: FrameQuiesced, Epoch: 1, Phase: 40, Times: []int64{3, 0, -7}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameQuiesced || f.Epoch != 1 || f.Phase != 40 || len(f.Times) != 3 || f.Times[2] != -7 {
+		t.Fatalf("received %+v", f)
+	}
+	if err := server.Send(WireFrame{Kind: FramePlan, Epoch: 2, Phase: 40, Starts: []int{1, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = dialer.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FramePlan || len(f.Starts) != 2 || f.Starts[1] != 4 {
+		t.Fatalf("received %+v", f)
+	}
+
+	dialer.Close()
+	if _, err := server.Recv(); err != io.EOF {
+		t.Fatalf("peer close surfaced %v, want io.EOF", err)
+	}
+}
+
+// TestBackoffSchedule pins the retry schedule: exponential delays from
+// Base by Factor, capped at Max, over exactly Attempts dials.
+func TestBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		name  string
+		b     Backoff
+		want  []time.Duration // Delay(0), Delay(1), ...
+		total time.Duration
+	}{
+		{
+			name:  "defaults",
+			b:     Backoff{},
+			want:  []time.Duration{25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond, time.Second, time.Second, time.Second},
+			total: 4575 * time.Millisecond,
+		},
+		{
+			name:  "capped fast",
+			b:     Backoff{Base: 10 * time.Millisecond, Factor: 3, Max: 50 * time.Millisecond, Attempts: 5},
+			want:  []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 50 * time.Millisecond, 50 * time.Millisecond},
+			total: 140 * time.Millisecond,
+		},
+		{
+			name:  "constant (factor below one clamps to one)",
+			b:     Backoff{Base: 5 * time.Millisecond, Factor: 0.1, Max: time.Second, Attempts: 4},
+			want:  []time.Duration{5 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond},
+			total: 15 * time.Millisecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i, want := range tc.want {
+				if got := tc.b.Delay(i); got != want {
+					t.Errorf("Delay(%d) = %v, want %v", i, got, want)
+				}
+			}
+			if got := tc.b.Total(); got != tc.total {
+				t.Errorf("Total() = %v, want %v", got, tc.total)
+			}
+		})
+	}
+}
+
+// TestDialRetryBounded: when nothing ever listens, the retry loop
+// exhausts its attempt budget and surfaces the final dial error — no
+// unbounded retry, no hang.
+func TestDialRetryBounded(t *testing.T) {
+	// A port that was listening and is now closed: dials fail fast.
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	ln.Close()
+	bo := Backoff{Base: time.Millisecond, Factor: 1, Max: time.Millisecond, Attempts: 3}
+	t0 := time.Now()
+	_, err = DialCtlRetry(addr, 1, 0, bo)
+	if err == nil || !strings.Contains(err.Error(), "3 attempts exhausted") {
+		t.Fatalf("dead peer produced %v, want the attempt budget named", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Errorf("3 bounded attempts took %v", elapsed)
+	}
+}
+
+// TestDialRetryRecovers: a peer that starts listening after the first
+// failures is eventually reached — the boot-window (and between-epoch
+// rewiring) behavior the schedule exists for.
+func TestDialRetryRecovers(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	ln.Close() // free the port; nobody is listening yet
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := DialCtlRetry(addr, 1, 0, Backoff{Base: 10 * time.Millisecond, Factor: 1, Attempts: 200})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ln2, err := Listen(addr)
+	if err != nil {
+		t.Skipf("could not re-bind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			if _, _, err := ln2.AcceptAny(); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("dial never recovered: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retry loop did not complete")
+	}
+}

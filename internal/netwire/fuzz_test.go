@@ -59,10 +59,12 @@ func FuzzValueRoundTrip(f *testing.F) {
 }
 
 // frameFromSeed deterministically builds a frame of any kind from fuzz
-// bytes: data frames with two inputs, barriers, and snapshot frames
-// whose state bytes come straight from the fuzzer.
+// bytes: data frames with two inputs, barriers, snapshot frames whose
+// state bytes come straight from the fuzzer, and every control-plane
+// kind — progress/quiesce time vectors, plans, waits, started
+// announcements and aborts.
 func frameFromSeed(fkind uint8, epoch, phase int, kind uint8, num int64, s string, vec []byte) WireFrame {
-	f := WireFrame{Kind: fkind % 3, Epoch: epoch, Phase: phase}
+	f := WireFrame{Kind: fkind % 12, Epoch: epoch, Phase: phase}
 	switch f.Kind {
 	case FrameData:
 		f.Inputs = []core.ExtInput{
@@ -74,8 +76,42 @@ func frameFromSeed(fkind uint8, epoch, phase int, kind uint8, num int64, s strin
 			{Vertex: 1 + int(kind)%9, State: vec},
 			{Vertex: 100 + int(num&15), State: []byte(s)},
 		}
+	case FrameProgress, FrameQuiesced:
+		f.Done = f.Kind == FrameProgress && num%2 == 0
+		f.Times = make([]int64, len(vec)%9)
+		for i := range f.Times {
+			f.Times[i] = num ^ int64(vec[i])<<i
+		}
+	case FramePlan:
+		f.Starts = make([]int, 1+int(kind)%4)
+		for i := range f.Starts {
+			f.Starts[i] = 1 + i*(1+int(num&7))
+		}
+	case FrameStarted:
+		f.Done = num%2 == 0
+	case FrameAbort:
+		f.Msg = s
 	}
 	return f
+}
+
+// ctlFieldsEqual compares the control-plane payload fields two decoded
+// frames must agree on.
+func ctlFieldsEqual(a, b WireFrame) bool {
+	if a.Done != b.Done || a.Msg != b.Msg || len(a.Times) != len(b.Times) || len(a.Starts) != len(b.Starts) {
+		return false
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			return false
+		}
+	}
+	for i := range a.Starts {
+		if a.Starts[i] != b.Starts[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // FuzzFrameRoundTrip: frames built from fuzzed inputs round-trip, and
@@ -85,6 +121,12 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(uint8(0), 0, 1, uint8(3), int64(12), "a", []byte{9})
 	f.Add(uint8(1), 2, 1<<20, uint8(5), int64(-1), "", []byte{})
 	f.Add(uint8(2), 1, 40, uint8(0), int64(7), "state", []byte{1, 2, 3})
+	f.Add(uint8(FrameProgress), 3, 17, uint8(1), int64(42), "", []byte{8, 7, 6, 5})
+	f.Add(uint8(FrameQuiesced), 2, 60, uint8(0), int64(-9), "", []byte{1})
+	f.Add(uint8(FramePlan), 1, 30, uint8(2), int64(3), "", []byte{})
+	f.Add(uint8(FrameWait), 0, 12, uint8(0), int64(0), "", []byte{})
+	f.Add(uint8(FrameStarted), 0, 14, uint8(0), int64(1), "", []byte{})
+	f.Add(uint8(FrameAbort), 4, 0, uint8(0), int64(0), "machine 2: injected crash", []byte{})
 	f.Fuzz(func(t *testing.T, fkind uint8, epoch, phase int, kind uint8, num int64, s string, vec []byte) {
 		if phase < 0 || phase > math.MaxInt32 || epoch < 0 || epoch > math.MaxInt32 {
 			t.Skip()
@@ -96,7 +138,8 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			t.Fatalf("DecodeFrame: %v", err)
 		}
 		if got.Kind != frame.Kind || got.Epoch != frame.Epoch || got.Phase != frame.Phase ||
-			len(got.Inputs) != len(frame.Inputs) || len(got.Snaps) != len(frame.Snaps) {
+			len(got.Inputs) != len(frame.Inputs) || len(got.Snaps) != len(frame.Snaps) ||
+			!ctlFieldsEqual(got, frame) {
 			t.Fatalf("frame shape changed: %+v -> %+v", frame, got)
 		}
 		for i := range frame.Inputs {
@@ -126,6 +169,14 @@ func FuzzDecodeFrameHostile(f *testing.F) {
 	f.Add(AppendFrame(nil, WireFrame{Kind: FrameData, Phase: 3, Inputs: []core.ExtInput{{Vertex: 1, Port: 0, Val: event.Int(5)}}}))
 	f.Add(AppendFrame(nil, WireFrame{Kind: FrameBarrier, Epoch: 1, Phase: 12}))
 	f.Add(AppendFrame(nil, WireFrame{Kind: FrameSnapshot, Epoch: 1, Phase: 12, Snaps: []core.VertexSnapshot{{Vertex: 2, State: []byte{7}}}}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameProgress, Epoch: 1, Phase: 9, Done: true, Times: []int64{5, -3, 0}}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameQuiesced, Epoch: 2, Phase: 40, Times: []int64{1 << 40}}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FramePlan, Epoch: 1, Phase: 20, Starts: []int{1, 5, 9}}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameWait, Epoch: 0, Phase: 16}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameStarted, Epoch: 0, Phase: 18, Done: false}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameAbort, Epoch: 3, Msg: "barrier ack timeout"}))
+	f.Add([]byte{FramePlan, 0x01, 0x14, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{FrameAbort, 0x00, 0x00, 0xff, 0xff, 0x7f})
 	f.Add([]byte{0x00, 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f})
 	f.Add([]byte{0x00, 0x00, 0x01, 0x01, 0x01, 0x00, wireVector, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{0x02, 0x00, 0x01, 0x01, 0x01, 0xff, 0xff, 0x7f})
@@ -140,7 +191,8 @@ func FuzzDecodeFrameHostile(f *testing.F) {
 			t.Fatalf("re-decode of accepted frame failed: %v", err)
 		}
 		if f2.Kind != frame.Kind || f2.Epoch != frame.Epoch || f2.Phase != frame.Phase ||
-			len(f2.Inputs) != len(frame.Inputs) || len(f2.Snaps) != len(frame.Snaps) {
+			len(f2.Inputs) != len(frame.Inputs) || len(f2.Snaps) != len(frame.Snaps) ||
+			!ctlFieldsEqual(f2, frame) {
 			t.Fatalf("re-decode changed frame: %+v != %+v", f2, frame)
 		}
 		for i := range frame.Inputs {

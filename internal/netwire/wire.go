@@ -32,14 +32,24 @@ import (
 //     dialer's credit reader.
 
 const (
-	// version 2 added the frame kind byte and epoch tag (dynamic
-	// repartitioning, DESIGN.md §8); v1 peers are rejected at handshake.
-	version    = 2
+	// version 3 added the channel-kind byte to the handshake and the
+	// control frame kinds (the rebalancing control plane, DESIGN.md §9);
+	// version 2 added the frame kind byte and epoch tag. Older peers
+	// are rejected at handshake.
+	version    = 3
 	ackByte    = 0xA5
 	creditByte = 0xC7
 	// handshakeTimeout bounds how long an accepted connection may dawdle
 	// before identifying itself, and how long a dialer waits for its ack.
 	handshakeTimeout = 10 * time.Second
+)
+
+// Channel kinds in the handshake: a data link (one-way frames under a
+// credit window) or a control channel (full-duplex coordinator/
+// participant traffic, no credits).
+const (
+	chanData = 0
+	chanCtl  = 1
 )
 
 var magic = [4]byte{'F', 'W', 'R', '1'}
@@ -49,23 +59,30 @@ type Handshake struct {
 	// From and To are the machine indices the link connects.
 	From, To int
 	// Window is the credit window: the maximum number of frames in
-	// flight past the consumer.
+	// flight past the consumer. Control channels carry no credits and
+	// fix it at 1.
 	Window int
+	// Ctl marks a control channel (coordinator/participant protocol)
+	// rather than a data link.
+	Ctl bool
 }
 
 func writeHandshake(w io.Writer, h Handshake) error {
-	var buf [17]byte
+	var buf [18]byte
 	copy(buf[:4], magic[:])
 	buf[4] = version
-	binary.BigEndian.PutUint32(buf[5:], uint32(h.From))
-	binary.BigEndian.PutUint32(buf[9:], uint32(h.To))
-	binary.BigEndian.PutUint32(buf[13:], uint32(h.Window))
+	if h.Ctl {
+		buf[5] = chanCtl
+	}
+	binary.BigEndian.PutUint32(buf[6:], uint32(h.From))
+	binary.BigEndian.PutUint32(buf[10:], uint32(h.To))
+	binary.BigEndian.PutUint32(buf[14:], uint32(h.Window))
 	_, err := w.Write(buf[:])
 	return err
 }
 
 func readHandshake(r io.Reader) (Handshake, error) {
-	var buf [17]byte
+	var buf [18]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return Handshake{}, fmt.Errorf("netwire: reading handshake: %w", err)
 	}
@@ -75,10 +92,14 @@ func readHandshake(r io.Reader) (Handshake, error) {
 	if buf[4] != version {
 		return Handshake{}, fmt.Errorf("netwire: protocol version %d, want %d", buf[4], version)
 	}
+	if buf[5] != chanData && buf[5] != chanCtl {
+		return Handshake{}, fmt.Errorf("netwire: unknown channel kind %d", buf[5])
+	}
 	h := Handshake{
-		From:   int(binary.BigEndian.Uint32(buf[5:])),
-		To:     int(binary.BigEndian.Uint32(buf[9:])),
-		Window: int(binary.BigEndian.Uint32(buf[13:])),
+		From:   int(binary.BigEndian.Uint32(buf[6:])),
+		To:     int(binary.BigEndian.Uint32(buf[10:])),
+		Window: int(binary.BigEndian.Uint32(buf[14:])),
+		Ctl:    buf[5] == chanCtl,
 	}
 	if h.Window < 1 {
 		return Handshake{}, fmt.Errorf("netwire: handshake window %d < 1", h.Window)
@@ -414,25 +435,47 @@ func Listen(addr string) (*Listener, error) {
 // Addr returns the listener's address, suitable for Dial.
 func (l *Listener) Addr() string { return l.ln.Addr().String() }
 
-// Accept blocks for the next inbound connection, validates its
-// handshake and returns the receiving end of the link it carries.
+// Accept blocks for the next inbound data link, validates its
+// handshake and returns the receiving end. A control-channel
+// handshake is an error here — deployments that speak the control
+// plane accept through AcceptAny instead.
 func (l *Listener) Accept() (*RecvLink, error) {
-	conn, err := l.ln.Accept()
+	rl, ctl, err := l.AcceptAny()
 	if err != nil {
 		return nil, err
+	}
+	if ctl != nil {
+		hs := ctl.Handshake()
+		ctl.Close()
+		return nil, fmt.Errorf("netwire: unexpected control channel %d->%d on a data-only listener", hs.From, hs.To)
+	}
+	return rl, nil
+}
+
+// AcceptAny blocks for the next inbound connection, validates its
+// handshake and returns whichever channel it carries: a data link
+// (first return) or a control channel (second). Exactly one is
+// non-nil on success.
+func (l *Listener) AcceptAny() (*RecvLink, *CtlConn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, nil, err
 	}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	hs, err := readHandshake(conn)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := conn.Write([]byte{ackByte}); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("netwire: acking link %d->%d: %w", hs.From, hs.To, err)
+		return nil, nil, fmt.Errorf("netwire: acking link %d->%d: %w", hs.From, hs.To, err)
 	}
 	conn.SetDeadline(time.Time{})
-	return newRecvLink(conn, hs, l.maxSize), nil
+	if hs.Ctl {
+		return nil, newCtlConn(conn, hs, l.maxSize), nil
+	}
+	return newRecvLink(conn, hs, l.maxSize), nil, nil
 }
 
 // Close stops accepting. Established links are unaffected.

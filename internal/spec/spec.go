@@ -16,6 +16,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 
@@ -59,6 +60,12 @@ type Simulation struct {
 	Workers     int    `xml:"workers,attr"`
 	MaxInFlight int    `xml:"maxInFlight,attr"`
 	Seed        uint64 `xml:"seed,attr"`
+	// Machines, when positive, pins the machine count of a partitioned
+	// deployment: a fuseworker flock whose -peers list disagrees with
+	// it refuses to run rather than partition a graph the spec author
+	// sized for a different cluster. Zero leaves the count to the
+	// deployment.
+	Machines int `xml:"machines,attr"`
 }
 
 // Parse reads a specification from r.
@@ -124,7 +131,33 @@ func (s *Spec) Validate() error {
 	if s.Simulation.Phases < 0 {
 		return fmt.Errorf("spec %q: negative phase count", s.Name)
 	}
+	if s.Simulation.Machines < 0 {
+		return fmt.Errorf("spec %q: negative machine count", s.Name)
+	}
 	return nil
+}
+
+// Costs extracts the per-vertex planner cost vector from each vertex's
+// optional "cost" parameter (default 1), indexed like the built
+// modules. Call after Build, with the same spec.
+func (s *Spec) Costs(b *Built) ([]float64, error) {
+	costs := make([]float64, b.Graph.N())
+	for i := range costs {
+		costs[i] = 1
+	}
+	for _, v := range s.Vertices {
+		for _, p := range v.Params {
+			if p.Name != "cost" {
+				continue
+			}
+			c, err := strconv.ParseFloat(p.Value, 64)
+			if err != nil || c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("spec %q: vertex %q: invalid cost %q", s.Name, v.ID, p.Value)
+			}
+			costs[b.IndexOf[v.ID]-1] = c
+		}
+	}
+	return costs, nil
 }
 
 // Built is the executable form of a spec: the numbered graph, one module

@@ -7,7 +7,11 @@
 // time, and purely deterministic so executions stay serializable.
 package stats
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Welford accumulates mean and variance in one pass using Welford's
 // numerically stable recurrence.
@@ -92,6 +96,35 @@ func (e *EWMA) Value() float64 { return e.val }
 
 // Initialized reports whether any observation has been folded in.
 func (e *EWMA) Initialized() bool { return e.init }
+
+// AppendState appends the EWMA's exact state — the raw accumulator
+// bits and the init flag — to dst and returns the extended slice. The
+// smoothing factor is configuration, not state: ReadState validates it
+// instead of restoring it.
+func (e *EWMA) AppendState(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.alpha))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.val))
+	if e.init {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// ReadState replaces the EWMA's state with bytes produced by
+// AppendState on an EWMA with the same smoothing factor, returning the
+// remaining input.
+func (e *EWMA) ReadState(data []byte) ([]byte, error) {
+	if len(data) < 17 {
+		return nil, fmt.Errorf("stats: ewma state: %d bytes, want at least 17", len(data))
+	}
+	alpha := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	if alpha != e.alpha {
+		return nil, fmt.Errorf("stats: ewma state for alpha %v restored into alpha %v", alpha, e.alpha)
+	}
+	e.val = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	e.init = data[16] != 0
+	return data[17:], nil
+}
 
 // OLS is an incremental simple linear regression y = a + b*x with
 // O(1) updates, used by the paper's regression-model predicates (e.g.

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// windowSeries is a deterministic pseudo-random float series whose
+// accumulated sums exercise low-bit float behavior.
+func windowSeries(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	x := seed
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = float64(int64(x%2000)-1000) / 7
+	}
+	return out
+}
+
+// TestWindowStateRoundTrip: restoring a serialized window reproduces
+// its exact behavior — every statistic and every future Add matches
+// the uninterrupted window bit for bit, including the raw sum/sum2
+// accumulators (which a rebuild-from-values would drift).
+func TestWindowStateRoundTrip(t *testing.T) {
+	series := windowSeries(200, 0xC0FFEE)
+	for _, cut := range []int{0, 1, 3, 11, 60, 199} {
+		ref := NewWindow(17)
+		live := NewWindow(17)
+		for _, x := range series[:cut] {
+			ref.Add(x)
+			live.Add(x)
+		}
+		state := live.AppendState(nil)
+		restored := NewWindow(17)
+		rest, err := restored.ReadState(state)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("cut %d: %d bytes left over", cut, len(rest))
+		}
+		for i, x := range series[cut:] {
+			ref.Add(x)
+			restored.Add(x)
+			if ref.Len() != restored.Len() ||
+				math.Float64bits(ref.Mean()) != math.Float64bits(restored.Mean()) ||
+				math.Float64bits(ref.Variance()) != math.Float64bits(restored.Variance()) ||
+				math.Float64bits(ref.Min()) != math.Float64bits(restored.Min()) ||
+				math.Float64bits(ref.Max()) != math.Float64bits(restored.Max()) ||
+				math.Float64bits(ref.ZScore(x)) != math.Float64bits(restored.ZScore(x)) {
+				t.Fatalf("cut %d: restored window diverged %d adds later", cut, i+1)
+			}
+		}
+	}
+}
+
+// TestWindowStateErrors: malformed or mismatched state is rejected and
+// leaves the window untouched.
+func TestWindowStateErrors(t *testing.T) {
+	w := NewWindow(5)
+	for _, x := range windowSeries(9, 3) {
+		w.Add(x)
+	}
+	good := w.AppendState(nil)
+	before := w.Values()
+
+	other := NewWindow(7)
+	if _, err := other.ReadState(good); err == nil {
+		t.Error("capacity mismatch accepted")
+	}
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := w.ReadState(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// A hostile value count: more values than the capacity admits must
+	// be rejected before any allocation proportional to the claim.
+	hostile := binary.AppendUvarint(nil, 5)      // capacity (matches)
+	hostile = binary.AppendVarint(hostile, 9)    // seq
+	hostile = binary.AppendUvarint(hostile, 200) // n > cap
+	if _, err := w.ReadState(hostile); err == nil {
+		t.Error("hostile value count accepted")
+	}
+	// A hostile deque length: a monotone deque can never hold more
+	// entries than the window holds values.
+	deq := binary.AppendUvarint(nil, 5)       // capacity
+	deq = binary.AppendVarint(deq, 1)         // seq
+	deq = binary.AppendUvarint(deq, 1)        // n = 1
+	deq = append(deq, make([]byte, 8+8+8)...) // sum, sum2, one value
+	deq = binary.AppendUvarint(deq, 3)        // minq claims 3 entries > n
+	if _, err := w.ReadState(deq); err == nil {
+		t.Error("hostile deque length accepted")
+	}
+	after := w.Values()
+	if len(before) != len(after) {
+		t.Fatal("failed restores mutated the window")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("failed restores mutated the window values")
+		}
+	}
+}
+
+// TestEWMAStateRoundTrip: the EWMA accumulator restores bit-exactly
+// and rejects a smoothing-factor mismatch.
+func TestEWMAStateRoundTrip(t *testing.T) {
+	series := windowSeries(50, 0xE)
+	ref := NewEWMA(0.25)
+	live := NewEWMA(0.25)
+	for _, x := range series[:20] {
+		ref.Add(x)
+		live.Add(x)
+	}
+	restored := NewEWMA(0.25)
+	rest, err := restored.ReadState(live.AppendState(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	for _, x := range series[20:] {
+		if math.Float64bits(ref.Add(x)) != math.Float64bits(restored.Add(x)) {
+			t.Fatal("restored EWMA diverged")
+		}
+	}
+
+	mismatch := NewEWMA(0.5)
+	if _, err := mismatch.ReadState(live.AppendState(nil)); err == nil {
+		t.Error("alpha mismatch accepted")
+	}
+	if _, err := restored.ReadState([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated EWMA state accepted")
+	}
+
+	// An uninitialized EWMA round-trips too (init flag preserved).
+	empty := NewEWMA(0.25)
+	r2 := NewEWMA(0.25)
+	if _, err := r2.ReadState(empty.AppendState(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Initialized() {
+		t.Error("restored empty EWMA claims initialization")
+	}
+}

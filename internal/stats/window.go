@@ -1,6 +1,10 @@
 package stats
 
-import "math"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // Window is a fixed-capacity sliding window over a scalar series with
 // O(1) mean/variance via running sums and O(1) amortized min/max via
@@ -129,6 +133,122 @@ func (w *Window) Values() []float64 {
 		out[i] = w.buf[(w.head+i)%w.cap]
 	}
 	return out
+}
+
+// AppendState appends the window's exact internal state to dst and
+// returns the extended slice: the raw running sums, the live ring
+// contents, the monotone deques and the eviction sequence counter —
+// not a recomputed-from-values form. Restoring the bytes with
+// ReadState reproduces the window bit for bit, so a module migrated
+// mid-window keeps emitting exactly what it would have emitted in
+// place (floating-point accumulators depend on insert/evict history;
+// re-adding the values would drift the low bits).
+func (w *Window) AppendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(w.cap))
+	dst = binary.AppendVarint(dst, w.seq)
+	dst = binary.AppendUvarint(dst, uint64(w.n))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w.sum))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w.sum2))
+	for i := 0; i < w.n; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w.buf[(w.head+i)%w.cap]))
+	}
+	dst = appendDeque(dst, w.minq)
+	dst = appendDeque(dst, w.maxq)
+	return dst
+}
+
+// ReadState replaces the window's state with bytes produced by
+// AppendState on a window of the same capacity, returning the
+// remaining input. A capacity mismatch or malformed input is an error
+// and leaves the window unchanged.
+func (w *Window) ReadState(data []byte) ([]byte, error) {
+	c, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("stats: window state: truncated capacity")
+	}
+	data = data[used:]
+	if c != uint64(w.cap) {
+		return nil, fmt.Errorf("stats: window state for capacity %d restored into capacity %d", c, w.cap)
+	}
+	seq, used := binary.Varint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("stats: window state: truncated sequence counter")
+	}
+	data = data[used:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("stats: window state: truncated length")
+	}
+	data = data[used:]
+	if n > uint64(w.cap) {
+		return nil, fmt.Errorf("stats: window state claims %d of %d values", n, w.cap)
+	}
+	if len(data) < (2+int(n))*8 {
+		return nil, fmt.Errorf("stats: window state: %d bytes for %d values", len(data), n)
+	}
+	sum := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	sum2 := math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+	data = data[16:]
+	buf := make([]float64, w.cap)
+	for i := 0; i < int(n); i++ {
+		buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	data = data[int(n)*8:]
+	minq, data, err := readDeque(data, int(n))
+	if err != nil {
+		return nil, fmt.Errorf("stats: window state: min deque: %w", err)
+	}
+	maxq, data, err := readDeque(data, int(n))
+	if err != nil {
+		return nil, fmt.Errorf("stats: window state: max deque: %w", err)
+	}
+	w.buf = buf
+	w.head = 0
+	w.n = int(n)
+	w.sum = sum
+	w.sum2 = sum2
+	w.seq = seq
+	w.minq = minq
+	w.maxq = maxq
+	return data, nil
+}
+
+// appendDeque appends one monotone deque: entry count, then (sequence,
+// value) pairs.
+func appendDeque(dst []byte, q []winEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(q)))
+	for _, e := range q {
+		dst = binary.AppendVarint(dst, e.seq)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.val))
+	}
+	return dst
+}
+
+// readDeque decodes a deque of at most max entries (a monotone deque
+// never holds more entries than the window holds values).
+func readDeque(data []byte, max int) ([]winEntry, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("truncated count")
+	}
+	data = data[used:]
+	if n > uint64(max) {
+		return nil, nil, fmt.Errorf("%d entries in a window of %d values", n, max)
+	}
+	q := make([]winEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		seq, used := binary.Varint(data)
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("truncated entry %d", i)
+		}
+		data = data[used:]
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("truncated entry %d value", i)
+		}
+		q = append(q, winEntry{seq, math.Float64frombits(binary.LittleEndian.Uint64(data))})
+		data = data[8:]
+	}
+	return q, data, nil
 }
 
 // P2Quantile estimates a single quantile online with the P² algorithm
