@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/griddemo"
@@ -43,13 +44,27 @@ func main() {
 	rebalance := flag.Bool("rebalance", false, "dynamically repartition mid-run: machine 0 coordinates epoch switches over the control plane")
 	forceEvery := flag.Int("force-every", 0, "with -rebalance: force an epoch switch each time an epoch has started this many phases (0 = drift-triggered)")
 	drift := flag.Int("drift", 0, "demo workload only: make region 0's detector drift (extra compute grain) after this phase")
-	quiet := flag.Bool("quiet", false, "suppress progress lines (the alerts@/rebalance@ lines still print)")
+	walDir := flag.String("wal", "", "directory for this worker's durable epoch checkpoints (machine-<m>.wal); requires -rebalance")
+	recov := flag.Bool("recover", false, "rejoin a running flock from this worker's WAL after a crash; requires -wal, machines 1+ only")
+	quiet := flag.Bool("quiet", false, "suppress progress lines (the alerts@/rebalance@/recover@ lines still print)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
 	if *peers == "" || *machine < 0 || *machine >= len(addrs) {
 		fmt.Fprintln(os.Stderr, "fuseworker: -machine and -peers are required; -machine must index into -peers")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *walDir != "" && !*rebalance {
+		fmt.Fprintln(os.Stderr, "fuseworker: -wal requires -rebalance (checkpoints are written at epoch launches)")
+		os.Exit(2)
+	}
+	if *recov && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "fuseworker: -recover requires -wal (recovery replays the durable checkpoint log)")
+		os.Exit(2)
+	}
+	if *recov && *machine == 0 {
+		fmt.Fprintln(os.Stderr, "fuseworker: machine 0 hosts the coordinator and cannot -recover; restart the whole run")
 		os.Exit(2)
 	}
 	opts := griddemo.WorkerOptions{
@@ -62,6 +77,8 @@ func main() {
 		Rebalance:  *rebalance,
 		ForceEvery: *forceEvery,
 		DriftAt:    *drift,
+		WALDir:     *walDir,
+		Recover:    *recov,
 		Log:        os.Stdout,
 	}
 	if *quiet {
@@ -78,6 +95,9 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Workload = &w
+		// The spec's base name enters the WAL signature, so -recover
+		// against a WAL written under a different -spec is refused.
+		opts.WorkloadName = filepath.Base(*specPath)
 		if specPhases > 0 {
 			opts.Phases = specPhases
 		}
@@ -97,6 +117,15 @@ func main() {
 			moved += ev.Moved
 		}
 		fmt.Printf("rebalance@switches=%d moved=%d\n", len(res.Rebalances), moved)
+	}
+	if *walDir != "" && *machine == 0 {
+		// Machine-parsable: examples/pipeline -crashrecover asserts the
+		// kill-and-rejoin actually exercised the recovery path.
+		rejoined := 0
+		for _, rv := range res.Recoveries {
+			rejoined += len(rv.Machines)
+		}
+		fmt.Printf("recover@recoveries=%d rejoined=%d\n", len(res.Recoveries), rejoined)
 	}
 	if res.OwnsSink {
 		// Machine-parsable: examples/pipeline -multiproc compares this

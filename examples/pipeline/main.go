@@ -14,6 +14,7 @@
 //	go run ./examples/pipeline -transport tcp   # in-process, loopback TCP links
 //	go run ./examples/pipeline -rebalance       # with mid-run epoch switches
 //	go run ./examples/pipeline -multiproc       # three worker PROCESSES over TCP
+//	go run ./examples/pipeline -crashrecover    # kill -9 a worker, restart it from its WAL
 //
 // -multiproc re-executes this binary as three fuseworker-style worker
 // processes (internal/griddemo.RunWorker, the same driver behind
@@ -31,6 +32,13 @@
 // region 0's detector genuinely drifts mid-run, and at least one
 // vertex must migrate between processes — with the distributed alert
 // history still bit-identical to the single-process reference.
+//
+// -crashrecover is the durability smoke (DESIGN.md §10): the
+// coordinated run writes per-machine WALs, one worker is SIGKILLed
+// mid-epoch and restarted against its WAL, and the alert history must
+// STILL be bit-identical to the single-process reference. -torntail
+// additionally truncates the dead worker's WAL mid-record first,
+// exercising torn-write repair and a deeper rollback.
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -59,12 +68,20 @@ func main() {
 	transport := flag.String("transport", "chan", "link transport for the in-process run: chan | tcp")
 	rebalance := flag.Bool("rebalance", false, "dynamically repartition the in-process run at epoch barriers")
 	multiproc := flag.Bool("multiproc", false, "run the deployment as three separate worker processes over TCP")
+	crashrecover := flag.Bool("crashrecover", false, "durable multiproc: SIGKILL one worker mid-epoch, restart it with its WAL, and require a bit-identical alert history")
+	torntail := flag.Bool("torntail", false, "with -crashrecover: truncate the killed worker's WAL mid-record before the restart (torn-write repair)")
+	walDir := flag.String("waldir", "", "with -crashrecover: WAL directory (kept for inspection; default: a fresh temp directory). Internal: worker WAL directory")
 	workerIdx := flag.Int("worker", -1, "internal: run as worker process for this machine index")
 	peers := flag.String("peers", "", "internal: comma-separated worker listen addresses")
+	recoverWorker := flag.Bool("recoverworker", false, "internal: restarted worker rejoins the flock from its WAL")
 	flag.Parse()
 
 	if *workerIdx >= 0 {
-		runAsWorker(*workerIdx, strings.Split(*peers, ","), *rebalance)
+		runAsWorker(*workerIdx, strings.Split(*peers, ","), *rebalance, *walDir, *recoverWorker)
+		return
+	}
+	if *crashrecover {
+		runCrashRecover(*torntail, *walDir)
 		return
 	}
 	if *multiproc {
@@ -155,8 +172,10 @@ func runInProcess(transport string, rebalance bool) {
 // runAsWorker is the re-exec target: one machine of the deployment in
 // this process, wired to its peers over TCP. In rebalance mode region
 // 0's detector drifts mid-run and worker 0 coordinates the epoch
-// switches that chase it.
-func runAsWorker(machine int, peerAddrs []string, rebalance bool) {
+// switches that chase it. With a WAL directory the worker checkpoints
+// every epoch launch; with rejoin set it replays that WAL and dials
+// back into a running flock after a crash.
+func runAsWorker(machine int, peerAddrs []string, rebalance bool, walDir string, rejoin bool) {
 	opts := griddemo.WorkerOptions{
 		Machine:  machine,
 		Machines: len(peerAddrs),
@@ -171,6 +190,11 @@ func runAsWorker(machine int, peerAddrs []string, rebalance bool) {
 		opts.ForceEvery = phases / 3
 		opts.DriftAt = phases / 4
 	}
+	if walDir != "" {
+		opts.WALDir = walDir
+		opts.Recover = rejoin
+		opts.RecoverWindow = 60 * time.Second
+	}
 	res, err := griddemo.RunWorker(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -181,6 +205,13 @@ func runAsWorker(machine int, peerAddrs []string, rebalance bool) {
 			moved += ev.Moved
 		}
 		fmt.Printf("rebalance@switches=%d moved=%d\n", len(res.Rebalances), moved)
+	}
+	if machine == 0 && walDir != "" {
+		rejoined := 0
+		for _, rv := range res.Recoveries {
+			rejoined += len(rv.Machines)
+		}
+		fmt.Printf("recover@recoveries=%d rejoined=%d\n", len(res.Recoveries), rejoined)
 	}
 	if res.OwnsSink {
 		fmt.Printf("alerts@%v\n", res.Alerts)
@@ -280,6 +311,190 @@ func runMultiProcess(rebalance bool) {
 		fmt.Println("multi-process alert history identical to the single-process run ✓")
 	default:
 		log.Fatal("no worker reported an alert history")
+	}
+}
+
+// runCrashRecover is the durability smoke: a coordinated rebalancing
+// multiproc run in which every worker checkpoints to a per-machine WAL,
+// one non-coordinator worker is SIGKILLed the moment its post-switch
+// epoch starts, and a fresh process is pointed at the orphaned WAL with
+// -recoverworker. The restarted process must replay its checkpoints,
+// rejoin the flock, and the whole run must still produce an alert
+// history bit-identical to the single-process reference. With tornTail
+// the victim's WAL additionally loses its final bytes before the
+// restart — the torn-write shape a crash between write and fsync
+// leaves — forcing replay to repair the tail and the flock to roll
+// back one epoch further.
+func runCrashRecover(tornTail bool, walDir string) {
+	const victim = 2 // any machine but 0 — machine 0 hosts the coordinator
+
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if walDir == "" {
+		walDir, err = os.MkdirTemp("", "pipeline-wal-")
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		cleanWALs(walDir)
+	}
+	addrs := make([]string, machines)
+	for i := range addrs {
+		addrs[i] = freeLoopbackAddr()
+	}
+	peerList := strings.Join(addrs, ",")
+	mode := "crash-recover"
+	if tornTail {
+		mode = "crash-recover, torn WAL tail"
+	}
+	fmt.Printf("launching %d durable worker processes over TCP (%s), %s, WALs in %s\n",
+		machines, peerList, mode, walDir)
+
+	// machines initial watchers + 1 for the restarted victim.
+	alertLine := make(chan string, machines+1)
+	recoverLine := make(chan string, machines+1)
+	lineDone := make(chan struct{}, machines+1)
+	epoch1 := make(chan struct{}, 1)
+
+	launch := func(m int, rejoin bool) *exec.Cmd {
+		args := []string{"-worker", fmt.Sprint(m), "-peers", peerList, "-rebalance", "-waldir", walDir}
+		label := fmt.Sprintf("worker %d", m)
+		if rejoin {
+			args = append(args, "-recoverworker")
+			label += " (restarted)"
+		}
+		cmd := exec.Command(exe, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			defer func() { lineDone <- struct{}{} }()
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				fmt.Printf("  [%s] %s\n", label, line)
+				if rest, ok := strings.CutPrefix(line, "alerts@"); ok {
+					alertLine <- rest
+				}
+				if rest, ok := strings.CutPrefix(line, "recover@"); ok {
+					recoverLine <- rest
+				}
+				if m == victim && !rejoin && strings.Contains(line, "epoch 1 running") {
+					select {
+					case epoch1 <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}()
+		return cmd
+	}
+
+	procs := make([]*exec.Cmd, machines)
+	for m := 0; m < machines; m++ {
+		procs[m] = launch(m, false)
+	}
+
+	// Kill -9 the victim as soon as its post-switch epoch is running:
+	// by then it holds durable checkpoints for epochs 0 and 1 and dies
+	// with epoch 1 half-finished across the flock.
+	select {
+	case <-epoch1:
+	case <-time.After(60 * time.Second):
+		log.Fatalf("worker %d never reported epoch 1 running", victim)
+	}
+	if err := procs[victim].Process.Kill(); err != nil {
+		log.Fatal(err)
+	}
+	procs[victim].Wait() // the SIGKILL error is the point; reap and move on
+	fmt.Printf("killed worker %d (SIGKILL) mid-epoch\n", victim)
+
+	if tornTail {
+		tearWALTail(filepath.Join(walDir, fmt.Sprintf("machine-%d.wal", victim)))
+	}
+	restarted := launch(victim, true)
+
+	for i := 0; i < machines+1; i++ {
+		<-lineDone
+	}
+	for m, cmd := range procs {
+		if m == victim {
+			continue // already reaped above
+		}
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("worker %d: %v", m, err)
+		}
+	}
+	if err := restarted.Wait(); err != nil {
+		log.Fatalf("restarted worker %d: %v", victim, err)
+	}
+
+	select {
+	case got := <-recoverLine:
+		var recoveries, rejoined int
+		if _, err := fmt.Sscanf(got, "recoveries=%d rejoined=%d", &recoveries, &rejoined); err != nil {
+			log.Fatalf("unparsable recover report %q: %v", got, err)
+		}
+		if recoveries < 1 || rejoined < 1 {
+			log.Fatalf("coordinator performed %d recoveries rejoining %d machines — expected the kill to force a rejoin", recoveries, rejoined)
+		}
+		fmt.Printf("recoveries: %d, machines rejoined after crash: %d\n", recoveries, rejoined)
+	default:
+		log.Fatal("coordinator reported no recovery summary")
+	}
+	refAlerts := singleProcessReference(true)
+	select {
+	case got := <-alertLine:
+		want := fmt.Sprint(refAlerts)
+		if got != want {
+			log.Fatalf("recovered alerts %s != single-process %s — recovery broke serializability", got, want)
+		}
+		fmt.Printf("multi-region alerts at phases: %s\n", got)
+		fmt.Println("alert history after kill -9 and rejoin identical to the single-process run ✓")
+	default:
+		log.Fatal("no worker reported an alert history")
+	}
+}
+
+// tearWALTail truncates the last few bytes off a WAL file, landing
+// mid-record — exactly what an OS crash between write and fsync can
+// leave behind. Replay must repair this by dropping the torn record.
+func tearWALTail(path string) {
+	st, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.Size() < 8 {
+		log.Fatalf("WAL %s too short to tear (%d bytes)", path, st.Size())
+	}
+	if err := os.Truncate(path, st.Size()-7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tore WAL tail: %s truncated %d -> %d bytes (mid-record)\n", path, st.Size(), st.Size()-7)
+}
+
+// cleanWALs removes stale machine-*.wal files so a named -waldir can be
+// reused across runs (a WAL only accepts checkpoints newer than the
+// ones it already holds).
+func cleanWALs(dir string) {
+	stale, err := filepath.Glob(filepath.Join(dir, "machine-*.wal"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range stale {
+		if err := os.Remove(p); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

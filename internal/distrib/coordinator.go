@@ -41,8 +41,17 @@ type Coordinator struct {
 	// one participant, or the identity mapping when there is one
 	// participant per machine.
 	MachineOwner []int
+	// Rejoins, when non-nil, enables crash recovery (DESIGN.md §10):
+	// restarted workers' control channels arrive here and a
+	// recoverable mid-run failure rolls the flock back to its common
+	// stable checkpoint instead of aborting. Requires every
+	// participant to run with a WAL.
+	Rejoins <-chan RejoinOffer
+	// Recovery tunes the recovery path; zero values take defaults.
+	Recovery RecoverConfig
 
-	events []RebalanceEvent
+	events     []RebalanceEvent
+	recoveries []RecoveryEvent
 }
 
 // ownerOf resolves the participant index owning a machine.
@@ -93,16 +102,16 @@ func (co *Coordinator) abortAll(reason error) {
 // by MaxRebalances), each quiescing all participants at one barrier,
 // re-planning on the epoch's measured per-vertex times, migrating
 // state and resuming at the next phase. It returns the recorded
-// switches; on any failure every participant is aborted with the root
-// cause and the error is returned.
+// switches. On a mid-run failure the recovery path runs first when
+// enabled (Rejoins non-nil, see DESIGN.md §10); if it cannot repair
+// the run, every participant is aborted with the root cause and the
+// error is returned.
 func (co *Coordinator) Run() ([]RebalanceEvent, error) {
 	rc := co.Rebalance.withDefaults()
 	planner := co.Planner
 	if planner == nil {
 		planner = CostAware{}
 	}
-	n := co.Graph.N()
-	total := co.Phases
 
 	starts, err := co.plan0(planner)
 	if err != nil {
@@ -117,98 +126,110 @@ func (co *Coordinator) Run() ([]RebalanceEvent, error) {
 
 	base, epoch := 0, 0
 	for {
-		trigger, skew, err := co.monitor(rc, base, total, starts)
-		if err != nil {
-			co.abortAll(err)
-			return co.events, err
-		}
-		barrier := 0
-		if trigger {
-			b, err := co.decideBarrier(base, total)
-			if err != nil {
-				co.abortAll(err)
-				return co.events, err
-			}
-			barrier = b
-		}
-
-		// Wait for every participant to drain — to the barrier, or to
-		// the end of the run — and collect the epoch's measured times.
-		sw0 := time.Now()
-		times := make([]time.Duration, n)
-		for i, p := range co.Participants {
-			qr, err := p.AwaitQuiesce()
-			if err != nil {
-				co.abortAll(err)
-				return co.events, err
-			}
-			want := barrier
-			if barrier >= total {
-				want = 0 // the barrier landed past the end: a plain completion
-			}
-			if qr.Barrier != want {
-				err := fmt.Errorf("distrib: participant %d quiesced at phase %d, coordinator set barrier %d", i, qr.Barrier, barrier)
-				co.abortAll(err)
-				return co.events, err
-			}
-			for v, t := range qr.Times {
-				if v < n {
-					times[v] += t
-				}
-			}
-		}
-		if barrier == 0 || barrier >= total {
-			for _, p := range co.Participants {
-				p.Finish()
-			}
+		next, finished, err := co.epochStep(rc, planner, starts, base, epoch)
+		if finished {
 			return co.events, nil
 		}
-
-		// Quiesced at the barrier: re-plan on this epoch's measured
-		// costs and migrate state to its new machines.
-		costs, err := CostsFromTimes(times)
 		if err != nil {
-			err = fmt.Errorf("distrib: rebalance at phase %d: %w", barrier, err)
+			if rp, ok := co.tryRecover(err, epoch); ok {
+				starts, base, epoch = rp.starts, rp.base, rp.epoch
+				continue
+			}
 			co.abortAll(err)
 			return co.events, err
 		}
-		newStarts, err := planner.Plan(co.Graph, costs, co.Machines)
-		if err != nil {
-			err = fmt.Errorf("distrib: re-planning at phase %d: %w", barrier, err)
-			co.abortAll(err)
-			return co.events, err
-		}
-		if err := graph.ValidateStarts(n, newStarts); err != nil {
-			err = fmt.Errorf("distrib: re-planning at phase %d: planner %s: %w", barrier, planner.Name(), err)
-			co.abortAll(err)
-			return co.events, err
-		}
-		moves := planMigrations(n, starts, newStarts)
-		serialized, bytes, err := co.migrate(barrier, newStarts)
-		if err != nil {
-			co.abortAll(err)
-			return co.events, err
-		}
-		co.events = append(co.events, RebalanceEvent{
-			Epoch:        epoch,
-			Barrier:      barrier,
-			FromStarts:   append([]int(nil), starts...),
-			ToStarts:     append([]int(nil), newStarts...),
-			Moved:        len(moves),
-			Serialized:   serialized,
-			HandoffBytes: bytes,
-			Skew:         skew,
-			Wall:         time.Since(sw0),
-		})
-		starts = newStarts
-		base = barrier
-		epoch++
+		starts, base, epoch = next.starts, next.base, next.epoch
 	}
+}
+
+// epochStep drives one epoch from its drift monitor to either the end
+// of the run (finished=true) or the launch of its successor, whose
+// position it returns.
+func (co *Coordinator) epochStep(rc RebalanceConfig, planner Planner, starts []int, base, epoch int) (resumePoint, bool, error) {
+	n := co.Graph.N()
+	total := co.Phases
+	trigger, skew, err := co.monitor(rc, base, total, starts)
+	if err != nil {
+		return resumePoint{}, false, err
+	}
+	barrier := 0
+	if trigger {
+		b, err := co.decideBarrier(base, total)
+		if err != nil {
+			return resumePoint{}, false, err
+		}
+		barrier = b
+	}
+
+	// Wait for every participant to drain — to the barrier, or to
+	// the end of the run — and collect the epoch's measured times.
+	sw0 := time.Now()
+	times := make([]time.Duration, n)
+	for i, p := range co.Participants {
+		qr, err := p.AwaitQuiesce()
+		if err != nil {
+			return resumePoint{}, false, err
+		}
+		want := barrier
+		if barrier >= total {
+			want = 0 // the barrier landed past the end: a plain completion
+		}
+		if qr.Barrier != want {
+			return resumePoint{}, false, fmt.Errorf("distrib: participant %d quiesced at phase %d, coordinator set barrier %d", i, qr.Barrier, barrier)
+		}
+		for v, t := range qr.Times {
+			if v < n {
+				times[v] += t
+			}
+		}
+	}
+	if barrier == 0 || barrier >= total {
+		for _, p := range co.Participants {
+			p.Finish()
+		}
+		return resumePoint{}, true, nil
+	}
+
+	// Quiesced at the barrier: re-plan on this epoch's measured
+	// costs and migrate state to its new machines.
+	costs, err := CostsFromTimes(times)
+	if err != nil {
+		return resumePoint{}, false, fmt.Errorf("distrib: rebalance at phase %d: %w", barrier, err)
+	}
+	newStarts, err := planner.Plan(co.Graph, costs, co.Machines)
+	if err != nil {
+		return resumePoint{}, false, fmt.Errorf("distrib: re-planning at phase %d: %w", barrier, err)
+	}
+	if err := graph.ValidateStarts(n, newStarts); err != nil {
+		return resumePoint{}, false, fmt.Errorf("distrib: re-planning at phase %d: planner %s: %w", barrier, planner.Name(), err)
+	}
+	moves := planMigrations(n, starts, newStarts)
+	serialized, bytes, err := co.migrate(barrier, newStarts)
+	if err != nil {
+		return resumePoint{}, false, err
+	}
+	co.events = append(co.events, RebalanceEvent{
+		Epoch:        epoch,
+		Barrier:      barrier,
+		FromStarts:   append([]int(nil), starts...),
+		ToStarts:     append([]int(nil), newStarts...),
+		Moved:        len(moves),
+		Serialized:   serialized,
+		HandoffBytes: bytes,
+		Skew:         skew,
+		Wall:         time.Since(sw0),
+	})
+	return resumePoint{epoch: epoch + 1, base: barrier, starts: newStarts}, false, nil
 }
 
 // Events returns the epoch switches recorded so far.
 func (co *Coordinator) Events() []RebalanceEvent {
 	return append([]RebalanceEvent(nil), co.events...)
+}
+
+// Recoveries returns the crash recoveries the run performed.
+func (co *Coordinator) Recoveries() []RecoveryEvent {
+	return append([]RecoveryEvent(nil), co.recoveries...)
 }
 
 // monitor watches the running epoch and reports whether a switch

@@ -55,6 +55,32 @@ type Handoff struct {
 	Bytes int64
 }
 
+// ErrPeerLost marks a participant whose process (or wire) died: the
+// control channel broke, so nothing more can be asked of it. When the
+// coordinator runs with recovery enabled, a lost peer triggers the
+// rejoin path rather than an abort. Test with errors.Is.
+var ErrPeerLost = errors.New("distrib: participant lost")
+
+// ErrEpochFailed marks an epoch that died on some machine while the
+// participant processes themselves stayed up and parked: the flock can
+// roll back to the last stable checkpoint without waiting for anyone
+// to rejoin. Test with errors.Is.
+var ErrEpochFailed = errors.New("distrib: epoch failed")
+
+// CkptInfo describes one participant's newest durable checkpoint, as
+// reported by Reset and echoed by Restore: the epoch and base phase it
+// would resume at, the partition it ran under, and whether a
+// checkpoint exists at all (a rejoiner with a fresh WAL has none).
+type CkptInfo struct {
+	// Epoch and Base position the checkpoint: the epoch it opens and
+	// the last phase already executed before it.
+	Epoch, Base int
+	// Starts is the partition the checkpointed epoch ran under.
+	Starts []int
+	// Has reports whether the participant has any checkpoint.
+	Has bool
+}
+
 // Participant is the coordinator's handle on one member of a
 // rebalancing deployment — either the single in-process participant
 // holding every machine, or one fuseworker process. The coordinator
@@ -64,6 +90,12 @@ type Handoff struct {
 // Offload + Advance move state and start the next epoch; Finish
 // releases the participant when the run is over, and Abort tears it
 // down on any failure.
+//
+// The recovery path (DESIGN.md §10) adds a second sequence, driven
+// only when the coordinator has durable participants: Reset parks a
+// participant and asks for its newest checkpoint, Restore reloads
+// state from the reconciled stable epoch, and BeginAt relaunches from
+// that barrier under a fresh epoch number.
 type Participant interface {
 	// Begin starts epoch 0, covering every phase under the given
 	// partition.
@@ -102,6 +134,18 @@ type Participant interface {
 	// Abort tears the participant down after a coordinator-side
 	// failure, carrying the root cause for its error report.
 	Abort(reason error)
+	// BeginAt starts an epoch from a recovered barrier: like Begin but
+	// with an explicit epoch number and base phase. Begin(starts) is
+	// BeginAt(0, 0, starts).
+	BeginAt(epoch, base int, starts []int) error
+	// Reset parks the participant — abandoning its live epoch, if any —
+	// and reports its newest durable checkpoint. Only participants
+	// backed by a WAL can honor it.
+	Reset() (CkptInfo, error)
+	// Restore reloads the participant's module state from its
+	// checkpoint at stableEpoch and primes it to accept a BeginAt for
+	// nextEpoch, echoing the restored checkpoint.
+	Restore(stableEpoch, nextEpoch int) (CkptInfo, error)
 }
 
 // CtlChannel is a full-duplex, ordered control connection between the

@@ -136,6 +136,24 @@ func (lp *localParticipant) Advance(arriving []core.VertexSnapshot) error {
 // Finish implements Participant.
 func (lp *localParticipant) Finish() error { return nil }
 
+// BeginAt implements Participant: the in-process binding can start at
+// any barrier directly — it is the same launch path Begin uses.
+func (lp *localParticipant) BeginAt(epoch, base int, starts []int) error {
+	return lp.start(epoch, base, starts)
+}
+
+// Reset implements Participant. The in-process binding has no WAL:
+// when its single participant dies the coordinator dies with it, so
+// the recovery sequence is never driven here and the calls refuse.
+func (lp *localParticipant) Reset() (CkptInfo, error) {
+	return CkptInfo{}, fmt.Errorf("distrib: in-process participant has no durable checkpoint to reset to")
+}
+
+// Restore implements Participant; see Reset.
+func (lp *localParticipant) Restore(stableEpoch, nextEpoch int) (CkptInfo, error) {
+	return CkptInfo{}, fmt.Errorf("distrib: in-process participant has no durable checkpoint to restore")
+}
+
 // Abort implements Participant: the machines have already unwound (a
 // local failure is reported by AwaitQuiesce itself), so there is
 // nothing to tear down.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/netwire"
+	"repro/internal/wal"
 )
 
 // wireMsg is one delivery from a control channel's reader goroutine.
@@ -49,19 +50,24 @@ type RemoteParticipant struct {
 
 	doneMu sync.Mutex
 	doneCh chan struct{} // per epoch; closed when the quiesce report lands
+
+	failMu    sync.Mutex
+	epochFail chan struct{} // per epoch; closed when a FrameFailed lands
+	failMsg   string
 }
 
 // NewRemoteParticipant wraps a control channel to one worker process
 // and starts its reader. name labels the participant in errors.
 func NewRemoteParticipant(ch CtlChannel, name string) *RemoteParticipant {
 	rp := &RemoteParticipant{
-		Name:     name,
-		ch:       ch,
-		inbox:    make(chan netwire.WireFrame, 4),
-		quiesced: make(chan netwire.WireFrame, 1),
-		started:  make(chan netwire.WireFrame, 2),
-		dead:     make(chan struct{}),
-		doneCh:   make(chan struct{}),
+		Name:      name,
+		ch:        ch,
+		inbox:     make(chan netwire.WireFrame, 4),
+		quiesced:  make(chan netwire.WireFrame, 1),
+		started:   make(chan netwire.WireFrame, 2),
+		dead:      make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		epochFail: make(chan struct{}),
 	}
 	go rp.read()
 	return rp
@@ -95,6 +101,44 @@ func (rp *RemoteParticipant) fail(err error) {
 	rp.signalDone()
 }
 
+// lost is fail for wire death: the worker process (or its connection)
+// is gone, which — unlike a protocol violation — the recovery path can
+// repair by accepting the worker's rejoin. The recorded error wraps
+// ErrPeerLost so the coordinator can tell the two apart.
+func (rp *RemoteParticipant) lost(err error) {
+	rp.fail(fmt.Errorf("%w: %v", ErrPeerLost, err))
+}
+
+// epochFailCh returns the running epoch's failure signal.
+func (rp *RemoteParticipant) epochFailCh() <-chan struct{} {
+	rp.failMu.Lock()
+	defer rp.failMu.Unlock()
+	return rp.epochFail
+}
+
+// epochFailed records a worker's FrameFailed report and wakes the
+// epoch's waiters; the process itself stays up and parked.
+func (rp *RemoteParticipant) epochFailed(msg string) {
+	rp.failMu.Lock()
+	if rp.failMsg == "" {
+		rp.failMsg = msg
+	}
+	select {
+	case <-rp.epochFail:
+	default:
+		close(rp.epochFail)
+	}
+	rp.failMu.Unlock()
+	rp.signalDone()
+}
+
+// epochFailErr reports why the epoch failed, wrapping ErrEpochFailed.
+func (rp *RemoteParticipant) epochFailErr() error {
+	rp.failMu.Lock()
+	defer rp.failMu.Unlock()
+	return fmt.Errorf("%w: participant %s: %s", ErrEpochFailed, rp.Name, rp.failMsg)
+}
+
 func (rp *RemoteParticipant) failErr() error {
 	if e := rp.deadErr.Load(); e != nil {
 		return *e
@@ -111,9 +155,9 @@ func (rp *RemoteParticipant) read() {
 		f, err := rp.ch.Recv()
 		if err != nil {
 			if err != io.EOF {
-				rp.fail(fmt.Errorf("distrib: participant %s: %w", rp.Name, err))
+				rp.lost(fmt.Errorf("participant %s: %v", rp.Name, err))
 			} else {
-				rp.fail(fmt.Errorf("distrib: participant %s: control channel closed", rp.Name))
+				rp.lost(fmt.Errorf("participant %s: control channel closed", rp.Name))
 			}
 			return
 		}
@@ -136,6 +180,11 @@ func (rp *RemoteParticipant) read() {
 		case netwire.FrameAbort:
 			rp.fail(fmt.Errorf("distrib: participant %s aborted: %s", rp.Name, f.Msg))
 			return
+		case netwire.FrameFailed:
+			// The worker's epoch died locally but the process is parked
+			// and recoverable. Not terminal: the channel stays up for the
+			// reset/restore sequence.
+			rp.epochFailed(f.Msg)
 		default:
 			select {
 			case rp.inbox <- f:
@@ -184,7 +233,7 @@ func (rp *RemoteParticipant) recvReply(kind uint8, epoch int) (netwire.WireFrame
 
 func (rp *RemoteParticipant) send(f netwire.WireFrame) error {
 	if err := rp.ch.Send(f); err != nil {
-		err = fmt.Errorf("distrib: participant %s: %w", rp.Name, err)
+		err = fmt.Errorf("%w: participant %s: %v", ErrPeerLost, rp.Name, err)
 		rp.fail(err)
 		return err
 	}
@@ -194,12 +243,28 @@ func (rp *RemoteParticipant) send(f netwire.WireFrame) error {
 // Begin implements Participant: the epoch-0 plan followed by the empty
 // state delivery that releases the worker into its run.
 func (rp *RemoteParticipant) Begin(starts []int) error {
+	return rp.BeginAt(0, 0, starts)
+}
+
+// BeginAt implements Participant: a plan frame positioned at an
+// explicit epoch and base, followed by the empty state delivery that
+// releases the worker into its run. The participant's per-epoch
+// signals (done, epoch failure) reset with it.
+func (rp *RemoteParticipant) BeginAt(epoch, base int, starts []int) error {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
-	if err := rp.send(netwire.WireFrame{Kind: netwire.FramePlan, Epoch: 0, Phase: 0, Starts: starts}); err != nil {
+	rp.epoch = epoch
+	rp.doneMu.Lock()
+	rp.doneCh = make(chan struct{})
+	rp.doneMu.Unlock()
+	rp.failMu.Lock()
+	rp.epochFail = make(chan struct{})
+	rp.failMsg = ""
+	rp.failMu.Unlock()
+	if err := rp.send(netwire.WireFrame{Kind: netwire.FramePlan, Epoch: epoch, Phase: base, Starts: starts}); err != nil {
 		return err
 	}
-	return rp.send(netwire.WireFrame{Kind: netwire.FrameSnapshot, Epoch: 0, Phase: 0})
+	return rp.send(netwire.WireFrame{Kind: netwire.FrameSnapshot, Epoch: epoch, Phase: base})
 }
 
 // WaitStarted implements Participant: the blocking wait runs on the
@@ -222,6 +287,8 @@ func (rp *RemoteParticipant) WaitStarted(target int) (bool, error) {
 				continue // a late announcement from an earlier epoch's wait
 			}
 			return !f.Done, nil
+		case <-rp.epochFailCh():
+			return false, rp.epochFailErr()
 		case <-rp.dead:
 			return false, rp.failErr()
 		}
@@ -275,6 +342,8 @@ func (rp *RemoteParticipant) AwaitQuiesce() (QuiesceReport, error) {
 			return QuiesceReport{}, err
 		}
 		return QuiesceReport{Barrier: f.Phase, Times: durations(f.Times)}, nil
+	case <-rp.epochFailCh():
+		return QuiesceReport{}, rp.epochFailErr()
 	case <-rp.dead:
 		return QuiesceReport{}, rp.failErr()
 	}
@@ -338,6 +407,78 @@ func (rp *RemoteParticipant) Finish() error {
 	return err
 }
 
+// Reset implements Participant: the park command goes out and the
+// worker's newest stable checkpoint comes back. The worker defers its
+// reply until any live epoch drains, so the wait discards whatever
+// stale traffic that epoch still emits (progress replies, a quiesce
+// report, late started announcements) instead of failing on it.
+func (rp *RemoteParticipant) Reset() (CkptInfo, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if err := rp.send(netwire.WireFrame{Kind: netwire.FrameReset, Epoch: rp.epoch}); err != nil {
+		return CkptInfo{}, err
+	}
+	timer := time.NewTimer(rp.ackTimeout())
+	defer timer.Stop()
+	for {
+		select {
+		case f := <-rp.inbox:
+			if f.Kind != netwire.FrameRejoin {
+				continue // a stale reply from the abandoned epoch
+			}
+			// The control channel is ordered: any quiesce report or
+			// started announcement the abandoned epoch produced was
+			// enqueued before this reply, so one non-blocking drain
+			// clears them all.
+			rp.drainStale()
+			return CkptInfo{Epoch: f.Epoch, Base: f.Phase, Starts: f.Starts, Has: f.Done}, nil
+		case <-rp.quiesced:
+			continue // the abandoned epoch drained; obsolete now
+		case <-rp.started:
+			continue // a late announcement from the abandoned epoch
+		case <-rp.dead:
+			return CkptInfo{}, rp.failErr()
+		case <-timer.C:
+			err := fmt.Errorf("distrib: participant %s: no checkpoint report within %v of reset", rp.Name, rp.ackTimeout())
+			rp.fail(err)
+			return CkptInfo{}, err
+		}
+	}
+}
+
+// drainStale empties the quiesce and started slots without blocking.
+func (rp *RemoteParticipant) drainStale() {
+	for {
+		select {
+		case <-rp.quiesced:
+		case <-rp.started:
+		default:
+			return
+		}
+	}
+}
+
+// Restore implements Participant: the worker reloads module state from
+// its checkpoint at stableEpoch and confirms with a rejoin echo tagged
+// with nextEpoch.
+func (rp *RemoteParticipant) Restore(stableEpoch, nextEpoch int) (CkptInfo, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if err := rp.send(netwire.WireFrame{Kind: netwire.FrameRestore, Epoch: nextEpoch, Phase: stableEpoch}); err != nil {
+		return CkptInfo{}, err
+	}
+	f, err := rp.recvReply(netwire.FrameRejoin, nextEpoch)
+	if err != nil {
+		return CkptInfo{}, err
+	}
+	if !f.Done {
+		err := fmt.Errorf("distrib: participant %s: restore echo reports no checkpoint at epoch %d", rp.Name, stableEpoch)
+		rp.fail(err)
+		return CkptInfo{}, err
+	}
+	return CkptInfo{Epoch: f.Epoch, Base: f.Phase, Starts: f.Starts, Has: f.Done}, nil
+}
+
 // Abort implements Participant: best-effort root-cause delivery, then
 // teardown.
 func (rp *RemoteParticipant) Abort(reason error) {
@@ -386,6 +527,15 @@ type WorkerConfig struct {
 	Wire WireFunc
 	// Log receives progress lines; nil discards.
 	Log io.Writer
+	// WAL, when non-nil, makes the worker durable: every epoch launch
+	// appends an fsynced checkpoint of the machine's owned module state
+	// before the first phase runs, and a local epoch failure parks the
+	// process (FrameFailed) instead of aborting the flock.
+	WAL *wal.Log
+	// Rejoin makes the worker open the conversation with a FrameRejoin
+	// hello carrying its newest WAL checkpoint — the restarted-process
+	// path. Requires WAL.
+	Rejoin bool
 }
 
 // workerEpoch is one epoch's live state on the worker side.
@@ -459,15 +609,63 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 		return rep, err
 	}
 
+	// sendStable reports the newest durable checkpoint as a FrameRejoin:
+	// the reply to a reset, and the hello a restarted worker opens with.
+	sendStable := func() error {
+		var f netwire.WireFrame
+		f.Kind = netwire.FrameRejoin
+		if cp, ok := wc.WAL.Stable(); ok {
+			f.Epoch, f.Phase, f.Starts, f.Done = cp.Epoch, cp.Base, cp.Starts, true
+		}
+		return ch.Send(f)
+	}
+	if wc.Rejoin {
+		if wc.WAL == nil {
+			return rep, fmt.Errorf("distrib: machine %d: rejoin requires a WAL", wc.Machine)
+		}
+		if err := sendStable(); err != nil {
+			return rep, fmt.Errorf("distrib: machine %d: sending rejoin hello: %w", wc.Machine, err)
+		}
+	}
+
 	var cur *workerEpoch
 	var pending *workerEpoch // announced by FramePlan, started by FrameSnapshot
+	// resumeEpoch is the epoch number the next plan must carry after a
+	// restore (-1 outside recovery); resetRequested defers the reset
+	// reply until the live epoch drains.
+	resumeEpoch := -1
+	resetRequested := false
 	runDone := make(chan runResult, 1)
 	for {
 		select {
 		case r := <-runDone:
 			rep.Stats = mergeCoreStats(rep.Stats, r.stats)
 			cur.done = true
+			if resetRequested {
+				// A reset arrived while this epoch was live: its outcome,
+				// success or failure, is abandoned. Answer with the
+				// checkpoint now that the machines have unwound.
+				resetRequested = false
+				logf("machine %d: epoch %d abandoned by reset", wc.Machine, cur.epoch)
+				if err := sendStable(); err != nil {
+					return rep, err
+				}
+				cur, pending = nil, nil
+				continue
+			}
 			if r.err != nil {
+				if wc.WAL != nil {
+					// Durable worker: the epoch died but the checkpoint
+					// under it survives. Park and report the root cause;
+					// the coordinator rolls the flock back (DESIGN.md §10).
+					logf("machine %d: epoch %d failed, parked: %v", wc.Machine, cur.epoch, r.err)
+					if err := ch.Send(netwire.WireFrame{
+						Kind: netwire.FrameFailed, Epoch: cur.epoch, Msg: r.err.Error(),
+					}); err != nil {
+						return rep, err
+					}
+					continue
+				}
 				return abort(fmt.Errorf("distrib: machine %d: epoch %d: %w", wc.Machine, cur.epoch, r.err))
 			}
 			barrier := cur.d.machines[wc.Machine].barrierAt
@@ -531,6 +729,8 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 				wantEpoch := 0
 				if cur != nil {
 					wantEpoch = cur.epoch + 1
+				} else if resumeEpoch >= 0 {
+					wantEpoch = resumeEpoch
 				}
 				if f.Epoch != wantEpoch {
 					return abort(fmt.Errorf("distrib: machine %d: stale-epoch plan: epoch %d, want %d", wc.Machine, f.Epoch, wantEpoch))
@@ -589,12 +789,29 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 				}
 				ctl := newEpochCtl(pending.epoch, pending.base, total, machineHeads(d, wc.Machine))
 				d.machines[wc.Machine].ctl = ctl
+				if wc.WAL != nil {
+					// The durability point: the epoch's plan and this
+					// machine's owned state hit disk before any link is
+					// wired or any phase runs, so a crash at any later
+					// moment can roll back to here.
+					snaps, err := ownedSnaps(wc.Mods, wc.Machine, pending.starts)
+					if err != nil {
+						return abort(err)
+					}
+					if err := wc.WAL.Append(wal.Checkpoint{
+						Epoch: pending.epoch, Base: pending.base, Starts: pending.starts, Snaps: snaps,
+					}); err != nil {
+						return abort(fmt.Errorf("distrib: machine %d: checkpointing epoch %d: %w", wc.Machine, pending.epoch, err))
+					}
+					logf("machine %d: epoch %d checkpointed at phase %d (%d vertices)", wc.Machine, pending.epoch, pending.base, len(snaps))
+				}
 				in, out, err := wc.Wire(d, pending.epoch)
 				if err != nil {
 					return abort(fmt.Errorf("distrib: machine %d: wiring epoch %d: %w", wc.Machine, pending.epoch, err))
 				}
 				pending.d, pending.ctl = d, ctl
 				cur, pending = pending, nil
+				resumeEpoch = -1
 				rep.FinalStarts = cur.starts
 				rep.Epochs++
 				logf("machine %d: epoch %d running from phase %d (%d restored)", wc.Machine, cur.epoch, cur.base+1, len(f.Snaps))
@@ -602,6 +819,61 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 					st, err := cur.d.RunMachine(wc.Machine, batches, in, out)
 					runDone <- runResult{st, err}
 				}(cur, wc.Batches[cur.base:])
+
+			case netwire.FrameReset:
+				if wc.WAL == nil {
+					return abort(fmt.Errorf("distrib: machine %d: reset without a WAL", wc.Machine))
+				}
+				if cur != nil && !cur.done {
+					// A live epoch cannot be interrupted mid-phase; let it
+					// drain and answer then. The crash may have caught the
+					// heads parked in a pause whose barrier never arrived,
+					// so publish the run's end to unpark them (idempotent —
+					// a real barrier, if one landed, wins): the epoch then
+					// either completes or dies on its peers' dead links,
+					// and either way runDone fires.
+					cur.ctl.publish(total)
+					resetRequested = true
+					pending = nil
+					logf("machine %d: reset requested, epoch %d still draining", wc.Machine, cur.epoch)
+					continue
+				}
+				logf("machine %d: reset, reporting stable checkpoint", wc.Machine)
+				if err := sendStable(); err != nil {
+					return rep, err
+				}
+				cur, pending = nil, nil
+
+			case netwire.FrameRestore:
+				if wc.WAL == nil {
+					return abort(fmt.Errorf("distrib: machine %d: restore without a WAL", wc.Machine))
+				}
+				if cur != nil || pending != nil {
+					return abort(fmt.Errorf("distrib: machine %d: restore while an epoch is live", wc.Machine))
+				}
+				cp, ok := wc.WAL.At(f.Phase)
+				if !ok {
+					return abort(fmt.Errorf("distrib: machine %d: no checkpoint at epoch %d to restore", wc.Machine, f.Phase))
+				}
+				for _, snap := range cp.Snaps {
+					if snap.Vertex < 1 || snap.Vertex > n {
+						return abort(fmt.Errorf("distrib: machine %d: checkpointed snapshot for vertex %d of %d", wc.Machine, snap.Vertex, n))
+					}
+					s, ok := wc.Mods[snap.Vertex-1].(core.Snapshotter)
+					if !ok {
+						return abort(fmt.Errorf("distrib: machine %d: vertex %d (%T) cannot restore serialized state", wc.Machine, snap.Vertex, wc.Mods[snap.Vertex-1]))
+					}
+					if err := s.RestoreState(snap.State); err != nil {
+						return abort(fmt.Errorf("distrib: machine %d: restoring vertex %d from checkpoint: %w", wc.Machine, snap.Vertex, err))
+					}
+				}
+				resumeEpoch = f.Epoch
+				logf("machine %d: restored checkpoint epoch %d (base %d, %d vertices), resuming as epoch %d", wc.Machine, cp.Epoch, cp.Base, len(cp.Snaps), f.Epoch)
+				if err := ch.Send(netwire.WireFrame{
+					Kind: netwire.FrameRejoin, Epoch: f.Epoch, Phase: cp.Base, Starts: cp.Starts, Done: true,
+				}); err != nil {
+					return rep, err
+				}
 
 			case netwire.FrameFinish:
 				if cur == nil || f.Epoch != cur.epoch || !cur.done {
@@ -654,6 +926,30 @@ func leavingSnaps(mods []core.Module, m int, oldStarts, newStarts []int) ([]core
 		state, err := s.SnapshotState()
 		if err != nil {
 			return nil, fmt.Errorf("distrib: machine %d: snapshotting vertex %d: %w", m, v, err)
+		}
+		snaps = append(snaps, core.VertexSnapshot{Vertex: v, State: state})
+	}
+	return snaps, nil
+}
+
+// ownedSnaps serializes the state of every vertex machine m owns under
+// starts — the checkpoint a durable worker writes at each epoch launch.
+// Durability requires core.Snapshotter on every owned module; a module
+// without it fails the checkpoint with the vertex named, rather than
+// silently writing a hole.
+func ownedSnaps(mods []core.Module, m int, starts []int) ([]core.VertexSnapshot, error) {
+	var snaps []core.VertexSnapshot
+	for v := 1; v <= len(mods); v++ {
+		if graph.PartitionOf(starts, v) != m {
+			continue
+		}
+		s, ok := mods[v-1].(core.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("distrib: machine %d: vertex %d (%T) does not implement core.Snapshotter and cannot be checkpointed", m, v, mods[v-1])
+		}
+		state, err := s.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("distrib: machine %d: snapshotting vertex %d for checkpoint: %w", m, v, err)
 		}
 		snaps = append(snaps, core.VertexSnapshot{Vertex: v, State: state})
 	}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/module"
 	"repro/internal/netwire"
 	"repro/internal/spec"
+	"repro/internal/wal"
 )
 
 // Regions is the number of regional feeds in the demo graph.
@@ -232,6 +234,26 @@ type WorkerOptions struct {
 	// DialTimeout bounds how long to keep retrying a peer that has not
 	// started listening yet. Defaults to 15s.
 	DialTimeout time.Duration
+	// WALDir, when set, makes a rebalancing run durable (DESIGN.md
+	// §10): each worker appends fsynced epoch checkpoints to
+	// WALDir/machine-<m>.wal, a local epoch failure parks the process
+	// instead of tearing the flock down, and machine 0's coordinator
+	// accepts crash rejoins mid-run. Requires Rebalance.
+	WALDir string
+	// Recover makes this worker rejoin a running flock from its WAL
+	// instead of joining the initial launch — the restarted-process
+	// path. Requires WALDir; machine 0 (the coordinator) cannot
+	// recover.
+	Recover bool
+	// RecoverWindow bounds how long the coordinator waits for a
+	// crashed worker to rejoin before aborting with the original
+	// failure. Zero takes the control plane's default (30s).
+	RecoverWindow time.Duration
+	// WorkloadName identifies the workload inside the WAL header, so a
+	// recovery against logs written under a different workload (e.g.
+	// another -spec) is refused instead of replayed. Defaults to
+	// "demo".
+	WorkloadName string
 	// Log receives progress lines. Defaults to discarding.
 	Log io.Writer
 }
@@ -246,6 +268,9 @@ type WorkerResult struct {
 	// Rebalances records the run's epoch switches; only machine 0 (the
 	// coordinator) fills it.
 	Rebalances []distrib.RebalanceEvent
+	// Recoveries records the run's crash recoveries (durable runs
+	// only); only machine 0 (the coordinator) fills it.
+	Recoveries []distrib.RecoveryEvent
 }
 
 // backoffFor sizes the shared dial-retry schedule so its worst-case
@@ -282,6 +307,17 @@ func RunWorker(o WorkerOptions) (WorkerResult, error) {
 	}
 	if o.Machine < 0 || o.Machine >= o.Machines || len(o.Peers) != o.Machines {
 		return WorkerResult{}, fmt.Errorf("griddemo: machine %d of %d with %d peers", o.Machine, o.Machines, len(o.Peers))
+	}
+	if o.WALDir != "" && !o.Rebalance {
+		return WorkerResult{}, fmt.Errorf("griddemo: a WAL requires the rebalancing control plane (checkpoints ride epoch launches)")
+	}
+	if o.Recover {
+		if o.WALDir == "" {
+			return WorkerResult{}, fmt.Errorf("griddemo: recovery requires a WAL directory")
+		}
+		if o.Machine == 0 {
+			return WorkerResult{}, fmt.Errorf("griddemo: machine 0 hosts the coordinator and cannot rejoin a running flock (restart the whole run instead)")
+		}
 	}
 	var w Workload
 	if o.Workload != nil {
@@ -352,6 +388,23 @@ func runRebalancingWorker(o WorkerOptions, w Workload, host *distrib.WireHost) (
 		Wire:    host.Wire,
 		Log:     o.Log,
 	}
+	if o.WALDir != "" {
+		name := o.WorkloadName
+		if name == "" {
+			name = "demo"
+		}
+		// The signature binds the log to one workload identity: a
+		// recovery against a WAL written under another spec, machine
+		// count or phase count is refused at Open, not replayed.
+		sig := fmt.Sprintf("%s/machines=%d/phases=%d", name, o.Machines, o.Phases)
+		wlog, err := wal.Open(filepath.Join(o.WALDir, fmt.Sprintf("machine-%d.wal", m)), m, sig)
+		if err != nil {
+			return WorkerResult{}, fmt.Errorf("griddemo: machine %d: %w", m, err)
+		}
+		defer wlog.Close()
+		wc.WAL = wlog
+		wc.Rejoin = o.Recover
+	}
 
 	if m != 0 {
 		ch, err := host.DialCtl(0)
@@ -397,6 +450,45 @@ func runRebalancingWorker(o WorkerOptions, w Workload, host *distrib.WireHost) (
 		Rebalance:    rcfg,
 		Participants: parts,
 	}
+	var stopRejoins chan struct{}
+	if o.WALDir != "" {
+		// Durable run: keep accepting control channels for the whole
+		// run, so a crashed worker's restarted process can dial back in.
+		// Each accept must open with the rejoin hello; anything else is
+		// a stray and is dropped.
+		rejoins := make(chan distrib.RejoinOffer, o.Machines)
+		stopRejoins = make(chan struct{})
+		co.Rejoins = rejoins
+		co.Recovery = distrib.RecoverConfig{Window: o.RecoverWindow}
+		go func() {
+			for {
+				conn, err := host.AcceptCtl(500 * time.Millisecond)
+				if err != nil {
+					select {
+					case <-stopRejoins:
+						return
+					default:
+						continue // timeout tick; keep listening
+					}
+				}
+				hs := conn.Handshake()
+				hello, err := conn.Recv()
+				if err != nil || hello.Kind != netwire.FrameRejoin ||
+					hs.From <= 0 || hs.From >= o.Machines {
+					conn.Close()
+					continue
+				}
+				fmt.Fprintf(o.Log, "coordinator: machine %d offers to rejoin (stable epoch %d, has checkpoint %v)\n",
+					hs.From, hello.Epoch, hello.Done)
+				select {
+				case rejoins <- distrib.RejoinOffer{Machine: hs.From, Ch: conn}:
+				case <-stopRejoins:
+					conn.Close()
+					return
+				}
+			}
+		}()
+	}
 	type coDone struct {
 		events []distrib.RebalanceEvent
 		err    error
@@ -408,6 +500,9 @@ func runRebalancingWorker(o WorkerOptions, w Workload, host *distrib.WireHost) (
 	}()
 	rep, serveErr := serveWorker(selfCh, wc, o.Log)
 	cd := <-coCh
+	if stopRejoins != nil {
+		close(stopRejoins)
+	}
 	if cd.err != nil {
 		return WorkerResult{}, fmt.Errorf("griddemo: coordinator: %w", cd.err)
 	}
@@ -418,8 +513,13 @@ func runRebalancingWorker(o WorkerOptions, w Workload, host *distrib.WireHost) (
 		fmt.Fprintf(o.Log, "coordinator: epoch switch @ phase %d: starts %v -> %v, %d vertices moved (%d serialized, %d bytes)\n",
 			ev.Barrier, ev.FromStarts, ev.ToStarts, ev.Moved, ev.Serialized, ev.HandoffBytes)
 	}
+	for _, rv := range co.Recoveries() {
+		fmt.Fprintf(o.Log, "coordinator: recovery: machines %v rejoined, rolled back to epoch %d (phase %d), relaunched as epoch %d in %v\n",
+			rv.Machines, rv.StableEpoch, rv.Base, rv.NextEpoch, rv.Wall.Round(time.Millisecond))
+	}
 	res := resultFor(w, rep, m)
 	res.Rebalances = cd.events
+	res.Recoveries = co.Recoveries()
 	return res, nil
 }
 

@@ -1,0 +1,70 @@
+package netwire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyBudget is a schedule small enough that exhausting it takes a few
+// milliseconds, not the production default's multi-second total.
+var tinyBudget = Backoff{Base: time.Millisecond, Factor: 1, Max: time.Millisecond, Attempts: 3}
+
+// deadAddr returns a loopback address nothing listens on: bind a
+// listener, note the port, close it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDialRetryExhaustion: a data-link dial against a dead peer burns
+// the whole budget and surfaces an error naming the attempt count, the
+// link, and the address — what a rejoining worker logs when the flock
+// is gone.
+func TestDialRetryExhaustion(t *testing.T) {
+	addr := deadAddr(t)
+	_, err := DialRetry(addr, 1, 2, 4, tinyBudget)
+	if err == nil {
+		t.Fatal("DialRetry to a dead address succeeded")
+	}
+	for _, want := range []string{"3 attempts exhausted", "1->2", addr} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestDialCtlRetryExhaustion: the control-channel dial a rejoining
+// worker performs reports exhaustion the same way.
+func TestDialCtlRetryExhaustion(t *testing.T) {
+	addr := deadAddr(t)
+	_, err := DialCtlRetry(addr, 2, 0, tinyBudget)
+	if err == nil {
+		t.Fatal("DialCtlRetry to a dead address succeeded")
+	}
+	for _, want := range []string{"3 attempts exhausted", "dial ctl 2->0", addr} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestDialErrorsNameAddress: even a single failed dial (no retry
+// schedule) names the peer address, so operators can tell which peer
+// of a flock is unreachable.
+func TestDialErrorsNameAddress(t *testing.T) {
+	addr := deadAddr(t)
+	if _, err := Dial(addr, 0, 1, 2); err == nil || !strings.Contains(err.Error(), addr) {
+		t.Errorf("Dial error %v does not name %s", err, addr)
+	}
+	if _, err := DialCtl(addr, 0, 1); err == nil || !strings.Contains(err.Error(), addr) {
+		t.Errorf("DialCtl error %v does not name %s", err, addr)
+	}
+}

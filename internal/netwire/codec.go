@@ -190,6 +190,27 @@ const (
 	// heads opened; Done reports they finished without reaching the
 	// awaited target.
 	FrameStarted = 11
+	// FrameRejoin is the recovery identity frame (protocol v4). A
+	// restarted worker sends it unsolicited after its control handshake,
+	// and every worker answers FrameReset/FrameRestore with one: Epoch
+	// and Phase name the checkpoint it describes (epoch and base phase),
+	// Starts its partition, Done whether a checkpoint exists at all. An
+	// empty Starts is legal here — a rejoiner with a fresh WAL has no
+	// partition to report.
+	FrameRejoin = 12
+	// FrameReset asks a participant to park (abandon any live epoch,
+	// keep its WAL) and answer with a FrameRejoin describing its newest
+	// stable checkpoint (coordinator → participant; no payload).
+	FrameReset = 13
+	// FrameRestore asks a parked participant to reload module state from
+	// its checkpoint at epoch Phase and prepare to resume at epoch Epoch,
+	// answering with a FrameRejoin echo of the restored checkpoint
+	// (coordinator → participant; no payload).
+	FrameRestore = 14
+	// FrameFailed is a participant's report that its current epoch died
+	// locally but the process is parked and recoverable: Msg carries the
+	// root cause. Unlike FrameAbort it does not tear the channel down.
+	FrameFailed = 15
 )
 
 // maxWireStarts bounds a plan frame's machine count; a deployment with
@@ -276,9 +297,21 @@ func AppendFrame(buf []byte, f WireFrame) []byte {
 		for _, s := range f.Starts {
 			buf = binary.AppendUvarint(buf, uint64(s))
 		}
-	case FrameAbort:
+	case FrameAbort, FrameFailed:
 		buf = binary.AppendUvarint(buf, uint64(len(f.Msg)))
 		buf = append(buf, f.Msg...)
+	case FrameReset, FrameRestore:
+		// no payload
+	case FrameRejoin:
+		if f.Done {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(f.Starts)))
+		for _, s := range f.Starts {
+			buf = binary.AppendUvarint(buf, uint64(s))
+		}
 	default:
 		panic(fmt.Sprintf("netwire: unencodable frame kind %d", f.Kind))
 	}
@@ -336,8 +369,18 @@ func DecodeFrame(payload []byte) (WireFrame, error) {
 		f.Times, err = decodeTimes(payload)
 	case FramePlan:
 		f.Starts, err = decodeStarts(payload)
-	case FrameAbort:
+	case FrameAbort, FrameFailed:
 		f.Msg, err = decodeMsg(payload)
+	case FrameReset, FrameRestore:
+		if len(payload) != 0 {
+			err = fmt.Errorf("netwire: %d payload bytes on a frame of kind %d", len(payload), f.Kind)
+		}
+	case FrameRejoin:
+		if len(payload) == 0 {
+			return WireFrame{}, fmt.Errorf("netwire: truncated rejoin frame: missing checkpoint flag")
+		}
+		f.Done, payload = payload[0] != 0, payload[1:]
+		f.Starts, err = decodeRejoinStarts(payload)
 	default:
 		err = fmt.Errorf("netwire: unknown frame kind %d", f.Kind)
 	}
@@ -389,6 +432,39 @@ func decodeStarts(payload []byte) ([]int, error) {
 		return nil, fmt.Errorf("netwire: frame claims %d starts in %d bytes", n, len(payload))
 	}
 	starts := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, used := binary.Uvarint(payload)
+		if used <= 0 {
+			return nil, fmt.Errorf("netwire: truncated start %d", i)
+		}
+		payload = payload[used:]
+		if s == 0 || s > math.MaxInt32 {
+			return nil, fmt.Errorf("netwire: start %d: implausible vertex %d", i, s)
+		}
+		starts = append(starts, int(s))
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))
+	}
+	return starts, nil
+}
+
+// decodeRejoinStarts decodes a rejoin frame's partition vector. Unlike
+// decodeStarts an empty vector is legal: a rejoiner without a
+// checkpoint has no partition to report.
+func decodeRejoinStarts(payload []byte) ([]int, error) {
+	n, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return nil, fmt.Errorf("netwire: truncated frame: missing start count")
+	}
+	payload = payload[used:]
+	if n > maxWireStarts || n > uint64(len(payload)) {
+		return nil, fmt.Errorf("netwire: frame claims %d starts in %d bytes", n, len(payload))
+	}
+	var starts []int
+	if n > 0 {
+		starts = make([]int, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		s, used := binary.Uvarint(payload)
 		if used <= 0 {

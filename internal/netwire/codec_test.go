@@ -178,6 +178,84 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecoveryFrameRoundTrip pins the v4 recovery kinds: rejoin
+// frames (with and without a checkpoint to report), the payload-free
+// reset/restore commands, and the failed report.
+func TestRecoveryFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		f    WireFrame
+	}{
+		{"rejoin with checkpoint", WireFrame{Kind: FrameRejoin, Epoch: 3, Phase: 120, Done: true, Starts: []int{1, 4, 7}}},
+		{"rejoin empty wal", WireFrame{Kind: FrameRejoin, Epoch: 0, Phase: 0, Done: false}},
+		{"reset", WireFrame{Kind: FrameReset, Epoch: 5, Phase: 0}},
+		{"restore", WireFrame{Kind: FrameRestore, Epoch: 6, Phase: 4}},
+		{"failed", WireFrame{Kind: FrameFailed, Epoch: 2, Phase: 88, Msg: "machine 1: link 1->2 closed"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			payload := AppendFrame(nil, c.f)
+			got, err := DecodeFrame(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			framesEqual(t, got, c.f)
+			if got.Done != c.f.Done || got.Msg != c.f.Msg || len(got.Starts) != len(c.f.Starts) {
+				t.Fatalf("payload changed: %+v -> %+v", c.f, got)
+			}
+			for i := range got.Starts {
+				if got.Starts[i] != c.f.Starts[i] {
+					t.Fatalf("starts %v -> %v", c.f.Starts, got.Starts)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryFrameHostileRejected: the rejoin decoder keeps the plan
+// decoder's bounds checks even though it additionally allows an empty
+// partition.
+func TestRecoveryFrameHostileRejected(t *testing.T) {
+	header := func(kind uint8) []byte {
+		buf := []byte{kind}
+		buf = binary.AppendUvarint(buf, 0) // epoch
+		buf = binary.AppendUvarint(buf, 1) // phase
+		return buf
+	}
+	// absurd start count
+	buf := append(header(FrameRejoin), 1) // has-checkpoint flag
+	buf = binary.AppendUvarint(buf, math.MaxInt32)
+	if _, err := DecodeFrame(buf); err == nil {
+		t.Error("absurd rejoin start count accepted")
+	}
+	// vertex 0 is not a start
+	buf = append(header(FrameRejoin), 1)
+	buf = binary.AppendUvarint(buf, 1)
+	buf = binary.AppendUvarint(buf, 0)
+	if _, err := DecodeFrame(buf); err == nil {
+		t.Error("rejoin start 0 accepted")
+	}
+	// reset/restore must carry no payload
+	if _, err := DecodeFrame(append(header(FrameReset), 0)); err == nil {
+		t.Error("reset frame with payload accepted")
+	}
+	if _, err := DecodeFrame(append(header(FrameRestore), 0)); err == nil {
+		t.Error("restore frame with payload accepted")
+	}
+	// truncation of every recovery frame prefix is rejected
+	for _, f := range []WireFrame{
+		{Kind: FrameRejoin, Epoch: 3, Phase: 9, Done: true, Starts: []int{1, 2, 5}},
+		{Kind: FrameFailed, Epoch: 1, Phase: 2, Msg: "boom"},
+	} {
+		full := AppendFrame(nil, f)
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := DecodeFrame(full[:cut]); err == nil {
+				t.Errorf("kind %d: truncated frame at %d/%d accepted", f.Kind, cut, len(full))
+			}
+		}
+	}
+}
+
 func TestFrameTruncatedRejected(t *testing.T) {
 	for _, f := range []WireFrame{
 		{Kind: FrameData, Epoch: 1, Phase: 99, Inputs: frameInputs()},

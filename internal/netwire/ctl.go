@@ -37,18 +37,18 @@ func newCtlConn(conn net.Conn, hs Handshake, maxSize int) *CtlConn {
 func DialCtl(addr string, from, to int) (*CtlConn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("netwire: dial ctl %d->%d: %w", from, to, err)
+		return nil, fmt.Errorf("netwire: dial ctl %d->%d at %s: %w", from, to, addr, err)
 	}
 	hs := Handshake{From: from, To: to, Window: 1, Ctl: true}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	if err := writeHandshake(conn, hs); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("netwire: ctl handshake %d->%d: %w", from, to, err)
+		return nil, fmt.Errorf("netwire: ctl handshake %d->%d at %s: %w", from, to, addr, err)
 	}
 	var ack [1]byte
 	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != ackByte {
 		conn.Close()
-		return nil, fmt.Errorf("netwire: ctl channel %d->%d not acknowledged: %v", from, to, err)
+		return nil, fmt.Errorf("netwire: ctl channel %d->%d at %s not acknowledged: %v", from, to, addr, err)
 	}
 	conn.SetDeadline(time.Time{})
 	return newCtlConn(conn, hs, DefaultMaxFrame), nil
@@ -84,6 +84,9 @@ func (c *CtlConn) Recv() (WireFrame, error) {
 		if err == io.EOF {
 			return WireFrame{}, io.EOF
 		}
+		if err == io.ErrUnexpectedEOF {
+			return WireFrame{}, fmt.Errorf("%w on ctl %d->%d: partial frame length: %v", ErrTruncatedFrame, c.hs.From, c.hs.To, err)
+		}
 		return WireFrame{}, fmt.Errorf("netwire: ctl %d->%d: reading frame length: %w", c.hs.From, c.hs.To, err)
 	}
 	n := binary.BigEndian.Uint32(prefix[:])
@@ -95,7 +98,7 @@ func (c *CtlConn) Recv() (WireFrame, error) {
 	}
 	c.rbuf = c.rbuf[:n]
 	if _, err := io.ReadFull(c.conn, c.rbuf); err != nil {
-		return WireFrame{}, fmt.Errorf("netwire: ctl %d->%d: truncated frame: %w", c.hs.From, c.hs.To, err)
+		return WireFrame{}, fmt.Errorf("%w on ctl %d->%d: %v", ErrTruncatedFrame, c.hs.From, c.hs.To, err)
 	}
 	f, err := DecodeFrame(c.rbuf)
 	if err != nil {

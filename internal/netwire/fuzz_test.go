@@ -60,11 +60,12 @@ func FuzzValueRoundTrip(f *testing.F) {
 
 // frameFromSeed deterministically builds a frame of any kind from fuzz
 // bytes: data frames with two inputs, barriers, snapshot frames whose
-// state bytes come straight from the fuzzer, and every control-plane
+// state bytes come straight from the fuzzer, every control-plane
 // kind — progress/quiesce time vectors, plans, waits, started
-// announcements and aborts.
+// announcements and aborts — and the v4 recovery kinds (rejoin frames
+// with possibly-empty partitions, resets, restores, failure reports).
 func frameFromSeed(fkind uint8, epoch, phase int, kind uint8, num int64, s string, vec []byte) WireFrame {
-	f := WireFrame{Kind: fkind % 12, Epoch: epoch, Phase: phase}
+	f := WireFrame{Kind: fkind % 16, Epoch: epoch, Phase: phase}
 	switch f.Kind {
 	case FrameData:
 		f.Inputs = []core.ExtInput{
@@ -89,8 +90,15 @@ func frameFromSeed(fkind uint8, epoch, phase int, kind uint8, num int64, s strin
 		}
 	case FrameStarted:
 		f.Done = num%2 == 0
-	case FrameAbort:
+	case FrameAbort, FrameFailed:
 		f.Msg = s
+	case FrameRejoin:
+		f.Done = num%2 == 0
+		// An empty partition is legal on a rejoin frame.
+		f.Starts = make([]int, int(kind)%4)
+		for i := range f.Starts {
+			f.Starts[i] = 1 + i*(1+int(num&7))
+		}
 	}
 	return f
 }
@@ -127,6 +135,11 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(uint8(FrameWait), 0, 12, uint8(0), int64(0), "", []byte{})
 	f.Add(uint8(FrameStarted), 0, 14, uint8(0), int64(1), "", []byte{})
 	f.Add(uint8(FrameAbort), 4, 0, uint8(0), int64(0), "machine 2: injected crash", []byte{})
+	f.Add(uint8(FrameRejoin), 2, 120, uint8(3), int64(4), "", []byte{})
+	f.Add(uint8(FrameRejoin), 0, 0, uint8(0), int64(1), "", []byte{})
+	f.Add(uint8(FrameReset), 1, 0, uint8(0), int64(0), "", []byte{})
+	f.Add(uint8(FrameRestore), 5, 3, uint8(0), int64(0), "", []byte{})
+	f.Add(uint8(FrameFailed), 2, 88, uint8(0), int64(0), "machine 1: link closed", []byte{})
 	f.Fuzz(func(t *testing.T, fkind uint8, epoch, phase int, kind uint8, num int64, s string, vec []byte) {
 		if phase < 0 || phase > math.MaxInt32 || epoch < 0 || epoch > math.MaxInt32 {
 			t.Skip()
@@ -175,6 +188,11 @@ func FuzzDecodeFrameHostile(f *testing.F) {
 	f.Add(AppendFrame(nil, WireFrame{Kind: FrameWait, Epoch: 0, Phase: 16}))
 	f.Add(AppendFrame(nil, WireFrame{Kind: FrameStarted, Epoch: 0, Phase: 18, Done: false}))
 	f.Add(AppendFrame(nil, WireFrame{Kind: FrameAbort, Epoch: 3, Msg: "barrier ack timeout"}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameRejoin, Epoch: 2, Phase: 120, Done: true, Starts: []int{1, 4, 7}}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameRejoin, Epoch: 0, Phase: 0}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameReset, Epoch: 1}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameRestore, Epoch: 6, Phase: 4}))
+	f.Add(AppendFrame(nil, WireFrame{Kind: FrameFailed, Epoch: 2, Phase: 88, Msg: "machine 1: link closed"}))
 	f.Add([]byte{FramePlan, 0x01, 0x14, 0xff, 0xff, 0xff, 0xff, 0x0f})
 	f.Add([]byte{FrameAbort, 0x00, 0x00, 0xff, 0xff, 0x7f})
 	f.Add([]byte{0x00, 0x00, 0xff, 0xff, 0xff, 0xff, 0x0f})

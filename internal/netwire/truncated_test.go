@@ -1,0 +1,160 @@
+package netwire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// rawDial performs the handshake by hand and returns the naked
+// connection, so a test can cut the stream at any byte.
+func rawDial(t *testing.T, addr string, hs Handshake) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeHandshake(conn, hs); err != nil {
+		t.Fatal(err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != ackByte {
+		t.Fatalf("no ack: %v", err)
+	}
+	return conn
+}
+
+// acceptOne runs AcceptAny in the background and returns its result
+// channel.
+func acceptOne(ln *Listener) chan struct {
+	rl  *RecvLink
+	ctl *CtlConn
+	err error
+} {
+	acc := make(chan struct {
+		rl  *RecvLink
+		ctl *CtlConn
+		err error
+	}, 1)
+	go func() {
+		rl, ctl, err := ln.AcceptAny()
+		acc <- struct {
+			rl  *RecvLink
+			ctl *CtlConn
+			err error
+		}{rl, ctl, err}
+	}()
+	return acc
+}
+
+// TestCtlTruncatedFrame: a control peer dying mid-frame surfaces
+// ErrTruncatedFrame — distinguishable with errors.Is from the io.EOF a
+// clean shutdown produces (which TestCtlConnRoundTrip pins).
+func TestCtlTruncatedFrame(t *testing.T) {
+	cuts := []struct {
+		name  string
+		bytes []byte // what the dying peer managed to write
+	}{
+		{"mid prefix", []byte{0x00, 0x00}},
+		{"mid payload", []byte{0x00, 0x00, 0x00, 0x0A, FramePoll, 0x00}},
+	}
+	for _, cut := range cuts {
+		t.Run(cut.name, func(t *testing.T) {
+			ln, err := Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			acc := acceptOne(ln)
+			conn := rawDial(t, ln.Addr(), Handshake{From: 1, To: 0, Window: 1, Ctl: true})
+			a := <-acc
+			if a.err != nil {
+				t.Fatal(a.err)
+			}
+			if _, err := conn.Write(cut.bytes); err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			_, err = a.ctl.Recv()
+			if !errors.Is(err, ErrTruncatedFrame) {
+				t.Fatalf("Recv after mid-frame close: %v, want ErrTruncatedFrame", err)
+			}
+			a.ctl.Close()
+		})
+	}
+}
+
+// TestLinkTruncatedFrame: the same distinction on a data link — a
+// sender dying mid-frame is ErrTruncatedFrame on Err, while a clean
+// half-close after complete frames is a nil Err.
+func TestLinkTruncatedFrame(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acc := acceptOne(ln)
+	conn := rawDial(t, ln.Addr(), Handshake{From: 0, To: 1, Window: 2})
+	a := <-acc
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	// One complete frame, then a torn one.
+	payload := AppendFrame(nil, WireFrame{Kind: FrameBarrier, Epoch: 1, Phase: 7})
+	whole := append([]byte{0, 0, 0, byte(len(payload))}, payload...)
+	whole = append(whole, 0x00, 0x00, 0x00, 0x20, FrameData) // torn: claims 32 bytes
+	if _, err := conn.Write(whole); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	f, ok := a.rl.Recv()
+	if !ok || f.Kind != FrameBarrier {
+		t.Fatalf("complete frame before the tear not delivered: %+v ok=%v", f, ok)
+	}
+	if _, ok := a.rl.Recv(); ok {
+		t.Fatal("torn frame delivered")
+	}
+	if err := a.rl.Err(); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("Err after mid-frame close: %v, want ErrTruncatedFrame", err)
+	}
+}
+
+// TestLinkCleanCloseNotTruncated: a clean half-close on a frame
+// boundary must not read as truncation.
+func TestLinkCleanCloseNotTruncated(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acc := acceptOne(ln)
+	conn := rawDial(t, ln.Addr(), Handshake{From: 0, To: 1, Window: 2})
+	a := <-acc
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	payload := AppendFrame(nil, WireFrame{Kind: FrameBarrier, Epoch: 0, Phase: 3})
+	frame := append([]byte{0, 0, 0, byte(len(payload))}, payload...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	} else {
+		conn.Close()
+	}
+	if f, ok := a.rl.Recv(); !ok || f.Kind != FrameBarrier {
+		t.Fatalf("frame not delivered: %+v ok=%v", f, ok)
+	}
+	if _, ok := a.rl.Recv(); ok {
+		t.Fatal("frame after clean close")
+	}
+	if err := a.rl.Err(); err != nil {
+		t.Fatalf("clean close produced %v", err)
+	}
+	conn.Close()
+	// Give the reader goroutine a beat to finish closing.
+	time.Sleep(10 * time.Millisecond)
+}

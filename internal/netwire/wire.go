@@ -2,6 +2,7 @@ package netwire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -32,11 +33,13 @@ import (
 //     dialer's credit reader.
 
 const (
-	// version 3 added the channel-kind byte to the handshake and the
-	// control frame kinds (the rebalancing control plane, DESIGN.md §9);
-	// version 2 added the frame kind byte and epoch tag. Older peers
-	// are rejected at handshake.
-	version    = 3
+	// version 4 added the recovery frame kinds (rejoin/reset/restore/
+	// failed — the durable-epoch protocol, DESIGN.md §10); version 3
+	// added the channel-kind byte to the handshake and the control frame
+	// kinds (the rebalancing control plane, DESIGN.md §9); version 2
+	// added the frame kind byte and epoch tag. Older peers are rejected
+	// at handshake.
+	version    = 4
 	ackByte    = 0xA5
 	creditByte = 0xC7
 	// handshakeTimeout bounds how long an accepted connection may dawdle
@@ -53,6 +56,13 @@ const (
 )
 
 var magic = [4]byte{'F', 'W', 'R', '1'}
+
+// ErrTruncatedFrame marks a stream that ended mid-frame: the length
+// prefix or payload was cut short, as opposed to a clean EOF on a
+// frame boundary. WAL replay keys its torn-tail truncation on it, and
+// on a live link it distinguishes a peer dying mid-write from an
+// orderly shutdown. Test with errors.Is.
+var ErrTruncatedFrame = errors.New("netwire: truncated frame")
 
 // Handshake identifies one directed link of a partitioned deployment.
 type Handshake struct {
@@ -149,18 +159,18 @@ func Dial(addr string, from, to, window int) (*SendLink, error) {
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("netwire: dial %d->%d: %w", from, to, err)
+		return nil, fmt.Errorf("netwire: dial %d->%d at %s: %w", from, to, addr, err)
 	}
 	hs := Handshake{From: from, To: to, Window: window}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	if err := writeHandshake(conn, hs); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("netwire: handshake %d->%d: %w", from, to, err)
+		return nil, fmt.Errorf("netwire: handshake %d->%d at %s: %w", from, to, addr, err)
 	}
 	var ack [1]byte
 	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != ackByte {
 		conn.Close()
-		return nil, fmt.Errorf("netwire: link %d->%d not acknowledged: %v", from, to, err)
+		return nil, fmt.Errorf("netwire: link %d->%d at %s not acknowledged: %v", from, to, addr, err)
 	}
 	conn.SetDeadline(time.Time{})
 	s := &SendLink{
@@ -338,7 +348,12 @@ func (r *RecvLink) readFrames(maxSize int) {
 	var payload []byte
 	for {
 		if _, err := io.ReadFull(r.conn, prefix[:]); err != nil {
-			if err != io.EOF {
+			if err == io.ErrUnexpectedEOF {
+				// Some bytes of the length prefix arrived: the stream died
+				// mid-frame, not on a frame boundary.
+				err = fmt.Errorf("%w on link %d->%d: partial frame length: %v", ErrTruncatedFrame, r.hs.From, r.hs.To, err)
+				r.readErr.CompareAndSwap(nil, &err)
+			} else if err != io.EOF {
 				err = fmt.Errorf("netwire: link %d->%d: reading frame length: %w", r.hs.From, r.hs.To, err)
 				r.readErr.CompareAndSwap(nil, &err)
 			}
@@ -355,7 +370,7 @@ func (r *RecvLink) readFrames(maxSize int) {
 		}
 		payload = payload[:n]
 		if _, err := io.ReadFull(r.conn, payload); err != nil {
-			err = fmt.Errorf("netwire: link %d->%d: truncated frame: %w", r.hs.From, r.hs.To, err)
+			err = fmt.Errorf("%w on link %d->%d: %v", ErrTruncatedFrame, r.hs.From, r.hs.To, err)
 			r.readErr.CompareAndSwap(nil, &err)
 			return
 		}

@@ -1,0 +1,390 @@
+// Package wal is the per-machine write-ahead log behind durable
+// epochs (DESIGN.md §10): an append-only file of checkpoint records a
+// restarted worker replays to rejoin the flock at the last stable
+// barrier.
+//
+// The file starts with a header — magic, format version, the owning
+// machine index, and a caller-chosen workload signature — so a replay
+// can reject a log that belongs to a different machine or a different
+// deployment spec before trusting a single byte of state. After the
+// header come checkpoint records, each a netwire frame payload wrapped
+// in a [length, CRC32] envelope. A checkpoint is two consecutive
+// records: a plan frame (epoch, base phase, partition) followed by a
+// snapshot frame (the serialized Snapshotter state of every vertex the
+// machine owned at that barrier). The pair is atomic-on-replay: a plan
+// without its snapshot is an unfinished checkpoint and is discarded.
+//
+// Durability policy: Append writes both records and fsyncs before
+// returning — the fsync is the durability point the coordinator's
+// barrier protocol relies on. Replay truncates a torn tail (a record
+// cut short by a crash mid-write) back to the last complete
+// checkpoint; a CRC mismatch on a fully-present record is disk
+// corruption and is reported as an error instead. After each Append
+// the log compacts itself down to the newest two checkpoints — two,
+// not one, because the flock's machines checkpoint epoch E
+// independently and the reconciled recovery epoch can trail the
+// newest local checkpoint by one.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/netwire"
+)
+
+// fileVersion is the WAL format version; bumped on any layout change.
+const fileVersion = 1
+
+// magic identifies a fuseworker WAL file.
+var magic = [4]byte{'F', 'W', 'A', 'L'}
+
+// ErrCorrupt marks a WAL whose body is damaged beyond the torn-tail
+// cases replay repairs: a CRC mismatch or undecodable record with all
+// its bytes present. Test with errors.Is; recovery from it means
+// deleting the file and rejoining without a checkpoint.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// recordHeaderSize is the per-record envelope: uint32 payload length
+// followed by uint32 CRC32 (IEEE) of the payload.
+const recordHeaderSize = 8
+
+// maxRecord bounds a single record payload, mirroring the wire codec's
+// frame bound: a length beyond it is corruption, not data.
+const maxRecord = netwire.DefaultMaxFrame
+
+// keepCheckpoints is how many checkpoints compaction retains. The
+// coordinator cannot open epoch E+1 until every machine has durably
+// checkpointed E, so stable checkpoints across the flock differ by at
+// most one epoch and the reconciled minimum is always within the
+// newest two.
+const keepCheckpoints = 2
+
+// Checkpoint is one durable barrier: the epoch that opened at it, the
+// base phase the epoch resumes after, the partition it runs under, and
+// the serialized state of every vertex this machine owns in that
+// partition.
+type Checkpoint struct {
+	// Epoch is the deployment epoch the checkpoint opens.
+	Epoch int
+	// Base is the epoch's base phase — the last phase already executed.
+	Base int
+	// Starts is the per-machine partition the epoch runs under.
+	Starts []int
+	// Snaps is the serialized Snapshotter state of the machine's owned
+	// vertices at the barrier.
+	Snaps []core.VertexSnapshot
+}
+
+// Log is one machine's open write-ahead log. Not safe for concurrent
+// use; the participant serve loop owns it.
+type Log struct {
+	path      string
+	machine   int
+	signature string
+	f         *os.File
+	ckpts     []Checkpoint // ascending epoch, at most keepCheckpoints after Append
+	buf       []byte       // encode scratch
+}
+
+// Open opens (or creates) the WAL at path for the given machine,
+// replaying any existing records. The signature names the workload the
+// log belongs to — a mismatch (a log from a different spec or flock
+// shape) is an error, as is a log owned by a different machine. A torn
+// tail from a crash mid-Append is truncated back to the last complete
+// checkpoint; mid-file damage returns ErrCorrupt.
+func Open(path string, machine int, signature string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{path: path, machine: machine, signature: signature, f: f}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		if err := l.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return l, nil
+	}
+	if err := l.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Path returns the file the log writes to.
+func (l *Log) Path() string { return l.path }
+
+// Close releases the file. The log is unusable afterwards.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Stable returns the newest complete checkpoint, if any.
+func (l *Log) Stable() (Checkpoint, bool) {
+	if len(l.ckpts) == 0 {
+		return Checkpoint{}, false
+	}
+	return l.ckpts[len(l.ckpts)-1], true
+}
+
+// At returns the checkpoint for the given epoch, if retained.
+func (l *Log) At(epoch int) (Checkpoint, bool) {
+	for _, cp := range l.ckpts {
+		if cp.Epoch == epoch {
+			return cp, true
+		}
+	}
+	return Checkpoint{}, false
+}
+
+// Append writes one checkpoint — plan record, snapshot record, fsync —
+// and then compacts the log down to the newest keepCheckpoints. The
+// fsync before returning is the durability point: once Append returns,
+// a kill -9 cannot lose the checkpoint.
+func (l *Log) Append(cp Checkpoint) error {
+	if n := len(l.ckpts); n > 0 && cp.Epoch <= l.ckpts[n-1].Epoch {
+		return fmt.Errorf("wal: %s: appending epoch %d, newest is %d", l.path, cp.Epoch, l.ckpts[n-1].Epoch)
+	}
+	if len(cp.Starts) == 0 {
+		return fmt.Errorf("wal: %s: checkpoint for epoch %d has no partition", l.path, cp.Epoch)
+	}
+	l.buf = l.appendCheckpoint(l.buf[:0], cp)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: %s: append epoch %d: %w", l.path, cp.Epoch, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %s: sync epoch %d: %w", l.path, cp.Epoch, err)
+	}
+	l.ckpts = append(l.ckpts, cp)
+	if len(l.ckpts) > keepCheckpoints {
+		l.ckpts = append([]Checkpoint(nil), l.ckpts[len(l.ckpts)-keepCheckpoints:]...)
+		if err := l.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendCheckpoint appends the two-record encoding of one checkpoint.
+func (l *Log) appendCheckpoint(buf []byte, cp Checkpoint) []byte {
+	buf = appendRecord(buf, netwire.WireFrame{
+		Kind: netwire.FramePlan, Epoch: cp.Epoch, Phase: cp.Base, Starts: cp.Starts,
+	})
+	return appendRecord(buf, netwire.WireFrame{
+		Kind: netwire.FrameSnapshot, Epoch: cp.Epoch, Phase: cp.Base, Snaps: cp.Snaps,
+	})
+}
+
+// appendRecord wraps one frame payload in the [length, CRC] envelope.
+func appendRecord(buf []byte, f netwire.WireFrame) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = netwire.AppendFrame(buf, f)
+	payload := buf[start+recordHeaderSize:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// writeHeader writes the file header to a fresh log and fsyncs it.
+func (l *Log) writeHeader() error {
+	var buf []byte
+	buf = append(buf, magic[:]...)
+	buf = append(buf, fileVersion)
+	buf = binary.AppendUvarint(buf, uint64(l.machine))
+	buf = binary.AppendUvarint(buf, uint64(len(l.signature)))
+	buf = append(buf, l.signature...)
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: %s: writing header: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %s: syncing header: %w", l.path, err)
+	}
+	return nil
+}
+
+// replay reads the whole file, validates the header, rebuilds the
+// in-memory checkpoint list, truncates any torn tail back to the last
+// complete checkpoint, and leaves the file offset at the end ready for
+// appends.
+func (l *Log) replay() error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: %s: reading: %w", l.path, err)
+	}
+	body, err := l.checkHeader(data)
+	if err != nil {
+		return err
+	}
+	headerLen := len(data) - len(body)
+
+	// goodEnd is the truncation target: the offset just past the last
+	// complete checkpoint. pendingPlan holds a plan record awaiting its
+	// snapshot half.
+	goodEnd := headerLen
+	var pendingPlan *netwire.WireFrame
+	off := headerLen
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < recordHeaderSize {
+			return l.truncateTail(goodEnd, off) // torn record header
+		}
+		n := binary.BigEndian.Uint32(rest)
+		sum := binary.BigEndian.Uint32(rest[4:])
+		if n > maxRecord {
+			return fmt.Errorf("%w: %s: record at offset %d claims %d bytes", ErrCorrupt, l.path, off, n)
+		}
+		if uint32(len(rest)-recordHeaderSize) < n {
+			return l.truncateTail(goodEnd, off) // torn record payload
+		}
+		payload := rest[recordHeaderSize : recordHeaderSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return fmt.Errorf("%w: %s: CRC mismatch at offset %d", ErrCorrupt, l.path, off)
+		}
+		f, err := netwire.DecodeFrame(payload)
+		if err != nil {
+			return fmt.Errorf("%w: %s: record at offset %d: %v", ErrCorrupt, l.path, off, err)
+		}
+		off += recordHeaderSize + int(n)
+		switch f.Kind {
+		case netwire.FramePlan:
+			if pendingPlan != nil {
+				return fmt.Errorf("%w: %s: plan for epoch %d followed by plan for epoch %d", ErrCorrupt, l.path, pendingPlan.Epoch, f.Epoch)
+			}
+			fc := f
+			pendingPlan = &fc
+		case netwire.FrameSnapshot:
+			if pendingPlan == nil || pendingPlan.Epoch != f.Epoch || pendingPlan.Phase != f.Phase {
+				return fmt.Errorf("%w: %s: snapshot for epoch %d without its plan", ErrCorrupt, l.path, f.Epoch)
+			}
+			l.ckpts = append(l.ckpts, Checkpoint{
+				Epoch: f.Epoch, Base: f.Phase, Starts: pendingPlan.Starts, Snaps: f.Snaps,
+			})
+			pendingPlan = nil
+			goodEnd = off
+		default:
+			return fmt.Errorf("%w: %s: unexpected record kind %d at offset %d", ErrCorrupt, l.path, f.Kind, off)
+		}
+	}
+	for i := 1; i < len(l.ckpts); i++ {
+		if l.ckpts[i].Epoch <= l.ckpts[i-1].Epoch {
+			return fmt.Errorf("%w: %s: checkpoint epochs not increasing (%d then %d)", ErrCorrupt, l.path, l.ckpts[i-1].Epoch, l.ckpts[i].Epoch)
+		}
+	}
+	if pendingPlan != nil {
+		// A dangling plan at the tail: the crash hit between the two
+		// records of a checkpoint. Drop the unfinished pair.
+		return l.truncateTail(goodEnd, len(data))
+	}
+	if _, err := l.f.Seek(int64(off), io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %s: seek: %w", l.path, err)
+	}
+	return nil
+}
+
+// truncateTail discards a torn tail: everything past goodEnd goes, the
+// truncation is fsynced, and the file is left positioned for appends.
+// tornAt only informs the (silent) repair decision — callers learn of
+// the repair through Stable moving backwards, which is the designed
+// behavior after a crash mid-Append.
+func (l *Log) truncateTail(goodEnd, tornAt int) error {
+	_ = tornAt
+	if err := l.f.Truncate(int64(goodEnd)); err != nil {
+		return fmt.Errorf("wal: %s: truncating torn tail: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %s: syncing truncation: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(int64(goodEnd), io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %s: seek after truncation: %w", l.path, err)
+	}
+	return nil
+}
+
+// checkHeader validates the file header and returns the record body.
+func (l *Log) checkHeader(data []byte) ([]byte, error) {
+	if len(data) < len(magic)+1 {
+		return nil, fmt.Errorf("%w: %s: short header", ErrCorrupt, l.path)
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, l.path, data[:4])
+	}
+	if data[4] != fileVersion {
+		return nil, fmt.Errorf("wal: %s: format version %d, want %d", l.path, data[4], fileVersion)
+	}
+	rest := data[5:]
+	machine, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return nil, fmt.Errorf("%w: %s: truncated machine index", ErrCorrupt, l.path)
+	}
+	rest = rest[used:]
+	if int(machine) != l.machine {
+		return nil, fmt.Errorf("wal: %s: log belongs to machine %d, not %d", l.path, machine, l.machine)
+	}
+	sigLen, used := binary.Uvarint(rest)
+	if used <= 0 || sigLen > uint64(len(rest)-used) {
+		return nil, fmt.Errorf("%w: %s: truncated signature", ErrCorrupt, l.path)
+	}
+	rest = rest[used:]
+	sig := string(rest[:sigLen])
+	if sig != l.signature {
+		return nil, fmt.Errorf("wal: %s: workload signature %q does not match %q — refusing to resume a different deployment", l.path, sig, l.signature)
+	}
+	return rest[sigLen:], nil
+}
+
+// compact rewrites the log with only the retained checkpoints: header
+// plus records into a temp file, fsync, rename over the original,
+// fsync the directory. The open handle switches to the new file.
+func (l *Log) compact() error {
+	tmp := l.path + ".compact"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %s: compact: %w", l.path, err)
+	}
+	old := l.f
+	l.f = nf
+	if err := l.writeHeader(); err != nil {
+		l.f = old
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	buf := l.buf[:0]
+	for _, cp := range l.ckpts {
+		buf = l.appendCheckpoint(buf, cp)
+	}
+	l.buf = buf
+	if _, err := nf.Write(buf); err == nil {
+		err = nf.Sync()
+	}
+	if err != nil {
+		l.f = old
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %s: compact: %w", l.path, err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		l.f = old
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %s: compact rename: %w", l.path, err)
+	}
+	old.Close()
+	if dir, err := os.Open(filepath.Dir(l.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netwire"
+)
+
+const testSig = "demo/machines=3/phases=240"
+
+func testCheckpoint(epoch, base int) Checkpoint {
+	return Checkpoint{
+		Epoch:  epoch,
+		Base:   base,
+		Starts: []int{1, 3 + epoch%2, 5},
+		Snaps: []core.VertexSnapshot{
+			{Vertex: 1, State: []byte{byte(epoch), 1, 2, 3}},
+			{Vertex: 2, State: nil},
+			{Vertex: 3, State: []byte("alert history @" + strings.Repeat("x", epoch))},
+		},
+	}
+}
+
+func sameCheckpoint(t *testing.T, got, want Checkpoint) {
+	t.Helper()
+	if got.Epoch != want.Epoch || got.Base != want.Base {
+		t.Fatalf("checkpoint (%d,%d), want (%d,%d)", got.Epoch, got.Base, want.Epoch, want.Base)
+	}
+	if len(got.Starts) != len(want.Starts) {
+		t.Fatalf("starts %v, want %v", got.Starts, want.Starts)
+	}
+	for i := range got.Starts {
+		if got.Starts[i] != want.Starts[i] {
+			t.Fatalf("starts %v, want %v", got.Starts, want.Starts)
+		}
+	}
+	if len(got.Snaps) != len(want.Snaps) {
+		t.Fatalf("%d snaps, want %d", len(got.Snaps), len(want.Snaps))
+	}
+	for i := range got.Snaps {
+		if got.Snaps[i].Vertex != want.Snaps[i].Vertex || string(got.Snaps[i].State) != string(want.Snaps[i].State) {
+			t.Fatalf("snap %d: %+v, want %+v", i, got.Snaps[i], want.Snaps[i])
+		}
+	}
+}
+
+// mustOpen opens the log, failing the test on error.
+func mustOpen(t *testing.T, path string, machine int, sig string) *Log {
+	t.Helper()
+	l, err := Open(path, machine, sig)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "machine-1.wal")
+	l := mustOpen(t, path, 1, testSig)
+	if _, ok := l.Stable(); ok {
+		t.Fatal("fresh log reports a stable checkpoint")
+	}
+	cp := testCheckpoint(0, 0)
+	if err := l.Append(cp); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Close()
+
+	l = mustOpen(t, path, 1, testSig)
+	defer l.Close()
+	got, ok := l.Stable()
+	if !ok {
+		t.Fatal("no stable checkpoint after reopen")
+	}
+	sameCheckpoint(t, got, cp)
+}
+
+func TestCompactionKeepsNewestTwo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "machine-0.wal")
+	l := mustOpen(t, path, 0, testSig)
+	cps := []Checkpoint{testCheckpoint(0, 0), testCheckpoint(1, 60), testCheckpoint(2, 120), testCheckpoint(3, 180)}
+	for _, cp := range cps {
+		if err := l.Append(cp); err != nil {
+			t.Fatalf("Append(%d): %v", cp.Epoch, err)
+		}
+	}
+	l.Close()
+
+	l = mustOpen(t, path, 0, testSig)
+	defer l.Close()
+	for _, epoch := range []int{0, 1} {
+		if _, ok := l.At(epoch); ok {
+			t.Errorf("compacted epoch %d still present", epoch)
+		}
+	}
+	for _, cp := range cps[2:] {
+		got, ok := l.At(cp.Epoch)
+		if !ok {
+			t.Fatalf("retained epoch %d missing after compaction", cp.Epoch)
+		}
+		sameCheckpoint(t, got, cp)
+	}
+	got, ok := l.Stable()
+	if !ok || got.Epoch != 3 {
+		t.Fatalf("stable epoch %d, want 3", got.Epoch)
+	}
+}
+
+// TestTornTail truncates a two-checkpoint log at every byte offset
+// inside the second checkpoint's records: replay must silently repair
+// each tear back to the first checkpoint and leave the log appendable.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine-2.wal")
+	l := mustOpen(t, path, 2, testSig)
+	cp1, cp2 := testCheckpoint(0, 0), testCheckpoint(1, 90)
+	if err := l.Append(cp1); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := l.f.Stat()
+	size1 := int(st.Size())
+	if err := l.Append(cp2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := size1; cut < len(full); cut++ {
+		torn := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(torn, 2, testSig)
+		if err != nil {
+			t.Fatalf("cut at %d of %d: Open: %v", cut, len(full), err)
+		}
+		got, ok := l.Stable()
+		if !ok || got.Epoch != cp1.Epoch {
+			t.Fatalf("cut at %d: stable epoch %d (ok=%v), want %d", cut, got.Epoch, ok, cp1.Epoch)
+		}
+		sameCheckpoint(t, got, cp1)
+		// The repaired log must accept the next checkpoint again.
+		if err := l.Append(cp2); err != nil {
+			t.Fatalf("cut at %d: Append after repair: %v", cut, err)
+		}
+		l.Close()
+		l = mustOpen(t, torn, 2, testSig)
+		got, ok = l.Stable()
+		if !ok || got.Epoch != cp2.Epoch {
+			t.Fatalf("cut at %d: stable epoch %d after re-append, want %d", cut, got.Epoch, cp2.Epoch)
+		}
+		l.Close()
+	}
+}
+
+// TestDanglingPlan: a crash between the two records of a checkpoint
+// leaves a plan with no snapshot; replay drops the unfinished pair.
+func TestDanglingPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine-1.wal")
+	l := mustOpen(t, path, 1, testSig)
+	cp := testCheckpoint(0, 0)
+	if err := l.Append(cp); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-append only the plan half of the next checkpoint.
+	dangling := appendRecord(nil, netwire.WireFrame{Kind: netwire.FramePlan, Epoch: 1, Phase: 30, Starts: []int{1, 4, 5}})
+	if _, err := l.f.Write(dangling); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l = mustOpen(t, path, 1, testSig)
+	defer l.Close()
+	got, ok := l.Stable()
+	if !ok || got.Epoch != cp.Epoch {
+		t.Fatalf("stable epoch %d (ok=%v), want %d", got.Epoch, ok, cp.Epoch)
+	}
+}
+
+func TestMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine-1.wal")
+	l := mustOpen(t, path, 1, testSig)
+	st, _ := l.f.Stat()
+	headerLen := int(st.Size())
+	if err := l.Append(testCheckpoint(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testCheckpoint(1, 77)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the first record: full bytes present,
+	// CRC disagrees — that is disk corruption, not a torn tail.
+	data[headerLen+recordHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 1, testSig); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open of corrupted log: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestHeaderMismatches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine-1.wal")
+	l := mustOpen(t, path, 1, testSig)
+	if err := l.Append(testCheckpoint(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	if _, err := Open(path, 1, "other-workload"); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Fatalf("signature mismatch: %v", err)
+	}
+	if _, err := Open(path, 2, testSig); err == nil || !strings.Contains(err.Error(), "machine") {
+		t.Fatalf("machine mismatch: %v", err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "machine-0.wal")
+	l := mustOpen(t, path, 0, testSig)
+	defer l.Close()
+	if err := l.Append(testCheckpoint(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testCheckpoint(2, 20)); err == nil {
+		t.Fatal("Append accepted a non-increasing epoch")
+	}
+	if err := l.Append(Checkpoint{Epoch: 3, Base: 30}); err == nil {
+		t.Fatal("Append accepted a checkpoint without a partition")
+	}
+	// The failed appends must not have harmed the log.
+	if err := l.Append(testCheckpoint(3, 30)); err != nil {
+		t.Fatalf("Append after rejected appends: %v", err)
+	}
+}
