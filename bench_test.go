@@ -195,7 +195,7 @@ func BenchmarkE9Partitioned(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ng, mods := w.Build()
-				st, err := distrib.Run(ng, mods, experiments.Phases(phases), distrib.Config{
+				st, err := distrib.RunStatic(ng, mods, experiments.Phases(phases), distrib.Config{
 					Machines: machines, WorkersPerMachine: 2, MaxInFlight: 16,
 				})
 				if err != nil {
@@ -221,7 +221,7 @@ func BenchmarkE12PipelineScaleOut(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ng, mods := w.Build()
-				st, err := distrib.Run(ng, mods, experiments.Phases(phases), experiments.E12Config(machines))
+				st, err := distrib.RunStatic(ng, mods, experiments.Phases(phases), experiments.E12Config(machines))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -329,7 +329,7 @@ func BenchmarkE13WireOverhead(b *testing.B) {
 					}
 					cfg.Network = tn
 				}
-				st, err := distrib.Run(ng, mods, experiments.Phases(phases), cfg)
+				st, err := distrib.RunStatic(ng, mods, experiments.Phases(phases), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,395 @@
+// Fusesweep: seeded fault sweeps against the sequential oracle.
+//
+// Each seed derives one fault configuration — random per-frame delays,
+// bounded reorders, a link crash at a planned phase, a crash landing on
+// a forced epoch switch, or a transient outage a durable flock must
+// recover from — and runs the standard 5-vertex chain workload under it
+// through the distrib.Run facade with an event-log tap installed
+// (DESIGN.md §11). Non-crash runs must finish bit-identical to the
+// sequential oracle AND replay bit-identically from their event log
+// alone; crash runs must abort cleanly naming the injection; recovery
+// runs must roll back, finish oracle-identical and replay from the
+// committed schedule.
+//
+// A failing seed dumps its sweep point (JSON) and per-machine event
+// logs into -dump, so it reproduces with no live network:
+//
+//	go run ./cmd/fusesweep -n 500              # sweep 500 seeds
+//	go run ./cmd/fusesweep -plan <seed>.json   # re-run one dumped point
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/event"
+	"repro/internal/evlog"
+	"repro/internal/evlog/replay"
+	"repro/internal/graph"
+	"repro/internal/module"
+	"repro/internal/netwire"
+)
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// sweepSource emits a pure function of the phase number with
+// Δ-sparsity; its snapshot is empty so it can checkpoint and migrate.
+type sweepSource struct{}
+
+func (sweepSource) Step(ctx *core.Context) {
+	h := mix(0xF00D ^ uint64(ctx.Phase()))
+	if h%5 == 0 {
+		return
+	}
+	ctx.EmitAll(event.Float(float64(int64(h%1000)) / 7))
+}
+func (sweepSource) SnapshotState() ([]byte, error) { return nil, nil }
+func (sweepSource) RestoreState([]byte) error      { return nil }
+
+// sweepSink records each value's canonical wire encoding keyed by
+// phase and checkpoints the whole record, so rollbacks rewind it.
+type sweepSink struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (s *sweepSink) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		s.mu.Lock()
+		s.log = append(s.log, fmt.Sprintf("%d:%x", ctx.Phase(), netwire.AppendValue(nil, v)))
+		s.mu.Unlock()
+	}
+}
+
+func (s *sweepSink) SnapshotState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []byte(strings.Join(s.log, "\n")), nil
+}
+
+func (s *sweepSink) RestoreState(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(state) == 0 {
+		s.log = nil
+		return nil
+	}
+	s.log = strings.Split(string(state), "\n")
+	return nil
+}
+
+func (s *sweepSink) history() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+const machines = 2
+
+// buildChain is the sweep workload: the 5-vertex chain with every
+// vertex checkpointable, as durable runs require.
+func buildChain() (*graph.Numbered, []core.Module, *sweepSink, error) {
+	ng, err := graph.Chain(5).Number()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sink := &sweepSink{}
+	mods := []core.Module{
+		sweepSource{},
+		module.NewSmoother(0.3),
+		module.NewMovingAverage(7, 3),
+		module.NewZScoreDetector(9, 0.8, 5),
+		sink,
+	}
+	return ng, mods, sink, nil
+}
+
+// sweepPoint is one fully reproducible sweep configuration: the dumped
+// JSON form is everything needed to re-run it with -plan.
+type sweepPoint struct {
+	Seed   uint64            `json:"seed"`
+	Mode   string            `json:"mode"`
+	Phases int               `json:"phases"`
+	Plan   distrib.FaultPlan `json:"plan"`
+	// ForceEvery is the forced epoch-switch cadence of the run (0 =
+	// drift never triggers).
+	ForceEvery int `json:"force_every,omitempty"`
+}
+
+// modes cycle per seed.
+var modes = []string{"delay", "reorder", "both", "crash", "crashswitch", "rejoin"}
+
+// derive builds seed's sweep point.
+func derive(seed uint64, phases int, short bool) sweepPoint {
+	rng := rand.New(rand.NewPCG(seed, seed^0x5EED))
+	pt := sweepPoint{Seed: seed, Mode: modes[seed%uint64(len(modes))], Phases: phases}
+	pt.Plan.Seed = seed
+	maxDelay := 300 * time.Microsecond
+	if short {
+		maxDelay = 60 * time.Microsecond
+	}
+	switch pt.Mode {
+	case "delay":
+		pt.ForceEvery = phases / 3
+		pt.Plan.MaxDelay = time.Duration(1 + rng.Int64N(int64(maxDelay)))
+	case "reorder":
+		pt.ForceEvery = phases / 3
+		pt.Plan.ReorderWindow = 1 + rng.IntN(4)
+	case "both":
+		pt.ForceEvery = phases / 3
+		pt.Plan.MaxDelay = time.Duration(1 + rng.Int64N(int64(maxDelay)))
+		pt.Plan.ReorderWindow = 1 + rng.IntN(4)
+	case "crash":
+		pt.ForceEvery = phases / 3
+		pt.Plan.CrashAtPhase = 1 + rng.IntN(phases)
+	case "crashswitch":
+		// The crash phase lands exactly on the forced barrier window, so
+		// the injected failure hits mid epoch switch: quiesce traffic,
+		// barrier floods and the relaunch's first frames.
+		pt.ForceEvery = phases / 4
+		pt.Plan.CrashAtPhase = pt.ForceEvery + rng.IntN(pt.ForceEvery/2+1)
+	case "rejoin":
+		pt.ForceEvery = phases / 3
+		pt.Plan.CrashAtPhase = 1 + rng.IntN(phases*2/3)
+		pt.Plan.CrashOnce = true
+	}
+	return pt
+}
+
+// runPoint executes one sweep point and returns an error describing
+// the first divergence, plus the recorder (for dumping on failure).
+func runPoint(pt sweepPoint, oracle []string) (*evlog.Recorder, error) {
+	ng, mods, sink, err := buildChain()
+	if err != nil {
+		return nil, err
+	}
+	batches := make([][]core.ExtInput, pt.Phases)
+	rec := evlog.NewRecorder()
+	rc := distrib.RunConfig{
+		Graph: ng, Mods: mods, Batches: batches,
+		Dist: distrib.Config{Machines: machines, WorkersPerMachine: 1, MaxInFlight: 8, Buffer: 4},
+	}
+	opts := []distrib.Option{
+		distrib.WithRebalancing(distrib.RebalanceConfig{
+			ForceEvery: pt.ForceEvery, MinRemaining: 10, MaxRebalances: 2,
+		}),
+		distrib.WithFaults(pt.Plan),
+		distrib.WithTap(rec),
+	}
+	var walDir string
+	if pt.Mode == "rejoin" {
+		walDir, err = os.MkdirTemp("", "fusesweep-wal-*")
+		if err != nil {
+			return rec, err
+		}
+		defer os.RemoveAll(walDir)
+		opts = append(opts,
+			distrib.WithWAL(walDir),
+			distrib.WithRecovery(distrib.RecoverConfig{Window: 20 * time.Second}),
+		)
+	}
+	st, err := distrib.Run(context.Background(), rc, opts...)
+
+	switch pt.Mode {
+	case "crash", "crashswitch":
+		if err == nil {
+			return rec, fmt.Errorf("crash plan (phase %d) finished cleanly", pt.Plan.CrashAtPhase)
+		}
+		if !strings.Contains(err.Error(), "injected crash") {
+			return rec, fmt.Errorf("crash surfaced as %q, want the injected root cause", err)
+		}
+		return rec, nil
+	case "rejoin":
+		if err != nil {
+			return rec, fmt.Errorf("durable run did not recover: %w", err)
+		}
+		if len(st.Recoveries) == 0 {
+			return rec, fmt.Errorf("transient crash at phase %d triggered no recovery", pt.Plan.CrashAtPhase)
+		}
+	default:
+		if err != nil {
+			return rec, fmt.Errorf("fault-tolerant run failed: %w", err)
+		}
+	}
+	if got := sink.history(); !reflect.DeepEqual(got, oracle) {
+		return rec, fmt.Errorf("sink history diverges from the oracle (%d vs %d entries)", len(got), len(oracle))
+	}
+
+	// Replay the committed schedule from the recorded events alone and
+	// require the oracle history again.
+	p := replay.NewPlayer(runInfo(pt), rec.Merged())
+	ng2, mods2, sink2, err := buildChain()
+	if err != nil {
+		return rec, err
+	}
+	if _, err := p.Replay(ng2, mods2, batches, distrib.Config{
+		Machines: machines, WorkersPerMachine: 1, MaxInFlight: 8, Buffer: 4,
+	}); err != nil {
+		return rec, fmt.Errorf("replaying the recorded schedule: %w", err)
+	}
+	if got := sink2.history(); !reflect.DeepEqual(got, oracle) {
+		return rec, fmt.Errorf("replayed history diverges from the oracle (%d vs %d entries)", len(got), len(oracle))
+	}
+	return rec, nil
+}
+
+// runInfo builds the log header of a sweep point.
+func runInfo(pt sweepPoint) evlog.RunInfo {
+	fault, _ := json.Marshal(pt.Plan)
+	return evlog.RunInfo{
+		Workload:  fmt.Sprintf("chain5/machines=%d/phases=%d", machines, pt.Phases),
+		Machines:  machines,
+		Phases:    pt.Phases,
+		Transport: "faulty+chan",
+		Fault:     fault,
+		Note:      fmt.Sprintf("fusesweep seed=%d mode=%s", pt.Seed, pt.Mode),
+	}
+}
+
+// dump writes the failing point's JSON and its per-machine event logs.
+func dump(dir string, pt sweepPoint, rec *evlog.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	js, err := json.MarshalIndent(pt, "", "  ")
+	if err != nil {
+		return err
+	}
+	base := filepath.Join(dir, fmt.Sprintf("seed-%d", pt.Seed))
+	if err := os.WriteFile(base+".json", append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	info := runInfo(pt)
+	for _, m := range rec.Machines() {
+		name := fmt.Sprintf("%s-machine-%d.evlog", base, m)
+		if m < 0 {
+			name = base + "-coordinator.evlog"
+		}
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := evlog.WriteLog(f, info, rec.Events(m)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(base + "-merged.evlog")
+	if err != nil {
+		return err
+	}
+	if err := evlog.WriteLog(f, info, rec.Merged()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func main() {
+	n := flag.Int("n", 200, "number of seeds to sweep")
+	seed0 := flag.Uint64("seed0", 1, "first seed")
+	short := flag.Bool("short", false, "shorter runs (fewer phases, smaller delays) for CI")
+	phases := flag.Int("phases", 0, "phases per run (0 = 600, or 240 with -short)")
+	dumpDir := flag.String("dump", "fusesweep-failures", "directory for failing seeds' sweep points and event logs")
+	planPath := flag.String("plan", "", "re-run one dumped sweep point (seed-N.json) instead of sweeping")
+	verbose := flag.Bool("v", false, "print one line per seed")
+	flag.Parse()
+
+	if *phases == 0 {
+		*phases = 600
+		if *short {
+			*phases = 240
+		}
+	}
+
+	// One oracle serves every seed: the workload is fixed, only the
+	// faults vary.
+	ngRef, modsRef, sinkRef, err := buildChain()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fusesweep: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := baseline.Sequential(ngRef, modsRef, make([][]core.ExtInput, *phases)); err != nil {
+		fmt.Fprintf(os.Stderr, "fusesweep: oracle: %v\n", err)
+		os.Exit(2)
+	}
+	oracle := sinkRef.history()
+
+	var points []sweepPoint
+	if *planPath != "" {
+		data, err := os.ReadFile(*planPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusesweep: %v\n", err)
+			os.Exit(2)
+		}
+		var pt sweepPoint
+		if err := json.Unmarshal(data, &pt); err != nil {
+			fmt.Fprintf(os.Stderr, "fusesweep: decoding %s: %v\n", *planPath, err)
+			os.Exit(2)
+		}
+		if pt.Phases != *phases {
+			// The dumped point owns its run length; rebuild the oracle.
+			ngRef, modsRef, sinkRef, _ = buildChain()
+			if _, err := baseline.Sequential(ngRef, modsRef, make([][]core.ExtInput, pt.Phases)); err != nil {
+				fmt.Fprintf(os.Stderr, "fusesweep: oracle: %v\n", err)
+				os.Exit(2)
+			}
+			oracle = sinkRef.history()
+			*phases = pt.Phases
+		}
+		points = []sweepPoint{pt}
+	} else {
+		for i := 0; i < *n; i++ {
+			points = append(points, derive(*seed0+uint64(i), *phases, *short))
+		}
+	}
+
+	t0 := time.Now()
+	failed := 0
+	for _, pt := range points {
+		rec, err := runPoint(pt, oracle)
+		if err != nil {
+			failed++
+			fmt.Printf("FAIL seed=%d mode=%-11s %v\n", pt.Seed, pt.Mode, err)
+			if rec != nil {
+				if derr := dump(*dumpDir, pt, rec); derr != nil {
+					fmt.Fprintf(os.Stderr, "fusesweep: dumping seed %d: %v\n", pt.Seed, derr)
+				} else {
+					fmt.Printf("     dumped %s/seed-%d.json (+ event logs); re-run: go run ./cmd/fusesweep -plan %s/seed-%d.json\n",
+						*dumpDir, pt.Seed, *dumpDir, pt.Seed)
+				}
+			}
+			continue
+		}
+		if *verbose {
+			fmt.Printf("ok   seed=%d mode=%s\n", pt.Seed, pt.Mode)
+		}
+	}
+	fmt.Printf("fusesweep: %d/%d points passed in %v (phases=%d)\n",
+		len(points)-failed, len(points), time.Since(t0).Round(time.Millisecond), *phases)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -43,6 +43,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -64,6 +65,54 @@ const (
 	phases   = 720
 )
 
+// Named flag-combination errors, mirroring fuseworker's -wal/-recover
+// checks: each invalid combination maps to exactly one named error, so
+// scripts (and tests) can match on the message instead of parsing
+// usage text.
+var (
+	errBadTransport   = errors.New("-transport must be chan or tcp")
+	errTCPElsewhere   = errors.New("-transport tcp applies to the in-process run; -multiproc and -crashrecover always wire workers over TCP")
+	errTornTailAlone  = errors.New("-torntail requires -crashrecover (it damages the killed worker's WAL before the restart)")
+	errWALDirAlone    = errors.New("-waldir requires -crashrecover or -worker (only durable runs write WALs)")
+	errCrashAndMulti  = errors.New("-crashrecover already runs multi-process; drop -multiproc")
+	errRecoverNoWAL   = errors.New("-recoverworker requires -waldir (recovery replays the durable checkpoint log)")
+	errRecoverOutside = errors.New("-recoverworker is the internal restarted-worker mode and requires -worker")
+	errWorkerNoPeers  = errors.New("-worker requires -peers (the worker dials its flock)")
+)
+
+// flagState is the parsed flag set under validation.
+type flagState struct {
+	transport                          string
+	rebalance, multiproc, crashrecover bool
+	torntail, recoverWorker            bool
+	walDir, peers                      string
+	workerIdx                          int
+}
+
+// validateFlags routes every fault/recover flag combination through
+// one table: the first violated rule's named error is reported.
+func validateFlags(fs flagState) error {
+	rules := []struct {
+		bad bool
+		err error
+	}{
+		{fs.transport != "chan" && fs.transport != "tcp", errBadTransport},
+		{fs.transport == "tcp" && (fs.multiproc || fs.crashrecover || fs.workerIdx >= 0), errTCPElsewhere},
+		{fs.torntail && !fs.crashrecover, errTornTailAlone},
+		{fs.walDir != "" && !fs.crashrecover && fs.workerIdx < 0, errWALDirAlone},
+		{fs.crashrecover && fs.multiproc, errCrashAndMulti},
+		{fs.recoverWorker && fs.walDir == "", errRecoverNoWAL},
+		{fs.recoverWorker && fs.workerIdx < 0, errRecoverOutside},
+		{fs.workerIdx >= 0 && fs.peers == "", errWorkerNoPeers},
+	}
+	for _, r := range rules {
+		if r.bad {
+			return r.err
+		}
+	}
+	return nil
+}
+
 func main() {
 	transport := flag.String("transport", "chan", "link transport for the in-process run: chan | tcp")
 	rebalance := flag.Bool("rebalance", false, "dynamically repartition the in-process run at epoch barriers")
@@ -75,6 +124,16 @@ func main() {
 	peers := flag.String("peers", "", "internal: comma-separated worker listen addresses")
 	recoverWorker := flag.Bool("recoverworker", false, "internal: restarted worker rejoins the flock from its WAL")
 	flag.Parse()
+
+	if err := validateFlags(flagState{
+		transport: *transport, rebalance: *rebalance, multiproc: *multiproc,
+		crashrecover: *crashrecover, torntail: *torntail, walDir: *walDir,
+		workerIdx: *workerIdx, peers: *peers, recoverWorker: *recoverWorker,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "pipeline: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *workerIdx >= 0 {
 		runAsWorker(*workerIdx, strings.Split(*peers, ","), *rebalance, *walDir, *recoverWorker)
@@ -116,7 +175,7 @@ func run(machineCount int, network distrib.Network, rebalance bool, driftAt int)
 			MinRemaining: phases / 6,
 		})
 	} else {
-		st, err = distrib.Run(w.Graph, w.Mods, batches, cfg)
+		st, err = distrib.RunStatic(w.Graph, w.Mods, batches, cfg)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -66,6 +66,18 @@ type SetObserver interface {
 	FrontierMoved(p, x int)
 }
 
+// FeedObserver extends Observer with the feed-side event RunFeed
+// emits: an Observer that also implements FeedObserver (detected once
+// at New) sees each phase's external-input batch the moment it is
+// accepted, before the phase opens. This completes the record/replay
+// tap's view of the engine (DESIGN.md §11): phase launch/commit and
+// vertex executions come from Observer, the fed inputs from here. The
+// slice is the engine's own; implementations must not retain it.
+type FeedObserver interface {
+	// PhaseFed fires with phase p's accepted external inputs.
+	PhaseFed(p int, ext []ExtInput)
+}
+
 // Config tunes an Engine.
 type Config struct {
 	// Workers is the number of computation goroutines (the paper's pool
@@ -203,11 +215,12 @@ type Stats struct {
 // Engine executes a numbered computation graph with the paper's parallel
 // algorithm.
 type Engine struct {
-	g      *graph.Numbered
-	mods   []Module
-	cfg    Config
-	setObs SetObserver // non-nil when cfg.Observer also observes sets
-	q      *runqueue.Sharded[workItem]
+	g       *graph.Numbered
+	mods    []Module
+	cfg     Config
+	setObs  SetObserver  // non-nil when cfg.Observer also observes sets
+	feedObs FeedObserver // non-nil when cfg.Observer also observes feeds
+	q       *runqueue.Sharded[workItem]
 
 	workers sync.WaitGroup
 	started bool
@@ -310,6 +323,9 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 	e.cond.L = &e.mu
 	if so, ok := cfg.Observer.(SetObserver); ok {
 		e.setObs = so
+	}
+	if fo, ok := cfg.Observer.(FeedObserver); ok {
+		e.feedObs = fo
 	}
 	if cfg.CountExecutions {
 		e.execCount = make(map[[2]int]int)
@@ -830,6 +846,9 @@ func (e *Engine) RunFeed(phases int, feed FeedFunc, onStarted func(p int)) (Stat
 		if err != nil {
 			e.Stop()
 			return e.Stats(), err
+		}
+		if e.feedObs != nil {
+			e.feedObs.PhaseFed(p, ext)
 		}
 		if _, err := e.StartPhase(ext); err != nil {
 			e.Stop()

@@ -1,11 +1,13 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evlog"
 	"repro/internal/graph"
 )
 
@@ -49,9 +51,15 @@ type Coordinator struct {
 	Rejoins <-chan RejoinOffer
 	// Recovery tunes the recovery path; zero values take defaults.
 	Recovery RecoverConfig
+	// Tap, when non-nil, records every epoch-launch and recovery
+	// decision into the event log (DESIGN.md §11) — the committed
+	// schedule a Player re-drives.
+	Tap evlog.Tap
 
 	events     []RebalanceEvent
 	recoveries []RecoveryEvent
+	attempt    int             // relaunch generation, bumped per recovery
+	ctx        context.Context // set by the Run facade; nil = never cancelled
 }
 
 // ownerOf resolves the participant index owning a machine.
@@ -123,9 +131,16 @@ func (co *Coordinator) Run() ([]RebalanceEvent, error) {
 			return co.events, err
 		}
 	}
+	launchEvent(co.Tap, 0, 0, co.attempt, starts)
 
 	base, epoch := 0, 0
 	for {
+		if co.ctx != nil {
+			if err := co.ctx.Err(); err != nil {
+				co.abortAll(err)
+				return co.events, err
+			}
+		}
 		next, finished, err := co.epochStep(rc, planner, starts, base, epoch)
 		if finished {
 			return co.events, nil
@@ -219,6 +234,7 @@ func (co *Coordinator) epochStep(rc RebalanceConfig, planner Planner, starts []i
 		Skew:         skew,
 		Wall:         time.Since(sw0),
 	})
+	launchEvent(co.Tap, epoch+1, barrier, co.attempt, newStarts)
 	return resumePoint{epoch: epoch + 1, base: barrier, starts: newStarts}, false, nil
 }
 

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/evlog"
 	"repro/internal/graph"
 )
 
@@ -71,6 +72,11 @@ type Config struct {
 	// instrumentation (core.Config.MeasureContention), surfaced through
 	// Stats.PerMachine.
 	MeasureContention bool
+	// Tap, when non-nil, records every engine and link event of the
+	// run into the event log (DESIGN.md §11): phase launch/commit,
+	// feeds, vertex executions, and frame traffic on both link ends.
+	// Nil costs nothing — every hook is a single nil check.
+	Tap evlog.Tap
 }
 
 // Stats aggregates a partitioned run.
@@ -95,6 +101,9 @@ type Stats struct {
 	// Starts/CrossEdges/Planner describe the newest epoch's plan and
 	// PerMachine[m] aggregates machine m's counters across epochs.
 	Rebalances []RebalanceEvent
+	// Recoveries records each crash recovery of a durable coordinated
+	// run (DESIGN.md §10); empty when recovery is off or never fired.
+	Recoveries []RecoveryEvent
 	// Wall is the end-to-end wall-clock time of Run.
 	Wall time.Duration
 }
@@ -343,9 +352,10 @@ func (mc *machine) ship(out map[int]Transport, p int) error {
 // Deployment is single-use (engines and modules are stateful): plan,
 // run every machine once, discard.
 //
-// Run wires and drives all machines in-process; RunMachine drives one
-// machine over caller-supplied transports, which is how cmd/fuseworker
-// turns the same plan into a multi-process deployment.
+// RunStatic wires and drives all machines in-process (the Run facade's
+// no-options path); RunMachine drives one machine over caller-supplied
+// transports, which is how cmd/fuseworker turns the same plan into a
+// multi-process deployment.
 type Deployment struct {
 	cfg        Config
 	window     runWindow
@@ -478,6 +488,9 @@ func (d *Deployment) Downstream(m int) []int {
 // the machine has completed (or aborted) all phases; the returned error
 // is the machine's root-cause failure, with outbound links closed and
 // inbound links drained so no peer can wedge against this machine.
+// RunMachine is the per-worker entry point for multi-process
+// deployments and is deliberately not folded into the Run facade,
+// which drives whole single-process runs.
 func (d *Deployment) RunMachine(m int, batches [][]core.ExtInput, in, out map[int]Transport) (core.Stats, error) {
 	mc := d.machines[m]
 	for _, up := range mc.upstream {
@@ -527,13 +540,18 @@ func (mc *machine) run(phases, window int, in, out map[int]Transport, fail func(
 	return st
 }
 
-// Run executes the computation partitioned across machines in-process
-// and returns aggregate stats. mods[v-1] is the module for global
-// vertex v, exactly as for core.New; batches are the per-phase external
-// inputs in global vertex indices. The run is bit-identical to
-// baseline.Sequential over the same graph and modules (pinned by the
-// equivalence tests), for every planner and every Transport.
-func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config) (Stats, error) {
+// RunStatic executes the computation partitioned across machines
+// in-process, on one fixed plan, and returns aggregate stats.
+// mods[v-1] is the module for global vertex v, exactly as for
+// core.New; batches are the per-phase external inputs in global vertex
+// indices. The run is bit-identical to baseline.Sequential over the
+// same graph and modules (pinned by the equivalence tests), for every
+// planner and every Transport.
+//
+// Deprecated: RunStatic is the legacy fixed-plan entry point. New code
+// should call Run, the option-based facade that also covers
+// rebalancing, fault injection, durable epochs and event-log taps.
+func RunStatic(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config) (Stats, error) {
 	d, err := NewDeployment(g, mods, cfg)
 	if err != nil {
 		return Stats{}, err
@@ -543,7 +561,7 @@ func Run(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg C
 		net = ChannelNetwork{}
 		defer net.Close()
 	}
-	return d.runWired(batches, net)
+	return d.runWired(batches, newTapNetwork(net, cfg.Tap))
 }
 
 // runWired wires every connected machine pair through net and drives
@@ -716,12 +734,17 @@ func assemble(g *graph.Numbered, mods []core.Module, starts []int, cfg Config, w
 		for id, mod := range builds[m].mods {
 			ordered[ng.IndexOf(id)-1] = mod
 		}
+		var obs core.Observer
+		if cfg.Tap != nil {
+			obs = &engineTap{tap: cfg.Tap, machine: m, epoch: window.epoch}
+		}
 		eng, err := core.New(ng, ordered, core.Config{
 			Workers:            cfg.WorkersPerMachine,
 			MaxInFlight:        cfg.MaxInFlight,
 			MeasureContention:  cfg.MeasureContention,
 			MeasureVertexTimes: window.measure,
 			BasePhase:          window.base,
+			Observer:           obs,
 		})
 		if err != nil {
 			return nil, 0, fmt.Errorf("distrib: machine %d: %w", m, err)

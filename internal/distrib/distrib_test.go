@@ -298,7 +298,7 @@ func TestPartitionedMatchesSequential(t *testing.T) {
 		for _, planner := range equivalencePlanners() {
 			for _, machines := range []int{1, 2, 3, 5} {
 				ng, mods, sinks := buildWorkload(t, seed)
-				st, err := Run(ng, mods, batches, Config{
+				st, err := RunStatic(ng, mods, batches, Config{
 					Machines: machines, WorkersPerMachine: 2, MaxInFlight: 8, Buffer: 4,
 					Planner: planner,
 				})
@@ -388,7 +388,7 @@ func TestEquivalenceSweepPlannerOutputs(t *testing.T) {
 		for _, planner := range equivalencePlanners() {
 			for _, machines := range []int{2, 3, 4} {
 				ng, mods, sinks := build()
-				st, err := Run(ng, mods, batches, Config{
+				st, err := RunStatic(ng, mods, batches, Config{
 					Machines: machines, WorkersPerMachine: 2, MaxInFlight: 6, Buffer: 2,
 					Planner: planner, Costs: costs,
 				})
@@ -437,7 +437,7 @@ func TestPartitionedChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	ng, mods, rs := mk()
-	st, err := Run(ng, mods, batches, Config{Machines: 3, WorkersPerMachine: 2})
+	st, err := RunStatic(ng, mods, batches, Config{Machines: 3, WorkersPerMachine: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +501,7 @@ func TestPartitionedExternalInputs(t *testing.T) {
 		{{Vertex: 1, Port: 0, Val: event.Int(10)}, {Vertex: 2, Port: 0, Val: event.Int(5)}},
 		{{Vertex: 2, Port: 0, Val: event.Int(7)}},
 	}
-	if _, err := Run(ng, mods, batches, Config{Machines: 2, WorkersPerMachine: 1}); err != nil {
+	if _, err := RunStatic(ng, mods, batches, Config{Machines: 2, WorkersPerMachine: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if len(rs.log) != 2 {
@@ -577,7 +577,7 @@ func TestCrossPortOrderMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	mods, rs := mk()
-	if _, err := Run(ng, mods, batches, Config{
+	if _, err := RunStatic(ng, mods, batches, Config{
 		Machines: 2, WorkersPerMachine: 1, Planner: fixedPlanner{[]int{1, 2}},
 	}); err != nil {
 		t.Fatal(err)
@@ -597,14 +597,14 @@ func TestCrossPortOrderMatchesSequential(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	ng, _ := graph.Chain(3).Number()
 	mods := []core.Module{bridge{}, bridge{}}
-	if _, err := Run(ng, mods, nil, Config{Machines: 1}); err == nil {
+	if _, err := RunStatic(ng, mods, nil, Config{Machines: 1}); err == nil {
 		t.Error("module count mismatch accepted")
 	}
 	full := []core.Module{bridge{}, bridge{}, bridge{}}
-	if _, err := Run(ng, full, nil, Config{Machines: 4}); err == nil {
+	if _, err := RunStatic(ng, full, nil, Config{Machines: 4}); err == nil {
 		t.Error("machines > vertices accepted")
 	}
-	if _, err := Run(ng, full, nil, Config{Machines: 2, Costs: []float64{1}}); err == nil {
+	if _, err := RunStatic(ng, full, nil, Config{Machines: 2, Costs: []float64{1}}); err == nil {
 		t.Error("short cost vector accepted")
 	}
 }

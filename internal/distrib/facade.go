@@ -1,0 +1,433 @@
+// The run facade: one entry point for every shape of partitioned run.
+// RunStatic, RunRebalancing and the Coordinator/ServeParticipant pair
+// grew up as separate doors into the same runtime; Run collapses them
+// behind a single RunConfig plus functional options, so callers choose
+// capabilities (rebalancing, fault injection, durable epochs, event-log
+// taps, crash recovery) instead of entry points. The legacy names
+// remain as thin deprecated wrappers.
+
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evlog"
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// RunConfig bundles the workload every run shape shares: the global
+// graph, its modules (Mods[v-1] drives global vertex v, exactly as for
+// core.New), the per-phase external inputs, and the distribution
+// tuning.
+type RunConfig struct {
+	// Graph is the global computation graph.
+	Graph *graph.Numbered
+	// Mods holds the module for each global vertex.
+	Mods []core.Module
+	// Batches are the per-phase external inputs; len(Batches) is the
+	// run length.
+	Batches [][]core.ExtInput
+	// Dist carries the distribution tuning (machines, workers, buffer,
+	// planner, network).
+	Dist Config
+}
+
+// runOpts collects the capabilities the options enable.
+type runOpts struct {
+	rebalance *RebalanceConfig
+	tap       evlog.Tap
+	fault     *FaultPlan
+	walDir    string
+	recovery  *RecoverConfig
+}
+
+// Option enables one capability of Run.
+type Option func(*runOpts)
+
+// WithRebalancing makes the run coordinated: a Coordinator watches
+// measured per-vertex cost drift and re-partitions the deployment
+// mid-run under rc, exactly as RunRebalancing did.
+func WithRebalancing(rc RebalanceConfig) Option {
+	return func(o *runOpts) { o.rebalance = &rc }
+}
+
+// WithTap records the run into t (DESIGN.md §11): phase launches and
+// commits, feeds, vertex executions, frame traffic on both link ends,
+// epoch-launch decisions and recoveries. Equivalent to setting
+// Config.Tap, and overrides it when both are given.
+func WithTap(t evlog.Tap) Option {
+	return func(o *runOpts) { o.tap = t }
+}
+
+// WithFaults wraps the run's network in a FaultyNetwork injecting fp's
+// seeded delays, reorders and link crashes.
+func WithFaults(fp FaultPlan) Option {
+	return func(o *runOpts) { o.fault = &fp }
+}
+
+// WithWAL makes the run durable: each machine runs as its own
+// in-process worker (the multi-process control-plane protocol over
+// in-memory pipes) writing fsynced epoch checkpoints to
+// dir/machine-N.wal. Requires WithRebalancing — durability is a
+// property of the coordinated protocol — and every module must
+// implement core.Snapshotter.
+func WithWAL(dir string) Option {
+	return func(o *runOpts) { o.walDir = dir }
+}
+
+// WithRecovery arms the crash-recovery path of a durable run
+// (DESIGN.md §10): a recoverable mid-run failure rolls the flock back
+// to its common stable checkpoint and relaunches instead of aborting.
+// Requires WithWAL.
+func WithRecovery(rc RecoverConfig) Option {
+	return func(o *runOpts) { o.recovery = &rc }
+}
+
+// Run executes the computation partitioned across machines and returns
+// aggregate stats. With no options it is a static single-plan run
+// (RunStatic); options layer on rebalancing, fault injection, durable
+// epochs, crash recovery and event-log taps, in any valid combination.
+//
+// ctx is consulted at run start and between epochs of a coordinated
+// run; a static run, once launched, runs to completion. The run is
+// bit-identical to baseline.Sequential over the same graph and modules
+// whatever options are set (crash faults excepted), pinned by the
+// equivalence tests.
+func Run(ctx context.Context, rc RunConfig, opts ...Option) (Stats, error) {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	if o.walDir != "" && o.rebalance == nil {
+		return Stats{}, fmt.Errorf("distrib: WithWAL requires WithRebalancing (durability is a property of the coordinated protocol)")
+	}
+	if o.recovery != nil && o.walDir == "" {
+		return Stats{}, fmt.Errorf("distrib: WithRecovery requires WithWAL (recovery restores from durable checkpoints)")
+	}
+
+	cfg := rc.Dist
+	if o.tap != nil {
+		cfg.Tap = o.tap
+	} else {
+		o.tap = cfg.Tap
+	}
+	net := cfg.Network
+	if net == nil {
+		net = ChannelNetwork{}
+		defer net.Close()
+	}
+	if o.fault != nil {
+		net = NewFaultyNetwork(net, *o.fault)
+	}
+	cfg.Network = net
+
+	switch {
+	case o.walDir != "":
+		return runDurable(ctx, rc, cfg, o)
+	case o.rebalance != nil:
+		return runCoordinated(ctx, rc, cfg, o)
+	default:
+		return RunStatic(rc.Graph, rc.Mods, rc.Batches, cfg)
+	}
+}
+
+// runCoordinated is the in-process rebalancing path: one
+// localParticipant holding every machine, driven by a Coordinator.
+func runCoordinated(ctx context.Context, rc RunConfig, cfg Config, o runOpts) (Stats, error) {
+	t0 := time.Now()
+	tapped := newTapNetwork(cfg.Network, o.tap)
+	epochCfg := cfg
+	epochCfg.Network = tapped
+	lp := &localParticipant{
+		g:       rc.Graph,
+		mods:    rc.Mods,
+		batches: rc.Batches,
+		cfg:     epochCfg,
+		net:     tapped,
+		total:   len(rc.Batches),
+	}
+	co := &Coordinator{
+		Graph:        rc.Graph,
+		Costs:        cfg.Costs,
+		Machines:     cfg.Machines,
+		Phases:       len(rc.Batches),
+		Planner:      cfg.Planner,
+		Rebalance:    *o.rebalance,
+		Participants: []Participant{lp},
+		Tap:          o.tap,
+		ctx:          ctx,
+	}
+	events, err := co.Run()
+	st := lp.agg
+	st.Rebalances = events
+	st.Recoveries = co.Recoveries()
+	st.Wall = time.Since(t0)
+	return st, err
+}
+
+// runDurable is the durable coordinated path: every machine runs as
+// its own worker speaking the multi-process control-plane protocol
+// over in-memory pipes, with a WAL per machine, so the exact
+// checkpoint/park/rollback/relaunch machinery of a real multi-process
+// deployment runs in one address space. Data links are deduped through
+// the configured Network (so fault injection and taps apply to them),
+// keyed by epoch exactly as fuseworker processes re-wire per epoch.
+func runDurable(ctx context.Context, rc RunConfig, cfg Config, o runOpts) (Stats, error) {
+	t0 := time.Now()
+	machines := cfg.Machines
+	if machines <= 0 {
+		return Stats{}, fmt.Errorf("distrib: durable run needs Machines >= 1, got %d", machines)
+	}
+	phases := len(rc.Batches)
+	ex := &linkExchange{net: newTapNetwork(cfg.Network, o.tap), links: make(map[[3]int]Transport)}
+
+	sig := fmt.Sprintf("facade/n=%d/machines=%d/phases=%d", rc.Graph.N(), machines, phases)
+	logs := make([]*wal.Log, machines)
+	for m := range logs {
+		l, err := wal.Open(filepath.Join(o.walDir, fmt.Sprintf("machine-%d.wal", m)), m, sig)
+		if err != nil {
+			for _, open := range logs[:m] {
+				open.Close()
+			}
+			return Stats{}, fmt.Errorf("distrib: opening machine %d WAL: %w", m, err)
+		}
+		logs[m] = l
+	}
+	defer func() {
+		for _, l := range logs {
+			l.Close()
+		}
+	}()
+
+	workerCfg := cfg
+	workerCfg.Network = nil // workers wire data links through the exchange
+
+	type outcome struct {
+		m   int
+		rep ParticipantReport
+		err error
+	}
+	results := make(chan outcome, machines)
+	parts := make([]Participant, machines)
+	for m := 0; m < machines; m++ {
+		coordCh, workerCh := NewCtlPipe()
+		if o.tap != nil {
+			coordCh = TapCtlChannel(coordCh, o.tap, m)
+		}
+		parts[m] = NewRemoteParticipant(coordCh, fmt.Sprintf("machine %d", m))
+		wc := WorkerConfig{
+			Machine: m,
+			Graph:   rc.Graph,
+			Mods:    rc.Mods,
+			Config:  workerCfg,
+			Batches: rc.Batches,
+			Wire:    ex.wireFor(m),
+			WAL:     logs[m],
+		}
+		go func(m int, ch CtlChannel, wc WorkerConfig) {
+			rep, err := ServeParticipant(ch, wc)
+			results <- outcome{m, rep, err}
+		}(m, workerCh, wc)
+	}
+
+	co := &Coordinator{
+		Graph:        rc.Graph,
+		Costs:        cfg.Costs,
+		Machines:     machines,
+		Phases:       phases,
+		Planner:      cfg.Planner,
+		Rebalance:    *o.rebalance,
+		Participants: parts,
+		Tap:          o.tap,
+		ctx:          ctx,
+	}
+	if o.recovery != nil {
+		// Every worker is in-process, so a recoverable failure is always
+		// the park-and-rollback shape (processes survive); the offer
+		// channel exists only to arm the recovery path.
+		co.Rejoins = make(chan RejoinOffer)
+		co.Recovery = *o.recovery
+	}
+	events, err := co.Run()
+
+	// Collect every worker before the deferred WAL close; on the error
+	// path the coordinator has aborted them, so give up on any that
+	// fail to unwind rather than wedge the caller.
+	var st Stats
+	st.PerMachine = make([]core.Stats, machines)
+	st.Transport = ex.net.Name()
+	deadline := time.After(30 * time.Second)
+drain:
+	for range parts {
+		select {
+		case r := <-results:
+			st.PerMachine[r.m] = r.rep.Stats
+			if r.err != nil && err == nil {
+				err = fmt.Errorf("distrib: worker %d: %w", r.m, r.err)
+			}
+			if r.err == nil && len(r.rep.FinalStarts) > 0 {
+				st.Starts = r.rep.FinalStarts
+			}
+		case <-deadline:
+			if err == nil {
+				err = fmt.Errorf("distrib: a worker never unwound after the coordinated run finished")
+			}
+			break drain
+		}
+	}
+	st.Rebalances = events
+	st.Recoveries = co.Recoveries()
+	st.Wall = time.Since(t0)
+	return st, err
+}
+
+// linkExchange hands both in-process workers of a link the same
+// Transport, keyed (from, to, epoch) — the in-memory analogue of two
+// fuseworker processes dialing each other for an epoch's wiring. Links
+// are created through the Network, so fault and tap wrappers apply.
+type linkExchange struct {
+	mu    sync.Mutex
+	net   Network
+	links map[[3]int]Transport
+}
+
+func (x *linkExchange) get(from, to, epoch, depth int) (Transport, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	k := [3]int{from, to, epoch}
+	if tr := x.links[k]; tr != nil {
+		return tr, nil
+	}
+	tr, err := x.net.Link(from, to, depth)
+	if err != nil {
+		return nil, err
+	}
+	x.links[k] = tr
+	return tr, nil
+}
+
+// wireFor builds machine m's WireFunc over the exchange.
+func (x *linkExchange) wireFor(machine int) WireFunc {
+	return func(d *Deployment, epoch int) (in, out map[int]Transport, err error) {
+		out = make(map[int]Transport)
+		for _, dst := range d.Downstream(machine) {
+			tr, err := x.get(machine, dst, epoch, d.Buffer())
+			if err != nil {
+				return nil, nil, err
+			}
+			out[dst] = tr
+		}
+		in = make(map[int]Transport)
+		for _, up := range d.Upstream(machine) {
+			tr, err := x.get(up, machine, epoch, d.Buffer())
+			if err != nil {
+				return nil, nil, err
+			}
+			in[up] = tr
+		}
+		return in, out, nil
+	}
+}
+
+// EpochPlan is one window of a committed run schedule: the base phase
+// the epoch resumes after and the partition it runs under. A replay
+// script is the sequence of EpochPlans a recorded run actually
+// committed (rolled-back windows excluded); evlog/replay extracts it
+// from a log's epoch-launch events.
+type EpochPlan struct {
+	// Base is the phase the epoch resumes after (0 for the first).
+	Base int `json:"base"`
+	// Starts is the epoch's per-machine start indices.
+	Starts []int `json:"starts"`
+}
+
+// RunScripted re-drives a committed epoch schedule in-process: each
+// window's barrier is published the moment its epoch launches, so the
+// deployment quiesces at exactly the recorded phase with no drift
+// monitor, no timing and no coordinator decisions — the replay half of
+// the record/replay contract (DESIGN.md §11). Over the same graph,
+// modules and batches, the run is bit-identical to the live run that
+// recorded the schedule; with cfg.Tap set, the merged deterministic
+// event stream is byte-identical too (the golden round-trip test).
+func RunScripted(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config, script []EpochPlan) (Stats, error) {
+	t0 := time.Now()
+	if len(script) == 0 {
+		return Stats{}, fmt.Errorf("distrib: empty replay script")
+	}
+	if script[0].Base != 0 {
+		return Stats{}, fmt.Errorf("distrib: replay script starts at base %d, want 0", script[0].Base)
+	}
+	total := len(batches)
+	for i := 1; i < len(script); i++ {
+		if b := script[i].Base; b <= script[i-1].Base || b >= total {
+			return Stats{}, fmt.Errorf("distrib: replay script window %d resumes at phase %d (previous %d, total %d)", i, b, script[i-1].Base, total)
+		}
+	}
+
+	net := cfg.Network
+	if net == nil {
+		net = ChannelNetwork{}
+		defer net.Close()
+	}
+	tapped := newTapNetwork(net, cfg.Tap)
+	epochCfg := cfg
+	epochCfg.Network = tapped
+	lp := &localParticipant{
+		g:       g,
+		mods:    mods,
+		batches: batches,
+		cfg:     epochCfg,
+		net:     tapped,
+		total:   total,
+	}
+	// Each window's barrier must be on the epoch controller BEFORE the
+	// epoch's machines run: publishing after launch (the live path's
+	// pause-then-decide order) would race the heads past the scripted
+	// cut and re-execute the overrun phases in the next window.
+	nextBarrier := func(i int) int {
+		if i+1 < len(script) {
+			return script[i+1].Base
+		}
+		return 0
+	}
+	if err := lp.start(0, 0, script[0].Starts, nextBarrier(0)); err != nil {
+		return Stats{}, err
+	}
+	launchEvent(cfg.Tap, 0, 0, 0, script[0].Starts)
+	for i := 1; i < len(script); i++ {
+		barrier := script[i].Base
+		qr, err := lp.AwaitQuiesce()
+		if err != nil {
+			return lp.agg, err
+		}
+		if qr.Barrier != barrier {
+			return lp.agg, fmt.Errorf("distrib: replay quiesced at phase %d, script barrier %d", qr.Barrier, barrier)
+		}
+		if _, err := lp.Offload(barrier, script[i].Starts); err != nil {
+			return lp.agg, err
+		}
+		if err := lp.start(i, barrier, script[i].Starts, nextBarrier(i)); err != nil {
+			return lp.agg, err
+		}
+		launchEvent(cfg.Tap, i, barrier, 0, script[i].Starts)
+	}
+	qr, err := lp.AwaitQuiesce()
+	if err != nil {
+		return lp.agg, err
+	}
+	if qr.Barrier != 0 {
+		return lp.agg, fmt.Errorf("distrib: replay quiesced at phase %d past the last scripted window", qr.Barrier)
+	}
+	st := lp.agg
+	st.Wall = time.Since(t0)
+	return st, nil
+}

@@ -218,7 +218,7 @@ func TestPartitionedRaceStress(t *testing.T) {
 			mu.Unlock()
 		}
 	})
-	st, err := Run(ng, mods, make([][]core.ExtInput, phases), Config{
+	st, err := RunStatic(ng, mods, make([][]core.ExtInput, phases), Config{
 		Machines: 8, WorkersPerMachine: 2, MaxInFlight: 4, Buffer: 1,
 	})
 	if err != nil {

@@ -37,8 +37,12 @@ type localParticipant struct {
 	pendingStarts  []int
 }
 
-// start builds and launches one epoch's deployment.
-func (lp *localParticipant) start(epoch, base int, starts []int) error {
+// start builds and launches one epoch's deployment. A nonzero barrier
+// is published on the epoch controller before any machine runs: the
+// heads can never open a phase past it, which is what lets RunScripted
+// replay a recorded barrier schedule exactly — publishing after launch
+// would race the running heads past the scripted cut.
+func (lp *localParticipant) start(epoch, base int, starts []int, barrier int) error {
 	d, err := newDeploymentAt(lp.g, lp.mods, lp.cfg, runWindow{
 		epoch: epoch, base: base, measure: true, starts: starts,
 	})
@@ -46,6 +50,9 @@ func (lp *localParticipant) start(epoch, base int, starts []int) error {
 		return err
 	}
 	ctl := newEpochCtl(epoch, base, lp.total, d.headMachines())
+	if barrier != 0 {
+		ctl.publish(barrier)
+	}
 	d.attachCtl(ctl)
 	lp.epoch, lp.base = epoch, base
 	lp.d, lp.ctl = d, ctl
@@ -60,7 +67,7 @@ func (lp *localParticipant) start(epoch, base int, starts []int) error {
 
 // Begin implements Participant.
 func (lp *localParticipant) Begin(starts []int) error {
-	return lp.start(0, 0, starts)
+	return lp.start(0, 0, starts, 0)
 }
 
 // WaitStarted implements Participant: the deterministic, condition-
@@ -130,7 +137,7 @@ func (lp *localParticipant) Advance(arriving []core.VertexSnapshot) error {
 	if len(arriving) != 0 {
 		return fmt.Errorf("distrib: in-process participant received %d routed snapshots (state migrates internally)", len(arriving))
 	}
-	return lp.start(lp.epoch+1, lp.pendingBarrier, lp.pendingStarts)
+	return lp.start(lp.epoch+1, lp.pendingBarrier, lp.pendingStarts, 0)
 }
 
 // Finish implements Participant.
@@ -139,7 +146,7 @@ func (lp *localParticipant) Finish() error { return nil }
 // BeginAt implements Participant: the in-process binding can start at
 // any barrier directly — it is the same launch path Begin uses.
 func (lp *localParticipant) BeginAt(epoch, base int, starts []int) error {
-	return lp.start(epoch, base, starts)
+	return lp.start(epoch, base, starts, 0)
 }
 
 // Reset implements Participant. The in-process binding has no WAL:

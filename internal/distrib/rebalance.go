@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -445,41 +446,15 @@ func handoffState(mods []core.Module, moves []migration, net Network, depth, epo
 // next phase. The same Coordinator drives fuseworker processes through
 // netwire control channels — see ServeParticipant.
 //
-// The run is bit-identical to Run over the same graph, modules and
-// batches, whatever barriers land where — the equivalence tests pin
-// exactly that, over channel and TCP transports. Stats.Rebalances
+// The run is bit-identical to RunStatic over the same graph, modules
+// and batches, whatever barriers land where — the equivalence tests
+// pin exactly that, over channel and TCP transports. Stats.Rebalances
 // records every switch.
+//
+// Deprecated: RunRebalancing is the legacy rebalancing entry point.
+// New code should call Run with WithRebalancing.
 func RunRebalancing(g *graph.Numbered, mods []core.Module, batches [][]core.ExtInput, cfg Config, rcfg RebalanceConfig) (Stats, error) {
-	t0 := time.Now()
-	net := cfg.Network
-	if net == nil {
-		net = ChannelNetwork{}
-		defer net.Close()
-	}
-	epochCfg := cfg
-	epochCfg.Network = net
-	lp := &localParticipant{
-		g:       g,
-		mods:    mods,
-		batches: batches,
-		cfg:     epochCfg,
-		net:     net,
-		total:   len(batches),
-	}
-	co := &Coordinator{
-		Graph:        g,
-		Costs:        cfg.Costs,
-		Machines:     cfg.Machines,
-		Phases:       len(batches),
-		Planner:      cfg.Planner,
-		Rebalance:    rcfg,
-		Participants: []Participant{lp},
-	}
-	events, err := co.Run()
-	st := lp.agg
-	st.Rebalances = events
-	st.Wall = time.Since(t0)
-	return st, err
+	return Run(context.Background(), RunConfig{Graph: g, Mods: mods, Batches: batches, Dist: cfg}, WithRebalancing(rcfg))
 }
 
 // mergeStats folds one epoch's stats into the aggregate: per-machine

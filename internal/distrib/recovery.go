@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/evlog"
 )
 
 // RejoinOffer is a restarted worker presenting itself for recovery: the
@@ -197,6 +199,14 @@ func (co *Coordinator) tryRecover(cause error, epoch int) (resumePoint, bool) {
 		NextEpoch:   next,
 		Wall:        time.Since(t0),
 	})
+	if co.Tap != nil {
+		co.Tap.Event(evlog.Event{
+			Kind: evlog.KindRecovery, Machine: -1, Epoch: epoch,
+			A: stable, B: next, Data: evlog.AppendInts(nil, rejoined),
+		})
+	}
+	co.attempt++
+	launchEvent(co.Tap, next, base, co.attempt, starts)
 	return resumePoint{epoch: next, base: base, starts: starts}, true
 }
 

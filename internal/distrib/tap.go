@@ -1,0 +1,245 @@
+package distrib
+
+import (
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/evlog"
+	"repro/internal/netwire"
+)
+
+// This file is the distrib side of the record/replay seam
+// (DESIGN.md §11): adapters that turn engine callbacks, link traffic
+// and control-plane frames into evlog events. Every hook is a single
+// nil check when no Tap is installed — the steady-state alloc
+// regression test pins that the instrumented paths stay allocation-
+// free without a tap.
+
+// engineTap adapts one machine engine's Observer callbacks to evlog
+// events for the epoch the machine is running.
+type engineTap struct {
+	tap     evlog.Tap
+	machine int
+	epoch   int
+}
+
+// PhaseStarted implements core.Observer.
+func (t *engineTap) PhaseStarted(p int) {
+	t.tap.Event(evlog.Event{Kind: evlog.KindPhaseStart, Machine: t.machine, Epoch: t.epoch, Phase: p})
+}
+
+// PairEnqueued implements core.Observer (not recorded: enqueue order
+// is scheduler-dependent, execution is what replay verifies).
+func (t *engineTap) PairEnqueued(v, p int) {}
+
+// ExecBegin implements core.Observer (not recorded; see ExecEnd).
+func (t *engineTap) ExecBegin(v, p int) {}
+
+// ExecEnd implements core.Observer: one deterministic event per
+// executed (vertex, phase) pair. v is the machine-local vertex index;
+// the replay rebuilds the identical subgraph, so the indices align.
+func (t *engineTap) ExecEnd(v, p int, emitted int) {
+	t.tap.Event(evlog.Event{Kind: evlog.KindExec, Machine: t.machine, Epoch: t.epoch, Phase: p, A: v})
+}
+
+// PhaseCompleted implements core.Observer.
+func (t *engineTap) PhaseCompleted(p int) {
+	t.tap.Event(evlog.Event{Kind: evlog.KindPhaseCommit, Machine: t.machine, Epoch: t.epoch, Phase: p})
+}
+
+// PhaseFed implements core.FeedObserver: the external-input batch the
+// machine accepted for phase p, digested so a replay divergence in
+// fed values is detectable from the logs.
+func (t *engineTap) PhaseFed(p int, ext []core.ExtInput) {
+	t.tap.Event(evlog.Event{
+		Kind: evlog.KindFeed, Machine: t.machine, Epoch: t.epoch, Phase: p,
+		A: len(ext), Hash: extDigest(ext),
+	})
+}
+
+// extDigest hashes an input batch through the frozen netwire value
+// encoding, so the digest is transport-independent.
+func extDigest(ext []core.ExtInput) uint64 {
+	h := fnv.New64a()
+	var scratch [64]byte
+	buf := scratch[:0]
+	for _, in := range ext {
+		buf = buf[:0]
+		buf = append(buf, byte(in.Vertex), byte(in.Vertex>>8), byte(in.Port))
+		buf = netwire.AppendValue(buf, in.Val)
+		h.Write(buf)
+	}
+	return h.Sum64()
+}
+
+// frameDigest hashes a link frame through the frozen netwire frame
+// encoding — identical over channel and TCP transports.
+func frameDigest(f Frame) uint64 {
+	h := fnv.New64a()
+	h.Write(netwire.AppendFrame(nil, wireFrame(f)))
+	return h.Sum64()
+}
+
+// tapNetwork decorates a Network so every link frame is recorded on
+// both ends. It layers outside any fault injector: the tap records
+// what the runtime actually saw — delayed and reordered frames as
+// delivered, crashed sends not at all.
+type tapNetwork struct {
+	inner Network
+	tap   evlog.Tap
+}
+
+// newTapNetwork wraps inner; a nil tap returns inner unchanged.
+func newTapNetwork(inner Network, tap evlog.Tap) Network {
+	if tap == nil {
+		return inner
+	}
+	return &tapNetwork{inner: inner, tap: tap}
+}
+
+// Name implements Network.
+func (n *tapNetwork) Name() string { return n.inner.Name() }
+
+// Link implements Network.
+func (n *tapNetwork) Link(from, to, depth int) (Transport, error) {
+	tr, err := n.inner.Link(from, to, depth)
+	if err != nil {
+		return nil, err
+	}
+	return &tapTransport{inner: tr, tap: n.tap, from: from, to: to}, nil
+}
+
+// Close implements Network.
+func (n *tapNetwork) Close() error { return n.inner.Close() }
+
+// tapTransport records one link's delivered frames.
+type tapTransport struct {
+	inner    Transport
+	tap      evlog.Tap
+	from, to int
+}
+
+// Send implements Transport, recording the frame after a successful
+// send.
+func (t *tapTransport) Send(f Frame) error {
+	if err := t.inner.Send(f); err != nil {
+		return err
+	}
+	t.tap.Event(evlog.Event{
+		Kind: evlog.KindFrameSend, Machine: t.from, Epoch: f.Epoch, Phase: f.Phase,
+		A: t.from, B: t.to, B2: uint8(f.Kind), Hash: frameDigest(f),
+	})
+	return nil
+}
+
+// Recv implements Transport, recording the frame as delivered.
+func (t *tapTransport) Recv() (Frame, error) {
+	f, err := t.inner.Recv()
+	if err != nil {
+		return f, err
+	}
+	t.tap.Event(evlog.Event{
+		Kind: evlog.KindFrameRecv, Machine: t.to, Epoch: f.Epoch, Phase: f.Phase,
+		A: t.from, B: t.to, B2: uint8(f.Kind), Hash: frameDigest(f),
+	})
+	return f, nil
+}
+
+// Close implements Transport.
+func (t *tapTransport) Close() error { return t.inner.Close() }
+
+// DrainDiscard implements Transport.
+func (t *tapTransport) DrainDiscard() { t.inner.DrainDiscard() }
+
+// Stats implements Transport.
+func (t *tapTransport) Stats() LinkStats { return t.inner.Stats() }
+
+// WireTapper is implemented by Networks that can expose the
+// socket-level netwire tap (frame ingress/egress with epoch tags and
+// encoded sizes). TCPNetwork implements it; InstallWireTap uses it.
+type WireTapper interface {
+	// SetWireTap installs fn on every link the network creates from
+	// now on; fn receives the direction, link endpoints, frame and
+	// encoded size.
+	SetWireTap(fn func(in bool, from, to int, f netwire.WireFrame, wireBytes int))
+}
+
+// InstallWireTap connects a Network's socket-level frames to an evlog
+// Tap as auxiliary KindWireIn/KindWireOut events. Networks without a
+// wire layer (channels) are left untouched and report false.
+func InstallWireTap(net Network, tap evlog.Tap) bool {
+	wt, ok := net.(WireTapper)
+	if !ok || tap == nil {
+		return false
+	}
+	wt.SetWireTap(func(in bool, from, to int, f netwire.WireFrame, wireBytes int) {
+		kind := evlog.KindWireOut
+		if in {
+			kind = evlog.KindWireIn
+		}
+		tap.Event(evlog.Event{
+			Kind: kind, Machine: to, Epoch: f.Epoch, Phase: f.Phase,
+			A: from, B: to, B2: f.Kind, Hash: uint64(wireBytes),
+		})
+	})
+	return true
+}
+
+// tapCtl decorates a coordinator-side control channel with auxiliary
+// send/recv events, so a recorded run documents its control-plane
+// conversation (poll cadence, pauses, plans) alongside the data plane.
+type tapCtl struct {
+	inner   CtlChannel
+	tap     evlog.Tap
+	machine int
+}
+
+// TapCtlChannel wraps ch so every control frame to and from the
+// participant owning machine m is recorded as an auxiliary event. A
+// nil tap returns ch unchanged.
+func TapCtlChannel(ch CtlChannel, tap evlog.Tap, m int) CtlChannel {
+	if tap == nil {
+		return ch
+	}
+	return &tapCtl{inner: ch, tap: tap, machine: m}
+}
+
+// Send implements CtlChannel.
+func (c *tapCtl) Send(f netwire.WireFrame) error {
+	if err := c.inner.Send(f); err != nil {
+		return err
+	}
+	c.tap.Event(evlog.Event{
+		Kind: evlog.KindCtlSend, Machine: -1, Epoch: f.Epoch, Phase: f.Phase,
+		A: c.machine, B2: f.Kind,
+	})
+	return nil
+}
+
+// Recv implements CtlChannel.
+func (c *tapCtl) Recv() (netwire.WireFrame, error) {
+	f, err := c.inner.Recv()
+	if err != nil {
+		return f, err
+	}
+	c.tap.Event(evlog.Event{
+		Kind: evlog.KindCtlRecv, Machine: -1, Epoch: f.Epoch, Phase: f.Phase,
+		A: c.machine, B2: f.Kind,
+	})
+	return f, nil
+}
+
+// Close implements CtlChannel.
+func (c *tapCtl) Close() error { return c.inner.Close() }
+
+// launchEvent records an epoch (re)launch decision — the unit of the
+// committed schedule replay re-drives.
+func launchEvent(tap evlog.Tap, epoch, base, attempt int, starts []int) {
+	if tap == nil {
+		return
+	}
+	tap.Event(evlog.Event{
+		Kind: evlog.KindEpochLaunch, Machine: -1, Epoch: epoch, Phase: base,
+		A: attempt, Data: evlog.AppendInts(nil, starts),
+	})
+}

@@ -3,12 +3,16 @@ package distrib
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 	"time"
 )
 
 // FaultPlan describes the faults a FaultyNetwork injects. Every fault
 // is seeded and per-link deterministic, so a failing configuration
-// replays exactly.
+// replays exactly. A FaultPlan is one serializable value — all fields
+// are plain data and round-trip through encoding/json — which is what
+// makes a fault-sweep point (cmd/fusesweep) reproducible from its
+// printed form alone.
 type FaultPlan struct {
 	// Seed drives the per-link randomness (delays, reorder). The same
 	// plan with the same seed injects the same faults.
@@ -39,6 +43,13 @@ type FaultPlan struct {
 	// machine to itself: CrashFrom == CrashTo (the zero value included)
 	// means every link crashes at CrashAtPhase.
 	CrashFrom, CrashTo int
+	// CrashOnce disarms the crash injection after the first injected
+	// failure anywhere in the network. A plain crash run dies once and
+	// stays dead either way; under a durable flock (WAL + recovery)
+	// CrashOnce models a transient outage — the rollback's relaunch
+	// runs clean instead of dying at the same phase forever, which is
+	// what the recovery axis of the fault sweep exercises.
+	CrashOnce bool
 }
 
 // crashes reports whether the plan crashes the (from, to) link.
@@ -59,6 +70,9 @@ func (fp FaultPlan) crashes(from, to int) bool {
 type FaultyNetwork struct {
 	inner Network
 	plan  FaultPlan
+	// injected counts crashes already delivered, shared by every link
+	// of the network so CrashOnce can disarm after the first one.
+	injected atomic.Int64
 }
 
 // NewFaultyNetwork wraps inner (nil defaults to ChannelNetwork) with
@@ -84,6 +98,7 @@ func (n *FaultyNetwork) Link(from, to, depth int) (Transport, error) {
 		from:  from,
 		to:    to,
 		plan:  n.plan,
+		net:   n,
 		// Distinct deterministic stream per link; recv-side only, so a
 		// single rng needs no locking.
 		rng: rand.New(rand.NewPCG(n.plan.Seed^0xFA017, n.plan.Seed+uint64(from)<<32+uint64(to))),
@@ -98,6 +113,7 @@ type faultyTransport struct {
 	inner    Transport
 	from, to int
 	plan     FaultPlan
+	net      *FaultyNetwork
 	rng      *rand.Rand // used only by Recv (single-goroutine)
 	crashed  bool       // used only by Send (single-goroutine)
 }
@@ -108,7 +124,8 @@ func (t *faultyTransport) Send(f Frame) error {
 	if t.crashed {
 		return fmt.Errorf("distrib: link %d->%d: already crashed by fault injection", t.from, t.to)
 	}
-	if t.plan.crashes(t.from, t.to) && f.Phase >= t.plan.CrashAtPhase {
+	if t.plan.crashes(t.from, t.to) && f.Phase >= t.plan.CrashAtPhase &&
+		!(t.plan.CrashOnce && !t.net.injected.CompareAndSwap(0, 1)) {
 		t.crashed = true
 		// Do NOT close the inner transport here: the egress loop owns
 		// the close and performs it only after reporting this error, so

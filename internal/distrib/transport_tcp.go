@@ -28,8 +28,18 @@ type TCPNetwork struct {
 	pending map[[2]int]chan *netwire.RecvLink
 	links   []*tcpTransport
 	closed  bool
+	wireTap func(in bool, from, to int, f netwire.WireFrame, wireBytes int)
 
 	accepting sync.WaitGroup
+}
+
+// SetWireTap implements WireTapper: fn observes every netwire frame on
+// links created after the call, on both the egress and ingress side,
+// with its encoded size. Install it before wiring a run.
+func (n *TCPNetwork) SetWireTap(fn func(in bool, from, to int, f netwire.WireFrame, wireBytes int)) {
+	n.mu.Lock()
+	n.wireTap = fn
+	n.mu.Unlock()
 }
 
 // NewTCPNetwork opens a loopback listener and starts matching inbound
@@ -110,6 +120,10 @@ func (n *TCPNetwork) Link(from, to, depth int) (Transport, error) {
 	}
 	tr := &tcpTransport{from: from, to: to, send: send, recv: recv}
 	n.mu.Lock()
+	if fn := n.wireTap; fn != nil {
+		send.Tap = func(f netwire.WireFrame, wire int) { fn(false, from, to, f, wire) }
+		recv.Tap = func(f netwire.WireFrame, wire int) { fn(true, from, to, f, wire) }
+	}
 	n.links = append(n.links, tr)
 	n.mu.Unlock()
 	return tr, nil

@@ -22,7 +22,7 @@ import (
 func runOver(t *testing.T, net Network, machines int, seed uint64, phases int) (Stats, []*recSink) {
 	t.Helper()
 	ng, mods, sinks := buildWorkload(t, seed)
-	st, err := Run(ng, mods, make([][]core.ExtInput, phases), Config{
+	st, err := RunStatic(ng, mods, make([][]core.ExtInput, phases), Config{
 		Machines: machines, WorkersPerMachine: 2, MaxInFlight: 8, Buffer: 4,
 		Network: net,
 	})
@@ -180,7 +180,7 @@ func TestFaultyCrashCascade(t *testing.T) {
 			ng, mods, _ := buildWorkload(t, 5)
 			done := make(chan error, 1)
 			go func() {
-				_, err := Run(ng, mods, make([][]core.ExtInput, phases), Config{
+				_, err := RunStatic(ng, mods, make([][]core.ExtInput, phases), Config{
 					Machines: 4, WorkersPerMachine: 2, MaxInFlight: 4, Buffer: 2,
 					Network: net,
 				})
@@ -230,7 +230,7 @@ func TestFaultySingleLinkCrash(t *testing.T) {
 		})
 	}
 	net := NewFaultyNetwork(nil, FaultPlan{CrashAtPhase: 20, CrashFrom: 1, CrashTo: 2})
-	st, err := Run(ng, mods, make([][]core.ExtInput, phases), Config{
+	st, err := RunStatic(ng, mods, make([][]core.ExtInput, phases), Config{
 		Machines: 4, WorkersPerMachine: 1, MaxInFlight: 4, Buffer: 2,
 
 		Network: net,
@@ -259,7 +259,7 @@ func TestFaultySingleLinkCrash(t *testing.T) {
 func TestRunRejectsNegativeBuffer(t *testing.T) {
 	ng, _ := graph.Chain(3).Number()
 	mods := []core.Module{bridge{}, bridge{}, bridge{}}
-	if _, err := Run(ng, mods, nil, Config{Machines: 2, Buffer: -1}); err == nil {
+	if _, err := RunStatic(ng, mods, nil, Config{Machines: 2, Buffer: -1}); err == nil {
 		t.Error("negative link buffer accepted")
 	}
 	if _, err := NewDeployment(ng, mods, Config{Machines: 2, Buffer: -3}); err == nil {
@@ -342,7 +342,7 @@ func TestRunMachineOverWires(t *testing.T) {
 	batches := make([][]core.ExtInput, phases)
 
 	ngRef, modsRef, rsWant := build()
-	if _, err := Run(ngRef, modsRef, batches, Config{Machines: 3, WorkersPerMachine: 1}); err != nil {
+	if _, err := RunStatic(ngRef, modsRef, batches, Config{Machines: 3, WorkersPerMachine: 1}); err != nil {
 		t.Fatal(err)
 	}
 

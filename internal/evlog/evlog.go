@@ -1,0 +1,179 @@
+// Package evlog is the deterministic event log behind the
+// record/replay harness (DESIGN.md §11): a Tap observer seam the
+// runtime threads through the engine, the distrib link layer and the
+// netwire sockets, a Recorder that captures every tapped event into
+// per-machine buckets, a length-prefixed gzipped log codec, and a
+// deterministic merge that folds the per-machine logs into one
+// canonical stream. The merged stream of a fault-free run is
+// bit-reproducible: re-recording an in-process replay of the same
+// schedule yields byte-identical log files, which is what the golden
+// round-trip test pins and what makes a failing fault-sweep seed
+// debuggable from its log alone.
+//
+// The package deliberately depends on nothing above the standard
+// library, so every layer of the runtime can import it without cycles;
+// the Player that re-drives a recorded run lives in evlog/replay.
+package evlog
+
+import "sync"
+
+// Kind tags one recorded event. Kinds split into a deterministic
+// class — events whose (key, content) are a pure function of the
+// committed run schedule, present identically in a live run and its
+// in-process replay — and an auxiliary class (wire- and control-level
+// traffic, recovery timing) that documents what a particular live run
+// did but is excluded from the canonical merge.
+type Kind uint8
+
+// Deterministic-class kinds.
+const (
+	// KindEpochLaunch records an epoch (re)launch decision: Epoch,
+	// Phase = the base phase the epoch resumes after, A = the relaunch
+	// attempt (0 until a recovery rolls the run back), Data = the
+	// varint-encoded per-machine start indices of the epoch's plan.
+	// Machine is -1: the launch is a coordinator decision.
+	KindEpochLaunch Kind = 1
+	// KindPhaseStart records machine Machine opening phase Phase of
+	// epoch Epoch.
+	KindPhaseStart Kind = 2
+	// KindPhaseCommit records the phase completing on the machine.
+	KindPhaseCommit Kind = 3
+	// KindFeed records the external-input batch fed to the machine for
+	// the phase: A = input count, Hash = content digest.
+	KindFeed Kind = 4
+	// KindExec records one vertex execution: A = the vertex index
+	// local to the machine's subgraph (bridges included; the replay
+	// rebuilds the identical subgraph, so local indices align).
+	KindExec Kind = 5
+	// KindFrameSend records a link-level frame leaving machine A for
+	// machine B: Phase/Epoch from the frame, B2 = frame kind,
+	// Hash = payload digest.
+	KindFrameSend Kind = 6
+	// KindFrameRecv records the frame arriving, same key layout.
+	KindFrameRecv Kind = 7
+)
+
+// Auxiliary-class kinds.
+const (
+	// KindWireOut records a netwire frame hitting the socket: A = from
+	// machine, B = to machine, B2 = frame kind, Hash = encoded bytes.
+	KindWireOut Kind = 32
+	// KindWireIn records a netwire frame decoded off the socket.
+	KindWireIn Kind = 33
+	// KindCtlSend records a control-plane frame sent to a participant
+	// (A = participant machine, B2 = frame kind).
+	KindCtlSend Kind = 34
+	// KindCtlRecv records a control-plane frame received from a
+	// participant.
+	KindCtlRecv Kind = 35
+	// KindRecovery records a rollback: Epoch = the epoch that failed,
+	// A = the stable epoch restored, B = the relaunched epoch, Data =
+	// the rejoined machine indices (varint-encoded).
+	KindRecovery Kind = 36
+)
+
+// Deterministic reports whether k belongs to the deterministic class
+// covered by the replay contract (DESIGN.md §11). Merge keeps only
+// deterministic events; auxiliary events stay in the per-machine logs.
+func Deterministic(k Kind) bool { return k < 32 }
+
+// Event is one recorded occurrence. The integer fields double as the
+// canonical sort key; see Merge.
+type Event struct {
+	// Kind tags the event.
+	Kind Kind
+	// Machine is the recording machine index; -1 for coordinator-level
+	// events.
+	Machine int
+	// Epoch is the epoch the event belongs to.
+	Epoch int
+	// Phase is the global phase number the event concerns (the epoch
+	// base for launch events).
+	Phase int
+	// A and B carry kind-specific small integers (vertex, link
+	// endpoints, counts); see the Kind constants.
+	A, B int
+	// B2 carries a kind-specific tag (frame kind).
+	B2 uint8
+	// Hash is a content digest (FNV-1a) for payload-bearing events, so
+	// divergence is detectable without storing the payload.
+	Hash uint64
+	// Data is an optional kind-specific payload (plan starts, rejoined
+	// machines).
+	Data []byte
+}
+
+// Tap receives runtime events. Implementations must be safe for
+// concurrent use: machines, their worker pools and the coordinator all
+// emit. A nil Tap anywhere in the runtime means no instrumentation at
+// all — every seam is a single nil check, pinned by the engine's
+// steady-state alloc regression test.
+type Tap interface {
+	Event(e Event)
+}
+
+// Recorder is the standard Tap: it appends every event to a
+// per-machine bucket under one mutex. Use Machines/Events to extract
+// the buckets for writing, or Merged for the canonical stream.
+type Recorder struct {
+	mu     sync.Mutex
+	events map[int][]Event
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{events: make(map[int][]Event)}
+}
+
+// Event implements Tap.
+func (r *Recorder) Event(e Event) {
+	r.mu.Lock()
+	r.events[e.Machine] = append(r.events[e.Machine], e)
+	r.mu.Unlock()
+}
+
+// Machines lists the machine indices that recorded at least one event,
+// in ascending order (the coordinator's -1 bucket first).
+func (r *Recorder) Machines() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ms := make([]int, 0, len(r.events))
+	for m := range r.events {
+		ms = append(ms, m)
+	}
+	sortInts(ms)
+	return ms
+}
+
+// Events returns a copy of machine m's bucket in capture order.
+func (r *Recorder) Events(m int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events[m]...)
+}
+
+// Merged returns the canonical deterministic-class stream across all
+// buckets; see Merge.
+func (r *Recorder) Merged() []Event {
+	r.mu.Lock()
+	buckets := make([][]Event, 0, len(r.events))
+	ms := make([]int, 0, len(r.events))
+	for m := range r.events {
+		ms = append(ms, m)
+	}
+	sortInts(ms)
+	for _, m := range ms {
+		buckets = append(buckets, r.events[m])
+	}
+	r.mu.Unlock()
+	return Merge(buckets...)
+}
+
+// sortInts is a tiny insertion sort: bucket counts are single digits.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

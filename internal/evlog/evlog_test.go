@@ -1,0 +1,221 @@
+package evlog
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindEpochLaunch, Machine: -1, Epoch: 0, Phase: 0, A: 0, Data: AppendInts(nil, []int{1, 4})},
+		{Kind: KindPhaseStart, Machine: 0, Epoch: 0, Phase: 1},
+		{Kind: KindFeed, Machine: 0, Epoch: 0, Phase: 1, A: 3, Hash: 0xDEADBEEF},
+		{Kind: KindExec, Machine: 0, Epoch: 0, Phase: 1, A: 2},
+		{Kind: KindFrameSend, Machine: 0, Epoch: 0, Phase: 1, A: 0, B: 1, B2: 0, Hash: 42},
+		{Kind: KindFrameRecv, Machine: 1, Epoch: 0, Phase: 1, A: 0, B: 1, B2: 0, Hash: 42},
+		{Kind: KindPhaseCommit, Machine: 0, Epoch: 0, Phase: 1},
+		{Kind: KindWireOut, Machine: 0, Epoch: 0, Phase: 1, A: 0, B: 1, Hash: 17},
+		{Kind: KindRecovery, Machine: -1, Epoch: 2, A: 1, B: 3, Data: AppendInts(nil, []int{1})},
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	info := RunInfo{Workload: "chain5/machines=2/phases=100", Machines: 2, Phases: 100, Transport: "chan", Note: "seed 7"}
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, info, events); err != nil {
+		t.Fatal(err)
+	}
+	got, gotEvents, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, info) {
+		t.Errorf("header round-trip: got %+v, want %+v", got, info)
+	}
+	if !reflect.DeepEqual(gotEvents, events) {
+		t.Errorf("events round-trip: got %+v, want %+v", gotEvents, events)
+	}
+}
+
+func TestLogDeterministicBytes(t *testing.T) {
+	info := RunInfo{Workload: "w", Machines: 2, Phases: 10}
+	events := sampleEvents()
+	var a, b bytes.Buffer
+	if err := WriteLog(&a, info, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLog(&b, info, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two writes of the same log differ byte-wise")
+	}
+}
+
+// rawLog builds an uncompressed log image, for damage injection before
+// the gzip layer is applied.
+func rawLog(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, RunInfo{Workload: "w", Machines: 1, Phases: 1}, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(zr); err != nil {
+		t.Fatal(err)
+	}
+	return raw.Bytes()
+}
+
+// gz re-compresses a (possibly damaged) raw log image.
+func gz(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadLogDamage(t *testing.T) {
+	whole := rawLog(t)
+	cases := []struct {
+		name    string
+		mangle  func([]byte) []byte
+		wantErr error
+	}{
+		{"not gzip", nil, ErrCorrupt},
+		{"empty stream", func(raw []byte) []byte { return nil }, ErrTruncated},
+		{"bad magic", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[0] ^= 0xFF
+			return out
+		}, ErrCorrupt},
+		{"unknown version", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[4] = 99
+			return out
+		}, ErrCorrupt},
+		{"header cut short", func(raw []byte) []byte { return raw[:7] }, ErrTruncated},
+		{"cut mid-record", func(raw []byte) []byte { return raw[:len(raw)-3] }, ErrTruncated},
+		{"record length cut", func(raw []byte) []byte { return raw[:len(raw)-25] }, ErrTruncated},
+		{"zero record length", func(raw []byte) []byte {
+			return append(append([]byte(nil), raw...), 0)
+		}, ErrCorrupt},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var data []byte
+			if c.mangle == nil {
+				data = []byte("definitely not a gzip stream")
+			} else {
+				data = gz(t, c.mangle(whole))
+			}
+			_, _, err := ReadLog(bytes.NewReader(data))
+			if !errors.Is(err, c.wantErr) {
+				t.Fatalf("got error %v, want %v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// A log cut mid-stream still yields the events decoded before the cut.
+func TestReadLogTruncatedKeepsPrefix(t *testing.T) {
+	whole := rawLog(t)
+	_, all, err := ReadLog(bytes.NewReader(gz(t, whole)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, some, err := ReadLog(bytes.NewReader(gz(t, whole[:len(whole)-3])))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got error %v, want ErrTruncated", err)
+	}
+	if len(some) != len(all)-1 {
+		t.Fatalf("decoded %d events before the cut, want %d", len(some), len(all)-1)
+	}
+	if !reflect.DeepEqual(some, all[:len(some)]) {
+		t.Error("decoded prefix differs from the intact log's prefix")
+	}
+}
+
+func TestMergeDeterministicAcrossOrder(t *testing.T) {
+	events := sampleEvents()
+	// Spread events over buckets and shuffle within each; the merged
+	// stream must not care.
+	split := func(seed uint64) [][]Event {
+		rng := rand.New(rand.NewPCG(seed, seed^1))
+		buckets := make([][]Event, 3)
+		for _, e := range events {
+			b := rng.IntN(3)
+			buckets[b] = append(buckets[b], e)
+		}
+		for _, b := range buckets {
+			rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		}
+		return buckets
+	}
+	ref := Merge(split(1)...)
+	for _, e := range ref {
+		if !Deterministic(e.Kind) {
+			t.Fatalf("auxiliary event kind %d survived Merge", e.Kind)
+		}
+	}
+	for seed := uint64(2); seed < 12; seed++ {
+		got := Merge(split(seed)...)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("merge of shuffle %d differs from reference", seed)
+		}
+	}
+}
+
+func TestRecorderBuckets(t *testing.T) {
+	r := NewRecorder()
+	r.Event(Event{Kind: KindPhaseStart, Machine: 1, Phase: 1})
+	r.Event(Event{Kind: KindEpochLaunch, Machine: -1, Data: AppendInts(nil, []int{1})})
+	r.Event(Event{Kind: KindPhaseStart, Machine: 0, Phase: 1})
+	if got := r.Machines(); !reflect.DeepEqual(got, []int{-1, 0, 1}) {
+		t.Errorf("Machines() = %v, want [-1 0 1]", got)
+	}
+	if n := len(r.Events(1)); n != 1 {
+		t.Errorf("machine 1 bucket holds %d events, want 1", n)
+	}
+	if n := len(r.Merged()); n != 3 {
+		t.Errorf("merged stream holds %d events, want 3", n)
+	}
+}
+
+func TestIntsRoundTrip(t *testing.T) {
+	for _, xs := range [][]int{nil, {}, {0}, {1, 4, 9}, {-3, 1 << 30, -(1 << 40)}} {
+		got, err := ReadInts(AppendInts(nil, xs))
+		if err != nil {
+			t.Fatalf("ReadInts(%v): %v", xs, err)
+		}
+		if len(got) != len(xs) {
+			t.Fatalf("round-trip of %v gave %v", xs, got)
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				t.Fatalf("round-trip of %v gave %v", xs, got)
+			}
+		}
+	}
+	if _, err := ReadInts([]byte{5, 1}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short int list: got %v, want ErrCorrupt", err)
+	}
+	if _, err := ReadInts(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty int list buffer: got %v, want ErrCorrupt", err)
+	}
+}

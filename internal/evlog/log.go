@@ -1,0 +1,241 @@
+package evlog
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// logMagic opens every event log, inside the gzip stream.
+const logMagic = "EVL1"
+
+// logVersion is the current record-format version.
+const logVersion = 1
+
+// maxRecord bounds one encoded event record; a length prefix past it
+// is treated as corruption, mirroring netwire's hostile-length rule.
+const maxRecord = 1 << 20
+
+// ErrCorrupt reports structural damage in an event log: a bad magic,
+// an unknown version, a hostile length prefix or a malformed record.
+var ErrCorrupt = errors.New("evlog: corrupt event log")
+
+// ErrTruncated reports an event log that ends mid-record — the gzip
+// stream or the file under it was cut short.
+var ErrTruncated = errors.New("evlog: truncated event log")
+
+// RunInfo is the log header: enough provenance to refuse replaying a
+// log against the wrong workload and to reconstruct the live run's
+// fault configuration. Fault holds the JSON form of the run's
+// distrib.FaultPlan (evlog cannot import distrib); empty means a
+// fault-free run.
+type RunInfo struct {
+	// Workload is the caller-defined workload signature, in the WAL
+	// style: name/machines=M/phases=P.
+	Workload string `json:"workload"`
+	// Machines is the deployment width.
+	Machines int `json:"machines"`
+	// Phases is the total run length.
+	Phases int `json:"phases"`
+	// Transport names the live run's Network ("chan", "tcp", ...).
+	Transport string `json:"transport,omitempty"`
+	// Fault is the serialized distrib.FaultPlan of a fault-injected
+	// run; a sweep point reproduces from this field alone.
+	Fault json.RawMessage `json:"fault,omitempty"`
+	// Note is free-form provenance (sweep seed, mode).
+	Note string `json:"note,omitempty"`
+}
+
+// WriteLog writes a gzipped, length-prefixed event log: header
+// (magic, version, JSON RunInfo) then one record per event.
+func WriteLog(w io.Writer, info RunInfo, events []Event) error {
+	zw := gzip.NewWriter(w)
+	bw := bufio.NewWriter(zw)
+	var buf []byte
+	buf = append(buf, logMagic...)
+	buf = binary.AppendUvarint(buf, logVersion)
+	hdr, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("evlog: encoding header: %w", err)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, e := range events {
+		buf = appendEvent(buf[:0], e)
+		var pre [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(pre[:], uint64(len(buf)))
+		if _, err := bw.Write(pre[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadLog decodes a log written by WriteLog. A log cut mid-record
+// returns ErrTruncated; structural damage returns ErrCorrupt. Either
+// way the events decoded before the damage are returned.
+func ReadLog(r io.Reader) (RunInfo, []Event, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return RunInfo{}, nil, fmt.Errorf("%w: not a gzip stream: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	br := bufio.NewReader(zr)
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return RunInfo{}, nil, fmt.Errorf("%w: missing magic", ErrTruncated)
+	}
+	if string(magic) != logMagic {
+		return RunInfo{}, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return RunInfo{}, nil, fmt.Errorf("%w: missing version", ErrTruncated)
+	}
+	if ver != logVersion {
+		return RunInfo{}, nil, fmt.Errorf("%w: unknown version %d", ErrCorrupt, ver)
+	}
+	hlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return RunInfo{}, nil, fmt.Errorf("%w: missing header length", ErrTruncated)
+	}
+	if hlen > maxRecord {
+		return RunInfo{}, nil, fmt.Errorf("%w: header length %d", ErrCorrupt, hlen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return RunInfo{}, nil, fmt.Errorf("%w: header cut short", ErrTruncated)
+	}
+	var info RunInfo
+	if err := json.Unmarshal(hdr, &info); err != nil {
+		return RunInfo{}, nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	var events []Event
+	for {
+		rlen, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return info, events, nil
+		}
+		if err != nil {
+			return info, events, fmt.Errorf("%w: record length cut short", ErrTruncated)
+		}
+		if rlen == 0 || rlen > maxRecord {
+			return info, events, fmt.Errorf("%w: record length %d", ErrCorrupt, rlen)
+		}
+		rec := make([]byte, rlen)
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return info, events, fmt.Errorf("%w: record cut short", ErrTruncated)
+		}
+		e, rest, err := decodeEvent(rec)
+		if err != nil {
+			return info, events, err
+		}
+		if len(rest) != 0 {
+			return info, events, fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupt, len(rest))
+		}
+		events = append(events, e)
+	}
+}
+
+// appendEvent appends the record encoding of e to buf.
+func appendEvent(buf []byte, e Event) []byte {
+	buf = append(buf, byte(e.Kind))
+	buf = binary.AppendVarint(buf, int64(e.Machine))
+	buf = binary.AppendUvarint(buf, uint64(e.Epoch))
+	buf = binary.AppendUvarint(buf, uint64(e.Phase))
+	buf = binary.AppendVarint(buf, int64(e.A))
+	buf = binary.AppendVarint(buf, int64(e.B))
+	buf = append(buf, e.B2)
+	buf = binary.AppendUvarint(buf, e.Hash)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Data)))
+	return append(buf, e.Data...)
+}
+
+// decodeEvent decodes one record, returning the remaining bytes.
+func decodeEvent(buf []byte) (Event, []byte, error) {
+	var e Event
+	if len(buf) < 1 {
+		return e, nil, fmt.Errorf("%w: empty record", ErrCorrupt)
+	}
+	e.Kind = Kind(buf[0])
+	buf = buf[1:]
+	rd := func() (int64, bool) {
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, false
+		}
+		buf = buf[n:]
+		return v, true
+	}
+	rdU := func() (uint64, bool) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, false
+		}
+		buf = buf[n:]
+		return v, true
+	}
+	m, ok1 := rd()
+	ep, ok2 := rdU()
+	ph, ok3 := rdU()
+	a, ok4 := rd()
+	b, ok5 := rd()
+	if !(ok1 && ok2 && ok3 && ok4 && ok5) || len(buf) < 1 {
+		return e, nil, fmt.Errorf("%w: truncated event fields", ErrCorrupt)
+	}
+	e.Machine, e.Epoch, e.Phase, e.A, e.B = int(m), int(ep), int(ph), int(a), int(b)
+	e.B2 = buf[0]
+	buf = buf[1:]
+	h, ok6 := rdU()
+	dlen, ok7 := rdU()
+	if !ok6 || !ok7 || uint64(len(buf)) < dlen {
+		return e, nil, fmt.Errorf("%w: truncated event payload", ErrCorrupt)
+	}
+	e.Hash = h
+	if dlen > 0 {
+		e.Data = append([]byte(nil), buf[:dlen]...)
+	}
+	return e, buf[dlen:], nil
+}
+
+// AppendInts varint-encodes xs for an Event's Data field (plan starts,
+// rejoined machine lists).
+func AppendInts(buf []byte, xs []int) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(xs)))
+	for _, x := range xs {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return buf
+}
+
+// ReadInts decodes an AppendInts payload.
+func ReadInts(buf []byte) ([]int, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 || n > maxRecord {
+		return nil, fmt.Errorf("%w: int list length", ErrCorrupt)
+	}
+	buf = buf[used:]
+	xs := make([]int, n)
+	for i := range xs {
+		v, used := binary.Varint(buf)
+		if used <= 0 {
+			return nil, fmt.Errorf("%w: int list cut short", ErrCorrupt)
+		}
+		xs[i] = int(v)
+		buf = buf[used:]
+	}
+	return xs, nil
+}

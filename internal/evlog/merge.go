@@ -1,0 +1,58 @@
+package evlog
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Merge folds per-machine event buckets into the canonical stream:
+// auxiliary-class events are dropped, the rest sort by the
+// deterministic tiebreak order (epoch, phase, kind, machine, A, B,
+// B2, hash, payload). The key is total over every event a correct run
+// emits — two events equal under it are byte-identical — so the merged
+// stream of a fault-free run is independent of capture interleaving,
+// transport, and wall-clock: a live TCP run and its in-process replay
+// merge to the same bytes.
+func Merge(buckets ...[]Event) []Event {
+	var out []Event
+	for _, b := range buckets {
+		for _, e := range b {
+			if Deterministic(e.Kind) {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return less(out[i], out[j])
+	})
+	return out
+}
+
+// less is the canonical event order.
+func less(a, b Event) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	if a.Phase != b.Phase {
+		return a.Phase < b.Phase
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Machine != b.Machine {
+		return a.Machine < b.Machine
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	if a.B2 != b.B2 {
+		return a.B2 < b.B2
+	}
+	if a.Hash != b.Hash {
+		return a.Hash < b.Hash
+	}
+	return bytes.Compare(a.Data, b.Data) < 0
+}

@@ -1,0 +1,257 @@
+package replay_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/event"
+	"repro/internal/evlog"
+	"repro/internal/evlog/replay"
+	"repro/internal/graph"
+	"repro/internal/module"
+	"repro/internal/netwire"
+)
+
+// mix is the splitmix64 finalizer, the tests' stock cheap hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// phaseSource emits a pure function of the phase number, with
+// Δ-sparsity, and snapshots as empty state so it can migrate.
+type phaseSource struct{}
+
+func (phaseSource) Step(ctx *core.Context) {
+	h := mix(0xF00D ^ uint64(ctx.Phase()))
+	if h%5 == 0 {
+		return
+	}
+	ctx.EmitAll(event.Float(float64(int64(h%1000)) / 7))
+}
+func (phaseSource) SnapshotState() ([]byte, error) { return nil, nil }
+func (phaseSource) RestoreState([]byte) error      { return nil }
+
+// recSink records each incoming value's canonical wire encoding keyed
+// by phase — the run history the oracle comparison is made on.
+type recSink struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (s *recSink) Step(ctx *core.Context) {
+	if v, ok := ctx.FirstIn(); ok {
+		s.mu.Lock()
+		s.log = append(s.log, fmt.Sprintf("%d:%x", ctx.Phase(), netwire.AppendValue(nil, v)))
+		s.mu.Unlock()
+	}
+}
+
+func (s *recSink) SnapshotState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []byte(strings.Join(s.log, "\n")), nil
+}
+
+func (s *recSink) RestoreState(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(state) == 0 {
+		s.log = nil
+		return nil
+	}
+	s.log = strings.Split(string(state), "\n")
+	return nil
+}
+
+func (s *recSink) history() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+func buildChain(t *testing.T) (*graph.Numbered, []core.Module, *recSink) {
+	t.Helper()
+	ng, err := graph.Chain(5).Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recSink{}
+	mods := []core.Module{
+		phaseSource{},
+		module.NewSmoother(0.3),
+		module.NewMovingAverage(7, 3),
+		module.NewZScoreDetector(9, 0.8, 5),
+		sink,
+	}
+	return ng, mods, sink
+}
+
+// TestGoldenRoundTrip is the record/replay acceptance test (DESIGN.md
+// §11): record a rebalancing run (over in-process channels and over
+// real loopback TCP), replay it in-process from the log alone,
+// re-record the replay, and require the two log files byte-identical —
+// and the replayed sink history bit-identical to the sequential
+// oracle.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, transport := range []string{"chan", "tcp"} {
+		t.Run(transport, func(t *testing.T) {
+			testGoldenRoundTrip(t, transport)
+		})
+	}
+}
+
+func testGoldenRoundTrip(t *testing.T, transport string) {
+	const machines, phases = 2, 900
+	batches := make([][]core.ExtInput, phases)
+	workload := fmt.Sprintf("chain5/machines=%d/phases=%d", machines, phases)
+
+	ngRef, modsRef, sinkRef := buildChain(t)
+	if _, err := baseline.Sequential(ngRef, modsRef, batches); err != nil {
+		t.Fatal(err)
+	}
+	oracle := sinkRef.history()
+
+	// Record a live coordinated run.
+	ng, mods, sink := buildChain(t)
+	cfg := distrib.Config{Machines: machines, WorkersPerMachine: 1, MaxInFlight: 8, Buffer: 4}
+	if transport == "tcp" {
+		net, err := distrib.NewTCPNetwork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		cfg.Network = net
+	}
+	rec := evlog.NewRecorder()
+	st, err := distrib.Run(context.Background(),
+		distrib.RunConfig{Graph: ng, Mods: mods, Batches: batches, Dist: cfg},
+		distrib.WithRebalancing(distrib.RebalanceConfig{ForceEvery: 250, MinRemaining: 20, MaxRebalances: 2}),
+		distrib.WithTap(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rebalances) == 0 {
+		t.Fatal("recorded run performed no epoch switches; the round-trip would not cover migration")
+	}
+	if !reflect.DeepEqual(sink.history(), oracle) {
+		t.Fatal("recorded run diverges from the sequential oracle")
+	}
+
+	info := evlog.RunInfo{Workload: workload, Machines: machines, Phases: phases, Transport: transport}
+	var log1 bytes.Buffer
+	if err := evlog.WriteLog(&log1, info, rec.Merged()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay from the log alone: no live network, no coordinator.
+	p, err := replay.Load(bytes.NewReader(log1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckWorkload(workload, machines, phases); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckWorkload("other", machines, phases); err == nil {
+		t.Error("CheckWorkload accepted a mismatched workload signature")
+	}
+	sched, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != len(st.Rebalances)+1 {
+		t.Errorf("schedule has %d windows for %d recorded switches", len(sched), len(st.Rebalances))
+	}
+
+	ng2, mods2, sink2 := buildChain(t)
+	rec2 := evlog.NewRecorder()
+	if _, err := p.Replay(ng2, mods2, batches, distrib.Config{
+		Machines: machines, WorkersPerMachine: 1, MaxInFlight: 8, Buffer: 4, Tap: rec2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sink2.history(), oracle) {
+		t.Fatal("replayed run diverges from the sequential oracle")
+	}
+
+	// Re-record: the merged deterministic streams, and therefore the
+	// log files, must be byte-identical.
+	var log2 bytes.Buffer
+	if err := evlog.WriteLog(&log2, p.Info, rec2.Merged()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(log1.Bytes(), log2.Bytes()) {
+		e1, e2 := rec.Merged(), rec2.Merged()
+		t.Errorf("re-recorded replay log differs from the original (%d vs %d events)", len(e1), len(e2))
+		for i := 0; i < len(e1) && i < len(e2); i++ {
+			if !reflect.DeepEqual(e1[i], e2[i]) {
+				t.Fatalf("first divergence at event %d:\n live:   %+v\n replay: %+v", i, e1[i], e2[i])
+			}
+		}
+	}
+}
+
+// A recovered durable run replays from its committed schedule alone:
+// the rolled-back window's launches are superseded and the replayed
+// history still matches the oracle.
+func TestReplaySupersedesRolledBackWindows(t *testing.T) {
+	const machines, phases = 2, 300
+	batches := make([][]core.ExtInput, phases)
+
+	ngRef, modsRef, sinkRef := buildChain(t)
+	if _, err := baseline.Sequential(ngRef, modsRef, batches); err != nil {
+		t.Fatal(err)
+	}
+	oracle := sinkRef.history()
+
+	ng, mods, _ := buildChain(t)
+	rec := evlog.NewRecorder()
+	st, err := distrib.Run(context.Background(),
+		distrib.RunConfig{Graph: ng, Mods: mods, Batches: batches,
+			Dist: distrib.Config{Machines: machines, WorkersPerMachine: 1, MaxInFlight: 8, Buffer: 4}},
+		distrib.WithRebalancing(distrib.RebalanceConfig{SkewThreshold: 1e12}),
+		distrib.WithFaults(distrib.FaultPlan{Seed: 3, CrashAtPhase: 60, CrashOnce: true}),
+		distrib.WithWAL(t.TempDir()),
+		distrib.WithRecovery(distrib.RecoverConfig{Window: 10 * time.Second}),
+		distrib.WithTap(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Recoveries) == 0 {
+		t.Fatal("the CrashOnce fault never triggered a recovery")
+	}
+
+	p := replay.NewPlayer(evlog.RunInfo{Workload: "w", Machines: machines, Phases: phases}, rec.Merged())
+	sched, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crashed epoch's launch must have been superseded by the
+	// relaunch: the committed schedule re-runs from the rollback base.
+	if sched[0].Base != 0 {
+		t.Fatalf("committed schedule starts at base %d", sched[0].Base)
+	}
+	ng2, mods2, sink2 := buildChain(t)
+	if _, err := p.Replay(ng2, mods2, batches, distrib.Config{
+		Machines: machines, WorkersPerMachine: 1, MaxInFlight: 8, Buffer: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sink2.history(), oracle) {
+		t.Error("replay of the recovered run diverges from the sequential oracle")
+	}
+}

@@ -220,7 +220,7 @@ func BenchJSON(quick bool) BenchReport {
 				// Engine construction happens inside distrib.Run, so a
 				// partitioned row's cost honestly includes the planner
 				// and per-machine assembly.
-				rst, err = distrib.Run(ng, mods, Phases(phases), cfg)
+				rst, err = distrib.RunStatic(ng, mods, Phases(phases), cfg)
 				if err != nil {
 					panic(err)
 				}
@@ -265,7 +265,7 @@ func BenchJSON(quick bool) BenchReport {
 			var rst distrib.Stats
 			w, a := allocsAround(func() {
 				var err error
-				rst, err = distrib.Run(ng, mods, Phases(phases), cfg)
+				rst, err = distrib.RunStatic(ng, mods, Phases(phases), cfg)
 				if err != nil {
 					panic(err)
 				}

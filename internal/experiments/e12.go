@@ -95,7 +95,7 @@ func E12PipelineScaleOut(quick bool) E12Result {
 		ng, mods := w.Build()
 		cfg := E12Config(m)
 		cfg.Costs = costs
-		st, err := distrib.Run(ng, mods, Phases(phases), cfg)
+		st, err := distrib.RunStatic(ng, mods, Phases(phases), cfg)
 		if err != nil {
 			panic(err)
 		}

@@ -200,13 +200,13 @@ func E14DynamicRepartition(quick bool) E14Result {
 		switch mode {
 		case "static-stale":
 			cfg.Costs = pre
-			st, err = distrib.Run(ng, mods, Phases(phases), cfg)
+			st, err = distrib.RunStatic(ng, mods, Phases(phases), cfg)
 		case "rebalance":
 			cfg.Costs = pre
 			st, err = distrib.RunRebalancing(ng, mods, Phases(phases), cfg, E14RebalanceConfig())
 		case "oracle":
 			cfg.Costs = post
-			st, err = distrib.Run(ng, mods, Phases(phases), cfg)
+			st, err = distrib.RunStatic(ng, mods, Phases(phases), cfg)
 		}
 		if err != nil {
 			panic(fmt.Sprintf("E14 %s: %v", mode, err))

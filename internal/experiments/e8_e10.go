@@ -116,7 +116,7 @@ func E9Partitioned(quick bool) E9Result {
 			Seed: 0xE9,
 		}
 		ng, mods := w.Build()
-		st, err := distrib.Run(ng, mods, Phases(phases), distrib.Config{
+		st, err := distrib.RunStatic(ng, mods, Phases(phases), distrib.Config{
 			Machines: m, WorkersPerMachine: workersPerMachine, MaxInFlight: 16, Buffer: 8,
 		})
 		if err != nil {

@@ -148,6 +148,12 @@ type SendLink struct {
 	bytes   atomic.Int64
 	blocks  atomic.Int64
 	blocked atomic.Int64
+
+	// Tap, when non-nil, observes every frame the moment it hits the
+	// wire, with its encoded size — the egress half of the
+	// record/replay seam (DESIGN.md §11). Set it before the first
+	// Send; it runs on the sending goroutine and must be fast.
+	Tap func(f WireFrame, wireBytes int)
 }
 
 // Dial connects to a peer's listener and performs the handshake for
@@ -251,6 +257,9 @@ func (s *SendLink) Send(f WireFrame) error {
 	s.frames.Add(1)
 	s.values.Add(int64(len(f.Inputs)))
 	s.bytes.Add(int64(len(s.buf)))
+	if s.Tap != nil {
+		s.Tap(f, len(s.buf))
+	}
 	return nil
 }
 
@@ -308,8 +317,14 @@ func (s *SendLink) Stats() WireStats {
 type RecvLink struct {
 	conn    net.Conn
 	hs      Handshake
-	frames  chan WireFrame
+	frames  chan wireRec
 	readErr atomic.Pointer[error] // non-nil when the stream ended uncleanly
+
+	// Tap, when non-nil, observes every frame as Recv hands it to the
+	// consumer, with its encoded size — the ingress half of the
+	// record/replay seam (DESIGN.md §11). Set it before the first
+	// Recv; it runs on the receiving goroutine and must be fast.
+	Tap func(f WireFrame, wireBytes int)
 
 	creditMu  sync.Mutex
 	closeOnce sync.Once
@@ -325,7 +340,7 @@ func newRecvLink(conn net.Conn, hs Handshake, maxSize int) *RecvLink {
 	r := &RecvLink{
 		conn:   conn,
 		hs:     hs,
-		frames: make(chan WireFrame, hs.Window),
+		frames: make(chan wireRec, hs.Window),
 	}
 	go r.readFrames(maxSize)
 	return r
@@ -383,7 +398,7 @@ func (r *RecvLink) readFrames(maxSize int) {
 		r.rframes.Add(1)
 		r.rvalues.Add(int64(len(f.Inputs)))
 		r.rbytes.Add(int64(n))
-		r.frames <- f
+		r.frames <- wireRec{f: f, n: int(n)}
 	}
 }
 
@@ -392,16 +407,25 @@ func (r *RecvLink) readFrames(maxSize int) {
 // half-closed and every frame has been consumed — or the wire failed,
 // which Err distinguishes.
 func (r *RecvLink) Recv() (f WireFrame, ok bool) {
-	f, ok = <-r.frames
+	rec, ok := <-r.frames
 	if !ok {
 		return WireFrame{}, false
+	}
+	if r.Tap != nil {
+		r.Tap(rec.f, rec.n)
 	}
 	r.creditMu.Lock()
 	// A failed credit write is not a receive failure: the sender will
 	// observe the broken wire on its own side.
 	r.conn.Write([]byte{creditByte})
 	r.creditMu.Unlock()
-	return f, true
+	return rec.f, true
+}
+
+// wireRec pairs a decoded frame with its encoded size for the tap.
+type wireRec struct {
+	f WireFrame
+	n int
 }
 
 // Err reports why the stream ended, nil for a clean close. Valid after

@@ -206,7 +206,7 @@ func (s *System) Replica(name string, workers int, subscribe map[string]VertexID
 // RunPartitioned executes the computation partitioned across simulated
 // machines (§6 pipeline partitioning; see internal/distrib).
 func (s *System) RunPartitioned(machines, workersPerMachine int, batches [][]ExtInput) (distrib.Stats, error) {
-	return distrib.Run(s.ng, s.mods, batches, distrib.Config{
+	return distrib.RunStatic(s.ng, s.mods, batches, distrib.Config{
 		Machines: machines, WorkersPerMachine: workersPerMachine,
 	})
 }
