@@ -23,6 +23,13 @@ type Options struct {
 	// allocation-per-execution.
 	AllocFactor float64
 	AllocSlack  float64
+	// WireFactor fails a row when wire_bytes exceeds baseline × factor.
+	// Wire volume is deterministic for the tracked rows (same workload,
+	// same plan, canonical codec), so the threshold is tight: a frame
+	// format regression or a handoff that stops shipping deltas shows
+	// up as a step change in bytes, not drift. Rows whose baseline
+	// reports no wire bytes (in-process channel links) are not gated.
+	WireFactor float64
 	// ScaleOutFactor gates the intra-report scale-out invariant: within
 	// the *current* report alone, a machines=N row's wall time must not
 	// exceed machines=1 × this factor for the same workload family.
@@ -37,7 +44,7 @@ type Options struct {
 
 // DefaultOptions returns the CI gate thresholds.
 func DefaultOptions() Options {
-	return Options{TimeFactor: 1.5, AllocFactor: 1.5, AllocSlack: 0.5, ScaleOutFactor: 1.75}
+	return Options{TimeFactor: 1.5, AllocFactor: 1.5, AllocSlack: 0.5, ScaleOutFactor: 1.75, WireFactor: 1.2}
 }
 
 // Verdict classifies one metric comparison.
@@ -50,6 +57,13 @@ const (
 	Regressed Verdict = "REGRESSED"
 	// Skipped: not comparable (insufficient parallelism on one host).
 	Skipped Verdict = "skipped"
+	// ProcSkipped: the baseline measured this row with real parallelism
+	// (workers ≤ baseline gomaxprocs > 1) but the current host cannot —
+	// fails the gate. Once the baseline is recorded on a multi-core
+	// host the time gate is armed; letting a 1-proc runner silently
+	// downgrade it back to "skipped" would un-arm it without anyone
+	// noticing.
+	ProcSkipped Verdict = "PROC-SKIPPED"
 	// New: present only in the current report — informational.
 	New Verdict = "new"
 	// Missing: tracked in the baseline but absent now — fails the gate,
@@ -74,7 +88,8 @@ type Finding struct {
 
 // Failed reports whether the finding fails the gate.
 func (f Finding) Failed() bool {
-	return f.Verdict == Regressed || f.Verdict == Missing || f.Verdict == ConfigChanged
+	return f.Verdict == Regressed || f.Verdict == Missing || f.Verdict == ConfigChanged ||
+		f.Verdict == ProcSkipped
 }
 
 // Compare evaluates the current report against the baseline and
@@ -84,7 +99,13 @@ func (f Finding) Failed() bool {
 // many procs as the row's worker count: a 4-machine pipeline measured
 // on a 2-core runner is legitimately slower than its 16-core baseline,
 // and gating on that would only teach people to ignore the gate.
-// Allocations are scheduling-insensitive, so they are always compared.
+// Exception: once the baseline itself was recorded multi-core
+// (gomaxprocs > 1), a row the baseline measured in parallel that the
+// current host cannot is PROC-SKIPPED — a failure — so an
+// under-provisioned runner cannot silently un-arm the time gate.
+// Allocations are scheduling-insensitive, so they are always compared,
+// and wire bytes are deterministic, so rows with wire traffic in the
+// baseline are gated at WireFactor.
 func Compare(base, cur experiments.BenchReport, o Options) ([]Finding, error) {
 	if base.Quick != cur.Quick {
 		return nil, fmt.Errorf("benchdiff: baseline quick=%v but current quick=%v — reports are not comparable (regenerate the baseline with the same fusebench flags)", base.Quick, cur.Quick)
@@ -122,7 +143,14 @@ func Compare(base, cur experiments.BenchReport, o Options) ([]Finding, error) {
 		}
 		switch {
 		case !timeComparable:
-			f.Verdict = Skipped
+			// The baseline host measured this row with real parallelism
+			// but the current host cannot: with the gate armed by a
+			// multi-core baseline, that is a hard failure, not a skip.
+			if base.GoMaxProcs > 1 && b.Workers <= base.GoMaxProcs {
+				f.Verdict = ProcSkipped
+			} else {
+				f.Verdict = Skipped
+			}
 		case b.NsPerExec > 0 && float64(c.NsPerExec) > f.Limit:
 			f.Verdict = Regressed
 		default:
@@ -142,6 +170,23 @@ func Compare(base, cur experiments.BenchReport, o Options) ([]Finding, error) {
 			g.Verdict = OK
 		}
 		out = append(out, g)
+
+		// wire bytes (rows over a real wire transport: e13/e16 tcp)
+		if b.WireBytes > 0 {
+			h := Finding{
+				Row: b.Name, Metric: "wire-bytes",
+				Base: float64(b.WireBytes), Current: float64(c.WireBytes),
+				Limit: float64(b.WireBytes) * o.WireFactor,
+			}
+			// Zero current bytes on a wire row means the byte accounting
+			// itself broke, which must not read as an improvement.
+			if c.WireBytes == 0 || float64(c.WireBytes) > h.Limit {
+				h.Verdict = Regressed
+			} else {
+				h.Verdict = OK
+			}
+			out = append(out, h)
+		}
 	}
 	extra := make([]string, 0, len(curRows))
 	for name := range curRows {

@@ -68,26 +68,31 @@ func TestCompareCatchesNewAllocationPerExec(t *testing.T) {
 	}
 }
 
-func TestCompareSkipsTimeWhenUnderProvisioned(t *testing.T) {
+func TestCompareProcSkipFailsWithArmedBaseline(t *testing.T) {
 	// Baseline recorded on a big box; CI runner has 2 procs. The
-	// 8-worker row's time is not comparable — but allocs still are.
+	// 8-worker row WAS measured with real parallelism, so an
+	// under-provisioned runner must fail the gate rather than silently
+	// downgrade it to a skip — but allocs still compare normally.
 	base := report(16, row("e12-pipeline/machines=4", 8, 1000, 0.3))
 	cur := report(2, row("e12-pipeline/machines=4", 8, 4000, 0.3))
 	fs, err := Compare(base, cur, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f := find(t, fs, "e12-pipeline/machines=4", "ns/exec"); f.Verdict != Skipped {
-		t.Errorf("under-provisioned time verdict = %s, want skipped", f.Verdict)
+	f := find(t, fs, "e12-pipeline/machines=4", "ns/exec")
+	if f.Verdict != ProcSkipped || !f.Failed() {
+		t.Errorf("armed proc-skip verdict = %s (failed=%v), want PROC-SKIPPED failure", f.Verdict, f.Failed())
 	}
 	if f := find(t, fs, "e12-pipeline/machines=4", "allocs/exec"); f.Verdict != OK {
 		t.Errorf("allocs verdict = %s, want ok", f.Verdict)
 	}
-	// ...and an alloc regression on the same row still fails.
-	cur = report(2, row("e12-pipeline/machines=4", 8, 4000, 2.0))
+	// A row beyond even the baseline's parallelism stays an honest skip:
+	// no host has ever timed it meaningfully.
+	base = report(2, row("e12-pipeline/machines=4", 8, 1000, 0.3))
+	cur = report(2, row("e12-pipeline/machines=4", 8, 4000, 0.3))
 	fs, _ = Compare(base, cur, DefaultOptions())
-	if f := find(t, fs, "e12-pipeline/machines=4", "allocs/exec"); f.Verdict != Regressed {
-		t.Errorf("alloc regression under-provisioned verdict = %s, want REGRESSED", f.Verdict)
+	if f := find(t, fs, "e12-pipeline/machines=4", "ns/exec"); f.Verdict != Skipped {
+		t.Errorf("never-measured time verdict = %s, want skipped", f.Verdict)
 	}
 }
 
@@ -103,6 +108,47 @@ func TestCompareBaselineUnderProvisionedAlsoSkips(t *testing.T) {
 	}
 	if f := find(t, fs, "e12-pipeline/machines=2", "ns/exec"); f.Verdict != Skipped {
 		t.Errorf("verdict = %s, want skipped", f.Verdict)
+	}
+}
+
+// rowW builds a wire-transport row with the given byte volume.
+func rowW(name string, wireBytes int64) experiments.BenchRow {
+	return experiments.BenchRow{
+		Name: name, Workers: 1, NsPerExec: 1000, AllocsPerExec: 0.2, WireBytes: wireBytes,
+	}
+}
+
+// TestCompareWireBytesGate: wire volume is deterministic, so a tcp
+// row's bytes past baseline × 1.2 fail — as does a wire row that stops
+// reporting bytes at all (broken accounting must not read as a win).
+// Rows with no baseline wire traffic are not gated.
+func TestCompareWireBytesGate(t *testing.T) {
+	base := report(8, rowW("e16-saturation/transport=tcp-batched", 10000))
+	within := report(8, rowW("e16-saturation/transport=tcp-batched", 11500)) // 1.15×
+	fs, err := Compare(base, within, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := find(t, fs, "e16-saturation/transport=tcp-batched", "wire-bytes"); f.Verdict != OK {
+		t.Errorf("1.15× wire bytes verdict = %s, want ok", f.Verdict)
+	}
+	bloated := report(8, rowW("e16-saturation/transport=tcp-batched", 13000)) // 1.3×
+	fs, _ = Compare(base, bloated, DefaultOptions())
+	if f := find(t, fs, "e16-saturation/transport=tcp-batched", "wire-bytes"); f.Verdict != Regressed {
+		t.Errorf("1.3× wire bytes verdict = %s, want REGRESSED", f.Verdict)
+	}
+	vanished := report(8, rowW("e16-saturation/transport=tcp-batched", 0))
+	fs, _ = Compare(base, vanished, DefaultOptions())
+	if f := find(t, fs, "e16-saturation/transport=tcp-batched", "wire-bytes"); f.Verdict != Regressed {
+		t.Errorf("vanished wire accounting verdict = %s, want REGRESSED", f.Verdict)
+	}
+	chanBase := report(8, rowW("e16-saturation/transport=chan", 0))
+	chanCur := report(8, rowW("e16-saturation/transport=chan", 0))
+	fs, _ = Compare(chanBase, chanCur, DefaultOptions())
+	for _, f := range fs {
+		if f.Metric == "wire-bytes" {
+			t.Errorf("channel row grew a wire-bytes finding: %+v", f)
+		}
 	}
 }
 

@@ -1,7 +1,7 @@
 // Command benchdiff is the CI bench-regression gate: it compares a
 // fresh fusebench report against the checked-in baseline and exits
-// non-zero when a tracked metric (ns/exec or allocs/exec) regresses
-// past its threshold, or when a tracked row disappears.
+// non-zero when a tracked metric (ns/exec, allocs/exec or wire bytes)
+// regresses past its threshold, or when a tracked row disappears.
 //
 // Usage:
 //
@@ -9,8 +9,11 @@
 //	benchdiff -update BENCH_BASELINE.json BENCH.json   # adopt current as baseline
 //
 // Time comparisons are skipped for rows needing more parallelism than
-// either host had (workers > GOMAXPROCS), so a laptop-recorded baseline
+// either host had (workers > GOMAXPROCS), so a 1-proc-recorded baseline
 // stays usable on small CI runners; allocation comparisons always run.
+// A multi-core baseline arms the gate the other way: rows it measured
+// in parallel FAIL (PROC-SKIPPED) on a runner too small to compare
+// them, instead of skipping — see Compare.
 // Regenerate the baseline (same -quick setting!) after an intentional
 // perf change:
 //
@@ -39,6 +42,8 @@ func main() {
 		"additive allocs/exec headroom over the scaled baseline")
 	flag.Float64Var(&o.ScaleOutFactor, "scaleout-factor", o.ScaleOutFactor,
 		"fail when a machines=N row's wall time exceeds its machines=1 row × this factor (same report)")
+	flag.Float64Var(&o.WireFactor, "wire-factor", o.WireFactor,
+		"fail when a wire row's bytes exceed baseline × this factor")
 	update := flag.Bool("update", false,
 		"overwrite the baseline with the current report instead of comparing")
 	flag.Parse()

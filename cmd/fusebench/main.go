@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10, e11, e12, e13 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10, e11, e12, e13, e14, e16 or all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "write a machine-readable bench report (ns/op, lock wait, queue depth per workload) to this path and exit")

@@ -2,8 +2,10 @@
 //
 // Each seed derives one fault configuration — random per-frame delays,
 // bounded reorders, a link crash at a planned phase, a crash landing on
-// a forced epoch switch, or a transient outage a durable flock must
-// recover from — and runs the standard 5-vertex chain workload under it
+// a forced epoch switch, a transient outage a durable flock must
+// recover from, or a transient crash landing mid delta handoff (the
+// flock must roll back and re-converge from full snapshots) — and runs
+// the standard 5-vertex chain workload under it
 // through the distrib.Run facade with an event-log tap installed
 // (DESIGN.md §11). Non-crash runs must finish bit-identical to the
 // sequential oracle AND replay bit-identically from their event log
@@ -136,7 +138,7 @@ type sweepPoint struct {
 }
 
 // modes cycle per seed.
-var modes = []string{"delay", "reorder", "both", "crash", "crashswitch", "rejoin"}
+var modes = []string{"delay", "reorder", "both", "crash", "crashswitch", "rejoin", "deltacrash"}
 
 // derive builds seed's sweep point.
 func derive(seed uint64, phases int, short bool) sweepPoint {
@@ -171,6 +173,15 @@ func derive(seed uint64, phases int, short bool) sweepPoint {
 		pt.ForceEvery = phases / 3
 		pt.Plan.CrashAtPhase = 1 + rng.IntN(phases*2/3)
 		pt.Plan.CrashOnce = true
+	case "deltacrash":
+		// Crash during a delta handoff: the first forced switch converges
+		// delta bases on both ends, and the transient crash lands inside
+		// the second switch's window — while delta snapshot frames are in
+		// flight. The durable flock must roll back, drop the converged
+		// bases, and re-converge from full snapshots (DESIGN.md §12).
+		pt.ForceEvery = phases / 4
+		pt.Plan.CrashAtPhase = 2*pt.ForceEvery + rng.IntN(pt.ForceEvery/2+1)
+		pt.Plan.CrashOnce = true
 	}
 	return pt
 }
@@ -196,7 +207,7 @@ func runPoint(pt sweepPoint, oracle []string) (*evlog.Recorder, error) {
 		distrib.WithTap(rec),
 	}
 	var walDir string
-	if pt.Mode == "rejoin" {
+	if pt.Mode == "rejoin" || pt.Mode == "deltacrash" {
 		walDir, err = os.MkdirTemp("", "fusesweep-wal-*")
 		if err != nil {
 			return rec, err
@@ -218,7 +229,7 @@ func runPoint(pt sweepPoint, oracle []string) (*evlog.Recorder, error) {
 			return rec, fmt.Errorf("crash surfaced as %q, want the injected root cause", err)
 		}
 		return rec, nil
-	case "rejoin":
+	case "rejoin", "deltacrash":
 		if err != nil {
 			return rec, fmt.Errorf("durable run did not recover: %w", err)
 		}

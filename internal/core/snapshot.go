@@ -25,6 +25,35 @@ type Snapshotter interface {
 	RestoreState(state []byte) error
 }
 
+// DeltaSnapshotter is the optional refinement of Snapshotter behind
+// delta state handoff. Window-backed modules re-serialize entire rings
+// at every epoch barrier even though most of a ring is unchanged
+// between adjacent barriers; a DeltaSnapshotter can instead encode
+// only what changed since a base snapshot both sides already hold.
+//
+// The contract: given base — a full snapshot this module previously
+// produced via SnapshotState — AppendDelta appends a delta such that
+// ApplyDelta(base, delta) on a module restored from base leaves it in
+// exactly the state SnapshotState would capture now. "Exactly" is
+// bit-exact: after ApplyDelta, SnapshotState must return bytes
+// identical to the full snapshot the sender would have shipped, which
+// is what lets both ends keep converged bases without re-sending them.
+// AppendDelta reports ok=false when no profitable or valid delta
+// exists (base too old, shape changed) — the caller then falls back to
+// the full snapshot. Like Snapshotter, both calls happen only while
+// the engine is stopped.
+type DeltaSnapshotter interface {
+	Snapshotter
+	// AppendDelta appends a delta from base to the module's current
+	// state onto dst, returning the extended slice. ok=false means no
+	// delta could be built and the caller must ship a full snapshot.
+	AppendDelta(dst, base []byte) (delta []byte, ok bool, err error)
+	// ApplyDelta replaces the module's state with base advanced by
+	// delta. On error the module's state is unspecified and the caller
+	// must restore from a full snapshot.
+	ApplyDelta(base, delta []byte) error
+}
+
 // VertexSnapshot carries one migrating vertex's serialized module
 // state during an epoch switch: the global vertex index and the bytes
 // its Snapshotter produced. It is the payload of the state-snapshot
@@ -32,6 +61,12 @@ type Snapshotter interface {
 type VertexSnapshot struct {
 	// Vertex is the 1-based global vertex index the state belongs to.
 	Vertex int
-	// State is the module's serialized internal state.
+	// State is the module's serialized internal state — a full
+	// snapshot, or a delta when Delta is set.
 	State []byte
+	// Delta marks State as a DeltaSnapshotter delta against the full
+	// snapshot whose FNV-1a hash is BaseHash; the receiver must hold
+	// that exact base or reject the handoff.
+	Delta    bool
+	BaseHash uint64
 }

@@ -269,6 +269,15 @@ func (co *Coordinator) monitor(rc RebalanceConfig, base, total int, starts []int
 			return false, 0, err
 		}
 		if total-started < rc.MinRemaining {
+			// Decline the switch. WaitStarted holds the heads parked at
+			// the target (so this decision is deterministic on any
+			// GOMAXPROCS); a barrier at total releases them to run to
+			// completion, which quiesces as a plain finish.
+			for _, p := range co.Participants {
+				if err := p.SetBarrier(total); err != nil {
+					return false, 0, err
+				}
+			}
 			return false, 0, nil // too late for a switch to pay off
 		}
 		return true, 0, nil

@@ -41,6 +41,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/evlog"
 	"repro/internal/graph"
+	"repro/internal/netwire"
 )
 
 // Config tunes a partitioned run.
@@ -263,6 +264,7 @@ func (mc *machine) ingress(phases int, in map[int]Transport, tokens chan struct{
 					return nil, fmt.Errorf("distrib: machine %d: frame for phase %d while starting %d", mc.idx, f.Phase, p)
 				}
 				ext = append(ext, f.Inputs...)
+				netwire.RecycleInputs(f.Inputs)
 			default:
 				return nil, fmt.Errorf("distrib: machine %d: unexpected frame kind %d from upstream %d", mc.idx, f.Kind, up)
 			}
@@ -306,7 +308,29 @@ func (mc *machine) egress(out map[int]Transport, tokens chan<- struct{}, started
 			l.Close()
 		}
 	}()
-	for p := range started {
+	for {
+		var p int
+		var ok bool
+		select {
+		case p, ok = <-started:
+		default:
+			// No completed phase is waiting: the sender is about to go
+			// idle, so every batched frame must hit the wire now — a
+			// downstream machine may be starving for one of them while
+			// this machine's next phase depends, transitively, on that
+			// machine making progress.
+			if mc.egressDown.Load() == nil {
+				if err := flushLinks(out); err != nil {
+					err = fmt.Errorf("distrib: machine %d: flushing links: %w", mc.idx, err)
+					fail(err)
+					mc.egressDown.Store(&err)
+				}
+			}
+			p, ok = <-started
+		}
+		if !ok {
+			break
+		}
 		if mc.egressDown.Load() == nil {
 			mc.eng.WaitPhase(p)
 			if err := mc.ship(out, p); err != nil {
@@ -329,17 +353,30 @@ func (mc *machine) egress(out map[int]Transport, tokens chan<- struct{}, started
 	}
 }
 
-// ship sends phase p's frame on every outbound link.
+// ship sends phase p's frame on every outbound link. Data-frame input
+// slices come from the netwire pool and are owned by the transport once
+// Send returns: wire links recycle them after encoding, channel links
+// pass them to the peer's ingress, which recycles after copying out.
 func (mc *machine) ship(out map[int]Transport, p int) error {
 	for _, dst := range mc.downstream {
 		routes := mc.routesTo[dst]
-		f := Frame{Kind: FrameData, Epoch: mc.epoch, Phase: p, Inputs: make([]core.ExtInput, 0, len(routes))}
+		f := Frame{Kind: FrameData, Epoch: mc.epoch, Phase: p, Inputs: netwire.GetInputs(len(routes))}
 		for _, r := range routes {
 			if v, ok := r.p.take(p); ok {
 				f.Inputs = append(f.Inputs, core.ExtInput{Vertex: r.bridgeVertex, Port: 0, Val: v})
 			}
 		}
-		if err := out[dst].Send(f); err != nil {
+		l := out[dst]
+		if fl, ok := l.(Flusher); ok && !fl.Ready() {
+			// This send is about to block on its credit window. Flush
+			// every link first: a frame batched for another machine may
+			// be exactly what unblocks the dependency chain the window
+			// is waiting on.
+			if err := flushLinks(out); err != nil {
+				return err
+			}
+		}
+		if err := l.Send(f); err != nil {
 			return err
 		}
 	}

@@ -35,6 +35,10 @@ type localParticipant struct {
 
 	pendingBarrier int
 	pendingStarts  []int
+
+	// cache holds the converged base snapshots behind delta handoff
+	// (snapdelta.go); in-process, one cache serves both ends.
+	cache *snapCache
 }
 
 // start builds and launches one epoch's deployment. A nonzero barrier
@@ -71,9 +75,13 @@ func (lp *localParticipant) Begin(starts []int) error {
 }
 
 // WaitStarted implements Participant: the deterministic, condition-
-// variable wake-up the in-process ForceEvery trigger relies on.
+// variable wake-up the in-process ForceEvery trigger relies on. The
+// hold variant parks the heads at the target so the coordinator's
+// follow-up pause observes exactly the progress reported here — on a
+// multi-core host plain waitStarted lets a fast run finish before the
+// forced switch lands.
 func (lp *localParticipant) WaitStarted(target int) (bool, error) {
-	return lp.ctl.waitStarted(target), nil
+	return lp.ctl.waitStartedHold(target), nil
 }
 
 // Poll implements Participant.
@@ -122,8 +130,11 @@ func (lp *localParticipant) AwaitQuiesce() (QuiesceReport, error) {
 // implementing core.Snapshotter — and nothing is left for the
 // coordinator to route.
 func (lp *localParticipant) Offload(barrier int, newStarts []int) (Handoff, error) {
+	if lp.cache == nil {
+		lp.cache = newSnapCache()
+	}
 	moves := planMigrations(lp.g.N(), lp.d.starts, newStarts)
-	serialized, bytes, err := handoffState(lp.mods, moves, lp.net, lp.cfg.Buffer, lp.epoch, barrier)
+	serialized, bytes, err := handoffState(lp.mods, moves, lp.net, lp.cfg.Buffer, lp.epoch, barrier, lp.cache)
 	if err != nil {
 		return Handoff{}, err
 	}

@@ -630,6 +630,10 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 
 	var cur *workerEpoch
 	var pending *workerEpoch // announced by FramePlan, started by FrameSnapshot
+	// cache holds the converged base snapshots behind delta handoff
+	// (snapdelta.go); it survives across epochs and is cleared on the
+	// recovery paths, where checkpointed state invalidates every base.
+	cache := newSnapCache()
 	// resumeEpoch is the epoch number the next plan must carry after a
 	// restore (-1 outside recovery); resetRequested defers the reset
 	// reply until the live epoch drains.
@@ -693,8 +697,12 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 				// The blocking wait runs off the serve loop so polls and
 				// pauses stay responsive; the announcement is pushed the
 				// moment the heads reach the target (or finish short).
+				// The hold variant parks the heads there, so the
+				// coordinator's follow-up still finds the progress this
+				// frame reports — the barrier it publishes (possibly at
+				// total, declining the switch) releases them.
 				go func(we *workerEpoch, target int) {
-					reached := we.ctl.waitStarted(target)
+					reached := we.ctl.waitStartedHold(target)
 					started, _ := we.ctl.progress()
 					ch.Send(netwire.WireFrame{
 						Kind: netwire.FrameStarted, Epoch: we.epoch, Phase: started, Done: !reached,
@@ -748,7 +756,7 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 				if cur != nil {
 					// An epoch switch: ship the state of every vertex
 					// leaving this machine under the new plan.
-					leaving, err := leavingSnaps(wc.Mods, wc.Machine, cur.starts, f.Starts)
+					leaving, err := leavingSnaps(wc.Mods, wc.Machine, cur.starts, f.Starts, cache)
 					if err != nil {
 						return abort(err)
 					}
@@ -771,12 +779,15 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 					if graph.PartitionOf(pending.starts, snap.Vertex) != wc.Machine {
 						return abort(fmt.Errorf("distrib: machine %d: misrouted snapshot for vertex %d", wc.Machine, snap.Vertex))
 					}
-					s, ok := wc.Mods[snap.Vertex-1].(core.Snapshotter)
-					if !ok {
-						return abort(fmt.Errorf("distrib: machine %d: vertex %d (%T) cannot restore serialized state", wc.Machine, snap.Vertex, wc.Mods[snap.Vertex-1]))
+					// The sender is the vertex's owner under the closing
+					// epoch's partition — the peer a delta's base must be
+					// converged with.
+					from := -2
+					if cur != nil {
+						from = graph.PartitionOf(cur.starts, snap.Vertex)
 					}
-					if err := s.RestoreState(snap.State); err != nil {
-						return abort(fmt.Errorf("distrib: machine %d: restoring vertex %d: %w", wc.Machine, snap.Vertex, err))
+					if err := applySnap(wc.Mods[snap.Vertex-1], snap, from, cache); err != nil {
+						return abort(fmt.Errorf("distrib: machine %d: %w", wc.Machine, err))
 					}
 				}
 				cfg := wc.Config
@@ -824,6 +835,9 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 				if wc.WAL == nil {
 					return abort(fmt.Errorf("distrib: machine %d: reset without a WAL", wc.Machine))
 				}
+				// Recovery rolls state back to a checkpoint: every cached
+				// delta base is stale from here on.
+				cache.clear()
 				if cur != nil && !cur.done {
 					// A live epoch cannot be interrupted mid-phase; let it
 					// drain and answer then. The crash may have caught the
@@ -848,6 +862,7 @@ func ServeParticipant(ch CtlChannel, wc WorkerConfig) (ParticipantReport, error)
 				if wc.WAL == nil {
 					return abort(fmt.Errorf("distrib: machine %d: restore without a WAL", wc.Machine))
 				}
+				cache.clear()
 				if cur != nil || pending != nil {
 					return abort(fmt.Errorf("distrib: machine %d: restore while an epoch is live", wc.Machine))
 				}
@@ -913,21 +928,30 @@ func machineHeads(d *Deployment, m int) []int {
 // under oldStarts but not under newStarts. Crossing a process boundary
 // requires core.Snapshotter — a migrating module without it fails the
 // switch with the vertex named, rather than silently dropping state.
-func leavingSnaps(mods []core.Module, m int, oldStarts, newStarts []int) ([]core.VertexSnapshot, error) {
+// Modules implementing core.DeltaSnapshotter ship deltas against the
+// base cached from their previous handoff with the destination machine
+// (snapdelta.go); the full state is cached as the new converged base
+// either way.
+func leavingSnaps(mods []core.Module, m int, oldStarts, newStarts []int, cache *snapCache) ([]core.VertexSnapshot, error) {
 	var snaps []core.VertexSnapshot
 	for v := 1; v <= len(mods); v++ {
 		if graph.PartitionOf(oldStarts, v) != m || graph.PartitionOf(newStarts, v) == m {
 			continue
 		}
-		s, ok := mods[v-1].(core.Snapshotter)
-		if !ok {
+		if _, ok := mods[v-1].(core.Snapshotter); !ok {
 			return nil, fmt.Errorf("distrib: machine %d: vertex %d (%T) does not implement core.Snapshotter and cannot migrate between processes", m, v, mods[v-1])
 		}
-		state, err := s.SnapshotState()
+		to := graph.PartitionOf(newStarts, v)
+		snap, full, err := encodeSnap(mods[v-1], v, to, cache)
 		if err != nil {
-			return nil, fmt.Errorf("distrib: machine %d: snapshotting vertex %d: %w", m, v, err)
+			return nil, fmt.Errorf("distrib: machine %d: %w", m, err)
 		}
-		snaps = append(snaps, core.VertexSnapshot{Vertex: v, State: state})
+		if full != nil {
+			// Separate processes: this end's cache can advance as soon
+			// as the snapshot is built — only the receiver applies it.
+			cache.store(v, to, full)
+		}
+		snaps = append(snaps, snap)
 	}
 	return snaps, nil
 }

@@ -185,6 +185,47 @@ func (c *epochCtl) waitStarted(target int) bool {
 	}
 }
 
+// waitStartedHold is waitStarted with a deterministic follow-up: the
+// moment the target phase is reached (and no barrier has been decided
+// yet) it flips the controller into pausing, so the heads park at
+// their very next phase start instead of racing ahead while the
+// coordinator's trigger decision is in flight. Without the hold, a
+// fast run can finish — or blow far past the target — between the
+// wake-up here and the coordinator's Pause round, which is exactly the
+// multi-core flake where a forced switch finds nothing left to cut.
+// The coordinator must follow up with a barrier (SetBarrier, possibly
+// at total to decline the switch) to release the parked heads.
+func (c *epochCtl) waitStartedHold(target int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		p := c.base
+		done := true
+		for _, m := range c.heads {
+			if c.lastStarted[m] > p {
+				p = c.lastStarted[m]
+			}
+			if !c.finished[m] {
+				done = false
+			}
+		}
+		if c.barrier != 0 {
+			// A barrier already landed: the decision is made, nothing
+			// to hold. Report whether the target was reached first.
+			return p >= target
+		}
+		if p >= target {
+			c.pausing = true
+			c.cond.Broadcast()
+			return true
+		}
+		if done {
+			return false
+		}
+		c.cond.Wait()
+	}
+}
+
 // headFinished marks head machine m done opening phases (it ran out of
 // phases or quiesced), so a pending barrier decision stops waiting on
 // it.
@@ -357,10 +398,12 @@ func planMigrations(n int, oldStarts, newStarts []int) []migration {
 // arrival — over a wire transport the bytes genuinely cross the codec
 // — while plain modules move by reference (possible only because the
 // deployment is in-process; the returned serialized count tells the
-// caller how much of the state took the wire-safe path). The barrier
-// phase and closing epoch tag every frame so a stale or misrouted
-// handoff is rejected, not silently applied.
-func handoffState(mods []core.Module, moves []migration, net Network, depth, epoch, barrier int) (serialized int, bytes int64, err error) {
+// caller how much of the state took the wire-safe path). Modules
+// implementing core.DeltaSnapshotter ship deltas against the cached
+// base of their previous handoff when cache is non-nil (see
+// snapdelta.go). The barrier phase and closing epoch tag every frame
+// so a stale or misrouted handoff is rejected, not silently applied.
+func handoffState(mods []core.Module, moves []migration, net Network, depth, epoch, barrier int, cache *snapCache) (serialized int, bytes int64, err error) {
 	pairs := make(map[[2]int][]int)
 	for _, mv := range moves {
 		k := [2]int{mv.from, mv.to}
@@ -376,15 +419,18 @@ func handoffState(mods []core.Module, moves []migration, net Network, depth, epo
 	for _, k := range order {
 		var snaps []core.VertexSnapshot
 		for _, v := range pairs[k] {
-			s, ok := mods[v-1].(core.Snapshotter)
-			if !ok {
+			if _, ok := mods[v-1].(core.Snapshotter); !ok {
 				continue // moves by reference
 			}
-			state, err := s.SnapshotState()
+			// In-process both ends share one cache, so the peer tag is
+			// peerLocal and the cache is updated only by applySnap
+			// below — after the delta built against the old base has
+			// been applied.
+			snap, _, err := encodeSnap(mods[v-1], v, peerLocal, cache)
 			if err != nil {
 				return serialized, bytes, fmt.Errorf("distrib: snapshotting vertex %d for handoff %d->%d: %w", v, k[0], k[1], err)
 			}
-			snaps = append(snaps, core.VertexSnapshot{Vertex: v, State: state})
+			snaps = append(snaps, snap)
 		}
 		if len(snaps) == 0 {
 			continue
@@ -420,7 +466,7 @@ func handoffState(mods []core.Module, moves []migration, net Network, depth, epo
 				tr.Close()
 				return serialized, bytes, fmt.Errorf("distrib: handoff %d->%d: snapshot %d is vertex %d, want %d", k[0], k[1], i, snap.Vertex, snaps[i].Vertex)
 			}
-			if err := mods[snap.Vertex-1].(core.Snapshotter).RestoreState(snap.State); err != nil {
+			if err := applySnap(mods[snap.Vertex-1], snap, peerLocal, cache); err != nil {
 				tr.Close()
 				return serialized, bytes, fmt.Errorf("distrib: restoring vertex %d after handoff %d->%d: %w", snap.Vertex, k[0], k[1], err)
 			}

@@ -120,14 +120,17 @@ type tapTransport struct {
 }
 
 // Send implements Transport, recording the frame after a successful
-// send.
+// send. The digest is computed before handing the frame to the inner
+// transport: the TCP path recycles data-frame input slices once they
+// are encoded, so the frame must not be touched after Send returns.
 func (t *tapTransport) Send(f Frame) error {
+	digest := frameDigest(f)
 	if err := t.inner.Send(f); err != nil {
 		return err
 	}
 	t.tap.Event(evlog.Event{
 		Kind: evlog.KindFrameSend, Machine: t.from, Epoch: f.Epoch, Phase: f.Phase,
-		A: t.from, B: t.to, B2: uint8(f.Kind), Hash: frameDigest(f),
+		A: t.from, B: t.to, B2: uint8(f.Kind), Hash: digest,
 	})
 	return nil
 }
@@ -148,6 +151,22 @@ func (t *tapTransport) Recv() (Frame, error) {
 // Close implements Transport.
 func (t *tapTransport) Close() error { return t.inner.Close() }
 
+// Ready implements Flusher when the wrapped transport batches.
+func (t *tapTransport) Ready() bool {
+	if fl, ok := t.inner.(Flusher); ok {
+		return fl.Ready()
+	}
+	return true
+}
+
+// Flush implements Flusher when the wrapped transport batches.
+func (t *tapTransport) Flush() error {
+	if fl, ok := t.inner.(Flusher); ok {
+		return fl.Flush()
+	}
+	return nil
+}
+
 // DrainDiscard implements Transport.
 func (t *tapTransport) DrainDiscard() { t.inner.DrainDiscard() }
 
@@ -164,9 +183,21 @@ type WireTapper interface {
 	SetWireTap(fn func(in bool, from, to int, f netwire.WireFrame, wireBytes int))
 }
 
+// FlushTapper is implemented by Networks whose send links coalesce
+// frames into batched socket writes and can report each flush.
+// TCPNetwork implements it; InstallWireTap uses it when present.
+type FlushTapper interface {
+	// SetFlushTap installs fn on every link the network creates from
+	// now on; fn receives the link endpoints, the number of frames the
+	// flush carried and the bytes written.
+	SetFlushTap(fn func(from, to int, frames, wireBytes int))
+}
+
 // InstallWireTap connects a Network's socket-level frames to an evlog
-// Tap as auxiliary KindWireIn/KindWireOut events. Networks without a
-// wire layer (channels) are left untouched and report false.
+// Tap as auxiliary KindWireIn/KindWireOut events — plus one
+// KindWireFlush event per coalesced write when the network batches.
+// Networks without a wire layer (channels) are left untouched and
+// report false.
 func InstallWireTap(net Network, tap evlog.Tap) bool {
 	wt, ok := net.(WireTapper)
 	if !ok || tap == nil {
@@ -182,6 +213,18 @@ func InstallWireTap(net Network, tap evlog.Tap) bool {
 			A: from, B: to, B2: f.Kind, Hash: uint64(wireBytes),
 		})
 	})
+	if ft, ok := net.(FlushTapper); ok {
+		ft.SetFlushTap(func(from, to int, frames, wireBytes int) {
+			b2 := frames
+			if b2 > 255 {
+				b2 = 255
+			}
+			tap.Event(evlog.Event{
+				Kind: evlog.KindWireFlush, Machine: to,
+				A: from, B: to, B2: uint8(b2), Hash: uint64(wireBytes),
+			})
+		})
+	}
 	return true
 }
 

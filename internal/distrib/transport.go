@@ -106,6 +106,35 @@ type Transport interface {
 	Stats() LinkStats
 }
 
+// Flusher is implemented by transports whose Send batches data frames
+// into a write buffer instead of hitting the wire immediately
+// (tcpTransport, unless Unbatched). The egress loop must flush every
+// link of a machine before blocking — on an empty phase queue, or on
+// another link's exhausted credit window — or batched frames starve
+// their receiver into a cross-link deadlock: machine B can sit on the
+// very frame machine C needs to free the window machine A is blocked
+// on. Transports without a write buffer simply don't implement it.
+type Flusher interface {
+	// Ready reports whether the next Send can proceed without
+	// blocking on the credit window.
+	Ready() bool
+	// Flush writes any batched frames to the wire now.
+	Flush() error
+}
+
+// flushLinks flushes every batching link in out; the first error is
+// returned (a dead wire — the following Send will fail the same way).
+func flushLinks(out map[int]Transport) error {
+	for _, l := range out {
+		if fl, ok := l.(Flusher); ok {
+			if err := fl.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Network builds the Transport for every cross-machine link of one
 // partitioned run. A Network value is single-use: Link is called once
 // per connected (from, to) machine pair during wiring, and Close
@@ -147,6 +176,12 @@ type LinkStats struct {
 	// Blocked is the cumulative time sends spent waiting for window
 	// space — the backpressure the downstream machine exerted.
 	Blocked time.Duration
+	// Flushes is the number of coalesced socket writes for batching
+	// wire transports (zero for channels and unbatched links).
+	Flushes int64
+	// FramesPerFlush is a histogram of frames coalesced per flush,
+	// bucketed 1, 2, 3-4, 5-8, 9-16, 17+.
+	FramesPerFlush [6]int64
 }
 
 // ChannelNetwork is the zero-dependency default Network: every link is

@@ -162,6 +162,26 @@ func (t *faultyTransport) Recv() (Frame, error) {
 func (t *faultyTransport) Close() error  { return t.inner.Close() }
 func (t *faultyTransport) DrainDiscard() { t.inner.DrainDiscard() }
 
+// Ready implements Flusher when the wrapped transport batches.
+func (t *faultyTransport) Ready() bool {
+	if fl, ok := t.inner.(Flusher); ok {
+		return fl.Ready()
+	}
+	return true
+}
+
+// Flush implements Flusher when the wrapped transport batches. A
+// crashed link swallows the flush like it swallows sends.
+func (t *faultyTransport) Flush() error {
+	if t.crashed {
+		return nil
+	}
+	if fl, ok := t.inner.(Flusher); ok {
+		return fl.Flush()
+	}
+	return nil
+}
+
 func (t *faultyTransport) Stats() LinkStats {
 	ls := t.inner.Stats()
 	ls.Transport = "faulty+" + ls.Transport

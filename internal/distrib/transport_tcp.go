@@ -24,11 +24,17 @@ import (
 type TCPNetwork struct {
 	ln *netwire.Listener
 
-	mu      sync.Mutex
-	pending map[[2]int]chan *netwire.RecvLink
-	links   []*tcpTransport
-	closed  bool
-	wireTap func(in bool, from, to int, f netwire.WireFrame, wireBytes int)
+	// Unbatched disables data-frame coalescing on every send link the
+	// network creates (netwire.SendLink.Unbatched). Set it before
+	// wiring a run; experiment E16 uses it to price batching.
+	Unbatched bool
+
+	mu       sync.Mutex
+	pending  map[[2]int]chan *netwire.RecvLink
+	links    []*tcpTransport
+	closed   bool
+	wireTap  func(in bool, from, to int, f netwire.WireFrame, wireBytes int)
+	flushTap func(from, to int, frames, wireBytes int)
 
 	accepting sync.WaitGroup
 }
@@ -39,6 +45,15 @@ type TCPNetwork struct {
 func (n *TCPNetwork) SetWireTap(fn func(in bool, from, to int, f netwire.WireFrame, wireBytes int)) {
 	n.mu.Lock()
 	n.wireTap = fn
+	n.mu.Unlock()
+}
+
+// SetFlushTap implements FlushTapper: fn observes every coalesced
+// socket write on links created after the call, with the number of
+// frames it carried and the bytes written. Install it before wiring.
+func (n *TCPNetwork) SetFlushTap(fn func(from, to int, frames, wireBytes int)) {
+	n.mu.Lock()
+	n.flushTap = fn
 	n.mu.Unlock()
 }
 
@@ -120,9 +135,13 @@ func (n *TCPNetwork) Link(from, to, depth int) (Transport, error) {
 	}
 	tr := &tcpTransport{from: from, to: to, send: send, recv: recv}
 	n.mu.Lock()
+	send.Unbatched = n.Unbatched
 	if fn := n.wireTap; fn != nil {
 		send.Tap = func(f netwire.WireFrame, wire int) { fn(false, from, to, f, wire) }
 		recv.Tap = func(f netwire.WireFrame, wire int) { fn(true, from, to, f, wire) }
+	}
+	if fn := n.flushTap; fn != nil {
+		send.FlushTap = func(frames, wire int) { fn(from, to, frames, wire) }
 	}
 	n.links = append(n.links, tr)
 	n.mu.Unlock()
@@ -158,7 +177,21 @@ type tcpTransport struct {
 	recv     *netwire.RecvLink
 }
 
-func (t *tcpTransport) Send(f Frame) error { return t.send.Send(wireFrame(f)) }
+func (t *tcpTransport) Send(f Frame) error { return sendWire(t.send, f) }
+
+// sendWire pushes a runtime frame down a netwire send link. Encoding
+// happens synchronously inside Send, so a data frame's input slice is
+// dead once the call returns and goes back to the pool — the zero-alloc
+// half of the wire path's slice recycling (the other half is the
+// receiver handing decoded batches to ingress, which recycles them
+// after the engine copies the inputs out).
+func sendWire(s *netwire.SendLink, f Frame) error {
+	err := s.Send(wireFrame(f))
+	if err == nil && f.Kind == FrameData {
+		netwire.RecycleInputs(f.Inputs)
+	}
+	return err
+}
 
 func (t *tcpTransport) Recv() (Frame, error) {
 	return recvWire(t.recv)
@@ -174,6 +207,12 @@ func wireFrame(f Frame) netwire.WireFrame {
 }
 
 func (t *tcpTransport) Close() error { return t.send.Close() }
+
+// Ready implements Flusher.
+func (t *tcpTransport) Ready() bool { return t.send.Ready() }
+
+// Flush implements Flusher.
+func (t *tcpTransport) Flush() error { return t.send.Flush() }
 
 func (t *tcpTransport) DrainDiscard() { drainWire(t.recv) }
 
@@ -206,14 +245,16 @@ func drainWire(r *netwire.RecvLink) {
 func (t *tcpTransport) Stats() LinkStats {
 	ws := t.send.Stats()
 	return LinkStats{
-		From:       t.from,
-		To:         t.to,
-		Transport:  "tcp",
-		Frames:     ws.Frames,
-		Values:     ws.Values,
-		Bytes:      ws.Bytes,
-		SendBlocks: ws.Blocks,
-		Blocked:    ws.Blocked,
+		From:           t.from,
+		To:             t.to,
+		Transport:      "tcp",
+		Frames:         ws.Frames,
+		Values:         ws.Values,
+		Bytes:          ws.Bytes,
+		SendBlocks:     ws.Blocks,
+		Blocked:        ws.Blocked,
+		Flushes:        ws.Flushes,
+		FramesPerFlush: ws.FramesPerFlush,
 	}
 }
 
@@ -230,7 +271,9 @@ type sendOnly struct {
 	s        *netwire.SendLink
 }
 
-func (t *sendOnly) Send(f Frame) error { return t.s.Send(wireFrame(f)) }
+func (t *sendOnly) Send(f Frame) error { return sendWire(t.s, f) }
+func (t *sendOnly) Ready() bool        { return t.s.Ready() }
+func (t *sendOnly) Flush() error       { return t.s.Flush() }
 func (t *sendOnly) Close() error       { return t.s.Close() }
 func (t *sendOnly) Recv() (Frame, error) {
 	panic("distrib: Recv on the sending end of a wire link")
@@ -244,6 +287,7 @@ func (t *sendOnly) Stats() LinkStats {
 		From: t.from, To: t.to, Transport: "tcp",
 		Frames: ws.Frames, Values: ws.Values, Bytes: ws.Bytes,
 		SendBlocks: ws.Blocks, Blocked: ws.Blocked,
+		Flushes: ws.Flushes, FramesPerFlush: ws.FramesPerFlush,
 	}
 }
 

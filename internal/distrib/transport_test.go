@@ -424,7 +424,7 @@ func TestWireErrorSurfacesRootCause(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	hs := []byte{'F', 'W', 'R', '1', 4, 0}    // wire protocol version 4, data channel
+	hs := []byte{'F', 'W', 'R', '1', 5, 0}    // wire protocol version 5, data channel
 	hs = binary.BigEndian.AppendUint32(hs, 0) // from
 	hs = binary.BigEndian.AppendUint32(hs, 1) // to
 	hs = binary.BigEndian.AppendUint32(hs, 4) // window

@@ -70,6 +70,10 @@ const (
 	// A = the stable epoch restored, B = the relaunched epoch, Data =
 	// the rejoined machine indices (varint-encoded).
 	KindRecovery Kind = 36
+	// KindWireFlush records one coalesced socket write on a batching
+	// send link: A = from machine, B = to machine, B2 = the number of
+	// frames in the flush (capped at 255), Hash = bytes written.
+	KindWireFlush Kind = 37
 )
 
 // Deterministic reports whether k belongs to the deterministic class

@@ -296,6 +296,39 @@ func BenchJSON(quick bool) BenchReport {
 		}
 		rep.Workloads = append(rep.Workloads, row)
 	}
+	// E16 saturation rows: the fine-grained pipeline flat out on each
+	// wire configuration. Executions are deterministic (same workload,
+	// same plan), so the full gate applies; WireBytes feeds benchdiff's
+	// bytes-per-event ratio gate.
+	e16w := E16Workload()
+	e16Phases := phases * 2
+	for _, transport := range []string{"chan", "tcp", "tcp-batched"} {
+		wall, allocs, st := measureBest(func() (time.Duration, uint64, distrib.Stats) {
+			return e16Run(e16w, transport, e16Phases)
+		})
+		row := BenchRow{
+			Name:     "e16-saturation/transport=" + transport,
+			Workers:  E16Machines * E12WorkersPerMachine,
+			Machines: E16Machines,
+			Phases:   e16Phases,
+			WallNs:   int64(wall),
+		}
+		for _, m := range st.PerMachine {
+			row.Executions += m.Executions
+			row.Messages += m.Messages
+			if m.MaxQueueLen > row.MaxQueueLen {
+				row.MaxQueueLen = m.MaxQueueLen
+			}
+		}
+		for _, ls := range st.Links {
+			row.WireBytes += ls.Bytes
+		}
+		if row.Executions > 0 {
+			row.NsPerExec = int64(wall) / row.Executions
+			row.AllocsPerExec = float64(allocs) / float64(row.Executions)
+		}
+		rep.Workloads = append(rep.Workloads, row)
+	}
 	// Fault-recovery row: wall time from phase 1 to a clean cascaded
 	// abort after every link crashes mid-run. Executions under a crash
 	// race the cascade and are nondeterministic, so the row pins

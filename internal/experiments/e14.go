@@ -11,21 +11,39 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/netwire"
+	"repro/internal/stats"
 )
 
 // E14Machines is the machine count of every E14 measurement point.
 const E14Machines = 3
 
+// e14TelemetryWindow is the depth of each drift vertex's input
+// telemetry ring. It dominates the module's snapshot (8 bytes of hash
+// state vs a multi-KB ring), which is exactly the shape the delta
+// handoff path exists for: between adjacent barriers only the phases
+// since the last switch are new.
+const e14TelemetryWindow = 256
+
 // e14Mod is one vertex of the drift workload: a Snapshotter module
-// that burns a phase-dependent compute grain and folds its inputs into
-// a deterministic running hash. Before DriftAt it costs preLoops;
-// after, postLoops — the mid-run cost drift E14 exists to recover
-// from.
+// that burns a phase-dependent compute grain, folds its inputs into a
+// deterministic running hash, and tracks input magnitudes in a sliding
+// telemetry window (the window-backed state real fusion modules carry,
+// and the bulk of what an epoch handoff must move). Before DriftAt it
+// costs preLoops; after, postLoops — the mid-run cost drift E14 exists
+// to recover from.
 type e14Mod struct {
 	state     int64
+	win       *stats.Window
 	preLoops  int
 	postLoops int
 	driftAt   int
+}
+
+func newE14Mod(state int64, pre, post, driftAt int) *e14Mod {
+	return &e14Mod{
+		state: state, win: stats.NewWindow(e14TelemetryWindow),
+		preLoops: pre, postLoops: post, driftAt: driftAt,
+	}
 }
 
 func (m *e14Mod) Step(ctx *core.Context) {
@@ -43,22 +61,57 @@ func (m *e14Mod) Step(ctx *core.Context) {
 		if v, ok := ctx.In(p); ok {
 			i, _ := v.AsInt()
 			m.state = int64(mix64(uint64(m.state) ^ uint64(i)))
+			m.win.Add(float64(i % 1024))
 		}
 	}
 	ctx.EmitAll(intEvent(m.state))
 }
 
+// SnapshotState: the telemetry window's exact state, then the 8-byte
+// running hash — the same window-first layout module.ZScoreDetector
+// uses, so the delta encodes as window delta plus trailing bytes.
 func (m *e14Mod) SnapshotState() ([]byte, error) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(m.state))
-	return buf[:], nil
+	buf := m.win.AppendState(nil)
+	return binary.LittleEndian.AppendUint64(buf, uint64(m.state)), nil
 }
 
 func (m *e14Mod) RestoreState(state []byte) error {
-	if len(state) != 8 {
-		return fmt.Errorf("e14: snapshot of %d bytes, want 8", len(state))
+	if len(state) < 8 {
+		return fmt.Errorf("e14: snapshot of %d bytes, want at least 8", len(state))
 	}
-	m.state = int64(binary.LittleEndian.Uint64(state))
+	rest, err := m.win.ReadState(state[:len(state)-8])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("e14: snapshot has %d trailing bytes", len(rest))
+	}
+	m.state = int64(binary.LittleEndian.Uint64(state[len(state)-8:]))
+	return nil
+}
+
+// AppendDelta implements core.DeltaSnapshotter: the window's delta
+// against the base handoff state, then the trailing hash word.
+func (m *e14Mod) AppendDelta(dst, base []byte) ([]byte, bool, error) {
+	if len(base) < 8 {
+		return dst, false, fmt.Errorf("e14: delta base of %d bytes, want at least 8", len(base))
+	}
+	out, ok, err := m.win.AppendDelta(dst, base[:len(base)-8])
+	if err != nil || !ok {
+		return dst, ok, err
+	}
+	return binary.LittleEndian.AppendUint64(out, uint64(m.state)), true, nil
+}
+
+// ApplyDelta implements core.DeltaSnapshotter.
+func (m *e14Mod) ApplyDelta(base, delta []byte) error {
+	if len(base) < 8 || len(delta) < 8 {
+		return fmt.Errorf("e14: delta base/delta too short (%d/%d bytes)", len(base), len(delta))
+	}
+	if err := m.win.ApplyDelta(base[:len(base)-8], delta[:len(delta)-8]); err != nil {
+		return err
+	}
+	m.state = int64(binary.LittleEndian.Uint64(delta[len(delta)-8:]))
 	return nil
 }
 
@@ -107,7 +160,7 @@ func (w E14Workload) Build() (*graph.Numbered, []core.Module, *e14Sink, []float6
 	})
 	pre[0], post[0] = 1, 1
 	for i := 1; i < w.N-1; i++ {
-		m := &e14Mod{state: int64(i), preLoops: base, postLoops: base, driftAt: w.DriftAt}
+		m := newE14Mod(int64(i), base, base, w.DriftAt)
 		pre[i], post[i] = 1, 1
 		if i+1 == w.Drifter {
 			m.postLoops = drift

@@ -1,0 +1,67 @@
+package module
+
+import "fmt"
+
+// DeltaSnapshotter implementations (core.DeltaSnapshotter) for the
+// window-backed modules. Between adjacent epoch barriers a module's
+// window ring is mostly unchanged, so the delta path ships only the
+// stats layer's incremental encoding (stats.Window.AppendDelta /
+// stats.EWMA.AppendDelta) instead of re-serializing the whole ring.
+// The bit-exactness contract carries through: applying a delta to the
+// base snapshot reproduces byte-identical SnapshotState output, which
+// is what lets both handoff ends keep converged cached bases. Modules
+// whose state is a window plus trailing plain fields (ZScoreDetector)
+// append those fields after the window delta, mirroring their full
+// snapshot layout.
+
+// AppendDelta implements core.DeltaSnapshotter.
+func (s *Smoother) AppendDelta(dst, base []byte) ([]byte, bool, error) {
+	return s.ewma.AppendDelta(dst, base)
+}
+
+// ApplyDelta implements core.DeltaSnapshotter.
+func (s *Smoother) ApplyDelta(base, delta []byte) error {
+	if err := s.ewma.ApplyDelta(base, delta); err != nil {
+		return fmt.Errorf("module: Smoother delta: %w", err)
+	}
+	return nil
+}
+
+// AppendDelta implements core.DeltaSnapshotter: the window delta, then
+// the anomaly-band byte (the same trailing byte the full snapshot
+// carries).
+func (d *ZScoreDetector) AppendDelta(dst, base []byte) ([]byte, bool, error) {
+	if len(base) < 1 {
+		return dst, false, fmt.Errorf("module: ZScoreDetector delta: empty base")
+	}
+	out, ok, err := d.win.AppendDelta(dst, base[:len(base)-1])
+	if err != nil || !ok {
+		return dst, ok, err
+	}
+	return append(out, byte(d.state)), true, nil
+}
+
+// ApplyDelta implements core.DeltaSnapshotter.
+func (d *ZScoreDetector) ApplyDelta(base, delta []byte) error {
+	if len(base) < 1 || len(delta) < 1 {
+		return fmt.Errorf("module: ZScoreDetector delta: empty base or delta")
+	}
+	if err := d.win.ApplyDelta(base[:len(base)-1], delta[:len(delta)-1]); err != nil {
+		return fmt.Errorf("module: ZScoreDetector delta: %w", err)
+	}
+	d.state = int8(delta[len(delta)-1])
+	return nil
+}
+
+// AppendDelta implements core.DeltaSnapshotter.
+func (m *MovingAverage) AppendDelta(dst, base []byte) ([]byte, bool, error) {
+	return m.win.AppendDelta(dst, base)
+}
+
+// ApplyDelta implements core.DeltaSnapshotter.
+func (m *MovingAverage) ApplyDelta(base, delta []byte) error {
+	if err := m.win.ApplyDelta(base, delta); err != nil {
+		return fmt.Errorf("module: MovingAverage delta: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package module
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWindowModulesDeltaMidWindow is the module-level acceptance for
+// delta snapshots (DESIGN.md §12): run a window-backed module to a
+// first barrier, take the full snapshot (the converged base), run on
+// to a second barrier, and ship a delta instead of a second full. The
+// receiver — holding only the base — must reconstruct the sender's
+// exact state: SnapshotState bytes identical to the full snapshot the
+// sender would have shipped, and bit-identical emissions ever after.
+func TestWindowModulesDeltaMidWindow(t *testing.T) {
+	const phases, firstCut, secondCut = 160, 70, 90
+	series := snapSeries(phases)
+	cases := []struct {
+		name  string
+		fresh func() core.Module
+	}{
+		{"smoother", func() core.Module { return NewSmoother(0.25) }},
+		{"moving-average", func() core.Module { return NewMovingAverage(48, 5) }},
+		{"zscore-detector", func() core.Module { return NewZScoreDetector(64, 1.2, 20) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.fresh()
+			refOut := drive(ref, series, false)
+
+			// Sender: run to the first barrier, record the base, run on.
+			sender := tc.fresh()
+			var d core.Driver
+			pre := make([][]core.Emission, phases)
+			step := func(m core.Module, i int) []core.Emission {
+				return d.Exec(m, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: series[i]}})
+			}
+			for i := 0; i < firstCut; i++ {
+				pre[i] = append([]core.Emission(nil), step(sender, i)...)
+			}
+			base, err := sender.(core.Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := firstCut; i < secondCut; i++ {
+				pre[i] = append([]core.Emission(nil), step(sender, i)...)
+			}
+			full, err := sender.(core.Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			delta, ok, err := sender.(core.DeltaSnapshotter).AppendDelta(nil, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("no delta between adjacent barriers")
+			}
+			if _, winBacked := sender.(*Smoother); !winBacked && len(delta) >= len(full) {
+				t.Errorf("window-backed delta of %d bytes vs full %d", len(delta), len(full))
+			}
+
+			// Receiver: restore the base (the first handoff), then apply
+			// the delta (the second).
+			receiver := tc.fresh()
+			if err := receiver.(core.Snapshotter).RestoreState(base); err != nil {
+				t.Fatal(err)
+			}
+			if err := receiver.(core.DeltaSnapshotter).ApplyDelta(base, delta); err != nil {
+				t.Fatal(err)
+			}
+			got, err := receiver.(core.Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, full) {
+				t.Fatalf("applied state differs from the full snapshot\n got %x\nwant %x", got, full)
+			}
+
+			// And the receiver keeps emitting exactly what the
+			// uninterrupted reference emits.
+			post := driveFrom(receiver, series, secondCut)
+			combined := make([][]core.Emission, phases)
+			copy(combined, pre[:secondCut])
+			copy(combined[secondCut:], post[secondCut:])
+			emissionsEqual(t, tc.name, refOut, combined)
+
+			// A window delta applied to the wrong base must be refused,
+			// not half-applied into a silently wrong module. A Smoother's
+			// "delta" is its whole three-word state — the base is folded
+			// in, so there is no mismatch to detect.
+			if _, selfContained := sender.(*Smoother); !selfContained {
+				stranger := tc.fresh()
+				step(stranger, 0)
+				wrongBase, err := stranger.(core.Snapshotter).SnapshotState()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tc.fresh().(core.DeltaSnapshotter).ApplyDelta(wrongBase, delta); err == nil {
+					t.Error("delta against a foreign base accepted")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package netwire
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// allocFrame is a representative data frame for the steady-state alloc
+// pins: a handful of scalar inputs, the shape the fine-grained
+// pipelines ship every phase. Strings and vectors are excluded on
+// purpose — their payloads inherently allocate on decode, which is a
+// property of the value, not of the wire path.
+func allocFrame() WireFrame {
+	return WireFrame{Kind: FrameData, Epoch: 2, Phase: 41, Inputs: []core.ExtInput{
+		{Vertex: 3, Port: 0, Val: event.Int(42)},
+		{Vertex: 5, Port: 1, Val: event.Float(3.25)},
+		{Vertex: 9, Port: 0, Val: event.Bool(true)},
+		{Vertex: 11, Port: 2, Val: event.None()},
+	}}
+}
+
+// loopbackLink returns a connected send/recv pair on 127.0.0.1 and a
+// cleanup that closes both ends.
+func loopbackLink(tb testing.TB, window int) (*SendLink, *RecvLink) {
+	tb.Helper()
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	accepted := make(chan *RecvLink, 1)
+	go func() {
+		rl, err := ln.Accept()
+		if err != nil {
+			tb.Error(err)
+			accepted <- nil
+			return
+		}
+		accepted <- rl
+	}()
+	sl, err := Dial(ln.Addr(), 0, 1, window)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rl := <-accepted
+	if rl == nil {
+		tb.Fatal("accept failed")
+	}
+	tb.Cleanup(func() {
+		sl.Close()
+		rl.Close()
+		ln.Close()
+	})
+	return sl, rl
+}
+
+// TestWireSteadyStateAllocs pins the alloc count of the wire hot path
+// at zero per data frame, the netwire side of core's
+// TestSteadyStateAllocs: encoding reuses the caller's scratch buffer,
+// decoding draws its input slice from the frame pool, and a send/recv
+// round trip over a real socket — batched write, buffered read, credit
+// return — touches only those pooled buffers. Any regression here puts
+// a per-frame allocation back on every link of every phase.
+func TestWireSteadyStateAllocs(t *testing.T) {
+	f := allocFrame()
+
+	// Encode into a reused scratch buffer.
+	var buf []byte
+	buf = AppendFrame(buf[:0], f) // warm the buffer
+	if got := testing.AllocsPerRun(100, func() {
+		buf = AppendFrame(buf[:0], f)
+	}); got != 0 {
+		t.Errorf("encode: %v allocs per frame, want 0", got)
+	}
+
+	// Decode with the input slice recycled, as distrib's ingress does.
+	payload := AppendFrame(nil, f)
+	if got := testing.AllocsPerRun(100, func() {
+		dec, err := DecodeFrame(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RecycleInputs(dec.Inputs)
+	}); got != 0 {
+		t.Errorf("decode: %v allocs per frame, want 0", got)
+	}
+
+	// Full send/recv round trip over loopback TCP. The explicit Flush
+	// stands in for the batching triggers (threshold, non-data frame,
+	// pre-block) so the receiver is never left waiting. The reader and
+	// credit goroutines' allocations land in the same process-wide
+	// counter AllocsPerRun reads, so this pins both ends at once.
+	sl, rl := loopbackLink(t, 4)
+	roundTrip := func() {
+		if err := sl.Send(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		dec, ok := rl.Recv()
+		if !ok {
+			t.Fatal("link closed early")
+		}
+		RecycleInputs(dec.Inputs)
+	}
+	for i := 0; i < 32; i++ {
+		roundTrip() // warm wbuf, the reader's payload buffer and the pool
+	}
+	if got := testing.AllocsPerRun(100, roundTrip); got != 0 {
+		t.Errorf("send/recv: %v allocs per frame, want 0", got)
+	}
+}
+
+// BenchmarkWireEncode measures the per-frame cost of encoding a small
+// data frame into a reused scratch buffer. Allocs/op must stay 0.
+func BenchmarkWireEncode(b *testing.B) {
+	f := allocFrame()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], f)
+	}
+	_ = buf
+}
+
+// BenchmarkWireDecode measures the per-frame cost of decoding a small
+// data frame, recycling the pooled input slice the way distrib's
+// ingress does. Allocs/op must stay 0.
+func BenchmarkWireDecode(b *testing.B) {
+	payload := AppendFrame(nil, allocFrame())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		RecycleInputs(f.Inputs)
+	}
+}
+
+// BenchmarkWireSendRecv measures a full data-frame round trip over
+// loopback TCP — encode, batched write, buffered read, decode, credit
+// return. Allocs/op (process-wide, both goroutines) must stay 0.
+func BenchmarkWireSendRecv(b *testing.B) {
+	f := allocFrame()
+	sl, rl := loopbackLink(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sl.Send(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := sl.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		dec, ok := rl.Recv()
+		if !ok {
+			b.Fatal("link closed early")
+		}
+		RecycleInputs(dec.Inputs)
+	}
+}

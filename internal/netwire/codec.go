@@ -277,6 +277,15 @@ func AppendFrame(buf []byte, f WireFrame) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(f.Snaps)))
 		for _, s := range f.Snaps {
 			buf = binary.AppendUvarint(buf, uint64(s.Vertex))
+			// Protocol v5: a flags byte per snapshot. Bit 0 marks a
+			// delta against the receiver's last-acked full state,
+			// identified by an 8-byte FNV-1a hash of that base.
+			if s.Delta {
+				buf = append(buf, 1)
+				buf = binary.LittleEndian.AppendUint64(buf, s.BaseHash)
+			} else {
+				buf = append(buf, 0)
+			}
 			buf = binary.AppendUvarint(buf, uint64(len(s.State)))
 			buf = append(buf, s.State...)
 		}
@@ -512,7 +521,7 @@ func decodeInputs(payload []byte) ([]core.ExtInput, error) {
 	}
 	var inputs []core.ExtInput
 	if n > 0 {
-		inputs = make([]core.ExtInput, 0, n)
+		inputs = GetInputs(int(n))
 	}
 	for i := uint64(0); i < n; i++ {
 		vtx, used := binary.Uvarint(payload)
@@ -550,8 +559,9 @@ func decodeSnaps(payload []byte) ([]core.VertexSnapshot, error) {
 		return nil, fmt.Errorf("netwire: truncated frame: missing snapshot count")
 	}
 	payload = payload[used:]
-	// Each snapshot costs at least 2 bytes (vertex, state length).
-	if n > uint64(len(payload)/2+1) {
+	// Each snapshot costs at least 3 bytes (vertex, flags, state
+	// length).
+	if n > uint64(len(payload)/3+1) {
 		return nil, fmt.Errorf("netwire: frame claims %d snapshots in %d bytes", n, len(payload))
 	}
 	var snaps []core.VertexSnapshot
@@ -567,6 +577,22 @@ func decodeSnaps(payload []byte) ([]core.VertexSnapshot, error) {
 		if vtx == 0 || vtx > math.MaxInt32 {
 			return nil, fmt.Errorf("netwire: snapshot %d: implausible vertex %d", i, vtx)
 		}
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("netwire: truncated snapshot %d: missing flags", i)
+		}
+		flags := payload[0]
+		payload = payload[1:]
+		if flags > 1 {
+			return nil, fmt.Errorf("netwire: snapshot %d: unknown flags %#x", i, flags)
+		}
+		var baseHash uint64
+		if flags&1 != 0 {
+			if len(payload) < 8 {
+				return nil, fmt.Errorf("netwire: truncated snapshot %d: missing base hash", i)
+			}
+			baseHash = binary.LittleEndian.Uint64(payload)
+			payload = payload[8:]
+		}
 		size, used := binary.Uvarint(payload)
 		if used <= 0 {
 			return nil, fmt.Errorf("netwire: truncated snapshot %d: state length", i)
@@ -578,7 +604,7 @@ func decodeSnaps(payload []byte) ([]core.VertexSnapshot, error) {
 		state := make([]byte, size)
 		copy(state, payload[:size])
 		payload = payload[size:]
-		snaps = append(snaps, core.VertexSnapshot{Vertex: int(vtx), State: state})
+		snaps = append(snaps, core.VertexSnapshot{Vertex: int(vtx), State: state, Delta: flags&1 != 0, BaseHash: baseHash})
 	}
 	if len(payload) != 0 {
 		return nil, fmt.Errorf("netwire: %d trailing bytes after frame", len(payload))

@@ -1,0 +1,47 @@
+package netwire
+
+import "repro/internal/core"
+
+// inputFree recycles ExtInput backing arrays between the decode path
+// (one slice per received data frame) and the encode path (one per
+// shipped frame). It is a buffered channel rather than a sync.Pool
+// because Put-ing a slice into a sync.Pool boxes the slice header — an
+// allocation per frame, exactly what the freelist exists to remove.
+// Channel send/receive of a slice header allocates nothing.
+var inputFree = make(chan []core.ExtInput, 256)
+
+// GetInputs returns an input slice with zero length and at least the
+// requested capacity, reusing a recycled backing array when one fits.
+func GetInputs(capacity int) []core.ExtInput {
+	select {
+	case s := <-inputFree:
+		if cap(s) >= capacity {
+			return s
+		}
+		// Too small for this frame; let it go rather than hold a
+		// slot a bigger array could fill.
+	default:
+	}
+	return make([]core.ExtInput, 0, capacity)
+}
+
+// RecycleInputs offers a slice's backing array back to the freelist.
+// The caller must be done with every element — including anything the
+// array held beyond len — and must not touch the slice again. Safe to
+// call with nil or a slice that never came from GetInputs; when the
+// freelist is full the array is simply left to the collector.
+func RecycleInputs(s []core.ExtInput) {
+	if cap(s) == 0 {
+		return
+	}
+	// Clear the whole backing array so a parked slice cannot pin
+	// payload strings or vectors from a finished run.
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = core.ExtInput{}
+	}
+	select {
+	case inputFree <- s[:0]:
+	default:
+	}
+}

@@ -1,6 +1,7 @@
 package netwire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,7 +22,9 @@ import (
 //     registered before the dialer's first frame.
 //  3. Data frames (dialer → acceptor): uint32 big-endian payload
 //     length, then the AppendFrame payload. Lengths beyond the
-//     receiver's max frame size are rejected as corruption.
+//     receiver's max frame size are rejected as corruption. The sender
+//     may coalesce several frames into one write — the stream layout
+//     is identical either way, so the receiver cannot tell.
 //  4. Credits (acceptor → dialer): one creditByte per frame *consumed*
 //     by the application (not merely received), so at most `window`
 //     frames are ever buffered beyond the consumer — the same
@@ -33,15 +36,21 @@ import (
 //     dialer's credit reader.
 
 const (
-	// version 4 added the recovery frame kinds (rejoin/reset/restore/
-	// failed — the durable-epoch protocol, DESIGN.md §10); version 3
-	// added the channel-kind byte to the handshake and the control frame
-	// kinds (the rebalancing control plane, DESIGN.md §9); version 2
-	// added the frame kind byte and epoch tag. Older peers are rejected
-	// at handshake.
-	version    = 4
+	// version 5 added the per-snapshot flags byte (delta snapshots with
+	// a base-state hash, DESIGN.md §12); version 4 added the recovery
+	// frame kinds (rejoin/reset/restore/failed — the durable-epoch
+	// protocol, DESIGN.md §10); version 3 added the channel-kind byte to
+	// the handshake and the control frame kinds (the rebalancing control
+	// plane, DESIGN.md §9); version 2 added the frame kind byte and
+	// epoch tag. Older peers are rejected at handshake.
+	version    = 5
 	ackByte    = 0xA5
 	creditByte = 0xC7
+	// flushThreshold bounds how many encoded bytes a SendLink batches
+	// before forcing a write. Data frames coalesce below it; any
+	// non-data frame, credit exhaustion, or Close flushes immediately,
+	// so the quiesce protocol and shutdown never wait on a timer.
+	flushThreshold = 16 << 10
 	// handshakeTimeout bounds how long an accepted connection may dawdle
 	// before identifying itself, and how long a dialer waits for its ack.
 	handshakeTimeout = 10 * time.Second
@@ -127,6 +136,30 @@ type WireStats struct {
 	// is the cumulative time spent waiting for a credit.
 	Blocks  int64
 	Blocked time.Duration
+	// Flushes counts conn.Write calls on the sender (each flush pushes
+	// one or more batched frames in a single write); FramesPerFlush
+	// buckets the batch sizes: 1, 2, 3-4, 5-8, 9-16, 17+. Sender-side
+	// only — a receiver reports zeros.
+	Flushes        int64
+	FramesPerFlush [6]int64
+}
+
+// flushBucket maps a batch size to its FramesPerFlush histogram slot.
+func flushBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	default:
+		return 5
+	}
 }
 
 // SendLink is the sending end of one directed link: it owns the dialed
@@ -137,6 +170,12 @@ type SendLink struct {
 	hs      Handshake
 	maxSize int
 	buf     []byte // encode scratch, reused across frames
+	wbuf    []byte // batched prefix+payload bytes awaiting a flush
+	pending int    // frames accumulated in wbuf
+	// prefix is the length-prefix scratch. A field rather than a local
+	// so passing it to conn.Write does not move a fresh array to the
+	// heap on every Send.
+	prefix [4]byte
 
 	credits   chan struct{}
 	done      chan struct{} // closed when the credit reader exits
@@ -148,12 +187,26 @@ type SendLink struct {
 	bytes   atomic.Int64
 	blocks  atomic.Int64
 	blocked atomic.Int64
+	flushes atomic.Int64
+	// flushHist buckets frames-per-flush; see WireStats.FramesPerFlush.
+	flushHist [6]atomic.Int64
 
-	// Tap, when non-nil, observes every frame the moment it hits the
-	// wire, with its encoded size — the egress half of the
+	// Unbatched disables data-frame coalescing: every Send flushes, so
+	// each frame costs its own conn.Write — the pre-batching behavior,
+	// kept as a comparison knob for the saturation experiments. Set it
+	// before the first Send.
+	Unbatched bool
+
+	// Tap, when non-nil, observes every frame the moment it is encoded
+	// for the wire, with its encoded size — the egress half of the
 	// record/replay seam (DESIGN.md §11). Set it before the first
 	// Send; it runs on the sending goroutine and must be fast.
 	Tap func(f WireFrame, wireBytes int)
+
+	// FlushTap, when non-nil, observes every flush with the number of
+	// frames it carried and its total wire size (prefixes included).
+	// Set it before the first Send; it runs on the sending goroutine.
+	FlushTap func(frames, wireBytes int)
 }
 
 // Dial connects to a peer's listener and performs the handshake for
@@ -226,13 +279,21 @@ func (s *SendLink) readCredits() {
 	}
 }
 
-// Send encodes and writes one frame, blocking while the credit window
-// is exhausted. The fast path takes an available credit without
-// timestamps, so an unclogged link measures no backpressure.
+// Send encodes one frame, blocking while the credit window is
+// exhausted. Data frames batch into an in-memory write buffer and hit
+// the wire when a flush triggers: a non-data frame (barriers,
+// snapshots and control traffic keep their latency), the buffer
+// reaching flushThreshold, credit exhaustion (the credits being waited
+// on can only return after the receiver consumes what is buffered), or
+// Close. The fast path takes an available credit without timestamps,
+// so an unclogged link measures no backpressure.
 func (s *SendLink) Send(f WireFrame) error {
 	select {
 	case <-s.credits:
 	default:
+		if err := s.flush(); err != nil {
+			return err
+		}
 		t0 := time.Now()
 		select {
 		case <-s.credits:
@@ -246,19 +307,72 @@ func (s *SendLink) Send(f WireFrame) error {
 	if len(s.buf) > s.maxSize {
 		return fmt.Errorf("netwire: link %d->%d: frame of %d bytes exceeds max %d", s.hs.From, s.hs.To, len(s.buf), s.maxSize)
 	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(s.buf)))
-	if _, err := s.conn.Write(prefix[:]); err != nil {
-		return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
-	}
-	if _, err := s.conn.Write(s.buf); err != nil {
-		return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
-	}
+	binary.BigEndian.PutUint32(s.prefix[:], uint32(len(s.buf)))
 	s.frames.Add(1)
 	s.values.Add(int64(len(f.Inputs)))
 	s.bytes.Add(int64(len(s.buf)))
 	if s.Tap != nil {
 		s.Tap(f, len(s.buf))
+	}
+	if s.Unbatched {
+		// The pre-batching wire path, kept as experiment E16's
+		// comparison point: length prefix and payload as separate
+		// writes, every frame its own one-frame flush.
+		if _, err := s.conn.Write(s.prefix[:]); err != nil {
+			return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
+		}
+		if _, err := s.conn.Write(s.buf); err != nil {
+			return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
+		}
+		s.flushes.Add(1)
+		s.flushHist[0].Add(1)
+		if s.FlushTap != nil {
+			s.FlushTap(1, 4+len(s.buf))
+		}
+		return nil
+	}
+	s.wbuf = append(s.wbuf, s.prefix[:]...)
+	s.wbuf = append(s.wbuf, s.buf...)
+	s.pending++
+	if f.Kind != FrameData || len(s.wbuf) >= flushThreshold {
+		return s.flush()
+	}
+	return nil
+}
+
+// Ready reports whether the next Send can take a credit without
+// blocking. The sender's event loop uses it to flush every sibling
+// link of a machine before entering a Send that will block — frames
+// batched for other destinations must not be held hostage while this
+// link waits (they may be exactly what the blocking receiver's own
+// upstream dependency chain needs to make progress). Single-sender
+// only, like Send: a true result cannot be invalidated by anything
+// but the sender itself.
+func (s *SendLink) Ready() bool { return len(s.credits) > 0 }
+
+// Flush writes any batched data frames to the wire now. The sender
+// must call it (directly or via Send's own triggers) before blocking
+// indefinitely for reasons outside this link, or the batched frames
+// could starve the receiver into a cross-link deadlock.
+func (s *SendLink) Flush() error { return s.flush() }
+
+// flush writes every batched frame in one conn.Write. A no-op when
+// nothing is pending.
+func (s *SendLink) flush() error {
+	if s.pending == 0 {
+		return nil
+	}
+	n, size := s.pending, len(s.wbuf)
+	s.pending = 0
+	wb := s.wbuf
+	s.wbuf = s.wbuf[:0]
+	if _, err := s.conn.Write(wb); err != nil {
+		return fmt.Errorf("netwire: link %d->%d: %w", s.hs.From, s.hs.To, err)
+	}
+	s.flushes.Add(1)
+	s.flushHist[flushBucket(n)].Add(1)
+	if s.FlushTap != nil {
+		s.FlushTap(n, size)
 	}
 	return nil
 }
@@ -272,11 +386,14 @@ func (s *SendLink) deadErr() error {
 	return fmt.Errorf("netwire: link %d->%d closed by receiver", s.hs.From, s.hs.To)
 }
 
-// Close half-closes the link (the receiver still drains every sent
-// frame), waits for the receiver to finish and close its side, then
-// releases the connection. Idempotent.
+// Close flushes any batched frames, half-closes the link (the
+// receiver still drains every sent frame), waits for the receiver to
+// finish and close its side, then releases the connection. Idempotent.
 func (s *SendLink) Close() error {
 	s.closeOnce.Do(func() {
+		if err := s.flush(); err != nil {
+			s.err.CompareAndSwap(nil, &err)
+		}
 		if tc, ok := s.conn.(*net.TCPConn); ok {
 			tc.CloseWrite()
 			// Wait for the receiver to consume everything and close;
@@ -300,13 +417,18 @@ func (s *SendLink) Abort() {
 
 // Stats snapshots the sender-side counters.
 func (s *SendLink) Stats() WireStats {
-	return WireStats{
+	ws := WireStats{
 		Frames:  s.frames.Load(),
 		Values:  s.values.Load(),
 		Bytes:   s.bytes.Load(),
 		Blocks:  s.blocks.Load(),
 		Blocked: time.Duration(s.blocked.Load()),
+		Flushes: s.flushes.Load(),
 	}
+	for i := range s.flushHist {
+		ws.FramesPerFlush[i] = s.flushHist[i].Load()
+	}
+	return ws
 }
 
 // RecvLink is the receiving end of one directed link. Frames are
@@ -329,6 +451,14 @@ type RecvLink struct {
 	creditMu  sync.Mutex
 	closeOnce sync.Once
 
+	// pendingCredits counts consumed frames whose credits have not hit
+	// the wire yet; creditBuf is Window creditBytes so a batch of owed
+	// credits goes out in one write. Both are touched only by the
+	// single Recv goroutine (pendingCredits) or under creditMu
+	// (the write itself).
+	pendingCredits int
+	creditBuf      []byte
+
 	rframes atomic.Int64
 	rvalues atomic.Int64
 	rbytes  atomic.Int64
@@ -338,9 +468,13 @@ type RecvLink struct {
 // starts its reader.
 func newRecvLink(conn net.Conn, hs Handshake, maxSize int) *RecvLink {
 	r := &RecvLink{
-		conn:   conn,
-		hs:     hs,
-		frames: make(chan wireRec, hs.Window),
+		conn:      conn,
+		hs:        hs,
+		frames:    make(chan wireRec, hs.Window),
+		creditBuf: make([]byte, hs.Window),
+	}
+	for i := range r.creditBuf {
+		r.creditBuf[i] = creditByte
 	}
 	go r.readFrames(maxSize)
 	return r
@@ -359,40 +493,44 @@ func (r *RecvLink) Handshake() Handshake { return r.hs }
 func (r *RecvLink) readFrames(maxSize int) {
 	defer r.Close()
 	defer close(r.frames)
+	// Batched senders deliver many frames per segment; a buffered
+	// reader turns the per-frame prefix+payload read pair into memory
+	// copies. Credit bytes go the other way, directly on r.conn.
+	br := bufio.NewReaderSize(r.conn, 32<<10)
 	var prefix [4]byte
 	var payload []byte
+	// fail records the stream's terminal error. Kept out of line so the
+	// address-taken error lives in its own frame: storing &err from the
+	// read loop itself would move the loop's error variables to the
+	// heap, putting an allocation on every successful iteration.
+	fail := func(err error) { r.readErr.CompareAndSwap(nil, &err) }
 	for {
-		if _, err := io.ReadFull(r.conn, prefix[:]); err != nil {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
 			if err == io.ErrUnexpectedEOF {
 				// Some bytes of the length prefix arrived: the stream died
 				// mid-frame, not on a frame boundary.
-				err = fmt.Errorf("%w on link %d->%d: partial frame length: %v", ErrTruncatedFrame, r.hs.From, r.hs.To, err)
-				r.readErr.CompareAndSwap(nil, &err)
+				fail(fmt.Errorf("%w on link %d->%d: partial frame length: %v", ErrTruncatedFrame, r.hs.From, r.hs.To, err))
 			} else if err != io.EOF {
-				err = fmt.Errorf("netwire: link %d->%d: reading frame length: %w", r.hs.From, r.hs.To, err)
-				r.readErr.CompareAndSwap(nil, &err)
+				fail(fmt.Errorf("netwire: link %d->%d: reading frame length: %w", r.hs.From, r.hs.To, err))
 			}
 			return
 		}
 		n := binary.BigEndian.Uint32(prefix[:])
 		if n > uint32(maxSize) {
-			err := fmt.Errorf("netwire: link %d->%d: frame length %d exceeds max %d", r.hs.From, r.hs.To, n, maxSize)
-			r.readErr.CompareAndSwap(nil, &err)
+			fail(fmt.Errorf("netwire: link %d->%d: frame length %d exceeds max %d", r.hs.From, r.hs.To, n, maxSize))
 			return
 		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
 		}
 		payload = payload[:n]
-		if _, err := io.ReadFull(r.conn, payload); err != nil {
-			err = fmt.Errorf("%w on link %d->%d: %v", ErrTruncatedFrame, r.hs.From, r.hs.To, err)
-			r.readErr.CompareAndSwap(nil, &err)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			fail(fmt.Errorf("%w on link %d->%d: %v", ErrTruncatedFrame, r.hs.From, r.hs.To, err))
 			return
 		}
 		f, err := DecodeFrame(payload)
 		if err != nil {
-			err = fmt.Errorf("netwire: link %d->%d: %w", r.hs.From, r.hs.To, err)
-			r.readErr.CompareAndSwap(nil, &err)
+			fail(fmt.Errorf("netwire: link %d->%d: %w", r.hs.From, r.hs.To, err))
 			return
 		}
 		r.rframes.Add(1)
@@ -402,24 +540,47 @@ func (r *RecvLink) readFrames(maxSize int) {
 	}
 }
 
-// Recv returns the next frame, blocking until one arrives, and writes
-// one credit back to the sender. ok is false once the sender has
-// half-closed and every frame has been consumed — or the wire failed,
-// which Err distinguishes.
+// Recv returns the next frame, blocking until one arrives, and owes
+// the sender one credit for it. Credits batch the way data frames do:
+// while more frames are already queued the credit is only counted, and
+// the whole owed batch goes out in one write as soon as the queue
+// drains — or before Recv blocks, so a waiting sender can never be
+// starved of credits the receiver is sitting on. ok is false once the
+// sender has half-closed and every frame has been consumed — or the
+// wire failed, which Err distinguishes.
 func (r *RecvLink) Recv() (f WireFrame, ok bool) {
-	rec, ok := <-r.frames
+	var rec wireRec
+	select {
+	case rec, ok = <-r.frames:
+	default:
+		r.flushCredits()
+		rec, ok = <-r.frames
+	}
 	if !ok {
 		return WireFrame{}, false
 	}
 	if r.Tap != nil {
 		r.Tap(rec.f, rec.n)
 	}
-	r.creditMu.Lock()
-	// A failed credit write is not a receive failure: the sender will
-	// observe the broken wire on its own side.
-	r.conn.Write([]byte{creditByte})
-	r.creditMu.Unlock()
+	r.pendingCredits++
+	if len(r.frames) == 0 {
+		r.flushCredits()
+	}
 	return rec.f, true
+}
+
+// flushCredits writes every owed credit byte in one write. A failed
+// write is not a receive failure: the sender will observe the broken
+// wire on its own side.
+func (r *RecvLink) flushCredits() {
+	k := r.pendingCredits
+	if k == 0 {
+		return
+	}
+	r.pendingCredits = 0
+	r.creditMu.Lock()
+	r.conn.Write(r.creditBuf[:k])
+	r.creditMu.Unlock()
 }
 
 // wireRec pairs a decoded frame with its encoded size for the tap.

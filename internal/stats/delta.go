@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Delta state encoding for the windowed accumulators. A full Window
+// snapshot re-serializes the entire ring at every epoch barrier, but
+// between adjacent barriers most of the ring is unchanged: only the
+// observations added since the base snapshot are new, and everything
+// older was already in the base ring (eviction is strictly oldest-
+// first, so the surviving prefix of the current ring is a suffix of
+// the base ring). The delta therefore carries the header, the running
+// sums, the fresh values, and the two monotone deques — the deques are
+// rewritten wholesale because entries expire and collapse in the
+// middle, and they are bounded by the window length anyway.
+//
+// Layout (AppendDelta):
+//
+//	uvarint capacity   — must match both windows
+//	varint  baseSeq    — the base snapshot's sequence counter
+//	varint  seq        — the current sequence counter
+//	uvarint n          — current live length
+//	8 bytes sum, 8 bytes sum2 (little-endian float bits)
+//	uvarint fresh      — seq-baseSeq values the base has never seen
+//	fresh × 8 bytes    — the newest ring values, oldest-first
+//	appendDeque(minq), appendDeque(maxq)
+//
+// The bit-exactness contract of core.DeltaSnapshotter holds because
+// sums and deques travel as raw bits and the ring is reconstructed in
+// the exact oldest-first order AppendState serializes.
+
+// windowHeader is the decoded fixed prefix of a full Window snapshot.
+type windowHeader struct {
+	cap  int
+	seq  int64
+	n    int
+	rest []byte // sum onward
+}
+
+// readWindowHeader decodes the capacity/sequence/length prefix of a
+// full snapshot produced by Window.AppendState.
+func readWindowHeader(data []byte) (windowHeader, error) {
+	var h windowHeader
+	c, used := binary.Uvarint(data)
+	if used <= 0 {
+		return h, fmt.Errorf("stats: window snapshot: truncated capacity")
+	}
+	data = data[used:]
+	seq, used := binary.Varint(data)
+	if used <= 0 {
+		return h, fmt.Errorf("stats: window snapshot: truncated sequence counter")
+	}
+	data = data[used:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return h, fmt.Errorf("stats: window snapshot: truncated length")
+	}
+	data = data[used:]
+	if n > c || c > math.MaxInt32 {
+		return h, fmt.Errorf("stats: window snapshot claims %d of %d values", n, c)
+	}
+	h.cap, h.seq, h.n, h.rest = int(c), seq, int(n), data
+	return h, nil
+}
+
+// AppendDelta appends a delta from base — a full snapshot this window
+// previously produced with AppendState — to the window's current
+// state. ok=false (with no error) means no valid or profitable delta
+// exists: the base has a different capacity, is newer than the window,
+// or is so old that every live value postdates it.
+func (w *Window) AppendDelta(dst, base []byte) ([]byte, bool, error) {
+	h, err := readWindowHeader(base)
+	if err != nil {
+		return dst, false, err
+	}
+	if h.cap != w.cap || h.seq > w.seq {
+		return dst, false, nil
+	}
+	fresh := w.seq - h.seq
+	if fresh >= int64(w.n) {
+		// Everything live postdates the base: a delta would carry the
+		// whole ring plus overhead. Ship full instead.
+		return dst, false, nil
+	}
+	// Every live value at or before the base's counter must exist in
+	// the base ring, i.e. the base must not have evicted past the
+	// oldest value we still hold.
+	if h.seq-int64(h.n) > w.seq-int64(w.n) {
+		return dst, false, nil
+	}
+	dst = binary.AppendUvarint(dst, uint64(w.cap))
+	dst = binary.AppendVarint(dst, h.seq)
+	dst = binary.AppendVarint(dst, w.seq)
+	dst = binary.AppendUvarint(dst, uint64(w.n))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w.sum))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w.sum2))
+	dst = binary.AppendUvarint(dst, uint64(fresh))
+	for i := w.n - int(fresh); i < w.n; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(w.buf[(w.head+i)%w.cap]))
+	}
+	dst = appendDeque(dst, w.minq)
+	dst = appendDeque(dst, w.maxq)
+	return dst, true, nil
+}
+
+// ApplyDelta replaces the window's state with base — a full AppendState
+// snapshot — advanced by a delta produced with AppendDelta against that
+// exact base. Malformed or mismatched input is an error and leaves the
+// window unchanged.
+func (w *Window) ApplyDelta(base, delta []byte) error {
+	bh, err := readWindowHeader(base)
+	if err != nil {
+		return err
+	}
+	if bh.cap != w.cap {
+		return fmt.Errorf("stats: window delta: base for capacity %d applied to capacity %d", bh.cap, w.cap)
+	}
+	if len(bh.rest) < (2+bh.n)*8 {
+		return fmt.Errorf("stats: window delta: base holds %d bytes for %d values", len(bh.rest), bh.n)
+	}
+	baseVals := bh.rest[16:] // skip base sum/sum2; values follow
+	// Delta header.
+	c, used := binary.Uvarint(delta)
+	if used <= 0 {
+		return fmt.Errorf("stats: window delta: truncated capacity")
+	}
+	delta = delta[used:]
+	if c != uint64(w.cap) {
+		return fmt.Errorf("stats: window delta for capacity %d applied to capacity %d", c, w.cap)
+	}
+	baseSeq, used := binary.Varint(delta)
+	if used <= 0 {
+		return fmt.Errorf("stats: window delta: truncated base sequence")
+	}
+	delta = delta[used:]
+	if baseSeq != bh.seq {
+		return fmt.Errorf("stats: window delta built against sequence %d, base is at %d", baseSeq, bh.seq)
+	}
+	seq, used := binary.Varint(delta)
+	if used <= 0 {
+		return fmt.Errorf("stats: window delta: truncated sequence")
+	}
+	delta = delta[used:]
+	n64, used := binary.Uvarint(delta)
+	if used <= 0 {
+		return fmt.Errorf("stats: window delta: truncated length")
+	}
+	delta = delta[used:]
+	if n64 > uint64(w.cap) {
+		return fmt.Errorf("stats: window delta claims %d of %d values", n64, w.cap)
+	}
+	n := int(n64)
+	if len(delta) < 16 {
+		return fmt.Errorf("stats: window delta: truncated sums")
+	}
+	sum := math.Float64frombits(binary.LittleEndian.Uint64(delta))
+	sum2 := math.Float64frombits(binary.LittleEndian.Uint64(delta[8:]))
+	delta = delta[16:]
+	fresh64, used := binary.Uvarint(delta)
+	if used <= 0 {
+		return fmt.Errorf("stats: window delta: truncated fresh count")
+	}
+	delta = delta[used:]
+	if fresh64 != uint64(seq-baseSeq) || fresh64 > uint64(n) {
+		return fmt.Errorf("stats: window delta: %d fresh values for sequence advance %d over length %d", fresh64, seq-baseSeq, n)
+	}
+	fresh := int(fresh64)
+	if len(delta) < fresh*8 {
+		return fmt.Errorf("stats: window delta: %d bytes for %d fresh values", len(delta), fresh)
+	}
+	freshVals := delta[:fresh*8]
+	delta = delta[fresh*8:]
+	minq, delta, err := readDeque(delta, n)
+	if err != nil {
+		return fmt.Errorf("stats: window delta: min deque: %w", err)
+	}
+	maxq, delta, err := readDeque(delta, n)
+	if err != nil {
+		return fmt.Errorf("stats: window delta: max deque: %w", err)
+	}
+	if len(delta) != 0 {
+		return fmt.Errorf("stats: window delta: %d trailing bytes", len(delta))
+	}
+	// Reconstruct the ring oldest-first. A value with sequence s came
+	// from the base ring when s predates the base's counter, and from
+	// the fresh list otherwise.
+	buf := make([]float64, w.cap)
+	baseOldest := bh.seq - int64(bh.n) + 1
+	for i := 0; i < n; i++ {
+		s := seq - int64(n) + 1 + int64(i)
+		if s <= baseSeq {
+			j := s - baseOldest
+			if j < 0 || j >= int64(bh.n) {
+				return fmt.Errorf("stats: window delta needs base value %d, base holds [%d, %d]", s, baseOldest, bh.seq)
+			}
+			buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(baseVals[j*8:]))
+		} else {
+			buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(freshVals[(s-baseSeq-1)*8:]))
+		}
+	}
+	w.buf = buf
+	w.head = 0
+	w.n = n
+	w.sum = sum
+	w.sum2 = sum2
+	w.seq = seq
+	w.minq = minq
+	w.maxq = maxq
+	return nil
+}
+
+// AppendDelta appends the EWMA's delta state to dst. An EWMA is three
+// machine words — the "delta" is simply the full state, and the value
+// of implementing DeltaSnapshotter here is that EWMA-backed modules
+// stay on the delta path (converged bases, no fallback churn) when
+// composed with window-backed ones. ok=false only when the base is not
+// a valid snapshot for this EWMA's smoothing factor.
+func (e *EWMA) AppendDelta(dst, base []byte) ([]byte, bool, error) {
+	if len(base) < 17 {
+		return dst, false, fmt.Errorf("stats: ewma delta: base of %d bytes, want at least 17", len(base))
+	}
+	if math.Float64frombits(binary.LittleEndian.Uint64(base)) != e.alpha {
+		return dst, false, nil
+	}
+	return e.AppendState(dst), true, nil
+}
+
+// ApplyDelta replaces the EWMA's state with a delta produced by
+// AppendDelta; the base is already folded into the delta bytes.
+func (e *EWMA) ApplyDelta(base, delta []byte) error {
+	rest, err := e.ReadState(delta)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("stats: ewma delta: %d trailing bytes", len(rest))
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// deltaSeries is a deterministic value stream with enough range to
+// move the deques and the running sums every step.
+func deltaSeries(n int) []float64 {
+	out := make([]float64, n)
+	x := uint64(0x5157)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = float64(int64(x%1009)-504) / 7
+	}
+	return out
+}
+
+// TestWindowDeltaBitIdentity: a delta built against a base snapshot,
+// applied to that base on a fresh window, reproduces the sender's
+// exact state — AppendState output byte-identical, and identical
+// emissions forever after. This is the contract that lets both handoff
+// ends keep converged cached bases (DESIGN.md §12).
+func TestWindowDeltaBitIdentity(t *testing.T) {
+	series := deltaSeries(200)
+	cases := []struct {
+		name       string
+		cap        int
+		baseAt     int // values added before the base snapshot
+		advance    int // values added between base and delta
+		wantProfit bool
+	}{
+		{"mid-fill", 64, 20, 8, true},
+		{"full ring small advance", 64, 100, 5, true},
+		{"wrapped base wrapped delta", 32, 70, 10, true},
+		{"advance of one", 48, 60, 1, true},
+		{"zero advance", 48, 60, 0, true},
+		{"near-whole ring", 16, 40, 15, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := NewWindow(c.cap)
+			for _, v := range series[:c.baseAt] {
+				w.Add(v)
+			}
+			base := w.AppendState(nil)
+			for _, v := range series[c.baseAt : c.baseAt+c.advance] {
+				w.Add(v)
+			}
+			full := w.AppendState(nil)
+			delta, ok, err := w.AppendDelta(nil, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("no delta produced")
+			}
+			if c.wantProfit && c.advance < c.baseAt && len(delta) >= len(full) {
+				// The deques bound profit from below; for these shapes the
+				// delta must actually be smaller or the path is pointless.
+				t.Errorf("delta of %d bytes vs full %d", len(delta), len(full))
+			}
+			w2 := NewWindow(c.cap)
+			if err := w2.ApplyDelta(base, delta); err != nil {
+				t.Fatal(err)
+			}
+			if got := w2.AppendState(nil); !bytes.Equal(got, full) {
+				t.Fatalf("applied state differs from full snapshot\n got %x\nwant %x", got, full)
+			}
+			// The restored window must keep evolving identically, bit for
+			// bit, including the accumulated low bits of sum/sum2.
+			for _, v := range series[c.baseAt+c.advance:] {
+				w.Add(v)
+				w2.Add(v)
+				if math.Float64bits(w.Mean()) != math.Float64bits(w2.Mean()) ||
+					math.Float64bits(w.Variance()) != math.Float64bits(w2.Variance()) ||
+					math.Float64bits(w.Min()) != math.Float64bits(w2.Min()) ||
+					math.Float64bits(w.Max()) != math.Float64bits(w2.Max()) {
+					t.Fatal("windows diverged after delta restore")
+				}
+			}
+		})
+	}
+}
+
+// TestWindowDeltaFallsBack: the shapes where no profitable or valid
+// delta exists must return ok=false — the caller ships full — rather
+// than producing a wrong delta.
+func TestWindowDeltaFallsBack(t *testing.T) {
+	series := deltaSeries(120)
+	t.Run("advance covers whole ring", func(t *testing.T) {
+		w := NewWindow(16)
+		for _, v := range series[:20] {
+			w.Add(v)
+		}
+		base := w.AppendState(nil)
+		for _, v := range series[20:40] { // 20 > cap: every live value is fresh
+			w.Add(v)
+		}
+		if _, ok, err := w.AppendDelta(nil, base); err != nil || ok {
+			t.Fatalf("ok=%v err=%v, want no delta", ok, err)
+		}
+	})
+	t.Run("capacity mismatch", func(t *testing.T) {
+		w := NewWindow(16)
+		other := NewWindow(32)
+		for _, v := range series[:10] {
+			w.Add(v)
+			other.Add(v)
+		}
+		base := other.AppendState(nil)
+		if _, ok, err := w.AppendDelta(nil, base); err != nil || ok {
+			t.Fatalf("ok=%v err=%v, want no delta", ok, err)
+		}
+	})
+	t.Run("base newer than window", func(t *testing.T) {
+		w := NewWindow(16)
+		for _, v := range series[:10] {
+			w.Add(v)
+		}
+		base := w.AppendState(nil)
+		w2 := NewWindow(16)
+		w2.Add(series[0])
+		if _, ok, err := w2.AppendDelta(nil, base); err != nil || ok {
+			t.Fatalf("ok=%v err=%v, want no delta", ok, err)
+		}
+	})
+	t.Run("corrupt base is an error", func(t *testing.T) {
+		w := NewWindow(16)
+		w.Add(1)
+		if _, _, err := w.AppendDelta(nil, []byte{0xff}); err == nil {
+			t.Fatal("corrupt base accepted")
+		}
+	})
+}
+
+// TestWindowApplyDeltaRejectsMismatch: applying a delta to the wrong
+// base is a hard error, never a silently wrong window.
+func TestWindowApplyDeltaRejectsMismatch(t *testing.T) {
+	series := deltaSeries(60)
+	w := NewWindow(16)
+	for _, v := range series[:20] {
+		w.Add(v)
+	}
+	base := w.AppendState(nil)
+	for _, v := range series[20:24] {
+		w.Add(v)
+	}
+	delta, ok, err := w.AppendDelta(nil, base)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// A base from a different point in the stream: the sequence counters
+	// disagree with the delta's recorded base.
+	w2 := NewWindow(16)
+	for _, v := range series[:19] {
+		w2.Add(v)
+	}
+	wrongBase := w2.AppendState(nil)
+	w3 := NewWindow(16)
+	if err := w3.ApplyDelta(wrongBase, delta); err == nil {
+		t.Fatal("delta against a different base accepted")
+	}
+	// Truncated delta bytes.
+	w4 := NewWindow(16)
+	if err := w4.ApplyDelta(base, delta[:len(delta)-3]); err == nil {
+		t.Fatal("truncated delta accepted")
+	}
+}
+
+// TestEWMADeltaBitIdentity: the EWMA "delta" is its full three-word
+// state; the contract still holds — apply reproduces the exact bits —
+// and a foreign base (different alpha) falls back.
+func TestEWMADeltaBitIdentity(t *testing.T) {
+	e := NewEWMA(0.125)
+	for _, v := range deltaSeries(50) {
+		e.Add(v)
+	}
+	base := e.AppendState(nil)
+	for _, v := range deltaSeries(60)[50:] {
+		e.Add(v)
+	}
+	full := e.AppendState(nil)
+	delta, ok, err := e.AppendDelta(nil, base)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	e2 := NewEWMA(0.125)
+	if err := e2.ApplyDelta(base, delta); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.AppendState(nil); !bytes.Equal(got, full) {
+		t.Fatalf("applied state differs from full snapshot\n got %x\nwant %x", got, full)
+	}
+	// A base recorded with a different smoothing factor is not a valid
+	// delta base for this EWMA.
+	other := NewEWMA(0.5)
+	other.Add(1)
+	if _, ok, err := e.AppendDelta(nil, other.AppendState(nil)); err != nil || ok {
+		t.Fatalf("ok=%v err=%v, want fallback on alpha mismatch", ok, err)
+	}
+}
