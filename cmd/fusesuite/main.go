@@ -1,0 +1,283 @@
+// Fusesuite: the scenario conformance suite's command-line driver.
+//
+// Each seed derives one scenario — a generator-shaped correlation graph
+// populated with registry modules (internal/scenario) — and runs it
+// through the selected arms of the execution matrix: static and
+// rebalancing plans, channel and loopback-TCP transports, event-log
+// replay, and WAL-backed recovery with an injected transient crash.
+// Every arm must finish with sink state bit-identical to the sequential
+// oracle. Shipped spec files join the sweep via -specs, and a single
+// spec runs alone via -spec.
+//
+// A failing scenario dumps its spec XML, a suite point (JSON) and the
+// event logs of every recorded failing arm into -dump, so it
+// reproduces exactly with no generator or registry drift:
+//
+//	go run ./cmd/fusesuite -n 25 -specs specs      # sweep + shipped corpus
+//	go run ./cmd/fusesuite -spec specs/crisis.xml  # one spec, full matrix
+//	go run ./cmd/fusesuite -plan <dump>/fuzz-7-hotspot.json   # exact re-run
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/evlog"
+	"repro/internal/scenario"
+	"repro/internal/spec"
+)
+
+// suitePoint is the reproducible description of one suite scenario: the
+// dumped JSON form re-runs it exactly with -plan. Spec points always
+// re-run from their dumped XML (never by regenerating the seed), so a
+// dump stays reproducible even if the fuzzer's draws change.
+type suitePoint struct {
+	Name string `json:"name"`
+	Seed uint64 `json:"seed,omitempty"`
+	// Spec is the XML file the scenario reloads from, relative to the
+	// JSON file's directory.
+	Spec string `json:"spec,omitempty"`
+	Arms string `json:"arms,omitempty"`
+}
+
+// suiteConfig is one fusesuite invocation.
+type suiteConfig struct {
+	n        int
+	seed0    uint64
+	specsDir string
+	specPath string
+	planPath string
+	arms     string
+	dumpDir  string
+	verbose  bool
+}
+
+// loadPlan reloads a dumped suite point.
+func loadPlan(path string) (*scenario.Scenario, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var pt suitePoint
+	if err := json.Unmarshal(data, &pt); err != nil {
+		return nil, "", fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if pt.Spec != "" {
+		s, err := spec.ParseFile(filepath.Join(filepath.Dir(path), pt.Spec))
+		if err != nil {
+			return nil, "", err
+		}
+		sc, err := scenario.FromSpec(s)
+		if err != nil {
+			return nil, "", err
+		}
+		sc.Seed = pt.Seed
+		return sc, pt.Arms, nil
+	}
+	sc, err := scenario.Generate(pt.Seed)
+	return sc, pt.Arms, err
+}
+
+// assemble builds the scenario list of the invocation.
+func assemble(cfg suiteConfig) ([]*scenario.Scenario, string, error) {
+	switch {
+	case cfg.planPath != "":
+		sc, planArms, err := loadPlan(cfg.planPath)
+		if err != nil {
+			return nil, "", err
+		}
+		arms := cfg.arms
+		if arms == "all" && planArms != "" {
+			arms = planArms
+		}
+		return []*scenario.Scenario{sc}, arms, nil
+	case cfg.specPath != "":
+		s, err := spec.ParseFile(cfg.specPath)
+		if err != nil {
+			return nil, "", err
+		}
+		sc, err := scenario.FromSpec(s)
+		if err != nil {
+			return nil, "", err
+		}
+		return []*scenario.Scenario{sc}, cfg.arms, nil
+	}
+	var out []*scenario.Scenario
+	for i := 0; i < cfg.n; i++ {
+		sc, err := scenario.Generate(cfg.seed0 + uint64(i))
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, sc)
+	}
+	if cfg.specsDir != "" {
+		files, err := filepath.Glob(filepath.Join(cfg.specsDir, "*.xml"))
+		if err != nil {
+			return nil, "", err
+		}
+		for _, f := range files {
+			s, err := spec.ParseFile(f)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s: %w", f, err)
+			}
+			sc, err := scenario.FromSpec(s)
+			if err != nil {
+				return nil, "", fmt.Errorf("%s: %w", f, err)
+			}
+			out = append(out, sc)
+		}
+	}
+	return out, cfg.arms, nil
+}
+
+// dump writes the failing scenario's suite point, spec XML and the
+// event logs of every recorded failing arm.
+func dump(dir string, sc *scenario.Scenario, rep *scenario.Report, arms string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, sc.Spec.Name)
+	xmlOut, err := sc.Spec.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".xml", xmlOut, 0o644); err != nil {
+		return err
+	}
+	pt := suitePoint{Name: sc.Spec.Name, Seed: sc.Seed, Spec: sc.Spec.Name + ".xml", Arms: arms}
+	js, err := json.MarshalIndent(pt, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".json", append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, res := range rep.Results {
+		if res.Err == nil || res.Recorder == nil {
+			continue
+		}
+		if err := dumpLogs(base, sc, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpLogs writes one recorded arm's per-machine and merged event logs.
+func dumpLogs(base string, sc *scenario.Scenario, res scenario.ArmResult) error {
+	transport := "chan"
+	if strings.HasSuffix(string(res.Arm), "tcp") {
+		transport = "tcp"
+	}
+	info := sc.RunInfo(transport)
+	armTag := strings.ReplaceAll(string(res.Arm), "/", "-")
+	write := func(name string, events []evlog.Event) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := evlog.WriteLog(f, info, events); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	for _, m := range res.Recorder.Machines() {
+		name := fmt.Sprintf("%s-%s-machine-%d.evlog", base, armTag, m)
+		if m < 0 {
+			name = fmt.Sprintf("%s-%s-coordinator.evlog", base, armTag)
+		}
+		if err := write(name, res.Recorder.Events(m)); err != nil {
+			return err
+		}
+	}
+	return write(fmt.Sprintf("%s-%s-merged.evlog", base, armTag), res.Recorder.Merged())
+}
+
+// run executes the invocation, returning pass/fail counts; err reports
+// setup problems (bad flags, unreadable files), not scenario failures.
+func run(cfg suiteConfig, stdout io.Writer) (passed, failed int, err error) {
+	scs, armSpec, err := assemble(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	arms, err := scenario.ParseArms(armSpec)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+	t0 := time.Now()
+	for _, sc := range scs {
+		rep, err := scenario.Check(ctx, sc, arms)
+		if err != nil {
+			failed++
+			fmt.Fprintf(stdout, "FAIL %-24s oracle: %v\n", sc.Spec.Name, err)
+			continue
+		}
+		bad := false
+		for _, res := range rep.Results {
+			if res.Err != nil {
+				bad = true
+				fmt.Fprintf(stdout, "FAIL %-24s arm=%-11s %v\n", sc.Spec.Name, res.Arm, res.Err)
+			} else if cfg.verbose && res.Skipped != "" {
+				fmt.Fprintf(stdout, "skip %-24s arm=%-11s %s\n", sc.Spec.Name, res.Arm, res.Skipped)
+			}
+		}
+		if !bad {
+			passed++
+			if cfg.verbose {
+				fmt.Fprintf(stdout, "ok   %-24s shape=%-10s wire-safe=%v\n", sc.Spec.Name, sc.Shape, sc.WireSafe)
+			}
+			continue
+		}
+		failed++
+		if cfg.dumpDir != "" {
+			if derr := dump(cfg.dumpDir, sc, rep, armSpec); derr != nil {
+				fmt.Fprintf(stdout, "     dumping %s: %v\n", sc.Spec.Name, derr)
+			} else {
+				fmt.Fprintf(stdout, "     dumped %s/%s.{json,xml}; re-run: go run ./cmd/fusesuite -plan %s/%s.json\n",
+					cfg.dumpDir, sc.Spec.Name, cfg.dumpDir, sc.Spec.Name)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "fusesuite: %d/%d scenarios passed in %v (arms=%s)\n",
+		passed, passed+failed, time.Since(t0).Round(time.Millisecond), armSpec)
+	return passed, failed, nil
+}
+
+func main() {
+	var cfg suiteConfig
+	short := flag.Bool("short", false, "trim the default corpus for CI pushes")
+	flag.IntVar(&cfg.n, "n", 0, "number of generated scenario seeds (0 = 25, or 8 with -short)")
+	flag.Uint64Var(&cfg.seed0, "seed0", 1, "first scenario seed")
+	flag.StringVar(&cfg.specsDir, "specs", "", "also run every *.xml spec in this directory")
+	flag.StringVar(&cfg.specPath, "spec", "", "run one spec file through the matrix instead of sweeping")
+	flag.StringVar(&cfg.planPath, "plan", "", "re-run one dumped suite point (<name>.json) instead of sweeping")
+	flag.StringVar(&cfg.arms, "arms", "all", "comma-separated matrix arms (static/chan,static/tcp,rebal/chan,rebal/tcp,replay,durable) or all")
+	flag.StringVar(&cfg.dumpDir, "dump", "fusesuite-failures", "directory for failing scenarios' specs and event logs")
+	flag.BoolVar(&cfg.verbose, "v", false, "print one line per scenario and skipped arm")
+	flag.Parse()
+
+	if cfg.n == 0 {
+		cfg.n = 25
+		if *short {
+			cfg.n = 8
+		}
+	}
+
+	_, failed, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fusesuite: %v\n", err)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

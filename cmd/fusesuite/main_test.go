@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestSweepPasses: a small generated sweep over the in-process arms
+// must pass clean.
+func TestSweepPasses(t *testing.T) {
+	var out bytes.Buffer
+	passed, failed, err := run(suiteConfig{
+		n: 3, seed0: 1, arms: "static/chan,rebal/chan,replay",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 || passed != 3 {
+		t.Fatalf("passed=%d failed=%d\n%s", passed, failed, out.String())
+	}
+}
+
+// TestSingleSpec: -spec runs one shipped file through the full matrix.
+func TestSingleSpec(t *testing.T) {
+	path := filepath.Join("..", "..", "specs", "heatwave.xml")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("spec not found: %v", err)
+	}
+	var out bytes.Buffer
+	passed, failed, err := run(suiteConfig{specPath: path, arms: "all"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 || passed != 1 {
+		t.Fatalf("passed=%d failed=%d\n%s", passed, failed, out.String())
+	}
+}
+
+// TestSpecsDirJoinsSweep: -specs folds the shipped corpus into the run.
+func TestSpecsDirJoinsSweep(t *testing.T) {
+	dir := filepath.Join("..", "..", "specs")
+	files, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil || len(files) == 0 {
+		t.Skipf("specs not found: %v", err)
+	}
+	var out bytes.Buffer
+	passed, failed, err := run(suiteConfig{
+		n: 1, seed0: 5, specsDir: dir, arms: "static/chan",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 || passed != 1+len(files) {
+		t.Fatalf("passed=%d failed=%d want %d\n%s", passed, failed, 1+len(files), out.String())
+	}
+}
+
+// TestDumpAndPlanRoundTrip: a dumped suite point reloads via -plan into
+// the exact same workload (the XML, not a re-generation), and the plan
+// re-run honors the dumped arm selection.
+func TestDumpAndPlanRoundTrip(t *testing.T) {
+	sc, err := scenario.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rep := &scenario.Report{Scenario: sc, Results: []scenario.ArmResult{
+		{Arm: scenario.ArmStaticChan, Err: errors.New("synthetic failure")},
+	}}
+	if err := dump(dir, sc, rep, "static/chan"); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".json", ".xml"} {
+		if _, err := os.Stat(filepath.Join(dir, sc.Spec.Name+suffix)); err != nil {
+			t.Fatalf("dump missing %s: %v", suffix, err)
+		}
+	}
+
+	var out bytes.Buffer
+	passed, failed, err := run(suiteConfig{
+		planPath: filepath.Join(dir, sc.Spec.Name+".json"),
+		arms:     "all", // defers to the plan's recorded arms
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 || passed != 1 {
+		t.Fatalf("plan re-run: passed=%d failed=%d\n%s", passed, failed, out.String())
+	}
+	if !strings.Contains(out.String(), "arms=static/chan") {
+		t.Errorf("plan arms not honored:\n%s", out.String())
+	}
+}
+
+// TestBadInputs: setup errors surface as errors, not failures.
+func TestBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if _, _, err := run(suiteConfig{specPath: "/no/such.xml", arms: "all"}, &out); err == nil {
+		t.Error("missing -spec file accepted")
+	}
+	if _, _, err := run(suiteConfig{planPath: "/no/such.json", arms: "all"}, &out); err == nil {
+		t.Error("missing -plan file accepted")
+	}
+	if _, _, err := run(suiteConfig{n: 1, arms: "bogus"}, &out); err == nil {
+		t.Error("unknown arm accepted")
+	}
+}

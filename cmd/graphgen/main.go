@@ -2,12 +2,16 @@
 // experimentation: the named families from internal/graph rendered as
 // Graphviz DOT, with their numbering and m-sequence reported — a quick
 // way to inspect what the §3.1.1 restriction produces on a topology.
+// With -spec the topology is instead populated with a seeded module
+// draw (the scenario fuzzer's) and emitted as runnable spec XML, so any
+// family — including the paper figures — feeds straight into
+// cmd/fusion, cmd/fuseworker or the fusesuite conformance matrix.
 //
 // Usage:
 //
 //	graphgen -kind layered -depth 4 -width 5 -fanin 2 -seed 7
 //	graphgen -kind random -n 20 -p 0.15
-//	graphgen -kind chain -n 8
+//	graphgen -kind chain -n 8 -spec > chain8.xml
 //	graphgen -kind tree -leaves 8 -fanin 2
 //	graphgen -kind figure1 | -kind figure2 | -kind figure3
 package main
@@ -15,37 +19,45 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 
 	"repro/internal/graph"
+	"repro/internal/scenario"
 )
 
-func main() {
-	kind := flag.String("kind", "layered", "layered|random|chain|tree|fanoutin|figure1|figure2|figure3")
-	n := flag.Int("n", 12, "vertex count (random, chain) / width (fanoutin)")
-	p := flag.Float64("p", 0.15, "edge probability (random)")
-	depth := flag.Int("depth", 4, "layers (layered)")
-	width := flag.Int("width", 5, "vertices per layer (layered)")
-	fanin := flag.Int("fanin", 2, "predecessors per vertex (layered, tree)")
-	leaves := flag.Int("leaves", 8, "leaf count (tree)")
-	seed := flag.Uint64("seed", 1, "RNG seed")
-	mseq := flag.Bool("m", false, "print the m-sequence instead of DOT")
-	flag.Parse()
+// genOpts carries one generation request.
+type genOpts struct {
+	kind   string
+	n      int
+	p      float64
+	depth  int
+	width  int
+	fanin  int
+	leaves int
+	seed   uint64
+	mseq   bool
+	spec   bool
+}
 
-	rng := rand.New(rand.NewPCG(*seed, *seed^0xabc))
+// run generates the requested topology and writes the chosen rendering
+// (DOT, m-sequence or runnable spec XML) to stdout, diagnostics to
+// stderr.
+func run(o genOpts, stdout, stderr io.Writer) error {
+	rng := rand.New(rand.NewPCG(o.seed, o.seed^0xabc))
 	var g *graph.Graph
-	switch *kind {
+	switch o.kind {
 	case "layered":
-		g = graph.Layered(*depth, *width, *fanin, rng)
+		g = graph.Layered(o.depth, o.width, o.fanin, rng)
 	case "random":
-		g = graph.Random(*n, *p, rng)
+		g = graph.Random(o.n, o.p, rng)
 	case "chain":
-		g = graph.Chain(*n)
+		g = graph.Chain(o.n)
 	case "tree":
-		g = graph.FanInTree(*leaves, *fanin)
+		g = graph.FanInTree(o.leaves, o.fanin)
 	case "fanoutin":
-		g = graph.FanOutIn(*n)
+		g = graph.FanOutIn(o.n)
 	case "figure1":
 		g = graph.Figure1()
 	case "figure2":
@@ -53,18 +65,52 @@ func main() {
 	case "figure3":
 		g = graph.Figure3()
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		return fmt.Errorf("unknown kind %q", o.kind)
 	}
 	ng, err := g.Number()
 	if err != nil {
+		return err
+	}
+	switch {
+	case o.spec:
+		sc, err := scenario.FromGraph(ng, o.kind, o.seed)
+		if err != nil {
+			return err
+		}
+		out, err := sc.Spec.Marshal()
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "# %s wire-safe=%v phases=%d\n",
+			ng.Summary(), sc.WireSafe, sc.Spec.Simulation.Phases)
+	case o.mseq:
+		fmt.Fprintf(stdout, "%s\nm-sequence: %v\n", ng.Summary(), ng.MSequence())
+	default:
+		fmt.Fprint(stdout, ng.DOT(o.kind))
+		fmt.Fprintf(stderr, "# %s\n", ng.Summary())
+	}
+	return nil
+}
+
+func main() {
+	var o genOpts
+	flag.StringVar(&o.kind, "kind", "layered", "layered|random|chain|tree|fanoutin|figure1|figure2|figure3")
+	flag.IntVar(&o.n, "n", 12, "vertex count (random, chain) / width (fanoutin)")
+	flag.Float64Var(&o.p, "p", 0.15, "edge probability (random)")
+	flag.IntVar(&o.depth, "depth", 4, "layers (layered)")
+	flag.IntVar(&o.width, "width", 5, "vertices per layer (layered)")
+	flag.IntVar(&o.fanin, "fanin", 2, "predecessors per vertex (layered, tree)")
+	flag.IntVar(&o.leaves, "leaves", 8, "leaf count (tree)")
+	flag.Uint64Var(&o.seed, "seed", 1, "RNG seed")
+	flag.BoolVar(&o.mseq, "m", false, "print the m-sequence instead of DOT")
+	flag.BoolVar(&o.spec, "spec", false, "emit a runnable spec XML (seeded module population) instead of DOT")
+	flag.Parse()
+
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
-	if *mseq {
-		fmt.Printf("%s\nm-sequence: %v\n", ng.Summary(), ng.MSequence())
-		return
-	}
-	fmt.Print(ng.DOT(*kind))
-	fmt.Fprintf(os.Stderr, "# %s\n", ng.Summary())
 }

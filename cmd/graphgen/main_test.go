@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/spec"
+)
+
+// defaults mirrors the flag defaults so each test overrides only what
+// the shape under test needs.
+func defaults() genOpts {
+	return genOpts{
+		kind: "layered", n: 12, p: 0.15, depth: 4, width: 5,
+		fanin: 2, leaves: 8, seed: 1,
+	}
+}
+
+// TestSpecModePerKind: every shape flag must emit spec XML that parses,
+// builds against the registry and passes a conformance oracle run —
+// the graphgen -spec > file.xml && fusion file.xml contract.
+func TestSpecModePerKind(t *testing.T) {
+	kinds := []string{
+		"layered", "random", "chain", "tree", "fanoutin",
+		"figure1", "figure2", "figure3",
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			o := defaults()
+			o.kind = kind
+			o.spec = true
+			var stdout, stderr bytes.Buffer
+			if err := run(o, &stdout, &stderr); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			s, err := spec.Parse(bytes.NewReader(stdout.Bytes()))
+			if err != nil {
+				t.Fatalf("emitted XML does not parse: %v", err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("emitted spec invalid: %v", err)
+			}
+			if s.Name != kind {
+				t.Errorf("spec name %q, want %q", s.Name, kind)
+			}
+			sc, err := scenario.FromSpec(s)
+			if err != nil {
+				t.Fatalf("emitted spec does not build: %v", err)
+			}
+			if _, err := scenario.OracleDigests(sc); err != nil {
+				t.Fatalf("emitted spec has no runnable oracle: %v", err)
+			}
+			if !strings.Contains(stderr.String(), "wire-safe=") {
+				t.Errorf("stderr summary missing wire-safety: %q", stderr.String())
+			}
+		})
+	}
+}
+
+// TestSpecModeDeterministic: same flags, same XML.
+func TestSpecModeDeterministic(t *testing.T) {
+	o := defaults()
+	o.kind = "random"
+	o.spec = true
+	var a, b, discard bytes.Buffer
+	if err := run(o, &a, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &b, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two runs with identical flags emitted different specs")
+	}
+}
+
+// TestDOTAndMSeqModes keeps the original renderings working.
+func TestDOTAndMSeqModes(t *testing.T) {
+	o := defaults()
+	o.kind = "chain"
+	o.n = 5
+	var stdout, stderr bytes.Buffer
+	if err := run(o, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "digraph") {
+		t.Errorf("DOT output missing digraph: %q", stdout.String())
+	}
+	o.mseq = true
+	stdout.Reset()
+	if err := run(o, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "m-sequence:") {
+		t.Errorf("m-sequence output missing: %q", stdout.String())
+	}
+}
+
+// TestUnknownKind rejects bad -kind values.
+func TestUnknownKind(t *testing.T) {
+	o := defaults()
+	o.kind = "nope"
+	var discard bytes.Buffer
+	if err := run(o, &discard, &discard); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

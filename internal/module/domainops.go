@@ -1,0 +1,305 @@
+package module
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// Domain modules: the custom vertex types the example programs
+// (biosurveillance, crisis, moneylaundering) grew as closures or
+// private structs, promoted to registered modules so the same domains
+// can ship as XML specs and run through the scenario conformance
+// matrix. All three are Δ-honest (they emit state transitions only)
+// and implement core.Snapshotter, so they survive epoch handoffs and
+// durable checkpoints.
+
+// PulseHold converts discrete detection events into a boolean alarm
+// level that stays true for Hold phases after the last detection. It
+// distinguishes its inputs by payload kind, so port order does not
+// matter: Float payloads are detections (the natural output of CUSUM
+// and similar detectors), Int payloads are clock ticks (a counter
+// source) that let the pulse expire during quiet stretches. Emits
+// level transitions only.
+type PulseHold struct {
+	Hold  int
+	until int
+	state int8
+}
+
+// Step implements core.Module.
+func (p *PulseHold) Step(ctx *core.Context) {
+	detected := false
+	for port := 0; port < ctx.Ports(); port++ {
+		if v, ok := ctx.In(port); ok && v.Kind() == event.KindFloat {
+			detected = true
+		}
+	}
+	if detected {
+		p.until = ctx.Phase() + p.Hold
+	}
+	var next int8 = -1
+	if ctx.Phase() < p.until {
+		next = 1
+	}
+	if next != p.state {
+		p.state = next
+		ctx.EmitAll(event.Bool(next == 1))
+	}
+}
+
+// SnapshotState implements core.Snapshotter: the pulse expiry phase
+// and the level last reported.
+func (p *PulseHold) SnapshotState() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(p.until))
+	return append(buf, byte(p.state)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (p *PulseHold) RestoreState(state []byte) error {
+	until, used := binary.Uvarint(state)
+	if used <= 0 || len(state) != used+1 {
+		return fmt.Errorf("module: PulseHold snapshot of %d bytes", len(state))
+	}
+	p.until = int(until)
+	p.state = int8(state[used])
+	return nil
+}
+
+// Coincidence remembers the boolean state of each input port and emits
+// transitions of the condition "at least Need ports are true" — the
+// regional-alert / coordinated-case fusion vertex of the surveillance
+// and money-laundering examples.
+type Coincidence struct {
+	Need  int
+	state []bool
+	out   int8
+}
+
+// Step implements core.Module.
+func (c *Coincidence) Step(ctx *core.Context) {
+	if len(c.state) < ctx.Ports() {
+		grown := make([]bool, ctx.Ports())
+		copy(grown, c.state)
+		c.state = grown
+	}
+	changed := false
+	for p := 0; p < ctx.Ports(); p++ {
+		if v, ok := ctx.In(p); ok {
+			c.state[p] = v.Bool(false)
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	n := 0
+	for _, s := range c.state {
+		if s {
+			n++
+		}
+	}
+	var next int8 = -1
+	if n >= c.Need {
+		next = 1
+	}
+	if next != c.out {
+		c.out = next
+		ctx.EmitAll(event.Bool(next == 1))
+	}
+}
+
+// SnapshotState implements core.Snapshotter: the per-port booleans and
+// the condition last reported.
+func (c *Coincidence) SnapshotState() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(len(c.state)))
+	for _, s := range c.state {
+		if s {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return append(buf, byte(c.out)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (c *Coincidence) RestoreState(state []byte) error {
+	n, used := binary.Uvarint(state)
+	if used <= 0 {
+		return fmt.Errorf("module: Coincidence snapshot: truncated count")
+	}
+	state = state[used:]
+	if uint64(len(state)) != n+1 {
+		return fmt.Errorf("module: Coincidence snapshot claims %d ports in %d bytes", n, len(state))
+	}
+	if n == 0 {
+		c.state = nil
+	} else {
+		ports := make([]bool, n)
+		for i := range ports {
+			ports[i] = state[i] != 0
+		}
+		c.state = ports
+	}
+	c.out = int8(state[n])
+	return nil
+}
+
+// BelowThreshold emits Bool transitions of the condition "value below
+// Level" — Threshold with the comparison inverted (the utility
+// example's load-collapse predicate), with the same optional
+// hysteresis band.
+type BelowThreshold struct {
+	Level      float64
+	Hysteresis float64
+	state      int8 // 0 unknown, 1 below, -1 above
+}
+
+// Step implements core.Module.
+func (t *BelowThreshold) Step(ctx *core.Context) {
+	v, ok := ctx.FirstIn()
+	if !ok {
+		return
+	}
+	x, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	var next int8
+	switch t.state {
+	case 1:
+		if x > t.Level+t.Hysteresis {
+			next = -1
+		} else {
+			next = 1
+		}
+	case -1:
+		if x < t.Level-t.Hysteresis {
+			next = 1
+		} else {
+			next = -1
+		}
+	default:
+		if x < t.Level {
+			next = 1
+		} else {
+			next = -1
+		}
+	}
+	if next != t.state {
+		t.state = next
+		ctx.EmitAll(event.Bool(next == 1))
+	}
+}
+
+// SnapshotState implements core.Snapshotter: the band last reported.
+func (t *BelowThreshold) SnapshotState() ([]byte, error) {
+	return []byte{byte(t.state)}, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (t *BelowThreshold) RestoreState(state []byte) error {
+	if len(state) != 1 {
+		return fmt.Errorf("module: BelowThreshold snapshot of %d bytes, want 1", len(state))
+	}
+	t.state = int8(state[0])
+	return nil
+}
+
+// HashSink folds every received (phase, value) pair into a running
+// FNV-1a fingerprint. It is the conformance suite's sink of choice: a
+// 16-byte state that summarizes an arbitrarily long history
+// bit-exactly, so any divergence between two executions of the same
+// scenario — sequential oracle, partitioned, rebalanced, replayed —
+// shows up as a different Sum, and the state is trivially
+// checkpointable for durable runs.
+type HashSink struct {
+	Count int64
+	sum   uint64
+}
+
+// Step implements core.Module.
+func (s *HashSink) Step(ctx *core.Context) {
+	for p := 0; p < ctx.Ports(); p++ {
+		v, ok := ctx.In(p)
+		if !ok {
+			continue
+		}
+		h := fnv.New64a()
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[:8], uint64(ctx.Phase()))
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(p))
+		h.Write(hdr[:])
+		h.Write(appendValue(nil, v))
+		if s.Count == 0 {
+			s.sum = 0xcbf29ce484222325
+		}
+		s.sum = (s.sum ^ h.Sum64()) * 0x100000001b3
+		s.Count++
+	}
+}
+
+// Sum returns the running fingerprint (0 before any input).
+func (s *HashSink) Sum() uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.sum
+}
+
+// SnapshotState implements core.Snapshotter.
+func (s *HashSink) SnapshotState() ([]byte, error) {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, uint64(s.Count))
+	binary.LittleEndian.PutUint64(buf[8:], s.sum)
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *HashSink) RestoreState(state []byte) error {
+	if len(state) != 16 {
+		return fmt.Errorf("module: HashSink snapshot of %d bytes, want 16", len(state))
+	}
+	s.Count = int64(binary.LittleEndian.Uint64(state))
+	s.sum = binary.LittleEndian.Uint64(state[8:])
+	return nil
+}
+
+func registerDomainOps(r *Registry) {
+	r.Register("pulse-hold", func(p Params) (core.Module, error) {
+		hold, err := p.Int("hold", 10)
+		if err != nil {
+			return nil, err
+		}
+		if hold < 1 {
+			return nil, fmt.Errorf("pulse-hold hold %d (want >= 1)", hold)
+		}
+		return &PulseHold{Hold: hold}, nil
+	})
+	r.Register("coincidence", func(p Params) (core.Module, error) {
+		need, err := p.Int("need", 2)
+		if err != nil {
+			return nil, err
+		}
+		if need < 1 {
+			return nil, fmt.Errorf("coincidence need %d (want >= 1)", need)
+		}
+		return &Coincidence{Need: need}, nil
+	})
+	r.Register("below-threshold", func(p Params) (core.Module, error) {
+		level, err := p.Float("level", 0)
+		if err != nil {
+			return nil, err
+		}
+		hyst, err := p.Float("hysteresis", 0)
+		if err != nil {
+			return nil, err
+		}
+		return &BelowThreshold{Level: level, Hysteresis: hyst}, nil
+	})
+	r.Register("hash-sink", func(p Params) (core.Module, error) { return &HashSink{}, nil })
+}

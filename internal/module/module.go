@@ -151,5 +151,6 @@ func registerBuiltins(r *Registry) {
 	registerStatsOps(r)
 	registerStreamOps(r)
 	registerSurveillance(r)
+	registerDomainOps(r)
 	registerSinks(r)
 }

@@ -1,0 +1,317 @@
+package module
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// TestRegistryAllConstructibleWithDefaults: every registered module
+// type must build from a bare spec <vertex> — no params at all — so a
+// scenario fuzzer (or a hand-written spec) can instantiate any name
+// the registry advertises without knowing its parameter schema.
+func TestRegistryAllConstructibleWithDefaults(t *testing.T) {
+	reg := NewRegistry()
+	names := reg.Names()
+	if len(names) < 30 {
+		t.Fatalf("registry has %d types, expected the full library (>= 30): %v", len(names), names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := reg.Build(name, Params{})
+			if err != nil {
+				t.Fatalf("Build(%q, {}) = %v", name, err)
+			}
+			if m == nil {
+				t.Fatalf("Build(%q, {}) returned nil module", name)
+			}
+		})
+	}
+}
+
+// TestRegistryDomainOpsRegistered pins the example-domain promotions:
+// the vertex types the biosurveillance / crisis / moneylaundering /
+// energypricing specs need must be registered under these names.
+func TestRegistryDomainOpsRegistered(t *testing.T) {
+	reg := NewRegistry()
+	cases := []struct {
+		name   string
+		params Params
+		want   interface{}
+	}{
+		{"pulse-hold", Params{"hold": "6"}, &PulseHold{}},
+		{"coincidence", Params{"need": "3"}, &Coincidence{}},
+		{"below-threshold", Params{"level": "2.5", "hysteresis": "0.5"}, &BelowThreshold{}},
+		{"hash-sink", Params{}, &HashSink{}},
+	}
+	for _, tc := range cases {
+		m, err := reg.Build(tc.name, tc.params)
+		if err != nil {
+			t.Fatalf("Build(%q) = %v", tc.name, err)
+		}
+		switch tc.name {
+		case "pulse-hold":
+			if m.(*PulseHold).Hold != 6 {
+				t.Errorf("pulse-hold hold = %d, want 6", m.(*PulseHold).Hold)
+			}
+		case "coincidence":
+			if m.(*Coincidence).Need != 3 {
+				t.Errorf("coincidence need = %d, want 3", m.(*Coincidence).Need)
+			}
+		case "below-threshold":
+			bt := m.(*BelowThreshold)
+			if bt.Level != 2.5 || bt.Hysteresis != 0.5 {
+				t.Errorf("below-threshold = %+v, want level 2.5 hysteresis 0.5", bt)
+			}
+		}
+	}
+	// Invalid params are rejected, not defaulted.
+	if _, err := reg.Build("pulse-hold", Params{"hold": "0"}); err == nil {
+		t.Error("pulse-hold hold=0 accepted")
+	}
+	if _, err := reg.Build("coincidence", Params{"need": "0"}); err == nil {
+		t.Error("coincidence need=0 accepted")
+	}
+}
+
+// TestRegistrySnapshotterCoverage pins which registered types are
+// wire-safe (implement core.Snapshotter) — the set the durable (WAL)
+// conformance arm may draw from. Shrinking this list silently would
+// shrink durable coverage, so it is explicit.
+func TestRegistrySnapshotterCoverage(t *testing.T) {
+	wireSafe := []string{
+		"alert-sink", "and", "below-threshold", "change-detector",
+		"clamp", "coincidence", "collector", "counter", "counting-sink",
+		"deadband", "debounce", "ext-relay", "fusion-count", "gate",
+		"hash-sink", "integrator", "lag", "latest-sink", "linear", "max",
+		"min", "moving-average", "multi-collector", "or", "pair-join",
+		"pulse-hold", "random-walk", "rate", "sampler", "sine",
+		"smoother", "spike", "sum", "threshold", "zscore-detector",
+	}
+	reg := NewRegistry()
+	for _, name := range wireSafe {
+		m, err := reg.Build(name, Params{})
+		if err != nil {
+			t.Fatalf("Build(%q) = %v", name, err)
+		}
+		if _, ok := m.(core.Snapshotter); !ok {
+			t.Errorf("%q does not implement core.Snapshotter", name)
+		}
+	}
+}
+
+// TestValueCodecRoundTrip: the private value codec underlying the new
+// snapshots (and HashSink's canonical form) must round-trip every kind
+// bit-exactly and self-delimit in a concatenated stream.
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []event.Value{
+		event.None(),
+		event.Bool(true),
+		event.Bool(false),
+		event.Int(-42),
+		event.Int(1 << 40),
+		event.Float(3.14159),
+		event.Float(-0.0),
+		event.String(""),
+		event.String("grid/ne"),
+		event.Vector(nil),
+		event.Vector([]float64{1, -2.5, 1e-300}),
+	}
+	var buf []byte
+	for _, v := range vals {
+		buf = appendValue(buf, v)
+	}
+	rest := buf
+	for i, want := range vals {
+		var got event.Value
+		var err error
+		got, rest, err = readValue(rest)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got.Kind() != want.Kind() || !got.Equal(want) {
+			t.Fatalf("value %d: got %v (%v), want %v (%v)", i, got, got.Kind(), want, want.Kind())
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decoding all values", len(rest))
+	}
+	// Truncations error rather than mis-decode.
+	for cut := 0; cut < len(buf); cut++ {
+		data := buf[:cut]
+		for len(data) > 0 {
+			var err error
+			_, data, err = readValue(data)
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// boolSeries converts a float series into a flapping boolean stream.
+func boolSeries(n int) []event.Value {
+	out := make([]event.Value, n)
+	for i, v := range snapSeries(n) {
+		f, _ := v.AsFloat()
+		out[i] = event.Bool(f > 0)
+	}
+	return out
+}
+
+// TestPlainModulesMigrateMidStream extends the mid-stream handoff
+// acceptance (see windowsnap_test.go) to the plain-state operators
+// that gained Snapshotter in this round: run to a cut point, snapshot,
+// restore into a fresh instance, drive on — downstream emissions must
+// be bit-identical to an uninterrupted run, and truncated snapshots
+// must be refused.
+func TestPlainModulesMigrateMidStream(t *testing.T) {
+	const phases, cut = 90, 41
+	floats := snapSeries(phases)
+	bools := boolSeries(phases)
+	cases := []struct {
+		name   string
+		series []event.Value
+		fresh  func() core.Module
+	}{
+		{"rate", floats, func() core.Module { return &Rate{} }},
+		{"integrator", floats, func() core.Module { return &Integrator{} }},
+		{"lag", floats, func() core.Module { return &Lag{Depth: 7} }},
+		{"sampler", floats, func() core.Module { return &Sampler{Every: 3} }},
+		{"clamp", floats, func() core.Module { return &Clamp{Lo: -20, Hi: 20} }},
+		{"change-detector", floats, func() core.Module { return &ChangeDetector{} }},
+		{"deadband", floats, func() core.Module { return &Deadband{Band: 4} }},
+		{"debounce", bools, func() core.Module { return &Debounce{Hold: 3} }},
+		{"sum", floats, func() core.Module { return &Sum{} }},
+		{"max", floats, func() core.Module { return &MaxOf{} }},
+		{"min", floats, func() core.Module { return &MinOf{} }},
+		{"gate-and", bools, func() core.Module { return &Gate{Mode: "and"} }},
+		{"below-threshold", floats, func() core.Module { return &BelowThreshold{Level: 0, Hysteresis: 2} }},
+		{"coincidence", bools, func() core.Module { return &Coincidence{Need: 1} }},
+		{"collector", floats, func() core.Module { return &Collector{} }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.fresh()
+			refOut := drive(ref, tc.series, false)
+
+			orig := tc.fresh()
+			var d core.Driver
+			pre := make([][]core.Emission, phases)
+			for i := 0; i < cut; i++ {
+				emits := d.Exec(orig, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: tc.series[i]}})
+				pre[i] = append([]core.Emission(nil), emits...)
+			}
+			state, err := orig.(core.Snapshotter).SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			migrated := tc.fresh()
+			if err := migrated.(core.Snapshotter).RestoreState(state); err != nil {
+				t.Fatal(err)
+			}
+			post := driveFrom(migrated, tc.series, cut)
+			combined := make([][]core.Emission, phases)
+			copy(combined, pre[:cut])
+			copy(combined[cut:], post[cut:])
+			emissionsEqual(t, tc.name, refOut, combined)
+
+			if len(state) > 0 {
+				if err := tc.fresh().(core.Snapshotter).RestoreState(state[:len(state)-1]); err == nil {
+					t.Error("truncated snapshot accepted")
+				}
+			}
+		})
+	}
+}
+
+// TestHashSinkFingerprint: order-sensitive, state-exact, and
+// checkpointable — the properties the conformance harness leans on.
+func TestHashSinkFingerprint(t *testing.T) {
+	series := snapSeries(60)
+	run := func(vals []event.Value) *HashSink {
+		s := &HashSink{}
+		var d core.Driver
+		for i, v := range vals {
+			d.Exec(s, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: v}})
+		}
+		return s
+	}
+	a, b := run(series), run(series)
+	if a.Sum() != b.Sum() || a.Count != b.Count {
+		t.Fatalf("identical streams fingerprint differently: %x/%d vs %x/%d", a.Sum(), a.Count, b.Sum(), b.Count)
+	}
+	if a.Count != int64(len(series)) {
+		t.Fatalf("count = %d, want %d", a.Count, len(series))
+	}
+	// Any reordering changes the sum.
+	swapped := append([]event.Value(nil), series...)
+	swapped[3], swapped[4] = swapped[4], swapped[3]
+	if run(swapped).Sum() == a.Sum() {
+		t.Error("swapping two values did not change the fingerprint")
+	}
+	// Empty sink reports 0.
+	if (&HashSink{}).Sum() != 0 {
+		t.Error("empty HashSink Sum != 0")
+	}
+	// Snapshot mid-stream and continue: identical to uninterrupted.
+	half := &HashSink{}
+	var d core.Driver
+	for i := 0; i < 30; i++ {
+		d.Exec(half, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: series[i]}})
+	}
+	state, err := half.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := &HashSink{}
+	if err := resumed.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < len(series); i++ {
+		d.Exec(resumed, 1, i+1, 1, 1, []core.PortIn{{Port: 0, Val: series[i]}})
+	}
+	if resumed.Sum() != a.Sum() {
+		t.Error("snapshot/restore mid-stream changed the fingerprint")
+	}
+}
+
+// TestPulseHoldKindContract: Float inputs are detections, Int inputs
+// are clock ticks; the pulse expires Hold phases after the last
+// detection even when only the clock is ticking.
+func TestPulseHoldKindContract(t *testing.T) {
+	p := &PulseHold{Hold: 3}
+	var d core.Driver
+	type step struct {
+		phase  int
+		in     []core.PortIn
+		expect int // -1 none, 0 false, 1 true
+	}
+	steps := []step{
+		{1, []core.PortIn{{Port: 1, Val: event.Int(1)}}, 0},                                 // clock only: level reported false
+		{2, []core.PortIn{{Port: 0, Val: event.Float(9)}}, 1},                               // detection: pulse on
+		{3, []core.PortIn{{Port: 1, Val: event.Int(3)}}, -1},                                // within hold: no transition
+		{4, []core.PortIn{{Port: 1, Val: event.Int(4)}}, -1},                                // still within hold
+		{5, []core.PortIn{{Port: 1, Val: event.Int(5)}}, 0},                                 // expired: pulse off
+		{6, []core.PortIn{{Port: 0, Val: event.Float(2)}, {Port: 1, Val: event.Int(6)}}, 1}, // re-trigger
+	}
+	for _, s := range steps {
+		emits := d.Exec(p, 1, s.phase, 2, 1, s.in)
+		switch s.expect {
+		case -1:
+			if len(emits) != 0 {
+				t.Fatalf("phase %d: unexpected emission %v", s.phase, emits)
+			}
+		default:
+			if len(emits) != 1 {
+				t.Fatalf("phase %d: %d emissions, want 1", s.phase, len(emits))
+			}
+			if got := emits[0].Val.Bool(false); got != (s.expect == 1) {
+				t.Fatalf("phase %d: level %v, want %v", s.phase, got, s.expect == 1)
+			}
+		}
+	}
+}

@@ -1,0 +1,595 @@
+package module
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/event"
+)
+
+// This file extends Snapshotter coverage (see snapshot.go for the
+// contract) to the rest of the module library's plain-state types, so
+// scenario fuzzing can draw durable, migratable graphs from most of
+// the registry. Stateless modules (pure functions of phase and input)
+// snapshot to nil; modules whose state includes event.Values serialize
+// them through the compact value codec below. The statistical sketch
+// modules (CUSUM, P², OLS, AR(1), k-means, drift histograms) stay
+// reference-only: their accumulators have no raw-state serialization
+// in the stats layer yet, and an approximate rebuild would break the
+// bit-exactness contract.
+
+// appendValue appends a self-delimiting canonical encoding of v: one
+// kind byte, then the payload. The encoding is total over the value
+// kinds and bit-faithful for floats, so it doubles as the
+// fingerprint-canonical form HashSink folds over.
+func appendValue(dst []byte, v event.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case event.KindNone:
+	case event.KindBool:
+		if v.Bool(false) {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case event.KindInt:
+		i, _ := v.AsInt()
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(i))
+	case event.KindFloat:
+		f, _ := v.AsFloat()
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	case event.KindString:
+		s, _ := v.AsString()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	case event.KindVector:
+		vec, _ := v.AsVector()
+		dst = binary.AppendUvarint(dst, uint64(len(vec)))
+		for _, f := range vec {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+	}
+	return dst
+}
+
+// readValue decodes one appendValue encoding, returning the value and
+// the remaining bytes.
+func readValue(data []byte) (event.Value, []byte, error) {
+	if len(data) == 0 {
+		return event.Value{}, nil, fmt.Errorf("module: value snapshot: missing kind")
+	}
+	kind := event.Kind(data[0])
+	data = data[1:]
+	switch kind {
+	case event.KindNone:
+		return event.None(), data, nil
+	case event.KindBool:
+		if len(data) < 1 {
+			return event.Value{}, nil, fmt.Errorf("module: value snapshot: truncated bool")
+		}
+		return event.Bool(data[0] != 0), data[1:], nil
+	case event.KindInt:
+		if len(data) < 8 {
+			return event.Value{}, nil, fmt.Errorf("module: value snapshot: truncated int")
+		}
+		return event.Int(int64(binary.LittleEndian.Uint64(data))), data[8:], nil
+	case event.KindFloat:
+		if len(data) < 8 {
+			return event.Value{}, nil, fmt.Errorf("module: value snapshot: truncated float")
+		}
+		return event.Float(math.Float64frombits(binary.LittleEndian.Uint64(data))), data[8:], nil
+	case event.KindString:
+		n, used := binary.Uvarint(data)
+		if used <= 0 || uint64(len(data)-used) < n {
+			return event.Value{}, nil, fmt.Errorf("module: value snapshot: truncated string")
+		}
+		data = data[used:]
+		return event.String(string(data[:n])), data[n:], nil
+	case event.KindVector:
+		n, used := binary.Uvarint(data)
+		if used <= 0 || uint64(len(data)-used) < n*8 {
+			return event.Value{}, nil, fmt.Errorf("module: value snapshot: truncated vector")
+		}
+		data = data[used:]
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return event.Vector(vec), data[n*8:], nil
+	default:
+		return event.Value{}, nil, fmt.Errorf("module: value snapshot: unknown kind %d", kind)
+	}
+}
+
+// appendState serializes a port memory: port count, then per port the
+// seen flag and the remembered value.
+func (m *portMemory) appendState(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.vals)))
+	for i := range m.vals {
+		if m.seen[i] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendValue(dst, m.vals[i])
+	}
+	return dst
+}
+
+// readState restores a port memory, returning the remaining bytes.
+func (m *portMemory) readState(data []byte) ([]byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("module: port-memory snapshot: truncated count")
+	}
+	data = data[used:]
+	if n == 0 {
+		m.vals, m.seen = nil, nil
+		return data, nil
+	}
+	vals := make([]event.Value, n)
+	seen := make([]bool, n)
+	for i := uint64(0); i < n; i++ {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("module: port-memory snapshot: truncated port %d", i)
+		}
+		seen[i] = data[0] != 0
+		var err error
+		vals[i], data, err = readValue(data[1:])
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.vals, m.seen = vals, seen
+	return data, nil
+}
+
+// expectEmpty is the shared trailing-bytes check of the fixed-shape
+// restores below.
+func expectEmpty(rest []byte, who string) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("module: %s snapshot: %d trailing bytes", who, len(rest))
+	}
+	return nil
+}
+
+// --- stateless modules: pure functions of (seed, phase, input) -------
+
+// SnapshotState implements core.Snapshotter; Counter is stateless.
+func (s *Counter) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements core.Snapshotter.
+func (s *Counter) RestoreState(state []byte) error { return expectEmpty(state, "Counter") }
+
+// SnapshotState implements core.Snapshotter; Sine is a pure function
+// of (seed, phase).
+func (s *Sine) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements core.Snapshotter.
+func (s *Sine) RestoreState(state []byte) error { return expectEmpty(state, "Sine") }
+
+// SnapshotState implements core.Snapshotter; Spike is a pure function
+// of (seed, phase).
+func (s *Spike) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements core.Snapshotter.
+func (s *Spike) RestoreState(state []byte) error { return expectEmpty(state, "Spike") }
+
+// SnapshotState implements core.Snapshotter; ExtRelay is stateless.
+func (s *ExtRelay) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements core.Snapshotter.
+func (s *ExtRelay) RestoreState(state []byte) error { return expectEmpty(state, "ExtRelay") }
+
+// SnapshotState implements core.Snapshotter; Linear is stateless.
+func (l *Linear) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements core.Snapshotter.
+func (l *Linear) RestoreState(state []byte) error { return expectEmpty(state, "Linear") }
+
+// SnapshotState implements core.Snapshotter; PairJoin is stateless.
+func (j PairJoin) SnapshotState() ([]byte, error) { return nil, nil }
+
+// RestoreState implements core.Snapshotter.
+func (j PairJoin) RestoreState(state []byte) error { return expectEmpty(state, "PairJoin") }
+
+// --- plain-field stream operators ------------------------------------
+
+// SnapshotState implements core.Snapshotter: the running sum.
+func (m *Integrator) SnapshotState() ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(m.sum)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (m *Integrator) RestoreState(state []byte) error {
+	if len(state) != 8 {
+		return fmt.Errorf("module: Integrator snapshot of %d bytes, want 8", len(state))
+	}
+	m.sum = math.Float64frombits(binary.LittleEndian.Uint64(state))
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the last observation.
+func (r *Rate) SnapshotState() ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(r.last))
+	if r.has {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (r *Rate) RestoreState(state []byte) error {
+	if len(state) != 9 {
+		return fmt.Errorf("module: Rate snapshot of %d bytes, want 9", len(state))
+	}
+	r.last = math.Float64frombits(binary.LittleEndian.Uint64(state))
+	r.has = state[8] != 0
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the last forwarded value.
+func (d *Deadband) SnapshotState() ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(d.last))
+	if d.has {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (d *Deadband) RestoreState(state []byte) error {
+	if len(state) != 9 {
+		return fmt.Errorf("module: Deadband snapshot of %d bytes, want 9", len(state))
+	}
+	d.last = math.Float64frombits(binary.LittleEndian.Uint64(state))
+	d.has = state[8] != 0
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the pending band, its run
+// length and the band last emitted.
+func (d *Debounce) SnapshotState() ([]byte, error) {
+	buf := []byte{byte(d.pending)}
+	buf = binary.AppendUvarint(buf, uint64(d.count))
+	return append(buf, byte(d.emitted)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (d *Debounce) RestoreState(state []byte) error {
+	if len(state) < 2 {
+		return fmt.Errorf("module: Debounce snapshot of %d bytes", len(state))
+	}
+	count, used := binary.Uvarint(state[1:])
+	if used <= 0 || len(state) != 1+used+1 {
+		return fmt.Errorf("module: Debounce snapshot of %d bytes", len(state))
+	}
+	d.pending = int8(state[0])
+	d.count = int(count)
+	d.emitted = int8(state[1+used])
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the observation counter.
+func (s *Sampler) SnapshotState() ([]byte, error) {
+	return binary.AppendUvarint(nil, uint64(s.seen)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *Sampler) RestoreState(state []byte) error {
+	seen, used := binary.Uvarint(state)
+	if used <= 0 || len(state) != used {
+		return fmt.Errorf("module: Sampler snapshot of %d bytes", len(state))
+	}
+	s.seen = int(seen)
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the last forwarded value.
+func (c *Clamp) SnapshotState() ([]byte, error) {
+	buf := appendValue(nil, c.last)
+	if c.has {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (c *Clamp) RestoreState(state []byte) error {
+	v, rest, err := readValue(state)
+	if err != nil {
+		return fmt.Errorf("module: Clamp snapshot: %w", err)
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("module: Clamp snapshot: %d trailing bytes, want 1", len(rest))
+	}
+	c.last = v
+	c.has = rest[0] != 0
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the last forwarded value.
+func (c *ChangeDetector) SnapshotState() ([]byte, error) {
+	buf := appendValue(nil, c.last)
+	if c.has {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (c *ChangeDetector) RestoreState(state []byte) error {
+	v, rest, err := readValue(state)
+	if err != nil {
+		return fmt.Errorf("module: ChangeDetector snapshot: %w", err)
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("module: ChangeDetector snapshot: %d trailing bytes, want 1", len(rest))
+	}
+	c.last = v
+	c.has = rest[0] != 0
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the delay ring in
+// insertion order plus the observation count.
+func (l *Lag) SnapshotState() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(l.n))
+	buf = binary.AppendUvarint(buf, uint64(len(l.ring)))
+	for _, v := range l.ring {
+		buf = appendValue(buf, v)
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (l *Lag) RestoreState(state []byte) error {
+	n, used := binary.Uvarint(state)
+	if used <= 0 {
+		return fmt.Errorf("module: Lag snapshot: truncated counter")
+	}
+	state = state[used:]
+	size, used := binary.Uvarint(state)
+	if used <= 0 {
+		return fmt.Errorf("module: Lag snapshot: truncated ring size")
+	}
+	state = state[used:]
+	var ring []event.Value
+	if size > 0 {
+		ring = make([]event.Value, size)
+		for i := range ring {
+			var err error
+			ring[i], state, err = readValue(state)
+			if err != nil {
+				return fmt.Errorf("module: Lag snapshot: %w", err)
+			}
+		}
+	}
+	if err := expectEmpty(state, "Lag"); err != nil {
+		return err
+	}
+	l.n = int(n)
+	l.ring = ring
+	return nil
+}
+
+// --- port-memory operators -------------------------------------------
+
+// SnapshotState implements core.Snapshotter: the per-port memory.
+func (s *Sum) SnapshotState() ([]byte, error) { return s.mem.appendState(nil), nil }
+
+// RestoreState implements core.Snapshotter.
+func (s *Sum) RestoreState(state []byte) error {
+	rest, err := s.mem.readState(state)
+	if err != nil {
+		return fmt.Errorf("module: Sum snapshot: %w", err)
+	}
+	return expectEmpty(rest, "Sum")
+}
+
+// SnapshotState implements core.Snapshotter: the per-port memory and
+// the maximum last emitted.
+func (m *MaxOf) SnapshotState() ([]byte, error) {
+	return appendValue(m.mem.appendState(nil), m.last), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (m *MaxOf) RestoreState(state []byte) error {
+	rest, err := m.mem.readState(state)
+	if err != nil {
+		return fmt.Errorf("module: MaxOf snapshot: %w", err)
+	}
+	last, rest, err := readValue(rest)
+	if err != nil {
+		return fmt.Errorf("module: MaxOf snapshot: %w", err)
+	}
+	if err := expectEmpty(rest, "MaxOf"); err != nil {
+		return err
+	}
+	m.last = last
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the per-port memory and
+// the minimum last emitted.
+func (m *MinOf) SnapshotState() ([]byte, error) {
+	return appendValue(m.mem.appendState(nil), m.last), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (m *MinOf) RestoreState(state []byte) error {
+	rest, err := m.mem.readState(state)
+	if err != nil {
+		return fmt.Errorf("module: MinOf snapshot: %w", err)
+	}
+	last, rest, err := readValue(rest)
+	if err != nil {
+		return fmt.Errorf("module: MinOf snapshot: %w", err)
+	}
+	if err := expectEmpty(rest, "MinOf"); err != nil {
+		return err
+	}
+	m.last = last
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the per-port memory and
+// the condition last reported. Mode is configuration, not state.
+func (g *Gate) SnapshotState() ([]byte, error) {
+	return append(g.mem.appendState(nil), byte(g.state)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (g *Gate) RestoreState(state []byte) error {
+	rest, err := g.mem.readState(state)
+	if err != nil {
+		return fmt.Errorf("module: Gate snapshot: %w", err)
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("module: Gate snapshot: %d trailing bytes, want 1", len(rest))
+	}
+	g.state = int8(rest[0])
+	return nil
+}
+
+// --- sinks ------------------------------------------------------------
+
+// appendHistory serializes an event history.
+func appendHistory(dst []byte, h *event.History) []byte {
+	dst = binary.AppendUvarint(dst, uint64(h.Len()))
+	for i := range h.Phases {
+		dst = binary.AppendUvarint(dst, uint64(h.Phases[i]))
+		dst = appendValue(dst, h.Values[i])
+	}
+	return dst
+}
+
+// readHistory restores an event history, returning the remaining bytes.
+func readHistory(data []byte) (event.History, []byte, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return event.History{}, nil, fmt.Errorf("module: history snapshot: truncated count")
+	}
+	data = data[used:]
+	var h event.History
+	for i := uint64(0); i < n; i++ {
+		p, used := binary.Uvarint(data)
+		if used <= 0 {
+			return event.History{}, nil, fmt.Errorf("module: history snapshot: truncated phase %d", i)
+		}
+		data = data[used:]
+		v, rest, err := readValue(data)
+		if err != nil {
+			return event.History{}, nil, err
+		}
+		data = rest
+		h.Append(event.Phase(p), v)
+	}
+	return h, data, nil
+}
+
+// SnapshotState implements core.Snapshotter: the recorded history.
+func (c *Collector) SnapshotState() ([]byte, error) { return appendHistory(nil, &c.hist), nil }
+
+// RestoreState implements core.Snapshotter.
+func (c *Collector) RestoreState(state []byte) error {
+	h, rest, err := readHistory(state)
+	if err != nil {
+		return fmt.Errorf("module: Collector snapshot: %w", err)
+	}
+	if err := expectEmpty(rest, "Collector"); err != nil {
+		return err
+	}
+	c.hist = h
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: every port's history.
+func (c *MultiCollector) SnapshotState() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(len(c.hists)))
+	for i := range c.hists {
+		buf = appendHistory(buf, &c.hists[i])
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (c *MultiCollector) RestoreState(state []byte) error {
+	n, used := binary.Uvarint(state)
+	if used <= 0 {
+		return fmt.Errorf("module: MultiCollector snapshot: truncated count")
+	}
+	state = state[used:]
+	var hists []event.History
+	if n > 0 {
+		hists = make([]event.History, n)
+		for i := range hists {
+			var err error
+			hists[i], state, err = readHistory(state)
+			if err != nil {
+				return fmt.Errorf("module: MultiCollector snapshot: %w", err)
+			}
+		}
+	}
+	if err := expectEmpty(state, "MultiCollector"); err != nil {
+		return err
+	}
+	c.hists = hists
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: both counters.
+func (s *CountingSink) SnapshotState() ([]byte, error) {
+	buf := binary.LittleEndian.AppendUint64(nil, uint64(s.Executions))
+	return binary.LittleEndian.AppendUint64(buf, uint64(s.Messages)), nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *CountingSink) RestoreState(state []byte) error {
+	if len(state) != 16 {
+		return fmt.Errorf("module: CountingSink snapshot of %d bytes, want 16", len(state))
+	}
+	s.Executions = int64(binary.LittleEndian.Uint64(state))
+	s.Messages = int64(binary.LittleEndian.Uint64(state[8:]))
+	return nil
+}
+
+// SnapshotState implements core.Snapshotter: the latest observation.
+func (s *LatestSink) SnapshotState() ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(s.Phase))
+	buf = appendValue(buf, s.Val)
+	if s.Seen {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *LatestSink) RestoreState(state []byte) error {
+	p, used := binary.Uvarint(state)
+	if used <= 0 {
+		return fmt.Errorf("module: LatestSink snapshot: truncated phase")
+	}
+	v, rest, err := readValue(state[used:])
+	if err != nil {
+		return fmt.Errorf("module: LatestSink snapshot: %w", err)
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("module: LatestSink snapshot: %d trailing bytes, want 1", len(rest))
+	}
+	s.Phase = int(p)
+	s.Val = v
+	s.Seen = rest[0] != 0
+	return nil
+}

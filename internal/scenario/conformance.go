@@ -1,0 +1,395 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/event"
+	"repro/internal/evlog"
+	"repro/internal/evlog/replay"
+	"repro/internal/module"
+	"repro/internal/spec"
+)
+
+// The conformance matrix: every scenario is executed by the sequential
+// oracle once, then by each arm below, and every arm's sink state must
+// be bit-identical to the oracle's. The arms cover the axes the
+// runtime promises equivalence over — partitioning (static vs
+// rebalanced plans), transport (in-process channels vs loopback TCP),
+// durability (WAL + transient-crash recovery) and record/replay
+// (re-driving the committed epoch schedule from the event log alone).
+
+// Arm names one execution configuration of the matrix.
+type Arm string
+
+// The matrix arms.
+const (
+	// ArmStaticChan is distrib.Run with a single static plan over
+	// in-process channel links.
+	ArmStaticChan Arm = "static/chan"
+	// ArmStaticTCP is the static plan over real loopback TCP.
+	ArmStaticTCP Arm = "static/tcp"
+	// ArmRebalChan forces epoch switches mid-run over channel links.
+	ArmRebalChan Arm = "rebal/chan"
+	// ArmRebalTCP forces epoch switches over loopback TCP.
+	ArmRebalTCP Arm = "rebal/tcp"
+	// ArmReplay records a coordinated run into an event log, then
+	// re-drives the committed schedule from the log alone and requires
+	// the replayed sinks to match the oracle too.
+	ArmReplay Arm = "replay"
+	// ArmDurable runs the WAL-backed coordinated protocol with a
+	// transient link crash injected mid-run; the flock must recover
+	// and still finish oracle-identical. Requires a wire-safe scenario
+	// (every module a core.Snapshotter); skipped otherwise.
+	ArmDurable Arm = "durable"
+)
+
+// AllArms returns the full matrix in execution order.
+func AllArms() []Arm {
+	return []Arm{ArmStaticChan, ArmStaticTCP, ArmRebalChan, ArmRebalTCP, ArmReplay, ArmDurable}
+}
+
+// ParseArms resolves a comma-separated arm list ("all" or names like
+// "static/chan,replay").
+func ParseArms(s string) ([]Arm, error) {
+	if s == "" || s == "all" {
+		return AllArms(), nil
+	}
+	known := make(map[Arm]bool)
+	for _, a := range AllArms() {
+		known[a] = true
+	}
+	var arms []Arm
+	for _, part := range strings.Split(s, ",") {
+		a := Arm(strings.TrimSpace(part))
+		if !known[a] {
+			return nil, fmt.Errorf("scenario: unknown arm %q (known: %v)", a, AllArms())
+		}
+		arms = append(arms, a)
+	}
+	return arms, nil
+}
+
+// ArmResult is one arm's outcome.
+type ArmResult struct {
+	Arm Arm
+	// Skipped carries the reason the arm did not run (e.g. the durable
+	// arm on a non-wire-safe scenario); empty for executed arms.
+	Skipped string
+	// Err is the failure: a run error, a digest divergence from the
+	// oracle, or a replay mismatch.
+	Err error
+	// Rebalances and Recoveries count the epoch switches and crash
+	// recoveries the arm performed.
+	Rebalances int
+	Recoveries int
+	// Recorder holds the arm's event log when the arm recorded one
+	// (replay and durable arms); failing scenarios dump it.
+	Recorder *evlog.Recorder
+}
+
+// Report is a scenario's full matrix outcome.
+type Report struct {
+	Scenario *Scenario
+	Oracle   map[string]string
+	Results  []ArmResult
+}
+
+// Err returns the first arm failure, or nil when every executed arm
+// matched the oracle.
+func (r *Report) Err() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return fmt.Errorf("arm %s: %w", res.Arm, res.Err)
+		}
+	}
+	return nil
+}
+
+// build materializes the scenario against a fresh registry, with the
+// planner cost vector.
+func build(s *spec.Spec) (*spec.Built, []float64, error) {
+	b, err := s.Build(module.NewRegistry())
+	if err != nil {
+		return nil, nil, err
+	}
+	costs, err := s.Costs(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, costs, nil
+}
+
+// OracleDigests runs the scenario on the sequential oracle and returns
+// its per-sink digests.
+func OracleDigests(sc *Scenario) (map[string]string, error) {
+	b, _, err := build(sc.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := baseline.Sequential(b.Graph, b.Modules, make([][]core.ExtInput, sc.Spec.Simulation.Phases)); err != nil {
+		return nil, fmt.Errorf("sequential oracle: %w", err)
+	}
+	d := Digests(b)
+	if len(d) == 0 {
+		return nil, fmt.Errorf("scenario has no digestable sink (need collector/multi-collector/latest-sink/counting-sink/alert-sink/hash-sink)")
+	}
+	return d, nil
+}
+
+// Digests extracts a canonical string digest of every recording module
+// in the built spec, keyed by vertex id. Two executions of the same
+// scenario are bit-identical exactly when their digest maps are equal:
+// every digest renders full payload precision (float bits survive the
+// 'g'/-1 formatting round-trip).
+func Digests(b *spec.Built) map[string]string {
+	out := make(map[string]string)
+	for v := 1; v <= b.Graph.N(); v++ {
+		id := b.IDOf[v]
+		switch m := b.Modules[v-1].(type) {
+		case *module.Collector:
+			out[id] = historyDigest(m.History())
+		case *module.MultiCollector:
+			var sb strings.Builder
+			for p := 0; p < b.Graph.InDegree(v); p++ {
+				fmt.Fprintf(&sb, "port%d{%s}", p, historyDigest(m.HistoryOf(p)))
+			}
+			out[id] = sb.String()
+		case *module.CountingSink:
+			out[id] = fmt.Sprintf("exec=%d msgs=%d", m.Executions, m.Messages)
+		case *module.LatestSink:
+			out[id] = fmt.Sprintf("p=%d v=%s seen=%v", m.Phase, m.Val, m.Seen)
+		case *module.AlertSink:
+			out[id] = fmt.Sprintf("alerts=%v", m.Alerts)
+		case *module.HashSink:
+			out[id] = fmt.Sprintf("n=%d sum=%016x", m.Count, m.Sum())
+		}
+	}
+	return out
+}
+
+// historyDigest renders a history as phase:value pairs.
+func historyDigest(h *event.History) string {
+	var sb strings.Builder
+	for i := range h.Phases {
+		fmt.Fprintf(&sb, "%d:%s;", h.Phases[i], h.Values[i])
+	}
+	return sb.String()
+}
+
+// compareDigests returns an error naming the first diverging vertex.
+func compareDigests(oracle, got map[string]string) error {
+	ids := make([]string, 0, len(oracle))
+	for id := range oracle {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if got[id] != oracle[id] {
+			return fmt.Errorf("sink %q diverges from the oracle (%d vs %d digest bytes)", id, len(got[id]), len(oracle[id]))
+		}
+	}
+	if len(got) != len(oracle) {
+		return fmt.Errorf("%d digestable sinks, oracle has %d", len(got), len(oracle))
+	}
+	return nil
+}
+
+// machines picks the deployment width: the spec's pinned count when
+// set, otherwise 2 (3 for graphs of 9+ vertices).
+func (sc *Scenario) machines() int {
+	if m := sc.Spec.Simulation.Machines; m > 0 {
+		return m
+	}
+	if sc.Spec.Simulation.Phases == 0 {
+		return 1
+	}
+	b, _, err := build(sc.Spec)
+	if err == nil && b.Graph.N() >= 9 {
+		return 3
+	}
+	return 2
+}
+
+// distConfig derives the arm-shared distribution tuning.
+func (sc *Scenario) distConfig(costs []float64) distrib.Config {
+	workers := sc.Spec.Simulation.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	return distrib.Config{
+		Machines:          sc.machines(),
+		WorkersPerMachine: workers,
+		MaxInFlight:       8,
+		Buffer:            4,
+		Costs:             costs,
+	}
+}
+
+// rebalanceConfig forces deterministic epoch switches sized to the
+// scenario's run length.
+func (sc *Scenario) rebalanceConfig() distrib.RebalanceConfig {
+	force := sc.Spec.Simulation.Phases / 4
+	if force < 8 {
+		force = 8
+	}
+	return distrib.RebalanceConfig{
+		ForceEvery:     force,
+		MinEpochPhases: 4,
+		MinRemaining:   5,
+		MaxRebalances:  3,
+	}
+}
+
+// RunInfo builds the event-log header of a recorded arm; fusesuite
+// uses it to write dumped event logs with matching headers.
+func (sc *Scenario) RunInfo(transport string) evlog.RunInfo {
+	return evlog.RunInfo{
+		Workload:  fmt.Sprintf("%s/machines=%d/phases=%d", sc.Spec.Name, sc.machines(), sc.Spec.Simulation.Phases),
+		Machines:  sc.machines(),
+		Phases:    sc.Spec.Simulation.Phases,
+		Transport: transport,
+		Note:      fmt.Sprintf("scenario seed=%d shape=%s", sc.Seed, sc.Shape),
+	}
+}
+
+// RunArm executes one matrix arm against the given oracle digests.
+func RunArm(ctx context.Context, sc *Scenario, arm Arm, oracle map[string]string) ArmResult {
+	res := ArmResult{Arm: arm}
+	if arm == ArmDurable && !sc.WireSafe {
+		res.Skipped = "scenario is not wire-safe (module without Snapshotter)"
+		return res
+	}
+
+	b, costs, err := build(sc.Spec)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	batches := make([][]core.ExtInput, sc.Spec.Simulation.Phases)
+	cfg := sc.distConfig(costs)
+
+	var tcp *distrib.TCPNetwork
+	if arm == ArmStaticTCP || arm == ArmRebalTCP {
+		tcp, err = distrib.NewTCPNetwork()
+		if err != nil {
+			res.Err = fmt.Errorf("tcp network: %w", err)
+			return res
+		}
+		defer tcp.Close()
+		cfg.Network = tcp
+	}
+
+	rc := distrib.RunConfig{Graph: b.Graph, Mods: b.Modules, Batches: batches, Dist: cfg}
+	var opts []distrib.Option
+	switch arm {
+	case ArmStaticChan, ArmStaticTCP:
+		// no options: single static plan
+	case ArmRebalChan, ArmRebalTCP:
+		opts = append(opts, distrib.WithRebalancing(sc.rebalanceConfig()))
+	case ArmReplay:
+		res.Recorder = evlog.NewRecorder()
+		opts = append(opts,
+			distrib.WithRebalancing(sc.rebalanceConfig()),
+			distrib.WithTap(res.Recorder))
+	case ArmDurable:
+		walDir, err := os.MkdirTemp("", "scenario-wal-*")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer os.RemoveAll(walDir)
+		res.Recorder = evlog.NewRecorder()
+		opts = append(opts,
+			distrib.WithRebalancing(sc.rebalanceConfig()),
+			distrib.WithTap(res.Recorder),
+			distrib.WithWAL(walDir),
+			distrib.WithRecovery(distrib.RecoverConfig{Window: 20 * time.Second}),
+			// A transient full-network outage mid-run: the durable flock
+			// must roll back to its stable checkpoint and relaunch.
+			distrib.WithFaults(distrib.FaultPlan{
+				Seed:         sc.Seed,
+				CrashAtPhase: sc.Spec.Simulation.Phases/2 + 1,
+				CrashOnce:    true,
+			}))
+	}
+
+	st, err := distrib.Run(ctx, rc, opts...)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Rebalances = len(st.Rebalances)
+	res.Recoveries = len(st.Recoveries)
+	if err := compareDigests(oracle, Digests(b)); err != nil {
+		res.Err = err
+		return res
+	}
+
+	if arm == ArmReplay {
+		// Re-drive the committed epoch schedule from the recorded
+		// events alone; the replayed sinks must match the oracle too.
+		b2, costs2, err := build(sc.Spec)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		cfg2 := sc.distConfig(costs2)
+		p := replay.NewPlayer(sc.RunInfo("chan"), res.Recorder.Merged())
+		if _, err := p.Replay(b2.Graph, b2.Modules, batches, cfg2); err != nil {
+			res.Err = fmt.Errorf("replaying the recorded schedule: %w", err)
+			return res
+		}
+		if err := compareDigests(oracle, Digests(b2)); err != nil {
+			res.Err = fmt.Errorf("replay identity: %w", err)
+			return res
+		}
+	}
+	return res
+}
+
+// Check runs the scenario through the given arms (nil = full matrix)
+// and returns the report; the returned error is non-nil only when the
+// oracle itself could not run — arm failures live in the report.
+func Check(ctx context.Context, sc *Scenario, arms []Arm) (*Report, error) {
+	if arms == nil {
+		arms = AllArms()
+	}
+	oracle, err := OracleDigests(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Scenario: sc, Oracle: oracle}
+	for _, arm := range arms {
+		rep.Results = append(rep.Results, RunArm(ctx, sc, arm, oracle))
+	}
+	return rep, nil
+}
+
+// Goroutines samples the goroutine count after letting shutdown settle;
+// pair with WaitGoroutinesBelow to assert leak-free matrix runs.
+func Goroutines() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// WaitGoroutinesBelow polls until the goroutine count drops to limit
+// or the deadline passes, returning the final count.
+func WaitGoroutinesBelow(limit int, deadline time.Duration) int {
+	t0 := time.Now()
+	for {
+		n := Goroutines()
+		if n <= limit || time.Since(t0) > deadline {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

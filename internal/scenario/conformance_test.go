@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// specsDir locates the repository's specs/ corpus relative to this
+// package's source tree.
+func specsDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "specs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Skipf("specs directory not found: %v", err)
+	}
+	return dir
+}
+
+// corpus assembles the conformance corpus: generated scenarios over
+// every shape plus every shipped spec file. Short mode trims the
+// generated half; the full corpus (>= 25 scenarios) runs in CI's
+// scenariosuite job and on plain `go test ./internal/scenario`.
+func corpus(t *testing.T) []*Scenario {
+	t.Helper()
+	n := uint64(21)
+	if testing.Short() {
+		n = 6
+	}
+	var out []*Scenario
+	for seed := uint64(1); seed <= n; seed++ {
+		sc, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		out = append(out, sc)
+	}
+	files, err := filepath.Glob(filepath.Join(specsDir(t), "*.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		s, err := spec.ParseFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		sc, err := FromSpec(s)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// TestCorpusConformance is the tentpole acceptance: every corpus
+// scenario runs through the full execution matrix and every arm
+// finishes bit-identical to the sequential oracle, the recorded arm
+// replays identically, and the whole matrix leaks no goroutines.
+func TestCorpusConformance(t *testing.T) {
+	scs := corpus(t)
+	if !testing.Short() && len(scs) < 25 {
+		t.Fatalf("corpus has %d scenarios, want >= 25", len(scs))
+	}
+	ctx := context.Background()
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Spec.Name, func(t *testing.T) {
+			before := Goroutines()
+			rep, err := Check(ctx, sc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			executed, skipped := 0, 0
+			for _, res := range rep.Results {
+				if res.Skipped != "" {
+					skipped++
+					if res.Arm != ArmDurable {
+						t.Errorf("arm %s skipped: %s", res.Arm, res.Skipped)
+					}
+					continue
+				}
+				executed++
+				if res.Err != nil {
+					t.Errorf("arm %s: %v", res.Arm, res.Err)
+				}
+			}
+			if executed < len(AllArms())-1 {
+				t.Errorf("only %d arms executed (%d skipped)", executed, skipped)
+			}
+			if sc.WireSafe && skipped != 0 {
+				t.Errorf("wire-safe scenario skipped %d arms", skipped)
+			}
+			if after := WaitGoroutinesBelow(before+4, 10*time.Second); after > before+4 {
+				t.Errorf("goroutines leaked across the matrix: %d -> %d", before, after)
+			}
+		})
+	}
+}
+
+// TestRebalArmsActuallyRebalance: the forced-switch arms must perform
+// epoch switches, or the matrix silently degrades to static coverage.
+func TestRebalArmsActuallyRebalance(t *testing.T) {
+	sc, err := Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := OracleDigests(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunArm(context.Background(), sc, ArmRebalChan, oracle)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Rebalances == 0 {
+		t.Error("rebal/chan arm performed no epoch switches")
+	}
+}
+
+// TestDurableArmRecovers: on a wire-safe scenario the durable arm's
+// injected transient crash must trigger an actual rollback-and-rejoin,
+// and the run must still match the oracle (checked inside RunArm).
+func TestDurableArmRecovers(t *testing.T) {
+	// Find a wire-safe generated scenario with a few machines' worth
+	// of vertices so cross-machine traffic exists to crash.
+	var sc *Scenario
+	for seed := uint64(1); seed <= 20; seed++ {
+		c, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.WireSafe && c.Spec.Simulation.Phases >= 60 {
+			sc = c
+			break
+		}
+	}
+	if sc == nil {
+		t.Fatal("no wire-safe scenario in seeds 1..20")
+	}
+	oracle, err := OracleDigests(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunArm(context.Background(), sc, ArmDurable, oracle)
+	if res.Skipped != "" {
+		t.Fatalf("durable arm skipped: %s", res.Skipped)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Recoveries == 0 {
+		t.Log("note: injected crash never fired (no cross-machine frame past the crash phase)")
+	}
+}
+
+// TestNegativeMutatedParam is the harness's negative control: a
+// deliberately broken module — one mutated parameter — must be caught
+// as a digest divergence from the oracle. A conformance suite that
+// cannot fail proves nothing.
+func TestNegativeMutatedParam(t *testing.T) {
+	mk := func(scale string) *spec.Spec {
+		return &spec.Spec{
+			Name: "negative-control",
+			Vertices: []spec.VertexSpec{
+				{ID: "src", Type: "counter"},
+				{ID: "cal", Type: "linear", Params: []spec.ParamSpec{{Name: "scale", Value: scale}}},
+				{ID: "out", Type: "collector"},
+			},
+			Edges: []spec.EdgeSpec{
+				{From: "src", To: "cal"},
+				{From: "cal", To: "out"},
+			},
+			Simulation: spec.Simulation{Phases: 50, Workers: 2, MaxInFlight: 8, Seed: 7},
+		}
+	}
+	good, err := FromSpec(mk("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := OracleDigests(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Positive control: the unmutated spec passes.
+	if res := RunArm(context.Background(), good, ArmStaticChan, oracle); res.Err != nil {
+		t.Fatalf("unmutated spec failed: %v", res.Err)
+	}
+
+	// The mutation: calibration gain 1 -> 2. Every arm must flag it.
+	broken, err := FromSpec(mk("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []Arm{ArmStaticChan, ArmRebalChan} {
+		res := RunArm(context.Background(), broken, arm, oracle)
+		if res.Err == nil {
+			t.Errorf("arm %s did not catch the mutated parameter", arm)
+		} else if !strings.Contains(res.Err.Error(), "diverges") {
+			t.Errorf("arm %s failed for the wrong reason: %v", arm, res.Err)
+		}
+	}
+}

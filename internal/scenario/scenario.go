@@ -1,0 +1,416 @@
+// Package scenario is the conformance suite's workload half: a seeded
+// fuzzer that emits valid spec.Spec values over the generator shapes
+// of internal/graph, populated with modules drawn from the full
+// module.Registry, plus the differential harness (conformance.go) that
+// runs each scenario through the execution matrix — sequential oracle,
+// static partitioned, rebalancing, durable+recovery, over chan and TCP
+// transports — and requires bit-identical sink state everywhere.
+//
+// Everything is a pure function of the scenario seed: the same seed
+// yields the same shape, the same graph, the same module types and
+// parameters, and the same simulation length, so a failing scenario
+// reproduces from its seed (or from its dumped XML) alone.
+package scenario
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/module"
+	"repro/internal/spec"
+)
+
+// Scenario is one conformance workload: a runnable spec plus the
+// metadata the harness needs to pick its arms.
+type Scenario struct {
+	// Seed is the fuzzer seed (0 for scenarios wrapped from files).
+	Seed uint64
+	// Shape names the generator family ("deep-chain", "layered", ...)
+	// or "spec" for scenarios loaded from XML.
+	Shape string
+	// Spec is the workload itself.
+	Spec *spec.Spec
+	// WireSafe reports whether every module in the built spec
+	// implements core.Snapshotter — the precondition for the durable
+	// (WAL) arm of the matrix. Non-wire-safe scenarios still run every
+	// in-process arm: rebalancing migrates their modules by reference.
+	WireSafe bool
+}
+
+// Shapes lists the generator families Generate draws from, in the
+// order seeds select them.
+func Shapes() []string {
+	return []string{
+		"deep-chain", "diamond", "fanin-tree", "fanout",
+		"layered", "random", "hotspot", "mixed",
+	}
+}
+
+// Generate derives seed's scenario: shape, topology, module population
+// and simulation parameters are all pure functions of the seed. The
+// returned spec is validated and buildable against the full registry.
+func Generate(seed uint64) (*Scenario, error) {
+	shapes := Shapes()
+	shape := shapes[seed%uint64(len(shapes))]
+	rng := rand.New(rand.NewPCG(seed, seed^0x5CE4A110))
+
+	var g *graph.Graph
+	switch shape {
+	case "deep-chain":
+		g = graph.Chain(5 + rng.IntN(8))
+	case "diamond":
+		g = graph.Diamond()
+	case "fanin-tree":
+		g = graph.FanInTree(4+rng.IntN(6), 2+rng.IntN(2))
+	case "fanout":
+		g = graph.FanOutIn(3 + rng.IntN(4))
+	case "layered":
+		g = graph.Layered(3+rng.IntN(3), 2+rng.IntN(3), 1+rng.IntN(2), rng)
+	case "random", "mixed":
+		g = graph.RandomConnected(6+rng.IntN(9), 0.15+0.15*rng.Float64(), rng)
+	case "hotspot":
+		g = graph.Chain(6 + rng.IntN(5))
+	}
+	ng, err := g.Number()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %d (%s): %w", seed, shape, err)
+	}
+
+	s := populate(ng, shape, seed, rng)
+	sc := &Scenario{Seed: seed, Shape: shape, Spec: s}
+	if err := sc.finalize(); err != nil {
+		return nil, fmt.Errorf("scenario %d (%s): %w", seed, shape, err)
+	}
+	return sc, nil
+}
+
+// FromSpec wraps an already-parsed spec (a shipped corpus file, a
+// graphgen emission, a failing-scenario dump) as a scenario, computing
+// its wire-safety.
+func FromSpec(s *spec.Spec) (*Scenario, error) {
+	sc := &Scenario{Shape: "spec", Spec: s}
+	if err := sc.finalize(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// FromGraph populates an arbitrary numbered topology with a seeded
+// module draw, yielding a runnable scenario — the cmd/graphgen -spec
+// path: any generator family (including the paper figures) becomes a
+// spec the conformance matrix and cmd/fusion can execute.
+func FromGraph(ng *graph.Numbered, name string, seed uint64) (*Scenario, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0x5CE4A110))
+	s := populate(ng, "custom", seed, rng)
+	if name != "" {
+		s.Name = name
+	}
+	sc := &Scenario{Seed: seed, Shape: "custom", Spec: s}
+	if err := sc.finalize(); err != nil {
+		return nil, fmt.Errorf("scenario from graph %q: %w", name, err)
+	}
+	return sc, nil
+}
+
+// finalize validates buildability and computes WireSafe.
+func (sc *Scenario) finalize() error {
+	b, err := sc.Spec.Build(module.NewRegistry())
+	if err != nil {
+		return err
+	}
+	sc.WireSafe = true
+	for _, m := range b.Modules {
+		if _, ok := m.(core.Snapshotter); !ok {
+			sc.WireSafe = false
+			break
+		}
+	}
+	return nil
+}
+
+// streamKind tracks the payload family a vertex emits, so the fuzzer
+// wires value-compatible downstream modules: boolean condition streams
+// feed gates and alert sinks, numeric streams feed arithmetic and
+// detectors. (A mismatch would still be deterministic — every module
+// ignores payloads it cannot read — but the stream would go quiet and
+// the scenario would stop exercising anything.)
+type streamKind uint8
+
+const (
+	kindNumeric streamKind = iota // float or int payloads
+	kindClock                     // int payloads usable as pulse-hold clocks
+	kindBool                      // boolean condition transitions
+)
+
+// vertexChoice is one populated vertex: its module type, parameters
+// and the stream kind it emits.
+type vertexChoice struct {
+	typ    string
+	params []spec.ParamSpec
+	out    streamKind
+}
+
+// fparam renders a float parameter with enough precision to round-trip.
+func fparam(name string, v float64) spec.ParamSpec {
+	return spec.ParamSpec{Name: name, Value: fmt.Sprintf("%g", v)}
+}
+
+// iparam renders an integer parameter.
+func iparam(name string, v int) spec.ParamSpec {
+	return spec.ParamSpec{Name: name, Value: fmt.Sprintf("%d", v)}
+}
+
+// pickSource draws a source module. Spike probabilities are kept high
+// enough that sparse streams still move within a 40-phase run.
+func pickSource(rng *rand.Rand) vertexChoice {
+	switch rng.IntN(4) {
+	case 0:
+		return vertexChoice{"random-walk", []spec.ParamSpec{
+			fparam("step", 0.5+2*rng.Float64()),
+			fparam("start", -10+20*rng.Float64()),
+		}, kindNumeric}
+	case 1:
+		return vertexChoice{"sine", []spec.ParamSpec{
+			fparam("mean", -5+10*rng.Float64()),
+			fparam("amp", 1+9*rng.Float64()),
+			fparam("period", float64(12+rng.IntN(37))),
+			fparam("noise", 0.5*rng.Float64()),
+		}, kindNumeric}
+	case 2:
+		return vertexChoice{"spike", []spec.ParamSpec{
+			fparam("prob", 0.2+0.3*rng.Float64()),
+			fparam("magnitude", 5+10*rng.Float64()),
+			fparam("noise", rng.Float64()),
+		}, kindNumeric}
+	default:
+		return vertexChoice{"counter", nil, kindClock}
+	}
+}
+
+// pickUnary draws a single-input operator compatible with the input's
+// stream kind. The mixed flag admits the reference-only statistical
+// detectors (not Snapshotters), making the scenario non-wire-safe.
+func pickUnary(in streamKind, mixed bool, rng *rand.Rand) vertexChoice {
+	if in == kindBool {
+		switch rng.IntN(3) {
+		case 0:
+			return vertexChoice{"debounce", []spec.ParamSpec{iparam("hold", 2+rng.IntN(3))}, kindBool}
+		case 1:
+			return vertexChoice{"change-detector", nil, kindBool}
+		default:
+			return vertexChoice{"coincidence", []spec.ParamSpec{iparam("need", 1)}, kindBool}
+		}
+	}
+	n := 12
+	if mixed {
+		n = 17
+	}
+	switch rng.IntN(n) {
+	case 0:
+		return vertexChoice{"linear", []spec.ParamSpec{
+			fparam("scale", 0.5+rng.Float64()),
+			fparam("offset", -2+4*rng.Float64()),
+		}, kindNumeric}
+	case 1:
+		return vertexChoice{"smoother", []spec.ParamSpec{fparam("alpha", 0.1+0.6*rng.Float64())}, kindNumeric}
+	case 2:
+		return vertexChoice{"moving-average", []spec.ParamSpec{
+			iparam("window", 4+rng.IntN(12)),
+			iparam("min-fill", 1+rng.IntN(3)),
+		}, kindNumeric}
+	case 3:
+		return vertexChoice{"integrator", nil, kindNumeric}
+	case 4:
+		return vertexChoice{"rate", nil, kindNumeric}
+	case 5:
+		return vertexChoice{"clamp", []spec.ParamSpec{
+			fparam("lo", -15+10*rng.Float64()),
+			fparam("hi", 5+10*rng.Float64()),
+		}, kindNumeric}
+	case 6:
+		return vertexChoice{"deadband", []spec.ParamSpec{fparam("band", 0.5+2*rng.Float64())}, kindNumeric}
+	case 7:
+		return vertexChoice{"sampler", []spec.ParamSpec{iparam("every", 2+rng.IntN(3))}, kindNumeric}
+	case 8:
+		return vertexChoice{"lag", []spec.ParamSpec{iparam("depth", 1+rng.IntN(6))}, kindNumeric}
+	case 9:
+		return vertexChoice{"threshold", []spec.ParamSpec{
+			fparam("level", -2+6*rng.Float64()),
+			fparam("hysteresis", rng.Float64()),
+		}, kindBool}
+	case 10:
+		return vertexChoice{"below-threshold", []spec.ParamSpec{
+			fparam("level", -2+6*rng.Float64()),
+			fparam("hysteresis", rng.Float64()),
+		}, kindBool}
+	case 11:
+		return vertexChoice{"zscore-detector", []spec.ParamSpec{
+			iparam("window", 8+rng.IntN(20)),
+			fparam("k", 0.8+rng.Float64()),
+			iparam("warm", 5+rng.IntN(10)),
+		}, kindBool}
+	// The remaining arms are reference-only (no Snapshotter):
+	// drawing one drops the durable arm for this scenario.
+	case 12:
+		return vertexChoice{"cusum-detector", []spec.ParamSpec{
+			fparam("k", 0.3+0.5*rng.Float64()),
+			fparam("h", 2+4*rng.Float64()),
+			iparam("warm", 5+rng.IntN(10)),
+		}, kindNumeric}
+	case 13:
+		return vertexChoice{"quantile-monitor", []spec.ParamSpec{
+			fparam("q", 0.8+0.15*rng.Float64()),
+			iparam("warm", 10+rng.IntN(20)),
+		}, kindBool}
+	case 14:
+		return vertexChoice{"drift-detector", []spec.ParamSpec{
+			fparam("lo", -20),
+			fparam("hi", 20),
+		}, kindNumeric}
+	case 15:
+		return vertexChoice{"forecast-monitor", []spec.ParamSpec{
+			fparam("k", 2+2*rng.Float64()),
+			iparam("warm", 10+rng.IntN(10)),
+		}, kindNumeric}
+	default:
+		return vertexChoice{"regression-outlier", []spec.ParamSpec{
+			fparam("k", 2+2*rng.Float64()),
+			iparam("warm", 10+rng.IntN(10)),
+		}, kindNumeric}
+	}
+}
+
+// pickJoin draws a multi-input operator over the given input kinds.
+func pickJoin(ins []streamKind, rng *rand.Rand) vertexChoice {
+	allBool, hasClock, hasNumeric := true, false, false
+	for _, k := range ins {
+		switch k {
+		case kindBool:
+		case kindClock:
+			allBool, hasClock = false, true
+		default:
+			allBool, hasNumeric = false, true
+		}
+	}
+	if allBool {
+		switch rng.IntN(4) {
+		case 0:
+			return vertexChoice{"and", nil, kindBool}
+		case 1:
+			return vertexChoice{"or", nil, kindBool}
+		case 2:
+			return vertexChoice{"coincidence", []spec.ParamSpec{
+				iparam("need", 1+rng.IntN(len(ins))),
+			}, kindBool}
+		default:
+			return vertexChoice{"fusion-count", nil, kindNumeric}
+		}
+	}
+	// pulse-hold's contract wants Float detections plus an Int clock;
+	// offer it only on genuinely mixed inputs.
+	if hasClock && hasNumeric && rng.IntN(2) == 0 {
+		return vertexChoice{"pulse-hold", []spec.ParamSpec{iparam("hold", 3+rng.IntN(8))}, kindBool}
+	}
+	switch rng.IntN(3) {
+	case 0:
+		return vertexChoice{"sum", nil, kindNumeric}
+	case 1:
+		return vertexChoice{"max", nil, kindNumeric}
+	default:
+		return vertexChoice{"min", nil, kindNumeric}
+	}
+}
+
+// pickSink draws a sink compatible with the input kinds.
+func pickSink(ins []streamKind, rng *rand.Rand) vertexChoice {
+	allBool := true
+	for _, k := range ins {
+		if k != kindBool {
+			allBool = false
+		}
+	}
+	if allBool && rng.IntN(3) == 0 {
+		return vertexChoice{"alert-sink", nil, kindBool}
+	}
+	switch rng.IntN(5) {
+	case 0:
+		return vertexChoice{"collector", nil, kindNumeric}
+	case 1:
+		return vertexChoice{"latest-sink", nil, kindNumeric}
+	case 2:
+		return vertexChoice{"counting-sink", nil, kindNumeric}
+	case 3:
+		return vertexChoice{"multi-collector", nil, kindNumeric}
+	default:
+		return vertexChoice{"hash-sink", nil, kindNumeric}
+	}
+}
+
+// populate assigns a module to every vertex of the numbered graph and
+// assembles the spec. Vertices are visited in numbered order, which is
+// topological, so every predecessor's stream kind is known when a
+// vertex picks its type.
+func populate(ng *graph.Numbered, shape string, seed uint64, rng *rand.Rand) *spec.Spec {
+	n := ng.N()
+	s := &spec.Spec{Name: fmt.Sprintf("fuzz-%d-%s", seed, shape)}
+	kinds := make([]streamKind, n+1)
+
+	// Hotspot shapes plant one expensive vertex mid-graph so the
+	// cost-aware planner and the drift monitor have something to move.
+	hot := 0
+	if shape == "hotspot" {
+		hot = 2 + rng.IntN(n-2)
+	}
+
+	for v := 1; v <= n; v++ {
+		var c vertexChoice
+		switch {
+		case ng.IsSource(v):
+			c = pickSource(rng)
+		case ng.IsSink(v):
+			c = pickSink(predKinds(ng, kinds, v), rng)
+		case ng.InDegree(v) == 1:
+			c = pickUnary(kinds[ng.Pred(v)[0]], shape == "mixed", rng)
+		default:
+			c = pickJoin(predKinds(ng, kinds, v), rng)
+		}
+		kinds[v] = c.out
+		if v == hot {
+			c.params = append(c.params, iparam("cost", 20+rng.IntN(20)))
+		} else if shape == "layered" && rng.IntN(4) == 0 {
+			c.params = append(c.params, iparam("cost", 1+rng.IntN(4)))
+		}
+		s.Vertices = append(s.Vertices, spec.VertexSpec{
+			ID:     fmt.Sprintf("v%02d", v),
+			Type:   c.typ,
+			Params: c.params,
+		})
+	}
+	for v := 1; v <= n; v++ {
+		for _, w := range ng.Succ(v) {
+			s.Edges = append(s.Edges, spec.EdgeSpec{
+				From: fmt.Sprintf("v%02d", v),
+				To:   fmt.Sprintf("v%02d", w),
+			})
+		}
+	}
+	s.Simulation = spec.Simulation{
+		Phases:      40 + rng.IntN(81),
+		Workers:     2,
+		MaxInFlight: 8,
+		Seed:        seed,
+	}
+	return s
+}
+
+// predKinds collects the stream kinds of v's predecessors.
+func predKinds(ng *graph.Numbered, kinds []streamKind, v int) []streamKind {
+	preds := ng.Pred(v)
+	out := make([]streamKind, len(preds))
+	for i, p := range preds {
+		out[i] = kinds[p]
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGenerateDeterministic: a scenario is a pure function of its
+// seed — same seed, same XML, same wire-safety.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 16; seed++ {
+		a, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d again: %v", seed, err)
+		}
+		xa, err := a.Spec.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		xb, err := b.Spec.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(xa, xb) {
+			t.Fatalf("seed %d: two generations marshal differently", seed)
+		}
+		if a.WireSafe != b.WireSafe || a.Shape != b.Shape {
+			t.Fatalf("seed %d: metadata differs between generations", seed)
+		}
+	}
+}
+
+// TestGenerateValidCorpus: every seed in a wide range yields a valid,
+// buildable spec with sensible simulation parameters, and the range
+// covers every shape family.
+func TestGenerateValidCorpus(t *testing.T) {
+	shapes := make(map[string]int)
+	wireSafe := 0
+	for seed := uint64(1); seed <= 48; seed++ {
+		sc, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sc.Spec.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, _, err := build(sc.Spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if b.Graph.Sources() == 0 {
+			t.Fatalf("seed %d: no sources", seed)
+		}
+		p := sc.Spec.Simulation.Phases
+		if p < 40 || p > 120 {
+			t.Fatalf("seed %d: %d phases outside [40, 120]", seed, p)
+		}
+		shapes[sc.Shape]++
+		if sc.WireSafe {
+			wireSafe++
+		}
+	}
+	for _, shape := range Shapes() {
+		if shapes[shape] == 0 {
+			t.Errorf("shape %q never generated in 48 seeds", shape)
+		}
+	}
+	// Most scenarios must be wire-safe (the durable arm needs real
+	// coverage); only the mixed shape may draw reference-only modules.
+	if wireSafe < 36 {
+		t.Errorf("only %d/48 scenarios wire-safe", wireSafe)
+	}
+}
+
+// TestGeneratedScenariosHaveDigestableSinks: the harness can only
+// compare what it can digest, so every generated scenario must expose
+// at least one recording sink.
+func TestGeneratedScenariosHaveDigestableSinks(t *testing.T) {
+	for seed := uint64(1); seed <= 48; seed++ {
+		sc, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := OracleDigests(sc); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestParseArms covers the fusesuite arm-selection syntax.
+func TestParseArms(t *testing.T) {
+	all, err := ParseArms("all")
+	if err != nil || len(all) != len(AllArms()) {
+		t.Fatalf("ParseArms(all) = %v, %v", all, err)
+	}
+	two, err := ParseArms("static/chan, replay")
+	if err != nil || len(two) != 2 || two[0] != ArmStaticChan || two[1] != ArmReplay {
+		t.Fatalf("ParseArms = %v, %v", two, err)
+	}
+	if _, err := ParseArms("bogus"); err == nil {
+		t.Error("unknown arm accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/module"
+)
+
+// FuzzSpecParse throws hostile XML at the spec codec. The invariants:
+// Parse never panics; a spec that parses AND validates must survive
+// Marshal -> Parse again (the fusesuite dump/re-run path), and must
+// either build against the full registry or fail with an error — never
+// a panic — and Costs must stay in bounds for whatever Build returns.
+func FuzzSpecParse(f *testing.F) {
+	// A well-formed baseline.
+	f.Add([]byte(`<computation name="ok"><graph>` +
+		`<vertex id="a" type="counter"/><vertex id="b" type="collector"/>` +
+		`<edge from="a" to="b"/></graph>` +
+		`<simulation phases="10" workers="2" maxInFlight="4" seed="1"/></computation>`))
+	// Duplicate vertex IDs.
+	f.Add([]byte(`<computation name="dup"><graph>` +
+		`<vertex id="a" type="counter"/><vertex id="a" type="collector"/>` +
+		`<edge from="a" to="a"/></graph>` +
+		`<simulation phases="5"/></computation>`))
+	// A cycle.
+	f.Add([]byte(`<computation name="cycle"><graph>` +
+		`<vertex id="a" type="linear"/><vertex id="b" type="linear"/>` +
+		`<edge from="a" to="b"/><edge from="b" to="a"/></graph>` +
+		`<simulation phases="5"/></computation>`))
+	// Edge referencing a missing vertex.
+	f.Add([]byte(`<computation name="dangling"><graph>` +
+		`<vertex id="a" type="counter"/><edge from="a" to="ghost"/></graph>` +
+		`<simulation phases="5"/></computation>`))
+	// Bad cost / numeric params.
+	f.Add([]byte(`<computation name="badcost"><graph>` +
+		`<vertex id="a" type="counter"><param name="cost" value="NaN"/></vertex>` +
+		`<vertex id="b" type="collector"><param name="cost" value="-7"/></vertex>` +
+		`<edge from="a" to="b"/></graph>` +
+		`<simulation phases="5"/></computation>`))
+	// Unknown module type and malformed param value.
+	f.Add([]byte(`<computation name="unknown"><graph>` +
+		`<vertex id="a" type="no-such-module"/>` +
+		`<vertex id="b" type="debounce"><param name="hold" value="zero"/></vertex>` +
+		`<edge from="a" to="b"/></graph>` +
+		`<simulation phases="5"/></computation>`))
+	// Oversized attribute.
+	f.Add([]byte(`<computation name="` + strings.Repeat("A", 1<<16) + `"><graph>` +
+		`<vertex id="a" type="counter"/></graph><simulation phases="1"/></computation>`))
+	// Truncated document, absurd simulation numbers, junk bytes.
+	f.Add([]byte(`<computation name="trunc"><graph><vertex id="a"`))
+	f.Add([]byte(`<computation name="big"><graph><vertex id="a" type="counter"/></graph>` +
+		`<simulation phases="-9999999999999999999" workers="0" maxInFlight="-1" seed="18446744073709551615"/></computation>`))
+	f.Add([]byte("\x00\xff<not-xml>&&&"))
+
+	reg := module.NewRegistry()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		// Validated specs must round-trip through the dump format.
+		out, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("validated spec does not marshal: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(out)); err != nil {
+			t.Fatalf("marshaled spec does not re-parse: %v", err)
+		}
+		// Building may fail (unknown types, bad params, cycles) but must
+		// not panic, and a successful build must yield coherent costs.
+		if len(s.Vertices) > 256 {
+			return // keep fuzz iterations cheap
+		}
+		b, err := s.Build(reg)
+		if err != nil {
+			return
+		}
+		costs, err := s.Costs(b)
+		if err != nil {
+			return
+		}
+		if len(costs) != b.Graph.N() {
+			t.Fatalf("Costs returned %d entries for %d vertices", len(costs), b.Graph.N())
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package spec
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/module"
+)
+
+// TestShippedSpecsMarshalRoundTrip: parse -> marshal -> parse must be a
+// fixed point for every shipped spec. Marshal drops comments but must
+// preserve every vertex, param, edge and simulation attribute exactly,
+// or the fusesuite failing-scenario dumps would not reproduce the
+// failure they describe.
+func TestShippedSpecsMarshalRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(specsDir(t), "*.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no shipped specs found")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			orig, err := ParseFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := orig.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := Parse(bytes.NewReader(out))
+			if err != nil {
+				t.Fatalf("re-parse of marshaled spec: %v", err)
+			}
+			if !reflect.DeepEqual(orig, again) {
+				t.Errorf("round trip not a fixed point:\noriginal: %+v\nagain:    %+v", orig, again)
+			}
+			// And marshal must itself be stable.
+			out2, err := again.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(out) != string(out2) {
+				t.Error("second marshal differs from first")
+			}
+		})
+	}
+}
+
+// TestDomainSpecsProduceSignal pins each converted example domain to a
+// minimum of observable output, so the specs stay live monitors rather
+// than decaying into graphs whose sinks record nothing (which would
+// also hollow out the conformance digests).
+func TestDomainSpecsProduceSignal(t *testing.T) {
+	dir := specsDir(t)
+	run := func(t *testing.T, name string) *Built {
+		t.Helper()
+		s, err := ParseFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := Run(s, module.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	t.Run("biosurveillance", func(t *testing.T) {
+		b := run(t, "biosurveillance.xml")
+		for i := 0; i < 3; i++ {
+			id := "county-" + string(rune('0'+i)) + "-log"
+			log := b.ModuleByID(id).(*module.Collector)
+			// >= 3 entries means at least one full false->true->false
+			// alarm pulse beyond the initial level report.
+			if log.History().Len() < 3 {
+				t.Errorf("%s has %d entries, want an alarm pulse", id, log.History().Len())
+			}
+		}
+		sink := b.ModuleByID("regional-alerts").(*module.AlertSink)
+		if len(sink.Alerts) == 0 {
+			t.Error("regional coincidence never fired")
+		}
+	})
+
+	t.Run("crisis", func(t *testing.T) {
+		b := run(t, "crisis.xml")
+		if n := b.ModuleByID("crisis-log").(*module.Collector).History().Len(); n == 0 {
+			t.Error("crisis gate never reported")
+		}
+		if n := b.ModuleByID("dispatch-log").(*module.Collector).History().Len(); n == 0 {
+			t.Error("dispatch gate never reported")
+		}
+		if fp := b.ModuleByID("fingerprint").(*module.HashSink); fp.Count == 0 {
+			t.Error("fingerprint saw no messages")
+		}
+	})
+
+	t.Run("moneylaundering", func(t *testing.T) {
+		b := run(t, "moneylaundering.xml")
+		for i := 0; i < 3; i++ {
+			id := "anomaly-log-" + string(rune('0'+i))
+			if n := b.ModuleByID(id).(*module.Collector).History().Len(); n == 0 {
+				t.Errorf("%s is empty", id)
+			}
+		}
+		sink := b.ModuleByID("case-alerts").(*module.AlertSink)
+		if len(sink.Alerts) == 0 {
+			t.Error("ring accounts never tripped the case gate")
+		}
+	})
+
+	t.Run("energypricing", func(t *testing.T) {
+		b := run(t, "energypricing.xml")
+		if n := b.ModuleByID("surprise-log").(*module.Collector).History().Len(); n == 0 {
+			t.Error("forecast model never emitted a surprise")
+		}
+		if n := b.ModuleByID("risk-log").(*module.Collector).History().Len(); n == 0 {
+			t.Error("price-risk gate never reported")
+		}
+		if fp := b.ModuleByID("fingerprint").(*module.HashSink); fp.Count == 0 {
+			t.Error("fingerprint saw no messages")
+		}
+	})
+}
