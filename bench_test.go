@@ -181,6 +181,49 @@ func BenchmarkE8LockContention(b *testing.B) {
 	}
 }
 
+// BenchmarkE17FineGrainScaling is the decentralized-commit-path
+// certificate: grain ∈ {0, 1µs} × workers ∈ {1, 2, 4}, reporting
+// ns/exec and the lock-wait share. Under the old engine-wide mutex the
+// grain=0 column could not scale (every finish serialized); with
+// per-vertex locks the lock share should stay near zero across the
+// matrix.
+func BenchmarkE17FineGrainScaling(b *testing.B) {
+	const phases = 60
+	for _, grain := range []time.Duration{0, time.Microsecond} {
+		for _, workers := range []int{1, 2, 4} {
+			w := experiments.Workload{
+				Depth: 6, Width: 8, FanIn: 2,
+				Grain: grain, SourceRate: 1, InteriorRate: 1, Seed: 0xE17,
+			}
+			b.Run(fmt.Sprintf("grain=%s/workers=%d", grain, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var nsPerExec, lockShare float64
+				for i := 0; i < b.N; i++ {
+					ng, mods := w.Build()
+					eng, err := core.New(ng, mods, core.Config{
+						Workers: workers, MaxInFlight: 32, MeasureContention: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					t0 := time.Now()
+					if _, err := eng.Run(experiments.Phases(phases)); err != nil {
+						b.Fatal(err)
+					}
+					wall := time.Since(t0)
+					st := eng.Stats()
+					if st.Executions > 0 {
+						nsPerExec = float64(wall) / float64(st.Executions)
+					}
+					lockShare = float64(st.LockWait) / (float64(workers) * float64(wall))
+				}
+				b.ReportMetric(nsPerExec, "ns/exec")
+				b.ReportMetric(lockShare, "lock-share")
+			})
+		}
+	}
+}
+
 // BenchmarkE9Partitioned is the §6 future-work extension: the same
 // workload on 1..4 simulated machines (pipeline partitioning, 2 workers
 // each).

@@ -30,6 +30,18 @@ type Options struct {
 	// up as a step change in bytes, not drift. Rows whose baseline
 	// reports no wire bytes (in-process channel links) are not gated.
 	WireFactor float64
+	// LockWaitFactor and LockWaitFloorNs fail a contention-measured row
+	// (baseline recorded lock acquisitions) when lock_wait_ns exceeds
+	// baseline × factor + floor. The additive floor serves two ends: it
+	// keeps near-zero baselines — the decentralized commit path waits
+	// ~0ns on uncontended per-vertex locks — from gating on scheduler
+	// noise, and it arms an absolute tripwire on those same rows: a
+	// change that re-serializes the hot path (the pre-v2 engine burned
+	// ~0.9ms on e8-contention/grain=0 alone) blows past the floor even
+	// though baseline × factor is ~0. Without this rule a locking
+	// regression can hide inside the wall-time slack.
+	LockWaitFactor  float64
+	LockWaitFloorNs float64
 	// ScaleOutFactor gates the intra-report scale-out invariant: within
 	// the *current* report alone, a machines=N row's wall time must not
 	// exceed machines=1 × this factor for the same workload family.
@@ -44,7 +56,11 @@ type Options struct {
 
 // DefaultOptions returns the CI gate thresholds.
 func DefaultOptions() Options {
-	return Options{TimeFactor: 1.5, AllocFactor: 1.5, AllocSlack: 0.5, ScaleOutFactor: 1.75, WireFactor: 1.2}
+	return Options{
+		TimeFactor: 1.5, AllocFactor: 1.5, AllocSlack: 0.5,
+		LockWaitFactor: 1.5, LockWaitFloorNs: 500_000,
+		ScaleOutFactor: 1.75, WireFactor: 1.2,
+	}
 }
 
 // Verdict classifies one metric comparison.
@@ -170,6 +186,28 @@ func Compare(base, cur experiments.BenchReport, o Options) ([]Finding, error) {
 			g.Verdict = OK
 		}
 		out = append(out, g)
+
+		// lock wait (contention-measured rows only: the baseline saw the
+		// row acquire instrumented locks). Lock wait is a scheduling
+		// artifact, so the comparison follows the time gate's
+		// comparability rule — an oversubscribed host time-slicing
+		// workers manufactures lock wait that says nothing about the
+		// code — but unlike ns/exec it is not proc-skip-failed: the time
+		// finding already fails that case, and lock wait adds no signal
+		// there.
+		if (b.LockAcquisitions > 0 || b.LockWaitNs > 0) && timeComparable && o.LockWaitFactor > 0 {
+			l := Finding{
+				Row: b.Name, Metric: "lock-wait-ns",
+				Base: float64(b.LockWaitNs), Current: float64(c.LockWaitNs),
+				Limit: float64(b.LockWaitNs)*o.LockWaitFactor + o.LockWaitFloorNs,
+			}
+			if float64(c.LockWaitNs) > l.Limit {
+				l.Verdict = Regressed
+			} else {
+				l.Verdict = OK
+			}
+			out = append(out, l)
+		}
 
 		// wire bytes (rows over a real wire transport: e13/e16 tcp)
 		if b.WireBytes > 0 {

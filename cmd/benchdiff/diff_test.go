@@ -152,6 +152,98 @@ func TestCompareWireBytesGate(t *testing.T) {
 	}
 }
 
+// rowL builds a contention-measured row: lockAcq acquisitions and
+// lockWaitNs of recorded wait.
+func rowL(name string, workers int, lockWaitNs, lockAcq int64) experiments.BenchRow {
+	return experiments.BenchRow{
+		Name: name, Workers: workers, NsPerExec: 1000, AllocsPerExec: 0.2,
+		LockWaitNs: lockWaitNs, LockAcquisitions: lockAcq,
+	}
+}
+
+// TestCompareLockWaitGate table-tests the lock-wait rule: a
+// contention-measured row fails past baseline × 1.5 + 500µs, the floor
+// absorbs scheduler noise over a ~0 baseline, a re-serialized hot path
+// (pre-v2-scale lock wait appearing over a ~0 baseline) fails even
+// though baseline × factor alone would allow anything near zero, rows
+// the baseline never contention-measured are not gated, and the rule
+// follows the time gate's proc-comparability rule rather than gating
+// oversubscribed runs.
+func TestCompareLockWaitGate(t *testing.T) {
+	cases := []struct {
+		name        string
+		baseProcs   int
+		base        experiments.BenchRow
+		curProcs    int
+		cur         experiments.BenchRow
+		wantFinding bool
+		want        Verdict
+	}{
+		{
+			name:      "within factor passes",
+			baseProcs: 8, base: rowL("e8-contention/grain=0", 4, 2_000_000, 50_000),
+			curProcs: 8, cur: rowL("e8-contention/grain=0", 4, 2_900_000, 50_000),
+			wantFinding: true, want: OK,
+		},
+		{
+			name:      "past factor plus floor fails",
+			baseProcs: 8, base: rowL("e8-contention/grain=0", 4, 2_000_000, 50_000),
+			curProcs: 8, cur: rowL("e8-contention/grain=0", 4, 3_600_000, 50_000),
+			wantFinding: true, want: Regressed,
+		},
+		{
+			name:      "floor absorbs noise over a zero baseline",
+			baseProcs: 8, base: rowL("e17-finegrain/grain=0/workers=4", 4, 0, 50_000),
+			curProcs: 8, cur: rowL("e17-finegrain/grain=0/workers=4", 4, 80_000, 50_000),
+			wantFinding: true, want: OK,
+		},
+		{
+			name:      "re-serialized hot path over a zero baseline fails",
+			baseProcs: 8, base: rowL("e17-finegrain/grain=0/workers=4", 4, 0, 50_000),
+			curProcs: 8, cur: rowL("e17-finegrain/grain=0/workers=4", 4, 900_000, 50_000),
+			wantFinding: true, want: Regressed,
+		},
+		{
+			name:      "row never contention-measured is not gated",
+			baseProcs: 8, base: rowL("e12-pipeline/machines=1", 1, 0, 0),
+			curProcs: 8, cur: rowL("e12-pipeline/machines=1", 1, 5_000_000, 70_000),
+			wantFinding: false,
+		},
+		{
+			name:      "oversubscribed current host is not gated",
+			baseProcs: 8, base: rowL("e8-contention/grain=0", 4, 100_000, 50_000),
+			curProcs: 2, cur: rowL("e8-contention/grain=0", 4, 9_000_000, 50_000),
+			wantFinding: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, err := Compare(report(tc.baseProcs, tc.base), report(tc.curProcs, tc.cur), DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got *Finding
+			for i := range fs {
+				if fs[i].Row == tc.base.Name && fs[i].Metric == "lock-wait-ns" {
+					got = &fs[i]
+				}
+			}
+			if !tc.wantFinding {
+				if got != nil {
+					t.Fatalf("unexpected lock-wait finding: %+v", *got)
+				}
+				return
+			}
+			if got == nil {
+				t.Fatalf("no lock-wait finding in %+v", fs)
+			}
+			if got.Verdict != tc.want {
+				t.Errorf("verdict = %s, want %s", got.Verdict, tc.want)
+			}
+		})
+	}
+}
+
 func TestCompareMissingRowFails(t *testing.T) {
 	base := report(8, row("a", 1, 1000, 0.2), row("b", 1, 500, 0.1))
 	cur := report(8, row("a", 1, 1000, 0.2))

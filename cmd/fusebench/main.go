@@ -1,7 +1,7 @@
 // Command fusebench regenerates the experiment tables DESIGN.md §4
 // indexes: the paper's §4 measurement and prediction, the §1
 // sparse-event comparison, the Figure 1 pipelining measurement, and the
-// extensions and ablations (E8-E12).
+// extensions and ablations (E8-E17).
 //
 // Usage:
 //
@@ -9,29 +9,46 @@
 //	fusebench -exp e1 -quick      # one table at reduced size
 //	fusebench -list               # available experiment ids
 //	fusebench -json BENCH.json    # machine-readable bench report only
+//	fusebench -json BENCH.json -mutexprofile mutex.pprof
+//	                              # also capture a runtime mutex profile
 //
 // The -json report is the input to cmd/benchdiff, which gates CI on
-// regressions against the checked-in BENCH_BASELINE.json.
+// regressions against the checked-in BENCH_BASELINE.json. The
+// -mutexprofile capture (OPERATIONS.md has the reading guide) samples
+// every blocking lock acquisition during the run, so locking work can
+// start from which mutex actually contends instead of guessing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10, e11, e12, e13, e14, e16 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1, e2, e3, e4, e8, e9, e10, e11, e12, e13, e14, e16, e17 or all)")
 	quick := flag.Bool("quick", false, "reduced problem sizes (seconds instead of minutes)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "write a machine-readable bench report (ns/op, lock wait, queue depth per workload) to this path and exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a runtime mutex-contention profile of the run to this path (samples every blocking acquisition)")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
+	}
+	if *mutexProfile != "" {
+		// Rate 1 records every blocking event. The hot path is
+		// Lock/TryLock on sync.Mutex, which the profiler only samples
+		// when a goroutine actually blocks, so full sampling stays cheap
+		// on an uncontended engine — and an engine that is NOT
+		// uncontended is exactly what the profile exists to expose.
+		runtime.SetMutexProfileFraction(1)
+		defer writeMutexProfile(*mutexProfile)
 	}
 	if *jsonPath != "" {
 		if err := experiments.WriteBenchJSON(*jsonPath, *quick); err != nil {
@@ -52,4 +69,18 @@ func main() {
 		os.Exit(2)
 	}
 	runner(*quick).Fprint(os.Stdout)
+}
+
+func writeMutexProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fusebench: mutex profile: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "fusebench: mutex profile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

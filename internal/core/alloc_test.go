@@ -75,3 +75,63 @@ func TestSteadyStateAllocs(t *testing.T) {
 			allocs, perExec)
 	}
 }
+
+// TestSteadyStateAllocsConcurrent pins the same guarantee on the
+// decentralized commit path: with a worker pool and no observer, the
+// warmed phase loop recycles every input slice through its owning
+// (vertex, ring-slot) buffer and must not allocate. AllocsPerRun counts
+// process-wide mallocs, so worker-goroutine allocations are caught too;
+// the threshold tolerates a sub-single stray runtime allocation (e.g. a
+// late timer or sudog growth) without letting a real per-phase leak
+// through.
+func TestSteadyStateAllocsConcurrent(t *testing.T) {
+	g := graph.New()
+	ids := make([]int, 8)
+	for i := range ids {
+		ids[i] = g.AddVertex("v")
+	}
+	g.MustEdge(ids[0], ids[1])
+	g.MustEdge(ids[0], ids[2])
+	g.MustEdge(ids[1], ids[3])
+	g.MustEdge(ids[2], ids[3])
+	for i := 3; i < 7; i++ {
+		g.MustEdge(ids[i], ids[i+1])
+	}
+	ng, err := g.Number()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := core.StepFunc(func(ctx *core.Context) {
+		if v, ok := ctx.FirstIn(); ok {
+			ctx.EmitAll(v)
+		}
+	})
+	src := core.StepFunc(func(ctx *core.Context) {
+		ctx.EmitAll(event.Int(int64(ctx.Phase())))
+	})
+	mods := make([]core.Module, ng.N())
+	for i := range mods {
+		mods[i] = relay
+	}
+	mods[0] = src
+
+	eng, err := core.New(ng, mods, core.Config{Workers: 2, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+	onePhase := func() {
+		p, err := eng.StartPhase(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.WaitPhase(p)
+	}
+	for i := 0; i < 50; i++ {
+		onePhase()
+	}
+	if allocs := testing.AllocsPerRun(100, onePhase); allocs >= 1 {
+		t.Errorf("concurrent steady-state phase loop allocates: %.2f allocs/phase, want 0", allocs)
+	}
+}

@@ -1,0 +1,356 @@
+// Decentralized commit path (DESIGN.md §14).
+//
+// The locked path in engine.go serializes every finish() — delivery,
+// full/ready bookkeeping, frontier sweep, completion check — through
+// the engine-wide mutex, which E8 shows costs ~60% of worker time at
+// zero grain. This file is the steady-state replacement: an engine
+// built without Manual mode and without an Observer routes execute()
+// through finishFast, and no global lock is taken between a pair being
+// dequeued and the moment its phase commits.
+//
+// The frontier sweep (statements 1.12–1.26) is replaced by per-vertex
+// *resolution* counting. Vertex v "resolves" phase p when its part in p
+// is over: it executed (v, p), or p is provably input-free for v.
+// Resolutions per vertex are strictly ordered by a per-vertex `resolved`
+// pointer. Each (vertex, phase) pair carries a countdown slot
+// (vslot.unresolved, armed to the in-degree): when predecessor u
+// resolves p it decrements successor slots for p — under the successor's
+// lock, while still holding u's lock, so per-edge notifications arrive
+// in resolution order. A slot hitting zero with buffered input is
+// exactly the Listing-1 "full" transition (every predecessor has had its
+// say); zero with no input means the pair can never receive a message
+// and is skip-resolved in turn once it becomes v's next unresolved
+// phase (advanceLocked). Phase commit is an atomic per-phase counter of
+// unresolved vertices: the last resolution drops it to zero, and only
+// then does the committer take the engine mutex — once per phase, not
+// per execution — to close the phase, advance `done`, and wake
+// WaitPhase/Drain sleepers.
+//
+// Lock hierarchy (deadlock freedom):
+//
+//	e.mu  ≺  vertex locks in ascending vertex order  ≺  run-queue shards
+//
+// StartPhase acquires e.mu then one source lock at a time. The finish
+// path acquires vertex locks only in ascending index order (a vertex
+// locks itself, then notifies successors, which the restricted
+// numbering guarantees have larger indices; skip cascades recurse
+// strictly upward). Commit-counter decrements are deferred to
+// flushCommits, after every vertex lock is released, so the committer
+// never wants e.mu while holding a vertex lock.
+//
+// Input slices never touch a shared pool on this path: the snapshot a
+// workItem carries is returned to the very (vertex, phase-ring) slot it
+// was taken from when the pair finishes, so slice capacity stays with
+// the slot and steady-state execution is allocation- and
+// contention-free (TestFastPathSteadyStateAllocs pins this).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// phaseRing is the window of open phases, readable without the engine
+// mutex: slot p&mask holds phase p's state while p is open. The ring is
+// grown and its slots installed/cleared only under e.mu; readers load
+// the current ring and slot atomically. A reader holding a stale ring
+// can only ever observe a pointer whose pnum it then checks, and a
+// state's pnum changes only between close (published nil) and the next
+// reuse, which the commit-counter protocol orders after every reader's
+// last access — so a stale lookup misses (returns nil) rather than
+// aliasing a recycled phase.
+type phaseRing struct {
+	slots []atomic.Pointer[phaseState]
+	mask  int
+}
+
+// vslot is one vertex's input slot within one open phase on the
+// decentralized path. Both fields are guarded by the owning vertex's
+// lock (not the engine mutex).
+type vslot struct {
+	// in buffers the messages delivered to (v, p) until the pair becomes
+	// ready, at which point the slice moves into the workItem and is
+	// returned to this slot — cleared, capacity retained — when the pair
+	// finishes.
+	in []portValue
+	// unresolved counts predecessors that have not yet resolved this
+	// phase; armed to the in-degree when the slot's previous occupant
+	// resolved. Zero with input pending means full; zero with no input
+	// means the pair is skippable.
+	unresolved int32
+}
+
+// workerScratch is per-worker bookkeeping that must not contend: the
+// deferred commit-decrement list and the delivered-message counter
+// (merged by Stats). Padded so neighboring workers' counters do not
+// false-share.
+type workerScratch struct {
+	commits []*phaseState
+	msgs    int64
+	_       [88]byte
+}
+
+// execShard is one shard of the CountExecutions map: workers update
+// their own shard under a leaf mutex and ExecCount/ExecCounts merge.
+type execShard struct {
+	mu sync.Mutex
+	m  map[[2]int]int
+	_  [40]byte
+}
+
+// scratchFor returns the scratch slot for a run-queue shard hint; -1
+// (environment thread, manual stepping) maps to the extra trailing slot.
+func (e *Engine) scratchFor(shard int) *workerScratch {
+	if shard < 0 {
+		return &e.wstate[len(e.wstate)-1]
+	}
+	return &e.wstate[shard]
+}
+
+// execShardFor returns the CountExecutions shard for a run-queue shard
+// hint (same mapping as scratchFor).
+func (e *Engine) execShardFor(shard int) *execShard {
+	if shard < 0 {
+		return &e.execShards[len(e.execShards)-1]
+	}
+	return &e.execShards[shard]
+}
+
+// lockVertex acquires a vertex lock, folding contended acquisitions
+// into the same Stats counters as the engine mutex when
+// MeasureContention is on. The uncontended path records the
+// acquisition but skips the clock: TryLock succeeding means the wait
+// was zero.
+func (e *Engine) lockVertex(vt *vertexState) {
+	if !e.cfg.MeasureContention {
+		vt.mu.Lock()
+		return
+	}
+	e.lockAcq.Add(1)
+	if vt.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	vt.mu.Lock()
+	e.lockWait.Add(int64(time.Since(t0)))
+}
+
+// newFastState allocates a decentralized-path phase state with every
+// slot armed to its vertex's in-degree. Pooled states come back from
+// closePhase already re-armed by the resolution protocol, so this runs
+// only while the phase window is still growing.
+func (e *Engine) newFastState() *phaseState {
+	ps := &phaseState{slots: make([]vslot, e.g.N())}
+	for i := range ps.slots {
+		ps.slots[i].unresolved = int32(e.g.InDegree(i + 1))
+	}
+	return ps
+}
+
+// startPhaseFast performs StartPhase's source work on the decentralized
+// path: deliver the external observations, then mark every source full
+// for phase p (statements 2.12–2.19). Caller holds e.mu; vertex locks
+// are taken one at a time underneath it, per the lock hierarchy.
+func (e *Engine) startPhaseFast(p int, ps *phaseState, ext []ExtInput) {
+	for _, x := range ext {
+		vt := &e.vs[x.Vertex-1]
+		e.lockVertex(vt)
+		slot := &ps.slots[x.Vertex-1]
+		slot.in = append(slot.in, portValue{port: x.Port, val: x.Val})
+		vt.mu.Unlock()
+	}
+	for s := 1; s <= e.g.Sources(); s++ {
+		vt := &e.vs[s-1]
+		e.lockVertex(vt)
+		if n := len(vt.fullPhases); n > 0 && vt.fullPhases[n-1] >= p {
+			panic(fmt.Sprintf("core: full phases out of order at vertex %d: %v then %d", s, vt.fullPhases, p))
+		}
+		vt.fullPhases = append(vt.fullPhases, p)
+		if !vt.inReady && vt.fullPhases[0] == p {
+			// The environment thread enqueues round-robin across shards.
+			e.makeReadyFast(s, vt, p, ps, -1)
+		}
+		vt.mu.Unlock()
+	}
+}
+
+// makeReadyFast moves (v, p) — v's minimum full phase — into the ready
+// set: the slot's input buffer becomes the pair's snapshot and the pair
+// is enqueued. Caller holds v's lock.
+func (e *Engine) makeReadyFast(v int, vt *vertexState, p int, ps *phaseState, shard int) {
+	if vt.resolved != p-1 {
+		panic(fmt.Sprintf("core: (%d,%d) ready out of order (resolved through %d)", v, p, vt.resolved))
+	}
+	vt.inReady = true
+	slot := &ps.slots[v-1]
+	in := slot.in
+	slot.in = nil
+	e.q.Enqueue(shard, workItem{v: v, p: p, in: in})
+}
+
+// finishFast is the decentralized finish(): bookkeeping after (v, p)
+// executed with the given emissions, touching only v's lock, the
+// successors' locks (ascending), and — at most once per *phase*, not
+// per execution — the engine mutex inside commitPhases.
+func (e *Engine) finishFast(v, p int, emits []Emission, in []portValue, shard int) {
+	ws := e.scratchFor(shard)
+	ps := e.phaseAt(p)
+	if ps == nil {
+		panic(fmt.Sprintf("core: finish(%d,%d) for closed phase", v, p))
+	}
+	if len(emits) > 0 {
+		atomic.AddInt64(&ws.msgs, int64(len(emits)))
+	}
+	vt := &e.vs[v-1]
+	e.lockVertex(vt)
+	if !vt.inReady || len(vt.fullPhases) == 0 || vt.fullPhases[0] != p || vt.resolved != p-1 {
+		panic(fmt.Sprintf("core: ready bookkeeping corrupt at (%d,%d)", v, p))
+	}
+	vt.inReady = false
+	vt.fullPhases = vt.fullPhases[:copy(vt.fullPhases, vt.fullPhases[1:])]
+	// Return the consumed snapshot to the slot it came from and re-arm
+	// the slot for the ring position's next phase.
+	slot := &ps.slots[v-1]
+	if in != nil {
+		clear(in)
+		slot.in = in[:0]
+	}
+	slot.unresolved = int32(e.g.InDegree(v))
+	vt.resolved = p
+	ws.commits = append(ws.commits, ps)
+	e.notifyLocked(v, p, ps, emits, shard, ws)
+	e.advanceLocked(v, vt, shard, ws)
+	vt.mu.Unlock()
+	e.flushCommits(ws)
+}
+
+// notifyLocked tells every successor of v that v has resolved phase p,
+// delivering v's emissions along the way. Caller holds v's lock (and
+// possibly those of a descending chain of v's ancestors); successor
+// locks nest strictly upward in vertex order, so the hierarchy holds.
+// Decrementing under v's lock is what keeps per-edge notifications in
+// per-vertex resolution order — the invariant that makes successor
+// slots hit zero in increasing phase order.
+func (e *Engine) notifyLocked(v, p int, ps *phaseState, emits []Emission, shard int, ws *workerScratch) {
+	succ := e.g.Succ(v)
+	if len(succ) == 0 {
+		return
+	}
+	ports := e.ports[v-1]
+	for si, w := range succ {
+		wt := &e.vs[w-1]
+		e.lockVertex(wt)
+		slot := &ps.slots[w-1]
+		if slot.unresolved <= 0 {
+			panic(fmt.Sprintf("core: notification for (%d,%d) after it resolved", w, p))
+		}
+		for i := range emits {
+			if emits[i].Out == si {
+				slot.in = append(slot.in, portValue{port: ports[si], val: emits[i].Val})
+			}
+		}
+		slot.unresolved--
+		if slot.unresolved == 0 {
+			if len(slot.in) > 0 {
+				// Full transition: every predecessor has resolved p and at
+				// least one sent a message (statements 1.24–1.26).
+				if n := len(wt.fullPhases); n > 0 && wt.fullPhases[n-1] >= p {
+					panic(fmt.Sprintf("core: full phases out of order at vertex %d: %v then %d", w, wt.fullPhases, p))
+				}
+				wt.fullPhases = append(wt.fullPhases, p)
+				if !wt.inReady && wt.fullPhases[0] == p {
+					e.makeReadyFast(w, wt, p, ps, shard)
+				}
+			} else {
+				// No input and none can arrive: skippable, once w's earlier
+				// phases are resolved. advanceLocked checks exactly that.
+				e.advanceLocked(w, wt, shard, ws)
+			}
+		}
+		wt.mu.Unlock()
+	}
+}
+
+// advanceLocked resolves v's consecutive pending phases: each next
+// phase that is full becomes ready (and the loop stops — finishing it
+// will advance further); each next phase whose slot hit zero without
+// input is skip-resolved, notifying successors in turn. Caller holds
+// v's lock. The loop stops at the first phase still awaiting
+// predecessors or not yet started — some later event (a predecessor's
+// notification, or v's own finish) re-runs it with fresh state.
+func (e *Engine) advanceLocked(v int, vt *vertexState, shard int, ws *workerScratch) {
+	indeg := int32(e.g.InDegree(v))
+	for !vt.inReady {
+		q := vt.resolved + 1
+		if len(vt.fullPhases) > 0 && vt.fullPhases[0] == q {
+			ps := e.phaseAt(q)
+			if ps == nil {
+				panic(fmt.Sprintf("core: full pair (%d,%d) in a closed phase", v, q))
+			}
+			e.makeReadyFast(v, vt, q, ps, shard)
+			return
+		}
+		if indeg == 0 {
+			// Sources execute every started phase; StartPhase makes them
+			// full, so there is never anything to skip.
+			return
+		}
+		ps := e.phaseAt(q)
+		if ps == nil {
+			return // phase q not started yet
+		}
+		slot := &ps.slots[v-1]
+		if slot.unresolved != 0 || len(slot.in) > 0 {
+			return // still awaiting predecessors
+		}
+		// (v, q) got no message and every predecessor has resolved q:
+		// skip-resolve, re-arming the slot for its next phase.
+		slot.unresolved = indeg
+		vt.resolved = q
+		ws.commits = append(ws.commits, ps)
+		e.notifyLocked(v, q, ps, nil, shard, ws)
+	}
+}
+
+// flushCommits applies the deferred commit-counter decrements — one per
+// resolution performed while vertex locks were held — and commits any
+// phase whose counter reaches zero. Must be called with no vertex locks
+// held: commitPhases takes e.mu, which sits above vertex locks in the
+// hierarchy.
+func (e *Engine) flushCommits(ws *workerScratch) {
+	for i, ps := range ws.commits {
+		ws.commits[i] = nil
+		if ps.unresolvedVerts.Add(-1) == 0 {
+			e.commitPhases()
+		}
+	}
+	ws.commits = ws.commits[:0]
+}
+
+// commitPhases advances the completed-phase prefix under the engine
+// mutex: phases commit in order, each zeroed counter past `done`
+// closing its phase and waking WaitPhase/Drain sleepers. Safe to call
+// from any worker whose decrement zeroed a counter; the scan is
+// idempotent under the lock.
+func (e *Engine) commitPhases() {
+	e.lock()
+	advanced := false
+	for {
+		ps := e.phaseAt(e.done + 1)
+		if ps == nil || ps.unresolvedVerts.Load() != 0 {
+			break
+		}
+		e.closePhase(ps)
+		e.done++
+		advanced = true
+		if obs := e.cfg.Observer; obs != nil {
+			obs.PhaseCompleted(e.done)
+		}
+	}
+	if advanced {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}

@@ -2,8 +2,10 @@
 // serializable Δ-dataflow computation graphs on a shared-memory
 // multiprocessor (§3 of the paper).
 //
-// The engine maintains, under a single global lock exactly as in
-// Listings 1 and 2:
+// The engine has two commit paths with identical observable semantics:
+//
+// The locked path in this file follows Listings 1 and 2 literally,
+// under a single global lock:
 //
 //   - per-phase partial and full sets (equations 7 and 9) as bitsets of
 //     vertex indices,
@@ -14,10 +16,20 @@
 //     so later phases never overtake earlier ones,
 //   - pmax, the newest started phase.
 //
+// It serves Manual mode (StepOne/StepPair, the Figure 3 trace) and any
+// engine with an Observer attached, where callers rely on callbacks
+// being serialized under the engine lock.
+//
+// The decentralized path (decentral.go, DESIGN.md §14) serves
+// steady-state concurrent execution: per-vertex locks, per-edge
+// resolution counting in place of the frontier sweep, and an atomic
+// per-phase commit counter, so finishing a pair never takes the engine
+// mutex. New selects the path once per engine.
+//
 // Worker goroutines play the computation processes of Listing 1: dequeue
 // a ready (vertex, phase) pair, execute the module outside the lock,
-// then update the data structures inside it. StartPhase plays one
-// iteration of the environment process of Listing 2.
+// then update the data structures. StartPhase plays one iteration of
+// the environment process of Listing 2.
 package core
 
 import (
@@ -143,27 +155,37 @@ type portValue struct {
 }
 
 // phaseState is the engine's record of one open phase. States are
-// recycled through a free list (DESIGN.md §3): the bitsets and the inbox
-// slot table are allocated once per object and reused across phases, so
-// steady-state phase turnover is allocation-free.
+// recycled through a free list (DESIGN.md §3): the per-vertex tables
+// are allocated once per object and reused across phases, so
+// steady-state phase turnover is allocation-free. The locked path uses
+// the bitsets/inbox fields, the decentralized path the slots/counter
+// fields; each engine allocates only its own path's tables.
 type phaseState struct {
-	// p is the phase this state currently represents; the ring lookup
+	// pnum is the phase this state currently represents; the ring lookup
 	// checks it so a stale slot can never be mistaken for an open phase.
-	p int
-	// x is the frontier x_p of §3.1.2.
+	// Atomic because decentralized-path lookups may probe a not-yet-open
+	// phase and race a concurrent reuse of this object (see phaseRing).
+	pnum atomic.Int64
+	// x is the frontier x_p of §3.1.2 (locked path).
 	x int
 	// partial and full are the sets of equations (9) and (7), restricted
-	// to this phase.
+	// to this phase (locked path).
 	partial *bitset
 	full    *bitset
 	// inbox buffers messages delivered for this phase until the pair
 	// becomes ready: slot v-1 holds vertex v's pending inputs. A slot is
 	// nil when empty; its slice is pooled on the engine's free list when
 	// the pair is snapshotted, so delivery does not allocate in steady
-	// state.
+	// state (locked path).
 	inbox [][]portValue
 	// inboxed counts non-nil inbox slots (pairs with undelivered input).
 	inboxed int
+	// slots holds each vertex's input buffer and predecessor countdown
+	// for this phase (decentralized path; guarded by the vertex locks).
+	slots []vslot
+	// unresolvedVerts counts vertices that have not yet resolved this
+	// phase; the last resolution commits it (decentralized path).
+	unresolvedVerts atomic.Int64
 }
 
 func (ps *phaseState) pending() int { return ps.partial.count + ps.full.count }
@@ -181,6 +203,11 @@ func (ps *phaseState) minPending() int {
 
 // vertexState tracks the ready-set bookkeeping for one vertex.
 type vertexState struct {
+	// mu guards every field on the decentralized path (the locked path
+	// guards them with the engine mutex instead and never takes mu).
+	// Vertex locks nest only in ascending vertex order, always below
+	// e.mu — see the hierarchy note in decentral.go.
+	mu sync.Mutex
 	// inReady is true while some (v, p) sits in the ready set (i.e. in
 	// the run queue or executing). At most one phase per vertex may be
 	// ready at a time, and it is always the minimum full phase.
@@ -190,6 +217,13 @@ type vertexState struct {
 	// the invariant argument in finish) and removed from the front by
 	// shifting in place, so the backing array's capacity is retained.
 	fullPhases []int
+	// resolved is the newest phase this vertex has resolved —
+	// executed, or proven input-free — on the decentralized path.
+	// Resolutions are strictly ordered per vertex.
+	resolved int
+	// pad vertexState to a cache line so adjacent vertices' locks do
+	// not false-share.
+	_ [16]byte
 }
 
 // Stats is a snapshot of engine counters.
@@ -203,9 +237,12 @@ type Stats struct {
 	// MaxQueueLen is the run queue's high-water mark.
 	MaxQueueLen int
 	// LockWait is the cumulative time workers and the environment spent
-	// acquiring the global lock (only when MeasureContention).
+	// acquiring engine locks — the global mutex plus, on the
+	// decentralized path, every per-vertex lock (only when
+	// MeasureContention).
 	LockWait time.Duration
-	// LockAcquisitions counts lock acquisitions (only when MeasureContention).
+	// LockAcquisitions counts acquisitions of the same locks (only when
+	// MeasureContention).
 	LockAcquisitions int64
 	// ExecTime is cumulative wall time inside module Steps (only when
 	// MeasureContention).
@@ -226,6 +263,11 @@ type Engine struct {
 	started bool
 	stopped bool
 
+	// fast selects the decentralized commit path (decentral.go): no
+	// Manual stepping and no Observer, so nothing relies on bookkeeping
+	// being serialized under the engine mutex. Chosen once at New.
+	fast bool
+
 	mu   sync.Mutex
 	cond sync.Cond // broadcast whenever a phase completes
 
@@ -234,21 +276,37 @@ type Engine struct {
 	// sequentially and the window is bounded by MaxInFlight under Run,
 	// so a direct-mapped ring replaces the former map[int]*phaseState
 	// and its per-lookup hashing on the hot path; explicit StartPhase
-	// bursts beyond the capacity grow the ring.
-	ring     []*phaseState
-	ringMask int
-	pmax     int // newest started phase
-	done     int // all phases ≤ done are complete
+	// bursts beyond the capacity grow the ring. The ring pointer and
+	// its slots are atomic so the decentralized path can look phases up
+	// without the mutex; all mutation stays under mu.
+	ring atomic.Pointer[phaseRing]
+	pmax int // newest started phase (under mu)
+	done int // all phases ≤ done are complete (under mu)
 
-	// freePhases recycles phaseState objects (bitsets and inbox slot
-	// tables) across phases; freeIn recycles the portValue slices that
-	// flow from inbox slots into workItem snapshots and back. scratch
-	// backs the partial→full migration scan. All are guarded by mu.
+	// freePhases recycles phaseState objects (their per-vertex tables)
+	// across phases; freeIn recycles the portValue slices that flow
+	// from inbox slots into workItem snapshots and back on the locked
+	// path — the decentralized path returns snapshots straight to their
+	// slot instead. scratch backs the partial→full migration scan. All
+	// are guarded by mu.
 	freePhases []*phaseState
 	freeIn     [][]portValue
 	scratch    []int
 
 	vs []vertexState
+
+	// ports[v-1][si] caches graph.PortOf(v, Succ(v)[si]): the input
+	// port on the si-th successor that edge delivers to. Precomputed at
+	// New so delivery needs no map lookup.
+	ports [][]int
+
+	// wstate[i] is worker shard i's contention-free scratch; the extra
+	// trailing slot serves shard -1 (environment thread, manual steps).
+	wstate []workerScratch
+
+	// execShards, when CountExecutions, shards the (v,p)→count map the
+	// same way as wstate; ExecCount/ExecCounts merge.
+	execShards []execShard
 
 	// manualCtx is the execution context reused by StepOne/StepPair;
 	// Manual stepping is driven by one caller goroutine at a time, and
@@ -259,7 +317,6 @@ type Engine struct {
 
 	// counters
 	execs    atomic.Int64
-	msgs     int64 // under mu
 	lockWait atomic.Int64
 	lockAcq  atomic.Int64
 	execTime atomic.Int64
@@ -267,9 +324,6 @@ type Engine struct {
 	// vertexNs[v-1] accumulates vertex v's Step time (atomically:
 	// workers execute concurrently). Nil unless MeasureVertexTimes.
 	vertexNs []int64
-
-	// execCount, when CountExecutions, maps (v,p) to times executed.
-	execCount map[[2]int]int
 
 	panicOnce sync.Once
 	panicked  atomic.Value // first worker panic, re-raised by Drain/Stop
@@ -310,15 +364,34 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 		ringCap *= 2
 	}
 	e := &Engine{
-		g:        g,
-		mods:     mods,
-		cfg:      cfg,
-		q:        runqueue.NewSharded[workItem](shards, 256),
-		ring:     make([]*phaseState, ringCap),
-		ringMask: ringCap - 1,
-		pmax:     cfg.BasePhase,
-		done:     cfg.BasePhase,
-		vs:       make([]vertexState, g.N()),
+		g:      g,
+		mods:   mods,
+		cfg:    cfg,
+		q:      runqueue.NewSharded[workItem](shards, 256),
+		pmax:   cfg.BasePhase,
+		done:   cfg.BasePhase,
+		vs:     make([]vertexState, g.N()),
+		wstate: make([]workerScratch, cfg.Workers+1),
+		ports:  make([][]int, g.N()),
+	}
+	e.ring.Store(&phaseRing{
+		slots: make([]atomic.Pointer[phaseState], ringCap),
+		mask:  ringCap - 1,
+	})
+	e.fast = !cfg.Manual && cfg.Observer == nil
+	for v := 1; v <= g.N(); v++ {
+		succ := g.Succ(v)
+		if len(succ) == 0 {
+			continue
+		}
+		row := make([]int, len(succ))
+		for si, w := range succ {
+			row[si] = g.PortOf(v, w)
+		}
+		e.ports[v-1] = row
+	}
+	for i := range e.vs {
+		e.vs[i].resolved = cfg.BasePhase
 	}
 	e.cond.L = &e.mu
 	if so, ok := cfg.Observer.(SetObserver); ok {
@@ -328,7 +401,10 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 		e.feedObs = fo
 	}
 	if cfg.CountExecutions {
-		e.execCount = make(map[[2]int]int)
+		e.execShards = make([]execShard, cfg.Workers+1)
+		for i := range e.execShards {
+			e.execShards[i].m = make(map[[2]int]int)
+		}
 	}
 	if cfg.MeasureVertexTimes {
 		e.vertexNs = make([]int64, g.N())
@@ -339,23 +415,30 @@ func New(g *graph.Numbered, mods []Module, cfg Config) (*Engine, error) {
 // Graph returns the engine's numbered graph.
 func (e *Engine) Graph() *graph.Numbered { return e.g }
 
-// lock acquires the global lock, recording wait time when configured.
+// lock acquires the global lock, recording contention when configured.
+// The uncontended TryLock path records the acquisition but skips the
+// clock — succeeding immediately means the wait was zero.
 func (e *Engine) lock() {
-	if e.cfg.MeasureContention {
-		t0 := time.Now()
+	if !e.cfg.MeasureContention {
 		e.mu.Lock()
-		e.lockWait.Add(int64(time.Since(t0)))
-		e.lockAcq.Add(1)
 		return
 	}
+	e.lockAcq.Add(1)
+	if e.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
 	e.mu.Lock()
+	e.lockWait.Add(int64(time.Since(t0)))
 }
 
 // phaseAt returns the open phase p, or nil if p is closed (or never
-// opened). Caller holds mu.
+// opened). Safe without mu: the ring pointer and slots are atomic and
+// the pnum check rejects stale or reused states (see phaseRing).
 func (e *Engine) phaseAt(p int) *phaseState {
-	ps := e.ring[p&e.ringMask]
-	if ps == nil || ps.p != p {
+	r := e.ring.Load()
+	ps := r.slots[p&r.mask].Load()
+	if ps == nil || ps.pnum.Load() != int64(p) {
 		return nil
 	}
 	return ps
@@ -363,23 +446,33 @@ func (e *Engine) phaseAt(p int) *phaseState {
 
 // growRing doubles the ring capacity and re-slots the open phases.
 // Caller holds mu. Open phases are consecutive integers, so doubling
-// until the window fits always resolves slot collisions.
+// until the window fits always resolves slot collisions. The old ring
+// stays valid for concurrent readers; they re-load the pointer per
+// lookup and only ever miss, never alias.
 func (e *Engine) growRing() {
-	nb := make([]*phaseState, 2*len(e.ring))
-	mask := len(nb) - 1
-	for _, ps := range e.ring {
-		if ps != nil {
-			nb[ps.p&mask] = ps
+	old := e.ring.Load()
+	nr := &phaseRing{
+		slots: make([]atomic.Pointer[phaseState], 2*len(old.slots)),
+		mask:  2*len(old.slots) - 1,
+	}
+	for i := range old.slots {
+		if ps := old.slots[i].Load(); ps != nil {
+			nr.slots[int(ps.pnum.Load())&nr.mask].Store(ps)
 		}
 	}
-	e.ring = nb
-	e.ringMask = mask
+	e.ring.Store(nr)
 }
 
 // openPhase installs a state for phase p, recycling one from the free
-// list when possible. Caller holds mu.
+// list when possible. Caller holds mu. The state is fully initialized
+// — pnum, frontier, commit counter — before the slot store publishes
+// it to lock-free readers.
 func (e *Engine) openPhase(p int) *phaseState {
-	for e.ring[p&e.ringMask] != nil {
+	for {
+		r := e.ring.Load()
+		if r.slots[p&r.mask].Load() == nil {
+			break
+		}
 		e.growRing()
 	}
 	var ps *phaseState
@@ -387,6 +480,8 @@ func (e *Engine) openPhase(p int) *phaseState {
 		ps = e.freePhases[n-1]
 		e.freePhases[n-1] = nil
 		e.freePhases = e.freePhases[:n-1]
+	} else if e.fast {
+		ps = e.newFastState()
 	} else {
 		ps = &phaseState{
 			partial: newBitset(e.g.N()),
@@ -394,21 +489,32 @@ func (e *Engine) openPhase(p int) *phaseState {
 			inbox:   make([][]portValue, e.g.N()),
 		}
 	}
-	ps.p, ps.x = p, 0
-	e.ring[p&e.ringMask] = ps
+	ps.pnum.Store(int64(p))
+	ps.x = 0
+	if e.fast {
+		ps.unresolvedVerts.Store(int64(e.g.N()))
+	}
+	r := e.ring.Load()
+	r.slots[p&r.mask].Store(ps)
 	return ps
 }
 
 // closePhase removes the completed phase state from the ring and returns
-// it to the free list. Caller holds mu; the phase's sets and inbox are
-// empty by the completion invariant (checked by the caller), so the
-// recycled bitsets need no clearing.
+// it to the free list. Caller holds mu; the phase's sets and inbox (or
+// its slots, on the decentralized path, re-armed by the resolution
+// protocol) are settled by the completion invariant, so the recycled
+// tables need no clearing.
 func (e *Engine) closePhase(ps *phaseState) {
-	if ps.partial.count != 0 || ps.full.count != 0 {
+	if e.fast {
+		if n := ps.unresolvedVerts.Load(); n != 0 {
+			panic(fmt.Sprintf("core: phase %d completed with %d unresolved vertices", ps.pnum.Load(), n))
+		}
+	} else if ps.partial.count != 0 || ps.full.count != 0 {
 		panic(fmt.Sprintf("core: phase %d completed with %d partial / %d full pairs",
-			ps.p, ps.partial.count, ps.full.count))
+			ps.pnum.Load(), ps.partial.count, ps.full.count))
 	}
-	e.ring[ps.p&e.ringMask] = nil
+	r := e.ring.Load()
+	r.slots[int(ps.pnum.Load())&r.mask].Store(nil)
 	e.freePhases = append(e.freePhases, ps)
 }
 
@@ -476,6 +582,10 @@ func (e *Engine) StartPhase(ext []ExtInput) (int, error) {
 	ps := e.openPhase(p)
 	if obs := e.cfg.Observer; obs != nil {
 		obs.PhaseStarted(p)
+	}
+	if e.fast {
+		e.startPhaseFast(p, ps, ext)
+		return p, nil
 	}
 	for _, x := range ext {
 		e.deliverTo(ps, x.Vertex, portValue{x.Port, x.Val})
@@ -590,7 +700,17 @@ func (e *Engine) execute(ctx *Context, it workItem, shard int) {
 		obs.ExecEnd(v, it.p, len(ctx.emits))
 	}
 	e.execs.Add(1)
-	e.finish(v, it.p, ctx.emits, it.in, shard)
+	if e.execShards != nil {
+		sh := e.execShardFor(shard)
+		sh.mu.Lock()
+		sh.m[[2]int{v, it.p}]++
+		sh.mu.Unlock()
+	}
+	if e.fast {
+		e.finishFast(v, it.p, ctx.emits, it.in, shard)
+	} else {
+		e.finish(v, it.p, ctx.emits, it.in, shard)
+	}
 }
 
 // StepOne executes the oldest ready pair on the calling goroutine,
@@ -664,15 +784,12 @@ func (e *Engine) finish(v, p int, emits []Emission, in []portValue, shard int) {
 	if e.setObs != nil {
 		e.setObs.PairDone(v, p)
 	}
-	if e.execCount != nil {
-		e.execCount[[2]int{v, p}]++
-	}
 
 	// Statements 1.8-1.11: deliver emissions; recipients join partial.
 	succ := e.g.Succ(v)
 	for _, em := range emits {
 		w := succ[em.Out]
-		port := e.g.PortOf(v, w)
+		port := e.ports[v-1][em.Out]
 		e.deliverTo(ps, w, portValue{port, em.Val})
 		if ps.full.test(w) {
 			// Impossible: w has v as a predecessor and v only finished
@@ -683,7 +800,9 @@ func (e *Engine) finish(v, p int, emits []Emission, in []portValue, shard int) {
 		if ps.partial.set(w) && e.setObs != nil {
 			e.setObs.PairPartial(w, p)
 		}
-		e.msgs++
+	}
+	if len(emits) > 0 {
+		atomic.AddInt64(&e.scratchFor(shard).msgs, int64(len(emits)))
 	}
 
 	// Statements 1.12-1.23: update frontiers from phase p upward. If x_i
@@ -876,9 +995,12 @@ func (e *Engine) Run(batches [][]ExtInput) (Stats, error) {
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	msgs := e.msgs
 	done := int64(e.done - e.cfg.BasePhase)
 	e.mu.Unlock()
+	var msgs int64
+	for i := range e.wstate {
+		msgs += atomic.LoadInt64(&e.wstate[i].msgs)
+	}
 	return Stats{
 		Executions:       e.execs.Load(),
 		Messages:         msgs,
@@ -904,21 +1026,32 @@ func (e *Engine) VertexTimes() []time.Duration {
 	return out
 }
 
-// ExecCount reports how many times (v, p) executed. Requires
-// Config.CountExecutions; used by the exactly-once tests.
+// ExecCount reports how many times (v, p) executed, merged across the
+// per-worker count shards. Requires Config.CountExecutions; used by
+// the exactly-once tests.
 func (e *Engine) ExecCount(v, p int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.execCount[[2]int{v, p}]
+	k := [2]int{v, p}
+	n := 0
+	for i := range e.execShards {
+		sh := &e.execShards[i]
+		sh.mu.Lock()
+		n += sh.m[k]
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// ExecCounts returns a copy of the full execution-count map.
+// ExecCounts returns the full execution-count map, merged across the
+// per-worker count shards.
 func (e *Engine) ExecCounts() map[[2]int]int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make(map[[2]int]int, len(e.execCount))
-	for k, n := range e.execCount {
-		out[k] = n
+	out := make(map[[2]int]int)
+	for i := range e.execShards {
+		sh := &e.execShards[i]
+		sh.mu.Lock()
+		for k, n := range sh.m {
+			out[k] += n
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

@@ -166,6 +166,96 @@ func TestInterleavingQuick(t *testing.T) {
 	}
 }
 
+// TestConcurrentMatchesManualOracle pits the decentralized commit path
+// (worker pool, no observer, per-vertex locks) against a Manual-mode
+// oracle driven through a random legal schedule. Both run the same
+// seeded random DAG with the same module seeds and external inputs, so
+// every vertex's recorded log — phases, exact input sets, emissions —
+// must match, and so must the execution-count maps. The oracle runs the
+// compat path (Manual forces it), the replicas run the lock-free path,
+// so any divergence pins a serializability bug in the new locking
+// protocol; under -race the replicas also hammer the ascending
+// vertex-lock ordering from several workers at once.
+func TestConcurrentMatchesManualOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xFA57, 17))
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.IntN(30)
+		ng, err := graph.RandomConnected(n, rng.Float64()*0.35, rng).Number()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := rng.Uint64()
+		phases := 5 + rng.IntN(30)
+		batches := make([][]core.ExtInput, phases)
+		for p := range batches {
+			for v := 1; v <= ng.Sources(); v++ {
+				if rng.IntN(3) == 0 {
+					batches[p] = append(batches[p],
+						core.ExtInput{Vertex: v, Port: 0, Val: event.Int(int64(p*31 + v))})
+				}
+			}
+		}
+
+		shadow := &readyShadow{}
+		oraMods, oraRecs := buildRecorded(ng, mixedFactory(ng, seed))
+		ora, err := core.New(ng, oraMods, core.Config{Manual: true, Observer: shadow, CountExecutions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		started := 0
+		for started < phases || shadow.size() > 0 {
+			if started < phases && (shadow.size() == 0 || rng.IntN(3) == 0) {
+				if _, err := ora.StartPhase(batches[started]); err != nil {
+					t.Fatal(err)
+				}
+				started++
+				continue
+			}
+			pair := shadow.take(rng.IntN(shadow.size()))
+			if !ora.StepPair(pair[0], pair[1]) {
+				t.Fatalf("trial %d: oracle refused ready pair %v", trial, pair)
+			}
+		}
+		oraCounts := ora.ExecCounts()
+
+		for _, workers := range []int{2, 4, 8} {
+			conMods, conRecs := buildRecorded(ng, mixedFactory(ng, seed))
+			eng, err := core.New(ng, conMods, core.Config{
+				Workers:         workers,
+				MaxInFlight:     1 + rng.IntN(16),
+				CountExecutions: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(batches); err != nil {
+				t.Fatal(err)
+			}
+			for v := 1; v <= ng.N(); v++ {
+				if !sameLogs(oraRecs[v-1].log, conRecs[v-1].log) {
+					t.Fatalf("trial %d (n=%d phases=%d workers=%d): vertex %d diverged from manual oracle",
+						trial, n, phases, workers, v)
+				}
+			}
+			conCounts := eng.ExecCounts()
+			if len(conCounts) != len(oraCounts) {
+				t.Fatalf("trial %d workers=%d: %d executed pairs, oracle has %d",
+					trial, workers, len(conCounts), len(oraCounts))
+			}
+			for k, c := range conCounts {
+				if oraCounts[k] != c {
+					t.Fatalf("trial %d workers=%d: pair %v executed %d times, oracle %d",
+						trial, workers, k, c, oraCounts[k])
+				}
+			}
+		}
+	}
+}
+
 // TestManualModeBasics covers the manual-stepping API surface itself.
 func TestManualModeBasics(t *testing.T) {
 	ng, _ := graph.Chain(3).Number()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -172,6 +173,75 @@ func TestEngineInvariantsUnderLoad(t *testing.T) {
 			}
 		}
 		chk.mu.Unlock()
+	}
+}
+
+// phaseOrderGuard wraps a module and asserts the engine's per-module
+// contract where no observer can watch — attaching an Observer would
+// force the engine off the lock-free path, so the check rides inside
+// Step itself: calls for one vertex never overlap, and phases arrive in
+// strictly increasing order. Violations are counted, not fataled, since
+// Step runs on worker goroutines.
+type phaseOrderGuard struct {
+	inner  core.Module
+	active int32
+	last   int
+	fails  *int32
+}
+
+func (g *phaseOrderGuard) Step(ctx *core.Context) {
+	if atomic.AddInt32(&g.active, 1) != 1 {
+		atomic.AddInt32(g.fails, 1)
+	}
+	if p := ctx.Phase(); p <= g.last {
+		atomic.AddInt32(g.fails, 1)
+	} else {
+		g.last = p
+	}
+	g.inner.Step(ctx)
+	atomic.AddInt32(&g.active, -1)
+}
+
+// TestFastPathStepContract hammers the decentralized commit path with
+// random graphs and worker counts and verifies, from inside the modules
+// themselves, that per-vertex execution stays exclusive and
+// phase-ordered, and that every started phase commits.
+func TestFastPathStepContract(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 0xFA57))
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.IntN(40)
+		ng, err := graph.RandomConnected(n, rng.Float64()*0.3, rng).Number()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fails int32
+		factory := mixedFactory(ng, rng.Uint64())
+		mods := make([]core.Module, ng.N())
+		for v := 1; v <= ng.N(); v++ {
+			mods[v-1] = &phaseOrderGuard{inner: factory(v), fails: &fails}
+		}
+		eng, err := core.New(ng, mods, core.Config{
+			Workers:     2 + rng.IntN(8),
+			MaxInFlight: 1 + rng.IntN(12),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases := 10 + rng.IntN(50)
+		st, err := eng.Run(make([][]core.ExtInput, phases))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := atomic.LoadInt32(&fails); got != 0 {
+			t.Fatalf("trial %d: %d step-contract violations (overlap or phase order)", trial, got)
+		}
+		if st.PhasesCompleted != int64(phases) {
+			t.Fatalf("trial %d: completed %d of %d phases", trial, st.PhasesCompleted, phases)
+		}
 	}
 }
 

@@ -93,6 +93,27 @@ func benchCases() []benchCase {
 	}
 }
 
+// e17Cases is the E17 fine-grain scaling matrix — grain ∈ {0, 1µs} ×
+// workers ∈ {1, 2, 4} — as bench rows, so the scaling trajectory of the
+// decentralized commit path (and its lock_wait_ns, which benchdiff
+// gates on contention-measured rows) is pinned in BENCH.json.
+func e17Cases() []benchCase {
+	shape := func(grain time.Duration) Workload {
+		return Workload{
+			Depth: 6, Width: 8, FanIn: 2,
+			Grain: grain, SourceRate: 1, InteriorRate: 1, Seed: 0xE17,
+		}
+	}
+	return []benchCase{
+		{"e17-finegrain/grain=0/workers=1", shape(0), 1, 32},
+		{"e17-finegrain/grain=0/workers=2", shape(0), 2, 32},
+		{"e17-finegrain/grain=0/workers=4", shape(0), 4, 32},
+		{"e17-finegrain/grain=1us/workers=1", shape(time.Microsecond), 1, 32},
+		{"e17-finegrain/grain=1us/workers=2", shape(time.Microsecond), 2, 32},
+		{"e17-finegrain/grain=1us/workers=4", shape(time.Microsecond), 4, 32},
+	}
+}
+
 // distribCase is one fixed partitioned workload of the report — the
 // E12 pipeline (the same E12Pipeline/E12Config the experiment runs) at
 // each machine count, so the scale-out trajectory (and any regression
@@ -171,7 +192,7 @@ func BenchJSON(quick bool) BenchReport {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      quick,
 	}
-	for _, c := range benchCases() {
+	for _, c := range append(benchCases(), e17Cases()...) {
 		wall, allocs, st := measureBest(func() (time.Duration, uint64, core.Stats) {
 			// Fresh graph, modules and engine per repetition: modules
 			// are stateful and engines single-use. Setup happens

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// E17Row is one (grain, workers) cell of the fine-grain scaling matrix.
+type E17Row struct {
+	Grain        time.Duration
+	Workers      int
+	Wall         time.Duration
+	Executions   int64
+	NsPerExec    int64
+	LockWait     time.Duration
+	LockFraction float64 // lock wait / (workers × wall)
+	Speedup      float64 // vs the 1-worker row at the same grain
+}
+
+// E17Result measures whether adding workers still pays when vertices do
+// almost no work. Under the PR-1..9 engine the answer was no: with
+// grain 0 every finish() serialized through the engine-wide mutex, so
+// extra workers mostly queued on the lock (E8 showed ~60% of worker
+// time lost at 4 workers). The decentralized commit path moves
+// per-vertex bookkeeping under per-vertex locks and phase commit onto
+// an atomic counter, so this matrix — the adversarial end of the
+// grain spectrum — is the experiment that certifies the rebuild:
+// lock-share should stay near zero and speedup should track worker
+// count even at grain 0.
+type E17Result struct {
+	Rows  []E17Row
+	Table *metrics.Table
+}
+
+// E17FineGrain sweeps grain ∈ {0, 1µs} × workers ∈ {1, 2, 4} over the
+// E8 workload shape and reports per-execution cost, lock wait and
+// scaling. Quick mode shortens the run but keeps the full matrix, since
+// the matrix itself is the point.
+func E17FineGrain(quick bool) E17Result {
+	grains := []time.Duration{0, time.Microsecond}
+	workerSet := []int{1, 2, 4}
+	phases := 120
+	if quick {
+		phases = 30
+	}
+	var res E17Result
+	tb := metrics.NewTable(
+		"E17 — fine-grain scaling under the decentralized commit path",
+		"grain", "workers", "wall-time", "ns/exec", "lock-wait", "lock-share", "speedup-vs-1")
+	for _, grain := range grains {
+		var base time.Duration
+		for _, workers := range workerSet {
+			w := Workload{
+				Depth: 6, Width: 8, FanIn: 2,
+				Grain: grain, SourceRate: 1, InteriorRate: 1,
+				Seed: 0xE17,
+			}
+			ng, mods := w.Build()
+			eng, err := core.New(ng, mods, core.Config{
+				Workers: workers, MaxInFlight: 32, MeasureContention: true,
+			})
+			if err != nil {
+				panic(err)
+			}
+			wall := metrics.MeasureWall(func() {
+				if _, err := eng.Run(Phases(phases)); err != nil {
+					panic(err)
+				}
+			})
+			st := eng.Stats()
+			row := E17Row{
+				Grain: grain, Workers: workers, Wall: wall,
+				Executions: st.Executions, LockWait: st.LockWait,
+			}
+			if st.Executions > 0 {
+				row.NsPerExec = int64(wall) / st.Executions
+			}
+			if wall > 0 {
+				row.LockFraction = float64(st.LockWait) / (float64(workers) * float64(wall))
+			}
+			if workers == workerSet[0] {
+				base = wall
+			}
+			row.Speedup = metrics.Speedup(base, wall)
+			res.Rows = append(res.Rows, row)
+			tb.Add(grain.String(), workers, wall, row.NsPerExec, st.LockWait, row.LockFraction, row.Speedup)
+		}
+	}
+	res.Table = tb
+	return res
+}

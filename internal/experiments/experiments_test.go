@@ -381,7 +381,7 @@ func TestE14DriftRecovery(t *testing.T) {
 
 func TestNamesOrderAndRunAll(t *testing.T) {
 	names := Names()
-	want := []string{"e1", "e2", "e3", "e4", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e16"}
+	want := []string{"e1", "e2", "e3", "e4", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e16", "e17"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}
@@ -396,7 +396,7 @@ func TestNamesOrderAndRunAll(t *testing.T) {
 	var sb strings.Builder
 	RunAll(&sb, true)
 	out := sb.String()
-	for _, frag := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E8 —", "E9 —", "E10 —", "E11 —", "E12 —", "E13 —", "E14 —", "E16 —"} {
+	for _, frag := range []string{"E1 —", "E2 —", "E3 —", "E4 —", "E8 —", "E9 —", "E10 —", "E11 —", "E12 —", "E13 —", "E14 —", "E16 —", "E17 —"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("RunAll output missing %q", frag)
 		}
